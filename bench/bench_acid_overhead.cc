@@ -1,0 +1,152 @@
+// Section 8 claim: the second-generation ACID design reads "at par with
+// non-ACID tables". Micro-benchmarks (google-benchmark) comparing full
+// scans of the same data stored (a) as a non-transactional table, (b) as a
+// compacted ACID table, and (c) as an ACID table with pending delta files
+// and deletes (the merge-on-read worst case the first design suffered on).
+
+#include <benchmark/benchmark.h>
+
+#include "fs/mem_filesystem.h"
+#include "metastore/catalog.h"
+#include "storage/acid.h"
+#include "storage/chunk_provider.h"
+
+namespace hive {
+namespace {
+
+constexpr int kRows = 50000;
+
+Schema TableSchema() {
+  Schema s;
+  s.AddField("k", DataType::Bigint());
+  s.AddField("v", DataType::Bigint());
+  s.AddField("s", DataType::String());
+  return s;
+}
+
+std::vector<Value> Row(int64_t i) {
+  return {Value::Bigint(i), Value::Bigint(i * 7 % 1000),
+          Value::String("payload-" + std::to_string(i % 100))};
+}
+
+/// Shared fixture state: three pre-built table layouts in one MemFS.
+struct AcidBenchState {
+  MemFileSystem fs;
+  Schema schema = TableSchema();
+
+  AcidBenchState() {
+    // (a) non-ACID: plain COF files in the table directory.
+    {
+      CofWriter writer(schema);
+      for (int64_t i = 0; i < kRows; ++i) writer.AppendRow(Row(i));
+      auto bytes = writer.Finish();
+      fs.MakeDirs("/plain");
+      fs.WriteFile("/plain/file_0000", *bytes);
+    }
+    // (b) ACID, compacted: one base directory.
+    {
+      AcidWriter writer(&fs, "/acid_compacted", schema, 1);
+      for (int64_t i = 0; i < kRows; ++i) writer.Insert(Row(i));
+      writer.Commit();
+      Compactor compactor(&fs, "/acid_compacted", schema);
+      compactor.RunMajor(ValidWriteIdList::All(1));
+      compactor.Clean(ValidWriteIdList::All(1));
+    }
+    // (c) ACID, uncompacted: 20 insert deltas + 4 delete deltas.
+    {
+      const int kDeltas = 20;
+      for (int d = 0; d < kDeltas; ++d) {
+        AcidWriter writer(&fs, "/acid_deltas", schema, d + 1);
+        for (int64_t i = d * (kRows / kDeltas);
+             i < (d + 1) * static_cast<int64_t>(kRows / kDeltas); ++i)
+          writer.Insert(Row(i));
+        writer.Commit();
+      }
+      for (int d = 0; d < 4; ++d) {
+        AcidWriter writer(&fs, "/acid_deltas", schema, kDeltas + d + 1);
+        for (int64_t r = 0; r < 50; ++r)
+          writer.Delete({d * 3 + 1, 0, r * 7});
+        writer.Commit();
+      }
+    }
+  }
+};
+
+AcidBenchState& State() {
+  static auto* state = new AcidBenchState();
+  return *state;
+}
+
+int64_t ScanPlain(FileSystem* fs) {
+  auto reader = CofReader::Open(fs, "/plain/file_0000");
+  int64_t rows = 0;
+  for (size_t rg = 0; rg < (*reader)->num_row_groups(); ++rg) {
+    auto batch = (*reader)->ReadRowGroup(rg, {0, 1, 2});
+    rows += static_cast<int64_t>(batch->num_rows());
+  }
+  return rows;
+}
+
+int64_t ScanAcid(FileSystem* fs, const Schema& schema, const std::string& dir,
+                 int64_t hwm) {
+  AcidReader reader(fs, dir, schema);
+  reader.Open(ValidWriteIdList::All(hwm), {});
+  int64_t rows = 0;
+  bool done = false;
+  for (;;) {
+    auto batch = reader.NextBatch(&done);
+    if (done) break;
+    rows += static_cast<int64_t>(batch->SelectedSize());
+  }
+  return rows;
+}
+
+void BM_ScanNonAcid(benchmark::State& state) {
+  auto& s = State();
+  for (auto _ : state) benchmark::DoNotOptimize(ScanPlain(&s.fs));
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_ScanNonAcid)->Unit(benchmark::kMillisecond);
+
+void BM_ScanAcidCompacted(benchmark::State& state) {
+  auto& s = State();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ScanAcid(&s.fs, s.schema, "/acid_compacted", 1));
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_ScanAcidCompacted)->Unit(benchmark::kMillisecond);
+
+void BM_ScanAcidManyDeltas(benchmark::State& state) {
+  auto& s = State();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ScanAcid(&s.fs, s.schema, "/acid_deltas", 24));
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_ScanAcidManyDeltas)->Unit(benchmark::kMillisecond);
+
+/// Sarg pushdown works identically on ACID and non-ACID paths: a selective
+/// point lookup skips the same row groups.
+void BM_AcidPointLookup(benchmark::State& state) {
+  auto& s = State();
+  for (auto _ : state) {
+    AcidReader reader(&s.fs, "/acid_compacted", s.schema);
+    AcidScanOptions options;
+    options.sarg.conjuncts.push_back(
+        {"k", SargOp::kEq, {Value::Bigint(12345)}, nullptr});
+    reader.Open(ValidWriteIdList::All(1), options);
+    bool done = false;
+    int64_t rows = 0;
+    for (;;) {
+      auto batch = reader.NextBatch(&done);
+      if (done) break;
+      rows += static_cast<int64_t>(batch->SelectedSize());
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_AcidPointLookup)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace hive
+
+BENCHMARK_MAIN();

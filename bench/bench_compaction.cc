@@ -1,0 +1,108 @@
+// Section 3.2 ablation: read latency as delta directories accumulate, and
+// the effect of minor/major compaction. Reproduces the rationale the paper
+// gives for periodic compaction: fewer directories, less merge effort at
+// read time, shorter snapshots.
+
+#include <benchmark/benchmark.h>
+
+#include "fs/mem_filesystem.h"
+#include "storage/acid.h"
+
+namespace hive {
+namespace {
+
+Schema TableSchema() {
+  Schema s;
+  s.AddField("k", DataType::Bigint());
+  s.AddField("v", DataType::Bigint());
+  return s;
+}
+
+/// Builds a table with `num_deltas` committed single-write-id deltas plus a
+/// spread of delete deltas, optionally compacted.
+std::string BuildTable(MemFileSystem* fs, int num_deltas, bool minor, bool major) {
+  static int sequence = 0;
+  std::string dir = "/t" + std::to_string(sequence++);
+  Schema schema = TableSchema();
+  const int rows_per_delta = 2000;
+  for (int d = 0; d < num_deltas; ++d) {
+    AcidWriter writer(fs, dir, schema, d + 1);
+    for (int64_t i = 0; i < rows_per_delta; ++i)
+      writer.Insert({Value::Bigint(d * rows_per_delta + i), Value::Bigint(i % 97)});
+    if (d % 3 == 1) {
+      for (int64_t r = 0; r < 20; ++r) writer.Delete({d, 0, r * 3});
+    }
+    writer.Commit();
+  }
+  ValidWriteIdList snapshot = ValidWriteIdList::All(num_deltas);
+  Compactor compactor(fs, dir, schema);
+  if (minor) {
+    compactor.RunMinor(snapshot);
+    compactor.Clean(snapshot);
+  }
+  if (major) {
+    compactor.RunMajor(snapshot);
+    compactor.Clean(snapshot);
+  }
+  return dir;
+}
+
+int64_t Scan(MemFileSystem* fs, const std::string& dir, int hwm) {
+  AcidReader reader(fs, dir, TableSchema());
+  reader.Open(ValidWriteIdList::All(hwm), {});
+  bool done = false;
+  int64_t rows = 0;
+  for (;;) {
+    auto batch = reader.NextBatch(&done);
+    if (done) break;
+    rows += static_cast<int64_t>(batch->SelectedSize());
+  }
+  return rows;
+}
+
+void BM_ScanWithDeltas(benchmark::State& state) {
+  static MemFileSystem fs;
+  int deltas = static_cast<int>(state.range(0));
+  std::string dir = BuildTable(&fs, deltas, false, false);
+  for (auto _ : state) benchmark::DoNotOptimize(Scan(&fs, dir, deltas));
+  state.counters["deltas"] = deltas;
+}
+BENCHMARK(BM_ScanWithDeltas)->Arg(1)->Arg(5)->Arg(20)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScanAfterMinorCompaction(benchmark::State& state) {
+  static MemFileSystem fs;
+  int deltas = static_cast<int>(state.range(0));
+  std::string dir = BuildTable(&fs, deltas, true, false);
+  for (auto _ : state) benchmark::DoNotOptimize(Scan(&fs, dir, deltas));
+  state.counters["deltas"] = deltas;
+}
+BENCHMARK(BM_ScanAfterMinorCompaction)->Arg(20)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScanAfterMajorCompaction(benchmark::State& state) {
+  static MemFileSystem fs;
+  int deltas = static_cast<int>(state.range(0));
+  std::string dir = BuildTable(&fs, deltas, false, true);
+  for (auto _ : state) benchmark::DoNotOptimize(Scan(&fs, dir, deltas));
+  state.counters["deltas"] = deltas;
+}
+BENCHMARK(BM_ScanAfterMajorCompaction)->Arg(20)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MinorCompactionCost(benchmark::State& state) {
+  static MemFileSystem fs;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = BuildTable(&fs, 20, false, false);
+    Compactor compactor(&fs, dir, TableSchema());
+    state.ResumeTiming();
+    compactor.RunMinor(ValidWriteIdList::All(20));
+  }
+}
+BENCHMARK(BM_MinorCompactionCost)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hive
+
+BENCHMARK_MAIN();

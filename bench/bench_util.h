@@ -1,0 +1,52 @@
+#ifndef HIVE_BENCH_BENCH_UTIL_H_
+#define HIVE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "fs/mem_filesystem.h"
+#include "server/hive_server.h"
+#include "workloads/ssb.h"
+#include "workloads/tpcds.h"
+
+namespace hive::bench {
+
+/// Measured execution of one statement: wall-clock work plus the modeled
+/// cluster latency charged to the virtual clock (container start-up, MR
+/// shuffle materialization). Reported together, as a real deployment's user
+/// would perceive them.
+struct Timing {
+  bool ok = false;
+  bool unsupported = false;
+  double millis = 0;
+  QueryResult result;
+};
+
+inline Timing RunTimed(HiveServer2* server, Session* session, const std::string& sql) {
+  Timing t;
+  int64_t wall0 = SimClock::WallMicros();
+  int64_t virt0 = server->clock()->virtual_us();
+  auto r = server->Execute(session, sql);
+  int64_t wall = SimClock::WallMicros() - wall0;
+  int64_t virt = server->clock()->virtual_us() - virt0;
+  if (!r.ok()) {
+    t.unsupported = r.status().IsNotSupported();
+    if (!t.unsupported)
+      std::fprintf(stderr, "query failed: %s\n  %s\n", r.status().ToString().c_str(),
+                   sql.substr(0, 120).c_str());
+    return t;
+  }
+  t.ok = true;
+  t.millis = static_cast<double>(wall + virt) / 1000.0;
+  t.result = std::move(*r);
+  return t;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace hive::bench
+
+#endif  // HIVE_BENCH_BENCH_UTIL_H_

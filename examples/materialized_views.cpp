@@ -1,0 +1,92 @@
+// Materialized view walkthrough (Section 4.4): Figure 4's view definition,
+// full- and partial-containment rewrites, staleness, and incremental
+// maintenance.
+//
+//   $ ./example_materialized_views
+
+#include <cstdio>
+
+#include "fs/mem_filesystem.h"
+#include "server/hive_server.h"
+
+using namespace hive;
+
+int main() {
+  MemFileSystem fs;
+  HiveServer2 server(&fs);
+  Session* session = server.OpenSession("mv-demo");
+  session->config.result_cache_enabled = false;  // watch the MV, not the cache
+
+  auto run = [&](const std::string& sql) {
+    auto r = server.Execute(session, sql);
+    if (!r.ok()) std::printf("ERROR: %s\n", r.status().ToString().c_str());
+    return r.ok() ? *r : QueryResult{};
+  };
+
+  // Figure 4's schema: store_sales fact + date_dim dimension.
+  run("CREATE TABLE date_dim (d_date_sk INT, d_year INT, d_moy INT, d_dom INT)");
+  run("CREATE TABLE store_sales (ss_sold_date_sk INT, ss_sales_price DECIMAL(7,2))");
+  std::string dates = "INSERT INTO date_dim VALUES ", sales = "INSERT INTO store_sales VALUES ";
+  int sk = 0;
+  for (int year = 2016; year <= 2018; ++year)
+    for (int moy = 1; moy <= 12; ++moy) {
+      if (sk) { dates += ", "; sales += ", "; }
+      dates += "(" + std::to_string(sk) + ", " + std::to_string(year) + ", " +
+               std::to_string(moy) + ", 15)";
+      sales += "(" + std::to_string(sk) + ", " + std::to_string(100 + sk) + ".50)";
+      ++sk;
+    }
+  run(dates);
+  run(sales);
+
+  // Figure 4a: the materialized view.
+  run("CREATE MATERIALIZED VIEW mat_view AS "
+      "SELECT d_year, d_moy, d_dom, SUM(ss_sales_price) AS sum_sales "
+      "FROM store_sales, date_dim "
+      "WHERE ss_sold_date_sk = d_date_sk AND d_year > 2017 "
+      "GROUP BY d_year, d_moy, d_dom");
+
+  // Figure 4b: a fully contained query -> answered from the view.
+  QueryResult q1 = run(
+      "SELECT SUM(ss_sales_price) AS sum_sales FROM store_sales, date_dim "
+      "WHERE ss_sold_date_sk = d_date_sk AND d_year = 2018 AND d_moy IN (1, 2, 3)");
+  std::printf("q1 (full containment):   rewritten=%s  sum=%s\n",
+              q1.mv_rewrites_used ? "yes" : "no", q1.rows[0][0].ToString().c_str());
+
+  // Figure 4c: a wider filter -> MV part UNION ALL the complement from the
+  // source tables, re-aggregated on top.
+  QueryResult q2 = run(
+      "SELECT d_year, d_moy, SUM(ss_sales_price) AS sum_sales "
+      "FROM store_sales, date_dim "
+      "WHERE ss_sold_date_sk = d_date_sk AND d_year > 2016 "
+      "GROUP BY d_year, d_moy");
+  std::printf("q2 (partial containment): rewritten=%s  groups=%zu\n",
+              q2.mv_rewrites_used ? "yes" : "no", q2.rows.size());
+
+  // New data makes the view stale: rewriting stops until REBUILD.
+  run("INSERT INTO store_sales VALUES (35, 999.99)");
+  QueryResult stale = run(
+      "SELECT SUM(ss_sales_price) AS sum_sales FROM store_sales, date_dim "
+      "WHERE ss_sold_date_sk = d_date_sk AND d_year = 2018 AND d_moy IN (1, 2, 3)");
+  std::printf("after insert (stale MV):  rewritten=%s\n",
+              stale.mv_rewrites_used ? "yes" : "no");
+
+  run("ALTER MATERIALIZED VIEW mat_view REBUILD");
+  QueryResult fresh = run(
+      "SELECT SUM(ss_sales_price) AS sum_sales FROM store_sales, date_dim "
+      "WHERE ss_sold_date_sk = d_date_sk AND d_year = 2018 AND d_moy IN (1, 2, 3)");
+  std::printf("after REBUILD:            rewritten=%s  sum=%s\n",
+              fresh.mv_rewrites_used ? "yes" : "no",
+              fresh.rows[0][0].ToString().c_str());
+
+  // Incremental maintenance: SPJ views absorb insert-only history without a
+  // full recompute (the rebuild row count equals the delta, not the table).
+  run("CREATE MATERIALIZED VIEW recent_sales AS "
+      "SELECT ss_sold_date_sk, ss_sales_price FROM store_sales "
+      "WHERE ss_sold_date_sk >= 24");
+  run("INSERT INTO store_sales VALUES (30, 1.00), (31, 2.00)");
+  QueryResult incremental = run("ALTER MATERIALIZED VIEW recent_sales REBUILD");
+  std::printf("incremental rebuild ingested %lld delta row(s)\n",
+              (long long)incremental.rows_affected);
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "common/bloom_filter.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/serde.h"
+
+namespace hive {
+
+BloomFilter::BloomFilter(uint64_t expected_entries, double fpp) {
+  if (expected_entries == 0) expected_entries = 1;
+  if (fpp <= 0 || fpp >= 1) fpp = 0.03;
+  double bits = -static_cast<double>(expected_entries) * std::log(fpp) /
+                (std::log(2.0) * std::log(2.0));
+  num_bits_ = static_cast<uint64_t>(bits) | 63;  // round up to word multiple
+  num_bits_ += 1;
+  num_hashes_ = std::max(1, static_cast<int>(std::round(
+                                bits / expected_entries * std::log(2.0))));
+  if (num_hashes_ > 16) num_hashes_ = 16;
+  bits_.assign(num_bits_ / 64, 0);
+}
+
+void BloomFilter::AddHash(uint64_t h) {
+  uint64_t h1 = h;
+  uint64_t h2 = (h >> 17) | (h << 47);
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % num_bits_;
+    bits_[bit >> 6] |= (1ULL << (bit & 63));
+  }
+}
+
+bool BloomFilter::MightContainHash(uint64_t h) const {
+  uint64_t h1 = h;
+  uint64_t h2 = (h >> 17) | (h << 47);
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % num_bits_;
+    if ((bits_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::AddInt64(int64_t v) { AddHash(Murmur64(&v, sizeof v, 0x5eed)); }
+bool BloomFilter::MightContainInt64(int64_t v) const {
+  return MightContainHash(Murmur64(&v, sizeof v, 0x5eed));
+}
+void BloomFilter::AddString(const std::string& s) {
+  AddHash(Murmur64(s.data(), s.size(), 0x5eed));
+}
+bool BloomFilter::MightContainString(const std::string& s) const {
+  return MightContainHash(Murmur64(s.data(), s.size(), 0x5eed));
+}
+
+Status BloomFilter::MergeFrom(const BloomFilter& other) {
+  if (other.num_bits_ != num_bits_ || other.num_hashes_ != num_hashes_)
+    return Status::InvalidArgument("bloom geometry mismatch");
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  return Status::OK();
+}
+
+void BloomFilter::Serialize(std::string* out) const {
+  serde::PutU64(out, num_bits_);
+  serde::PutU32(out, static_cast<uint32_t>(num_hashes_));
+  serde::PutU64(out, bits_.size());
+  size_t base = out->size();
+  out->resize(base + bits_.size() * 8);
+  std::memcpy(out->data() + base, bits_.data(), bits_.size() * 8);
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(const std::string& data, size_t* offset) {
+  BloomFilter bf(1, 0.03);
+  uint64_t nbits, nwords;
+  uint32_t nhashes;
+  if (!serde::GetU64(data, offset, &nbits) ||
+      !serde::GetU32(data, offset, &nhashes) ||
+      !serde::GetU64(data, offset, &nwords))
+    return Status::Corruption("bloom header");
+  if (*offset + nwords * 8 > data.size()) return Status::Corruption("bloom bits");
+  bf.num_bits_ = nbits;
+  bf.num_hashes_ = static_cast<int>(nhashes);
+  bf.bits_.assign(nwords, 0);
+  std::memcpy(bf.bits_.data(), data.data() + *offset, nwords * 8);
+  *offset += nwords * 8;
+  return bf;
+}
+
+}  // namespace hive

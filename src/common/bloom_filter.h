@@ -1,0 +1,55 @@
+#ifndef HIVE_COMMON_BLOOM_FILTER_H_
+#define HIVE_COMMON_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hive {
+
+/// Standard k-hash Bloom filter. Used in two places that mirror the paper:
+/// (i) per-row-group filters embedded in COF files for sarg pushdown, and
+/// (ii) dynamic semijoin reducers built at runtime (Section 4.6).
+///
+/// Double hashing (Kirsch-Mitzenmacher) over a single Murmur64 pass keeps
+/// insert/query cheap. Serializable so COF files can embed it.
+class BloomFilter {
+ public:
+  BloomFilter() : BloomFilter(1024, 0.03) {}
+
+  /// Sizes the filter for `expected_entries` at false positive rate `fpp`.
+  BloomFilter(uint64_t expected_entries, double fpp);
+
+  void AddHash(uint64_t h);
+  bool MightContainHash(uint64_t h) const;
+
+  void Add(const Value& v) { AddHash(v.Hash()); }
+  bool MightContain(const Value& v) const { return MightContainHash(v.Hash()); }
+
+  void AddInt64(int64_t v);
+  bool MightContainInt64(int64_t v) const;
+  void AddString(const std::string& s);
+  bool MightContainString(const std::string& s) const;
+
+  /// Merges another filter built with identical geometry.
+  Status MergeFrom(const BloomFilter& other);
+
+  uint64_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  size_t SizeBytes() const { return bits_.size() * 8; }
+
+  /// Binary round-trip for embedding in file footers.
+  void Serialize(std::string* out) const;
+  static Result<BloomFilter> Deserialize(const std::string& data, size_t* offset);
+
+ private:
+  uint64_t num_bits_;
+  int num_hashes_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_BLOOM_FILTER_H_

@@ -1,0 +1,94 @@
+#ifndef HIVE_COMMON_CONFIG_H_
+#define HIVE_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hive {
+
+/// Session/engine configuration. The keys mirror the Hive knobs that the
+/// paper's experiments toggle; the defaults correspond to the "Hive 3.1"
+/// configuration. The Figure 7 baseline ("Hive 1.2 mode") is produced by
+/// flipping the execution/optimizer flags via `SetLegacyV12Mode()`.
+class Config {
+ public:
+  Config() = default;
+
+  // --- execution runtime ---
+  /// "tez" (DAG runtime) or "mr" (stage-materializing MapReduce emulation).
+  std::string execution_engine = "tez";
+  /// LLAP daemons: persistent executors + data cache (Section 5.1).
+  bool llap_enabled = true;
+  /// Simulated YARN container allocation latency charged per container
+  /// launch when LLAP is off (microseconds of virtual time).
+  int64_t container_startup_us = 150000;
+  /// Extra per-stage materialization cost factor in MR mode: each stage
+  /// writes its shuffle output through the file system.
+  bool mr_materialize_shuffle = true;
+  /// Worker parallelism (stand-in for cluster executors).
+  int num_executors = 4;
+  /// Rows per vectorized batch.
+  int vector_batch_size = 1024;
+  /// Memory guard on hash-join build sides (rows); exceeding it raises an
+  /// execution error, the trigger for query re-optimization (Section 4.2).
+  int64_t join_build_row_limit = INT64_MAX;
+
+  // --- optimizer ---
+  /// Cost-based optimization (join reordering etc., Section 4.1).
+  bool cbo_enabled = true;
+  /// Shared work optimizer (Section 4.5).
+  bool shared_work_enabled = true;
+  /// Dynamic semijoin reduction + Bloom pushdown (Section 4.6).
+  bool semijoin_reduction_enabled = true;
+  /// Dynamic partition pruning (Section 4.6).
+  bool dynamic_partition_pruning_enabled = true;
+  /// Materialized view based rewriting (Section 4.4).
+  bool materialized_view_rewriting_enabled = true;
+  /// Query result cache (Section 4.3).
+  bool result_cache_enabled = true;
+  /// Query reoptimization on execution error (Section 4.2): "off",
+  /// "overlay" or "reoptimize".
+  std::string reexecution_strategy = "reoptimize";
+  /// Max joins considered by exhaustive join reordering before falling back
+  /// to a greedy heuristic.
+  int join_reorder_max_relations = 7;
+
+  // --- SQL compatibility ---
+  /// When true, reject SQL constructs Hive 1.2 lacked (set operations,
+  /// correlated scalar subqueries with non-equi conditions, ...). Used to
+  /// reproduce the "only 50 of 99 queries run" effect in Figure 7.
+  bool legacy_sql_only = false;
+
+  // --- LLAP cache ---
+  int64_t llap_cache_capacity_bytes = 256LL << 20;
+  double llap_lrfu_lambda = 0.05;
+  int llap_io_threads = 2;
+
+  // --- ACID ---
+  /// Delta-file count threshold that triggers minor compaction.
+  int compaction_delta_threshold = 10;
+  /// delta/base size ratio that triggers major compaction.
+  double compaction_ratio_threshold = 0.1;
+
+  /// Switches every knob to the Hive v1.2-era configuration used as the
+  /// Figure 7 baseline: MapReduce-style runtime, no LLAP, rule-based-only
+  /// optimizer, no shared work / semijoin / result cache / MV rewriting,
+  /// restricted SQL surface.
+  void SetLegacyV12Mode() {
+    execution_engine = "mr";
+    llap_enabled = false;
+    cbo_enabled = false;
+    shared_work_enabled = false;
+    semijoin_reduction_enabled = false;
+    dynamic_partition_pruning_enabled = false;
+    materialized_view_rewriting_enabled = false;
+    result_cache_enabled = false;
+    reexecution_strategy = "off";
+    legacy_sql_only = true;
+  }
+};
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_CONFIG_H_

@@ -1,0 +1,39 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace hive {
+
+uint64_t Murmur64(const void* data, size_t len, uint64_t seed) {
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+  uint64_t h = seed ^ (len * m);
+
+  const auto* p = static_cast<const uint8_t*>(data);
+  const uint8_t* end = p + (len / 8) * 8;
+  while (p != end) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    p += 8;
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+  }
+
+  size_t tail = len & 7;
+  if (tail != 0) {
+    uint64_t k = 0;
+    std::memcpy(&k, p, tail);
+    h ^= k;
+    h *= m;
+  }
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+}  // namespace hive

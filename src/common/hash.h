@@ -1,0 +1,22 @@
+#ifndef HIVE_COMMON_HASH_H_
+#define HIVE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hive {
+
+/// 64-bit MurmurHash2-style hash used for join/group-by keys, Bloom filters
+/// and HyperLogLog sketches. Stable across runs (no ASLR-dependent seeding)
+/// so file-embedded Bloom filters remain valid.
+uint64_t Murmur64(const void* data, size_t len, uint64_t seed);
+
+/// Mix step for combining hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_HASH_H_

@@ -1,0 +1,80 @@
+#include "common/hll.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/serde.h"
+
+namespace hive {
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  if (precision_ < 4) precision_ = 4;
+  if (precision_ > 16) precision_ = 16;
+  registers_.assign(1u << precision_, 0);
+}
+
+void HyperLogLog::AddHash(uint64_t h) {
+  uint32_t idx = static_cast<uint32_t>(h >> (64 - precision_));
+  uint64_t rest = h << precision_;
+  // Rank = position of leftmost 1-bit in the remaining bits, 1-based.
+  int rank = rest == 0 ? (64 - precision_ + 1) : (__builtin_clzll(rest) + 1);
+  if (rank > registers_[idx]) registers_[idx] = static_cast<uint8_t>(rank);
+}
+
+void HyperLogLog::AddInt64(int64_t v) { AddHash(Murmur64(&v, sizeof v, 0x5eed)); }
+void HyperLogLog::AddString(const std::string& s) {
+  AddHash(Murmur64(s.data(), s.size(), 0x5eed));
+}
+
+uint64_t HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() >= 128) {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else {
+    alpha = 0.673;
+  }
+  double sum = 0;
+  int zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -r);
+    if (r == 0) ++zeros;
+  }
+  double est = alpha * m * m / sum;
+  if (est <= 2.5 * m && zeros != 0) {
+    // Linear counting correction for small cardinalities.
+    est = m * std::log(m / zeros);
+  }
+  return static_cast<uint64_t>(est + 0.5);
+}
+
+Status HyperLogLog::MergeFrom(const HyperLogLog& other) {
+  if (other.precision_ != precision_)
+    return Status::InvalidArgument("HLL precision mismatch");
+  for (size_t i = 0; i < registers_.size(); ++i)
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  return Status::OK();
+}
+
+void HyperLogLog::Serialize(std::string* out) const {
+  serde::PutU32(out, static_cast<uint32_t>(precision_));
+  out->append(reinterpret_cast<const char*>(registers_.data()), registers_.size());
+}
+
+Result<HyperLogLog> HyperLogLog::Deserialize(const std::string& data, size_t* offset) {
+  uint32_t p;
+  if (!serde::GetU32(data, offset, &p)) return Status::Corruption("hll header");
+  HyperLogLog hll(static_cast<int>(p));
+  size_t n = 1u << hll.precision_;
+  if (*offset + n > data.size()) return Status::Corruption("hll registers");
+  for (size_t i = 0; i < n; ++i)
+    hll.registers_[i] = static_cast<uint8_t>(data[*offset + i]);
+  *offset += n;
+  return hll;
+}
+
+}  // namespace hive

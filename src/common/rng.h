@@ -1,0 +1,42 @@
+#ifndef HIVE_COMMON_RNG_H_
+#define HIVE_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace hive {
+
+/// Deterministic xorshift128+ generator used by the workload generators so
+/// benchmark datasets are reproducible across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    s0_ = seed ^ 0x9e3779b97f4a7c15ULL;
+    s1_ = seed * 0xbf58476d1ce4e5b9ULL + 1;
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_RNG_H_

@@ -1,0 +1,63 @@
+#include "common/schema.h"
+
+#include <cctype>
+
+#include "common/serde.h"
+
+namespace hive {
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  std::string needle = ToLower(name);
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (ToLower(fields_[i].name) == needle) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name + " " + fields_[i].type.ToString();
+  }
+  out += ")";
+  return out;
+}
+
+void Schema::Serialize(std::string* out) const {
+  serde::PutU32(out, static_cast<uint32_t>(fields_.size()));
+  for (const Field& f : fields_) {
+    serde::PutString(out, f.name);
+    serde::PutU32(out, static_cast<uint32_t>(f.type.kind));
+    serde::PutU32(out, static_cast<uint32_t>(f.type.precision));
+    serde::PutU32(out, static_cast<uint32_t>(f.type.scale));
+  }
+}
+
+Result<Schema> Schema::Deserialize(const std::string& data, size_t* offset) {
+  uint32_t n;
+  if (!serde::GetU32(data, offset, &n)) return Status::Corruption("schema count");
+  Schema schema;
+  for (uint32_t i = 0; i < n; ++i) {
+    Field f;
+    uint32_t kind, prec, scale;
+    if (!serde::GetString(data, offset, &f.name) ||
+        !serde::GetU32(data, offset, &kind) ||
+        !serde::GetU32(data, offset, &prec) ||
+        !serde::GetU32(data, offset, &scale))
+      return Status::Corruption("schema field");
+    f.type.kind = static_cast<TypeKind>(kind);
+    f.type.precision = static_cast<int16_t>(prec);
+    f.type.scale = static_cast<int16_t>(scale);
+    schema.AddField(std::move(f.name), f.type);
+  }
+  return schema;
+}
+
+}  // namespace hive

@@ -1,0 +1,56 @@
+#ifndef HIVE_COMMON_SCHEMA_H_
+#define HIVE_COMMON_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hive {
+
+/// A named, typed column.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& o) const { return name == o.name && type == o.type; }
+};
+
+/// Ordered list of fields. Column name lookup is case-insensitive, matching
+/// HiveQL identifier semantics.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  void AddField(std::string name, DataType type) {
+    fields_.push_back({std::move(name), type});
+  }
+
+  /// Case-insensitive index lookup; nullopt when absent.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& o) const { return fields_ == o.fields_; }
+
+  /// "(a BIGINT, b STRING)" rendering for EXPLAIN and error messages.
+  std::string ToString() const;
+
+  void Serialize(std::string* out) const;
+  static Result<Schema> Deserialize(const std::string& data, size_t* offset);
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// Lower-cases ASCII; identifier normalization helper.
+std::string ToLower(const std::string& s);
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_SCHEMA_H_

@@ -1,0 +1,66 @@
+#ifndef HIVE_COMMON_SERDE_H_
+#define HIVE_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace hive::serde {
+
+/// Little-endian fixed-width and length-prefixed primitives used by the COF
+/// file format, Bloom/HLL sketches and metastore persistence. All Get*
+/// helpers advance *offset and return false on truncation.
+
+inline void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+inline void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+inline void PutI64(std::string* out, int64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+inline void PutF64(std::string* out, double v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+inline void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+inline bool GetU32(const std::string& in, size_t* offset, uint32_t* v) {
+  if (*offset + sizeof *v > in.size()) return false;
+  std::memcpy(v, in.data() + *offset, sizeof *v);
+  *offset += sizeof *v;
+  return true;
+}
+inline bool GetU64(const std::string& in, size_t* offset, uint64_t* v) {
+  if (*offset + sizeof *v > in.size()) return false;
+  std::memcpy(v, in.data() + *offset, sizeof *v);
+  *offset += sizeof *v;
+  return true;
+}
+inline bool GetI64(const std::string& in, size_t* offset, int64_t* v) {
+  if (*offset + sizeof *v > in.size()) return false;
+  std::memcpy(v, in.data() + *offset, sizeof *v);
+  *offset += sizeof *v;
+  return true;
+}
+inline bool GetF64(const std::string& in, size_t* offset, double* v) {
+  if (*offset + sizeof *v > in.size()) return false;
+  std::memcpy(v, in.data() + *offset, sizeof *v);
+  *offset += sizeof *v;
+  return true;
+}
+inline bool GetString(const std::string& in, size_t* offset, std::string* s) {
+  uint32_t n;
+  if (!GetU32(in, offset, &n)) return false;
+  if (*offset + n > in.size()) return false;
+  s->assign(in.data() + *offset, n);
+  *offset += n;
+  return true;
+}
+
+}  // namespace hive::serde
+
+#endif  // HIVE_COMMON_SERDE_H_

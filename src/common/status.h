@@ -1,0 +1,108 @@
+#ifndef HIVE_COMMON_STATUS_H_
+#define HIVE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace hive {
+
+/// Error categories used across the system. Mirrors the RocksDB-style
+/// status idiom: no exceptions on hot paths, every fallible operation
+/// returns a Status (or Result<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kCorruption,
+  kNotSupported,      // e.g. SQL features missing in the v1.2 compatibility mode
+  kTxnAborted,        // transaction conflict / explicit abort
+  kLockTimeout,
+  kParseError,
+  kPlanError,
+  kExecError,
+  kResourceExhausted, // workload manager rejections / kills
+  kInternal,
+};
+
+/// Lightweight status object. Ok status carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status IoError(std::string m) { return {StatusCode::kIoError, std::move(m)}; }
+  static Status Corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
+  static Status NotSupported(std::string m) { return {StatusCode::kNotSupported, std::move(m)}; }
+  static Status TxnAborted(std::string m) { return {StatusCode::kTxnAborted, std::move(m)}; }
+  static Status LockTimeout(std::string m) { return {StatusCode::kLockTimeout, std::move(m)}; }
+  static Status ParseError(std::string m) { return {StatusCode::kParseError, std::move(m)}; }
+  static Status PlanError(std::string m) { return {StatusCode::kPlanError, std::move(m)}; }
+  static Status ExecError(std::string m) { return {StatusCode::kExecError, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsTxnAborted() const { return code_ == StatusCode::kTxnAborted; }
+  bool IsExecError() const { return code_ == StatusCode::kExecError; }
+
+  /// "OK" or "<code>: <message>" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value or an error status. Minimal StatusOr-style wrapper.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status s) : status_(std::move(s)) {}                           // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T& operator*() { return value_; }
+  const T& operator*() const { return value_; }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK Status from an expression.
+#define HIVE_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::hive::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Evaluates a Result<T> expression and assigns its value, or propagates
+/// the error. Usage: HIVE_ASSIGN_OR_RETURN(auto v, Foo());
+#define HIVE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp.value())
+#define HIVE_ASSIGN_OR_RETURN(lhs, expr) \
+  HIVE_ASSIGN_OR_RETURN_IMPL(HIVE_CONCAT_(_res, __LINE__), lhs, expr)
+#define HIVE_CONCAT_(a, b) HIVE_CONCAT_IMPL_(a, b)
+#define HIVE_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_STATUS_H_

@@ -1,0 +1,45 @@
+#ifndef HIVE_COMMON_THREAD_POOL_H_
+#define HIVE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hive {
+
+/// Fixed-size worker pool. The exec DAG scheduler uses one pool to stand in
+/// for YARN containers, and LLAP daemons embed one as their executor set.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks run FIFO across workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_THREAD_POOL_H_

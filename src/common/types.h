@@ -1,0 +1,151 @@
+#ifndef HIVE_COMMON_TYPES_H_
+#define HIVE_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hive {
+
+/// Physical/logical type kinds supported by the engine. Mirrors the atomic
+/// SQL types the paper's SQL dialect exercises. BIGINT is the only integer
+/// width (Hive INT/BIGINT both map here); DECIMAL is a scaled int64.
+enum class TypeKind : uint8_t {
+  kNull = 0,
+  kBoolean,
+  kBigint,
+  kDouble,
+  kDecimal,    // unscaled int64 payload + (precision, scale)
+  kString,
+  kDate,       // int64 days since 1970-01-01
+  kTimestamp,  // int64 microseconds since epoch
+};
+
+/// A SQL data type: kind plus decimal precision/scale when applicable.
+struct DataType {
+  TypeKind kind = TypeKind::kNull;
+  int16_t precision = 0;
+  int16_t scale = 0;
+
+  static DataType Null() { return {TypeKind::kNull, 0, 0}; }
+  static DataType Boolean() { return {TypeKind::kBoolean, 0, 0}; }
+  static DataType Bigint() { return {TypeKind::kBigint, 0, 0}; }
+  static DataType Double() { return {TypeKind::kDouble, 0, 0}; }
+  static DataType Decimal(int p, int s) {
+    return {TypeKind::kDecimal, static_cast<int16_t>(p), static_cast<int16_t>(s)};
+  }
+  static DataType String() { return {TypeKind::kString, 0, 0}; }
+  static DataType Date() { return {TypeKind::kDate, 0, 0}; }
+  static DataType Timestamp() { return {TypeKind::kTimestamp, 0, 0}; }
+
+  bool IsNumeric() const {
+    return kind == TypeKind::kBigint || kind == TypeKind::kDouble ||
+           kind == TypeKind::kDecimal;
+  }
+  bool IsIntegerBacked() const {
+    return kind == TypeKind::kBigint || kind == TypeKind::kDate ||
+           kind == TypeKind::kTimestamp || kind == TypeKind::kDecimal ||
+           kind == TypeKind::kBoolean;
+  }
+
+  bool operator==(const DataType& o) const {
+    return kind == o.kind && precision == o.precision && scale == o.scale;
+  }
+  bool operator!=(const DataType& o) const { return !(*this == o); }
+
+  /// SQL-ish rendering, e.g. "DECIMAL(7,2)".
+  std::string ToString() const;
+};
+
+/// A nullable scalar value. Strings own their bytes; integer-backed kinds
+/// share the i64 payload (decimal stores the unscaled value with the scale
+/// recorded alongside so cross-scale comparison works).
+class Value {
+ public:
+  Value() : kind_(TypeKind::kNull), null_(true) {}
+
+  static Value Null() { return Value(); }
+  static Value Boolean(bool v) { Value x(TypeKind::kBoolean); x.i64_ = v ? 1 : 0; return x; }
+  static Value Bigint(int64_t v) { Value x(TypeKind::kBigint); x.i64_ = v; return x; }
+  static Value Double(double v) { Value x(TypeKind::kDouble); x.f64_ = v; return x; }
+  static Value Decimal(int64_t unscaled, int scale) {
+    Value x(TypeKind::kDecimal); x.i64_ = unscaled; x.scale_ = static_cast<int16_t>(scale); return x;
+  }
+  static Value String(std::string v) { Value x(TypeKind::kString); x.str_ = std::move(v); return x; }
+  static Value Date(int64_t days) { Value x(TypeKind::kDate); x.i64_ = days; return x; }
+  static Value Timestamp(int64_t micros) { Value x(TypeKind::kTimestamp); x.i64_ = micros; return x; }
+
+  bool is_null() const { return null_; }
+  TypeKind kind() const { return kind_; }
+  int scale() const { return scale_; }
+
+  bool bool_value() const { return i64_ != 0; }
+  int64_t i64() const { return i64_; }
+  double f64() const { return f64_; }
+  const std::string& str() const { return str_; }
+
+  /// Numeric view regardless of backing kind (decimal is descaled).
+  double AsDouble() const;
+  /// Integer view; doubles are truncated.
+  int64_t AsInt64() const;
+
+  /// Total ordering used by ORDER BY / min-max indexes: nulls first, then by
+  /// value. Comparing numeric kinds cross-kind is allowed; other cross-kind
+  /// comparisons order by kind id. Returns <0, 0, >0.
+  static int Compare(const Value& a, const Value& b);
+
+  /// Hash for group-by / join keys. Equal values (incl. cross numeric kind
+  /// integral equality) hash equal by first normalizing.
+  uint64_t Hash() const;
+
+  bool operator==(const Value& o) const { return Compare(*this, o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(*this, o) != 0; }
+  bool operator<(const Value& o) const { return Compare(*this, o) < 0; }
+
+  /// SQL literal rendering ("NULL", quoted strings, ISO dates...).
+  std::string ToString() const;
+
+  /// Parses text into a value of the requested type. Empty/"\\N" -> NULL.
+  static Result<Value> Parse(const std::string& text, const DataType& type);
+
+  /// Best-effort cast between kinds (numeric widen/narrow, string parse).
+  Result<Value> CastTo(const DataType& type) const;
+
+ private:
+  explicit Value(TypeKind k) : kind_(k), null_(false) {}
+
+  TypeKind kind_;
+  bool null_ = true;
+  int16_t scale_ = 0;
+  int64_t i64_ = 0;
+  double f64_ = 0;
+  std::string str_;
+};
+
+/// --- Civil date/time helpers (Howard Hinnant's algorithms) ---
+
+/// days since 1970-01-01 for a proleptic Gregorian date.
+int64_t DaysFromCivil(int y, unsigned m, unsigned d);
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d);
+/// Parse "YYYY-MM-DD" into days-since-epoch.
+Result<int64_t> ParseDate(const std::string& s);
+/// Parse "YYYY-MM-DD[ HH:MM:SS]" into micros-since-epoch.
+Result<int64_t> ParseTimestamp(const std::string& s);
+/// Render days-since-epoch as "YYYY-MM-DD".
+std::string FormatDate(int64_t days);
+/// Render micros-since-epoch as "YYYY-MM-DD HH:MM:SS".
+std::string FormatTimestamp(int64_t micros);
+
+/// Extract a field (YEAR, MONTH, DAY, HOUR...) from a date/timestamp value.
+enum class DateField { kYear, kQuarter, kMonth, kDay, kHour, kMinute, kSecond };
+int64_t ExtractDateField(DateField f, const Value& v);
+
+/// Power-of-ten table for decimal rescaling (10^0 .. 10^18).
+int64_t Pow10(int n);
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_TYPES_H_

@@ -1,0 +1,171 @@
+#include "common/hash.h"
+#include "exec/operators.h"
+#include "exec/vector_eval.h"
+#include "optimizer/expr_eval.h"
+
+namespace hive {
+
+HashAggregateOperator::HashAggregateOperator(ExecContext* ctx, OperatorPtr child,
+                                             std::vector<ExprPtr> keys,
+                                             std::vector<AggCall> aggs, Schema schema)
+    : Operator(ctx),
+      child_(std::move(child)),
+      keys_(std::move(keys)),
+      aggs_(std::move(aggs)),
+      schema_(std::move(schema)) {}
+
+Status HashAggregateOperator::Open() { return child_->Open(); }
+
+Status HashAggregateOperator::Consume() {
+  bool done = false;
+  uint64_t bytes = 0;
+  for (;;) {
+    HIVE_RETURN_IF_ERROR(CheckCancelled());
+    HIVE_ASSIGN_OR_RETURN(RowBatch batch, child_->Next(&done));
+    if (done) break;
+    // Evaluate key and argument vectors once per batch.
+    std::vector<ColumnVectorPtr> key_cols;
+    for (const ExprPtr& k : keys_) {
+      HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*k, batch));
+      key_cols.push_back(std::move(col));
+    }
+    std::vector<ColumnVectorPtr> arg_cols(aggs_.size());
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      if (aggs_[a].arg) {
+        HIVE_ASSIGN_OR_RETURN(arg_cols[a], EvalVector(*aggs_[a].arg, batch));
+      }
+    }
+    for (size_t i = 0; i < batch.SelectedSize(); ++i) {
+      int32_t row = batch.SelectedRow(i);
+      std::vector<Value> keys;
+      keys.reserve(keys_.size());
+      for (const auto& col : key_cols) keys.push_back(col->GetValue(row));
+      uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (const Value& v : keys) h = HashCombine(h, v.Hash());
+
+      Group* group = nullptr;
+      auto& bucket = groups_[h];
+      for (Group& g : bucket) {
+        bool equal = g.keys.size() == keys.size();
+        for (size_t k = 0; k < keys.size() && equal; ++k)
+          if (Value::Compare(g.keys[k], keys[k]) != 0) equal = false;
+        if (equal) {
+          group = &g;
+          break;
+        }
+      }
+      if (!group) {
+        Group g;
+        g.keys = keys;
+        g.accs.resize(aggs_.size());
+        bucket.push_back(std::move(g));
+        group = &bucket.back();
+        bytes += 64;
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        const AggCall& agg = aggs_[a];
+        Accumulator& acc = group->accs[a];
+        Value v = arg_cols[a] ? arg_cols[a]->GetValue(row) : Value::Null();
+        if (agg.arg && v.is_null()) continue;  // aggregates skip nulls
+        if (agg.distinct) {
+          acc.distinct.insert(v);
+          continue;
+        }
+        acc.any = true;
+        ++acc.count;
+        if (agg.func == "SUM" || agg.func == "AVG") {
+          if (agg.result_type.kind == TypeKind::kDouble || agg.func == "AVG") {
+            acc.sum_f64 += v.AsDouble();
+          }
+          if (agg.result_type.kind == TypeKind::kDecimal) {
+            auto cast = v.CastTo(agg.result_type);
+            acc.sum_i64 += cast.ok() && !cast->is_null() ? cast->i64() : 0;
+          } else if (agg.result_type.kind == TypeKind::kBigint) {
+            acc.sum_i64 += v.AsInt64();
+          }
+        } else if (agg.func == "MIN") {
+          if (acc.min.is_null() || Value::Compare(v, acc.min) < 0) acc.min = v;
+        } else if (agg.func == "MAX") {
+          if (acc.max.is_null() || Value::Compare(v, acc.max) > 0) acc.max = v;
+        }
+      }
+    }
+  }
+  // Global aggregates produce one row even with empty input.
+  if (keys_.empty() && groups_.empty()) {
+    Group g;
+    g.accs.resize(aggs_.size());
+    groups_[0].push_back(std::move(g));
+  }
+  for (const auto& [h, bucket] : groups_)
+    for (const Group& g : bucket) ordered_.push_back(&g);
+  HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(bytes));
+  consumed_ = true;
+  return Status::OK();
+}
+
+Value HashAggregateOperator::Finalize(const AggCall& agg, const Accumulator& acc) const {
+  if (agg.distinct) {
+    if (agg.func == "COUNT") return Value::Bigint(static_cast<int64_t>(acc.distinct.size()));
+    // SUM(DISTINCT) etc.
+    if (agg.func == "SUM") {
+      if (agg.result_type.kind == TypeKind::kDouble) {
+        double total = 0;
+        for (const Value& v : acc.distinct) total += v.AsDouble();
+        return Value::Double(total);
+      }
+      int64_t total = 0;
+      bool decimal = agg.result_type.kind == TypeKind::kDecimal;
+      for (const Value& v : acc.distinct) {
+        if (decimal) {
+          auto cast = v.CastTo(agg.result_type);
+          total += cast.ok() && !cast->is_null() ? cast->i64() : 0;
+        } else {
+          total += v.AsInt64();
+        }
+      }
+      return decimal ? Value::Decimal(total, agg.result_type.scale) : Value::Bigint(total);
+    }
+    if (acc.distinct.empty()) return Value::Null();
+    if (agg.func == "MIN") return *acc.distinct.begin();
+    if (agg.func == "MAX") return *acc.distinct.rbegin();
+    return Value::Null();
+  }
+  if (agg.func == "COUNT") return Value::Bigint(acc.count);
+  if (!acc.any) return Value::Null();
+  if (agg.func == "SUM") {
+    switch (agg.result_type.kind) {
+      case TypeKind::kDouble: return Value::Double(acc.sum_f64);
+      case TypeKind::kDecimal: return Value::Decimal(acc.sum_i64, agg.result_type.scale);
+      default: return Value::Bigint(acc.sum_i64);
+    }
+  }
+  if (agg.func == "AVG")
+    return Value::Double(acc.sum_f64 / static_cast<double>(acc.count));
+  if (agg.func == "MIN") return acc.min;
+  if (agg.func == "MAX") return acc.max;
+  return Value::Null();
+}
+
+Result<RowBatch> HashAggregateOperator::Next(bool* done) {
+  if (!consumed_) HIVE_RETURN_IF_ERROR(Consume());
+  size_t batch_size = static_cast<size_t>(ctx_->config->vector_batch_size);
+  if (emit_index_ >= ordered_.size()) {
+    *done = true;
+    return RowBatch();
+  }
+  *done = false;
+  RowBatch out(schema_);
+  size_t end = std::min(ordered_.size(), emit_index_ + batch_size);
+  for (; emit_index_ < end; ++emit_index_) {
+    const Group& g = *ordered_[emit_index_];
+    for (size_t k = 0; k < keys_.size(); ++k) out.column(k)->AppendValue(g.keys[k]);
+    for (size_t a = 0; a < aggs_.size(); ++a)
+      out.column(keys_.size() + a)->AppendValue(Finalize(aggs_[a], g.accs[a]));
+  }
+  out.set_num_rows(out.num_columns() ? out.column(0)->size() : 0);
+  rows_produced_ += static_cast<int64_t>(out.num_rows());
+  return out;
+}
+
+}  // namespace hive

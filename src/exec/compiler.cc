@@ -1,0 +1,255 @@
+#include "exec/compiler.h"
+
+#include <map>
+
+namespace hive {
+
+namespace {
+
+/// Wraps an operator to record its produced row count under the plan-node
+/// digest when the query finishes; feeds re-optimization (Section 4.2).
+class StatsRecordingOperator : public Operator {
+ public:
+  StatsRecordingOperator(ExecContext* ctx, OperatorPtr child, std::string digest)
+      : Operator(ctx), child_(std::move(child)), digest_(std::move(digest)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<RowBatch> Next(bool* done) override {
+    auto batch = child_->Next(done);
+    if (batch.ok() && !*done)
+      rows_produced_ += static_cast<int64_t>(batch->SelectedSize());
+    return batch;
+  }
+  Status Close() override {
+    if (ctx_->runtime_stats) ctx_->runtime_stats->Record(digest_, rows_produced_);
+    return child_->Close();
+  }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  OperatorPtr child_;
+  std::string digest_;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(ExecContext* ctx) : ctx_(ctx) {}
+
+  Result<OperatorPtr> Compile(const RelNodePtr& plan) {
+    if (ctx_->config->shared_work_enabled) CountDigests(plan);
+    return CompileNode(plan);
+  }
+
+ private:
+  /// Digest of a scan ignoring its pushed-down filters: scans of the same
+  /// table/columns that differ only in residual predicates share one
+  /// physical read, with each consumer re-applying its own filters above
+  /// the spool (the "merge scans, diverge later" shape of Section 4.5).
+  static std::string BareScanDigest(const RelNode& scan) {
+    RelNode bare = scan;
+    bare.scan_filters.clear();
+    bare.semijoin_reducers.clear();
+    return bare.Digest();
+  }
+
+  void CountDigests(const RelNodePtr& node) {
+    // Only count subtrees that are worth spooling (contain a scan and are
+    // below blocking operators in size).
+    if (node->kind == RelKind::kScan || node->kind == RelKind::kFilter ||
+        node->kind == RelKind::kProject || node->kind == RelKind::kJoin ||
+        node->kind == RelKind::kAggregate) {
+      ++digest_counts_[node->Digest()];
+    }
+    if (node->kind == RelKind::kScan && node->table.storage_handler.empty())
+      ++bare_scan_counts_[BareScanDigest(*node)];
+    for (const RelNodePtr& input : node->inputs) CountDigests(input);
+    // Semijoin-reducer build plans execute too; count them so a build plan
+    // equal to a main-plan subtree shares its spool.
+    if (node->kind == RelKind::kScan)
+      for (const SemiJoinReducer& r : node->semijoin_reducers)
+        CountDigests(r.build_plan);
+  }
+
+  Result<OperatorPtr> CompileNode(const RelNodePtr& node) {
+    // Shared work: reuse a spool for repeated subtrees.
+    std::string digest;
+    bool spoolable = false;
+    if (ctx_->config->shared_work_enabled &&
+        (node->kind == RelKind::kScan || node->kind == RelKind::kFilter ||
+         node->kind == RelKind::kProject || node->kind == RelKind::kJoin ||
+         node->kind == RelKind::kAggregate)) {
+      digest = node->Digest();
+      auto it = digest_counts_.find(digest);
+      spoolable = it != digest_counts_.end() && it->second > 1;
+    }
+    if (spoolable) {
+      auto spool = spools_.find(digest);
+      if (spool != spools_.end())
+        return OperatorPtr(
+            std::make_unique<SpoolOperator>(ctx_, spool->second, node->schema));
+      HIVE_ASSIGN_OR_RETURN(OperatorPtr source, CompileBare(node));
+      auto state = std::make_shared<SpoolState>();
+      state->source = std::move(source);
+      spools_[digest] = state;
+      return OperatorPtr(std::make_unique<SpoolOperator>(ctx_, state, node->schema));
+    }
+    // Scan-merge sharing: identical scans that differ only in pushed-down
+    // filters read the table once through a spool; each consumer applies
+    // its own filters on top.
+    if (ctx_->config->shared_work_enabled && node->kind == RelKind::kScan &&
+        node->table.storage_handler.empty() && node->semijoin_reducers.empty() &&
+        !node->scan_filters.empty()) {
+      std::string bare_digest = BareScanDigest(*node);
+      auto it = bare_scan_counts_.find(bare_digest);
+      if (it != bare_scan_counts_.end() && it->second > 1) {
+        auto spool = spools_.find(bare_digest);
+        std::shared_ptr<SpoolState> state;
+        if (spool != spools_.end()) {
+          state = spool->second;
+        } else {
+          auto bare = std::make_shared<RelNode>(*node);
+          bare->scan_filters.clear();
+          state = std::make_shared<SpoolState>();
+          state->source = std::make_unique<ScanOperator>(ctx_, *bare);
+          spools_[bare_digest] = state;
+        }
+        OperatorPtr op = std::make_unique<SpoolOperator>(ctx_, state, node->schema);
+        for (const ExprPtr& filter : node->scan_filters)
+          op = std::make_unique<FilterOperator>(ctx_, std::move(op), filter);
+        return op;
+      }
+    }
+    return CompileBare(node);
+  }
+
+  Result<OperatorPtr> CompileBare(const RelNodePtr& node) {
+    switch (node->kind) {
+      case RelKind::kScan: {
+        if (!node->table.storage_handler.empty()) {
+          if (!ctx_->external_scan_factory)
+            return Status::NotSupported("no storage handler registered for " +
+                                        node->table.storage_handler);
+          return ctx_->external_scan_factory(*node);
+        }
+        auto op = std::make_unique<ScanOperator>(ctx_, *node);
+        return OperatorPtr(std::make_unique<StatsRecordingOperator>(
+            ctx_, std::move(op), node->Digest()));
+      }
+      case RelKind::kValues:
+        return OperatorPtr(std::make_unique<ValuesOperator>(ctx_, *node));
+      case RelKind::kFilter: {
+        HIVE_ASSIGN_OR_RETURN(OperatorPtr child, CompileNode(node->inputs[0]));
+        auto op = std::make_unique<FilterOperator>(ctx_, std::move(child),
+                                                   node->predicate);
+        return OperatorPtr(std::make_unique<StatsRecordingOperator>(
+            ctx_, std::move(op), node->Digest()));
+      }
+      case RelKind::kProject: {
+        HIVE_ASSIGN_OR_RETURN(OperatorPtr child, CompileNode(node->inputs[0]));
+        return OperatorPtr(std::make_unique<ProjectOperator>(
+            ctx_, std::move(child), node->exprs, node->schema));
+      }
+      case RelKind::kJoin: {
+        if (node->join_type == TableRef::JoinType::kRight) {
+          // Normalize: right join == left join with swapped inputs plus an
+          // output permutation.
+          HIVE_ASSIGN_OR_RETURN(OperatorPtr left, CompileNode(node->inputs[1]));
+          HIVE_ASSIGN_OR_RETURN(OperatorPtr right, CompileNode(node->inputs[0]));
+          size_t lw = node->inputs[0]->schema.num_fields();
+          size_t rw = node->inputs[1]->schema.num_fields();
+          // Rebind the condition into (right, left) order.
+          ExprPtr condition = CloneExpr(node->condition);
+          std::vector<int> mapping(lw + rw);
+          for (size_t i = 0; i < lw; ++i) mapping[i] = static_cast<int>(rw + i);
+          for (size_t j = 0; j < rw; ++j) mapping[lw + j] = static_cast<int>(j);
+          RemapBindings(condition, mapping);
+          Schema swapped;
+          for (const Field& f : node->inputs[1]->schema.fields())
+            swapped.AddField(f.name, f.type);
+          for (const Field& f : node->inputs[0]->schema.fields())
+            swapped.AddField(f.name, f.type);
+          auto join = std::make_unique<HashJoinOperator>(
+              ctx_, std::move(left), std::move(right), TableRef::JoinType::kLeft,
+              condition, swapped);
+          // Permute back to (left, right).
+          std::vector<ExprPtr> exprs;
+          for (size_t i = 0; i < lw + rw; ++i) {
+            size_t src = i < lw ? rw + i : i - lw;
+            ExprPtr ref = MakeColumnRef("", swapped.field(src).name);
+            ref->binding = static_cast<int>(src);
+            ref->type = swapped.field(src).type;
+            exprs.push_back(ref);
+          }
+          return OperatorPtr(std::make_unique<ProjectOperator>(
+              ctx_, std::move(join), std::move(exprs), node->schema));
+        }
+        HIVE_ASSIGN_OR_RETURN(OperatorPtr left, CompileNode(node->inputs[0]));
+        HIVE_ASSIGN_OR_RETURN(OperatorPtr right, CompileNode(node->inputs[1]));
+        auto op = std::make_unique<HashJoinOperator>(
+            ctx_, std::move(left), std::move(right), node->join_type,
+            node->condition, node->schema);
+        return OperatorPtr(std::make_unique<StatsRecordingOperator>(
+            ctx_, std::move(op), node->Digest()));
+      }
+      case RelKind::kAggregate: {
+        HIVE_ASSIGN_OR_RETURN(OperatorPtr child, CompileNode(node->inputs[0]));
+        auto op = std::make_unique<HashAggregateOperator>(
+            ctx_, std::move(child), node->group_keys, node->aggs, node->schema);
+        return OperatorPtr(std::make_unique<StatsRecordingOperator>(
+            ctx_, std::move(op), node->Digest()));
+      }
+      case RelKind::kWindow: {
+        HIVE_ASSIGN_OR_RETURN(OperatorPtr child, CompileNode(node->inputs[0]));
+        return OperatorPtr(std::make_unique<WindowOperator>(
+            ctx_, std::move(child), node->window_calls, node->schema));
+      }
+      case RelKind::kSort: {
+        HIVE_ASSIGN_OR_RETURN(OperatorPtr child, CompileNode(node->inputs[0]));
+        return OperatorPtr(std::make_unique<SortOperator>(
+            ctx_, std::move(child), node->sort_keys, node->limit));
+      }
+      case RelKind::kLimit: {
+        HIVE_ASSIGN_OR_RETURN(OperatorPtr child, CompileNode(node->inputs[0]));
+        return OperatorPtr(
+            std::make_unique<LimitOperator>(ctx_, std::move(child), node->limit));
+      }
+      case RelKind::kUnion: {
+        std::vector<OperatorPtr> children;
+        for (const RelNodePtr& input : node->inputs) {
+          HIVE_ASSIGN_OR_RETURN(OperatorPtr child, CompileNode(input));
+          children.push_back(std::move(child));
+        }
+        return OperatorPtr(std::make_unique<UnionOperator>(ctx_, std::move(children),
+                                                           node->schema));
+      }
+      case RelKind::kMinus:
+      case RelKind::kIntersect: {
+        HIVE_ASSIGN_OR_RETURN(OperatorPtr left, CompileNode(node->inputs[0]));
+        HIVE_ASSIGN_OR_RETURN(OperatorPtr right, CompileNode(node->inputs[1]));
+        return OperatorPtr(std::make_unique<SetOpOperator>(
+            ctx_, std::move(left), std::move(right),
+            node->kind == RelKind::kIntersect));
+      }
+    }
+    return Status::Internal("unknown plan node kind");
+  }
+
+  ExecContext* ctx_;
+  std::map<std::string, int> digest_counts_;
+  std::map<std::string, int> bare_scan_counts_;
+  std::map<std::string, std::shared_ptr<SpoolState>> spools_;
+};
+
+}  // namespace
+
+Result<OperatorPtr> CompilePlan(ExecContext* ctx, const RelNodePtr& plan) {
+  if (!ctx->compile_subplan) {
+    ctx->compile_subplan = [ctx](const RelNodePtr& subplan) {
+      return CompilePlan(ctx, subplan);
+    };
+  }
+  Compiler compiler(ctx);
+  return compiler.Compile(plan);
+}
+
+}  // namespace hive

@@ -1,0 +1,24 @@
+#ifndef HIVE_EXEC_COMPILER_H_
+#define HIVE_EXEC_COMPILER_H_
+
+#include "exec/operators.h"
+#include "optimizer/rel.h"
+
+namespace hive {
+
+/// Compiles an optimized logical plan into a physical operator tree (the
+/// task-compiler analogue of Section 2). Responsibilities:
+///   * operator selection (hash join/aggregate, sorts, spools),
+///   * RIGHT-join normalization into LEFT joins with an output permutation,
+///   * shared-work optimization (Section 4.5): equal subtrees (by digest)
+///     compile once into a spool that replays materialized batches,
+///   * wiring semijoin-reducer subplans through ExecContext::compile_subplan,
+///   * dispatching storage-handler scans to the federation factory.
+///
+/// Also installs `ctx->compile_subplan` so runtime components (semijoin
+/// reducers) can compile build-side plans on demand.
+Result<OperatorPtr> CompilePlan(ExecContext* ctx, const RelNodePtr& plan);
+
+}  // namespace hive
+
+#endif  // HIVE_EXEC_COMPILER_H_

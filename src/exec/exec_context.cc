@@ -1,0 +1,36 @@
+#include "exec/exec_context.h"
+
+#include <algorithm>
+
+namespace hive {
+
+Status ExecContext::OnStageBoundary(uint64_t bytes) {
+  ++stage_counter;
+  shuffle_bytes += bytes;
+  if (mode == RuntimeMode::kMapReduce) {
+    // Each MR stage launches fresh containers...
+    if (clock && config) clock->Charge(config->container_startup_us);
+    // ...and materializes its shuffle output to the distributed FS.
+    if (fs) {
+      std::string tmp = "/tmp/shuffle/stage_" + std::to_string(stage_counter) + "_" +
+                        std::to_string(reinterpret_cast<uintptr_t>(this));
+      std::string payload(static_cast<size_t>(std::min<uint64_t>(bytes, 8u << 20)), 's');
+      HIVE_RETURN_IF_ERROR(fs->WriteFile(tmp, payload));
+      HIVE_ASSIGN_OR_RETURN(std::string back, fs->ReadFile(tmp));
+      (void)back;
+      HIVE_RETURN_IF_ERROR(fs->DeleteFile(tmp));
+    }
+  }
+  return Status::OK();
+}
+
+void ExecContext::OnQueryStart() {
+  // Tez allocates YARN containers once per query; LLAP daemons are already
+  // running, so interactive queries skip the allocation entirely.
+  if (mode == RuntimeMode::kTez && clock && config)
+    clock->Charge(config->container_startup_us);
+  if (mode == RuntimeMode::kMapReduce && clock && config)
+    clock->Charge(config->container_startup_us);  // job client submission
+}
+
+}  // namespace hive

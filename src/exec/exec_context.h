@@ -1,0 +1,86 @@
+#ifndef HIVE_EXEC_EXEC_CONTEXT_H_
+#define HIVE_EXEC_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/column_vector.h"
+#include "common/config.h"
+#include "common/sim_clock.h"
+#include "fs/filesystem.h"
+#include "metastore/catalog.h"
+#include "storage/acid.h"
+#include "storage/chunk_provider.h"
+
+namespace hive {
+
+class Operator;
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Execution-runtime mode, standing in for the task compilers the paper
+/// describes (Section 2): MapReduce materializes every stage boundary and
+/// pays container start-up per stage; Tez runs the whole DAG with one
+/// container allocation; LLAP adds persistent executors (no start-up cost)
+/// and the data cache.
+enum class RuntimeMode { kMapReduce, kTez, kLlap };
+
+/// Runtime statistics captured per plan node (keyed by node digest); feeds
+/// query re-optimization (Section 4.2).
+struct RuntimeStats {
+  std::mutex mu;
+  std::map<std::string, int64_t> rows_produced;
+
+  void Record(const std::string& digest, int64_t rows) {
+    std::lock_guard<std::mutex> lock(mu);
+    rows_produced[digest] = rows;
+  }
+};
+
+/// Per-query execution context threaded through all operators.
+struct ExecContext {
+  FileSystem* fs = nullptr;
+  Catalog* catalog = nullptr;
+  const Config* config = nullptr;
+  /// Charged with modeled cluster latencies (container start-up, shuffle).
+  SimClock* clock = nullptr;
+  /// Chunk provider (LLAP cache when enabled, direct otherwise).
+  ChunkProvider* chunks = nullptr;
+  /// Resolves the snapshot for a table ("db.table") at query start.
+  std::function<ValidWriteIdList(const std::string&)> snapshot_for;
+  /// Compiles a subplan into an operator (semijoin reducer build sides).
+  std::function<Result<OperatorPtr>(const std::shared_ptr<struct RelNode>&)>
+      compile_subplan;
+  /// Creates scan operators for storage-handler tables (federation).
+  std::function<Result<OperatorPtr>(const struct RelNode&)> external_scan_factory;
+  /// Runtime stats sink (may be null).
+  RuntimeStats* runtime_stats = nullptr;
+  RuntimeMode mode = RuntimeMode::kTez;
+  /// Abort flag for workload-manager KILL triggers.
+  std::shared_ptr<std::atomic<bool>> cancelled;
+
+  /// Maximum rows a hash-join build side may hold before the operator
+  /// fails with an ExecError — the trigger for re-optimization.
+  int64_t join_build_row_limit = INT64_MAX;
+
+  int64_t stage_counter = 0;
+  uint64_t shuffle_bytes = 0;
+
+  /// Called by blocking operators when a pipeline stage completes having
+  /// materialized `bytes`. In MR mode this charges a container start-up and
+  /// round-trips the shuffle data through the file system; in Tez mode the
+  /// data stays pipelined in memory.
+  Status OnStageBoundary(uint64_t bytes);
+
+  /// Called once when query execution starts (container allocation).
+  void OnQueryStart();
+
+  bool IsCancelled() const { return cancelled && cancelled->load(); }
+};
+
+}  // namespace hive
+
+#endif  // HIVE_EXEC_EXEC_CONTEXT_H_

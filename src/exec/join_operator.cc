@@ -1,0 +1,281 @@
+#include "common/hash.h"
+#include "exec/operators.h"
+#include "exec/vector_eval.h"
+#include "optimizer/expr_eval.h"
+
+namespace hive {
+
+namespace {
+
+void SplitAnd(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e && e->kind == ExprKind::kBinary && e->bin_op == BinaryOp::kAnd) {
+    SplitAnd(e->children[0], out);
+    SplitAnd(e->children[1], out);
+    return;
+  }
+  if (e) out->push_back(e);
+}
+
+bool BindingsBelow(const ExprPtr& e, int width) {
+  if (!e) return true;
+  if (e->kind == ExprKind::kColumnRef) return e->binding < width;
+  for (const ExprPtr& c : e->children)
+    if (!BindingsBelow(c, width)) return false;
+  return true;
+}
+
+bool BindingsAtOrAbove(const ExprPtr& e, int width) {
+  if (!e) return true;
+  if (e->kind == ExprKind::kColumnRef) return e->binding >= width;
+  for (const ExprPtr& c : e->children)
+    if (!BindingsAtOrAbove(c, width)) return false;
+  return true;
+}
+
+ExprPtr ShiftClone(const ExprPtr& e, int delta) {
+  ExprPtr out = CloneExpr(e);
+  std::function<void(const ExprPtr&)> shift = [&](const ExprPtr& x) {
+    if (!x) return;
+    if (x->kind == ExprKind::kColumnRef && x->binding >= 0) x->binding += delta;
+    for (const ExprPtr& c : x->children) shift(c);
+  };
+  shift(out);
+  return out;
+}
+
+uint64_t HashKeys(const std::vector<Value>& keys) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : keys) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+}  // namespace
+
+HashJoinOperator::HashJoinOperator(ExecContext* ctx, OperatorPtr left,
+                                   OperatorPtr right, TableRef::JoinType join_type,
+                                   ExprPtr condition, Schema schema)
+    : Operator(ctx),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      join_type_(join_type),
+      condition_(std::move(condition)),
+      schema_(std::move(schema)) {}
+
+Status HashJoinOperator::Open() {
+  HIVE_RETURN_IF_ERROR(right_->Open());
+  HIVE_RETURN_IF_ERROR(left_->Open());
+  // Split the condition into equi keys and a residual.
+  int left_width = static_cast<int>(left_->schema().num_fields());
+  std::vector<ExprPtr> conjuncts;
+  SplitAnd(condition_, &conjuncts);
+  std::vector<ExprPtr> residual_conjuncts;
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind == ExprKind::kLiteral) continue;  // TRUE markers
+    if (c->kind == ExprKind::kBinary && c->bin_op == BinaryOp::kEq) {
+      const ExprPtr& a = c->children[0];
+      const ExprPtr& b = c->children[1];
+      if (BindingsBelow(a, left_width) && BindingsAtOrAbove(b, left_width)) {
+        left_keys_.push_back(a);
+        right_keys_.push_back(ShiftClone(b, -left_width));
+        continue;
+      }
+      if (BindingsBelow(b, left_width) && BindingsAtOrAbove(a, left_width)) {
+        left_keys_.push_back(b);
+        right_keys_.push_back(ShiftClone(a, -left_width));
+        continue;
+      }
+    }
+    residual_conjuncts.push_back(c);
+  }
+  for (const ExprPtr& c : residual_conjuncts) {
+    if (!residual_) {
+      residual_ = c;
+    } else {
+      residual_ = MakeBinary(BinaryOp::kAnd, residual_, c);
+      residual_->type = DataType::Boolean();
+    }
+  }
+  return BuildHashTable();
+}
+
+Status HashJoinOperator::BuildHashTable() {
+  build_ = RowBatch(right_->schema());
+  bool done = false;
+  size_t build_rows = 0;
+  for (;;) {
+    HIVE_RETURN_IF_ERROR(CheckCancelled());
+    HIVE_ASSIGN_OR_RETURN(RowBatch batch, right_->Next(&done));
+    if (done) break;
+    build_rows += batch.SelectedSize();
+    for (size_t i = 0; i < batch.SelectedSize(); ++i) {
+      int32_t row = batch.SelectedRow(i);
+      for (size_t c = 0; c < build_.num_columns(); ++c)
+        build_.column(c)->AppendFrom(*batch.column(c), row);
+    }
+  }
+  build_.set_num_rows(build_rows);
+  if (static_cast<int64_t>(build_.num_rows()) > ctx_->join_build_row_limit)
+    return Status::ExecError("hash join build side exceeded memory limit (" +
+                             std::to_string(build_.num_rows()) + " rows)");
+  // Hash the build rows by key.
+  for (size_t r = 0; r < build_.num_rows(); ++r) {
+    std::vector<Value> keys;
+    keys.reserve(right_keys_.size());
+    bool null_key = false;
+    std::vector<Value> row;
+    for (size_t c = 0; c < build_.num_columns(); ++c)
+      row.push_back(build_.column(c)->GetValue(r));
+    for (const ExprPtr& k : right_keys_) {
+      HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &row));
+      if (v.is_null()) null_key = true;
+      keys.push_back(std::move(v));
+    }
+    if (null_key) continue;  // null keys never match in equi joins
+    table_.emplace(HashKeys(keys), static_cast<int32_t>(r));
+  }
+  right_matched_.assign(build_.num_rows(), 0);
+  built_ = true;
+  HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(build_.ByteSize()));
+  return Status::OK();
+}
+
+Result<RowBatch> HashJoinOperator::ProbeBatch(const RowBatch& batch, bool* emitted) {
+  *emitted = false;
+  const bool semi = join_type_ == TableRef::JoinType::kSemi;
+  const bool anti = join_type_ == TableRef::JoinType::kAnti;
+  const bool left_outer = join_type_ == TableRef::JoinType::kLeft ||
+                          join_type_ == TableRef::JoinType::kFull;
+  const bool cross = join_type_ == TableRef::JoinType::kCross;
+  size_t left_width = left_->schema().num_fields();
+
+  RowBatch out(schema_);
+  size_t out_rows = 0;
+  auto emit = [&](const std::vector<Value>& left_row, int32_t right_row) {
+    ++out_rows;
+    for (size_t c = 0; c < left_width; ++c)
+      out.column(c)->AppendValue(left_row[c]);
+    if (semi || anti) return;
+    for (size_t c = 0; c < build_.num_columns(); ++c) {
+      if (right_row < 0) {
+        out.column(left_width + c)->AppendNull();
+      } else {
+        out.column(left_width + c)->AppendFrom(*build_.column(c), right_row);
+      }
+    }
+  };
+
+  for (size_t i = 0; i < batch.SelectedSize(); ++i) {
+    int32_t src = batch.SelectedRow(i);
+    std::vector<Value> left_row;
+    left_row.reserve(left_width);
+    for (size_t c = 0; c < batch.num_columns(); ++c)
+      left_row.push_back(batch.column(c)->GetValue(src));
+
+    // Candidate right rows.
+    std::vector<int32_t> candidates;
+    bool null_key = false;
+    if (!left_keys_.empty()) {
+      std::vector<Value> keys;
+      for (const ExprPtr& k : left_keys_) {
+        HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &left_row));
+        if (v.is_null()) null_key = true;
+        keys.push_back(std::move(v));
+      }
+      if (!null_key) {
+        auto range = table_.equal_range(HashKeys(keys));
+        for (auto it = range.first; it != range.second; ++it) {
+          // Verify exact key equality (hash collisions).
+          bool equal = true;
+          std::vector<Value> right_row;
+          for (size_t c = 0; c < build_.num_columns(); ++c)
+            right_row.push_back(build_.column(c)->GetValue(it->second));
+          for (size_t k = 0; k < right_keys_.size() && equal; ++k) {
+            HIVE_ASSIGN_OR_RETURN(Value rv, EvalExpr(*right_keys_[k], &right_row));
+            if (rv.is_null() || Value::Compare(keys[k], rv) != 0) equal = false;
+          }
+          if (equal) candidates.push_back(it->second);
+        }
+      }
+    } else if (!cross || build_.num_rows() > 0) {
+      // No equi keys: every build row is a candidate (nested loop).
+      candidates.reserve(build_.num_rows());
+      for (size_t r = 0; r < build_.num_rows(); ++r)
+        candidates.push_back(static_cast<int32_t>(r));
+    }
+
+    bool matched = false;
+    for (int32_t r : candidates) {
+      if (residual_) {
+        // Evaluate residual over concat(left, right).
+        std::vector<Value> combined = left_row;
+        for (size_t c = 0; c < build_.num_columns(); ++c)
+          combined.push_back(build_.column(c)->GetValue(r));
+        HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*residual_, &combined));
+        if (!IsTrue(v)) continue;
+      }
+      matched = true;
+      if (static_cast<size_t>(r) < right_matched_.size()) right_matched_[r] = 1;
+      if (semi) break;
+      if (anti) break;
+      emit(left_row, r);
+    }
+    if (semi && matched) emit(left_row, -1);
+    if (anti && !matched) emit(left_row, -1);
+    if (left_outer && !matched) emit(left_row, -1);
+  }
+  out.set_num_rows(out_rows);
+  if (out.num_rows() > 0) {
+    *emitted = true;
+    rows_produced_ += static_cast<int64_t>(out.num_rows());
+  }
+  return out;
+}
+
+Result<RowBatch> HashJoinOperator::EmitUnmatchedRight() {
+  RowBatch out(schema_);
+  size_t left_width = left_->schema().num_fields();
+  size_t out_rows = 0;
+  for (size_t r = 0; r < build_.num_rows(); ++r) {
+    if (right_matched_[r]) continue;
+    ++out_rows;
+    for (size_t c = 0; c < left_width; ++c) out.column(c)->AppendNull();
+    for (size_t c = 0; c < build_.num_columns(); ++c)
+      out.column(left_width + c)->AppendFrom(*build_.column(c), r);
+  }
+  out.set_num_rows(out_rows);
+  rows_produced_ += static_cast<int64_t>(out.num_rows());
+  return out;
+}
+
+Result<RowBatch> HashJoinOperator::Next(bool* done) {
+  *done = false;
+  for (;;) {
+    HIVE_RETURN_IF_ERROR(CheckCancelled());
+    if (!exhausted_left_) {
+      bool left_done = false;
+      HIVE_ASSIGN_OR_RETURN(RowBatch batch, left_->Next(&left_done));
+      if (left_done) {
+        exhausted_left_ = true;
+        continue;
+      }
+      bool emitted = false;
+      HIVE_ASSIGN_OR_RETURN(RowBatch out, ProbeBatch(batch, &emitted));
+      if (emitted) return out;
+      continue;
+    }
+    if (join_type_ == TableRef::JoinType::kFull && !emitted_unmatched_) {
+      emitted_unmatched_ = true;
+      HIVE_ASSIGN_OR_RETURN(RowBatch out, EmitUnmatchedRight());
+      if (out.num_rows() > 0) return out;
+    }
+    *done = true;
+    return RowBatch();
+  }
+}
+
+Status HashJoinOperator::Close() {
+  HIVE_RETURN_IF_ERROR(left_->Close());
+  return right_->Close();
+}
+
+}  // namespace hive

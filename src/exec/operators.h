@@ -1,0 +1,297 @@
+#ifndef HIVE_EXEC_OPERATORS_H_
+#define HIVE_EXEC_OPERATORS_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "optimizer/rel.h"
+
+namespace hive {
+
+/// Table scan over native tables: resolves the snapshot, runs any dynamic
+/// semijoin reducers (building min/max + Bloom sargs, or pruning partitions
+/// dynamically), then streams batches partition by partition through the
+/// chunk provider (the LLAP cache when enabled). Partition-column values
+/// materialize as constant vectors. Residual predicates produce selection
+/// vectors.
+class ScanOperator : public Operator {
+ public:
+  ScanOperator(ExecContext* ctx, const RelNode& node);
+
+  Status Open() override;
+  Result<RowBatch> Next(bool* done) override;
+  const Schema& schema() const override { return out_schema_; }
+
+  uint64_t row_groups_skipped() const { return row_groups_skipped_; }
+  size_t partitions_scanned() const { return locations_.size(); }
+
+ private:
+  struct Location {
+    std::string path;
+    std::vector<Value> partition_values;
+  };
+
+  Status RunSemiJoinReducers();
+  Status AdvanceLocation();
+  Result<RowBatch> PostProcess(RowBatch raw, const Location& loc);
+
+  TableDesc table_;
+  std::vector<size_t> projected_;       // into FullSchema
+  std::vector<ExprPtr> filters_;        // over output schema
+  std::vector<SemiJoinReducer> reducers_;
+  std::vector<PartitionInfo> partitions_;
+  bool partitions_pruned_ = false;
+  Schema out_schema_;
+
+  // Derived at Open:
+  SearchArgument sarg_;
+  std::vector<Location> locations_;
+  std::vector<size_t> data_columns_;    // AcidReader projection (user ordinals)
+  std::vector<int> output_from_data_;   // output i <- data column position or -1
+  std::vector<int> output_from_part_;   // output i <- partition col index or -1
+  size_t location_index_ = 0;
+  std::unique_ptr<AcidReader> reader_;
+  // Non-ACID iteration state.
+  std::vector<std::string> plain_files_;
+  size_t plain_file_index_ = 0;
+  std::shared_ptr<CofReader> plain_reader_;
+  size_t plain_rg_ = 0;
+  uint64_t row_groups_skipped_ = 0;
+  /// Row-level Bloom filters from semijoin reducers: (output column, filter).
+  std::vector<std::pair<int, std::shared_ptr<BloomFilter>>> runtime_blooms_;
+};
+
+/// Literal rows.
+class ValuesOperator : public Operator {
+ public:
+  ValuesOperator(ExecContext* ctx, const RelNode& node);
+  Status Open() override { return Status::OK(); }
+  Result<RowBatch> Next(bool* done) override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+  bool emitted_ = false;
+};
+
+class FilterOperator : public Operator {
+ public:
+  FilterOperator(ExecContext* ctx, OperatorPtr child, ExprPtr predicate);
+  Status Open() override { return child_->Open(); }
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override { return child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(ExecContext* ctx, OperatorPtr child, std::vector<ExprPtr> exprs,
+                  Schema schema);
+  Status Open() override { return child_->Open(); }
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override { return child_->Close(); }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+};
+
+/// Hash join supporting inner/left/full/semi/anti (+cross). Right joins are
+/// normalized to left joins by the compiler. Builds on the right input,
+/// probes with the left; equi-keys are extracted from the condition and the
+/// rest evaluates as a residual predicate per candidate pair.
+class HashJoinOperator : public Operator {
+ public:
+  HashJoinOperator(ExecContext* ctx, OperatorPtr left, OperatorPtr right,
+                   TableRef::JoinType join_type, ExprPtr condition, Schema schema);
+  Status Open() override;
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  Status BuildHashTable();
+  Result<RowBatch> ProbeBatch(const RowBatch& batch, bool* emitted);
+  Result<RowBatch> EmitUnmatchedRight();
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  TableRef::JoinType join_type_;
+  ExprPtr condition_;
+  Schema schema_;
+
+  // Extracted equi-key expressions (left-side expr, right-side expr with
+  // right-local bindings).
+  std::vector<ExprPtr> left_keys_, right_keys_;
+  ExprPtr residual_;  // over concat(left, right)
+
+  RowBatch build_;                 // densely materialized right side
+  std::unordered_multimap<uint64_t, int32_t> table_;
+  std::vector<uint8_t> right_matched_;
+  bool built_ = false;
+  bool exhausted_left_ = false;
+  bool emitted_unmatched_ = false;
+};
+
+/// Hash aggregation with optional DISTINCT aggregates; grouping-set
+/// expansion happens in the planner so this operator sees plain keys.
+class HashAggregateOperator : public Operator {
+ public:
+  HashAggregateOperator(ExecContext* ctx, OperatorPtr child,
+                        std::vector<ExprPtr> keys, std::vector<AggCall> aggs,
+                        Schema schema);
+  Status Open() override;
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override { return child_->Close(); }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  struct Accumulator {
+    int64_t count = 0;
+    bool any = false;
+    int64_t sum_i64 = 0;
+    double sum_f64 = 0;
+    Value min, max;
+    std::set<Value> distinct;
+  };
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<Accumulator> accs;
+  };
+
+  Status Consume();
+  Value Finalize(const AggCall& agg, const Accumulator& acc) const;
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> keys_;
+  std::vector<AggCall> aggs_;
+  Schema schema_;
+  std::unordered_map<uint64_t, std::vector<Group>> groups_;
+  std::vector<const Group*> ordered_;
+  size_t emit_index_ = 0;
+  bool consumed_ = false;
+};
+
+/// Full sort with optional fetch (ORDER BY ... LIMIT).
+class SortOperator : public Operator {
+ public:
+  SortOperator(ExecContext* ctx, OperatorPtr child,
+               std::vector<std::pair<ExprPtr, bool>> keys, int64_t fetch);
+  Status Open() override { return child_->Open(); }
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override { return child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  Result<RowBatch> CollectAllIntoDense();
+
+  OperatorPtr child_;
+  std::vector<std::pair<ExprPtr, bool>> keys_;
+  int64_t fetch_;
+  bool sorted_ = false;
+  RowBatch materialized_;
+  size_t emit_offset_ = 0;
+};
+
+class LimitOperator : public Operator {
+ public:
+  LimitOperator(ExecContext* ctx, OperatorPtr child, int64_t limit);
+  Status Open() override { return child_->Open(); }
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override { return child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  OperatorPtr child_;
+  int64_t remaining_;
+};
+
+class UnionOperator : public Operator {
+ public:
+  UnionOperator(ExecContext* ctx, std::vector<OperatorPtr> children, Schema schema);
+  Status Open() override;
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  std::vector<OperatorPtr> children_;
+  Schema schema_;
+  size_t current_ = 0;
+};
+
+/// INTERSECT / EXCEPT with set (distinct) semantics via row-digest sets.
+class SetOpOperator : public Operator {
+ public:
+  SetOpOperator(ExecContext* ctx, OperatorPtr left, OperatorPtr right,
+                bool is_intersect);
+  Status Open() override;
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override;
+  const Schema& schema() const override { return left_->schema(); }
+
+ private:
+  OperatorPtr left_, right_;
+  bool is_intersect_;
+  bool done_ = false;
+  RowBatch result_;
+  bool emitted_ = false;
+};
+
+/// Window functions: materializes the input, then computes each call over
+/// its partition/order spec, appending result columns.
+class WindowOperator : public Operator {
+ public:
+  WindowOperator(ExecContext* ctx, OperatorPtr child,
+                 std::vector<WindowCall> calls, Schema schema);
+  Status Open() override { return child_->Open(); }
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override { return child_->Close(); }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<WindowCall> calls_;
+  Schema schema_;
+  bool computed_ = false;
+  RowBatch result_;
+  bool emitted_ = false;
+};
+
+/// Shared-work spool (Section 4.5): the first consumer executes the shared
+/// subtree and materializes its batches; subsequent consumers replay them.
+struct SpoolState {
+  std::mutex mu;
+  bool materialized = false;
+  Status status;
+  std::vector<RowBatch> batches;
+  OperatorPtr source;
+};
+
+class SpoolOperator : public Operator {
+ public:
+  SpoolOperator(ExecContext* ctx, std::shared_ptr<SpoolState> state, Schema schema);
+  Status Open() override;
+  Result<RowBatch> Next(bool* done) override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  std::shared_ptr<SpoolState> state_;
+  Schema schema_;
+  size_t index_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_EXEC_OPERATORS_H_

@@ -1,0 +1,328 @@
+#include <algorithm>
+
+#include "exec/operators.h"
+#include "exec/vector_eval.h"
+#include "optimizer/expr_eval.h"
+
+namespace hive {
+
+namespace {
+
+/// Converts a bound conjunct over the scan output into a sargable predicate
+/// when possible (col op literal, BETWEEN, IN, IS [NOT] NULL).
+bool ToSarg(const ExprPtr& e, const Schema& schema, SargPredicate* out) {
+  auto column_name = [&](const ExprPtr& c) -> const std::string* {
+    if (c->kind != ExprKind::kColumnRef) return nullptr;
+    if (c->binding < 0 || static_cast<size_t>(c->binding) >= schema.num_fields())
+      return nullptr;
+    return &schema.field(c->binding).name;
+  };
+  switch (e->kind) {
+    case ExprKind::kBinary: {
+      const ExprPtr& l = e->children[0];
+      const ExprPtr& r = e->children[1];
+      const std::string* col = nullptr;
+      Value literal;
+      bool mirrored = false;
+      if ((col = column_name(l)) && r->kind == ExprKind::kLiteral) {
+        literal = r->literal;
+      } else if ((col = column_name(r)) && l->kind == ExprKind::kLiteral) {
+        literal = l->literal;
+        mirrored = true;
+      } else {
+        return false;
+      }
+      if (literal.is_null()) return false;
+      SargOp op;
+      switch (e->bin_op) {
+        case BinaryOp::kEq: op = SargOp::kEq; break;
+        case BinaryOp::kLt: op = mirrored ? SargOp::kGt : SargOp::kLt; break;
+        case BinaryOp::kLe: op = mirrored ? SargOp::kGe : SargOp::kLe; break;
+        case BinaryOp::kGt: op = mirrored ? SargOp::kLt : SargOp::kGt; break;
+        case BinaryOp::kGe: op = mirrored ? SargOp::kLe : SargOp::kGe; break;
+        default: return false;
+      }
+      out->column = *col;
+      out->op = op;
+      out->values = {literal};
+      return true;
+    }
+    case ExprKind::kBetween: {
+      if (e->negated) return false;
+      const std::string* col = column_name(e->children[0]);
+      if (!col || e->children[1]->kind != ExprKind::kLiteral ||
+          e->children[2]->kind != ExprKind::kLiteral)
+        return false;
+      out->column = *col;
+      out->op = SargOp::kBetween;
+      out->values = {e->children[1]->literal, e->children[2]->literal};
+      return true;
+    }
+    case ExprKind::kInList: {
+      if (e->negated) return false;
+      const std::string* col = column_name(e->children[0]);
+      if (!col) return false;
+      out->column = *col;
+      out->op = SargOp::kIn;
+      for (size_t i = 1; i < e->children.size(); ++i) {
+        if (e->children[i]->kind != ExprKind::kLiteral) return false;
+        out->values.push_back(e->children[i]->literal);
+      }
+      return true;
+    }
+    case ExprKind::kIsNull: {
+      const std::string* col = column_name(e->children[0]);
+      if (!col) return false;
+      out->column = *col;
+      out->op = e->negated ? SargOp::kIsNotNull : SargOp::kIsNull;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ScanOperator::ScanOperator(ExecContext* ctx, const RelNode& node)
+    : Operator(ctx),
+      table_(node.table),
+      projected_(node.projected),
+      filters_(node.scan_filters),
+      reducers_(node.semijoin_reducers),
+      partitions_(node.pruned_partitions),
+      partitions_pruned_(node.partitions_pruned),
+      out_schema_(node.schema) {}
+
+Status ScanOperator::Open() {
+  // Resolve the data-column projection (partition columns are virtual).
+  size_t data_width = table_.schema.num_fields();
+  output_from_data_.assign(out_schema_.num_fields(), -1);
+  output_from_part_.assign(out_schema_.num_fields(), -1);
+  for (size_t i = 0; i < projected_.size(); ++i) {
+    size_t full_ordinal = projected_[i];
+    if (full_ordinal < data_width) {
+      output_from_data_[i] = static_cast<int>(data_columns_.size());
+      data_columns_.push_back(full_ordinal);
+    } else {
+      output_from_part_[i] = static_cast<int>(full_ordinal - data_width);
+    }
+  }
+
+  // Locations to read.
+  if (table_.IsPartitioned()) {
+    std::vector<PartitionInfo> partitions = partitions_;
+    if (!partitions_pruned_) {
+      HIVE_ASSIGN_OR_RETURN(partitions,
+                            ctx_->catalog->GetPartitions(table_.db, table_.name));
+    }
+    for (const PartitionInfo& p : partitions)
+      locations_.push_back({p.location, p.values});
+  } else {
+    locations_.push_back({table_.location, {}});
+  }
+
+  // Static sarg from the residual filters.
+  for (const ExprPtr& f : filters_) {
+    SargPredicate pred;
+    if (ToSarg(f, out_schema_, &pred)) sarg_.conjuncts.push_back(std::move(pred));
+  }
+
+  // Dynamic semijoin reduction (Section 4.6).
+  HIVE_RETURN_IF_ERROR(RunSemiJoinReducers());
+
+  location_index_ = 0;
+  return AdvanceLocation();
+}
+
+Status ScanOperator::RunSemiJoinReducers() {
+  for (const SemiJoinReducer& reducer : reducers_) {
+    if (!ctx_->compile_subplan) break;
+    HIVE_ASSIGN_OR_RETURN(OperatorPtr build_op, ctx_->compile_subplan(reducer.build_plan));
+    HIVE_ASSIGN_OR_RETURN(RowBatch rows, CollectAll(build_op.get()));
+    // Evaluate the key expression over the build output.
+    HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr keys, EvalVector(*reducer.build_key, rows));
+    Value min, max;
+    auto bloom = std::make_shared<BloomFilter>(std::max<size_t>(rows.num_rows(), 16),
+                                               0.03);
+    std::vector<Value> values;
+    for (size_t i = 0; i < rows.num_rows(); ++i) {
+      if (keys->IsNull(i)) continue;
+      Value v = keys->GetValue(i);
+      if (min.is_null() || Value::Compare(v, min) < 0) min = v;
+      if (max.is_null() || Value::Compare(v, max) > 0) max = v;
+      bloom->Add(v);
+      if (reducer.partition_pruning && values.size() < 100000) values.push_back(v);
+    }
+    if (min.is_null()) {
+      // Build side empty: nothing can match.
+      locations_.clear();
+      continue;
+    }
+    if (reducer.partition_pruning && table_.IsPartitioned()) {
+      // Dynamic partition pruning: drop partitions whose value for the
+      // target column is not produced by the build side.
+      int part_index = -1;
+      for (size_t p = 0; p < table_.partition_cols.size(); ++p)
+        if (ToLower(table_.partition_cols[p].name) == ToLower(reducer.target_column))
+          part_index = static_cast<int>(p);
+      if (part_index >= 0) {
+        std::vector<Location> kept;
+        for (const Location& loc : locations_) {
+          const Value& pv = loc.partition_values[part_index];
+          bool match = false;
+          for (const Value& v : values)
+            if (Value::Compare(v, pv) == 0) match = true;
+          if (match) kept.push_back(loc);
+        }
+        locations_ = std::move(kept);
+        continue;
+      }
+    }
+    // Index-semijoin variant (Section 4.6): a min/max range condition for
+    // row-group skipping plus a Bloom filter applied row-wise in the scan.
+    SargPredicate range;
+    range.column = reducer.target_column;
+    range.op = SargOp::kBetween;
+    range.values = {min, max};
+    sarg_.conjuncts.push_back(std::move(range));
+    auto idx = out_schema_.IndexOf(reducer.target_column);
+    if (idx) runtime_blooms_.push_back({static_cast<int>(*idx), bloom});
+  }
+  return Status::OK();
+}
+
+Status ScanOperator::AdvanceLocation() {
+  reader_.reset();
+  plain_reader_.reset();
+  plain_files_.clear();
+  plain_file_index_ = 0;
+  plain_rg_ = 0;
+  if (location_index_ >= locations_.size()) return Status::OK();
+  const Location& loc = locations_[location_index_];
+  if (table_.is_acid) {
+    reader_ = std::make_unique<AcidReader>(ctx_->fs, loc.path, table_.schema,
+                                           ctx_->chunks);
+    AcidScanOptions options;
+    options.columns = data_columns_;
+    options.sarg = sarg_;
+    ValidWriteIdList snapshot = ctx_->snapshot_for
+                                    ? ctx_->snapshot_for(table_.FullName())
+                                    : ValidWriteIdList::All();
+    return reader_->Open(snapshot, options);
+  }
+  // Non-ACID: plain COF files directly under the location.
+  if (ctx_->fs->Exists(loc.path)) {
+    HIVE_ASSIGN_OR_RETURN(std::vector<FileInfo> files, ctx_->fs->ListDir(loc.path));
+    for (const FileInfo& f : files)
+      if (!f.is_dir) plain_files_.push_back(f.path);
+  }
+  return Status::OK();
+}
+
+Result<RowBatch> ScanOperator::PostProcess(RowBatch raw, const Location& loc) {
+  // Assemble the output batch: data columns by position, partition columns
+  // as broadcast constants.
+  RowBatch out(out_schema_);
+  size_t n = raw.num_rows();
+  for (size_t i = 0; i < out_schema_.num_fields(); ++i) {
+    if (output_from_data_[i] >= 0) {
+      out.SetColumn(i, raw.column(output_from_data_[i]));
+    } else {
+      auto col = std::make_shared<ColumnVector>(out_schema_.field(i).type);
+      const Value& v = loc.partition_values[output_from_part_[i]];
+      col->Resize(n);
+      if (v.is_null()) {
+        std::fill(col->validity().begin(), col->validity().end(), 0);
+      } else {
+        std::fill(col->validity().begin(), col->validity().end(), 1);
+        if (out_schema_.field(i).type.kind == TypeKind::kDouble)
+          std::fill(col->f64_data().begin(), col->f64_data().end(), v.AsDouble());
+        else if (out_schema_.field(i).type.kind == TypeKind::kString)
+          std::fill(col->str_data().begin(), col->str_data().end(), v.str());
+        else
+          std::fill(col->i64_data().begin(), col->i64_data().end(), v.AsInt64());
+      }
+      out.SetColumn(i, std::move(col));
+    }
+  }
+  out.set_num_rows(n);
+  if (raw.has_selection()) out.SetSelection(raw.selection());
+  // Residual predicate evaluation (sargs are row-group granularity only).
+  for (const ExprPtr& f : filters_) {
+    HIVE_ASSIGN_OR_RETURN(std::vector<int32_t> selection, FilterSelection(*f, out));
+    out.SetSelection(std::move(selection));
+  }
+  // Row-level semijoin-reducer Bloom filtering.
+  for (const auto& [column, bloom] : runtime_blooms_) {
+    std::vector<int32_t> selection;
+    selection.reserve(out.SelectedSize());
+    const ColumnVector& col = *out.column(column);
+    for (size_t i = 0; i < out.SelectedSize(); ++i) {
+      int32_t row = out.SelectedRow(i);
+      if (!col.IsNull(row) && bloom->MightContain(col.GetValue(row)))
+        selection.push_back(row);
+    }
+    out.SetSelection(std::move(selection));
+  }
+  rows_produced_ += static_cast<int64_t>(out.SelectedSize());
+  return out;
+}
+
+Result<RowBatch> ScanOperator::Next(bool* done) {
+  *done = false;
+  HIVE_RETURN_IF_ERROR(CheckCancelled());
+  for (;;) {
+    if (location_index_ >= locations_.size()) {
+      *done = true;
+      return RowBatch();
+    }
+    const Location& loc = locations_[location_index_];
+    if (table_.is_acid) {
+      bool reader_done = false;
+      HIVE_ASSIGN_OR_RETURN(RowBatch raw, reader_->NextBatch(&reader_done));
+      if (reader_done) {
+        row_groups_skipped_ += reader_->row_groups_skipped();
+        ++location_index_;
+        HIVE_RETURN_IF_ERROR(AdvanceLocation());
+        continue;
+      }
+      return PostProcess(std::move(raw), loc);
+    }
+    // Non-ACID path.
+    if (!plain_reader_) {
+      if (plain_file_index_ >= plain_files_.size()) {
+        ++location_index_;
+        HIVE_RETURN_IF_ERROR(AdvanceLocation());
+        continue;
+      }
+      HIVE_ASSIGN_OR_RETURN(plain_reader_,
+                            ctx_->chunks->OpenReader(plain_files_[plain_file_index_]));
+      plain_rg_ = 0;
+    }
+    if (plain_rg_ >= plain_reader_->num_row_groups()) {
+      plain_reader_.reset();
+      ++plain_file_index_;
+      continue;
+    }
+    size_t rg = plain_rg_++;
+    if (!plain_reader_->MightMatch(rg, sarg_)) {
+      ++row_groups_skipped_;
+      continue;
+    }
+    Schema raw_schema;
+    for (size_t c : data_columns_)
+      raw_schema.AddField(plain_reader_->schema().field(c).name,
+                          plain_reader_->schema().field(c).type);
+    RowBatch raw(raw_schema);
+    for (size_t i = 0; i < data_columns_.size(); ++i) {
+      HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                            ctx_->chunks->ReadChunk(plain_reader_, rg, data_columns_[i]));
+      raw.SetColumn(i, std::move(col));
+    }
+    raw.set_num_rows(plain_reader_->row_group(rg).num_rows);
+    return PostProcess(std::move(raw), loc);
+  }
+}
+
+}  // namespace hive

@@ -1,0 +1,248 @@
+#include <algorithm>
+#include <numeric>
+
+#include "common/hash.h"
+#include "exec/operators.h"
+#include "exec/vector_eval.h"
+#include "optimizer/expr_eval.h"
+
+namespace hive {
+
+// --- Sort ---
+
+SortOperator::SortOperator(ExecContext* ctx, OperatorPtr child,
+                           std::vector<std::pair<ExprPtr, bool>> keys, int64_t fetch)
+    : Operator(ctx), child_(std::move(child)), keys_(std::move(keys)), fetch_(fetch) {}
+
+Result<RowBatch> SortOperator::Next(bool* done) {
+  if (!sorted_) {
+    sorted_ = true;
+    HIVE_ASSIGN_OR_RETURN(RowBatch all, CollectAllIntoDense());
+    // Evaluate the sort keys once over the dense batch.
+    std::vector<ColumnVectorPtr> key_cols;
+    for (const auto& [expr, asc] : keys_) {
+      HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*expr, all));
+      key_cols.push_back(std::move(col));
+    }
+    std::vector<int32_t> order(all.num_rows());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      for (size_t k = 0; k < keys_.size(); ++k) {
+        Value va = key_cols[k]->GetValue(a);
+        Value vb = key_cols[k]->GetValue(b);
+        int cmp = Value::Compare(va, vb);
+        if (cmp != 0) return keys_[k].second ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    });
+    if (fetch_ >= 0 && static_cast<int64_t>(order.size()) > fetch_)
+      order.resize(static_cast<size_t>(fetch_));
+    materialized_ = RowBatch(child_->schema());
+    for (int32_t row : order)
+      for (size_t c = 0; c < materialized_.num_columns(); ++c)
+        materialized_.column(c)->AppendFrom(*all.column(c), row);
+    materialized_.set_num_rows(order.size());
+    HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(all.ByteSize()));
+  }
+  if (emit_offset_ > 0 || materialized_.num_rows() == 0) {
+    *done = true;
+    return RowBatch();
+  }
+  emit_offset_ = materialized_.num_rows();
+  rows_produced_ += static_cast<int64_t>(materialized_.num_rows());
+  *done = false;
+  return materialized_;
+}
+
+Result<RowBatch> SortOperator::CollectAllIntoDense() {
+  RowBatch out(child_->schema());
+  bool done = false;
+  size_t rows = 0;
+  for (;;) {
+    HIVE_RETURN_IF_ERROR(CheckCancelled());
+    HIVE_ASSIGN_OR_RETURN(RowBatch batch, child_->Next(&done));
+    if (done) break;
+    rows += batch.SelectedSize();
+    for (size_t i = 0; i < batch.SelectedSize(); ++i) {
+      int32_t row = batch.SelectedRow(i);
+      for (size_t c = 0; c < out.num_columns(); ++c)
+        out.column(c)->AppendFrom(*batch.column(c), row);
+    }
+  }
+  out.set_num_rows(rows);
+  return out;
+}
+
+// --- Window ---
+
+WindowOperator::WindowOperator(ExecContext* ctx, OperatorPtr child,
+                               std::vector<WindowCall> calls, Schema schema)
+    : Operator(ctx),
+      child_(std::move(child)),
+      calls_(std::move(calls)),
+      schema_(std::move(schema)) {}
+
+Result<RowBatch> WindowOperator::Next(bool* done) {
+  if (!computed_) {
+    computed_ = true;
+    // Materialize the input densely.
+    RowBatch all(child_->schema());
+    bool child_done = false;
+    for (;;) {
+      HIVE_ASSIGN_OR_RETURN(RowBatch batch, child_->Next(&child_done));
+      if (child_done) break;
+      for (size_t i = 0; i < batch.SelectedSize(); ++i) {
+        int32_t row = batch.SelectedRow(i);
+        for (size_t c = 0; c < all.num_columns(); ++c)
+          all.column(c)->AppendFrom(*batch.column(c), row);
+      }
+    }
+    all.set_num_rows(all.num_columns() ? all.column(0)->size() : 0);
+    HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(all.ByteSize()));
+
+    result_ = RowBatch(schema_);
+    for (size_t c = 0; c < all.num_columns(); ++c) result_.SetColumn(c, all.column(c));
+    result_.set_num_rows(all.num_rows());
+    const size_t n = all.num_rows();
+
+    for (const WindowCall& call : calls_) {
+      auto out_col = std::make_shared<ColumnVector>(call.result_type);
+      out_col->Resize(n);
+
+      // Partition the rows.
+      std::vector<ColumnVectorPtr> part_cols;
+      for (const ExprPtr& p : call.partition_by) {
+        HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*p, all));
+        part_cols.push_back(std::move(col));
+      }
+      std::vector<ColumnVectorPtr> order_cols;
+      for (const auto& [o, asc] : call.order_by) {
+        HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*o, all));
+        order_cols.push_back(std::move(col));
+      }
+      ColumnVectorPtr arg_col;
+      if (call.arg) {
+        HIVE_ASSIGN_OR_RETURN(arg_col, EvalVector(*call.arg, all));
+      }
+
+      std::unordered_map<uint64_t, std::vector<int32_t>> partitions;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t h = 0x9e3779b97f4a7c15ULL;
+        for (const auto& col : part_cols) h = HashCombine(h, col->GetValue(i).Hash());
+        partitions[h].push_back(static_cast<int32_t>(i));
+      }
+
+      for (auto& [h, rows] : partitions) {
+        // Sort the partition by the order keys.
+        if (!order_cols.empty()) {
+          std::stable_sort(rows.begin(), rows.end(), [&](int32_t a, int32_t b) {
+            for (size_t k = 0; k < order_cols.size(); ++k) {
+              int cmp = Value::Compare(order_cols[k]->GetValue(a),
+                                       order_cols[k]->GetValue(b));
+              if (cmp != 0) return call.order_by[k].second ? cmp < 0 : cmp > 0;
+            }
+            return false;
+          });
+        }
+        if (call.func == "ROW_NUMBER") {
+          for (size_t i = 0; i < rows.size(); ++i) {
+            out_col->validity()[rows[i]] = 1;
+            out_col->i64_data()[rows[i]] = static_cast<int64_t>(i + 1);
+          }
+        } else if (call.func == "RANK" || call.func == "DENSE_RANK") {
+          int64_t rank = 0, dense = 0;
+          for (size_t i = 0; i < rows.size(); ++i) {
+            bool tie = i > 0;
+            for (size_t k = 0; k < order_cols.size() && tie; ++k)
+              if (Value::Compare(order_cols[k]->GetValue(rows[i]),
+                                 order_cols[k]->GetValue(rows[i - 1])) != 0)
+                tie = false;
+            if (!tie) {
+              rank = static_cast<int64_t>(i + 1);
+              ++dense;
+            }
+            out_col->validity()[rows[i]] = 1;
+            out_col->i64_data()[rows[i]] =
+                call.func == "RANK" ? rank : dense;
+          }
+        } else {
+          // Aggregate window functions. With ORDER BY: running aggregate up
+          // to the current row (default frame); without: partition total.
+          bool running = !order_cols.empty();
+          auto assign = [&](int32_t row, const Value& v) {
+            if (v.is_null()) {
+              out_col->validity()[row] = 0;
+              return;
+            }
+            out_col->validity()[row] = 1;
+            if (call.result_type.kind == TypeKind::kDouble)
+              out_col->f64_data()[row] = v.AsDouble();
+            else if (call.result_type.kind == TypeKind::kString)
+              out_col->str_data()[row] = v.str();
+            else if (call.result_type.kind == TypeKind::kDecimal) {
+              auto cast = v.CastTo(call.result_type);
+              out_col->i64_data()[row] = cast.ok() && !cast->is_null() ? cast->i64() : 0;
+            } else {
+              out_col->i64_data()[row] = v.AsInt64();
+            }
+          };
+          double sum_f64 = 0;
+          int64_t sum_i64 = 0, count = 0;
+          Value min, max;
+          auto current = [&]() -> Value {
+            if (call.func == "COUNT") return Value::Bigint(count);
+            if (count == 0) return Value::Null();
+            if (call.func == "SUM") {
+              if (call.result_type.kind == TypeKind::kDouble) return Value::Double(sum_f64);
+              if (call.result_type.kind == TypeKind::kDecimal)
+                return Value::Decimal(sum_i64, call.result_type.scale);
+              return Value::Bigint(sum_i64);
+            }
+            if (call.func == "AVG")
+              return Value::Double(sum_f64 / static_cast<double>(count));
+            if (call.func == "MIN") return min;
+            if (call.func == "MAX") return max;
+            return Value::Null();
+          };
+          auto accumulate = [&](int32_t row) {
+            Value v = arg_col ? arg_col->GetValue(row) : Value::Bigint(1);
+            if (arg_col && v.is_null()) return;
+            ++count;
+            sum_f64 += v.AsDouble();
+            if (call.result_type.kind == TypeKind::kDecimal) {
+              auto cast = v.CastTo(call.result_type);
+              sum_i64 += cast.ok() && !cast->is_null() ? cast->i64() : 0;
+            } else {
+              sum_i64 += v.AsInt64();
+            }
+            if (min.is_null() || Value::Compare(v, min) < 0) min = v;
+            if (max.is_null() || Value::Compare(v, max) > 0) max = v;
+          };
+          if (running) {
+            for (int32_t row : rows) {
+              accumulate(row);
+              assign(row, current());
+            }
+          } else {
+            for (int32_t row : rows) accumulate(row);
+            Value total = current();
+            for (int32_t row : rows) assign(row, total);
+          }
+        }
+      }
+      result_.SetColumn(result_.num_columns() - calls_.size() +
+                            (&call - calls_.data()),
+                        out_col);
+    }
+    rows_produced_ += static_cast<int64_t>(result_.num_rows());
+  }
+  if (emitted_ || result_.num_rows() == 0) {
+    *done = true;
+    return RowBatch();
+  }
+  emitted_ = true;
+  *done = false;
+  return result_;
+}
+
+}  // namespace hive

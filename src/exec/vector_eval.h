@@ -1,0 +1,25 @@
+#ifndef HIVE_EXEC_VECTOR_EVAL_H_
+#define HIVE_EXEC_VECTOR_EVAL_H_
+
+#include "common/column_vector.h"
+#include "sql/ast.h"
+
+namespace hive {
+
+/// Vectorized expression interpreter: evaluates a bound expression over all
+/// *physical* rows of a batch (selection vectors are applied by the caller).
+/// Column references alias the input vectors; arithmetic and comparisons on
+/// integer/double columns run as tight loops over the raw buffers; complex
+/// expressions (CASE, functions) fall back to a row-wise loop over the same
+/// batch. This mirrors the vectorized operator model of [39] that LLAP
+/// executes directly on its RLE data (Section 5.1).
+Result<ColumnVectorPtr> EvalVector(const Expr& e, const RowBatch& batch);
+
+/// Evaluates a boolean predicate and intersects it with the batch's current
+/// selection, returning the surviving physical row indexes.
+Result<std::vector<int32_t>> FilterSelection(const Expr& predicate,
+                                             const RowBatch& batch);
+
+}  // namespace hive
+
+#endif  // HIVE_EXEC_VECTOR_EVAL_H_

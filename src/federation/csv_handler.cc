@@ -1,0 +1,96 @@
+#include "federation/csv_handler.h"
+
+#include "federation/materialized_operator.h"
+
+namespace hive {
+
+std::string CsvJoin(const std::vector<Value>& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out.push_back(',');
+    if (row[i].is_null()) {
+      out += "\\N";
+      continue;
+    }
+    for (char c : row[i].ToString()) {
+      if (c == ',' || c == '\\' || c == '\n') out.push_back('\\');
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> CsvSplit(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      if (line[i + 1] == 'N' && cur.empty() &&
+          (i + 2 >= line.size() || line[i + 2] == ',')) {
+        cur = "\\N";
+        ++i;
+        continue;
+      }
+      cur.push_back(line[++i]);
+      continue;
+    }
+    if (line[i] == ',') {
+      out.push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    cur.push_back(line[i]);
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+Status CsvStorageHandler::Insert(const TableDesc& table, const RowBatch& rows) {
+  std::string path = DataFile(table);
+  std::string existing;
+  if (fs_->Exists(path)) {
+    HIVE_ASSIGN_OR_RETURN(existing, fs_->ReadFile(path));
+  }
+  for (size_t i = 0; i < rows.SelectedSize(); ++i) {
+    existing += CsvJoin(rows.GetRow(i));
+    existing.push_back('\n');
+  }
+  return fs_->WriteFile(path, existing);
+}
+
+Result<OperatorPtr> CsvStorageHandler::CreateScan(ExecContext* ctx,
+                                                  const RelNode& scan) {
+  Schema full = scan.table.FullSchema();
+  Schema proj_schema;
+  for (size_t ordinal : scan.projected)
+    proj_schema.AddField(full.field(ordinal).name, full.field(ordinal).type);
+  RowBatch rows(proj_schema);
+  size_t out_rows = 0;
+  std::string path = DataFile(scan.table);
+  if (fs_->Exists(path)) {
+    HIVE_ASSIGN_OR_RETURN(std::string data, fs_->ReadFile(path));
+    size_t start = 0;
+    while (start < data.size()) {
+      size_t end = data.find('\n', start);
+      if (end == std::string::npos) end = data.size();
+      if (end > start) {
+        std::vector<std::string> fields = CsvSplit(data.substr(start, end - start));
+        ++out_rows;
+        for (size_t i = 0; i < scan.projected.size(); ++i) {
+          size_t src = scan.projected[i];
+          Value v = Value::Null();
+          if (src < fields.size() && fields[src] != "\\N") {
+            auto parsed = Value::Parse(fields[src], proj_schema.field(i).type);
+            if (parsed.ok()) v = *parsed;
+          }
+          rows.column(i)->AppendValue(v);
+        }
+      }
+      start = end + 1;
+    }
+  }
+  rows.set_num_rows(out_rows);
+  return OperatorPtr(std::make_unique<MaterializedScanOperator>(ctx, scan, rows));
+}
+
+}  // namespace hive

@@ -1,0 +1,42 @@
+#ifndef HIVE_FEDERATION_CSV_HANDLER_H_
+#define HIVE_FEDERATION_CSV_HANDLER_H_
+
+#include "federation/storage_handler.h"
+#include "fs/filesystem.h"
+
+namespace hive {
+
+/// A minimal "JDBC-style" handler: external tables stored as delimited text
+/// files under the table location. Demonstrates the second pushdown target
+/// class of Section 6.2 (engines reached via generated SQL — here the
+/// generated form is the scan itself) and gives the engine a plain-text
+/// interchange format. One file `data.csv`, '\x01'-free comma-separated
+/// values with '\' escaping, one line per row.
+class CsvStorageHandler : public StorageHandler {
+ public:
+  explicit CsvStorageHandler(FileSystem* fs) : fs_(fs) {}
+
+  std::string name() const override { return "jdbc"; }
+
+  Result<OperatorPtr> CreateScan(ExecContext* ctx, const RelNode& scan) override;
+  Status Insert(const TableDesc& table, const RowBatch& rows) override;
+  Status OnCreateTable(TableDesc* desc) override {
+    desc->is_acid = false;
+    return Status::OK();
+  }
+
+ private:
+  std::string DataFile(const TableDesc& table) const {
+    return JoinPath(table.location, "data.csv");
+  }
+
+  FileSystem* fs_;
+};
+
+/// CSV line helpers shared with the workload generators.
+std::string CsvJoin(const std::vector<Value>& row);
+std::vector<std::string> CsvSplit(const std::string& line);
+
+}  // namespace hive
+
+#endif  // HIVE_FEDERATION_CSV_HANDLER_H_

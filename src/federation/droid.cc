@@ -1,0 +1,607 @@
+#include "federation/droid.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace hive {
+
+namespace {
+
+constexpr int64_t kMonthUs = 30LL * 86400 * 1000000;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DroidQuery::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"queryType\": \"" + query_type + "\",\n";
+  out += "  \"dataSource\": \"" + JsonEscape(datasource) + "\",\n";
+  out += "  \"granularity\": \"all\",\n";
+  out += "  \"dimensions\": [";
+  for (size_t i = 0; i < dimensions.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + JsonEscape(dimensions[i]) + "\"";
+  }
+  out += "],\n  \"aggregations\": [";
+  for (size_t i = 0; i < aggregations.size(); ++i) {
+    if (i) out += ", ";
+    out += "{ \"type\": \"" + aggregations[i].type + "\", \"name\": \"" +
+           JsonEscape(aggregations[i].name) + "\", \"fieldName\": \"" +
+           JsonEscape(aggregations[i].field) + "\" }";
+  }
+  out += "],\n  \"filter\": [";
+  bool first = true;
+  for (const DroidSelector& s : filters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{ \"type\": \"selector\", \"dimension\": \"" + JsonEscape(s.dimension) +
+           "\", \"value\": \"" + JsonEscape(s.value) + "\" }";
+  }
+  for (size_t i = 0; i < in_dimension.size(); ++i) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{ \"type\": \"in\", \"dimension\": \"" + JsonEscape(in_dimension[i]) +
+           "\", \"values\": [";
+    for (size_t v = 0; v < in_values[i].size(); ++v) {
+      if (v) out += ", ";
+      out += "\"" + JsonEscape(in_values[i][v]) + "\"";
+    }
+    out += "] }";
+  }
+  for (const DroidBound& b : bounds) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{ \"type\": \"bound\", \"dimension\": \"" + JsonEscape(b.dimension) + "\"";
+    if (b.has_lower)
+      out += ", \"lower\": " + std::to_string(b.lower) + ", \"lowerStrict\": " +
+             (b.lower_strict ? "true" : "false");
+    if (b.has_upper)
+      out += ", \"upper\": " + std::to_string(b.upper) + ", \"upperStrict\": " +
+             (b.upper_strict ? "true" : "false");
+    out += " }";
+  }
+  out += "],\n";
+  out += "  \"intervals\": [\"" + std::to_string(interval_start_us) + "/" +
+         std::to_string(interval_end_us) + "\"],\n";
+  out += "  \"limit\": " + std::to_string(limit) + ",\n";
+  out += "  \"orderBy\": [";
+  for (size_t i = 0; i < order_by.size(); ++i) {
+    if (i) out += ", ";
+    out += "{ \"column\": \"" + JsonEscape(order_by[i].first) + "\", \"direction\": \"" +
+           (order_by[i].second ? "ascending" : "descending") + "\" }";
+  }
+  out += "]\n}";
+  return out;
+}
+
+// Minimal parser for the exact shape ToJson emits (the engine is both
+// producer and consumer; a full JSON parser would add nothing here).
+namespace {
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) ++i;
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+/// Reads the quoted string immediately after `key` (first occurrence from
+/// `from`), returning its end position.
+bool ReadString(const std::string& json, size_t* pos, std::string* out) {
+  size_t q1 = json.find('"', *pos);
+  if (q1 == std::string::npos) return false;
+  size_t q2 = q1 + 1;
+  while (q2 < json.size() && (json[q2] != '"' || json[q2 - 1] == '\\')) ++q2;
+  if (q2 >= json.size()) return false;
+  *out = Unescape(json.substr(q1 + 1, q2 - q1 - 1));
+  *pos = q2 + 1;
+  return true;
+}
+
+}  // namespace
+
+Result<DroidQuery> ParseDroidQuery(const std::string& json) {
+  DroidQuery q;
+  auto field_string = [&](const char* key, std::string* out) {
+    size_t pos = json.find(std::string("\"") + key + "\":");
+    if (pos == std::string::npos) return false;
+    pos += std::strlen(key) + 3;
+    return ReadString(json, &pos, out);
+  };
+  field_string("queryType", &q.query_type);
+  field_string("dataSource", &q.datasource);
+
+  // dimensions
+  size_t pos = json.find("\"dimensions\": [");
+  if (pos != std::string::npos) {
+    size_t end = json.find(']', pos);
+    size_t cursor = pos + 15;
+    while (cursor < end) {
+      std::string dim;
+      size_t next = cursor;
+      if (!ReadString(json, &next, &dim) || next > end) break;
+      q.dimensions.push_back(dim);
+      cursor = next;
+    }
+  }
+  // aggregations
+  pos = json.find("\"aggregations\": [");
+  if (pos != std::string::npos) {
+    size_t end = json.find("],", pos);
+    size_t cursor = pos;
+    for (;;) {
+      size_t obj = json.find("{ \"type\":", cursor);
+      if (obj == std::string::npos || obj > end) break;
+      DroidAggSpec agg;
+      size_t p = obj + 9;
+      ReadString(json, &p, &agg.type);
+      p = json.find("\"name\":", obj) + 7;
+      ReadString(json, &p, &agg.name);
+      p = json.find("\"fieldName\":", obj) + 12;
+      ReadString(json, &p, &agg.field);
+      q.aggregations.push_back(agg);
+      cursor = obj + 9;
+    }
+  }
+  // filters
+  pos = json.find("\"filter\": [");
+  if (pos != std::string::npos) {
+    size_t end = json.find("],", pos);
+    size_t cursor = pos;
+    for (;;) {
+      size_t obj = json.find("{ \"type\": \"", cursor);
+      if (obj == std::string::npos || obj > end) break;
+      size_t p = obj + 11;
+      std::string type = json.substr(p, json.find('"', p) - p);
+      if (type == "selector") {
+        DroidSelector s;
+        size_t dp = json.find("\"dimension\":", obj) + 12;
+        ReadString(json, &dp, &s.dimension);
+        size_t vp = json.find("\"value\":", obj) + 8;
+        ReadString(json, &vp, &s.value);
+        q.filters.push_back(s);
+      } else if (type == "in") {
+        std::string dim;
+        size_t dp = json.find("\"dimension\":", obj) + 12;
+        ReadString(json, &dp, &dim);
+        size_t vs = json.find("\"values\": [", obj) + 11;
+        size_t ve = json.find(']', vs);
+        std::vector<std::string> values;
+        size_t cur = vs;
+        while (cur < ve) {
+          std::string v;
+          size_t next = cur;
+          if (!ReadString(json, &next, &v) || next > ve) break;
+          values.push_back(v);
+          cur = next;
+        }
+        q.in_dimension.push_back(dim);
+        q.in_values.push_back(values);
+      } else if (type == "bound") {
+        DroidBound b;
+        size_t dp = json.find("\"dimension\":", obj) + 12;
+        ReadString(json, &dp, &b.dimension);
+        size_t obj_end = json.find('}', obj);
+        size_t lp = json.find("\"lower\":", obj);
+        if (lp != std::string::npos && lp < obj_end) {
+          b.has_lower = true;
+          b.lower = std::strtod(json.c_str() + lp + 8, nullptr);
+          size_t ls = json.find("\"lowerStrict\":", obj);
+          if (ls != std::string::npos && ls < obj_end)
+            b.lower_strict = json.compare(ls + 15, 4, "true") == 0;
+        }
+        size_t up = json.find("\"upper\":", obj);
+        if (up != std::string::npos && up < obj_end) {
+          b.has_upper = true;
+          b.upper = std::strtod(json.c_str() + up + 8, nullptr);
+          size_t us = json.find("\"upperStrict\":", obj);
+          if (us != std::string::npos && us < obj_end)
+            b.upper_strict = json.compare(us + 15, 4, "true") == 0;
+        }
+        q.bounds.push_back(b);
+      }
+      cursor = obj + 11;
+    }
+  }
+  // intervals
+  pos = json.find("\"intervals\": [\"");
+  if (pos != std::string::npos) {
+    const char* p = json.c_str() + pos + 15;
+    q.interval_start_us = std::strtoll(p, nullptr, 10);
+    size_t slash = json.find('/', pos);
+    if (slash != std::string::npos)
+      q.interval_end_us = std::strtoll(json.c_str() + slash + 1, nullptr, 10);
+  }
+  pos = json.find("\"limit\": ");
+  if (pos != std::string::npos) q.limit = std::strtoll(json.c_str() + pos + 9, nullptr, 10);
+  // orderBy
+  pos = json.find("\"orderBy\": [");
+  if (pos != std::string::npos) {
+    size_t cursor = pos;
+    for (;;) {
+      size_t obj = json.find("{ \"column\":", cursor);
+      if (obj == std::string::npos) break;
+      std::string column, direction;
+      size_t p = obj + 11;
+      ReadString(json, &p, &column);
+      size_t dp = json.find("\"direction\":", obj) + 12;
+      ReadString(json, &dp, &direction);
+      q.order_by.push_back({column, direction == "ascending"});
+      cursor = obj + 11;
+    }
+  }
+  return q;
+}
+
+DroidSegment::DroidSegment(Schema schema, int64_t start_us, int64_t end_us)
+    : schema_(std::move(schema)), start_us_(start_us), end_us_(end_us) {
+  for (size_t i = 0; i < schema_.num_fields(); ++i)
+    columns_.push_back(std::make_shared<ColumnVector>(schema_.field(i).type));
+}
+
+void DroidSegment::Append(const std::vector<Value>& row) {
+  for (size_t c = 0; c < columns_.size(); ++c)
+    columns_[c]->AppendValue(c < row.size() ? row[c] : Value::Null());
+  ++num_rows_;
+  sealed_ = false;
+}
+
+void DroidSegment::Seal() {
+  if (sealed_) return;
+  inverted_.clear();
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    if (schema_.field(c).type.kind != TypeKind::kString) continue;
+    auto& index = inverted_[ToLower(schema_.field(c).name)];
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (columns_[c]->IsNull(r)) continue;
+      index[columns_[c]->GetStr(r)].push_back(static_cast<int32_t>(r));
+    }
+  }
+  sealed_ = true;
+}
+
+const std::vector<int32_t>* DroidSegment::Postings(const std::string& dimension,
+                                                   const std::string& value) const {
+  auto dim = inverted_.find(ToLower(dimension));
+  if (dim == inverted_.end()) return nullptr;
+  auto val = dim->second.find(value);
+  static const std::vector<int32_t> kEmpty;
+  return val == dim->second.end() ? &kEmpty : &val->second;
+}
+
+Status DroidDataSource::Ingest(const RowBatch& rows) {
+  auto time_index = schema_.IndexOf("__time");
+  for (size_t i = 0; i < rows.SelectedSize(); ++i) {
+    std::vector<Value> row = rows.GetRow(i);
+    int64_t ts = time_index && !row[*time_index].is_null() ? row[*time_index].i64() : 0;
+    int64_t month = ts >= 0 ? ts / kMonthUs : (ts - kMonthUs + 1) / kMonthUs;
+    auto it = segments_.find(month);
+    if (it == segments_.end()) {
+      it = segments_
+               .emplace(month, std::make_unique<DroidSegment>(
+                                   schema_, month * kMonthUs, (month + 1) * kMonthUs))
+               .first;
+    }
+    it->second->Append(row);
+  }
+  return Status::OK();
+}
+
+size_t DroidDataSource::num_rows() const {
+  size_t n = 0;
+  for (const auto& [month, segment] : segments_) n += segment->num_rows();
+  return n;
+}
+
+Result<RowBatch> DroidDataSource::Execute(const DroidQuery& query) const {
+  // Raw "select" scan: all columns, filters applied, no aggregation.
+  if (query.query_type == "select") {
+    RowBatch out(schema_);
+    size_t out_rows = 0;
+    auto time_index = schema_.IndexOf("__time");
+    for (const auto& [month, segment] : segments_) {
+      for (size_t r = 0; r < segment->num_rows(); ++r) {
+        bool pass = true;
+        for (const DroidSelector& sel : query.filters) {
+          auto idx = schema_.IndexOf(sel.dimension);
+          if (!idx) continue;
+          Value v = segment->GetValue(r, *idx);
+          if (v.is_null() || v.ToString() != sel.value) pass = false;
+          if (!pass) break;
+        }
+        if (pass && time_index) {
+          Value t = segment->GetValue(r, *time_index);
+          if (!t.is_null() &&
+              (t.i64() < query.interval_start_us || t.i64() >= query.interval_end_us))
+            pass = false;
+        }
+        if (!pass) continue;
+        ++out_rows;
+        for (size_t c = 0; c < schema_.num_fields(); ++c)
+          out.column(c)->AppendValue(segment->GetValue(r, c));
+        if (query.limit >= 0 && static_cast<int64_t>(out_rows) >= query.limit) break;
+      }
+    }
+    out.set_num_rows(out_rows);
+    return out;
+  }
+  // Output schema: dimensions (as stored types) then aggregations.
+  Schema out_schema;
+  std::vector<int> dim_cols;
+  for (const std::string& dim : query.dimensions) {
+    auto idx = schema_.IndexOf(dim);
+    if (!idx) return Status::InvalidArgument("droid: unknown dimension " + dim);
+    dim_cols.push_back(static_cast<int>(*idx));
+    out_schema.AddField(schema_.field(*idx).name, schema_.field(*idx).type);
+  }
+  std::vector<int> agg_cols;
+  for (const DroidAggSpec& agg : query.aggregations) {
+    if (agg.type == "count") {
+      agg_cols.push_back(-1);
+      out_schema.AddField(agg.name, DataType::Bigint());
+      continue;
+    }
+    auto idx = schema_.IndexOf(agg.field);
+    if (!idx) return Status::InvalidArgument("droid: unknown metric " + agg.field);
+    agg_cols.push_back(static_cast<int>(*idx));
+    out_schema.AddField(agg.name, agg.type == "longSum" ? DataType::Bigint()
+                                                        : DataType::Double());
+  }
+  auto time_index = schema_.IndexOf("__time");
+  // Pre-resolve bound-filter columns (per-row hot loop below).
+  std::vector<int> bound_cols(query.bounds.size(), -1);
+  for (size_t b = 0; b < query.bounds.size(); ++b) {
+    auto idx = schema_.IndexOf(query.bounds[b].dimension);
+    if (idx) bound_cols[b] = static_cast<int>(*idx);
+  }
+
+  struct GroupAcc {
+    std::vector<Value> dims;
+    std::vector<double> sums;
+    std::vector<int64_t> counts;
+    std::vector<double> mins, maxs;
+    bool any = false;
+  };
+  std::unordered_map<uint64_t, std::vector<GroupAcc>> groups;
+
+  for (const auto& [month, segment] : segments_) {
+    const_cast<DroidSegment*>(segment.get())->Seal();
+    if (segment->end_us() <= query.interval_start_us ||
+        segment->start_us() >= query.interval_end_us) {
+      // Segment-level interval pruning: outside the requested intervals.
+      if (time_index) continue;
+    }
+    // Candidate rows from inverted indexes.
+    std::vector<int32_t> candidates;
+    bool restricted = false;
+    for (const DroidSelector& sel : query.filters) {
+      const std::vector<int32_t>* postings = segment->Postings(sel.dimension, sel.value);
+      if (!postings) continue;  // not an indexed dimension; filtered below
+      if (!restricted) {
+        candidates = *postings;
+        restricted = true;
+      } else {
+        std::vector<int32_t> merged;
+        std::set_intersection(candidates.begin(), candidates.end(), postings->begin(),
+                              postings->end(), std::back_inserter(merged));
+        candidates = std::move(merged);
+      }
+    }
+    for (size_t f = 0; f < query.in_dimension.size(); ++f) {
+      std::vector<int32_t> unioned;
+      bool indexed = true;
+      for (const std::string& value : query.in_values[f]) {
+        const std::vector<int32_t>* postings =
+            segment->Postings(query.in_dimension[f], value);
+        if (!postings) {
+          indexed = false;
+          break;
+        }
+        std::vector<int32_t> merged;
+        std::set_union(unioned.begin(), unioned.end(), postings->begin(), postings->end(),
+                       std::back_inserter(merged));
+        unioned = std::move(merged);
+      }
+      if (!indexed) continue;
+      if (!restricted) {
+        candidates = std::move(unioned);
+        restricted = true;
+      } else {
+        std::vector<int32_t> merged;
+        std::set_intersection(candidates.begin(), candidates.end(), unioned.begin(),
+                              unioned.end(), std::back_inserter(merged));
+        candidates = std::move(merged);
+      }
+    }
+    if (!restricted) {
+      candidates.resize(segment->num_rows());
+      for (size_t r = 0; r < segment->num_rows(); ++r)
+        candidates[r] = static_cast<int32_t>(r);
+    }
+
+    for (int32_t r : candidates) {
+      // Residual filters: time interval and numeric bounds.
+      if (time_index) {
+        Value t = segment->GetValue(r, *time_index);
+        if (!t.is_null() &&
+            (t.i64() < query.interval_start_us || t.i64() >= query.interval_end_us))
+          continue;
+      }
+      bool pass = true;
+      for (size_t bi = 0; bi < query.bounds.size(); ++bi) {
+        const DroidBound& b = query.bounds[bi];
+        if (bound_cols[bi] < 0) continue;
+        const ColumnVector& col = segment->column(bound_cols[bi]);
+        if (col.IsNull(r)) {
+          pass = false;
+          break;
+        }
+        double d;
+        switch (col.type().kind) {
+          case TypeKind::kDouble: d = col.GetF64(r); break;
+          case TypeKind::kDecimal:
+            d = static_cast<double>(col.GetI64(r)) /
+                static_cast<double>(Pow10(col.type().scale));
+            break;
+          default: d = static_cast<double>(col.GetI64(r)); break;
+        }
+        if (b.has_lower && (b.lower_strict ? d <= b.lower : d < b.lower)) pass = false;
+        if (b.has_upper && (b.upper_strict ? d >= b.upper : d > b.upper)) pass = false;
+        if (!pass) break;
+      }
+      if (!pass) continue;
+
+      std::vector<Value> dims;
+      dims.reserve(dim_cols.size());
+      uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (int c : dim_cols) {
+        Value v = segment->GetValue(r, c);
+        h = HashCombine(h, v.Hash());
+        dims.push_back(std::move(v));
+      }
+      GroupAcc* acc = nullptr;
+      auto& bucket = groups[h];
+      for (GroupAcc& g : bucket) {
+        bool equal = true;
+        for (size_t k = 0; k < dims.size() && equal; ++k)
+          if (Value::Compare(g.dims[k], dims[k]) != 0) equal = false;
+        if (equal) {
+          acc = &g;
+          break;
+        }
+      }
+      if (!acc) {
+        GroupAcc g;
+        g.dims = dims;
+        g.sums.assign(query.aggregations.size(), 0);
+        g.counts.assign(query.aggregations.size(), 0);
+        g.mins.assign(query.aggregations.size(), 1e300);
+        g.maxs.assign(query.aggregations.size(), -1e300);
+        bucket.push_back(std::move(g));
+        acc = &bucket.back();
+      }
+      acc->any = true;
+      for (size_t a = 0; a < query.aggregations.size(); ++a) {
+        if (agg_cols[a] < 0) {
+          ++acc->counts[a];
+          continue;
+        }
+        Value v = segment->GetValue(r, agg_cols[a]);
+        if (v.is_null()) continue;
+        double d = v.AsDouble();
+        acc->sums[a] += d;
+        ++acc->counts[a];
+        acc->mins[a] = std::min(acc->mins[a], d);
+        acc->maxs[a] = std::max(acc->maxs[a], d);
+      }
+    }
+  }
+
+  RowBatch out(out_schema);
+  size_t out_rows = 0;
+  for (const auto& [h, bucket] : groups) {
+    for (const GroupAcc& g : bucket) {
+      for (size_t k = 0; k < g.dims.size(); ++k) out.column(k)->AppendValue(g.dims[k]);
+      for (size_t a = 0; a < query.aggregations.size(); ++a) {
+        const std::string& type = query.aggregations[a].type;
+        size_t col = g.dims.size() + a;
+        if (type == "count" || type == "longSum") {
+          out.column(col)->AppendValue(
+              type == "count" ? Value::Bigint(g.counts[a])
+                              : Value::Bigint(static_cast<int64_t>(g.sums[a])));
+        } else if (type == "doubleMin") {
+          out.column(col)->AppendValue(g.counts[a] ? Value::Double(g.mins[a]) : Value::Null());
+        } else if (type == "doubleMax") {
+          out.column(col)->AppendValue(g.counts[a] ? Value::Double(g.maxs[a]) : Value::Null());
+        } else {
+          out.column(col)->AppendValue(Value::Double(g.sums[a]));
+        }
+      }
+      ++out_rows;
+    }
+  }
+  out.set_num_rows(out_rows);
+
+  // ORDER BY + LIMIT inside the store (topN / limitSpec semantics).
+  if (!query.order_by.empty()) {
+    std::vector<int32_t> order(out.num_rows());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+    std::vector<int> key_cols;
+    for (const auto& [column, asc] : query.order_by) {
+      auto idx = out_schema.IndexOf(column);
+      key_cols.push_back(idx ? static_cast<int>(*idx) : 0);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      for (size_t k = 0; k < key_cols.size(); ++k) {
+        int cmp = Value::Compare(out.column(key_cols[k])->GetValue(a),
+                                 out.column(key_cols[k])->GetValue(b));
+        if (cmp != 0) return query.order_by[k].second ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    });
+    if (query.limit >= 0 && static_cast<int64_t>(order.size()) > query.limit)
+      order.resize(static_cast<size_t>(query.limit));
+    out.SetSelection(std::move(order));
+    out.Flatten();
+  } else if (query.limit >= 0 && static_cast<int64_t>(out.num_rows()) > query.limit) {
+    std::vector<int32_t> sel;
+    for (int64_t i = 0; i < query.limit; ++i) sel.push_back(static_cast<int32_t>(i));
+    out.SetSelection(std::move(sel));
+    out.Flatten();
+  }
+  return out;
+}
+
+Status DroidStore::CreateDataSource(const std::string& name, Schema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sources_.count(name)) return Status::AlreadyExists("datasource " + name);
+  sources_[name] = std::make_unique<DroidDataSource>(std::move(schema));
+  return Status::OK();
+}
+
+bool DroidStore::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sources_.count(name) != 0;
+}
+
+Result<Schema> DroidStore::GetSchema(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(name);
+  if (it == sources_.end()) return Status::NotFound("datasource " + name);
+  return it->second->schema();
+}
+
+Status DroidStore::Ingest(const std::string& name, const RowBatch& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(name);
+  if (it == sources_.end()) return Status::NotFound("datasource " + name);
+  return it->second->Ingest(rows);
+}
+
+Result<RowBatch> DroidStore::Execute(const DroidQuery& query) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(query.datasource);
+  if (it == sources_.end())
+    return Status::NotFound("datasource " + query.datasource);
+  return it->second->Execute(query);
+}
+
+size_t DroidStore::NumRows(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(name);
+  return it == sources_.end() ? 0 : it->second->num_rows();
+}
+
+}  // namespace hive

@@ -1,0 +1,137 @@
+#ifndef HIVE_FEDERATION_DROID_H_
+#define HIVE_FEDERATION_DROID_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/column_vector.h"
+#include "common/schema.h"
+
+namespace hive {
+
+/// "droid": an embedded mini-OLAP store standing in for Apache Druid
+/// (Section 6). It keeps the architectural properties the paper's Figure 8
+/// experiment relies on:
+///   * time-partitioned immutable segments,
+///   * dictionary-encoded string dimensions with inverted indexes
+///     (dimension value -> row ids), so selective dimensional filters touch
+///     only matching rows,
+///   * one-pass aggregation executed inside the store,
+///   * a JSON query interface (groupBy / timeseries / topN / select) that
+///     the Hive side generates via pushdown.
+///
+/// Tables ingest a `__time` column (TIMESTAMP) plus string dimensions and
+/// numeric metrics; segments are cut monthly on `__time`.
+
+struct DroidAggSpec {
+  std::string type;   // "doubleSum", "longSum", "count", "doubleMin", "doubleMax"
+  std::string name;   // output column
+  std::string field;  // input metric ("" for count)
+};
+
+struct DroidSelector {
+  std::string dimension;
+  std::string value;
+};
+
+struct DroidBound {
+  std::string dimension;  // numeric dimension or metric
+  double lower = 0, upper = 0;
+  bool has_lower = false, has_upper = false;
+  /// Strict bounds exclude the endpoint (lower_strict: value > lower).
+  bool lower_strict = false, upper_strict = false;
+};
+
+/// A parsed droid query. `ToJson` renders the wire form (Figure 6c);
+/// `FromJson` is intentionally absent — the engine passes the struct via
+/// the serialized form for fidelity with the paper's flow and re-parses
+/// with ParseDroidQuery below.
+struct DroidQuery {
+  std::string query_type = "groupBy";  // groupBy | timeseries | topN | select
+  std::string datasource;
+  std::vector<std::string> dimensions;
+  std::vector<DroidAggSpec> aggregations;
+  std::vector<DroidSelector> filters;       // dimension = value (ANDed)
+  std::vector<std::string> in_dimension;    // dimension for IN filter
+  std::vector<std::vector<std::string>> in_values;
+  std::vector<DroidBound> bounds;           // numeric range filters
+  int64_t interval_start_us = INT64_MIN;
+  int64_t interval_end_us = INT64_MAX;
+  int64_t limit = -1;
+  std::vector<std::pair<std::string, bool>> order_by;  // column, ascending
+
+  std::string ToJson() const;
+};
+
+Result<DroidQuery> ParseDroidQuery(const std::string& json);
+
+/// One immutable time-partitioned segment.
+class DroidSegment {
+ public:
+  DroidSegment(Schema schema, int64_t start_us, int64_t end_us);
+
+  void Append(const std::vector<Value>& row);
+  /// Seals the segment: builds dictionaries and inverted indexes.
+  void Seal();
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  int64_t start_us() const { return start_us_; }
+  int64_t end_us() const { return end_us_; }
+
+  /// Row ids matching a dimension selector via the inverted index; nullptr
+  /// when the value is absent (no rows).
+  const std::vector<int32_t>* Postings(const std::string& dimension,
+                                       const std::string& value) const;
+  Value GetValue(size_t row, size_t column) const { return columns_[column]->GetValue(row); }
+  const ColumnVector& column(size_t i) const { return *columns_[i]; }
+
+ private:
+  Schema schema_;
+  int64_t start_us_, end_us_;
+  size_t num_rows_ = 0;
+  std::vector<ColumnVectorPtr> columns_;
+  /// inverted_[column name][value] -> sorted row ids.
+  std::map<std::string, std::unordered_map<std::string, std::vector<int32_t>>> inverted_;
+  bool sealed_ = false;
+};
+
+/// A named datasource: schema + segments.
+class DroidDataSource {
+ public:
+  explicit DroidDataSource(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  Status Ingest(const RowBatch& rows);
+  size_t num_rows() const;
+  size_t num_segments() const { return segments_.size(); }
+
+  Result<RowBatch> Execute(const DroidQuery& query) const;
+
+ private:
+  Schema schema_;
+  std::map<int64_t, std::unique_ptr<DroidSegment>> segments_;  // by month start
+};
+
+/// The store: a registry of datasources, shared by handler instances.
+class DroidStore {
+ public:
+  Status CreateDataSource(const std::string& name, Schema schema);
+  bool Exists(const std::string& name) const;
+  Result<Schema> GetSchema(const std::string& name) const;
+  Status Ingest(const std::string& name, const RowBatch& rows);
+  Result<RowBatch> Execute(const DroidQuery& query) const;
+  size_t NumRows(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<DroidDataSource>> sources_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_FEDERATION_DROID_H_

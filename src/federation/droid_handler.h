@@ -1,0 +1,38 @@
+#ifndef HIVE_FEDERATION_DROID_HANDLER_H_
+#define HIVE_FEDERATION_DROID_HANDLER_H_
+
+#include "federation/droid.h"
+#include "federation/storage_handler.h"
+
+namespace hive {
+
+/// Storage handler for droid-backed external tables (Section 6.1's Druid
+/// handler). Tables declare `TBLPROPERTIES('droid.datasource' = '<name>')`;
+/// when the table is created without columns, the schema is inferred from
+/// the existing datasource (the paper's "automatically inferred from Druid
+/// metadata"); when created with columns, the datasource is created.
+class DroidStorageHandler : public StorageHandler {
+ public:
+  explicit DroidStorageHandler(DroidStore* store) : store_(store) {}
+
+  std::string name() const override { return "droid"; }
+
+  Result<OperatorPtr> CreateScan(ExecContext* ctx, const RelNode& scan) override;
+  Status Insert(const TableDesc& table, const RowBatch& rows) override;
+  Status OnCreateTable(TableDesc* desc) override;
+
+  DroidStore* store() { return store_; }
+
+  /// Number of queries pushed down (observability for Figure 8 runs).
+  int64_t pushed_queries() const { return pushed_queries_; }
+
+ private:
+  static std::string DataSourceName(const TableDesc& desc);
+
+  DroidStore* store_;
+  int64_t pushed_queries_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_FEDERATION_DROID_HANDLER_H_

@@ -1,0 +1,31 @@
+#ifndef HIVE_FEDERATION_MATERIALIZED_OPERATOR_H_
+#define HIVE_FEDERATION_MATERIALIZED_OPERATOR_H_
+
+#include "exec/operator.h"
+#include "optimizer/rel.h"
+
+namespace hive {
+
+/// Adapts a batch fetched from an external engine to a scan node's contract:
+/// casts columns to the scan's output types (the deserializer half of a
+/// SerDe), applies residual scan filters, and emits one batch.
+class MaterializedScanOperator : public Operator {
+ public:
+  /// `rows`' columns must correspond positionally to `node.schema` fields
+  /// (types may differ; they are cast).
+  MaterializedScanOperator(ExecContext* ctx, const RelNode& node, RowBatch rows);
+
+  Status Open() override;
+  Result<RowBatch> Next(bool* done) override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  Schema schema_;
+  std::vector<ExprPtr> filters_;
+  RowBatch rows_;
+  bool emitted_ = false;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_FEDERATION_MATERIALIZED_OPERATOR_H_

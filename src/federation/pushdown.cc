@@ -1,0 +1,228 @@
+#include "federation/droid.h"
+#include "federation/storage_handler.h"
+
+namespace hive {
+
+namespace {
+
+/// Attempts to convert one bound conjunct (over the scan's output schema)
+/// into droid filter structures. Returns false when not expressible.
+bool ConvertFilter(const ExprPtr& e, const Schema& schema, DroidQuery* query) {
+  auto column_of = [&](const ExprPtr& c) -> const Field* {
+    if (c->kind != ExprKind::kColumnRef) return nullptr;
+    if (c->binding < 0 || static_cast<size_t>(c->binding) >= schema.num_fields())
+      return nullptr;
+    return &schema.field(c->binding);
+  };
+  switch (e->kind) {
+    case ExprKind::kBinary: {
+      const ExprPtr& l = e->children[0];
+      const ExprPtr& r = e->children[1];
+      // EXTRACT(year FROM __time) comparisons -> time intervals.
+      if (l->kind == ExprKind::kFunction && l->func_name == "EXTRACT_YEAR" &&
+          !l->children.empty() && r->kind == ExprKind::kLiteral) {
+        const Field* f = column_of(l->children[0]);
+        if (!f || ToLower(f->name) != "__time") return false;
+        int64_t year = r->literal.AsInt64();
+        int64_t start = DaysFromCivil(static_cast<int>(year), 1, 1) * 86400LL * 1000000LL;
+        int64_t end =
+            DaysFromCivil(static_cast<int>(year) + 1, 1, 1) * 86400LL * 1000000LL;
+        switch (e->bin_op) {
+          case BinaryOp::kEq:
+            query->interval_start_us = std::max(query->interval_start_us, start);
+            query->interval_end_us = std::min(query->interval_end_us, end);
+            return true;
+          case BinaryOp::kGe:
+            query->interval_start_us = std::max(query->interval_start_us, start);
+            return true;
+          case BinaryOp::kGt:
+            query->interval_start_us = std::max(query->interval_start_us, end);
+            return true;
+          case BinaryOp::kLe:
+            query->interval_end_us = std::min(query->interval_end_us, end);
+            return true;
+          case BinaryOp::kLt:
+            query->interval_end_us = std::min(query->interval_end_us, start);
+            return true;
+          default:
+            return false;
+        }
+      }
+      const Field* f = column_of(l);
+      if (!f || r->kind != ExprKind::kLiteral) return false;
+      if (e->bin_op == BinaryOp::kEq && f->type.kind == TypeKind::kString) {
+        query->filters.push_back({ToLower(f->name), r->literal.str()});
+        return true;
+      }
+      if (ToLower(f->name) == "__time") {
+        int64_t t = r->literal.AsInt64();
+        switch (e->bin_op) {
+          case BinaryOp::kGe: query->interval_start_us = std::max(query->interval_start_us, t); return true;
+          case BinaryOp::kGt: query->interval_start_us = std::max(query->interval_start_us, t + 1); return true;
+          case BinaryOp::kLt: query->interval_end_us = std::min(query->interval_end_us, t); return true;
+          case BinaryOp::kLe: query->interval_end_us = std::min(query->interval_end_us, t + 1); return true;
+          default: return false;
+        }
+      }
+      if (f->type.IsNumeric()) {
+        DroidBound bound;
+        bound.dimension = ToLower(f->name);
+        double v = r->literal.AsDouble();
+        switch (e->bin_op) {
+          case BinaryOp::kGt:
+            bound.has_lower = true; bound.lower = v; bound.lower_strict = true;
+            break;
+          case BinaryOp::kGe:
+            bound.has_lower = true; bound.lower = v;
+            break;
+          case BinaryOp::kLt:
+            bound.has_upper = true; bound.upper = v; bound.upper_strict = true;
+            break;
+          case BinaryOp::kLe:
+            bound.has_upper = true; bound.upper = v;
+            break;
+          case BinaryOp::kEq:
+            bound.has_lower = true; bound.lower = v;
+            bound.has_upper = true; bound.upper = v;
+            break;
+          default: return false;
+        }
+        query->bounds.push_back(bound);
+        return true;
+      }
+      return false;
+    }
+    case ExprKind::kBetween: {
+      if (e->negated) return false;
+      const Field* f = column_of(e->children[0]);
+      if (!f || e->children[1]->kind != ExprKind::kLiteral ||
+          e->children[2]->kind != ExprKind::kLiteral)
+        return false;
+      // EXTRACT(year...) BETWEEN handled via two bounds on __time.
+      if (e->children[0]->kind == ExprKind::kFunction) return false;
+      if (!f->type.IsNumeric()) return false;
+      DroidBound bound;
+      bound.dimension = ToLower(f->name);
+      bound.has_lower = true;
+      bound.lower = e->children[1]->literal.AsDouble();
+      bound.has_upper = true;
+      bound.upper = e->children[2]->literal.AsDouble();
+      query->bounds.push_back(bound);
+      return true;
+    }
+    case ExprKind::kInList: {
+      if (e->negated) return false;
+      const Field* f = column_of(e->children[0]);
+      if (!f || f->type.kind != TypeKind::kString) return false;
+      std::vector<std::string> values;
+      for (size_t i = 1; i < e->children.size(); ++i) {
+        if (e->children[i]->kind != ExprKind::kLiteral) return false;
+        values.push_back(e->children[i]->literal.str());
+      }
+      query->in_dimension.push_back(ToLower(f->name));
+      query->in_values.push_back(std::move(values));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool IsHandlerScan(const RelNodePtr& node, const StorageHandlerRegistry* registry) {
+  return node->kind == RelKind::kScan && !node->table.storage_handler.empty() &&
+         node->federated_query.empty() &&
+         registry->Get(node->table.storage_handler) != nullptr &&
+         node->table.storage_handler == "droid";
+}
+
+/// Collects Filter*(Scan) under a node, gathering all conjuncts.
+RelNodePtr UnwrapFilters(RelNodePtr node, std::vector<ExprPtr>* conjuncts) {
+  while (node->kind == RelKind::kFilter) {
+    std::function<void(const ExprPtr&)> split = [&](const ExprPtr& e) {
+      if (e->kind == ExprKind::kBinary && e->bin_op == BinaryOp::kAnd) {
+        split(e->children[0]);
+        split(e->children[1]);
+      } else {
+        conjuncts->push_back(e);
+      }
+    };
+    split(node->predicate);
+    node = node->inputs[0];
+  }
+  return node;
+}
+
+}  // namespace
+
+Result<RelNodePtr> PushDownToHandlers(RelNodePtr plan,
+                                      const StorageHandlerRegistry* registry) {
+  for (RelNodePtr& input : plan->inputs) {
+    HIVE_ASSIGN_OR_RETURN(input, PushDownToHandlers(input, registry));
+  }
+  // Pattern: Aggregate over Filter*(Scan[droid]).
+  if (plan->kind == RelKind::kAggregate) {
+    std::vector<ExprPtr> conjuncts;
+    RelNodePtr base = UnwrapFilters(plan->inputs[0], &conjuncts);
+    if (!IsHandlerScan(base, registry)) return plan;
+    for (const ExprPtr& f : base->scan_filters) conjuncts.push_back(f);
+
+    DroidQuery query;
+    query.query_type = plan->group_keys.empty() ? "timeseries" : "groupBy";
+    auto ds = base->table.properties.find("droid.datasource");
+    query.datasource = ds != base->table.properties.end() ? ds->second
+                                                          : base->table.name;
+    // All group keys must be plain column refs.
+    for (const ExprPtr& key : plan->group_keys) {
+      if (key->kind != ExprKind::kColumnRef) return plan;
+      query.dimensions.push_back(ToLower(base->schema.field(key->binding).name));
+    }
+    // Aggregates must map to droid aggregators.
+    for (const AggCall& agg : plan->aggs) {
+      if (agg.distinct) return plan;
+      DroidAggSpec spec;
+      spec.name = agg.name;
+      if (agg.func == "COUNT") {
+        spec.type = "count";
+      } else {
+        if (!agg.arg || agg.arg->kind != ExprKind::kColumnRef) return plan;
+        spec.field = ToLower(base->schema.field(agg.arg->binding).name);
+        if (agg.func == "SUM")
+          spec.type = agg.result_type.kind == TypeKind::kBigint ? "longSum" : "doubleSum";
+        else if (agg.func == "MIN")
+          spec.type = "doubleMin";
+        else if (agg.func == "MAX")
+          spec.type = "doubleMax";
+        else
+          return plan;  // AVG etc. stay local
+      }
+      query.aggregations.push_back(std::move(spec));
+    }
+    // Every filter conjunct must convert.
+    for (const ExprPtr& c : conjuncts)
+      if (!ConvertFilter(c, base->schema, &query)) return plan;
+
+    // Build the replacement scan carrying the generated query; its output
+    // schema mirrors the aggregate's output.
+    auto scan = std::make_shared<RelNode>();
+    scan->kind = RelKind::kScan;
+    scan->table = base->table;
+    scan->scan_alias = base->scan_alias;
+    scan->schema = plan->schema;
+    for (size_t i = 0; i < plan->schema.num_fields(); ++i) scan->projected.push_back(i);
+    scan->federated_query = query.ToJson();
+    return RelNodePtr(scan);
+  }
+  // Pattern: Filter*(Scan[droid]) without aggregation: push the filters.
+  if (plan->kind == RelKind::kFilter) {
+    std::vector<ExprPtr> conjuncts;
+    RelNodePtr base = UnwrapFilters(plan, &conjuncts);
+    if (!IsHandlerScan(base, registry)) return plan;
+    // Filters evaluate locally inside the scan (cheap enough); merge them
+    // into scan_filters so the scan node owns them.
+    for (const ExprPtr& c : conjuncts) base->scan_filters.push_back(c);
+    return base;
+  }
+  return plan;
+}
+
+}  // namespace hive

@@ -1,0 +1,39 @@
+#include "fs/filesystem.h"
+
+namespace hive {
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+std::string ParentPath(const std::string& path) {
+  auto parts = SplitPath(path);
+  if (parts.size() <= 1) return "/";
+  std::string out;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) out += "/" + parts[i];
+  return out;
+}
+
+std::string JoinPath(const std::string& a, const std::string& b) {
+  if (a.empty() || a == "/") return "/" + b;
+  if (a.back() == '/') return a + b;
+  return a + "/" + b;
+}
+
+std::string BaseName(const std::string& path) {
+  auto parts = SplitPath(path);
+  return parts.empty() ? "" : parts.back();
+}
+
+}  // namespace hive

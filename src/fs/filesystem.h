@@ -1,0 +1,80 @@
+#ifndef HIVE_FS_FILESYSTEM_H_
+#define HIVE_FS_FILESYSTEM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hive {
+
+/// Metadata for a file or directory.
+struct FileInfo {
+  std::string path;
+  uint64_t size = 0;
+  /// Unique identity assigned at creation, the analogue of the HDFS file id
+  /// / blob-store ETag the paper's LLAP cache uses for validity checks
+  /// (Section 5.1): a path whose FileId changed is a different file.
+  uint64_t file_id = 0;
+  bool is_dir = false;
+};
+
+/// Hierarchical file system abstraction standing in for HDFS / cloud object
+/// stores. Files are immutable once written (write-once semantics match the
+/// ACID design: new data always lands in new delta files). Implementations
+/// must be thread-safe.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Creates (or replaces) a file with `data`; assigns a fresh FileId.
+  virtual Status WriteFile(const std::string& path, const std::string& data) = 0;
+  /// Reads the entire file.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  /// Reads `len` bytes at `offset` (clamped to EOF). The LLAP I/O elevator
+  /// uses ranged reads to fetch footers and individual stripes.
+  virtual Result<std::string> ReadRange(const std::string& path, uint64_t offset,
+                                        uint64_t len) = 0;
+  virtual Result<FileInfo> Stat(const std::string& path) = 0;
+  /// Non-recursive listing of direct children (files and directories).
+  virtual Result<std::vector<FileInfo>> ListDir(const std::string& path) = 0;
+  virtual Status MakeDirs(const std::string& path) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual Status DeleteRecursive(const std::string& path) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+
+  // --- I/O accounting (drives the cache-effectiveness benchmarks) ---
+  uint64_t bytes_read() const { return bytes_read_.load(std::memory_order_relaxed); }
+  uint64_t read_calls() const { return read_calls_.load(std::memory_order_relaxed); }
+  void ResetIoStats() {
+    bytes_read_ = 0;
+    read_calls_ = 0;
+  }
+
+ protected:
+  void CountRead(uint64_t bytes) {
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    read_calls_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> read_calls_{0};
+};
+
+/// Splits "/a/b/c" into {"a","b","c"}; empty segments are dropped.
+std::vector<std::string> SplitPath(const std::string& path);
+/// Parent of "/a/b/c" is "/a/b"; parent of "/a" is "/".
+std::string ParentPath(const std::string& path);
+/// Joins with exactly one '/' between the parts.
+std::string JoinPath(const std::string& a, const std::string& b);
+/// Last path segment.
+std::string BaseName(const std::string& path);
+
+}  // namespace hive
+
+#endif  // HIVE_FS_FILESYSTEM_H_

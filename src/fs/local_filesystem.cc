@@ -1,0 +1,145 @@
+#include "fs/local_filesystem.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/hash.h"
+
+namespace stdfs = std::filesystem;
+
+namespace hive {
+
+LocalFileSystem::LocalFileSystem(std::string root_dir) : root_(std::move(root_dir)) {
+  std::error_code ec;
+  stdfs::create_directories(root_, ec);
+}
+
+std::string LocalFileSystem::Resolve(const std::string& path) const {
+  std::string out = root_;
+  for (const std::string& part : SplitPath(path)) out += "/" + part;
+  return out;
+}
+
+uint64_t LocalFileSystem::IdFor(const std::string& resolved) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(resolved);
+  if (it != ids_.end()) return it->second;
+  // Synthesize a stable id from size and mtime for externally created files.
+  std::error_code ec;
+  auto size = stdfs::file_size(resolved, ec);
+  auto mtime = stdfs::last_write_time(resolved, ec).time_since_epoch().count();
+  uint64_t parts[2] = {static_cast<uint64_t>(size), static_cast<uint64_t>(mtime)};
+  uint64_t id = Murmur64(parts, sizeof parts, 0xe7a6);
+  ids_[resolved] = id;
+  return id;
+}
+
+Status LocalFileSystem::WriteFile(const std::string& path, const std::string& data) {
+  std::string resolved = Resolve(path);
+  std::error_code ec;
+  stdfs::create_directories(stdfs::path(resolved).parent_path(), ec);
+  std::ofstream out(resolved, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + resolved);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IoError("short write: " + resolved);
+  out.close();
+  std::lock_guard<std::mutex> lock(mu_);
+  ids_[resolved] = next_file_id_++;
+  return Status::OK();
+}
+
+Result<std::string> LocalFileSystem::ReadFile(const std::string& path) {
+  std::string resolved = Resolve(path);
+  std::ifstream in(resolved, std::ios::binary);
+  if (!in) return Status::NotFound("no such file: " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  CountRead(data.size());
+  return data;
+}
+
+Result<std::string> LocalFileSystem::ReadRange(const std::string& path,
+                                               uint64_t offset, uint64_t len) {
+  std::string resolved = Resolve(path);
+  std::ifstream in(resolved, std::ios::binary);
+  if (!in) return Status::NotFound("no such file: " + path);
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::string data(len, '\0');
+  in.read(data.data(), static_cast<std::streamsize>(len));
+  data.resize(static_cast<size_t>(in.gcount()));
+  CountRead(data.size());
+  return data;
+}
+
+Result<FileInfo> LocalFileSystem::Stat(const std::string& path) {
+  std::string resolved = Resolve(path);
+  std::error_code ec;
+  auto st = stdfs::status(resolved, ec);
+  if (ec || st.type() == stdfs::file_type::not_found)
+    return Status::NotFound("no such path: " + path);
+  FileInfo info;
+  info.path = path;
+  info.is_dir = stdfs::is_directory(st);
+  if (!info.is_dir) {
+    info.size = stdfs::file_size(resolved, ec);
+    info.file_id = IdFor(resolved);
+  }
+  return info;
+}
+
+Result<std::vector<FileInfo>> LocalFileSystem::ListDir(const std::string& path) {
+  std::string resolved = Resolve(path);
+  std::error_code ec;
+  if (!stdfs::is_directory(resolved, ec))
+    return Status::NotFound("no such dir: " + path);
+  std::vector<FileInfo> out;
+  for (const auto& entry : stdfs::directory_iterator(resolved, ec)) {
+    FileInfo info;
+    info.path = JoinPath(path, entry.path().filename().string());
+    info.is_dir = entry.is_directory();
+    if (!info.is_dir) {
+      info.size = entry.file_size();
+      info.file_id = IdFor(entry.path().string());
+    }
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FileInfo& a, const FileInfo& b) { return a.path < b.path; });
+  return out;
+}
+
+Status LocalFileSystem::MakeDirs(const std::string& path) {
+  std::error_code ec;
+  stdfs::create_directories(Resolve(path), ec);
+  if (ec) return Status::IoError("mkdirs failed: " + path);
+  return Status::OK();
+}
+
+Status LocalFileSystem::DeleteFile(const std::string& path) {
+  std::error_code ec;
+  if (!stdfs::remove(Resolve(path), ec) || ec)
+    return Status::NotFound("no such file: " + path);
+  return Status::OK();
+}
+
+Status LocalFileSystem::DeleteRecursive(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove_all(Resolve(path), ec);
+  if (ec) return Status::IoError("remove_all failed: " + path);
+  return Status::OK();
+}
+
+Status LocalFileSystem::Rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  stdfs::rename(Resolve(from), Resolve(to), ec);
+  if (ec) return Status::IoError("rename failed: " + from + " -> " + to);
+  return Status::OK();
+}
+
+bool LocalFileSystem::Exists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::exists(Resolve(path), ec);
+}
+
+}  // namespace hive

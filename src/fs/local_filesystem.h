@@ -1,0 +1,46 @@
+#ifndef HIVE_FS_LOCAL_FILESYSTEM_H_
+#define HIVE_FS_LOCAL_FILESYSTEM_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/filesystem.h"
+
+namespace hive {
+
+/// FileSystem backed by a directory on the local disk. All virtual paths are
+/// rooted under `root_dir`, so "/warehouse/t/base_1/f" maps to
+/// "<root_dir>/warehouse/t/base_1/f". FileIds are assigned at write time and
+/// remembered per (path); files written by other processes get a synthetic
+/// id derived from size+mtime (the ETag analogue).
+class LocalFileSystem : public FileSystem {
+ public:
+  explicit LocalFileSystem(std::string root_dir);
+
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::string> ReadRange(const std::string& path, uint64_t offset,
+                                uint64_t len) override;
+  Result<FileInfo> Stat(const std::string& path) override;
+  Result<std::vector<FileInfo>> ListDir(const std::string& path) override;
+  Status MakeDirs(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status DeleteRecursive(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  bool Exists(const std::string& path) override;
+
+ private:
+  std::string Resolve(const std::string& path) const;
+  uint64_t IdFor(const std::string& resolved);
+
+  std::string root_;
+  std::mutex mu_;
+  std::unordered_map<std::string, uint64_t> ids_;
+  uint64_t next_file_id_ = 1;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_FS_LOCAL_FILESYSTEM_H_

@@ -1,0 +1,169 @@
+#include "fs/mem_filesystem.h"
+
+#include <algorithm>
+
+namespace hive {
+
+MemFileSystem::MemFileSystem() { dirs_.insert("/"); }
+
+std::string MemFileSystem::Normalize(const std::string& path) {
+  std::string out;
+  for (const std::string& part : SplitPath(path)) out += "/" + part;
+  return out.empty() ? "/" : out;
+}
+
+bool MemFileSystem::IsDirLocked(const std::string& path) const {
+  return dirs_.count(path) != 0;
+}
+
+Status MemFileSystem::WriteFile(const std::string& raw, const std::string& data) {
+  std::string path = Normalize(raw);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (IsDirLocked(path)) return Status::InvalidArgument("is a directory: " + path);
+  // Create parent directories implicitly (HDFS-create semantics).
+  std::string parent = path;
+  std::vector<std::string> to_add;
+  while ((parent = ParentPath(parent)) != "/") {
+    if (dirs_.count(parent)) break;
+    to_add.push_back(parent);
+  }
+  for (const auto& d : to_add) dirs_.insert(d);
+  files_[path] = File{data, next_file_id_++};
+  return Status::OK();
+}
+
+Result<std::string> MemFileSystem::ReadFile(const std::string& raw) {
+  std::string path = Normalize(raw);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  CountRead(it->second.data.size());
+  return it->second.data;
+}
+
+Result<std::string> MemFileSystem::ReadRange(const std::string& raw, uint64_t offset,
+                                             uint64_t len) {
+  std::string path = Normalize(raw);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  const std::string& data = it->second.data;
+  if (offset >= data.size()) return std::string();
+  uint64_t n = std::min<uint64_t>(len, data.size() - offset);
+  CountRead(n);
+  return data.substr(offset, n);
+}
+
+Result<FileInfo> MemFileSystem::Stat(const std::string& raw) {
+  std::string path = Normalize(raw);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it != files_.end())
+    return FileInfo{path, it->second.data.size(), it->second.file_id, false};
+  if (IsDirLocked(path)) return FileInfo{path, 0, 0, true};
+  return Status::NotFound("no such path: " + path);
+}
+
+Result<std::vector<FileInfo>> MemFileSystem::ListDir(const std::string& raw) {
+  std::string path = Normalize(raw);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IsDirLocked(path)) return Status::NotFound("no such dir: " + path);
+  std::string prefix = path == "/" ? "/" : path + "/";
+  std::vector<FileInfo> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (it->first.find('/', prefix.size()) != std::string::npos) continue;
+    out.push_back({it->first, it->second.data.size(), it->second.file_id, false});
+  }
+  for (auto it = dirs_.lower_bound(prefix); it != dirs_.end(); ++it) {
+    if (it->compare(0, prefix.size(), prefix) != 0) break;
+    if (it->find('/', prefix.size()) != std::string::npos) continue;
+    out.push_back({*it, 0, 0, true});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FileInfo& a, const FileInfo& b) { return a.path < b.path; });
+  return out;
+}
+
+Status MemFileSystem::MakeDirs(const std::string& raw) {
+  std::string path = Normalize(raw);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.count(path)) return Status::AlreadyExists("file exists: " + path);
+  std::string cur = "/";
+  for (const std::string& part : SplitPath(path)) {
+    cur = JoinPath(cur, part);
+    dirs_.insert(cur);
+  }
+  return Status::OK();
+}
+
+Status MemFileSystem::DeleteFile(const std::string& raw) {
+  std::string path = Normalize(raw);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) return Status::NotFound("no such file: " + path);
+  return Status::OK();
+}
+
+Status MemFileSystem::DeleteRecursive(const std::string& raw) {
+  std::string path = Normalize(raw);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string prefix = path + "/";
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first == path || it->first.compare(0, prefix.size(), prefix) == 0)
+      it = files_.erase(it);
+    else
+      ++it;
+  }
+  for (auto it = dirs_.begin(); it != dirs_.end();) {
+    if (*it == path || it->compare(0, prefix.size(), prefix) == 0)
+      it = dirs_.erase(it);
+    else
+      ++it;
+  }
+  return Status::OK();
+}
+
+Status MemFileSystem::Rename(const std::string& raw_from, const std::string& raw_to) {
+  std::string from = Normalize(raw_from), to = Normalize(raw_to);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto fit = files_.find(from);
+  if (fit != files_.end()) {
+    files_[to] = std::move(fit->second);
+    files_.erase(fit);
+    return Status::OK();
+  }
+  if (!IsDirLocked(from)) return Status::NotFound("no such path: " + from);
+  std::string prefix = from + "/";
+  std::map<std::string, File> moved;
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      moved[to + "/" + it->first.substr(prefix.size())] = std::move(it->second);
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& kv : moved) files_[kv.first] = std::move(kv.second);
+  std::set<std::string> new_dirs;
+  for (auto it = dirs_.begin(); it != dirs_.end();) {
+    if (*it == from) {
+      new_dirs.insert(to);
+      it = dirs_.erase(it);
+    } else if (it->compare(0, prefix.size(), prefix) == 0) {
+      new_dirs.insert(to + "/" + it->substr(prefix.size()));
+      it = dirs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  dirs_.insert(new_dirs.begin(), new_dirs.end());
+  return Status::OK();
+}
+
+bool MemFileSystem::Exists(const std::string& raw) {
+  std::string path = Normalize(raw);
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) != 0 || IsDirLocked(path);
+}
+
+}  // namespace hive

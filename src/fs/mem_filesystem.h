@@ -1,0 +1,50 @@
+#ifndef HIVE_FS_MEM_FILESYSTEM_H_
+#define HIVE_FS_MEM_FILESYSTEM_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fs/filesystem.h"
+
+namespace hive {
+
+/// In-memory file system used by tests and benches. Paths are absolute,
+/// '/'-separated. Directory entries are tracked explicitly so empty
+/// directories (fresh partitions) list correctly.
+class MemFileSystem : public FileSystem {
+ public:
+  MemFileSystem();
+
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::string> ReadRange(const std::string& path, uint64_t offset,
+                                uint64_t len) override;
+  Result<FileInfo> Stat(const std::string& path) override;
+  Result<std::vector<FileInfo>> ListDir(const std::string& path) override;
+  Status MakeDirs(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status DeleteRecursive(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  bool Exists(const std::string& path) override;
+
+ private:
+  struct File {
+    std::string data;
+    uint64_t file_id;
+  };
+
+  static std::string Normalize(const std::string& path);
+  bool IsDirLocked(const std::string& path) const;
+
+  std::mutex mu_;
+  std::map<std::string, File> files_;
+  std::set<std::string> dirs_;
+  uint64_t next_file_id_ = 1;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_FS_MEM_FILESYSTEM_H_

@@ -1,0 +1,60 @@
+#include "llap/llap_cache.h"
+
+namespace hive {
+
+LlapCacheProvider::LlapCacheProvider(FileSystem* fs, const Config& config)
+    : fs_(fs),
+      data_cache_(static_cast<uint64_t>(config.llap_cache_capacity_bytes),
+                  config.llap_lrfu_lambda) {}
+
+Result<std::shared_ptr<CofReader>> LlapCacheProvider::OpenReader(
+    const std::string& path) {
+  // Check file identity first: a cached reader is valid only while the
+  // FileId matches (files are immutable once written, but paths can be
+  // re-created by compaction).
+  HIVE_ASSIGN_OR_RETURN(FileInfo info, fs_->Stat(path));
+  {
+    std::lock_guard<std::mutex> lock(metadata_mu_);
+    auto it = metadata_.find(path);
+    if (it != metadata_.end()) {
+      if (it->second.first == info.file_id) {
+        metadata_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.second;
+      }
+      // Stale: the path now holds a different file.
+      InvalidateFileLocked(it->second.first);
+      metadata_.erase(it);
+    }
+  }
+  HIVE_ASSIGN_OR_RETURN(std::shared_ptr<CofReader> reader, CofReader::Open(fs_, path));
+  std::lock_guard<std::mutex> lock(metadata_mu_);
+  metadata_[path] = {info.file_id, reader};
+  return reader;
+}
+
+Result<ColumnVectorPtr> LlapCacheProvider::ReadChunk(
+    const std::shared_ptr<CofReader>& reader, size_t row_group, size_t column) {
+  ChunkKey key{reader->file_id(), static_cast<uint32_t>(row_group),
+               static_cast<uint32_t>(column)};
+  if (ColumnVectorPtr cached = data_cache_.Get(key)) return cached;
+  HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr chunk, reader->ReadColumnChunk(row_group, column));
+  data_cache_.Put(key, chunk, chunk->ByteSize());
+  return chunk;
+}
+
+void LlapCacheProvider::Clear() {
+  data_cache_.Clear();
+  std::lock_guard<std::mutex> lock(metadata_mu_);
+  metadata_.clear();
+}
+
+void LlapCacheProvider::InvalidateFile(uint64_t file_id) {
+  InvalidateFileLocked(file_id);
+}
+
+void LlapCacheProvider::InvalidateFileLocked(uint64_t file_id) {
+  data_cache_.EraseIf(
+      [file_id](const ChunkKey& key) { return key.file_id == file_id; });
+}
+
+}  // namespace hive

@@ -1,0 +1,81 @@
+#ifndef HIVE_LLAP_LLAP_CACHE_H_
+#define HIVE_LLAP_LLAP_CACHE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/config.h"
+#include "common/lrfu_cache.h"
+#include "fs/filesystem.h"
+#include "storage/chunk_provider.h"
+
+namespace hive {
+
+/// The LLAP data cache (Section 5.1): decoded column chunks addressed along
+/// the two dimensions the paper describes — row groups and columns — keyed
+/// by (FileId, row group, column). Because cache keys carry the FileId (the
+/// ETag analogue), a rewritten file never serves stale chunks, and because
+/// ACID visibility is adjusted at the file level, the cache behaves as an
+/// MVCC view serving concurrent queries in different transactional states:
+/// each query simply addresses exactly the files its snapshot selected.
+///
+/// Metadata (COF footers: min/max indexes, Bloom filters) caches separately
+/// and is populated on first access, letting later queries evaluate sargs
+/// and decide row-group skips without touching the data at all.
+///
+/// Eviction is LRFU over chunk byte sizes (the paper's default policy).
+class LlapCacheProvider : public ChunkProvider {
+ public:
+  LlapCacheProvider(FileSystem* fs, const Config& config);
+
+  Result<std::shared_ptr<CofReader>> OpenReader(const std::string& path) override;
+  Result<ColumnVectorPtr> ReadChunk(const std::shared_ptr<CofReader>& reader,
+                                    size_t row_group, size_t column) override;
+
+  /// Drops every cache entry (tests / daemon restart).
+  void Clear();
+
+  /// Invalidates data cached for a specific file id (compaction cleanup).
+  void InvalidateFile(uint64_t file_id);
+
+  // --- observability ---
+  uint64_t data_hits() const { return data_cache_.hits(); }
+  uint64_t data_misses() const { return data_cache_.misses(); }
+  uint64_t metadata_hits() const { return metadata_hits_; }
+  uint64_t used_bytes() const { return data_cache_.used_bytes(); }
+  size_t cached_chunks() const { return data_cache_.size(); }
+
+ private:
+  struct ChunkKey {
+    uint64_t file_id;
+    uint32_t row_group;
+    uint32_t column;
+    bool operator==(const ChunkKey& o) const {
+      return file_id == o.file_id && row_group == o.row_group && column == o.column;
+    }
+  };
+  struct ChunkKeyHash {
+    size_t operator()(const ChunkKey& k) const {
+      uint64_t h = k.file_id * 0x9e3779b97f4a7c15ULL;
+      h ^= (static_cast<uint64_t>(k.row_group) << 32) | k.column;
+      return static_cast<size_t>(h * 0xbf58476d1ce4e5b9ULL);
+    }
+  };
+
+  void InvalidateFileLocked(uint64_t file_id);
+
+  FileSystem* fs_;
+  LrfuCache<ChunkKey, ColumnVectorPtr, ChunkKeyHash> data_cache_;
+  /// Metadata cache: path -> (file_id, reader). Validity is re-checked via
+  /// Stat on each open (FileId change = new file).
+  std::mutex metadata_mu_;
+  std::map<std::string, std::pair<uint64_t, std::shared_ptr<CofReader>>> metadata_;
+  std::atomic<uint64_t> metadata_hits_{0};
+};
+
+}  // namespace hive
+
+#endif  // HIVE_LLAP_LLAP_CACHE_H_

@@ -1,0 +1,212 @@
+#include "metastore/catalog.h"
+
+#include <algorithm>
+
+namespace hive {
+
+void ColumnStatistics::MergeFrom(const ColumnStatistics& other) {
+  num_values += other.num_values;
+  num_nulls += other.num_nulls;
+  if (!other.min.is_null() && (min.is_null() || Value::Compare(other.min, min) < 0))
+    min = other.min;
+  if (!other.max.is_null() && (max.is_null() || Value::Compare(other.max, max) > 0))
+    max = other.max;
+  ndv.MergeFrom(other.ndv).ok();  // same precision everywhere
+}
+
+void TableStatistics::MergeFrom(const TableStatistics& other) {
+  row_count += other.row_count;
+  data_size_bytes += other.data_size_bytes;
+  for (const auto& [name, stats] : other.columns) {
+    auto it = columns.find(name);
+    if (it == columns.end()) {
+      columns.emplace(name, stats);
+    } else {
+      it->second.MergeFrom(stats);
+    }
+  }
+}
+
+Schema TableDesc::FullSchema() const {
+  Schema full = schema;
+  for (const Field& f : partition_cols) full.AddField(f.name, f.type);
+  return full;
+}
+
+Catalog::Catalog(FileSystem* fs, std::string warehouse_root)
+    : fs_(fs), root_(std::move(warehouse_root)) {
+  dbs_["default"] = {};
+}
+
+Status Catalog::CreateDatabase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = ToLower(name);
+  if (dbs_.count(key)) return Status::AlreadyExists("database " + name);
+  dbs_[key] = {};
+  return Status::OK();
+}
+
+bool Catalog::DatabaseExists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dbs_.count(ToLower(name)) != 0;
+}
+
+std::vector<std::string> Catalog::ListDatabases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& kv : dbs_) out.push_back(kv.first);
+  return out;
+}
+
+std::string Catalog::TableLocation(const std::string& db, const std::string& name) const {
+  return JoinPath(JoinPath(root_, ToLower(db) + ".db"), ToLower(name));
+}
+
+Status Catalog::CreateTable(TableDesc desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string db = ToLower(desc.db);
+  std::string name = ToLower(desc.name);
+  auto dbit = dbs_.find(db);
+  if (dbit == dbs_.end()) return Status::NotFound("database " + desc.db);
+  if (dbit->second.count(name)) return Status::AlreadyExists("table " + desc.FullName());
+  if (desc.location.empty()) desc.location = TableLocation(db, name);
+  desc.db = db;
+  desc.name = name;
+  HIVE_RETURN_IF_ERROR(fs_->MakeDirs(desc.location));
+  dbit->second.emplace(name, std::move(desc));
+  return Status::OK();
+}
+
+Result<TableDesc> Catalog::GetTable(const std::string& db, const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dbit = dbs_.find(ToLower(db));
+  if (dbit == dbs_.end()) return Status::NotFound("database " + db);
+  auto it = dbit->second.find(ToLower(name));
+  if (it == dbit->second.end()) return Status::NotFound("table " + db + "." + name);
+  return it->second;
+}
+
+Status Catalog::DropTable(const std::string& db, const std::string& name,
+                          bool delete_data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dbit = dbs_.find(ToLower(db));
+  if (dbit == dbs_.end()) return Status::NotFound("database " + db);
+  auto it = dbit->second.find(ToLower(name));
+  if (it == dbit->second.end()) return Status::NotFound("table " + db + "." + name);
+  if (delete_data && !it->second.location.empty())
+    fs_->DeleteRecursive(it->second.location);
+  partitions_.erase(it->second.FullName());
+  dbit->second.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables(const std::string& db) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  auto dbit = dbs_.find(ToLower(db));
+  if (dbit == dbs_.end()) return out;
+  for (const auto& kv : dbit->second) out.push_back(kv.first);
+  return out;
+}
+
+std::string Catalog::PartitionDirName(const std::vector<Field>& partition_cols,
+                                      const std::vector<Value>& values) {
+  std::string out;
+  for (size_t i = 0; i < partition_cols.size() && i < values.size(); ++i) {
+    if (i) out += "/";
+    out += ToLower(partition_cols[i].name) + "=" + values[i].ToString();
+  }
+  return out;
+}
+
+Status Catalog::AddPartition(const std::string& db, const std::string& table,
+                             const std::vector<Value>& values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dbit = dbs_.find(ToLower(db));
+  if (dbit == dbs_.end()) return Status::NotFound("database " + db);
+  auto it = dbit->second.find(ToLower(table));
+  if (it == dbit->second.end()) return Status::NotFound("table " + db + "." + table);
+  const TableDesc& desc = it->second;
+  if (values.size() != desc.partition_cols.size())
+    return Status::InvalidArgument("partition arity mismatch for " + desc.FullName());
+  std::string dir = PartitionDirName(desc.partition_cols, values);
+  auto& parts = partitions_[desc.FullName()];
+  if (parts.count(dir)) return Status::OK();  // idempotent
+  PartitionInfo info;
+  info.values = values;
+  info.location = JoinPath(desc.location, dir);
+  HIVE_RETURN_IF_ERROR(fs_->MakeDirs(info.location));
+  parts.emplace(dir, std::move(info));
+  return Status::OK();
+}
+
+Result<std::vector<PartitionInfo>> Catalog::GetPartitions(
+    const std::string& db, const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dbit = dbs_.find(ToLower(db));
+  if (dbit == dbs_.end()) return Status::NotFound("database " + db);
+  auto it = dbit->second.find(ToLower(table));
+  if (it == dbit->second.end()) return Status::NotFound("table " + db + "." + table);
+  std::vector<PartitionInfo> out;
+  auto pit = partitions_.find(it->second.FullName());
+  if (pit != partitions_.end())
+    for (const auto& kv : pit->second) out.push_back(kv.second);
+  return out;
+}
+
+Status Catalog::DropPartition(const std::string& db, const std::string& table,
+                              const std::vector<Value>& values, bool delete_data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dbit = dbs_.find(ToLower(db));
+  if (dbit == dbs_.end()) return Status::NotFound("database " + db);
+  auto it = dbit->second.find(ToLower(table));
+  if (it == dbit->second.end()) return Status::NotFound("table " + db + "." + table);
+  std::string dir = PartitionDirName(it->second.partition_cols, values);
+  auto pit = partitions_.find(it->second.FullName());
+  if (pit == partitions_.end() || !pit->second.count(dir))
+    return Status::NotFound("partition " + dir);
+  if (delete_data) fs_->DeleteRecursive(pit->second[dir].location);
+  pit->second.erase(dir);
+  return Status::OK();
+}
+
+Status Catalog::MergeStats(const std::string& db, const std::string& table,
+                           const TableStatistics& delta,
+                           const std::vector<Value>& partition_values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dbit = dbs_.find(ToLower(db));
+  if (dbit == dbs_.end()) return Status::NotFound("database " + db);
+  auto it = dbit->second.find(ToLower(table));
+  if (it == dbit->second.end()) return Status::NotFound("table " + db + "." + table);
+  it->second.stats.MergeFrom(delta);
+  if (!partition_values.empty()) {
+    std::string dir = PartitionDirName(it->second.partition_cols, partition_values);
+    auto pit = partitions_.find(it->second.FullName());
+    if (pit != partitions_.end()) {
+      auto part = pit->second.find(dir);
+      if (part != pit->second.end()) part->second.stats.MergeFrom(delta);
+    }
+  }
+  return Status::OK();
+}
+
+Status Catalog::UpdateTable(const TableDesc& desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto dbit = dbs_.find(ToLower(desc.db));
+  if (dbit == dbs_.end()) return Status::NotFound("database " + desc.db);
+  auto it = dbit->second.find(ToLower(desc.name));
+  if (it == dbit->second.end()) return Status::NotFound("table " + desc.FullName());
+  it->second = desc;
+  return Status::OK();
+}
+
+std::vector<TableDesc> Catalog::ListMaterializedViews() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TableDesc> out;
+  for (const auto& [db, tables] : dbs_)
+    for (const auto& [name, desc] : tables)
+      if (desc.is_materialized_view) out.push_back(desc);
+  return out;
+}
+
+}  // namespace hive

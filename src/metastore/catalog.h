@@ -1,0 +1,158 @@
+#ifndef HIVE_METASTORE_CATALOG_H_
+#define HIVE_METASTORE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hll.h"
+#include "common/schema.h"
+#include "common/types.h"
+#include "fs/filesystem.h"
+
+namespace hive {
+
+/// Per-column statistics stored in the metastore (Section 4.1). Designed to
+/// merge additively: inserts and per-partition stats combine without a
+/// recomputation pass. NDV uses a HyperLogLog sketch, which merges without
+/// losing approximation accuracy.
+struct ColumnStatistics {
+  int64_t num_values = 0;
+  int64_t num_nulls = 0;
+  Value min;
+  Value max;
+  HyperLogLog ndv{12};
+
+  /// Additive merge of another stats fragment.
+  void MergeFrom(const ColumnStatistics& other);
+  /// Current distinct-value estimate.
+  int64_t Ndv() const { return static_cast<int64_t>(ndv.Estimate()); }
+};
+
+/// Table-level statistics; `columns` is keyed by lower-cased column name.
+struct TableStatistics {
+  int64_t row_count = 0;
+  int64_t data_size_bytes = 0;
+  std::map<std::string, ColumnStatistics> columns;
+
+  void MergeFrom(const TableStatistics& other);
+};
+
+/// Declared integrity constraints (Section 3.1); consumed by the optimizer
+/// and the materialized-view rewriting algorithm.
+struct ConstraintDef {
+  enum class Kind { kPrimaryKey, kForeignKey, kUnique, kNotNull };
+  Kind kind = Kind::kNotNull;
+  std::vector<std::string> columns;
+  std::string ref_table;  // FK target
+  std::vector<std::string> ref_columns;
+};
+
+/// One horizontal partition of a table (PARTITIONED BY clause): the literal
+/// partition-column values plus the storage directory that holds them.
+struct PartitionInfo {
+  std::vector<Value> values;
+  std::string location;
+  TableStatistics stats;
+};
+
+/// A table (or materialized view) registered in the metastore.
+struct TableDesc {
+  std::string db;
+  std::string name;
+  /// Data columns (excludes partition columns).
+  Schema schema;
+  /// Partition columns; their values are encoded in directory names.
+  std::vector<Field> partition_cols;
+  std::string location;
+  /// ACID (transactional) table: data lives in base/delta directories.
+  bool is_acid = true;
+  /// External table backed by a storage handler ("droid", "jdbc", ...).
+  std::string storage_handler;
+  std::map<std::string, std::string> properties;
+  std::vector<ConstraintDef> constraints;
+  TableStatistics stats;
+
+  // --- materialized view fields (Section 4.4) ---
+  bool is_materialized_view = false;
+  /// SQL text of the view definition.
+  std::string view_sql;
+  /// Snapshot of each source table's write-id high watermark at the last
+  /// (re)build; drives staleness checks and incremental maintenance.
+  std::map<std::string, int64_t> mv_source_snapshot;
+  /// Committed update/delete counts per source table at the last rebuild;
+  /// any growth forces a full rebuild (incremental handles inserts only).
+  std::map<std::string, int64_t> mv_source_upd_counts;
+  /// Allowed staleness window in micros (table property
+  /// "rewriting.time.window"); 0 = must be fresh.
+  int64_t mv_staleness_window_us = 0;
+  /// Wall-clock micros of the last rebuild.
+  int64_t mv_last_rebuild_us = 0;
+
+  std::string FullName() const { return db + "." + name; }
+  /// Combined schema: data columns followed by partition columns.
+  Schema FullSchema() const;
+  bool IsPartitioned() const { return !partition_cols.empty(); }
+};
+
+/// The Hive Metastore catalog: databases, tables, partitions, statistics.
+/// Thread-safe; all returned TableDesc values are snapshots (copies).
+class Catalog {
+ public:
+  explicit Catalog(FileSystem* fs, std::string warehouse_root = "/warehouse");
+
+  Status CreateDatabase(const std::string& name);
+  bool DatabaseExists(const std::string& name) const;
+  std::vector<std::string> ListDatabases() const;
+
+  /// Creates a table; fills in `location` when empty.
+  Status CreateTable(TableDesc desc);
+  Result<TableDesc> GetTable(const std::string& db, const std::string& name) const;
+  Status DropTable(const std::string& db, const std::string& name,
+                   bool delete_data = true);
+  std::vector<std::string> ListTables(const std::string& db) const;
+
+  /// Registers a partition (idempotent); location derives from the values.
+  Status AddPartition(const std::string& db, const std::string& table,
+                      const std::vector<Value>& values);
+  Result<std::vector<PartitionInfo>> GetPartitions(const std::string& db,
+                                                   const std::string& table) const;
+  Status DropPartition(const std::string& db, const std::string& table,
+                       const std::vector<Value>& values, bool delete_data = true);
+
+  /// Additively merges `delta` into the table's stats (and the partition's,
+  /// when `partition_values` is non-empty).
+  Status MergeStats(const std::string& db, const std::string& table,
+                    const TableStatistics& delta,
+                    const std::vector<Value>& partition_values = {});
+
+  /// Replaces table properties / MV bookkeeping fields.
+  Status UpdateTable(const TableDesc& desc);
+
+  /// Lists every materialized view in the catalog (for the rewriting rule).
+  std::vector<TableDesc> ListMaterializedViews() const;
+
+  FileSystem* filesystem() const { return fs_; }
+  const std::string& warehouse_root() const { return root_; }
+
+  /// Directory name for a partition value set: "col1=v1/col2=v2".
+  static std::string PartitionDirName(const std::vector<Field>& partition_cols,
+                                      const std::vector<Value>& values);
+
+ private:
+  std::string TableLocation(const std::string& db, const std::string& name) const;
+
+  FileSystem* fs_;
+  std::string root_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, TableDesc>> dbs_;
+  /// partitions_[db.table] -> value-key -> info
+  std::map<std::string, std::map<std::string, PartitionInfo>> partitions_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_METASTORE_CATALOG_H_

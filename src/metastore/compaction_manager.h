@@ -1,0 +1,54 @@
+#ifndef HIVE_METASTORE_COMPACTION_MANAGER_H_
+#define HIVE_METASTORE_COMPACTION_MANAGER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "metastore/catalog.h"
+#include "metastore/txn_manager.h"
+
+namespace hive {
+
+/// Outcome of one compaction check, for observability/tests.
+struct CompactionDecision {
+  std::string location;
+  enum class Action { kNone, kMinor, kMajor } action = Action::kNone;
+  size_t delta_count = 0;
+  double delta_ratio = 0.0;
+};
+
+/// Automatic compaction, triggered by HS2 after writes when thresholds are
+/// surpassed (Section 3.2): the number of delta directories in a table, or
+/// the ratio of delta bytes to base bytes. Merging requires no locks; the
+/// cleaning phase runs separately so in-flight readers complete first.
+class CompactionManager {
+ public:
+  CompactionManager(Catalog* catalog, TransactionManager* txns, const Config* config)
+      : catalog_(catalog), txns_(txns), config_(config) {}
+
+  /// Checks every location of `db.table` (all partitions for partitioned
+  /// tables) and runs the indicated compactions followed by cleaning.
+  Result<std::vector<CompactionDecision>> MaybeCompact(const std::string& db,
+                                                       const std::string& table);
+
+  /// Decision logic only, no side effects.
+  Result<CompactionDecision> Evaluate(const std::string& location,
+                                      const ValidWriteIdList& snapshot) const;
+
+  int64_t compactions_run() const { return compactions_run_; }
+
+ private:
+  Status CompactLocation(const std::string& location, const Schema& schema,
+                         const ValidWriteIdList& snapshot,
+                         CompactionDecision* decision);
+
+  Catalog* catalog_;
+  TransactionManager* txns_;
+  const Config* config_;
+  int64_t compactions_run_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_METASTORE_COMPACTION_MANAGER_H_

@@ -1,0 +1,131 @@
+#ifndef HIVE_METASTORE_TXN_MANAGER_H_
+#define HIVE_METASTORE_TXN_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/acid.h"
+
+namespace hive {
+
+/// Global transaction snapshot: the high watermark TxnId plus the set of
+/// open and aborted transactions below it (Section 3.2).
+struct TxnSnapshot {
+  int64_t high_watermark = 0;
+  std::set<int64_t> open_or_aborted;
+
+  bool Sees(int64_t txn_id) const {
+    return txn_id <= high_watermark && open_or_aborted.count(txn_id) == 0;
+  }
+};
+
+/// Lock modes. DROP TABLE / DROP PARTITION take exclusive locks; everything
+/// else shares (Section 3.2).
+enum class LockMode { kShared, kExclusive };
+
+/// Kinds of writes tracked for optimistic conflict detection. Only updates
+/// and deletes conflict ("first commit wins"); blind inserts never do.
+enum class WriteOpKind { kInsert, kUpdateDelete };
+
+/// The transaction and lock manager built on top of the metastore.
+///
+/// * TxnIds are global, monotonically increasing.
+/// * WriteIds are per-table, monotonically increasing; each (txn, table)
+///   pair gets one WriteId, and the mapping is retained so per-table
+///   ValidWriteIdList snapshots can be derived from the global txn list.
+/// * Updates/deletes use optimistic conflict resolution: write sets are
+///   tracked per transaction and validated at commit time against writes
+///   committed since the transaction began; the first committer wins.
+class TransactionManager {
+ public:
+  TransactionManager() = default;
+
+  /// Opens a transaction and returns its TxnId.
+  int64_t OpenTxn();
+
+  /// Commits; fails with kTxnAborted when a conflicting update/delete
+  /// committed first, in which case the txn is aborted internally.
+  Status CommitTxn(int64_t txn_id);
+
+  Status AbortTxn(int64_t txn_id);
+
+  bool IsOpen(int64_t txn_id) const;
+  bool IsAborted(int64_t txn_id) const;
+
+  /// Current global snapshot (taken at query start in HS2).
+  TxnSnapshot GetSnapshot() const;
+
+  /// Allocates (or returns the already-allocated) WriteId for this txn on
+  /// `table` ("db.table").
+  Result<int64_t> AllocateWriteId(int64_t txn_id, const std::string& table);
+
+  /// Derives the per-table write-id snapshot from a global snapshot: the
+  /// WriteId analogue of the txn list, used to bind scans (Section 3.2).
+  ValidWriteIdList GetValidWriteIds(const std::string& table,
+                                    const TxnSnapshot& snapshot) const;
+
+  /// Highest allocated WriteId for a table (0 when never written). Used by
+  /// the result cache and MV staleness checks to detect new data.
+  int64_t TableWriteIdHighWatermark(const std::string& table) const;
+
+  /// Number of committed UPDATE/DELETE operations against `table` (any
+  /// partition). Materialized-view maintenance uses this to decide between
+  /// incremental (insert-only history) and full rebuild (Section 4.4).
+  int64_t UpdateDeleteCount(const std::string& table) const;
+
+  /// Records a write for conflict detection. `resource` is "db.table" or
+  /// "db.table/partition".
+  Status RecordWriteSet(int64_t txn_id, const std::string& resource, WriteOpKind kind);
+
+  /// Non-blocking lock acquisition; all locks of a txn release on
+  /// commit/abort. Returns kLockTimeout status when incompatible.
+  Status AcquireLock(int64_t txn_id, const std::string& resource, LockMode mode);
+
+  /// Number of known aborted transactions (compaction metric).
+  size_t NumAborted() const;
+
+ private:
+  enum class TxnState { kOpen, kCommitted, kAborted };
+
+  struct TxnInfo {
+    TxnState state = TxnState::kOpen;
+    /// Commit sequence of the latest commit visible when this txn started.
+    int64_t start_commit_seq = 0;
+    /// Write-set entries: resource -> kind (update/delete dominates insert).
+    std::map<std::string, WriteOpKind> write_set;
+    /// WriteIds allocated: table -> write id.
+    std::map<std::string, int64_t> write_ids;
+    std::set<std::string> locks;
+  };
+
+  struct CommittedWrite {
+    int64_t commit_seq;
+    std::map<std::string, WriteOpKind> write_set;
+  };
+
+  struct LockState {
+    int64_t exclusive_holder = -1;
+    std::set<int64_t> shared_holders;
+  };
+
+  void ReleaseLocksLocked(int64_t txn_id);
+
+  mutable std::mutex mu_;
+  int64_t next_txn_id_ = 1;
+  int64_t commit_seq_ = 0;
+  std::map<int64_t, TxnInfo> txns_;
+  std::map<std::string, int64_t> next_write_id_;  // per table
+  /// table -> list of (txn, write id) allocations, for snapshot derivation.
+  std::map<std::string, std::vector<std::pair<int64_t, int64_t>>> table_write_ids_;
+  std::vector<CommittedWrite> committed_writes_;
+  std::map<std::string, LockState> locks_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_METASTORE_TXN_MANAGER_H_

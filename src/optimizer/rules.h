@@ -1,0 +1,46 @@
+#ifndef HIVE_OPTIMIZER_RULES_H_
+#define HIVE_OPTIMIZER_RULES_H_
+
+#include "common/config.h"
+#include "metastore/catalog.h"
+#include "optimizer/rel.h"
+
+namespace hive {
+
+/// Rewrite rules applied by the multi-stage optimizer (Section 4.1). Each
+/// rule takes and returns a plan; rules may mutate nodes in place (plans
+/// are not shared across queries).
+
+/// Folds literal-only subexpressions, simplifies AND/OR with constants, and
+/// removes always-true filters / replaces always-false filters with empty
+/// Values.
+RelNodePtr FoldConstants(RelNodePtr plan);
+
+/// Pushes Filter predicates towards the scans: through projects, into join
+/// sides, below unions, and finally into `scan_filters` (where they become
+/// sargable pushdown candidates).
+RelNodePtr PushDownFilters(RelNodePtr plan);
+
+/// Removes unused columns: narrows scans (projection pushdown into the
+/// columnar reader) and trims intermediate projects.
+RelNodePtr PruneColumns(RelNodePtr plan);
+
+/// Static partition pruning: evaluates scan filters on partition columns
+/// against the partition values registered in the metastore and restricts
+/// the scan to surviving partitions.
+Status PrunePartitions(const RelNodePtr& plan, Catalog* catalog);
+
+/// Cost-based join reordering over contiguous inner-join trees, greedy
+/// smallest-intermediate-first, avoiding Cartesian products when possible.
+/// Requires row estimates (DeriveRowEstimates).
+RelNodePtr ReorderJoins(RelNodePtr plan, const Config& config);
+
+/// Dynamic semijoin reduction (Section 4.6): for selective build sides of
+/// equi joins over large scans, attaches SemiJoinReducer descriptors to the
+/// probe-side scan (min/max + Bloom pushdown, or dynamic partition pruning
+/// when the key is the scan's partition column).
+Status InsertSemiJoinReducers(const RelNodePtr& plan, const Config& config);
+
+}  // namespace hive
+
+#endif  // HIVE_OPTIMIZER_RULES_H_

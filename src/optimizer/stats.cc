@@ -1,0 +1,247 @@
+#include "optimizer/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hive {
+
+namespace {
+
+constexpr double kDefaultScanRows = 1000.0;
+
+/// Column statistics lookup for a column of `node`'s output. Only scans
+/// resolve; other nodes return nullptr.
+const ColumnStatistics* FindColumnStats(const RelNode& node, int binding) {
+  if (node.kind != RelKind::kScan) return nullptr;
+  if (binding < 0 || static_cast<size_t>(binding) >= node.schema.num_fields())
+    return nullptr;
+  const std::string name = ToLower(node.schema.field(binding).name);
+  auto it = node.table.stats.columns.find(name);
+  return it == node.table.stats.columns.end() ? nullptr : &it->second;
+}
+
+double ConjunctSelectivity(const ExprPtr& e, const RelNode& input) {
+  switch (e->kind) {
+    case ExprKind::kLiteral:
+      if (e->literal.kind() == TypeKind::kBoolean)
+        return e->literal.bool_value() ? 1.0 : 0.0;
+      return 1.0;
+    case ExprKind::kBinary: {
+      switch (e->bin_op) {
+        case BinaryOp::kAnd:
+          return ConjunctSelectivity(e->children[0], input) *
+                 ConjunctSelectivity(e->children[1], input);
+        case BinaryOp::kOr:
+          return std::min(1.0, ConjunctSelectivity(e->children[0], input) +
+                                   ConjunctSelectivity(e->children[1], input));
+        case BinaryOp::kEq: {
+          // col = literal: 1/NDV when stats exist.
+          const ExprPtr& l = e->children[0];
+          const ExprPtr& r = e->children[1];
+          const ExprPtr* col = nullptr;
+          if (l->kind == ExprKind::kColumnRef && r->kind == ExprKind::kLiteral) col = &l;
+          if (r->kind == ExprKind::kColumnRef && l->kind == ExprKind::kLiteral) col = &r;
+          if (col) {
+            const ColumnStatistics* stats = FindColumnStats(input, (*col)->binding);
+            if (stats && stats->Ndv() > 0)
+              return 1.0 / static_cast<double>(stats->Ndv());
+          }
+          return 0.05;
+        }
+        case BinaryOp::kNe:
+          return 0.9;
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          // Range over known min/max: interpolate.
+          const ExprPtr& l = e->children[0];
+          const ExprPtr& r = e->children[1];
+          if (l->kind == ExprKind::kColumnRef && r->kind == ExprKind::kLiteral) {
+            const ColumnStatistics* stats = FindColumnStats(input, l->binding);
+            if (stats && !stats->min.is_null() && !stats->max.is_null() &&
+                stats->min.kind() != TypeKind::kString) {
+              double lo = stats->min.AsDouble(), hi = stats->max.AsDouble();
+              double v = r->literal.AsDouble();
+              if (hi > lo) {
+                double frac = (v - lo) / (hi - lo);
+                frac = std::clamp(frac, 0.0, 1.0);
+                if (e->bin_op == BinaryOp::kLt || e->bin_op == BinaryOp::kLe) return std::max(0.01, frac);
+                return std::max(0.01, 1.0 - frac);
+              }
+            }
+          }
+          return 0.33;
+        }
+        case BinaryOp::kLike:
+          return 0.25;
+        default:
+          return 1.0;
+      }
+    }
+    case ExprKind::kUnary:
+      if (e->un_op == UnaryOp::kNot)
+        return std::max(0.0, 1.0 - ConjunctSelectivity(e->children[0], input));
+      return 1.0;
+    case ExprKind::kInList: {
+      double per = 0.05;
+      if (e->children[0]->kind == ExprKind::kColumnRef) {
+        const ColumnStatistics* stats = FindColumnStats(input, e->children[0]->binding);
+        if (stats && stats->Ndv() > 0) per = 1.0 / static_cast<double>(stats->Ndv());
+      }
+      double s = per * static_cast<double>(e->children.size() - 1);
+      s = std::min(1.0, s);
+      return e->negated ? 1.0 - s : s;
+    }
+    case ExprKind::kBetween: {
+      double s = 0.25;
+      if (e->children[0]->kind == ExprKind::kColumnRef &&
+          e->children[1]->kind == ExprKind::kLiteral &&
+          e->children[2]->kind == ExprKind::kLiteral) {
+        const ColumnStatistics* stats = FindColumnStats(input, e->children[0]->binding);
+        if (stats && !stats->min.is_null() && !stats->max.is_null() &&
+            stats->min.kind() != TypeKind::kString) {
+          double lo = stats->min.AsDouble(), hi = stats->max.AsDouble();
+          if (hi > lo) {
+            double a = e->children[1]->literal.AsDouble();
+            double b = e->children[2]->literal.AsDouble();
+            s = std::clamp((b - a) / (hi - lo), 0.01, 1.0);
+          }
+        }
+      }
+      return e->negated ? 1.0 - s : s;
+    }
+    case ExprKind::kIsNull:
+      return e->negated ? 0.9 : 0.1;
+    default:
+      return 0.5;
+  }
+}
+
+double KeyNdv(const RelNode& input, const ExprPtr& key) {
+  if (key->kind == ExprKind::kColumnRef) {
+    const ColumnStatistics* stats = FindColumnStats(input, key->binding);
+    if (stats && stats->Ndv() > 0) return static_cast<double>(stats->Ndv());
+  }
+  double rows = input.row_estimate >= 0 ? input.row_estimate : kDefaultScanRows;
+  return std::max(1.0, rows * 0.1);
+}
+
+}  // namespace
+
+double EstimateSelectivity(const ExprPtr& predicate, const RelNode& input) {
+  return std::clamp(ConjunctSelectivity(predicate, input), 0.0001, 1.0);
+}
+
+void DeriveRowEstimates(const RelNodePtr& node,
+                        const std::map<std::string, int64_t>* runtime_overrides) {
+  for (const RelNodePtr& input : node->inputs)
+    DeriveRowEstimates(input, runtime_overrides);
+  if (runtime_overrides && !runtime_overrides->empty()) {
+    auto it = runtime_overrides->find(node->Digest());
+    if (it != runtime_overrides->end()) {
+      node->row_estimate = static_cast<double>(it->second);
+      return;
+    }
+  }
+  switch (node->kind) {
+    case RelKind::kScan: {
+      double rows = static_cast<double>(node->table.stats.row_count);
+      if (node->partitions_pruned) {
+        double part_rows = 0;
+        for (const PartitionInfo& p : node->pruned_partitions)
+          part_rows += static_cast<double>(p.stats.row_count);
+        if (part_rows > 0) rows = part_rows;
+        else if (!node->pruned_partitions.empty() && rows > 0)
+          rows = rows;  // keep table estimate if partition stats are absent
+        else if (node->pruned_partitions.empty())
+          rows = 0;
+      }
+      if (rows <= 0) rows = node->table.stats.row_count > 0 ? 1 : kDefaultScanRows;
+      for (const ExprPtr& filter : node->scan_filters)
+        rows *= EstimateSelectivity(filter, *node);
+      node->row_estimate = std::max(rows, 0.0);
+      break;
+    }
+    case RelKind::kValues:
+      node->row_estimate = static_cast<double>(node->rows.size());
+      break;
+    case RelKind::kFilter:
+      node->row_estimate = node->inputs[0]->row_estimate *
+                           EstimateSelectivity(node->predicate, *node->inputs[0]);
+      break;
+    case RelKind::kProject:
+    case RelKind::kWindow:
+      node->row_estimate = node->inputs[0]->row_estimate;
+      break;
+    case RelKind::kJoin: {
+      double l = node->inputs[0]->row_estimate;
+      double r = node->inputs[1]->row_estimate;
+      switch (node->join_type) {
+        case TableRef::JoinType::kSemi:
+          node->row_estimate = l * 0.5;
+          break;
+        case TableRef::JoinType::kAnti:
+          node->row_estimate = l * 0.5;
+          break;
+        case TableRef::JoinType::kCross:
+          node->row_estimate = l * r;
+          break;
+        default: {
+          // FK-PK heuristic: |L join R| ~ max(L, R) for equi joins,
+          // scaled down slightly per extra conjunct.
+          bool has_condition = node->condition != nullptr &&
+                               !(node->condition->kind == ExprKind::kLiteral);
+          node->row_estimate = has_condition ? std::max(l, r) : l * r;
+          if (node->join_type == TableRef::JoinType::kLeft)
+            node->row_estimate = std::max(node->row_estimate, l);
+          if (node->join_type == TableRef::JoinType::kRight)
+            node->row_estimate = std::max(node->row_estimate, r);
+          if (node->join_type == TableRef::JoinType::kFull)
+            node->row_estimate = std::max(node->row_estimate, l + r);
+          break;
+        }
+      }
+      break;
+    }
+    case RelKind::kAggregate: {
+      if (node->group_keys.empty()) {
+        node->row_estimate = 1;
+        break;
+      }
+      double groups = 1;
+      for (const ExprPtr& key : node->group_keys)
+        groups *= KeyNdv(*node->inputs[0], key);
+      node->row_estimate =
+          std::min(groups, std::max(1.0, node->inputs[0]->row_estimate));
+      break;
+    }
+    case RelKind::kSort:
+      node->row_estimate =
+          node->limit >= 0
+              ? std::min<double>(static_cast<double>(node->limit),
+                                 node->inputs[0]->row_estimate)
+              : node->inputs[0]->row_estimate;
+      break;
+    case RelKind::kLimit:
+      node->row_estimate = std::min<double>(static_cast<double>(node->limit),
+                                            node->inputs[0]->row_estimate);
+      break;
+    case RelKind::kUnion: {
+      double total = 0;
+      for (const RelNodePtr& input : node->inputs) total += input->row_estimate;
+      node->row_estimate = total;
+      break;
+    }
+    case RelKind::kMinus:
+      node->row_estimate = node->inputs[0]->row_estimate;
+      break;
+    case RelKind::kIntersect:
+      node->row_estimate =
+          std::min(node->inputs[0]->row_estimate, node->inputs[1]->row_estimate);
+      break;
+  }
+  if (node->row_estimate < 0) node->row_estimate = kDefaultScanRows;
+}
+
+}  // namespace hive

@@ -1,0 +1,26 @@
+#ifndef HIVE_OPTIMIZER_STATS_H_
+#define HIVE_OPTIMIZER_STATS_H_
+
+#include "optimizer/rel.h"
+
+namespace hive {
+
+/// Derives `row_estimate` for every node in the plan, bottom-up, from the
+/// metastore statistics attached to scans (Section 4.1). Estimates feed the
+/// cost-based join reordering and the semijoin-reduction heuristic.
+///
+/// `runtime_overrides` (node digest -> observed rows) injects statistics
+/// captured during a failed execution, the re-optimization path of Section
+/// 4.2: overridden nodes take the observed cardinality instead of the
+/// estimate, correcting the planner's mistakes on the rerun.
+void DeriveRowEstimates(const RelNodePtr& node,
+                        const std::map<std::string, int64_t>* runtime_overrides = nullptr);
+
+/// Selectivity estimate for a bound predicate evaluated over `input`.
+/// NDV-aware for equality on scan columns with statistics; heuristic
+/// fractions otherwise.
+double EstimateSelectivity(const ExprPtr& predicate, const RelNode& input);
+
+}  // namespace hive
+
+#endif  // HIVE_OPTIMIZER_STATS_H_

@@ -1,0 +1,756 @@
+#include "server/dml.h"
+
+#include <map>
+#include <set>
+
+#include "common/hash.h"
+#include "optimizer/expr_eval.h"
+
+namespace hive {
+
+namespace {
+
+/// Per-location ACID writers for one transaction.
+class TxnWriters {
+ public:
+  TxnWriters(FileSystem* fs, const Schema& schema, int64_t write_id)
+      : fs_(fs), schema_(schema), write_id_(write_id) {}
+
+  AcidWriter* ForLocation(const std::string& location) {
+    auto it = writers_.find(location);
+    if (it == writers_.end()) {
+      it = writers_
+               .emplace(location, std::make_unique<AcidWriter>(fs_, location, schema_,
+                                                               write_id_))
+               .first;
+    }
+    return it->second.get();
+  }
+
+  Status CommitAll() {
+    for (auto& [location, writer] : writers_)
+      HIVE_RETURN_IF_ERROR(writer->Commit());
+    return Status::OK();
+  }
+
+ private:
+  FileSystem* fs_;
+  Schema schema_;
+  int64_t write_id_;
+  std::map<std::string, std::unique_ptr<AcidWriter>> writers_;
+};
+
+}  // namespace
+
+TableStatistics DmlDriver::ComputeStats(const Schema& schema,
+                                        const std::vector<std::vector<Value>>& rows) {
+  TableStatistics stats;
+  stats.row_count = static_cast<int64_t>(rows.size());
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    ColumnStatistics col;
+    for (const auto& row : rows) {
+      if (c >= row.size()) continue;
+      ++col.num_values;
+      if (row[c].is_null()) {
+        ++col.num_nulls;
+        continue;
+      }
+      if (col.min.is_null() || Value::Compare(row[c], col.min) < 0) col.min = row[c];
+      if (col.max.is_null() || Value::Compare(row[c], col.max) > 0) col.max = row[c];
+      col.ndv.Add(row[c]);
+    }
+    stats.columns[ToLower(schema.field(c).name)] = std::move(col);
+  }
+  return stats;
+}
+
+Result<QueryResult> DmlDriver::RunSelect(const SelectStmt& stmt) {
+  Config config = session_->config;
+  RuntimeStats stats;
+  return server_->TryExecuteSelect(session_, stmt, 0, &stats, &config);
+}
+
+Result<QueryResult> DmlDriver::CreateTable(const CreateTableStatement& stmt) {
+  TableDesc desc;
+  desc.db = stmt.db.empty() ? session_->database : stmt.db;
+  desc.name = stmt.table;
+  for (const ColumnDef& col : stmt.columns) desc.schema.AddField(col.name, col.type);
+  for (const ColumnDef& col : stmt.partition_columns)
+    desc.partition_cols.push_back({col.name, col.type});
+  desc.storage_handler = stmt.stored_by;
+  desc.properties = stmt.properties;
+  desc.is_acid = stmt.stored_by.empty() && !stmt.external;
+  if (stmt.properties.count("transactional") &&
+      stmt.properties.at("transactional") == "false")
+    desc.is_acid = false;
+  for (const auto& constraint : stmt.constraints) {
+    ConstraintDef def;
+    switch (constraint.kind) {
+      case CreateTableStatement::Constraint::Kind::kPrimaryKey:
+        def.kind = ConstraintDef::Kind::kPrimaryKey;
+        break;
+      case CreateTableStatement::Constraint::Kind::kForeignKey:
+        def.kind = ConstraintDef::Kind::kForeignKey;
+        break;
+      case CreateTableStatement::Constraint::Kind::kUnique:
+        def.kind = ConstraintDef::Kind::kUnique;
+        break;
+      case CreateTableStatement::Constraint::Kind::kNotNull:
+        def.kind = ConstraintDef::Kind::kNotNull;
+        break;
+    }
+    def.columns = constraint.columns;
+    def.ref_table = constraint.ref_table;
+    def.ref_columns = constraint.ref_columns;
+    desc.constraints.push_back(std::move(def));
+  }
+
+  // CTAS: derive missing columns from the query output.
+  std::vector<std::vector<Value>> ctas_rows;
+  if (stmt.as_select) {
+    HIVE_ASSIGN_OR_RETURN(QueryResult source, RunSelect(*stmt.as_select));
+    if (desc.schema.num_fields() == 0) desc.schema = source.schema;
+    ctas_rows = std::move(source.rows);
+  }
+
+  // Metastore hook for storage handlers (may infer the schema).
+  if (!desc.storage_handler.empty()) {
+    StorageHandler* handler = server_->handlers_.Get(desc.storage_handler);
+    if (!handler)
+      return Status::NotSupported("unknown storage handler: " + desc.storage_handler);
+    HIVE_RETURN_IF_ERROR(handler->OnCreateTable(&desc));
+  }
+
+  Status status = server_->catalog_.CreateTable(desc);
+  if (!status.ok()) {
+    if (stmt.if_not_exists && status.code() == StatusCode::kAlreadyExists)
+      return QueryResult{};
+    return status;
+  }
+  if (!ctas_rows.empty()) {
+    HIVE_ASSIGN_OR_RETURN(TableDesc created,
+                          server_->catalog_.GetTable(desc.db, desc.name));
+    int64_t txn = server_->txns_.OpenTxn();
+    auto inserted = InsertRows(created, ctas_rows, txn);
+    if (!inserted.ok()) {
+      server_->txns_.AbortTxn(txn);
+      return inserted.status();
+    }
+    HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
+  }
+  return QueryResult{};
+}
+
+Result<int64_t> DmlDriver::InsertRows(const TableDesc& desc,
+                                      const std::vector<std::vector<Value>>& rows,
+                                      int64_t txn) {
+  // External tables route through their handler's output format.
+  if (!desc.storage_handler.empty()) {
+    StorageHandler* handler = server_->handlers_.Get(desc.storage_handler);
+    if (!handler)
+      return Status::NotSupported("unknown storage handler: " + desc.storage_handler);
+    RowBatch batch(desc.FullSchema());
+    for (const auto& row : rows)
+      for (size_t c = 0; c < batch.num_columns(); ++c)
+        batch.column(c)->AppendValue(c < row.size() ? row[c] : Value::Null());
+    batch.set_num_rows(rows.size());
+    HIVE_RETURN_IF_ERROR(handler->Insert(desc, batch));
+    return static_cast<int64_t>(rows.size());
+  }
+
+  HIVE_ASSIGN_OR_RETURN(int64_t write_id,
+                        server_->txns_.AllocateWriteId(txn, desc.FullName()));
+  size_t data_width = desc.schema.num_fields();
+  TxnWriters writers(server_->fs_, desc.schema, write_id);
+  std::map<std::string, std::vector<Value>> new_partitions;
+
+  for (const auto& row : rows) {
+    std::string location = desc.location;
+    std::string resource = desc.FullName();
+    if (desc.IsPartitioned()) {
+      std::vector<Value> part_values(row.begin() + data_width, row.end());
+      std::string dir = Catalog::PartitionDirName(desc.partition_cols, part_values);
+      location = JoinPath(desc.location, dir);
+      resource += "/" + dir;
+      new_partitions.emplace(dir, part_values);
+    }
+    HIVE_RETURN_IF_ERROR(
+        server_->txns_.RecordWriteSet(txn, resource, WriteOpKind::kInsert));
+    HIVE_RETURN_IF_ERROR(
+        server_->txns_.AcquireLock(txn, resource, LockMode::kShared));
+    std::vector<Value> data_row(row.begin(), row.begin() + std::min(row.size(),
+                                                                    data_width));
+    writers.ForLocation(location)->Insert(data_row);
+  }
+  for (const auto& [dir, values] : new_partitions)
+    HIVE_RETURN_IF_ERROR(server_->catalog_.AddPartition(desc.db, desc.name, values));
+  HIVE_RETURN_IF_ERROR(writers.CommitAll());
+
+  // Statistics merge additively (Section 4.1).
+  TableStatistics stats = ComputeStats(desc.FullSchema(), rows);
+  HIVE_RETURN_IF_ERROR(server_->catalog_.MergeStats(desc.db, desc.name, stats));
+  return static_cast<int64_t>(rows.size());
+}
+
+Result<QueryResult> DmlDriver::Insert(const InsertStatement& stmt) {
+  std::string db = stmt.db.empty() ? session_->database : stmt.db;
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, stmt.table));
+  Schema full = desc.FullSchema();
+
+  // Gather source rows.
+  std::vector<std::vector<Value>> rows;
+  if (stmt.source) {
+    HIVE_ASSIGN_OR_RETURN(QueryResult source, RunSelect(*stmt.source));
+    rows = std::move(source.rows);
+  } else {
+    for (const auto& exprs : stmt.values_rows) {
+      std::vector<Value> row;
+      for (const ExprPtr& e : exprs) {
+        // VALUES rows are literal expressions (fold with the evaluator).
+        Config config = session_->config;
+        Binder binder(&server_->catalog_, &config, session_->database);
+        HIVE_ASSIGN_OR_RETURN(ExprPtr bound, binder.BindScalar(e, Schema(), ""));
+        HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*bound, nullptr));
+        row.push_back(std::move(v));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // Column-list reordering and cast to declared types.
+  std::vector<int> target_index(full.num_fields(), -1);
+  if (!stmt.columns.empty()) {
+    for (size_t i = 0; i < stmt.columns.size(); ++i) {
+      auto idx = full.IndexOf(stmt.columns[i]);
+      if (!idx) return Status::PlanError("unknown column " + stmt.columns[i]);
+      target_index[*idx] = static_cast<int>(i);
+    }
+  }
+  std::vector<std::vector<Value>> shaped;
+  shaped.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<Value> out(full.num_fields(), Value::Null());
+    for (size_t c = 0; c < full.num_fields(); ++c) {
+      int src = stmt.columns.empty() ? static_cast<int>(c) : target_index[c];
+      if (src < 0 || static_cast<size_t>(src) >= row.size()) continue;
+      auto cast = row[src].CastTo(full.field(c).type);
+      out[c] = cast.ok() ? *cast : Value::Null();
+    }
+    // NOT NULL constraint enforcement.
+    for (const ConstraintDef& constraint : desc.constraints) {
+      if (constraint.kind != ConstraintDef::Kind::kNotNull) continue;
+      for (const std::string& column : constraint.columns) {
+        auto idx = full.IndexOf(column);
+        if (idx && out[*idx].is_null())
+          return Status::InvalidArgument("NOT NULL constraint violated on " + column);
+      }
+    }
+    shaped.push_back(std::move(out));
+  }
+
+  int64_t txn = server_->txns_.OpenTxn();
+  auto inserted = InsertRows(desc, shaped, txn);
+  if (!inserted.ok()) {
+    server_->txns_.AbortTxn(txn);
+    return inserted.status();
+  }
+  HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
+  // Automatic compaction check (Section 3.2).
+  if (desc.is_acid) {
+    auto compaction = server_->compaction_.MaybeCompact(db, stmt.table);
+    (void)compaction;
+  }
+  QueryResult result;
+  result.rows_affected = *inserted;
+  return result;
+}
+
+Result<std::vector<DmlDriver::TargetRow>> DmlDriver::ScanTargets(
+    const TableDesc& desc, const ExprPtr& bound_where) {
+  std::vector<TargetRow> out;
+  Schema full = desc.FullSchema();
+  size_t data_width = desc.schema.num_fields();
+
+  struct Location {
+    std::string path;
+    std::string resource;
+    std::vector<Value> part_values;
+  };
+  std::vector<Location> locations;
+  if (desc.IsPartitioned()) {
+    HIVE_ASSIGN_OR_RETURN(std::vector<PartitionInfo> parts,
+                          server_->catalog_.GetPartitions(desc.db, desc.name));
+    for (const PartitionInfo& p : parts) {
+      std::string dir = Catalog::PartitionDirName(desc.partition_cols, p.values);
+      locations.push_back({p.location, desc.FullName() + "/" + dir, p.values});
+    }
+  } else {
+    locations.push_back({desc.location, desc.FullName(), {}});
+  }
+
+  TxnSnapshot snapshot = server_->txns_.GetSnapshot();
+  ValidWriteIdList write_ids =
+      server_->txns_.GetValidWriteIds(desc.FullName(), snapshot);
+
+  for (const Location& location : locations) {
+    AcidReader reader(server_->fs_, location.path, desc.schema);
+    AcidScanOptions options;
+    options.include_row_ids = true;
+    HIVE_RETURN_IF_ERROR(reader.Open(write_ids, options));
+    bool done = false;
+    for (;;) {
+      HIVE_ASSIGN_OR_RETURN(RowBatch batch, reader.NextBatch(&done));
+      if (done) break;
+      for (size_t i = 0; i < batch.SelectedSize(); ++i) {
+        int32_t row = batch.SelectedRow(i);
+        TargetRow target;
+        target.location = location.path;
+        target.resource = location.resource;
+        target.values.reserve(full.num_fields());
+        for (size_t c = 0; c < data_width; ++c)
+          target.values.push_back(batch.column(c)->GetValue(row));
+        for (const Value& v : location.part_values) target.values.push_back(v);
+        target.id.write_id = batch.column(data_width)->GetI64(row);
+        target.id.bucket = batch.column(data_width + 1)->GetI64(row);
+        target.id.row_id = batch.column(data_width + 2)->GetI64(row);
+        if (bound_where) {
+          HIVE_ASSIGN_OR_RETURN(Value keep, EvalExpr(*bound_where, &target.values));
+          if (!IsTrue(keep)) continue;
+        }
+        out.push_back(std::move(target));
+      }
+    }
+  }
+  return out;
+}
+
+Result<QueryResult> DmlDriver::Update(const UpdateStatement& stmt) {
+  std::string db = stmt.db.empty() ? session_->database : stmt.db;
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, stmt.table));
+  if (!desc.is_acid)
+    return Status::NotSupported("UPDATE requires a transactional table");
+  Schema full = desc.FullSchema();
+  Config config = session_->config;
+  Binder binder(&server_->catalog_, &config, session_->database);
+
+  ExprPtr bound_where;
+  if (stmt.where) {
+    HIVE_ASSIGN_OR_RETURN(bound_where, binder.BindScalar(stmt.where, full, desc.name));
+  }
+  std::vector<std::pair<size_t, ExprPtr>> assignments;
+  for (const auto& [column, expr] : stmt.assignments) {
+    auto idx = full.IndexOf(column);
+    if (!idx) return Status::PlanError("unknown column " + column);
+    if (*idx >= desc.schema.num_fields())
+      return Status::NotSupported("cannot UPDATE a partition column");
+    HIVE_ASSIGN_OR_RETURN(ExprPtr bound, binder.BindScalar(expr, full, desc.name));
+    assignments.push_back({*idx, bound});
+  }
+
+  HIVE_ASSIGN_OR_RETURN(std::vector<TargetRow> targets, ScanTargets(desc, bound_where));
+
+  // Update = delete + insert in one transaction (Section 3.2).
+  int64_t txn = server_->txns_.OpenTxn();
+  auto apply = [&]() -> Status {
+    HIVE_ASSIGN_OR_RETURN(int64_t write_id,
+                          server_->txns_.AllocateWriteId(txn, desc.FullName()));
+    TxnWriters writers(server_->fs_, desc.schema, write_id);
+    for (const TargetRow& target : targets) {
+      HIVE_RETURN_IF_ERROR(server_->txns_.RecordWriteSet(txn, target.resource,
+                                                         WriteOpKind::kUpdateDelete));
+      HIVE_RETURN_IF_ERROR(
+          server_->txns_.AcquireLock(txn, target.resource, LockMode::kShared));
+      AcidWriter* writer = writers.ForLocation(target.location);
+      writer->Delete(target.id);
+      std::vector<Value> new_row(target.values.begin(),
+                                 target.values.begin() + desc.schema.num_fields());
+      for (const auto& [ordinal, expr] : assignments) {
+        HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, &target.values));
+        auto cast = v.CastTo(full.field(ordinal).type);
+        new_row[ordinal] = cast.ok() ? *cast : Value::Null();
+      }
+      writer->Insert(new_row);
+    }
+    return writers.CommitAll();
+  };
+  Status status = apply();
+  if (!status.ok()) {
+    server_->txns_.AbortTxn(txn);
+    return status;
+  }
+  HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
+  QueryResult result;
+  result.rows_affected = static_cast<int64_t>(targets.size());
+  if (desc.is_acid) server_->compaction_.MaybeCompact(db, stmt.table);
+  return result;
+}
+
+Result<QueryResult> DmlDriver::Delete(const DeleteStatement& stmt) {
+  std::string db = stmt.db.empty() ? session_->database : stmt.db;
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, stmt.table));
+  if (!desc.is_acid)
+    return Status::NotSupported("DELETE requires a transactional table");
+  Config config = session_->config;
+  Binder binder(&server_->catalog_, &config, session_->database);
+  ExprPtr bound_where;
+  if (stmt.where) {
+    HIVE_ASSIGN_OR_RETURN(bound_where,
+                          binder.BindScalar(stmt.where, desc.FullSchema(), desc.name));
+  }
+  HIVE_ASSIGN_OR_RETURN(std::vector<TargetRow> targets, ScanTargets(desc, bound_where));
+
+  int64_t txn = server_->txns_.OpenTxn();
+  auto apply = [&]() -> Status {
+    HIVE_ASSIGN_OR_RETURN(int64_t write_id,
+                          server_->txns_.AllocateWriteId(txn, desc.FullName()));
+    TxnWriters writers(server_->fs_, desc.schema, write_id);
+    for (const TargetRow& target : targets) {
+      HIVE_RETURN_IF_ERROR(server_->txns_.RecordWriteSet(txn, target.resource,
+                                                         WriteOpKind::kUpdateDelete));
+      HIVE_RETURN_IF_ERROR(
+          server_->txns_.AcquireLock(txn, target.resource, LockMode::kShared));
+      writers.ForLocation(target.location)->Delete(target.id);
+    }
+    return writers.CommitAll();
+  };
+  Status status = apply();
+  if (!status.ok()) {
+    server_->txns_.AbortTxn(txn);
+    return status;
+  }
+  HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
+  QueryResult result;
+  result.rows_affected = static_cast<int64_t>(targets.size());
+  server_->compaction_.MaybeCompact(db, stmt.table);
+  return result;
+}
+
+Result<QueryResult> DmlDriver::Merge(const MergeStatement& stmt) {
+  std::string db = stmt.db.empty() ? session_->database : stmt.db;
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, stmt.table));
+  if (!desc.is_acid)
+    return Status::NotSupported("MERGE requires a transactional table");
+  Schema target_schema = desc.FullSchema();
+  std::string target_alias =
+      stmt.target_alias.empty() ? desc.name : stmt.target_alias;
+
+  // Materialize the source.
+  SelectStmt source_query;
+  auto core_body = std::make_shared<QueryExpr>();
+  core_body->op = SetOpKind::kNone;
+  SelectItem star;
+  auto star_expr = std::make_shared<Expr>();
+  star_expr->kind = ExprKind::kStar;
+  star.expr = star_expr;
+  core_body->core.items.push_back(star);
+  core_body->core.from = stmt.source;
+  source_query.body = core_body;
+  HIVE_ASSIGN_OR_RETURN(QueryResult source, RunSelect(source_query));
+  const Schema& source_schema = source.schema;
+  std::string source_alias = stmt.source->alias;
+
+  Config config = session_->config;
+  Binder binder(&server_->catalog_, &config, session_->database);
+  std::vector<std::pair<std::string, Schema>> scopes = {
+      {target_alias, target_schema}, {source_alias, source_schema}};
+  HIVE_ASSIGN_OR_RETURN(ExprPtr on, binder.BindAgainst(stmt.on, scopes));
+
+  ExprPtr matched_update_cond, matched_delete_cond;
+  std::vector<std::pair<size_t, ExprPtr>> assignments;
+  if (stmt.has_matched_update) {
+    for (const auto& [column, expr] : stmt.matched_assignments) {
+      auto idx = target_schema.IndexOf(column);
+      if (!idx) return Status::PlanError("unknown column " + column);
+      HIVE_ASSIGN_OR_RETURN(ExprPtr bound, binder.BindAgainst(expr, scopes));
+      assignments.push_back({*idx, bound});
+    }
+    if (stmt.matched_update_condition) {
+      HIVE_ASSIGN_OR_RETURN(matched_update_cond,
+                            binder.BindAgainst(stmt.matched_update_condition, scopes));
+    }
+  }
+  if (stmt.has_matched_delete && stmt.matched_delete_condition) {
+    HIVE_ASSIGN_OR_RETURN(matched_delete_cond,
+                          binder.BindAgainst(stmt.matched_delete_condition, scopes));
+  }
+  std::vector<ExprPtr> insert_values;
+  for (const ExprPtr& e : stmt.insert_values) {
+    HIVE_ASSIGN_OR_RETURN(ExprPtr bound, binder.BindAgainst(e, scopes));
+    insert_values.push_back(bound);
+  }
+
+  HIVE_ASSIGN_OR_RETURN(std::vector<TargetRow> targets, ScanTargets(desc, nullptr));
+
+  int64_t txn = server_->txns_.OpenTxn();
+  int64_t affected = 0;
+  auto apply = [&]() -> Status {
+    HIVE_ASSIGN_OR_RETURN(int64_t write_id,
+                          server_->txns_.AllocateWriteId(txn, desc.FullName()));
+    TxnWriters writers(server_->fs_, desc.schema, write_id);
+    std::vector<bool> source_matched(source.rows.size(), false);
+    size_t target_width = target_schema.num_fields();
+
+    for (const TargetRow& target : targets) {
+      for (size_t s = 0; s < source.rows.size(); ++s) {
+        std::vector<Value> combined = target.values;
+        combined.insert(combined.end(), source.rows[s].begin(), source.rows[s].end());
+        HIVE_ASSIGN_OR_RETURN(Value match, EvalExpr(*on, &combined));
+        if (!IsTrue(match)) continue;
+        source_matched[s] = true;
+        // WHEN MATCHED: delete first (Hive evaluates clauses in order; this
+        // engine applies DELETE before UPDATE when both match).
+        if (stmt.has_matched_delete) {
+          bool do_delete = true;
+          if (matched_delete_cond) {
+            HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*matched_delete_cond, &combined));
+            do_delete = IsTrue(v);
+          }
+          if (do_delete) {
+            HIVE_RETURN_IF_ERROR(server_->txns_.RecordWriteSet(
+                txn, target.resource, WriteOpKind::kUpdateDelete));
+            writers.ForLocation(target.location)->Delete(target.id);
+            ++affected;
+            break;
+          }
+        }
+        if (stmt.has_matched_update) {
+          bool do_update = true;
+          if (matched_update_cond) {
+            HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*matched_update_cond, &combined));
+            do_update = IsTrue(v);
+          }
+          if (do_update) {
+            HIVE_RETURN_IF_ERROR(server_->txns_.RecordWriteSet(
+                txn, target.resource, WriteOpKind::kUpdateDelete));
+            AcidWriter* writer = writers.ForLocation(target.location);
+            writer->Delete(target.id);
+            std::vector<Value> new_row(target.values.begin(),
+                                       target.values.begin() + desc.schema.num_fields());
+            for (const auto& [ordinal, expr] : assignments) {
+              HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, &combined));
+              auto cast = v.CastTo(target_schema.field(ordinal).type);
+              new_row[ordinal] = cast.ok() ? *cast : Value::Null();
+            }
+            writer->Insert(new_row);
+            ++affected;
+            break;
+          }
+        }
+        break;  // matched; only first match acts
+      }
+    }
+
+    // WHEN NOT MATCHED THEN INSERT.
+    if (stmt.has_not_matched_insert) {
+      std::vector<std::vector<Value>> inserts;
+      for (size_t s = 0; s < source.rows.size(); ++s) {
+        if (source_matched[s]) continue;
+        std::vector<Value> combined(target_width, Value::Null());
+        combined.insert(combined.end(), source.rows[s].begin(), source.rows[s].end());
+        std::vector<Value> row;
+        for (size_t i = 0; i < insert_values.size(); ++i) {
+          HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*insert_values[i], &combined));
+          auto cast = i < target_schema.num_fields()
+                          ? v.CastTo(target_schema.field(i).type)
+                          : Result<Value>(v);
+          row.push_back(cast.ok() ? *cast : Value::Null());
+        }
+        inserts.push_back(std::move(row));
+        ++affected;
+      }
+      if (!inserts.empty()) {
+        // Route through the shared insert machinery (handles partitions).
+        size_t data_width = desc.schema.num_fields();
+        std::map<std::string, std::vector<Value>> new_partitions;
+        for (const auto& row : inserts) {
+          std::string location = desc.location;
+          std::string resource = desc.FullName();
+          if (desc.IsPartitioned()) {
+            std::vector<Value> part_values(row.begin() + data_width, row.end());
+            std::string dir =
+                Catalog::PartitionDirName(desc.partition_cols, part_values);
+            location = JoinPath(desc.location, dir);
+            resource += "/" + dir;
+            new_partitions.emplace(dir, part_values);
+          }
+          HIVE_RETURN_IF_ERROR(
+              server_->txns_.RecordWriteSet(txn, resource, WriteOpKind::kInsert));
+          std::vector<Value> data_row(row.begin(), row.begin() + data_width);
+          writers.ForLocation(location)->Insert(data_row);
+        }
+        for (const auto& [dir, values] : new_partitions)
+          HIVE_RETURN_IF_ERROR(
+              server_->catalog_.AddPartition(desc.db, desc.name, values));
+      }
+    }
+    return writers.CommitAll();
+  };
+  Status status = apply();
+  if (!status.ok()) {
+    server_->txns_.AbortTxn(txn);
+    return status;
+  }
+  HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
+  QueryResult result;
+  result.rows_affected = affected;
+  server_->compaction_.MaybeCompact(db, stmt.table);
+  return result;
+}
+
+Result<QueryResult> DmlDriver::CreateMaterializedView(
+    const CreateMaterializedViewStatement& stmt) {
+  std::string db = stmt.db.empty() ? session_->database : stmt.db;
+  // Materialize the definition.
+  HIVE_ASSIGN_OR_RETURN(QueryResult rows, RunSelect(*stmt.query));
+
+  // Referenced tables + current snapshot for staleness tracking.
+  Config config = session_->config;
+  Binder binder(&server_->catalog_, &config, session_->database);
+  HIVE_RETURN_IF_ERROR(binder.BindSelect(*stmt.query).status());
+
+  TableDesc desc;
+  desc.db = db;
+  desc.name = stmt.name;
+  desc.schema = rows.schema;
+  desc.is_materialized_view = true;
+  desc.view_sql = stmt.query->ToString();
+  desc.properties = stmt.properties;
+  auto window = stmt.properties.find("rewriting.time.window");
+  if (window != stmt.properties.end())
+    desc.mv_staleness_window_us =
+        std::strtoll(window->second.c_str(), nullptr, 10) * 1000000LL;
+  for (const std::string& table : binder.referenced_tables()) {
+    desc.mv_source_snapshot[table] = server_->txns_.TableWriteIdHighWatermark(table);
+    desc.mv_source_upd_counts[table] = server_->txns_.UpdateDeleteCount(table);
+  }
+  desc.mv_last_rebuild_us = SimClock::WallMicros();
+  HIVE_RETURN_IF_ERROR(server_->catalog_.CreateTable(desc));
+  HIVE_ASSIGN_OR_RETURN(TableDesc created, server_->catalog_.GetTable(db, stmt.name));
+  created.is_materialized_view = true;
+  created.view_sql = desc.view_sql;
+  created.mv_source_snapshot = desc.mv_source_snapshot;
+  created.mv_source_upd_counts = desc.mv_source_upd_counts;
+  created.mv_staleness_window_us = desc.mv_staleness_window_us;
+  created.mv_last_rebuild_us = desc.mv_last_rebuild_us;
+  HIVE_RETURN_IF_ERROR(server_->catalog_.UpdateTable(created));
+
+  int64_t txn = server_->txns_.OpenTxn();
+  auto inserted = InsertRows(created, rows.rows, txn);
+  if (!inserted.ok()) {
+    server_->txns_.AbortTxn(txn);
+    return inserted.status();
+  }
+  HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
+  QueryResult result;
+  result.rows_affected = *inserted;
+  return result;
+}
+
+Result<QueryResult> DmlDriver::RebuildMaterializedView(
+    const AlterMaterializedViewRebuildStatement& stmt) {
+  std::string db = stmt.db.empty() ? session_->database : stmt.db;
+  HIVE_ASSIGN_OR_RETURN(TableDesc view, server_->catalog_.GetTable(db, stmt.name));
+  if (!view.is_materialized_view)
+    return Status::InvalidArgument(stmt.name + " is not a materialized view");
+  HIVE_ASSIGN_OR_RETURN(StatementPtr parsed, Parser::Parse(view.view_sql));
+  auto* select = dynamic_cast<SelectStatement*>(parsed.get());
+  if (!select) return Status::Internal("bad view definition");
+
+  // Incremental eligibility: definition is SPJ (no aggregate in the plan)
+  // and every source only saw INSERTs since the last rebuild.
+  Config config = session_->config;
+  Binder binder(&server_->catalog_, &config, db);
+  HIVE_ASSIGN_OR_RETURN(RelNodePtr bound, binder.BindSelect(select->select));
+  std::function<bool(const RelNodePtr&)> has_agg = [&](const RelNodePtr& node) {
+    if (node->kind == RelKind::kAggregate) return true;
+    for (const RelNodePtr& input : node->inputs)
+      if (has_agg(input)) return true;
+    return false;
+  };
+  bool inserts_only = true;
+  for (const auto& [table, count] : view.mv_source_upd_counts)
+    if (server_->txns_.UpdateDeleteCount(table) != count) inserts_only = false;
+  bool incremental = inserts_only && !has_agg(bound);
+
+  QueryResult result;
+  if (incremental) {
+    // Incremental maintenance: evaluate the definition over the delta
+    // snapshot — only write ids above the recorded high watermark — and
+    // append the result (the INSERT path of Section 4.4).
+    HIVE_ASSIGN_OR_RETURN(
+        QueryResult delta,
+        server_->ExecuteIncrementalMvQuery(session_, select->select, view));
+    result.rows_affected = static_cast<int64_t>(delta.rows.size());
+    if (!delta.rows.empty()) {
+      int64_t txn = server_->txns_.OpenTxn();
+      auto inserted = InsertRows(view, delta.rows, txn);
+      if (!inserted.ok()) {
+        server_->txns_.AbortTxn(txn);
+        return inserted.status();
+      }
+      HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
+    }
+  } else {
+    // Full rebuild: recompute under an exclusive lock and replace contents.
+    int64_t txn = server_->txns_.OpenTxn();
+    Status lock = server_->txns_.AcquireLock(txn, view.FullName(), LockMode::kExclusive);
+    if (!lock.ok()) {
+      server_->txns_.AbortTxn(txn);
+      return lock;
+    }
+    HIVE_ASSIGN_OR_RETURN(QueryResult rows, RunSelect(select->select));
+    HIVE_RETURN_IF_ERROR(server_->fs_->DeleteRecursive(view.location));
+    HIVE_RETURN_IF_ERROR(server_->fs_->MakeDirs(view.location));
+    TableDesc reset = view;
+    reset.stats = TableStatistics{};
+    HIVE_RETURN_IF_ERROR(server_->catalog_.UpdateTable(reset));
+    auto inserted = InsertRows(view, rows.rows, txn);
+    if (!inserted.ok()) {
+      server_->txns_.AbortTxn(txn);
+      return inserted.status();
+    }
+    HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
+    result.rows_affected = *inserted;
+  }
+
+  // Refresh the staleness bookkeeping.
+  HIVE_ASSIGN_OR_RETURN(TableDesc updated, server_->catalog_.GetTable(db, stmt.name));
+  for (auto& [table, hwm] : updated.mv_source_snapshot)
+    hwm = server_->txns_.TableWriteIdHighWatermark(table);
+  for (auto& [table, count] : updated.mv_source_upd_counts)
+    count = server_->txns_.UpdateDeleteCount(table);
+  updated.mv_last_rebuild_us = SimClock::WallMicros();
+  HIVE_RETURN_IF_ERROR(server_->catalog_.UpdateTable(updated));
+  return result;
+}
+
+Result<QueryResult> DmlDriver::Analyze(const AnalyzeTableStatement& stmt) {
+  std::string db = stmt.db.empty() ? session_->database : stmt.db;
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, stmt.table));
+  // Recompute statistics with a full scan of the table.
+  SelectStmt query;
+  auto body = std::make_shared<QueryExpr>();
+  body->op = SetOpKind::kNone;
+  SelectItem star;
+  auto star_expr = std::make_shared<Expr>();
+  star_expr->kind = ExprKind::kStar;
+  star.expr = star_expr;
+  body->core.items.push_back(star);
+  auto from = std::make_shared<TableRef>();
+  from->kind = TableRef::Kind::kTable;
+  from->db = db;
+  from->table = stmt.table;
+  from->alias = stmt.table;
+  body->core.from = from;
+  query.body = body;
+  HIVE_ASSIGN_OR_RETURN(QueryResult rows, RunSelect(query));
+
+  HIVE_ASSIGN_OR_RETURN(TableDesc updated, server_->catalog_.GetTable(db, stmt.table));
+  updated.stats = ComputeStats(desc.FullSchema(), rows.rows);
+  HIVE_RETURN_IF_ERROR(server_->catalog_.UpdateTable(updated));
+  QueryResult result;
+  result.rows_affected = static_cast<int64_t>(rows.rows.size());
+  return result;
+}
+
+}  // namespace hive

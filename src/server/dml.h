@@ -1,0 +1,70 @@
+#ifndef HIVE_SERVER_DML_H_
+#define HIVE_SERVER_DML_H_
+
+#include "server/hive_server.h"
+
+namespace hive {
+
+/// Drives DML statements and materialized-view lifecycle against the ACID
+/// layer (Section 3.2):
+///  * INSERT writes delta directories (routing rows to partitions and
+///    registering new partitions on the fly),
+///  * UPDATE/DELETE scan with row ids and write delete+insert deltas,
+///    tracking their write sets for first-commit-wins conflict resolution,
+///  * MERGE joins the target against the source and applies the matched /
+///    not-matched actions in a single transaction (exercising multi-action
+///    writes),
+///  * CREATE MATERIALIZED VIEW materializes its definition and records the
+///    per-source write-id snapshot; REBUILD maintains it incrementally when
+///    the sources only saw inserts, falling back to a full rebuild
+///    otherwise (Section 4.4).
+class DmlDriver {
+ public:
+  DmlDriver(HiveServer2* server, Session* session)
+      : server_(server), session_(session) {}
+
+  Result<QueryResult> CreateTable(const CreateTableStatement& stmt);
+  Result<QueryResult> Insert(const InsertStatement& stmt);
+  Result<QueryResult> Update(const UpdateStatement& stmt);
+  Result<QueryResult> Delete(const DeleteStatement& stmt);
+  Result<QueryResult> Merge(const MergeStatement& stmt);
+  Result<QueryResult> CreateMaterializedView(
+      const CreateMaterializedViewStatement& stmt);
+  Result<QueryResult> RebuildMaterializedView(
+      const AlterMaterializedViewRebuildStatement& stmt);
+  Result<QueryResult> Analyze(const AnalyzeTableStatement& stmt);
+
+ private:
+  /// Runs a SELECT without touching the result cache (DML sources).
+  Result<QueryResult> RunSelect(const SelectStmt& stmt);
+
+  /// Writes `rows` (full-schema order: data then partition columns) into
+  /// the table under `txn`, routing partitioned rows into per-partition
+  /// delta directories, merging statistics, and recording the write set.
+  Result<int64_t> InsertRows(const TableDesc& desc,
+                             const std::vector<std::vector<Value>>& rows, int64_t txn);
+
+  /// A scanned record eligible for update/delete.
+  struct TargetRow {
+    std::string location;           // partition (or table) directory
+    std::string resource;           // lock/write-set resource name
+    RecordId id;
+    std::vector<Value> values;      // full-schema order
+  };
+
+  /// Scans the target table, returning rows matching `where` (bound over
+  /// the full schema; null = all rows) together with their record ids.
+  Result<std::vector<TargetRow>> ScanTargets(const TableDesc& desc,
+                                             const ExprPtr& bound_where);
+
+  /// Computes additive column statistics for freshly inserted rows.
+  static TableStatistics ComputeStats(const Schema& schema,
+                                      const std::vector<std::vector<Value>>& rows);
+
+  HiveServer2* server_;
+  Session* session_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SERVER_DML_H_

@@ -1,0 +1,419 @@
+#include "server/hive_server.h"
+
+#include <algorithm>
+
+#include "federation/materialized_operator.h"
+#include "server/dml.h"
+
+namespace hive {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c) out += "\t";
+    out += schema.field(c).name;
+  }
+  out += "\n";
+  for (size_t i = 0; i < rows.size() && i < max_rows; ++i) {
+    for (size_t c = 0; c < rows[i].size(); ++c) {
+      if (c) out += "\t";
+      out += rows[i][c].ToString();
+    }
+    out += "\n";
+  }
+  if (rows.size() > max_rows)
+    out += "... (" + std::to_string(rows.size()) + " rows)\n";
+  return out;
+}
+
+HiveServer2::HiveServer2(FileSystem* fs, Config config)
+    : fs_(fs),
+      default_config_(config),
+      catalog_(fs),
+      compaction_(&catalog_, &txns_, &default_config_) {
+  llap_ = std::make_unique<LlapDaemon>(fs_, default_config_);
+  handlers_.Register(std::make_unique<DroidStorageHandler>(&droid_));
+  handlers_.Register(std::make_unique<CsvStorageHandler>(fs_));
+}
+
+Session* HiveServer2::OpenSession(const std::string& application) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto session = std::make_unique<Session>();
+  session->application = application;
+  session->config = default_config_;
+  sessions_.push_back(std::move(session));
+  return sessions_.back().get();
+}
+
+Result<QueryResult> HiveServer2::Execute(Session* session, const std::string& sql) {
+  HIVE_ASSIGN_OR_RETURN(StatementPtr stmt, Parser::Parse(sql));
+  return Dispatch(session, stmt);
+}
+
+Result<QueryResult> HiveServer2::ExecuteScript(Session* session,
+                                               const std::string& sql) {
+  HIVE_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, Parser::ParseScript(sql));
+  QueryResult last;
+  for (const StatementPtr& stmt : stmts) {
+    HIVE_ASSIGN_OR_RETURN(last, Dispatch(session, stmt));
+  }
+  return last;
+}
+
+Result<QueryResult> HiveServer2::Dispatch(Session* session, const StatementPtr& stmt) {
+  DmlDriver dml(this, session);
+  switch (stmt->kind()) {
+    case StatementKind::kSelect: {
+      const auto* select = static_cast<const SelectStatement*>(stmt.get());
+      // Cache key: canonical AST with qualified tables (resolve the
+      // current database into the key so identical text in different
+      // databases cannot collide).
+      std::string key = session->database + "|" + select->ToString();
+      return ExecuteSelect(session, select->select, key);
+    }
+    case StatementKind::kExplain:
+      return ExecuteExplain(session, *static_cast<const ExplainStatement*>(stmt.get()));
+    case StatementKind::kInsert:
+      return dml.Insert(*static_cast<const InsertStatement*>(stmt.get()));
+    case StatementKind::kUpdate:
+      return dml.Update(*static_cast<const UpdateStatement*>(stmt.get()));
+    case StatementKind::kDelete:
+      return dml.Delete(*static_cast<const DeleteStatement*>(stmt.get()));
+    case StatementKind::kMerge:
+      return dml.Merge(*static_cast<const MergeStatement*>(stmt.get()));
+    case StatementKind::kCreateMaterializedView:
+      return dml.CreateMaterializedView(
+          *static_cast<const CreateMaterializedViewStatement*>(stmt.get()));
+    case StatementKind::kAlterMaterializedViewRebuild:
+      return dml.RebuildMaterializedView(
+          *static_cast<const AlterMaterializedViewRebuildStatement*>(stmt.get()));
+    case StatementKind::kAnalyzeTable:
+      return ExecuteAnalyze(session,
+                            *static_cast<const AnalyzeTableStatement*>(stmt.get()));
+    case StatementKind::kResourcePlanDdl: {
+      HIVE_RETURN_IF_ERROR(
+          wm_.Apply(*static_cast<const ResourcePlanStatement*>(stmt.get())));
+      return QueryResult{};
+    }
+    default:
+      return ExecuteDdl(session, stmt);
+  }
+}
+
+bool HiveServer2::MvIsFresh(const TableDesc& view) const {
+  bool stale = false;
+  for (const auto& [table, hwm] : view.mv_source_snapshot) {
+    if (txns_.TableWriteIdHighWatermark(table) != hwm) stale = true;
+  }
+  if (!stale) return true;
+  // Stale views may still rewrite within their declared staleness window
+  // (rebuilds run periodically in micro batches; Section 4.4).
+  if (view.mv_staleness_window_us <= 0) return false;
+  return SimClock::WallMicros() - view.mv_last_rebuild_us <=
+         view.mv_staleness_window_us;
+}
+
+Result<RelNodePtr> HiveServer2::PlanSelect(
+    Session* session, const SelectStmt& stmt, const Config& config,
+    std::vector<std::string>* referenced_tables, bool* nondeterministic,
+    const std::map<std::string, int64_t>* runtime_stats, int* mv_rewrites) {
+  Binder binder(&catalog_, &config, session->database);
+  HIVE_ASSIGN_OR_RETURN(RelNodePtr plan, binder.BindSelect(stmt));
+  if (referenced_tables) *referenced_tables = binder.referenced_tables();
+  if (nondeterministic) *nondeterministic = binder.uses_nondeterministic();
+  Optimizer optimizer(&catalog_, &config);
+  optimizer.set_mv_filter([this](const TableDesc& view) { return MvIsFresh(view); });
+  if (runtime_stats) optimizer.set_runtime_stats(*runtime_stats);
+  HIVE_ASSIGN_OR_RETURN(plan, optimizer.Optimize(plan));
+  if (mv_rewrites) *mv_rewrites = LastMvRewriteCount();
+  // Federation pushdown (Section 6.2) runs as a final stage.
+  HIVE_ASSIGN_OR_RETURN(plan, PushDownToHandlers(plan, &handlers_));
+  return plan;
+}
+
+ExecContext HiveServer2::MakeContext(const Config& config, const TxnSnapshot& snapshot,
+                                     RuntimeStats* stats,
+                                     std::shared_ptr<std::atomic<bool>> cancelled) {
+  ExecContext ctx;
+  ctx.fs = fs_;
+  ctx.catalog = &catalog_;
+  ctx.config = &config;
+  ctx.clock = &clock_;
+  ctx.mode = config.llap_enabled
+                 ? RuntimeMode::kLlap
+                 : (config.execution_engine == "mr" ? RuntimeMode::kMapReduce
+                                                    : RuntimeMode::kTez);
+  ctx.chunks = config.llap_enabled
+                   ? static_cast<ChunkProvider*>(llap_->cache())
+                   : nullptr;  // filled by caller when direct
+  ctx.snapshot_for = [this, snapshot](const std::string& table) {
+    return txns_.GetValidWriteIds(table, snapshot);
+  };
+  ctx.runtime_stats = stats;
+  ctx.cancelled = std::move(cancelled);
+  return ctx;
+}
+
+Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
+                                                  const SelectStmt& stmt, int attempt,
+                                                  RuntimeStats* stats,
+                                                  Config* attempt_config) {
+  Config& config = *attempt_config;
+  std::map<std::string, int64_t> overrides;
+  if (attempt > 0 && config.reexecution_strategy == "reoptimize" && stats) {
+    std::lock_guard<std::mutex> lock(stats->mu);
+    overrides = stats->rows_produced;
+  }
+  if (attempt > 0 && config.reexecution_strategy == "overlay") {
+    // Overlay strategy: force the robust configuration on reexecution.
+    config.llap_enabled = false;
+    config.execution_engine = "tez";
+  }
+  int mv_rewrites = 0;
+  std::vector<std::string> referenced;
+  bool nondeterministic = false;
+  HIVE_ASSIGN_OR_RETURN(
+      RelNodePtr plan,
+      PlanSelect(session, stmt, config, &referenced, &nondeterministic,
+                 overrides.empty() ? nullptr : &overrides, &mv_rewrites));
+
+  // Admission control + snapshot.
+  HIVE_ASSIGN_OR_RETURN(auto wm_handle, wm_.Admit(session->application));
+  TxnSnapshot snapshot = txns_.GetSnapshot();
+
+  DirectChunkProvider direct(fs_);
+  ExecContext ctx = MakeContext(config, snapshot, stats, wm_handle->cancelled);
+  if (!ctx.chunks) ctx.chunks = &direct;
+  ctx.external_scan_factory = [this, &ctx](const RelNode& scan) -> Result<OperatorPtr> {
+    StorageHandler* handler = handlers_.Get(scan.table.storage_handler);
+    if (!handler)
+      return Status::NotSupported("no handler: " + scan.table.storage_handler);
+    return handler->CreateScan(&ctx, scan);
+  };
+  ctx.join_build_row_limit = config.join_build_row_limit;
+  if (attempt > 0) ctx.join_build_row_limit = INT64_MAX;
+
+  int64_t wall_start = SimClock::WallMicros();
+  int64_t virt_start = clock_.virtual_us();
+  ctx.OnQueryStart();
+
+  QueryResult result;
+  result.mv_rewrites_used = mv_rewrites;
+  auto run = [&]() -> Status {
+    HIVE_ASSIGN_OR_RETURN(OperatorPtr root, CompilePlan(&ctx, plan));
+    HIVE_RETURN_IF_ERROR(root->Open());
+    result.schema = root->schema();
+    bool done = false;
+    for (;;) {
+      auto batch = root->Next(&done);
+      if (!batch.ok()) return batch.status();
+      if (done) break;
+      for (size_t i = 0; i < batch->SelectedSize(); ++i)
+        result.rows.push_back(batch->GetRow(i));
+      // Report progress so workload-manager triggers can MOVE/KILL.
+      int64_t elapsed_ms =
+          (SimClock::WallMicros() - wall_start + clock_.virtual_us() - virt_start) /
+          1000;
+      wm_.ReportProgress(wm_handle, elapsed_ms);
+    }
+    return root->Close();
+  };
+  Status exec_status;
+  if (config.llap_enabled && llap_) {
+    // Query fragments execute on the persistent LLAP executors.
+    auto future = llap_->SubmitFragment([&run] { return run(); });
+    exec_status = future.get();
+  } else {
+    exec_status = run();
+  }
+  wm_.Release(wm_handle);
+  if (!exec_status.ok()) return exec_status;
+
+  result.exec_wall_us = SimClock::WallMicros() - wall_start;
+  result.exec_virtual_us = clock_.virtual_us() - virt_start;
+  result.rows_affected = static_cast<int64_t>(result.rows.size());
+  return result;
+}
+
+Result<QueryResult> HiveServer2::ExecuteSelect(Session* session, const SelectStmt& stmt,
+                                               const std::string& cache_key) {
+  Config config = session->config;
+
+  // Result cache probe (Section 4.3). The binder reports determinism and
+  // the referenced tables; both gate caching.
+  bool cache_eligible = config.result_cache_enabled;
+  auto current_hwm = [this](const std::string& table) {
+    return txns_.TableWriteIdHighWatermark(table);
+  };
+  bool filling = false;
+  if (cache_eligible) {
+    QueryResultCache::Entry entry;
+    auto state = result_cache_.Lookup(cache_key, current_hwm, &entry);
+    if (state != QueryResultCache::LookupState::kMissFill) {
+      QueryResult result;
+      result.schema = entry.schema;
+      result.rows = entry.rows;
+      result.rows_affected = static_cast<int64_t>(result.rows.size());
+      result.from_result_cache = true;
+      return result;
+    }
+    filling = true;
+  }
+
+  RuntimeStats stats;
+  Result<QueryResult> result = Status::OK();
+  int attempts = config.reexecution_strategy == "off" ? 1 : 2;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Config attempt_config = config;
+    result = TryExecuteSelect(session, stmt, attempt, &stats, &attempt_config);
+    if (result.ok()) {
+      result->reexecutions = attempt;
+      break;
+    }
+    // Only execution errors trigger the re-execution machinery.
+    if (!result.status().IsExecError()) break;
+  }
+  if (!result.ok()) {
+    if (filling) result_cache_.AbandonFill(cache_key);
+    return result;
+  }
+
+  if (filling) {
+    // Non-deterministic queries must not populate the cache.
+    bool nondeterministic = false;
+    Binder binder(&catalog_, &config, session->database);
+    auto bound = binder.BindSelect(stmt);
+    std::vector<std::string> referenced;
+    if (bound.ok()) {
+      nondeterministic = binder.uses_nondeterministic();
+      referenced = binder.referenced_tables();
+    }
+    if (!nondeterministic && bound.ok()) {
+      QueryResultCache::Entry entry;
+      entry.schema = result->schema;
+      entry.rows = result->rows;
+      for (const std::string& table : referenced)
+        entry.snapshot[table] = current_hwm(table);
+      result_cache_.Publish(cache_key, std::move(entry));
+    } else {
+      result_cache_.AbandonFill(cache_key);
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> HiveServer2::ExecuteIncrementalMvQuery(Session* session,
+                                                           const SelectStmt& stmt,
+                                                           const TableDesc& view) {
+  Config config = session->config;
+  config.materialized_view_rewriting_enabled = false;  // never self-rewrite
+  config.result_cache_enabled = false;
+  HIVE_ASSIGN_OR_RETURN(RelNodePtr plan, PlanSelect(session, stmt, config, nullptr,
+                                                    nullptr, nullptr, nullptr));
+  TxnSnapshot snapshot = txns_.GetSnapshot();
+  DirectChunkProvider direct(fs_);
+  ExecContext ctx = MakeContext(config, snapshot, nullptr, nullptr);
+  if (!ctx.chunks) ctx.chunks = &direct;
+  ctx.external_scan_factory = [this, &ctx](const RelNode& scan) -> Result<OperatorPtr> {
+    StorageHandler* handler = handlers_.Get(scan.table.storage_handler);
+    if (!handler)
+      return Status::NotSupported("no handler: " + scan.table.storage_handler);
+    return handler->CreateScan(&ctx, scan);
+  };
+  // Delta snapshot: only write ids ABOVE the view's recorded high watermark
+  // are visible, so the definition evaluates over the new data only.
+  ctx.snapshot_for = [this, snapshot, &view](const std::string& table) {
+    ValidWriteIdList list = txns_.GetValidWriteIds(table, snapshot);
+    auto recorded = view.mv_source_snapshot.find(table);
+    if (recorded != view.mv_source_snapshot.end()) {
+      for (int64_t wid = 1; wid <= recorded->second; ++wid)
+        list.exceptions.insert(wid);
+    }
+    return list;
+  };
+  HIVE_ASSIGN_OR_RETURN(OperatorPtr root, CompilePlan(&ctx, plan));
+  HIVE_ASSIGN_OR_RETURN(auto rows, CollectRows(root.get()));
+  QueryResult result;
+  result.schema = root->schema();
+  result.rows = std::move(rows);
+  return result;
+}
+
+Result<QueryResult> HiveServer2::ExecuteExplain(Session* session,
+                                                const ExplainStatement& stmt) {
+  if (stmt.inner->kind() != StatementKind::kSelect)
+    return Status::NotSupported("EXPLAIN supports SELECT statements");
+  const auto* select = static_cast<const SelectStatement*>(stmt.inner.get());
+  HIVE_ASSIGN_OR_RETURN(RelNodePtr plan,
+                        PlanSelect(session, select->select, session->config, nullptr,
+                                   nullptr, nullptr, nullptr));
+  QueryResult result;
+  result.schema.AddField("plan", DataType::String());
+  std::string text = plan->ToString();
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    result.rows.push_back({Value::String(text.substr(start, end - start))});
+    start = end + 1;
+  }
+  return result;
+}
+
+Result<QueryResult> HiveServer2::ExecuteAnalyze(Session* session,
+                                                const AnalyzeTableStatement& stmt) {
+  DmlDriver dml(this, session);
+  return dml.Analyze(stmt);
+}
+
+Result<QueryResult> HiveServer2::ExecuteDdl(Session* session, const StatementPtr& stmt) {
+  DmlDriver dml(this, session);
+  switch (stmt->kind()) {
+    case StatementKind::kCreateDatabase: {
+      const auto* create = static_cast<const CreateDatabaseStatement*>(stmt.get());
+      Status status = catalog_.CreateDatabase(create->name);
+      if (!status.ok() && !(create->if_not_exists &&
+                            status.code() == StatusCode::kAlreadyExists))
+        return status;
+      return QueryResult{};
+    }
+    case StatementKind::kCreateTable:
+      return dml.CreateTable(*static_cast<const CreateTableStatement*>(stmt.get()));
+    case StatementKind::kDropTable: {
+      const auto* drop = static_cast<const DropTableStatement*>(stmt.get());
+      std::string db = drop->db.empty() ? session->database : drop->db;
+      auto desc = catalog_.GetTable(db, drop->table);
+      if (!desc.ok()) {
+        if (drop->if_exists && desc.status().IsNotFound()) return QueryResult{};
+        return desc.status();
+      }
+      // DROP disrupts readers and writers: exclusive lock (Section 3.2).
+      int64_t txn = txns_.OpenTxn();
+      Status lock = txns_.AcquireLock(txn, desc->FullName(), LockMode::kExclusive);
+      if (!lock.ok()) {
+        txns_.AbortTxn(txn);
+        return lock;
+      }
+      if (!desc->storage_handler.empty()) {
+        StorageHandler* handler = handlers_.Get(desc->storage_handler);
+        if (handler) HIVE_RETURN_IF_ERROR(handler->OnDropTable(*desc));
+      }
+      Status status = catalog_.DropTable(db, drop->table);
+      result_cache_.InvalidateTable(desc->FullName());
+      txns_.CommitTxn(txn);
+      HIVE_RETURN_IF_ERROR(status);
+      return QueryResult{};
+    }
+    case StatementKind::kShowTables: {
+      QueryResult result;
+      result.schema.AddField("table_name", DataType::String());
+      for (const std::string& name : catalog_.ListTables(session->database))
+        result.rows.push_back({Value::String(name)});
+      return result;
+    }
+    default:
+      return Status::NotSupported("unsupported statement");
+  }
+}
+
+}  // namespace hive

@@ -1,0 +1,134 @@
+#ifndef HIVE_SERVER_HIVE_SERVER_H_
+#define HIVE_SERVER_HIVE_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/sim_clock.h"
+#include "exec/compiler.h"
+#include "federation/csv_handler.h"
+#include "federation/droid_handler.h"
+#include "federation/storage_handler.h"
+#include "fs/mem_filesystem.h"
+#include "llap/daemon.h"
+#include "metastore/catalog.h"
+#include "metastore/compaction_manager.h"
+#include "metastore/txn_manager.h"
+#include "optimizer/binder.h"
+#include "optimizer/mv_rewrite.h"
+#include "optimizer/optimizer.h"
+#include "server/result_cache.h"
+#include "server/workload_manager.h"
+#include "sql/parser.h"
+
+namespace hive {
+
+/// A session holds per-connection state: current database, config overrides
+/// and the application name the workload manager maps on.
+struct Session {
+  std::string database = "default";
+  std::string application;
+  Config config;
+};
+
+/// Result of one statement.
+struct QueryResult {
+  Schema schema;
+  std::vector<std::vector<Value>> rows;
+  int64_t rows_affected = 0;
+  bool from_result_cache = false;
+  int reexecutions = 0;
+  int mv_rewrites_used = 0;
+  /// Virtual (modeled) + wall time spent executing, microseconds.
+  int64_t exec_wall_us = 0;
+  int64_t exec_virtual_us = 0;
+
+  std::string ToString(size_t max_rows = 25) const;
+};
+
+/// HiveServer2 (Section 2): parses, plans, optimizes and executes SQL
+/// statements, coordinating the metastore, transaction manager, LLAP
+/// daemon, workload manager, result cache and storage handlers. Figure 2's
+/// preparation pipeline maps to ExecuteSelect; DML/DDL follow their own
+/// drivers.
+class HiveServer2 {
+ public:
+  /// `fs` outlives the server. Default config applies to new sessions.
+  HiveServer2(FileSystem* fs, Config config = {});
+
+  Session* OpenSession(const std::string& application = "");
+
+  /// Executes one SQL statement in the session.
+  Result<QueryResult> Execute(Session* session, const std::string& sql);
+
+  /// Runs a ';'-separated script, returning the last statement's result.
+  Result<QueryResult> ExecuteScript(Session* session, const std::string& sql);
+
+  // --- component access (benchmarks / tests) ---
+  Catalog* catalog() { return &catalog_; }
+  TransactionManager* txns() { return &txns_; }
+  LlapDaemon* llap() { return llap_.get(); }
+  DroidStore* droid() { return &droid_; }
+  QueryResultCache* result_cache() { return &result_cache_; }
+  WorkloadManager* workload_manager() { return &wm_; }
+  SimClock* clock() { return &clock_; }
+  FileSystem* filesystem() { return fs_; }
+  CompactionManager* compaction() { return &compaction_; }
+  const Config& default_config() const { return default_config_; }
+
+ private:
+  friend class DmlDriver;
+
+  Result<QueryResult> Dispatch(Session* session, const StatementPtr& stmt);
+  Result<QueryResult> ExecuteSelect(Session* session, const SelectStmt& stmt,
+                                    const std::string& cache_key);
+  /// One planning+execution attempt; `attempt` > 0 applies the configured
+  /// re-execution strategy (overlay / reoptimize with runtime stats).
+  Result<QueryResult> TryExecuteSelect(Session* session, const SelectStmt& stmt,
+                                       int attempt, RuntimeStats* stats,
+                                       Config* attempt_config);
+  Result<QueryResult> ExecuteExplain(Session* session, const ExplainStatement& stmt);
+  Result<QueryResult> ExecuteDdl(Session* session, const StatementPtr& stmt);
+  /// Evaluates a materialized view's definition over only the write ids
+  /// added since the view's recorded snapshot (incremental maintenance).
+  Result<QueryResult> ExecuteIncrementalMvQuery(Session* session,
+                                                const SelectStmt& stmt,
+                                                const TableDesc& view);
+  Result<QueryResult> ExecuteAnalyze(Session* session, const AnalyzeTableStatement& stmt);
+
+  /// Plans a SELECT into an optimized RelNode tree (parse products in).
+  Result<RelNodePtr> PlanSelect(Session* session, const SelectStmt& stmt,
+                                const Config& config,
+                                std::vector<std::string>* referenced_tables,
+                                bool* nondeterministic,
+                                const std::map<std::string, int64_t>* runtime_stats,
+                                int* mv_rewrites);
+
+  /// Builds the ExecContext for one execution.
+  ExecContext MakeContext(const Config& config, const TxnSnapshot& snapshot,
+                          RuntimeStats* stats,
+                          std::shared_ptr<std::atomic<bool>> cancelled);
+
+  /// True when the MV is usable for rewriting under its staleness window.
+  bool MvIsFresh(const TableDesc& view) const;
+
+  FileSystem* fs_;
+  Config default_config_;
+  SimClock clock_;
+  Catalog catalog_;
+  TransactionManager txns_;
+  CompactionManager compaction_;
+  std::unique_ptr<LlapDaemon> llap_;
+  DroidStore droid_;
+  StorageHandlerRegistry handlers_;
+  QueryResultCache result_cache_;
+  WorkloadManager wm_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::mutex sessions_mu_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SERVER_HIVE_SERVER_H_

@@ -1,0 +1,86 @@
+#include "server/result_cache.h"
+
+namespace hive {
+
+bool QueryResultCache::ValidLocked(
+    const Entry& entry,
+    const std::function<int64_t(const std::string&)>& current_hwm) const {
+  for (const auto& [table, hwm] : entry.snapshot)
+    if (current_hwm(table) != hwm) return false;
+  return true;
+}
+
+QueryResultCache::LookupState QueryResultCache::Lookup(
+    const std::string& key,
+    const std::function<int64_t(const std::string&)>& current_hwm, Entry* entry) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (ValidLocked(it->second, current_hwm)) {
+        ++hits_;
+        *entry = it->second;
+        return LookupState::kHit;
+      }
+      // Stale: expunge.
+      entries_.erase(it);
+    }
+    auto pending = pending_.find(key);
+    if (pending == pending_.end() || !pending->second->filling) {
+      auto& p = pending_[key];
+      if (!p) p = std::make_shared<Pending>();
+      p->filling = true;
+      ++misses_;
+      return LookupState::kMissFill;
+    }
+    // Another query is filling this entry: wait for it (pending mode).
+    std::shared_ptr<Pending> p = pending->second;
+    p->cv.wait(lock, [&] { return !p->filling; });
+    auto filled = entries_.find(key);
+    if (filled != entries_.end() && ValidLocked(filled->second, current_hwm)) {
+      ++hits_;
+      *entry = filled->second;
+      return LookupState::kMissWaited;
+    }
+    // Filler failed or result already stale: loop and become the filler.
+  }
+}
+
+void QueryResultCache::Publish(const std::string& key, Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = std::move(entry);
+  auto pending = pending_.find(key);
+  if (pending != pending_.end()) {
+    pending->second->filling = false;
+    pending->second->cv.notify_all();
+    pending_.erase(pending);
+  }
+}
+
+void QueryResultCache::AbandonFill(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto pending = pending_.find(key);
+  if (pending != pending_.end()) {
+    pending->second->filling = false;
+    pending->second->cv.notify_all();
+    pending_.erase(pending);
+  }
+}
+
+void QueryResultCache::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.snapshot.count(table)) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t QueryResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace hive

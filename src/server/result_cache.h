@@ -1,0 +1,80 @@
+#ifndef HIVE_SERVER_RESULT_CACHE_H_
+#define HIVE_SERVER_RESULT_CACHE_H_
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/types.h"
+
+namespace hive {
+
+/// Query result cache (Section 4.3). Keys are the canonicalized AST text
+/// with table references fully qualified (so the same text in different
+/// databases cannot collide); entries record the write-id high watermark of
+/// every table that contributed, and a lookup only hits while none of those
+/// tables has new or modified data — transactional consistency makes reuse
+/// safe.
+///
+/// The pending-entry mode protects against a thundering herd: when several
+/// identical queries miss at once, the first becomes the filler and the
+/// rest wait for it to publish instead of recomputing.
+class QueryResultCache {
+ public:
+  struct Entry {
+    Schema schema;
+    std::vector<std::vector<Value>> rows;
+    /// table full name -> write-id high watermark at execution time.
+    std::map<std::string, int64_t> snapshot;
+  };
+
+  /// Lookup outcome.
+  enum class LookupState { kHit, kMissFill, kMissWaited };
+
+  /// Looks up `key`. On a valid hit, fills `*entry` and returns kHit. On a
+  /// miss, the caller becomes the filler (kMissFill) and MUST later call
+  /// Publish or AbandonFill. If another filler is in flight, blocks until
+  /// it publishes, then re-validates: a valid entry yields kMissWaited with
+  /// `*entry` filled, otherwise the caller becomes the next filler.
+  /// `current_hwm(table)` supplies the live write-id high watermark.
+  LookupState Lookup(const std::string& key,
+                     const std::function<int64_t(const std::string&)>& current_hwm,
+                     Entry* entry);
+
+  /// Publishes the filler's result.
+  void Publish(const std::string& key, Entry entry);
+
+  /// The filler failed; wakes waiters so one of them can take over.
+  void AbandonFill(const std::string& key);
+
+  /// Drops entries referencing `table` (explicit invalidation hook).
+  void InvalidateTable(const std::string& table);
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  size_t size() const;
+
+ private:
+  struct Pending {
+    bool filling = false;
+    std::condition_variable cv;
+  };
+
+  bool ValidLocked(const Entry& entry,
+                   const std::function<int64_t(const std::string&)>& current_hwm) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, std::shared_ptr<Pending>> pending_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SERVER_RESULT_CACHE_H_

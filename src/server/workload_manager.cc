@@ -1,0 +1,173 @@
+#include "server/workload_manager.h"
+
+#include "common/sim_clock.h"
+
+namespace hive {
+
+Status WorkloadManager::Apply(const ResourcePlanStatement& stmt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (stmt.op) {
+    case ResourcePlanStatement::Op::kCreatePlan: {
+      if (plans_.count(stmt.plan)) return Status::AlreadyExists("plan " + stmt.plan);
+      Plan plan;
+      plan.name = stmt.plan;
+      plans_[stmt.plan] = std::move(plan);
+      return Status::OK();
+    }
+    case ResourcePlanStatement::Op::kCreatePool: {
+      auto it = plans_.find(stmt.plan);
+      if (it == plans_.end()) return Status::NotFound("plan " + stmt.plan);
+      Pool pool;
+      pool.name = stmt.pool;
+      pool.alloc_fraction = stmt.alloc_fraction;
+      pool.query_parallelism = stmt.query_parallelism;
+      it->second.pools[stmt.pool] = std::move(pool);
+      if (it->second.default_pool.empty()) it->second.default_pool = stmt.pool;
+      return Status::OK();
+    }
+    case ResourcePlanStatement::Op::kCreateRule: {
+      auto it = plans_.find(stmt.plan);
+      if (it == plans_.end()) return Status::NotFound("plan " + stmt.plan);
+      Rule rule;
+      rule.name = stmt.rule_name;
+      rule.metric = stmt.rule_metric;
+      rule.threshold = stmt.rule_threshold;
+      rule.action = stmt.rule_action;
+      rule.target_pool = stmt.rule_target_pool;
+      it->second.rules[stmt.rule_name] = std::move(rule);
+      return Status::OK();
+    }
+    case ResourcePlanStatement::Op::kAddRuleToPool: {
+      // ADD RULE r TO pool applies to the plan that defines the rule.
+      for (auto& [name, plan] : plans_) {
+        auto rule = plan.rules.find(stmt.rule_name);
+        if (rule == plan.rules.end()) continue;
+        auto pool = plan.pools.find(stmt.pool);
+        if (pool == plan.pools.end()) return Status::NotFound("pool " + stmt.pool);
+        pool->second.rules.push_back(stmt.rule_name);
+        return Status::OK();
+      }
+      return Status::NotFound("rule " + stmt.rule_name);
+    }
+    case ResourcePlanStatement::Op::kCreateMapping: {
+      auto it = plans_.find(stmt.plan);
+      if (it == plans_.end()) return Status::NotFound("plan " + stmt.plan);
+      it->second.mappings[stmt.mapping_application] = stmt.pool;
+      return Status::OK();
+    }
+    case ResourcePlanStatement::Op::kSetDefaultPool: {
+      auto it = plans_.find(stmt.plan);
+      if (it == plans_.end()) return Status::NotFound("plan " + stmt.plan);
+      it->second.default_pool = stmt.pool;
+      return Status::OK();
+    }
+    case ResourcePlanStatement::Op::kEnableActivate: {
+      auto it = plans_.find(stmt.plan);
+      if (it == plans_.end()) return Status::NotFound("plan " + stmt.plan);
+      for (auto& [name, plan] : plans_) plan.active = false;
+      it->second.active = true;
+      active_plan_ = stmt.plan;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled resource plan op");
+}
+
+Result<std::shared_ptr<WorkloadManager::QueryHandle>> WorkloadManager::Admit(
+    const std::string& application) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto handle = std::make_shared<QueryHandle>();
+  handle->start_us = SimClock::WallMicros();
+  if (active_plan_.empty()) return handle;  // unmanaged
+  Plan& plan = plans_[active_plan_];
+  auto mapping = plan.mappings.find(ToLower(application));
+  std::string pool_name =
+      mapping != plan.mappings.end() ? mapping->second : plan.default_pool;
+  auto pool = plan.pools.find(pool_name);
+  if (pool == plan.pools.end())
+    return Status::Internal("active plan has no pool " + pool_name);
+  if (pool->second.active < pool->second.query_parallelism) {
+    ++pool->second.active;
+    handle->pool = pool_name;
+    return handle;
+  }
+  // Borrow an idle slot from another pool until its owner claims it.
+  for (auto& [name, other] : plan.pools) {
+    if (name == pool_name) continue;
+    if (other.active < other.query_parallelism) {
+      ++other.active;
+      handle->pool = pool_name;
+      handle->borrowed_from = name;
+      return handle;
+    }
+  }
+  return Status::ResourceExhausted("all pools at capacity for application " +
+                                   application);
+}
+
+void WorkloadManager::ReportProgress(const std::shared_ptr<QueryHandle>& handle,
+                                     int64_t elapsed_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_plan_.empty() || handle->pool.empty() || handle->moved) return;
+  Plan& plan = plans_[active_plan_];
+  auto pool = plan.pools.find(handle->pool);
+  if (pool == plan.pools.end()) return;
+  for (const std::string& rule_name : pool->second.rules) {
+    auto rule = plan.rules.find(rule_name);
+    if (rule == plan.rules.end()) continue;
+    if (elapsed_ms <= rule->second.threshold) continue;
+    if (rule->second.action == "KILL") {
+      handle->cancelled->store(true);
+      return;
+    }
+    if (rule->second.action == "MOVE") {
+      auto target = plan.pools.find(rule->second.target_pool);
+      if (target == plan.pools.end()) continue;
+      // Move accounting: free the old slot, take one in the target (moves
+      // always succeed; the target may transiently exceed its parallelism,
+      // matching the paper's preemption-friendly fragment model).
+      if (handle->borrowed_from.empty()) {
+        --pool->second.active;
+      } else {
+        --plan.pools[handle->borrowed_from].active;
+        handle->borrowed_from.clear();
+      }
+      ++target->second.active;
+      handle->pool = rule->second.target_pool;
+      handle->moved = true;
+      return;
+    }
+  }
+}
+
+void WorkloadManager::Release(const std::shared_ptr<QueryHandle>& handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_plan_.empty() || handle->pool.empty()) return;
+  Plan& plan = plans_[active_plan_];
+  std::string slot_pool =
+      handle->borrowed_from.empty() ? handle->pool : handle->borrowed_from;
+  auto pool = plan.pools.find(slot_pool);
+  if (pool != plan.pools.end() && pool->second.active > 0) --pool->second.active;
+  handle->pool.clear();
+}
+
+bool WorkloadManager::HasActivePlan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !active_plan_.empty();
+}
+
+Result<WorkloadManager::Plan> WorkloadManager::ActivePlan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_plan_.empty()) return Status::NotFound("no active plan");
+  return plans_.at(active_plan_);
+}
+
+int WorkloadManager::ActiveInPool(const std::string& pool) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_plan_.empty()) return 0;
+  const Plan& plan = plans_.at(active_plan_);
+  auto it = plan.pools.find(pool);
+  return it == plan.pools.end() ? 0 : it->second.active;
+}
+
+}  // namespace hive

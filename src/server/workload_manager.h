@@ -1,0 +1,90 @@
+#ifndef HIVE_SERVER_WORKLOAD_MANAGER_H_
+#define HIVE_SERVER_WORKLOAD_MANAGER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace hive {
+
+/// Workload management (Section 5.2): resource plans made of pools (with
+/// an allocation fraction and a query-parallelism cap), application
+/// mappings routing queries to pools, and triggers that MOVE or KILL
+/// queries based on runtime metrics. One plan is active at a time.
+///
+/// Admission control: a query takes a slot in its mapped pool; when the
+/// pool is full, an idle slot is borrowed from another pool (the paper's
+/// cluster-utilization rule) and returned as soon as the query finishes.
+class WorkloadManager {
+ public:
+  struct Pool {
+    std::string name;
+    double alloc_fraction = 0;
+    int query_parallelism = 0;
+    int active = 0;
+    std::vector<std::string> rules;
+  };
+
+  struct Rule {
+    std::string name;
+    std::string metric;       // "total_runtime" (ms) | "elapsed" alias
+    int64_t threshold = 0;    // ms
+    std::string action;       // "MOVE" | "KILL"
+    std::string target_pool;
+  };
+
+  struct Plan {
+    std::string name;
+    std::map<std::string, Pool> pools;
+    std::map<std::string, Rule> rules;
+    std::map<std::string, std::string> mappings;  // application -> pool
+    std::string default_pool;
+    bool active = false;
+  };
+
+  /// A running query's registration; move/kill state lives here.
+  struct QueryHandle {
+    std::string pool;
+    std::string borrowed_from;  // non-empty when running on a borrowed slot
+    std::shared_ptr<std::atomic<bool>> cancelled =
+        std::make_shared<std::atomic<bool>>(false);
+    int64_t start_us = 0;
+    bool moved = false;
+  };
+
+  /// Applies one resource-plan DDL statement.
+  Status Apply(const ResourcePlanStatement& stmt);
+
+  /// Admits a query for `application`; chooses its pool via mappings or the
+  /// default pool. Fails with kResourceExhausted when no slot is available
+  /// anywhere. No active plan = unmanaged (always admitted).
+  Result<std::shared_ptr<QueryHandle>> Admit(const std::string& application);
+
+  /// Evaluates triggers for a running query given its elapsed runtime.
+  /// MOVE re-accounts the query into the target pool; KILL sets the
+  /// cancellation flag (the engine aborts at the next batch boundary).
+  void ReportProgress(const std::shared_ptr<QueryHandle>& handle, int64_t elapsed_ms);
+
+  /// Releases the query's slot.
+  void Release(const std::shared_ptr<QueryHandle>& handle);
+
+  bool HasActivePlan() const;
+  /// Active-plan introspection for tests/examples.
+  Result<Plan> ActivePlan() const;
+  int ActiveInPool(const std::string& pool) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Plan> plans_;
+  std::string active_plan_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SERVER_WORKLOAD_MANAGER_H_

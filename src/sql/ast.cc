@@ -1,0 +1,385 @@
+#include "sql/ast.h"
+
+namespace hive {
+
+namespace {
+const char* BinOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kLike: return "LIKE";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+}  // namespace
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->children = {std::move(operand)};
+  return e;
+}
+
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->func_name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr MakeCast(ExprPtr operand, DataType type) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCast;
+  e->cast_type = type;
+  e->children = {std::move(operand)};
+  return e;
+}
+
+std::string ExprListToString(const std::vector<ExprPtr>& exprs) {
+  std::string out;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i) out += ", ";
+    out += exprs[i]->ToString();
+  }
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.kind() == TypeKind::kString) {
+        std::string escaped;
+        for (char c : literal.str()) {
+          if (c == '\'') escaped += "''";
+          else escaped.push_back(c);
+        }
+        return "'" + escaped + "'";
+      }
+      if (literal.kind() == TypeKind::kDate) return "DATE '" + literal.ToString() + "'";
+      if (literal.kind() == TypeKind::kTimestamp)
+        return "TIMESTAMP '" + literal.ToString() + "'";
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case ExprKind::kStar:
+      return qualifier.empty() ? "*" : qualifier + ".*";
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinOpName(bin_op) + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kUnary:
+      return un_op == UnaryOp::kNot ? "(NOT " + children[0]->ToString() + ")"
+                                    : "(-" + children[0]->ToString() + ")";
+    case ExprKind::kFunction: {
+      std::string out = func_name + "(";
+      if (distinct) out += "DISTINCT ";
+      out += ExprListToString(children);
+      out += ")";
+      if (window) {
+        out += " OVER (";
+        if (!window->partition_by.empty())
+          out += "PARTITION BY " + ExprListToString(window->partition_by);
+        if (!window->order_by.empty()) {
+          out += " ORDER BY ";
+          for (size_t i = 0; i < window->order_by.size(); ++i) {
+            if (i) out += ", ";
+            out += window->order_by[i].first->ToString();
+            if (!window->order_by[i].second) out += " DESC";
+          }
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t pair_count = (children.size() - (has_else ? 1 : 0)) / 2;
+      for (size_t p = 0; p < pair_count; ++p)
+        out += " WHEN " + children[2 * p]->ToString() + " THEN " +
+               children[2 * p + 1]->ToString();
+      if (has_else) out += " ELSE " + children.back()->ToString();
+      out += " END";
+      return out;
+    }
+    case ExprKind::kCast:
+      return "CAST(" + children[0]->ToString() + " AS " + cast_type.ToString() + ")";
+    case ExprKind::kInList: {
+      std::string out = children[0]->ToString();
+      out += negated ? " NOT IN (" : " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kBetween:
+      return children[0]->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             children[1]->ToString() + " AND " + children[2]->ToString();
+    case ExprKind::kIsNull:
+      return children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kSubquery: {
+      std::string body = subquery ? subquery->ToString() : "?";
+      switch (subquery_kind) {
+        case SubqueryKind::kScalar: return "(" + body + ")";
+        case SubqueryKind::kExists: return "EXISTS (" + body + ")";
+        case SubqueryKind::kNotExists: return "NOT EXISTS (" + body + ")";
+        case SubqueryKind::kIn:
+          return children[0]->ToString() + " IN (" + body + ")";
+        case SubqueryKind::kNotIn:
+          return children[0]->ToString() + " NOT IN (" + body + ")";
+      }
+      return "?";
+    }
+  }
+  return "?";
+}
+
+std::string TableRef::ToString() const {
+  switch (kind) {
+    case Kind::kTable: {
+      std::string out = db.empty() ? table : db + "." + table;
+      if (!alias.empty() && alias != table) out += " AS " + alias;
+      return out;
+    }
+    case Kind::kSubquery:
+      return "(" + subquery->ToString() + ") AS " + alias;
+    case Kind::kJoin: {
+      const char* name = "JOIN";
+      switch (join_type) {
+        case JoinType::kInner: name = "JOIN"; break;
+        case JoinType::kLeft: name = "LEFT JOIN"; break;
+        case JoinType::kRight: name = "RIGHT JOIN"; break;
+        case JoinType::kFull: name = "FULL JOIN"; break;
+        case JoinType::kCross: name = "CROSS JOIN"; break;
+        case JoinType::kSemi: name = "SEMI JOIN"; break;
+        case JoinType::kAnti: name = "ANTI JOIN"; break;
+      }
+      std::string out = left->ToString() + " " + name + " " + right->ToString();
+      if (condition) out += " ON " + condition->ToString();
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string SelectCore::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ", ";
+    out += items[i].expr->ToString();
+    if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+  }
+  if (from) out += " FROM " + from->ToString();
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY " + ExprListToString(group_by);
+    if (!grouping_sets.empty()) {
+      out += " GROUPING SETS (";
+      for (size_t s = 0; s < grouping_sets.size(); ++s) {
+        if (s) out += ", ";
+        out += "(";
+        for (size_t k = 0; k < grouping_sets[s].size(); ++k) {
+          if (k) out += ", ";
+          out += group_by[grouping_sets[s][k]]->ToString();
+        }
+        out += ")";
+      }
+      out += ")";
+    }
+  }
+  if (having) out += " HAVING " + having->ToString();
+  return out;
+}
+
+std::string QueryExpr::ToString() const {
+  if (op == SetOpKind::kNone) return core.ToString();
+  const char* name = "";
+  switch (op) {
+    case SetOpKind::kUnionAll: name = " UNION ALL "; break;
+    case SetOpKind::kUnionDistinct: name = " UNION "; break;
+    case SetOpKind::kIntersect: name = " INTERSECT "; break;
+    case SetOpKind::kExcept: name = " EXCEPT "; break;
+    case SetOpKind::kNone: break;
+  }
+  return "(" + left->ToString() + ")" + name + "(" + right->ToString() + ")";
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out;
+  if (!ctes.empty()) {
+    out += "WITH ";
+    for (size_t i = 0; i < ctes.size(); ++i) {
+      if (i) out += ", ";
+      out += ctes[i].name + " AS (" + ctes[i].query->ToString() + ")";
+    }
+    out += " ";
+  }
+  out += body->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (!order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (limit >= 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+std::string InsertStatement::ToString() const {
+  std::string out = "INSERT INTO " + (db.empty() ? table : db + "." + table);
+  if (!columns.empty()) {
+    out += " (";
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i) out += ", ";
+      out += columns[i];
+    }
+    out += ")";
+  }
+  if (source) {
+    out += " " + source->ToString();
+  } else {
+    out += " VALUES ";
+    for (size_t r = 0; r < values_rows.size(); ++r) {
+      if (r) out += ", ";
+      out += "(" + ExprListToString(values_rows[r]) + ")";
+    }
+  }
+  return out;
+}
+
+std::string UpdateStatement::ToString() const {
+  std::string out = "UPDATE " + (db.empty() ? table : db + "." + table) + " SET ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i) out += ", ";
+    out += assignments[i].first + " = " + assignments[i].second->ToString();
+  }
+  if (where) out += " WHERE " + where->ToString();
+  return out;
+}
+
+std::string DeleteStatement::ToString() const {
+  std::string out = "DELETE FROM " + (db.empty() ? table : db + "." + table);
+  if (where) out += " WHERE " + where->ToString();
+  return out;
+}
+
+std::string MergeStatement::ToString() const {
+  std::string out = "MERGE INTO " + (db.empty() ? table : db + "." + table);
+  if (!target_alias.empty()) out += " AS " + target_alias;
+  out += " USING " + source->ToString() + " ON " + on->ToString();
+  if (has_matched_update) {
+    out += " WHEN MATCHED THEN UPDATE SET ";
+    for (size_t i = 0; i < matched_assignments.size(); ++i) {
+      if (i) out += ", ";
+      out += matched_assignments[i].first + " = " +
+             matched_assignments[i].second->ToString();
+    }
+  }
+  if (has_matched_delete) out += " WHEN MATCHED THEN DELETE";
+  if (has_not_matched_insert)
+    out += " WHEN NOT MATCHED THEN INSERT VALUES (" +
+           ExprListToString(insert_values) + ")";
+  return out;
+}
+
+std::string CreateTableStatement::ToString() const {
+  std::string out = "CREATE ";
+  if (external) out += "EXTERNAL ";
+  out += "TABLE " + (db.empty() ? table : db + "." + table);
+  out += " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += ", ";
+    out += columns[i].name + " " + columns[i].type.ToString();
+  }
+  out += ")";
+  if (!partition_columns.empty()) {
+    out += " PARTITIONED BY (";
+    for (size_t i = 0; i < partition_columns.size(); ++i) {
+      if (i) out += ", ";
+      out += partition_columns[i].name + " " + partition_columns[i].type.ToString();
+    }
+    out += ")";
+  }
+  if (!stored_by.empty()) out += " STORED BY '" + stored_by + "'";
+  if (as_select) out += " AS " + as_select->ToString();
+  return out;
+}
+
+std::string CreateMaterializedViewStatement::ToString() const {
+  return "CREATE MATERIALIZED VIEW " + (db.empty() ? name : db + "." + name) +
+         " AS " + (query ? query->ToString() : query_sql);
+}
+
+std::string AlterMaterializedViewRebuildStatement::ToString() const {
+  return "ALTER MATERIALIZED VIEW " + (db.empty() ? name : db + "." + name) +
+         " REBUILD";
+}
+
+std::string DropTableStatement::ToString() const {
+  return std::string("DROP ") + (is_materialized_view ? "MATERIALIZED VIEW " : "TABLE ") +
+         (db.empty() ? table : db + "." + table);
+}
+
+std::string ResourcePlanStatement::ToString() const {
+  switch (op) {
+    case Op::kCreatePlan: return "CREATE RESOURCE PLAN " + plan;
+    case Op::kCreatePool:
+      return "CREATE POOL " + plan + "." + pool + " WITH alloc_fraction=" +
+             std::to_string(alloc_fraction) +
+             ", query_parallelism=" + std::to_string(query_parallelism);
+    case Op::kCreateRule:
+      return "CREATE RULE " + rule_name + " IN " + plan + " WHEN " + rule_metric +
+             " > " + std::to_string(rule_threshold) + " THEN " + rule_action + " " +
+             rule_target_pool;
+    case Op::kAddRuleToPool: return "ADD RULE " + rule_name + " TO " + pool;
+    case Op::kCreateMapping:
+      return "CREATE APPLICATION MAPPING " + mapping_application + " IN " + plan +
+             " TO " + pool;
+    case Op::kSetDefaultPool:
+      return "ALTER PLAN " + plan + " SET DEFAULT POOL = " + pool;
+    case Op::kEnableActivate:
+      return "ALTER RESOURCE PLAN " + plan + " ENABLE ACTIVATE";
+  }
+  return "?";
+}
+
+}  // namespace hive

@@ -1,0 +1,148 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+#include "common/schema.h"
+
+namespace hive {
+
+namespace {
+const std::set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::set<std::string>{
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+      "AS", "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "IN", "EXISTS",
+      "BETWEEN", "LIKE", "IS", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST",
+      "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON",
+      "UNION", "ALL", "INTERSECT", "EXCEPT", "DISTINCT", "ASC", "DESC",
+      "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "MERGE", "USING",
+      "MATCHED", "CREATE", "TABLE", "EXTERNAL", "VIEW", "MATERIALIZED",
+      "DROP", "ALTER", "REBUILD", "PARTITIONED", "PARTITION", "STORED",
+      "TBLPROPERTIES", "PRIMARY", "FOREIGN", "KEY", "REFERENCES", "UNIQUE",
+      "CONSTRAINT", "INT", "INTEGER", "BIGINT", "DOUBLE", "FLOAT", "DECIMAL",
+      "NUMERIC", "STRING", "VARCHAR", "CHAR", "BOOLEAN", "DATE", "TIMESTAMP",
+      "EXTRACT", "YEAR", "QUARTER", "MONTH", "DAY", "HOUR", "MINUTE",
+      "SECOND", "INTERVAL", "OVER", "ROWS", "RANGE", "UNBOUNDED", "PRECEDING",
+      "FOLLOWING", "CURRENT", "ROW", "WITH", "EXPLAIN", "ANALYZE", "COMPUTE",
+      "STATISTICS", "RESOURCE", "PLAN", "POOL", "RULE", "MOVE", "KILL",
+      "TO", "ADD", "APPLICATION", "MAPPING", "DEFAULT", "ENABLE", "ACTIVATE",
+      "GROUPING", "SETS", "ROLLUP", "CUBE", "HAVING", "BY", "IF", "TRANSACTIONAL",
+      "SHOW", "TABLES", "DESCRIBE", "TRUNCATE",
+  };
+  return *kKeywords;
+}
+}  // namespace
+
+bool IsReservedKeyword(const std::string& word) { return Keywords().count(word) != 0; }
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) || sql[i] == '_'))
+        ++i;
+      std::string word = sql.substr(start, i - start);
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      if (IsReservedKeyword(upper)) {
+        token.kind = TokenKind::kKeyword;
+        token.text = upper;
+      } else {
+        token.kind = TokenKind::kIdentifier;
+        token.text = word;
+      }
+    } else if (c == '`') {
+      size_t start = ++i;
+      while (i < n && sql[i] != '`') ++i;
+      if (i >= n) return Status::ParseError("unterminated quoted identifier");
+      token.kind = TokenKind::kIdentifier;
+      token.text = sql.substr(start, i - start);
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string text = sql.substr(start, i - start);
+      token.text = text;
+      if (is_double) {
+        token.kind = TokenKind::kDoubleLiteral;
+        token.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        token.kind = TokenKind::kIntLiteral;
+        token.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+    } else if (c == '\'') {
+      ++i;
+      std::string text;
+      for (;;) {
+        if (i >= n) return Status::ParseError("unterminated string literal");
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        text.push_back(sql[i++]);
+      }
+      token.kind = TokenKind::kStringLiteral;
+      token.text = std::move(text);
+    } else {
+      token.kind = TokenKind::kSymbol;
+      // Two-character operators first.
+      if (i + 1 < n) {
+        std::string two = sql.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=" || two == "||") {
+          token.text = two == "!=" ? "<>" : two;
+          i += 2;
+          tokens.push_back(token);
+          continue;
+        }
+      }
+      static const std::string kSingle = "(),.;*+-/%<>=";
+      if (kSingle.find(c) == std::string::npos)
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+      token.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.position = n;
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace hive

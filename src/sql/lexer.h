@@ -1,0 +1,47 @@
+#ifndef HIVE_SQL_LEXER_H_
+#define HIVE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hive {
+
+/// Token kinds produced by the SQL lexer.
+enum class TokenKind {
+  kEof,
+  kIdentifier,   // foo, `quoted`
+  kKeyword,      // SELECT, FROM... (upper-cased in `text`)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // 'text' with '' escaping
+  kSymbol,         // ( ) , . ; * + - / % < > = <= >= <> != ||
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // keywords upper-cased; identifiers as written
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t position = 0;  // byte offset for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+};
+
+/// Tokenizes `sql`. Keywords are recognized case-insensitively from a fixed
+/// list; anything else alphanumeric is an identifier. `--` comments are
+/// skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// True when `word` (upper-case) is a reserved keyword.
+bool IsReservedKeyword(const std::string& word);
+
+}  // namespace hive
+
+#endif  // HIVE_SQL_LEXER_H_

@@ -1,0 +1,1119 @@
+#include "sql/parser.h"
+
+#include <cctype>
+
+#include "common/schema.h"
+
+namespace hive {
+
+Result<StatementPtr> Parser::Parse(const std::string& sql) {
+  HIVE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  HIVE_ASSIGN_OR_RETURN(StatementPtr stmt, parser.ParseStatement());
+  parser.Accept(";");
+  if (parser.Peek().kind != TokenKind::kEof)
+    return parser.ErrorHere("unexpected trailing input");
+  return stmt;
+}
+
+Result<std::vector<StatementPtr>> Parser::ParseScript(const std::string& sql) {
+  HIVE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  std::vector<StatementPtr> out;
+  while (parser.Peek().kind != TokenKind::kEof) {
+    if (parser.Accept(";")) continue;
+    HIVE_ASSIGN_OR_RETURN(StatementPtr stmt, parser.ParseStatement());
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+const Token& Parser::Peek(int ahead) const {
+  size_t i = pos_ + static_cast<size_t>(ahead);
+  if (i >= tokens_.size()) i = tokens_.size() - 1;
+  return tokens_[i];
+}
+
+const Token& Parser::Next() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Accept(const char* kw) {
+  const Token& t = Peek();
+  if ((t.kind == TokenKind::kKeyword && t.text == kw) ||
+      (t.kind == TokenKind::kSymbol && t.text == kw)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(const char* kw) {
+  if (Accept(kw)) return Status::OK();
+  return ErrorHere(std::string("expected '") + kw + "'");
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  const Token& t = Peek();
+  return Status::ParseError(message + " at offset " + std::to_string(t.position) +
+                            " (near '" + t.text + "')");
+}
+
+Status Parser::ParseQualifiedName(std::string* db, std::string* name) {
+  if (Peek().kind != TokenKind::kIdentifier && Peek().kind != TokenKind::kKeyword)
+    return ErrorHere("expected name");
+  std::string first = Next().text;
+  if (Accept(".")) {
+    if (Peek().kind != TokenKind::kIdentifier && Peek().kind != TokenKind::kKeyword)
+      return ErrorHere("expected name after '.'");
+    *db = ToLower(first);
+    *name = ToLower(Next().text);
+  } else {
+    db->clear();
+    *name = ToLower(first);
+  }
+  return Status::OK();
+}
+
+Result<StatementPtr> Parser::ParseStatement() {
+  const Token& t = Peek();
+  if (t.IsKeyword("SELECT") || t.IsKeyword("WITH") || t.IsSymbol("(")) {
+    auto stmt = std::make_shared<SelectStatement>();
+    HIVE_ASSIGN_OR_RETURN(auto select, ParseSelectStmt());
+    stmt->select = *select;
+    return StatementPtr(stmt);
+  }
+  if (t.IsKeyword("INSERT")) return ParseInsert();
+  if (t.IsKeyword("UPDATE")) return ParseUpdate();
+  if (t.IsKeyword("DELETE")) return ParseDelete();
+  if (t.IsKeyword("MERGE")) return ParseMerge();
+  if (t.IsKeyword("CREATE")) return ParseCreate();
+  if (t.IsKeyword("DROP")) return ParseDrop();
+  if (t.IsKeyword("ALTER")) return ParseAlter();
+  if (t.IsKeyword("ANALYZE")) return ParseAnalyze();
+  if (t.IsKeyword("ADD")) {
+    // ADD RULE <name> TO <pool>
+    Next();
+    HIVE_RETURN_IF_ERROR(Expect("RULE"));
+    auto stmt = std::make_shared<ResourcePlanStatement>();
+    stmt->op = ResourcePlanStatement::Op::kAddRuleToPool;
+    stmt->rule_name = ToLower(Next().text);
+    HIVE_RETURN_IF_ERROR(Expect("TO"));
+    stmt->pool = ToLower(Next().text);
+    return StatementPtr(stmt);
+  }
+  if (t.IsKeyword("EXPLAIN")) {
+    Next();
+    auto stmt = std::make_shared<ExplainStatement>();
+    HIVE_ASSIGN_OR_RETURN(stmt->inner, ParseStatement());
+    return StatementPtr(stmt);
+  }
+  if (t.IsKeyword("SHOW")) {
+    Next();
+    HIVE_RETURN_IF_ERROR(Expect("TABLES"));
+    return StatementPtr(std::make_shared<ShowTablesStatement>());
+  }
+  return ErrorHere("unsupported statement");
+}
+
+Result<std::shared_ptr<SelectStmt>> Parser::ParseSelectStmt() {
+  auto stmt = std::make_shared<SelectStmt>();
+  if (Accept("WITH")) {
+    for (;;) {
+      CteDef cte;
+      cte.name = ToLower(Next().text);
+      HIVE_RETURN_IF_ERROR(Expect("AS"));
+      HIVE_RETURN_IF_ERROR(Expect("("));
+      HIVE_ASSIGN_OR_RETURN(cte.query, ParseSelectStmt());
+      HIVE_RETURN_IF_ERROR(Expect(")"));
+      stmt->ctes.push_back(std::move(cte));
+      if (!Accept(",")) break;
+    }
+  }
+  HIVE_ASSIGN_OR_RETURN(stmt->body, ParseQueryExpr());
+  if (Accept("ORDER")) {
+    HIVE_RETURN_IF_ERROR(Expect("BY"));
+    for (;;) {
+      OrderItem item;
+      HIVE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (Accept("DESC")) item.ascending = false;
+      else Accept("ASC");
+      stmt->order_by.push_back(std::move(item));
+      if (!Accept(",")) break;
+    }
+  }
+  if (Accept("LIMIT")) {
+    if (Peek().kind != TokenKind::kIntLiteral) return ErrorHere("expected LIMIT count");
+    stmt->limit = Next().int_value;
+  }
+  return stmt;
+}
+
+Result<std::shared_ptr<QueryExpr>> Parser::ParseQueryExpr() {
+  HIVE_ASSIGN_OR_RETURN(std::shared_ptr<QueryExpr> left, ParseQueryTerm());
+  for (;;) {
+    SetOpKind op = SetOpKind::kNone;
+    if (Accept("UNION")) {
+      op = Accept("ALL") ? SetOpKind::kUnionAll : SetOpKind::kUnionDistinct;
+    } else if (Accept("INTERSECT")) {
+      op = SetOpKind::kIntersect;
+    } else if (Accept("EXCEPT")) {
+      op = SetOpKind::kExcept;
+    } else {
+      break;
+    }
+    auto node = std::make_shared<QueryExpr>();
+    node->op = op;
+    node->left = std::move(left);
+    HIVE_ASSIGN_OR_RETURN(node->right, ParseQueryTerm());
+    left = std::move(node);
+  }
+  return left;
+}
+
+Result<std::shared_ptr<QueryExpr>> Parser::ParseQueryTerm() {
+  if (Peek().IsSymbol("(") &&
+      (Peek(1).IsKeyword("SELECT") || Peek(1).IsKeyword("WITH") || Peek(1).IsSymbol("("))) {
+    Next();  // consume '('
+    HIVE_ASSIGN_OR_RETURN(auto inner, ParseQueryExpr());
+    HIVE_RETURN_IF_ERROR(Expect(")"));
+    return inner;
+  }
+  auto node = std::make_shared<QueryExpr>();
+  node->op = SetOpKind::kNone;
+  HIVE_ASSIGN_OR_RETURN(node->core, ParseSelectCore());
+  return node;
+}
+
+Result<SelectCore> Parser::ParseSelectCore() {
+  SelectCore core;
+  HIVE_RETURN_IF_ERROR(Expect("SELECT"));
+  if (Accept("DISTINCT")) core.distinct = true;
+  else Accept("ALL");
+  for (;;) {
+    SelectItem item;
+    HIVE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (Accept("AS")) {
+      item.alias = ToLower(Next().text);
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      item.alias = ToLower(Next().text);
+    }
+    core.items.push_back(std::move(item));
+    if (!Accept(",")) break;
+  }
+  if (Accept("FROM")) {
+    HIVE_ASSIGN_OR_RETURN(core.from, ParseTableRef());
+  }
+  if (Accept("WHERE")) {
+    HIVE_ASSIGN_OR_RETURN(core.where, ParseExpr());
+  }
+  if (Accept("GROUP")) {
+    HIVE_RETURN_IF_ERROR(Expect("BY"));
+    if (Accept("GROUPING")) {
+      // GROUP BY GROUPING SETS ((a, b), (a), ())
+      HIVE_RETURN_IF_ERROR(Expect("SETS"));
+      HIVE_RETURN_IF_ERROR(Expect("("));
+      std::vector<std::vector<ExprPtr>> sets;
+      for (;;) {
+        HIVE_RETURN_IF_ERROR(Expect("("));
+        std::vector<ExprPtr> set;
+        if (!Peek().IsSymbol(")")) {
+          HIVE_ASSIGN_OR_RETURN(set, ParseExprList());
+        }
+        HIVE_RETURN_IF_ERROR(Expect(")"));
+        sets.push_back(std::move(set));
+        if (!Accept(",")) break;
+      }
+      HIVE_RETURN_IF_ERROR(Expect(")"));
+      // Collect the distinct key expressions preserving first appearance.
+      for (const auto& set : sets) {
+        for (const ExprPtr& e : set) {
+          bool found = false;
+          for (const ExprPtr& k : core.group_by)
+            if (k->ToString() == e->ToString()) found = true;
+          if (!found) core.group_by.push_back(e);
+        }
+      }
+      for (const auto& set : sets) {
+        std::vector<size_t> idx;
+        for (const ExprPtr& e : set)
+          for (size_t k = 0; k < core.group_by.size(); ++k)
+            if (core.group_by[k]->ToString() == e->ToString()) idx.push_back(k);
+        core.grouping_sets.push_back(std::move(idx));
+      }
+    } else if (Accept("ROLLUP")) {
+      HIVE_RETURN_IF_ERROR(Expect("("));
+      HIVE_ASSIGN_OR_RETURN(core.group_by, ParseExprList());
+      HIVE_RETURN_IF_ERROR(Expect(")"));
+      // ROLLUP(a,b,c) => sets {a,b,c},{a,b},{a},{}
+      for (size_t n = core.group_by.size() + 1; n-- > 0;) {
+        std::vector<size_t> idx;
+        for (size_t k = 0; k < n; ++k) idx.push_back(k);
+        core.grouping_sets.push_back(std::move(idx));
+      }
+    } else if (Accept("CUBE")) {
+      HIVE_RETURN_IF_ERROR(Expect("("));
+      HIVE_ASSIGN_OR_RETURN(core.group_by, ParseExprList());
+      HIVE_RETURN_IF_ERROR(Expect(")"));
+      size_t n = core.group_by.size();
+      for (size_t mask = 0; mask < (1u << n); ++mask) {
+        std::vector<size_t> idx;
+        for (size_t k = 0; k < n; ++k)
+          if (mask & (1u << k)) idx.push_back(k);
+        core.grouping_sets.push_back(std::move(idx));
+      }
+    } else {
+      HIVE_ASSIGN_OR_RETURN(core.group_by, ParseExprList());
+      if (Accept("GROUPING")) {
+        HIVE_RETURN_IF_ERROR(Expect("SETS"));
+        HIVE_RETURN_IF_ERROR(Expect("("));
+        for (;;) {
+          HIVE_RETURN_IF_ERROR(Expect("("));
+          std::vector<size_t> idx;
+          if (!Peek().IsSymbol(")")) {
+            HIVE_ASSIGN_OR_RETURN(std::vector<ExprPtr> set, ParseExprList());
+            for (const ExprPtr& e : set)
+              for (size_t k = 0; k < core.group_by.size(); ++k)
+                if (core.group_by[k]->ToString() == e->ToString()) idx.push_back(k);
+          }
+          HIVE_RETURN_IF_ERROR(Expect(")"));
+          core.grouping_sets.push_back(std::move(idx));
+          if (!Accept(",")) break;
+        }
+        HIVE_RETURN_IF_ERROR(Expect(")"));
+      }
+    }
+  }
+  if (Accept("HAVING")) {
+    HIVE_ASSIGN_OR_RETURN(core.having, ParseExpr());
+  }
+  return core;
+}
+
+Result<TableRefPtr> Parser::ParseTableRef() {
+  HIVE_ASSIGN_OR_RETURN(TableRefPtr left, ParseTablePrimary());
+  for (;;) {
+    TableRef::JoinType type;
+    bool has_condition = true;
+    if (Accept(",")) {
+      type = TableRef::JoinType::kCross;
+      has_condition = false;
+    } else if (Accept("JOIN") || (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN"))) {
+      if (Peek().IsKeyword("JOIN")) Next();
+      type = TableRef::JoinType::kInner;
+    } else if (Accept("LEFT")) {
+      Accept("OUTER");
+      HIVE_RETURN_IF_ERROR(Expect("JOIN"));
+      type = TableRef::JoinType::kLeft;
+    } else if (Accept("RIGHT")) {
+      Accept("OUTER");
+      HIVE_RETURN_IF_ERROR(Expect("JOIN"));
+      type = TableRef::JoinType::kRight;
+    } else if (Accept("FULL")) {
+      Accept("OUTER");
+      HIVE_RETURN_IF_ERROR(Expect("JOIN"));
+      type = TableRef::JoinType::kFull;
+    } else if (Accept("CROSS")) {
+      HIVE_RETURN_IF_ERROR(Expect("JOIN"));
+      type = TableRef::JoinType::kCross;
+      has_condition = false;
+    } else {
+      break;
+    }
+    auto join = std::make_shared<TableRef>();
+    join->kind = TableRef::Kind::kJoin;
+    join->join_type = type;
+    join->left = std::move(left);
+    HIVE_ASSIGN_OR_RETURN(join->right, ParseTablePrimary());
+    if (has_condition && Accept("ON")) {
+      HIVE_ASSIGN_OR_RETURN(join->condition, ParseExpr());
+    }
+    left = std::move(join);
+  }
+  return left;
+}
+
+Result<TableRefPtr> Parser::ParseTablePrimary() {
+  auto ref = std::make_shared<TableRef>();
+  if (Accept("(")) {
+    ref->kind = TableRef::Kind::kSubquery;
+    HIVE_ASSIGN_OR_RETURN(ref->subquery, ParseSelectStmt());
+    HIVE_RETURN_IF_ERROR(Expect(")"));
+    Accept("AS");
+    if (Peek().kind == TokenKind::kIdentifier) ref->alias = ToLower(Next().text);
+    else return ErrorHere("derived table requires an alias");
+    return ref;
+  }
+  if (Peek().kind != TokenKind::kIdentifier) return ErrorHere("expected table name");
+  ref->kind = TableRef::Kind::kTable;
+  HIVE_RETURN_IF_ERROR(ParseQualifiedName(&ref->db, &ref->table));
+  if (Accept("AS")) {
+    ref->alias = ToLower(Next().text);
+  } else if (Peek().kind == TokenKind::kIdentifier) {
+    ref->alias = ToLower(Next().text);
+  } else {
+    ref->alias = ref->table;
+  }
+  return ref;
+}
+
+Result<std::vector<ExprPtr>> Parser::ParseExprList() {
+  std::vector<ExprPtr> out;
+  for (;;) {
+    HIVE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    out.push_back(std::move(e));
+    if (!Accept(",")) break;
+  }
+  return out;
+}
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  HIVE_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (Accept("OR")) {
+    HIVE_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  HIVE_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (Accept("AND")) {
+    HIVE_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (Peek().IsKeyword("NOT") && !Peek(1).IsKeyword("EXISTS")) {
+    Next();
+    HIVE_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return MakeUnary(UnaryOp::kNot, std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  if (Peek().IsKeyword("EXISTS") ||
+      (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("EXISTS"))) {
+    bool negated = Accept("NOT");
+    HIVE_RETURN_IF_ERROR(Expect("EXISTS"));
+    HIVE_RETURN_IF_ERROR(Expect("("));
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kSubquery;
+    e->subquery_kind = negated ? SubqueryKind::kNotExists : SubqueryKind::kExists;
+    HIVE_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+    HIVE_RETURN_IF_ERROR(Expect(")"));
+    return ExprPtr(e);
+  }
+  HIVE_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  for (;;) {
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("BETWEEN") ||
+         Peek(1).IsKeyword("LIKE"))) {
+      Next();
+      negated = true;
+    }
+    if (Accept("IS")) {
+      bool is_not = Accept("NOT");
+      HIVE_RETURN_IF_ERROR(Expect("NULL"));
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->negated = is_not;
+      e->children = {std::move(left)};
+      left = e;
+      continue;
+    }
+    if (Accept("IN")) {
+      HIVE_RETURN_IF_ERROR(Expect("("));
+      if (Peek().IsKeyword("SELECT") || Peek().IsKeyword("WITH")) {
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kSubquery;
+        e->subquery_kind = negated ? SubqueryKind::kNotIn : SubqueryKind::kIn;
+        e->children = {std::move(left)};
+        HIVE_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+        HIVE_RETURN_IF_ERROR(Expect(")"));
+        left = e;
+      } else {
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kInList;
+        e->negated = negated;
+        e->children.push_back(std::move(left));
+        HIVE_ASSIGN_OR_RETURN(std::vector<ExprPtr> values, ParseExprList());
+        for (auto& v : values) e->children.push_back(std::move(v));
+        HIVE_RETURN_IF_ERROR(Expect(")"));
+        left = e;
+      }
+      continue;
+    }
+    if (Accept("BETWEEN")) {
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->negated = negated;
+      HIVE_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      HIVE_RETURN_IF_ERROR(Expect("AND"));
+      HIVE_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      e->children = {std::move(left), std::move(lo), std::move(hi)};
+      left = e;
+      continue;
+    }
+    if (Accept("LIKE")) {
+      HIVE_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      ExprPtr like = MakeBinary(BinaryOp::kLike, std::move(left), std::move(pattern));
+      left = negated ? MakeUnary(UnaryOp::kNot, std::move(like)) : std::move(like);
+      continue;
+    }
+    BinaryOp op;
+    if (Accept("=")) op = BinaryOp::kEq;
+    else if (Accept("<>")) op = BinaryOp::kNe;
+    else if (Accept("<=")) op = BinaryOp::kLe;
+    else if (Accept(">=")) op = BinaryOp::kGe;
+    else if (Accept("<")) op = BinaryOp::kLt;
+    else if (Accept(">")) op = BinaryOp::kGt;
+    else break;
+    // Comparison against a scalar subquery: x > (SELECT ...)
+    if (Peek().IsSymbol("(") && (Peek(1).IsKeyword("SELECT") || Peek(1).IsKeyword("WITH"))) {
+      Next();
+      auto sub = std::make_shared<Expr>();
+      sub->kind = ExprKind::kSubquery;
+      sub->subquery_kind = SubqueryKind::kScalar;
+      HIVE_ASSIGN_OR_RETURN(sub->subquery, ParseSelectStmt());
+      HIVE_RETURN_IF_ERROR(Expect(")"));
+      left = MakeBinary(op, std::move(left), std::move(sub));
+      continue;
+    }
+    HIVE_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  HIVE_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  for (;;) {
+    BinaryOp op;
+    if (Accept("+")) op = BinaryOp::kAdd;
+    else if (Accept("-")) op = BinaryOp::kSub;
+    else if (Accept("||")) op = BinaryOp::kConcat;
+    else break;
+    HIVE_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  HIVE_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  for (;;) {
+    BinaryOp op;
+    if (Accept("*")) op = BinaryOp::kMul;
+    else if (Accept("/")) op = BinaryOp::kDiv;
+    else if (Accept("%")) op = BinaryOp::kMod;
+    else break;
+    HIVE_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    left = MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Accept("-")) {
+    HIVE_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    if (operand->kind == ExprKind::kLiteral && operand->literal.kind() == TypeKind::kBigint)
+      return MakeLiteral(Value::Bigint(-operand->literal.i64()));
+    if (operand->kind == ExprKind::kLiteral && operand->literal.kind() == TypeKind::kDouble)
+      return MakeLiteral(Value::Double(-operand->literal.f64()));
+    return MakeUnary(UnaryOp::kNegate, std::move(operand));
+  }
+  Accept("+");
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  if (t.kind == TokenKind::kIntLiteral) {
+    Next();
+    return MakeLiteral(Value::Bigint(t.int_value));
+  }
+  if (t.kind == TokenKind::kDoubleLiteral) {
+    Next();
+    return MakeLiteral(Value::Double(t.double_value));
+  }
+  if (t.kind == TokenKind::kStringLiteral) {
+    Next();
+    return MakeLiteral(Value::String(t.text));
+  }
+  if (Accept("NULL")) return MakeLiteral(Value::Null());
+  if (Accept("TRUE")) return MakeLiteral(Value::Boolean(true));
+  if (Accept("FALSE")) return MakeLiteral(Value::Boolean(false));
+  if (Peek().IsKeyword("DATE") && Peek(1).kind == TokenKind::kStringLiteral) {
+    Next();
+    HIVE_ASSIGN_OR_RETURN(int64_t days, ParseDate(Next().text));
+    return MakeLiteral(Value::Date(days));
+  }
+  if (Peek().IsKeyword("TIMESTAMP") && Peek(1).kind == TokenKind::kStringLiteral) {
+    Next();
+    HIVE_ASSIGN_OR_RETURN(int64_t us, ParseTimestamp(Next().text));
+    return MakeLiteral(Value::Timestamp(us));
+  }
+  if (Accept("INTERVAL")) {
+    // INTERVAL '3' DAY / INTERVAL 3 MONTH: a bigint with a unit function.
+    int64_t amount;
+    if (Peek().kind == TokenKind::kIntLiteral) {
+      amount = Next().int_value;
+    } else if (Peek().kind == TokenKind::kStringLiteral) {
+      amount = std::strtoll(Next().text.c_str(), nullptr, 10);
+    } else {
+      return ErrorHere("expected INTERVAL amount");
+    }
+    std::string unit = Next().text;  // DAY / MONTH / YEAR keyword
+    return MakeFunction("INTERVAL_" + unit, {MakeLiteral(Value::Bigint(amount))});
+  }
+  if (Accept("CASE")) {
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kCase;
+    // Simple form: CASE x WHEN v THEN r ... => rewrite to searched form.
+    ExprPtr operand;
+    if (!Peek().IsKeyword("WHEN")) {
+      HIVE_ASSIGN_OR_RETURN(operand, ParseExpr());
+    }
+    while (Accept("WHEN")) {
+      HIVE_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+      if (operand) when = MakeBinary(BinaryOp::kEq, operand, std::move(when));
+      HIVE_RETURN_IF_ERROR(Expect("THEN"));
+      HIVE_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+      e->children.push_back(std::move(when));
+      e->children.push_back(std::move(then));
+    }
+    if (Accept("ELSE")) {
+      e->has_else = true;
+      HIVE_ASSIGN_OR_RETURN(ExprPtr else_expr, ParseExpr());
+      e->children.push_back(std::move(else_expr));
+    }
+    HIVE_RETURN_IF_ERROR(Expect("END"));
+    return ExprPtr(e);
+  }
+  if (Accept("CAST")) {
+    HIVE_RETURN_IF_ERROR(Expect("("));
+    HIVE_ASSIGN_OR_RETURN(ExprPtr operand, ParseExpr());
+    HIVE_RETURN_IF_ERROR(Expect("AS"));
+    HIVE_ASSIGN_OR_RETURN(DataType type, ParseDataType());
+    HIVE_RETURN_IF_ERROR(Expect(")"));
+    return MakeCast(std::move(operand), type);
+  }
+  if (Accept("EXTRACT")) {
+    HIVE_RETURN_IF_ERROR(Expect("("));
+    std::string field = Next().text;  // YEAR / MONTH / ... keyword
+    HIVE_RETURN_IF_ERROR(Expect("FROM"));
+    HIVE_ASSIGN_OR_RETURN(ExprPtr operand, ParseExpr());
+    HIVE_RETURN_IF_ERROR(Expect(")"));
+    return MakeFunction("EXTRACT_" + field, {std::move(operand)});
+  }
+  if (Accept("(")) {
+    HIVE_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    HIVE_RETURN_IF_ERROR(Expect(")"));
+    return inner;
+  }
+  if (t.IsSymbol("*")) {
+    Next();
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kStar;
+    return ExprPtr(e);
+  }
+  // Scalar subquery in expression position.
+  if (t.IsKeyword("SELECT")) {
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kSubquery;
+    e->subquery_kind = SubqueryKind::kScalar;
+    HIVE_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+    return ExprPtr(e);
+  }
+  if (t.kind == TokenKind::kIdentifier ||
+      (t.kind == TokenKind::kKeyword &&
+       (t.text == "YEAR" || t.text == "MONTH" || t.text == "DAY" ||
+        t.text == "CURRENT" || t.text == "DATE"))) {
+    std::string first = Next().text;
+    if (Accept("(")) {
+      // function call
+      return ParseFunctionCall(first);
+    }
+    if (Accept(".")) {
+      if (Peek().IsSymbol("*")) {
+        Next();
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kStar;
+        e->qualifier = ToLower(first);
+        return ExprPtr(e);
+      }
+      std::string second = Next().text;
+      return MakeColumnRef(ToLower(first), ToLower(second));
+    }
+    return MakeColumnRef("", ToLower(first));
+  }
+  return ErrorHere("expected expression");
+}
+
+Result<ExprPtr> Parser::ParseFunctionCall(std::string name) {
+  for (char& c : name) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->func_name = name;
+  if (Accept("DISTINCT")) e->distinct = true;
+  if (!Peek().IsSymbol(")")) {
+    if (Peek().IsSymbol("*")) {
+      Next();  // COUNT(*)
+      auto star = std::make_shared<Expr>();
+      star->kind = ExprKind::kStar;
+      e->children.push_back(std::move(star));
+    } else {
+      HIVE_ASSIGN_OR_RETURN(e->children, ParseExprList());
+    }
+  }
+  HIVE_RETURN_IF_ERROR(Expect(")"));
+  if (Accept("OVER")) {
+    HIVE_RETURN_IF_ERROR(Expect("("));
+    e->window = std::make_shared<WindowSpec>();
+    if (Accept("PARTITION")) {
+      HIVE_RETURN_IF_ERROR(Expect("BY"));
+      HIVE_ASSIGN_OR_RETURN(e->window->partition_by, ParseExprList());
+    }
+    if (Accept("ORDER")) {
+      HIVE_RETURN_IF_ERROR(Expect("BY"));
+      for (;;) {
+        HIVE_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+        bool asc = !Accept("DESC");
+        if (asc) Accept("ASC");
+        e->window->order_by.push_back({std::move(expr), asc});
+        if (!Accept(",")) break;
+      }
+    }
+    // Ignore explicit frame clauses (treated as the default frame).
+    while (!Peek().IsSymbol(")") && Peek().kind != TokenKind::kEof) Next();
+    HIVE_RETURN_IF_ERROR(Expect(")"));
+  }
+  return ExprPtr(e);
+}
+
+Result<DataType> Parser::ParseDataType() {
+  const Token& t = Peek();
+  if (t.IsKeyword("INT") || t.IsKeyword("INTEGER") || t.IsKeyword("BIGINT")) {
+    Next();
+    return DataType::Bigint();
+  }
+  if (t.IsKeyword("DOUBLE") || t.IsKeyword("FLOAT")) {
+    Next();
+    return DataType::Double();
+  }
+  if (t.IsKeyword("DECIMAL") || t.IsKeyword("NUMERIC")) {
+    Next();
+    int p = 10, s = 0;
+    if (Accept("(")) {
+      p = static_cast<int>(Next().int_value);
+      if (Accept(",")) s = static_cast<int>(Next().int_value);
+      HIVE_RETURN_IF_ERROR(Expect(")"));
+    }
+    return DataType::Decimal(p, s);
+  }
+  if (t.IsKeyword("STRING")) {
+    Next();
+    return DataType::String();
+  }
+  if (t.IsKeyword("VARCHAR") || t.IsKeyword("CHAR")) {
+    Next();
+    if (Accept("(")) {
+      Next();  // length, ignored
+      HIVE_RETURN_IF_ERROR(Expect(")"));
+    }
+    return DataType::String();
+  }
+  if (t.IsKeyword("BOOLEAN")) {
+    Next();
+    return DataType::Boolean();
+  }
+  if (t.IsKeyword("DATE")) {
+    Next();
+    return DataType::Date();
+  }
+  if (t.IsKeyword("TIMESTAMP")) {
+    Next();
+    return DataType::Timestamp();
+  }
+  return ErrorHere("expected data type");
+}
+
+Result<StatementPtr> Parser::ParseInsert() {
+  HIVE_RETURN_IF_ERROR(Expect("INSERT"));
+  HIVE_RETURN_IF_ERROR(Expect("INTO"));
+  Accept("TABLE");
+  auto stmt = std::make_shared<InsertStatement>();
+  HIVE_RETURN_IF_ERROR(ParseQualifiedName(&stmt->db, &stmt->table));
+  if (Peek().IsSymbol("(") && Peek(1).kind == TokenKind::kIdentifier &&
+      (Peek(2).IsSymbol(",") || Peek(2).IsSymbol(")"))) {
+    Next();
+    for (;;) {
+      stmt->columns.push_back(ToLower(Next().text));
+      if (!Accept(",")) break;
+    }
+    HIVE_RETURN_IF_ERROR(Expect(")"));
+  }
+  if (Accept("VALUES")) {
+    for (;;) {
+      HIVE_RETURN_IF_ERROR(Expect("("));
+      HIVE_ASSIGN_OR_RETURN(std::vector<ExprPtr> row, ParseExprList());
+      HIVE_RETURN_IF_ERROR(Expect(")"));
+      stmt->values_rows.push_back(std::move(row));
+      if (!Accept(",")) break;
+    }
+  } else {
+    HIVE_ASSIGN_OR_RETURN(stmt->source, ParseSelectStmt());
+  }
+  return StatementPtr(stmt);
+}
+
+Result<StatementPtr> Parser::ParseUpdate() {
+  HIVE_RETURN_IF_ERROR(Expect("UPDATE"));
+  auto stmt = std::make_shared<UpdateStatement>();
+  HIVE_RETURN_IF_ERROR(ParseQualifiedName(&stmt->db, &stmt->table));
+  HIVE_RETURN_IF_ERROR(Expect("SET"));
+  for (;;) {
+    std::string column = ToLower(Next().text);
+    HIVE_RETURN_IF_ERROR(Expect("="));
+    HIVE_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+    stmt->assignments.push_back({std::move(column), std::move(value)});
+    if (!Accept(",")) break;
+  }
+  if (Accept("WHERE")) {
+    HIVE_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StatementPtr(stmt);
+}
+
+Result<StatementPtr> Parser::ParseDelete() {
+  HIVE_RETURN_IF_ERROR(Expect("DELETE"));
+  HIVE_RETURN_IF_ERROR(Expect("FROM"));
+  auto stmt = std::make_shared<DeleteStatement>();
+  HIVE_RETURN_IF_ERROR(ParseQualifiedName(&stmt->db, &stmt->table));
+  if (Accept("WHERE")) {
+    HIVE_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StatementPtr(stmt);
+}
+
+Result<StatementPtr> Parser::ParseMerge() {
+  HIVE_RETURN_IF_ERROR(Expect("MERGE"));
+  HIVE_RETURN_IF_ERROR(Expect("INTO"));
+  auto stmt = std::make_shared<MergeStatement>();
+  HIVE_RETURN_IF_ERROR(ParseQualifiedName(&stmt->db, &stmt->table));
+  if (Accept("AS")) stmt->target_alias = ToLower(Next().text);
+  else if (Peek().kind == TokenKind::kIdentifier) stmt->target_alias = ToLower(Next().text);
+  HIVE_RETURN_IF_ERROR(Expect("USING"));
+  HIVE_ASSIGN_OR_RETURN(stmt->source, ParseTablePrimary());
+  HIVE_RETURN_IF_ERROR(Expect("ON"));
+  HIVE_ASSIGN_OR_RETURN(stmt->on, ParseExpr());
+  while (Accept("WHEN")) {
+    if (Accept("MATCHED")) {
+      ExprPtr condition;
+      if (Accept("AND")) {
+        HIVE_ASSIGN_OR_RETURN(condition, ParseExpr());
+      }
+      HIVE_RETURN_IF_ERROR(Expect("THEN"));
+      if (Accept("UPDATE")) {
+        HIVE_RETURN_IF_ERROR(Expect("SET"));
+        stmt->has_matched_update = true;
+        stmt->matched_update_condition = condition;
+        for (;;) {
+          std::string column = ToLower(Next().text);
+          HIVE_RETURN_IF_ERROR(Expect("="));
+          HIVE_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+          stmt->matched_assignments.push_back({std::move(column), std::move(value)});
+          if (!Accept(",")) break;
+        }
+      } else if (Accept("DELETE")) {
+        stmt->has_matched_delete = true;
+        stmt->matched_delete_condition = condition;
+      } else {
+        return ErrorHere("expected UPDATE or DELETE after WHEN MATCHED THEN");
+      }
+    } else if (Accept("NOT")) {
+      HIVE_RETURN_IF_ERROR(Expect("MATCHED"));
+      HIVE_RETURN_IF_ERROR(Expect("THEN"));
+      HIVE_RETURN_IF_ERROR(Expect("INSERT"));
+      HIVE_RETURN_IF_ERROR(Expect("VALUES"));
+      HIVE_RETURN_IF_ERROR(Expect("("));
+      stmt->has_not_matched_insert = true;
+      HIVE_ASSIGN_OR_RETURN(stmt->insert_values, ParseExprList());
+      HIVE_RETURN_IF_ERROR(Expect(")"));
+    } else {
+      return ErrorHere("expected MATCHED or NOT MATCHED");
+    }
+  }
+  return StatementPtr(stmt);
+}
+
+Result<StatementPtr> Parser::ParseCreate() {
+  HIVE_RETURN_IF_ERROR(Expect("CREATE"));
+  if (Peek().IsKeyword("RESOURCE") || Peek().IsKeyword("POOL") ||
+      Peek().IsKeyword("RULE") || Peek().IsKeyword("APPLICATION"))
+    return ParseResourcePlanCreate();
+  if (Accept("DATABASE")) {
+    auto stmt = std::make_shared<CreateDatabaseStatement>();
+    if (Accept("IF")) {
+      HIVE_RETURN_IF_ERROR(Expect("NOT"));
+      HIVE_RETURN_IF_ERROR(Expect("EXISTS"));
+      stmt->if_not_exists = true;
+    }
+    stmt->name = ToLower(Next().text);
+    return StatementPtr(stmt);
+  }
+  if (Accept("MATERIALIZED")) {
+    HIVE_RETURN_IF_ERROR(Expect("VIEW"));
+    return ParseCreateMaterializedView();
+  }
+  bool external = Accept("EXTERNAL");
+  HIVE_RETURN_IF_ERROR(Expect("TABLE"));
+  return ParseCreateTable(external);
+}
+
+Result<StatementPtr> Parser::ParseCreateTable(bool external) {
+  auto stmt = std::make_shared<CreateTableStatement>();
+  stmt->external = external;
+  if (Accept("IF")) {
+    HIVE_RETURN_IF_ERROR(Expect("NOT"));
+    HIVE_RETURN_IF_ERROR(Expect("EXISTS"));
+    stmt->if_not_exists = true;
+  }
+  HIVE_RETURN_IF_ERROR(ParseQualifiedName(&stmt->db, &stmt->table));
+  if (Accept("(")) {
+    for (;;) {
+      if (Peek().IsKeyword("PRIMARY") || Peek().IsKeyword("FOREIGN") ||
+          Peek().IsKeyword("UNIQUE") || Peek().IsKeyword("CONSTRAINT")) {
+        CreateTableStatement::Constraint constraint;
+        if (Accept("CONSTRAINT")) Next();  // constraint name, ignored
+        if (Accept("PRIMARY")) {
+          HIVE_RETURN_IF_ERROR(Expect("KEY"));
+          constraint.kind = CreateTableStatement::Constraint::Kind::kPrimaryKey;
+        } else if (Accept("FOREIGN")) {
+          HIVE_RETURN_IF_ERROR(Expect("KEY"));
+          constraint.kind = CreateTableStatement::Constraint::Kind::kForeignKey;
+        } else if (Accept("UNIQUE")) {
+          constraint.kind = CreateTableStatement::Constraint::Kind::kUnique;
+        }
+        HIVE_RETURN_IF_ERROR(Expect("("));
+        for (;;) {
+          constraint.columns.push_back(ToLower(Next().text));
+          if (!Accept(",")) break;
+        }
+        HIVE_RETURN_IF_ERROR(Expect(")"));
+        if (constraint.kind == CreateTableStatement::Constraint::Kind::kForeignKey) {
+          HIVE_RETURN_IF_ERROR(Expect("REFERENCES"));
+          std::string rdb;
+          HIVE_RETURN_IF_ERROR(ParseQualifiedName(&rdb, &constraint.ref_table));
+          if (!rdb.empty()) constraint.ref_table = rdb + "." + constraint.ref_table;
+          HIVE_RETURN_IF_ERROR(Expect("("));
+          for (;;) {
+            constraint.ref_columns.push_back(ToLower(Next().text));
+            if (!Accept(",")) break;
+          }
+          HIVE_RETURN_IF_ERROR(Expect(")"));
+        }
+        stmt->constraints.push_back(std::move(constraint));
+      } else {
+        ColumnDef col;
+        col.name = ToLower(Next().text);
+        HIVE_ASSIGN_OR_RETURN(col.type, ParseDataType());
+        if (Accept("NOT")) {
+          HIVE_RETURN_IF_ERROR(Expect("NULL"));
+          CreateTableStatement::Constraint constraint;
+          constraint.kind = CreateTableStatement::Constraint::Kind::kNotNull;
+          constraint.columns = {col.name};
+          stmt->constraints.push_back(std::move(constraint));
+        }
+        stmt->columns.push_back(std::move(col));
+      }
+      if (!Accept(",")) break;
+    }
+    HIVE_RETURN_IF_ERROR(Expect(")"));
+  }
+  if (Accept("PARTITIONED")) {
+    HIVE_RETURN_IF_ERROR(Expect("BY"));
+    HIVE_RETURN_IF_ERROR(Expect("("));
+    for (;;) {
+      ColumnDef col;
+      col.name = ToLower(Next().text);
+      HIVE_ASSIGN_OR_RETURN(col.type, ParseDataType());
+      stmt->partition_columns.push_back(std::move(col));
+      if (!Accept(",")) break;
+    }
+    HIVE_RETURN_IF_ERROR(Expect(")"));
+  }
+  if (Accept("STORED")) {
+    HIVE_RETURN_IF_ERROR(Expect("BY"));
+    if (Peek().kind != TokenKind::kStringLiteral)
+      return ErrorHere("expected storage handler string");
+    stmt->stored_by = Next().text;
+  }
+  if (Accept("TBLPROPERTIES")) {
+    HIVE_RETURN_IF_ERROR(Expect("("));
+    for (;;) {
+      std::string key = Next().text;
+      HIVE_RETURN_IF_ERROR(Expect("="));
+      std::string value = Next().text;
+      stmt->properties[key] = value;
+      if (!Accept(",")) break;
+    }
+    HIVE_RETURN_IF_ERROR(Expect(")"));
+  }
+  if (Accept("AS")) {
+    HIVE_ASSIGN_OR_RETURN(stmt->as_select, ParseSelectStmt());
+  }
+  return StatementPtr(stmt);
+}
+
+Result<StatementPtr> Parser::ParseCreateMaterializedView() {
+  auto stmt = std::make_shared<CreateMaterializedViewStatement>();
+  HIVE_RETURN_IF_ERROR(ParseQualifiedName(&stmt->db, &stmt->name));
+  if (Accept("TBLPROPERTIES")) {
+    HIVE_RETURN_IF_ERROR(Expect("("));
+    for (;;) {
+      std::string key = Next().text;
+      HIVE_RETURN_IF_ERROR(Expect("="));
+      std::string value = Next().text;
+      stmt->properties[key] = value;
+      if (!Accept(",")) break;
+    }
+    HIVE_RETURN_IF_ERROR(Expect(")"));
+  }
+  HIVE_RETURN_IF_ERROR(Expect("AS"));
+  size_t sql_start = Peek().position;
+  HIVE_ASSIGN_OR_RETURN(stmt->query, ParseSelectStmt());
+  (void)sql_start;
+  stmt->query_sql = stmt->query->ToString();
+  return StatementPtr(stmt);
+}
+
+Result<StatementPtr> Parser::ParseDrop() {
+  HIVE_RETURN_IF_ERROR(Expect("DROP"));
+  auto stmt = std::make_shared<DropTableStatement>();
+  if (Accept("MATERIALIZED")) {
+    HIVE_RETURN_IF_ERROR(Expect("VIEW"));
+    stmt->is_materialized_view = true;
+  } else {
+    HIVE_RETURN_IF_ERROR(Expect("TABLE"));
+  }
+  if (Accept("IF")) {
+    HIVE_RETURN_IF_ERROR(Expect("EXISTS"));
+    stmt->if_exists = true;
+  }
+  HIVE_RETURN_IF_ERROR(ParseQualifiedName(&stmt->db, &stmt->table));
+  return StatementPtr(stmt);
+}
+
+Result<StatementPtr> Parser::ParseAlter() {
+  HIVE_RETURN_IF_ERROR(Expect("ALTER"));
+  if (Accept("MATERIALIZED")) {
+    HIVE_RETURN_IF_ERROR(Expect("VIEW"));
+    auto stmt = std::make_shared<AlterMaterializedViewRebuildStatement>();
+    HIVE_RETURN_IF_ERROR(ParseQualifiedName(&stmt->db, &stmt->name));
+    HIVE_RETURN_IF_ERROR(Expect("REBUILD"));
+    return StatementPtr(stmt);
+  }
+  if (Accept("RESOURCE")) {
+    HIVE_RETURN_IF_ERROR(Expect("PLAN"));
+    auto stmt = std::make_shared<ResourcePlanStatement>();
+    stmt->op = ResourcePlanStatement::Op::kEnableActivate;
+    stmt->plan = ToLower(Next().text);
+    HIVE_RETURN_IF_ERROR(Expect("ENABLE"));
+    Accept("ACTIVATE");
+    return StatementPtr(stmt);
+  }
+  if (Accept("PLAN")) {
+    auto stmt = std::make_shared<ResourcePlanStatement>();
+    stmt->op = ResourcePlanStatement::Op::kSetDefaultPool;
+    stmt->plan = ToLower(Next().text);
+    HIVE_RETURN_IF_ERROR(Expect("SET"));
+    HIVE_RETURN_IF_ERROR(Expect("DEFAULT"));
+    HIVE_RETURN_IF_ERROR(Expect("POOL"));
+    HIVE_RETURN_IF_ERROR(Expect("="));
+    stmt->pool = ToLower(Next().text);
+    return StatementPtr(stmt);
+  }
+  return ErrorHere("unsupported ALTER statement");
+}
+
+Result<StatementPtr> Parser::ParseResourcePlanCreate() {
+  auto stmt = std::make_shared<ResourcePlanStatement>();
+  if (Accept("RESOURCE")) {
+    HIVE_RETURN_IF_ERROR(Expect("PLAN"));
+    stmt->op = ResourcePlanStatement::Op::kCreatePlan;
+    stmt->plan = ToLower(Next().text);
+    return StatementPtr(stmt);
+  }
+  if (Accept("POOL")) {
+    stmt->op = ResourcePlanStatement::Op::kCreatePool;
+    stmt->plan = ToLower(Next().text);
+    HIVE_RETURN_IF_ERROR(Expect("."));
+    stmt->pool = ToLower(Next().text);
+    HIVE_RETURN_IF_ERROR(Expect("WITH"));
+    for (;;) {
+      std::string key = ToLower(Next().text);
+      HIVE_RETURN_IF_ERROR(Expect("="));
+      const Token& value = Next();
+      if (key == "alloc_fraction") {
+        stmt->alloc_fraction = value.kind == TokenKind::kDoubleLiteral
+                                   ? value.double_value
+                                   : static_cast<double>(value.int_value);
+      } else if (key == "query_parallelism") {
+        stmt->query_parallelism = static_cast<int>(value.int_value);
+      }
+      if (!Accept(",")) break;
+    }
+    return StatementPtr(stmt);
+  }
+  if (Accept("RULE")) {
+    stmt->op = ResourcePlanStatement::Op::kCreateRule;
+    stmt->rule_name = ToLower(Next().text);
+    HIVE_RETURN_IF_ERROR(Expect("IN"));
+    stmt->plan = ToLower(Next().text);
+    HIVE_RETURN_IF_ERROR(Expect("WHEN"));
+    stmt->rule_metric = ToLower(Next().text);
+    HIVE_RETURN_IF_ERROR(Expect(">"));
+    stmt->rule_threshold = Next().int_value;
+    HIVE_RETURN_IF_ERROR(Expect("THEN"));
+    if (Accept("MOVE")) {
+      stmt->rule_action = "MOVE";
+      stmt->rule_target_pool = ToLower(Next().text);
+    } else if (Accept("KILL")) {
+      stmt->rule_action = "KILL";
+    }
+    return StatementPtr(stmt);
+  }
+  if (Accept("APPLICATION")) {
+    HIVE_RETURN_IF_ERROR(Expect("MAPPING"));
+    stmt->op = ResourcePlanStatement::Op::kCreateMapping;
+    stmt->mapping_application = ToLower(Next().text);
+    HIVE_RETURN_IF_ERROR(Expect("IN"));
+    stmt->plan = ToLower(Next().text);
+    HIVE_RETURN_IF_ERROR(Expect("TO"));
+    stmt->pool = ToLower(Next().text);
+    return StatementPtr(stmt);
+  }
+  return ErrorHere("unsupported CREATE statement");
+}
+
+Result<StatementPtr> Parser::ParseAnalyze() {
+  HIVE_RETURN_IF_ERROR(Expect("ANALYZE"));
+  HIVE_RETURN_IF_ERROR(Expect("TABLE"));
+  auto stmt = std::make_shared<AnalyzeTableStatement>();
+  HIVE_RETURN_IF_ERROR(ParseQualifiedName(&stmt->db, &stmt->table));
+  HIVE_RETURN_IF_ERROR(Expect("COMPUTE"));
+  HIVE_RETURN_IF_ERROR(Expect("STATISTICS"));
+  return StatementPtr(stmt);
+}
+
+}  // namespace hive

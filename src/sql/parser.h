@@ -1,0 +1,78 @@
+#ifndef HIVE_SQL_PARSER_H_
+#define HIVE_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace hive {
+
+/// Recursive-descent parser for the HiveQL dialect this engine supports:
+/// SELECT (joins, subqueries incl. correlated, set operations, grouping
+/// sets, window functions, CTEs), INSERT/UPDATE/DELETE/MERGE, CREATE
+/// [EXTERNAL] TABLE (PARTITIONED BY, constraints, STORED BY,
+/// TBLPROPERTIES, CTAS), CREATE MATERIALIZED VIEW, ALTER MATERIALIZED VIEW
+/// REBUILD, DROP, EXPLAIN, ANALYZE, and the workload-management DDL of
+/// Section 5.2.
+class Parser {
+ public:
+  /// Parses a single statement (trailing ';' permitted).
+  static Result<StatementPtr> Parse(const std::string& sql);
+
+  /// Parses a script of ';'-separated statements.
+  static Result<std::vector<StatementPtr>> ParseScript(const std::string& sql);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(int ahead = 0) const;
+  const Token& Next();
+  bool Accept(const char* keyword_or_symbol);
+  Status Expect(const char* keyword_or_symbol);
+  Status ErrorHere(const std::string& message) const;
+
+  Result<StatementPtr> ParseStatement();
+  Result<std::shared_ptr<SelectStmt>> ParseSelectStmt();
+  Result<std::shared_ptr<QueryExpr>> ParseQueryExpr();
+  Result<std::shared_ptr<QueryExpr>> ParseQueryTerm();
+  Result<SelectCore> ParseSelectCore();
+  Result<TableRefPtr> ParseTableRef();
+  Result<TableRefPtr> ParseTablePrimary();
+
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseFunctionCall(std::string name);
+  Result<DataType> ParseDataType();
+  Result<std::vector<ExprPtr>> ParseExprList();
+
+  Result<StatementPtr> ParseInsert();
+  Result<StatementPtr> ParseUpdate();
+  Result<StatementPtr> ParseDelete();
+  Result<StatementPtr> ParseMerge();
+  Result<StatementPtr> ParseCreate();
+  Result<StatementPtr> ParseCreateTable(bool external);
+  Result<StatementPtr> ParseCreateMaterializedView();
+  Result<StatementPtr> ParseDrop();
+  Result<StatementPtr> ParseAlter();
+  Result<StatementPtr> ParseResourcePlanCreate();
+  Result<StatementPtr> ParseAnalyze();
+
+  /// Parses [db.]name into the pair.
+  Status ParseQualifiedName(std::string* db, std::string* name);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SQL_PARSER_H_

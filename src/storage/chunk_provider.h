@@ -1,0 +1,47 @@
+#ifndef HIVE_STORAGE_CHUNK_PROVIDER_H_
+#define HIVE_STORAGE_CHUNK_PROVIDER_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/cof.h"
+
+namespace hive {
+
+/// Indirection between scan operators and COF files. The direct provider
+/// reads through the file system; the LLAP I/O elevator provides a caching
+/// implementation keyed by (FileId, row group, column) with metadata
+/// caching (Section 5.1). A provider must be thread-safe.
+class ChunkProvider {
+ public:
+  virtual ~ChunkProvider() = default;
+
+  /// Opens (or returns cached) metadata for a COF file.
+  virtual Result<std::shared_ptr<CofReader>> OpenReader(const std::string& path) = 0;
+
+  /// Reads (or returns cached) one decoded column chunk.
+  virtual Result<ColumnVectorPtr> ReadChunk(const std::shared_ptr<CofReader>& reader,
+                                            size_t row_group, size_t column) = 0;
+};
+
+/// Pass-through provider: every call hits the file system.
+class DirectChunkProvider : public ChunkProvider {
+ public:
+  explicit DirectChunkProvider(FileSystem* fs) : fs_(fs) {}
+
+  Result<std::shared_ptr<CofReader>> OpenReader(const std::string& path) override {
+    return CofReader::Open(fs_, path);
+  }
+
+  Result<ColumnVectorPtr> ReadChunk(const std::shared_ptr<CofReader>& reader,
+                                    size_t row_group, size_t column) override {
+    return reader->ReadColumnChunk(row_group, column);
+  }
+
+ private:
+  FileSystem* fs_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_STORAGE_CHUNK_PROVIDER_H_

@@ -1,0 +1,116 @@
+#include "storage/sarg.h"
+
+#include "common/schema.h"
+
+namespace hive {
+
+namespace {
+const char* OpName(SargOp op) {
+  switch (op) {
+    case SargOp::kEq: return "=";
+    case SargOp::kLt: return "<";
+    case SargOp::kLe: return "<=";
+    case SargOp::kGt: return ">";
+    case SargOp::kGe: return ">=";
+    case SargOp::kIn: return "IN";
+    case SargOp::kBetween: return "BETWEEN";
+    case SargOp::kIsNull: return "IS NULL";
+    case SargOp::kIsNotNull: return "IS NOT NULL";
+  }
+  return "?";
+}
+}  // namespace
+
+bool SargPredicate::ChunkMightMatch(const ColumnChunkStats& stats) const {
+  const bool all_null = stats.null_count == stats.value_count;
+  switch (op) {
+    case SargOp::kIsNull:
+      return stats.null_count > 0;
+    case SargOp::kIsNotNull:
+      return !all_null;
+    default:
+      break;
+  }
+  if (all_null) return false;  // value comparisons never match pure-null chunks
+  if (stats.min.is_null() || stats.max.is_null()) return true;  // no stats
+  switch (op) {
+    case SargOp::kEq: {
+      const Value& v = values[0];
+      if (Value::Compare(v, stats.min) < 0 || Value::Compare(v, stats.max) > 0)
+        return false;
+      if (bloom && !bloom->MightContain(v)) return false;
+      return true;
+    }
+    case SargOp::kLt:
+      return Value::Compare(stats.min, values[0]) < 0;
+    case SargOp::kLe:
+      return Value::Compare(stats.min, values[0]) <= 0;
+    case SargOp::kGt:
+      return Value::Compare(stats.max, values[0]) > 0;
+    case SargOp::kGe:
+      return Value::Compare(stats.max, values[0]) >= 0;
+    case SargOp::kBetween: {
+      if (Value::Compare(stats.max, values[0]) < 0) return false;
+      if (Value::Compare(stats.min, values[1]) > 0) return false;
+      return true;
+    }
+    case SargOp::kIn: {
+      bool any_in_range = values.empty();  // bloom-only predicate
+      for (const Value& v : values) {
+        if (Value::Compare(v, stats.min) >= 0 && Value::Compare(v, stats.max) <= 0) {
+          if (!bloom || bloom->MightContain(v)) {
+            any_in_range = true;
+            break;
+          }
+        }
+      }
+      return any_in_range;
+    }
+    default:
+      return true;
+  }
+}
+
+std::string SargPredicate::ToString() const {
+  std::string out = column;
+  out += " ";
+  out += OpName(op);
+  if (op == SargOp::kIn || op == SargOp::kBetween) {
+    out += " (";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i) out += ", ";
+      out += values[i].ToString();
+    }
+    out += ")";
+  } else if (!values.empty()) {
+    out += " " + values[0].ToString();
+  }
+  if (bloom) out += " [bloom]";
+  return out;
+}
+
+bool SearchArgument::ChunkMightMatch(
+    const std::vector<std::string>& columns,
+    const std::vector<ColumnChunkStats>& stats) const {
+  for (const SargPredicate& pred : conjuncts) {
+    std::string needle = ToLower(pred.column);
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (ToLower(columns[c]) == needle) {
+        if (!pred.ChunkMightMatch(stats[c])) return false;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+std::string SearchArgument::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i) out += " AND ";
+    out += conjuncts[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace hive

@@ -1,0 +1,69 @@
+#ifndef HIVE_STORAGE_SARG_H_
+#define HIVE_STORAGE_SARG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bloom_filter.h"
+#include "common/types.h"
+
+namespace hive {
+
+/// Column statistics kept per row group and per file in COF footers, and
+/// consulted by sarg evaluation to skip entire row groups (the ORC behaviour
+/// the paper leans on in Sections 4.6 and 5.1).
+struct ColumnChunkStats {
+  Value min;          // null when the chunk is all-null
+  Value max;
+  uint64_t null_count = 0;
+  uint64_t value_count = 0;
+  bool has_bloom = false;
+};
+
+/// Comparison kinds available for pushdown ("sargable predicates").
+enum class SargOp {
+  kEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kIn,
+  kBetween,   // values[0] <= x <= values[1]
+  kIsNull,
+  kIsNotNull,
+};
+
+/// One pushed-down conjunct over a single column. `bloom` carries a dynamic
+/// semijoin reducer (Section 4.6, "index semijoin"): when set, a chunk may
+/// be skipped if none of its candidate values can be in the filter. A
+/// predicate may be bloom-only (op == kIn with empty values).
+struct SargPredicate {
+  std::string column;
+  SargOp op = SargOp::kEq;
+  std::vector<Value> values;
+  std::shared_ptr<const BloomFilter> bloom;
+
+  /// True if a chunk with these stats could contain matching rows.
+  bool ChunkMightMatch(const ColumnChunkStats& stats) const;
+
+  std::string ToString() const;
+};
+
+/// Conjunction of pushed-down predicates.
+struct SearchArgument {
+  std::vector<SargPredicate> conjuncts;
+
+  bool empty() const { return conjuncts.empty(); }
+
+  /// True when every conjunct might match, i.e. the chunk cannot be skipped.
+  bool ChunkMightMatch(
+      const std::vector<std::string>& columns,
+      const std::vector<ColumnChunkStats>& stats) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_STORAGE_SARG_H_

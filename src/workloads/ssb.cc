@@ -1,0 +1,232 @@
+#include "workloads/ssb.h"
+
+#include "common/rng.h"
+
+namespace hive {
+
+namespace {
+
+const char* kRegions[] = {"AMERICA", "ASIA", "EUROPE", "AFRICA", "MIDDLE EAST"};
+const char* kNations[] = {"UNITED STATES", "CHINA", "FRANCE", "BRAZIL", "INDIA",
+                          "GERMANY", "JAPAN", "CANADA", "RUSSIA", "EGYPT"};
+
+}  // namespace
+
+Status LoadSsb(HiveServer2* server, Session* session, const SsbOptions& options) {
+  const char* ddl = R"sql(
+CREATE TABLE dates (
+  d_datekey INT, d_year INT, d_yearmonthnum INT, d_weeknuminyear INT,
+  PRIMARY KEY (d_datekey));
+CREATE TABLE customer_d (
+  c_custkey INT, c_city STRING, c_nation STRING, c_region STRING,
+  PRIMARY KEY (c_custkey));
+CREATE TABLE supplier (
+  s_suppkey INT, s_city STRING, s_nation STRING, s_region STRING,
+  PRIMARY KEY (s_suppkey));
+CREATE TABLE part (
+  p_partkey INT, p_mfgr STRING, p_category STRING, p_brand1 STRING,
+  PRIMARY KEY (p_partkey));
+CREATE TABLE lineorder (
+  lo_orderkey INT, lo_custkey INT, lo_partkey INT, lo_suppkey INT,
+  lo_orderdate INT, lo_quantity INT, lo_extendedprice INT,
+  lo_discount INT, lo_revenue INT, lo_supplycost INT,
+  FOREIGN KEY (lo_orderdate) REFERENCES dates (d_datekey));
+)sql";
+  HIVE_RETURN_IF_ERROR(server->ExecuteScript(session, ddl).status());
+
+  Rng rng(0x55b);
+  std::string insert;
+
+  // dates: 7 years x 12 months, datekey = yyyymm.
+  std::vector<std::string> date_rows;
+  for (int year = 1992; year <= 1998; ++year)
+    for (int month = 1; month <= 12; ++month) {
+      int key = year * 100 + month;
+      date_rows.push_back("(" + std::to_string(key) + ", " + std::to_string(year) +
+                          ", " + std::to_string(key) + ", " +
+                          std::to_string((month - 1) * 4 + 1) + ")");
+    }
+  insert = "INSERT INTO dates VALUES ";
+  for (size_t i = 0; i < date_rows.size(); ++i)
+    insert += (i ? ", " : "") + date_rows[i];
+  HIVE_RETURN_IF_ERROR(server->Execute(session, insert).status());
+
+  auto bulk_insert = [&](const std::string& table,
+                         const std::vector<std::string>& rows) -> Status {
+    std::string sql = "INSERT INTO " + table + " VALUES ";
+    for (size_t i = 0; i < rows.size(); ++i) sql += (i ? ", " : "") + rows[i];
+    return server->Execute(session, sql).status();
+  };
+
+  std::vector<std::string> rows;
+  const int customers = 200, suppliers = 40, parts = 120;
+  for (int c = 0; c < customers; ++c)
+    rows.push_back("(" + std::to_string(c) + ", 'City" + std::to_string(c % 25) +
+                   "', '" + kNations[c % 10] + "', '" + kRegions[c % 5] + "')");
+  HIVE_RETURN_IF_ERROR(bulk_insert("customer_d", rows));
+  rows.clear();
+  for (int s = 0; s < suppliers; ++s)
+    rows.push_back("(" + std::to_string(s) + ", 'City" + std::to_string(s % 25) +
+                   "', '" + kNations[s % 10] + "', '" + kRegions[s % 5] + "')");
+  HIVE_RETURN_IF_ERROR(bulk_insert("supplier", rows));
+  rows.clear();
+  for (int p = 0; p < parts; ++p)
+    rows.push_back("(" + std::to_string(p) + ", 'MFGR#" + std::to_string(p % 5 + 1) +
+                   "', 'MFGR#" + std::to_string(p % 5 + 1) + std::to_string(p % 5 + 1) +
+                   "', 'MFGR#" + std::to_string(p % 5 + 1) + std::to_string(p % 5 + 1) +
+                   std::to_string(p % 40 + 10) + "')");
+  HIVE_RETURN_IF_ERROR(bulk_insert("part", rows));
+
+  // lineorder: write through the fast path (large).
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc,
+                        server->catalog()->GetTable("default", "lineorder"));
+  int64_t txn = server->txns()->OpenTxn();
+  HIVE_ASSIGN_OR_RETURN(int64_t write_id,
+                        server->txns()->AllocateWriteId(txn, desc.FullName()));
+  AcidWriter writer(server->filesystem(), desc.location, desc.schema, write_id);
+  int total = 20000 * options.scale;
+  TableStatistics stats;
+  stats.row_count = total;
+  for (int i = 0; i < total; ++i) {
+    int year = 1992 + static_cast<int>(rng.Uniform(7));
+    int month = 1 + static_cast<int>(rng.Uniform(12));
+    int64_t price = rng.Range(100, 10000);
+    int64_t discount = rng.Range(0, 10);
+    int64_t revenue = price * (100 - discount) / 100;
+    writer.Insert({Value::Bigint(i), Value::Bigint(rng.Uniform(customers)),
+                   Value::Bigint(rng.Uniform(parts)), Value::Bigint(rng.Uniform(suppliers)),
+                   Value::Bigint(year * 100 + month), Value::Bigint(rng.Range(1, 50)),
+                   Value::Bigint(price), Value::Bigint(discount),
+                   Value::Bigint(revenue), Value::Bigint(price * 3 / 5)});
+  }
+  HIVE_RETURN_IF_ERROR(writer.Commit());
+  HIVE_RETURN_IF_ERROR(server->txns()->CommitTxn(txn));
+  HIVE_RETURN_IF_ERROR(server->catalog()->MergeStats("default", "lineorder", stats));
+  return Status::OK();
+}
+
+std::string SsbDenormalizedMvSql() {
+  // The Figure 8 experiment's denormalized view: every dimension joined
+  // into the fact table, plus the derived measures the queries aggregate
+  // (so both the native and the droid-backed variants can roll them up).
+  return "SELECT d_year, d_yearmonthnum, d_weeknuminyear, "
+         "c_city, c_nation, c_region, s_city, s_nation, s_region, "
+         "p_mfgr, p_category, p_brand1, "
+         "lo_quantity, lo_discount, lo_extendedprice, lo_revenue, lo_supplycost, "
+         "lo_extendedprice * lo_discount AS lo_rev_disc, "
+         "lo_revenue - lo_supplycost AS lo_profit "
+         "FROM lineorder, dates, customer_d, supplier, part "
+         "WHERE lo_orderdate = d_datekey AND lo_custkey = c_custkey "
+         "AND lo_suppkey = s_suppkey AND lo_partkey = p_partkey";
+}
+
+Result<std::string> LoadSsbIntoDroid(HiveServer2* server, Session* session) {
+  // Evaluate the denormalized view once and ingest it into droid, then
+  // register the external table as a materialized view over the same
+  // definition (the paper's "materializations can be stored in other
+  // supported systems").
+  const std::string table = "ssb_denorm_droid";
+  HIVE_ASSIGN_OR_RETURN(
+      QueryResult rows,
+      server->Execute(session, SsbDenormalizedMvSql()));
+
+  std::string ddl = "CREATE EXTERNAL TABLE " + table + " (";
+  for (size_t c = 0; c < rows.schema.num_fields(); ++c) {
+    if (c) ddl += ", ";
+    ddl += rows.schema.field(c).name + " " + rows.schema.field(c).type.ToString();
+  }
+  ddl += ") STORED BY 'droid' TBLPROPERTIES ('droid.datasource' = '" + table + "')";
+  HIVE_RETURN_IF_ERROR(server->Execute(session, ddl).status());
+
+  // Ingest through the handler's output format.
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server->catalog()->GetTable("default", table));
+  RowBatch batch(desc.schema);
+  for (const auto& row : rows.rows)
+    for (size_t c = 0; c < batch.num_columns(); ++c)
+      batch.column(c)->AppendValue(c < row.size() ? row[c] : Value::Null());
+  batch.set_num_rows(rows.rows.size());
+  HIVE_RETURN_IF_ERROR(server->droid()->Ingest(table, batch));
+
+  // Register as a materialized view with the current source snapshot.
+  Config config = server->default_config();
+  Binder binder(server->catalog(), &config, "default");
+  HIVE_ASSIGN_OR_RETURN(StatementPtr parsed, Parser::Parse(SsbDenormalizedMvSql()));
+  auto* select = dynamic_cast<SelectStatement*>(parsed.get());
+  HIVE_RETURN_IF_ERROR(binder.BindSelect(select->select).status());
+  desc.is_materialized_view = true;
+  desc.view_sql = select->select.ToString();
+  for (const std::string& source : binder.referenced_tables())
+    desc.mv_source_snapshot[source] =
+        server->txns()->TableWriteIdHighWatermark(source);
+  HIVE_RETURN_IF_ERROR(server->catalog()->UpdateTable(desc));
+  return table;
+}
+
+std::vector<BenchQuery> SsbQueries() {
+  std::vector<BenchQuery> out;
+  auto add = [&out](std::string name, std::string sql) {
+    out.push_back({std::move(name), std::move(sql), false});
+  };
+  const std::string join =
+      "FROM lineorder, dates, customer_d, supplier, part "
+      "WHERE lo_orderdate = d_datekey AND lo_custkey = c_custkey "
+      "AND lo_suppkey = s_suppkey AND lo_partkey = p_partkey AND ";
+
+  // Flight 1: revenue with date + discount/quantity filters.
+  add("q1.1", "SELECT SUM(lo_extendedprice * lo_discount) AS revenue " + join +
+                  "d_year = 1993 AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25");
+  add("q1.2", "SELECT SUM(lo_extendedprice * lo_discount) AS revenue " + join +
+                  "d_yearmonthnum = 199401 AND lo_discount BETWEEN 4 AND 6 "
+                  "AND lo_quantity BETWEEN 26 AND 35");
+  add("q1.3", "SELECT SUM(lo_extendedprice * lo_discount) AS revenue " + join +
+                  "d_weeknuminyear = 5 AND d_year = 1994 "
+                  "AND lo_discount BETWEEN 5 AND 7 AND lo_quantity BETWEEN 26 AND 35");
+
+  // Flight 2: revenue by year and brand with part/supplier filters.
+  add("q2.1", "SELECT d_year, p_brand1, SUM(lo_revenue) AS revenue " + join +
+                  "p_category = 'MFGR#11' AND s_region = 'AMERICA' "
+                  "GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1");
+  add("q2.2", "SELECT d_year, p_brand1, SUM(lo_revenue) AS revenue " + join +
+                  "p_brand1 = 'MFGR#2212' AND s_region = 'ASIA' "
+                  "GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1");
+  add("q2.3", "SELECT d_year, p_brand1, SUM(lo_revenue) AS revenue " + join +
+                  "p_brand1 = 'MFGR#3314' AND s_region = 'EUROPE' "
+                  "GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1");
+
+  // Flight 3: revenue by customer/supplier geography over year ranges.
+  add("q3.1", "SELECT c_nation, s_nation, d_year, SUM(lo_revenue) AS revenue " + join +
+                  "c_region = 'ASIA' AND s_region = 'ASIA' "
+                  "AND d_year >= 1992 AND d_year <= 1997 "
+                  "GROUP BY c_nation, s_nation, d_year ORDER BY d_year, revenue DESC");
+  add("q3.2", "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue " + join +
+                  "c_nation = 'UNITED STATES' AND s_nation = 'UNITED STATES' "
+                  "AND d_year >= 1992 AND d_year <= 1997 "
+                  "GROUP BY c_city, s_city, d_year ORDER BY d_year, revenue DESC");
+  add("q3.3", "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue " + join +
+                  "c_city = 'City3' AND s_city = 'City3' "
+                  "AND d_year >= 1992 AND d_year <= 1997 "
+                  "GROUP BY c_city, s_city, d_year ORDER BY d_year, revenue DESC");
+  add("q3.4", "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue " + join +
+                  "c_city = 'City5' AND s_city = 'City5' AND d_yearmonthnum = 199712 "
+                  "GROUP BY c_city, s_city, d_year ORDER BY d_year, revenue DESC");
+
+  // Flight 4: profit drill-downs.
+  add("q4.1", "SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit " +
+                  join +
+                  "c_region = 'AMERICA' AND s_region = 'AMERICA' "
+                  "GROUP BY d_year, c_nation ORDER BY d_year, c_nation");
+  add("q4.2", "SELECT d_year, s_nation, p_category, "
+              "SUM(lo_revenue - lo_supplycost) AS profit " + join +
+                  "c_region = 'AMERICA' AND s_region = 'AMERICA' "
+                  "AND d_year >= 1997 AND p_mfgr = 'MFGR#1' "
+                  "GROUP BY d_year, s_nation, p_category "
+                  "ORDER BY d_year, s_nation, p_category");
+  add("q4.3", "SELECT d_year, s_city, p_brand1, "
+              "SUM(lo_revenue - lo_supplycost) AS profit " + join +
+                  "s_nation = 'UNITED STATES' AND d_year >= 1997 "
+                  "AND p_category = 'MFGR#11' "
+                  "GROUP BY d_year, s_city, p_brand1 ORDER BY d_year, s_city, p_brand1");
+  return out;
+}
+
+}  // namespace hive

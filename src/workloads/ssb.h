@@ -1,0 +1,40 @@
+#ifndef HIVE_WORKLOADS_SSB_H_
+#define HIVE_WORKLOADS_SSB_H_
+
+#include <string>
+#include <vector>
+
+#include "server/hive_server.h"
+#include "workloads/tpcds.h"
+
+namespace hive {
+
+/// Star-Schema Benchmark (Section 7.3 / Figure 8): one `lineorder` fact
+/// table and four dimensions (`dates`, `customer_d`, `supplier`, `part`),
+/// with the 13 SSB queries adapted to this engine's dialect. Matches the
+/// benchmark's structure: tight dimensional filters, star joins,
+/// aggregation.
+struct SsbOptions {
+  int scale = 1;  // lineorder rows = 20000 * scale
+};
+
+/// Creates and loads the SSB schema.
+Status LoadSsb(HiveServer2* server, Session* session, const SsbOptions& options);
+
+/// The 13 SSB queries (q1.1 .. q4.3).
+std::vector<BenchQuery> SsbQueries();
+
+/// Definition of the denormalized materialized view the Figure 8
+/// experiment builds (all dimensions joined into the fact table), plus the
+/// column list shared by the native and droid-backed variants.
+std::string SsbDenormalizedMvSql();
+
+/// Sets up the droid-backed variant: creates an external droid table and
+/// ingests the denormalized rows (with lo_orderdate mapped to __time), then
+/// registers a materialized view ON that table by swapping the MV storage.
+/// Returns the droid table name.
+Result<std::string> LoadSsbIntoDroid(HiveServer2* server, Session* session);
+
+}  // namespace hive
+
+#endif  // HIVE_WORKLOADS_SSB_H_

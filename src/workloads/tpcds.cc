@@ -1,0 +1,320 @@
+#include "workloads/tpcds.h"
+
+#include "common/rng.h"
+#include "server/dml.h"
+
+namespace hive {
+
+namespace {
+
+const char* kCategories[] = {"Sports", "Books", "Home", "Electronics", "Music",
+                             "Jewelry", "Shoes", "Men", "Women", "Children"};
+const char* kStates[] = {"CA", "NY", "TX", "WA", "OR", "IL"};
+const char* kCountries[] = {"US", "DE", "FR", "JP", "IN", "BR"};
+
+Status WriteTable(HiveServer2* server, const std::string& table,
+                  const std::vector<std::vector<Value>>& rows) {
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server->catalog()->GetTable("default", table));
+  Session scratch;
+  DmlDriver dml(server, &scratch);
+  (void)dml;  // schema-routing handled below via the ACID layer directly
+  int64_t txn = server->txns()->OpenTxn();
+  HIVE_ASSIGN_OR_RETURN(int64_t write_id,
+                        server->txns()->AllocateWriteId(txn, desc.FullName()));
+  size_t data_width = desc.schema.num_fields();
+  std::map<std::string, std::unique_ptr<AcidWriter>> writers;
+  std::map<std::string, std::vector<Value>> new_partitions;
+  for (const auto& row : rows) {
+    std::string location = desc.location;
+    if (desc.IsPartitioned()) {
+      std::vector<Value> part(row.begin() + data_width, row.end());
+      std::string dir = Catalog::PartitionDirName(desc.partition_cols, part);
+      location = JoinPath(desc.location, dir);
+      new_partitions.emplace(dir, part);
+    }
+    auto& writer = writers[location];
+    if (!writer)
+      writer = std::make_unique<AcidWriter>(server->filesystem(), location,
+                                            desc.schema, write_id);
+    writer->Insert({row.begin(), row.begin() + data_width});
+  }
+  for (const auto& [dir, values] : new_partitions) {
+    HIVE_RETURN_IF_ERROR(server->catalog()->AddPartition("default", table, values));
+    // Per-partition row counts power partition-pruning estimates.
+    TableStatistics pstats;
+    for (const auto& row : rows) {
+      bool match = true;
+      for (size_t p = 0; p < values.size(); ++p)
+        if (Value::Compare(row[data_width + p], values[p]) != 0) match = false;
+      if (match) ++pstats.row_count;
+    }
+    HIVE_RETURN_IF_ERROR(
+        server->catalog()->MergeStats("default", table, pstats, values));
+  }
+  for (auto& [location, writer] : writers) HIVE_RETURN_IF_ERROR(writer->Commit());
+  HIVE_RETURN_IF_ERROR(server->txns()->CommitTxn(txn));
+
+  // Table-level statistics (additive).
+  TableStatistics stats;
+  stats.row_count = static_cast<int64_t>(rows.size());
+  Schema full = desc.FullSchema();
+  for (size_t c = 0; c < full.num_fields(); ++c) {
+    ColumnStatistics col;
+    for (const auto& row : rows) {
+      ++col.num_values;
+      if (row[c].is_null()) {
+        ++col.num_nulls;
+        continue;
+      }
+      if (col.min.is_null() || Value::Compare(row[c], col.min) < 0) col.min = row[c];
+      if (col.max.is_null() || Value::Compare(row[c], col.max) > 0) col.max = row[c];
+      col.ndv.Add(row[c]);
+    }
+    stats.columns[ToLower(full.field(c).name)] = std::move(col);
+  }
+  return server->catalog()->MergeStats("default", table, stats);
+}
+
+}  // namespace
+
+Status LoadTpcds(HiveServer2* server, Session* session, const TpcdsOptions& options) {
+  const char* ddl = R"sql(
+CREATE TABLE date_dim (
+  d_date_sk INT, d_date DATE, d_year INT, d_qoy INT, d_moy INT, d_dom INT,
+  PRIMARY KEY (d_date_sk));
+CREATE TABLE item (
+  i_item_sk INT, i_category STRING, i_brand STRING,
+  i_current_price DECIMAL(7,2),
+  PRIMARY KEY (i_item_sk));
+CREATE TABLE customer (
+  c_customer_sk INT, c_name STRING, c_birth_country STRING,
+  PRIMARY KEY (c_customer_sk));
+CREATE TABLE store (
+  s_store_sk INT, s_state STRING, s_city STRING,
+  PRIMARY KEY (s_store_sk));
+CREATE TABLE store_sales (
+  ss_item_sk INT, ss_customer_sk INT, ss_store_sk INT, ss_ticket_number INT,
+  ss_quantity INT, ss_list_price DECIMAL(7,2), ss_sales_price DECIMAL(7,2),
+  FOREIGN KEY (ss_item_sk) REFERENCES item (i_item_sk),
+  FOREIGN KEY (ss_customer_sk) REFERENCES customer (c_customer_sk)
+) PARTITIONED BY (ss_sold_date_sk INT);
+CREATE TABLE store_returns (
+  sr_item_sk INT, sr_ticket_number INT, sr_customer_sk INT,
+  sr_return_amt DECIMAL(7,2), sr_returned_date_sk INT);
+)sql";
+  HIVE_RETURN_IF_ERROR(server->ExecuteScript(session, ddl).status());
+
+  Rng rng(0xda7a);
+  // date_dim: `days` consecutive days starting 2018-01-01 (sk = day index).
+  std::vector<std::vector<Value>> dates;
+  int64_t base_days = DaysFromCivil(2018, 1, 1);
+  for (int d = 0; d < options.days; ++d) {
+    int y;
+    unsigned m, dom;
+    CivilFromDays(base_days + d * 30, &y, &m, &dom);  // one per month-ish
+    dates.push_back({Value::Bigint(d), Value::Date(base_days + d * 30),
+                     Value::Bigint(y), Value::Bigint((m - 1) / 3 + 1),
+                     Value::Bigint(m), Value::Bigint(dom)});
+  }
+  HIVE_RETURN_IF_ERROR(WriteTable(server, "date_dim", dates));
+
+  std::vector<std::vector<Value>> items;
+  for (int i = 0; i < options.items; ++i) {
+    items.push_back({Value::Bigint(i), Value::String(kCategories[i % 10]),
+                     Value::String("Brand#" + std::to_string(i % 25)),
+                     Value::Decimal(rng.Range(100, 9999), 2)});
+  }
+  HIVE_RETURN_IF_ERROR(WriteTable(server, "item", items));
+
+  std::vector<std::vector<Value>> customers;
+  for (int c = 0; c < options.customers; ++c) {
+    customers.push_back({Value::Bigint(c),
+                         Value::String("Customer#" + std::to_string(c)),
+                         Value::String(kCountries[c % 6])});
+  }
+  HIVE_RETURN_IF_ERROR(WriteTable(server, "customer", customers));
+
+  std::vector<std::vector<Value>> stores;
+  for (int s = 0; s < options.stores; ++s) {
+    stores.push_back({Value::Bigint(s), Value::String(kStates[s % 6]),
+                      Value::String("City#" + std::to_string(s))});
+  }
+  HIVE_RETURN_IF_ERROR(WriteTable(server, "store", stores));
+
+  // Fact tables. Selectivity skews mirror TPC-DS: item/customer zipf-ish.
+  std::vector<std::vector<Value>> sales;
+  std::vector<std::vector<Value>> returns;
+  int64_t ticket = 0;
+  int rows_per_day = 2500 * options.scale;
+  for (int day = 0; day < options.days; ++day) {
+    for (int r = 0; r < rows_per_day; ++r) {
+      int64_t item_sk = rng.Uniform(2) == 0 ? rng.Uniform(options.items / 10)
+                                            : rng.Uniform(options.items);
+      int64_t customer_sk = rng.Uniform(options.customers);
+      int64_t store_sk = rng.Uniform(options.stores);
+      int64_t list_price = rng.Range(100, 20000);
+      int64_t sales_price = list_price - rng.Uniform(list_price / 2 + 1);
+      ++ticket;
+      sales.push_back({Value::Bigint(item_sk), Value::Bigint(customer_sk),
+                       Value::Bigint(store_sk), Value::Bigint(ticket),
+                       Value::Bigint(rng.Range(1, 20)),
+                       Value::Decimal(list_price, 2), Value::Decimal(sales_price, 2),
+                       Value::Bigint(day)});
+      if (rng.Uniform(10) == 0) {  // ~10% of sales are returned
+        returns.push_back({Value::Bigint(item_sk), Value::Bigint(ticket),
+                           Value::Bigint(customer_sk),
+                           Value::Decimal(sales_price / 2, 2), Value::Bigint(day)});
+      }
+    }
+  }
+  HIVE_RETURN_IF_ERROR(WriteTable(server, "store_sales", sales));
+  HIVE_RETURN_IF_ERROR(WriteTable(server, "store_returns", returns));
+  return Status::OK();
+}
+
+std::string TpcdsQ88Style() {
+  // Section 7.1's shared-work showcase: eight scalar subqueries over the
+  // same fact table differing only in a residual predicate; the shared work
+  // optimizer computes the common scan once.
+  return R"sql(
+SELECT
+  (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 3) AS h1,
+  (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 4 AND 6) AS h2,
+  (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 7 AND 9) AS h3,
+  (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 10 AND 12) AS h4,
+  (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 13 AND 15) AS h5,
+  (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 16 AND 17) AS h6,
+  (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 18 AND 19) AS h7,
+  (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 19 AND 20) AS h8
+)sql";
+}
+
+std::vector<BenchQuery> TpcdsQueries() {
+  std::vector<BenchQuery> out;
+  auto add = [&out](std::string name, std::string sql, bool v3 = false) {
+    out.push_back({std::move(name), std::move(sql), v3});
+  };
+
+  add("q03",
+      "SELECT d_year, i_brand, SUM(ss_sales_price) AS sum_agg "
+      "FROM store_sales, date_dim, item "
+      "WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk "
+      "AND i_category = 'Sports' AND d_moy = 11 "
+      "GROUP BY d_year, i_brand ORDER BY sum_agg DESC LIMIT 10");
+
+  add("q07",
+      "SELECT i_category, COUNT(*) AS cnt, SUM(ss_quantity) AS qty "
+      "FROM store_sales, item WHERE ss_item_sk = i_item_sk "
+      "GROUP BY i_category ORDER BY i_category");
+
+  add("q15",
+      "SELECT c_birth_country, SUM(ss_sales_price) AS total "
+      "FROM store_sales, customer WHERE ss_customer_sk = c_customer_sk "
+      "GROUP BY c_birth_country HAVING SUM(ss_sales_price) > 100 "
+      "ORDER BY total DESC");
+
+  add("q19",
+      "SELECT i_brand, s_state, SUM(ss_sales_price) AS revenue "
+      "FROM store_sales, item, store, date_dim "
+      "WHERE ss_item_sk = i_item_sk AND ss_store_sk = s_store_sk "
+      "AND ss_sold_date_sk = d_date_sk AND d_year = 2018 AND i_category = 'Books' "
+      "GROUP BY i_brand, s_state ORDER BY revenue DESC LIMIT 20");
+
+  add("q25_semijoin",
+      "SELECT ss_customer_sk, SUM(ss_sales_price) AS sum_sales "
+      "FROM store_sales, store_returns, item "
+      "WHERE ss_item_sk = sr_item_sk AND ss_ticket_number = sr_ticket_number "
+      "AND ss_item_sk = i_item_sk AND i_category = 'Sports' "
+      "GROUP BY ss_customer_sk ORDER BY sum_sales DESC LIMIT 10");
+
+  add("q32_scalar_subquery",
+      "SELECT COUNT(*) FROM store_sales, item "
+      "WHERE ss_item_sk = i_item_sk AND ss_sales_price > "
+      "(SELECT AVG(ss_sales_price) FROM store_sales)",
+      true);
+
+  add("q42",
+      "SELECT d_year, i_category, SUM(ss_sales_price) AS total "
+      "FROM store_sales, date_dim, item "
+      "WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk "
+      "GROUP BY d_year, i_category ORDER BY total DESC, d_year LIMIT 15");
+
+  add("q43_in_subquery",
+      "SELECT s_state, COUNT(*) AS cnt FROM store_sales, store "
+      "WHERE ss_store_sk = s_store_sk AND ss_item_sk IN "
+      "(SELECT i_item_sk FROM item WHERE i_category IN ('Sports', 'Music')) "
+      "GROUP BY s_state ORDER BY cnt DESC");
+
+  add("q52",
+      "SELECT d_year, i_brand, SUM(ss_list_price) AS total "
+      "FROM store_sales, date_dim, item "
+      "WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk AND d_qoy = 1 "
+      "GROUP BY d_year, i_brand ORDER BY d_year, total DESC LIMIT 10");
+
+  add("q68_exists",
+      "SELECT COUNT(*) FROM customer c WHERE EXISTS "
+      "(SELECT 1 FROM store_sales ss WHERE ss.ss_customer_sk = c.c_customer_sk "
+      "AND ss.ss_quantity > 15)");
+
+  // --- v3-only queries: constructs Hive 1.2 rejected (Section 7.1) ---
+
+  add("q14_intersect",
+      "SELECT i_item_sk FROM store_sales, item WHERE ss_item_sk = i_item_sk "
+      "AND i_category = 'Sports' "
+      "INTERSECT "
+      "SELECT i_item_sk FROM store_returns, item WHERE sr_item_sk = i_item_sk",
+      true);
+
+  add("q38_except",
+      "SELECT ss_customer_sk FROM store_sales "
+      "EXCEPT SELECT sr_customer_sk FROM store_returns",
+      true);
+
+  add("q18_rollup",
+      "SELECT i_category, s_state, SUM(ss_sales_price) AS total "
+      "FROM store_sales, item, store "
+      "WHERE ss_item_sk = i_item_sk AND ss_store_sk = s_store_sk "
+      "GROUP BY ROLLUP (i_category, s_state) ORDER BY total DESC LIMIT 25",
+      true);
+
+  add("q67_grouping_sets",
+      "SELECT i_category, i_brand, SUM(ss_sales_price) AS total "
+      "FROM store_sales, item WHERE ss_item_sk = i_item_sk "
+      "GROUP BY i_category, i_brand GROUPING SETS ((i_category, i_brand), "
+      "(i_category), ()) ORDER BY total DESC LIMIT 20",
+      true);
+
+  add("q12_interval",
+      "SELECT COUNT(*) FROM store_sales, date_dim "
+      "WHERE ss_sold_date_sk = d_date_sk AND "
+      "d_date BETWEEN DATE '2018-01-01' AND DATE '2018-01-01' + INTERVAL 90 DAY",
+      true);
+
+  add("q44_order_unselected",
+      "SELECT i_brand FROM item ORDER BY i_current_price DESC LIMIT 5", true);
+
+  add("q51_window",
+      "SELECT i_category, total, RANK() OVER (ORDER BY total DESC) AS rnk "
+      "FROM (SELECT i_category, SUM(ss_sales_price) AS total "
+      "      FROM store_sales, item WHERE ss_item_sk = i_item_sk "
+      "      GROUP BY i_category) t ORDER BY rnk");
+
+  add("q58_correlated_scalar",
+      "SELECT i_category, "
+      "(SELECT SUM(ss_sales_price) FROM store_sales WHERE ss_item_sk = i_item_sk) "
+      "AS item_total FROM item WHERE i_item_sk < 10 ORDER BY i_item_sk",
+      true);
+
+  add("q88_sharedwork", TpcdsQ88Style(), true);
+
+  add("q79_multiway",
+      "SELECT c_name, s_city, SUM(ss_sales_price) AS amt "
+      "FROM store_sales, date_dim, store, customer "
+      "WHERE ss_sold_date_sk = d_date_sk AND ss_store_sk = s_store_sk "
+      "AND ss_customer_sk = c_customer_sk AND d_moy = 1 "
+      "GROUP BY c_name, s_city ORDER BY amt DESC LIMIT 10");
+
+  return out;
+}
+
+}  // namespace hive

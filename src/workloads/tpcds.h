@@ -1,0 +1,52 @@
+#ifndef HIVE_WORKLOADS_TPCDS_H_
+#define HIVE_WORKLOADS_TPCDS_H_
+
+#include <string>
+#include <vector>
+
+#include "server/hive_server.h"
+
+namespace hive {
+
+/// TPC-DS-subset workload (Section 7.1): the star-schema core the paper's
+/// Figure 7 queries revolve around — `store_sales` / `store_returns` fact
+/// tables (sales partitioned by day, as in the paper's setup), plus
+/// `date_dim`, `item`, `customer` and `store` dimensions with declared
+/// PK/FK constraints. Data is generated deterministically; `scale` is a
+/// row multiplier (scale 1 ~ 30k fact rows), preserving the paper's
+/// selectivity structure rather than its absolute volume.
+struct TpcdsOptions {
+  int scale = 1;
+  int days = 12;            // distinct sold_date partitions
+  int items = 200;
+  int customers = 500;
+  int stores = 10;
+};
+
+/// Creates the schema and loads generated data through the ACID write path.
+Status LoadTpcds(HiveServer2* server, Session* session, const TpcdsOptions& options);
+
+/// One benchmark query.
+struct BenchQuery {
+  std::string name;
+  std::string sql;
+  /// True when the query uses SQL surface Hive 1.2 lacked (set operations,
+  /// grouping sets, interval notation, order-by-unselected...); the legacy
+  /// configuration must reject it, reproducing the "only 50 of 99 queries
+  /// run" effect of Figure 7.
+  bool requires_v3 = false;
+};
+
+/// The Figure 7 query set: a representative slice of TPC-DS shapes
+/// (star joins + dimension filters, multi-way joins, correlated
+/// subqueries, set operations, window functions, grouping sets, a
+/// shared-work-friendly multi-subquery query modeled on q88).
+std::vector<BenchQuery> TpcdsQueries();
+
+/// The q88-style query (Section 7.1's shared-work example): many identical
+/// fact-scan subexpressions that the shared work optimizer collapses.
+std::string TpcdsQ88Style();
+
+}  // namespace hive
+
+#endif  // HIVE_WORKLOADS_TPCDS_H_

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "fs/mem_filesystem.h"
+#include "server/hive_server.h"
+
+namespace hive {
+namespace {
+
+/// Multi-session stress: the paper's system serves many concurrent BI/ETL
+/// sessions; these tests drive concurrent readers and writers through HS2
+/// and check the transactional invariants hold under contention.
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Config config;
+    config.container_startup_us = 0;
+    server_ = std::make_unique<HiveServer2>(&fs_, config);
+    admin_ = server_->OpenSession();
+  }
+
+  MemFileSystem fs_;
+  std::unique_ptr<HiveServer2> server_;
+  Session* admin_;
+};
+
+TEST_F(ConcurrencyTest, ConcurrentWritersAllCommit) {
+  ASSERT_TRUE(server_->Execute(admin_, "CREATE TABLE t (w INT, v INT)").ok());
+  constexpr int kWriters = 6, kRowsEach = 20;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Session* session = server_->OpenSession();
+      for (int i = 0; i < kRowsEach; ++i) {
+        auto r = server_->Execute(session, "INSERT INTO t VALUES (" +
+                                               std::to_string(w) + ", " +
+                                               std::to_string(i) + ")");
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0) << "blind inserts never conflict";
+  auto count = server_->Execute(admin_, "SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].i64(), kWriters * kRowsEach);
+}
+
+TEST_F(ConcurrencyTest, ReadersSeeConsistentSnapshotsDuringWrites) {
+  ASSERT_TRUE(server_->Execute(admin_, "CREATE TABLE t (v INT)").ok());
+  // Writer appends PAIRS of rows in one statement; any consistent snapshot
+  // must therefore observe an even row count.
+  std::atomic<bool> stop{false};
+  std::atomic<int> anomalies{0};
+  std::thread writer([&] {
+    Session* session = server_->OpenSession();
+    for (int i = 0; i < 60 && !stop.load(); ++i)
+      server_->Execute(session, "INSERT INTO t VALUES (1), (2)");
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      Session* session = server_->OpenSession();
+      session->config.result_cache_enabled = false;
+      for (int i = 0; i < 60; ++i) {
+        auto result = server_->Execute(session, "SELECT COUNT(*) FROM t");
+        if (!result.ok()) {
+          anomalies.fetch_add(1);
+          continue;
+        }
+        if (result->rows[0][0].i64() % 2 != 0) anomalies.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(anomalies.load(), 0)
+      << "a snapshot must never expose half of a transaction";
+}
+
+TEST_F(ConcurrencyTest, ConflictingUpdatesFirstCommitWins) {
+  ASSERT_TRUE(server_->Execute(admin_, "CREATE TABLE t (id INT, v INT)").ok());
+  ASSERT_TRUE(server_->Execute(admin_, "INSERT INTO t VALUES (1, 0)").ok());
+  constexpr int kUpdaters = 8;
+  std::atomic<int> ok{0}, aborted{0};
+  std::vector<std::thread> threads;
+  for (int u = 0; u < kUpdaters; ++u) {
+    threads.emplace_back([&, u] {
+      Session* session = server_->OpenSession();
+      auto r = server_->Execute(
+          session, "UPDATE t SET v = " + std::to_string(u + 1) + " WHERE id = 1");
+      if (r.ok()) ok.fetch_add(1);
+      else if (r.status().IsTxnAborted()) aborted.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load() + aborted.load(), kUpdaters);
+  EXPECT_GE(ok.load(), 1);
+  // Exactly one live row regardless of the interleaving.
+  auto rows = server_->Execute(admin_, "SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows[0][0].i64(), 1);
+}
+
+TEST_F(ConcurrencyTest, LlapCacheThreadSafeUnderParallelScans) {
+  ASSERT_TRUE(server_->Execute(admin_, "CREATE TABLE t (a INT, b STRING)").ok());
+  std::string values = "INSERT INTO t VALUES ";
+  for (int i = 0; i < 2000; ++i)
+    values += (i ? ", (" : "(") + std::to_string(i) + ", 'v" + std::to_string(i) + "')";
+  ASSERT_TRUE(server_->Execute(admin_, values).ok());
+
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 6; ++r) {
+    threads.emplace_back([&] {
+      Session* session = server_->OpenSession();
+      session->config.result_cache_enabled = false;
+      for (int i = 0; i < 10; ++i) {
+        auto result = server_->Execute(session, "SELECT SUM(a) FROM t");
+        if (!result.ok() || result->rows[0][0].i64() != 2000 * 1999 / 2)
+          wrong.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GT(server_->llap()->cache()->data_hits(), 0u);
+}
+
+TEST_F(ConcurrencyTest, WorkloadManagerAdmissionUnderContention) {
+  ASSERT_TRUE(server_
+                  ->ExecuteScript(admin_,
+                                  "CREATE RESOURCE PLAN p;"
+                                  "CREATE POOL p.a WITH alloc_fraction=0.5, "
+                                  "query_parallelism=3;"
+                                  "CREATE POOL p.b WITH alloc_fraction=0.5, "
+                                  "query_parallelism=3;"
+                                  "ALTER PLAN p SET DEFAULT POOL = a;"
+                                  "ALTER RESOURCE PLAN p ENABLE ACTIVATE;")
+                  .ok());
+  // 6 slots total; 12 threads race to admit, hold, release.
+  std::atomic<int> admitted{0}, rejected{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 12; ++i) {
+    threads.emplace_back([&] {
+      auto handle = server_->workload_manager()->Admit("app");
+      if (!handle.ok()) {
+        rejected.fetch_add(1);
+        return;
+      }
+      admitted.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      server_->workload_manager()->Release(*handle);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(admitted.load() + rejected.load(), 12);
+  EXPECT_GE(admitted.load(), 6);
+  EXPECT_EQ(server_->workload_manager()->ActiveInPool("a"), 0);
+  EXPECT_EQ(server_->workload_manager()->ActiveInPool("b"), 0);
+}
+
+}  // namespace
+}  // namespace hive

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "federation/droid.h"
+
+namespace hive {
+namespace {
+
+Schema EventSchema() {
+  Schema s;
+  s.AddField("__time", DataType::Timestamp());
+  s.AddField("dim", DataType::String());
+  s.AddField("country", DataType::String());
+  s.AddField("metric", DataType::Double());
+  s.AddField("clicks", DataType::Bigint());
+  return s;
+}
+
+int64_t Ts(int year, unsigned month, unsigned day) {
+  return DaysFromCivil(year, month, day) * 86400LL * 1000000LL;
+}
+
+class DroidTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.CreateDataSource("events", EventSchema()).ok());
+    RowBatch batch(EventSchema());
+    auto add = [&](int64_t ts, const char* dim, const char* country, double metric,
+                   int64_t clicks) {
+      batch.column(0)->AppendI64(ts);
+      batch.column(1)->AppendStr(dim);
+      batch.column(2)->AppendStr(country);
+      batch.column(3)->AppendF64(metric);
+      batch.column(4)->AppendI64(clicks);
+    };
+    add(Ts(2017, 1, 5), "a", "US", 1.0, 10);
+    add(Ts(2017, 2, 5), "a", "DE", 2.0, 20);
+    add(Ts(2017, 6, 5), "b", "US", 3.0, 30);
+    add(Ts(2018, 3, 5), "a", "US", 4.0, 40);
+    add(Ts(2018, 9, 5), "c", "FR", 5.0, 50);
+    add(Ts(2019, 1, 5), "b", "US", 6.0, 60);
+    batch.set_num_rows(6);
+    ASSERT_TRUE(store_.Ingest("events", batch).ok());
+  }
+
+  DroidStore store_;
+};
+
+TEST_F(DroidTest, GroupByWithSelector) {
+  DroidQuery q;
+  q.datasource = "events";
+  q.dimensions = {"dim"};
+  q.aggregations = {{"doubleSum", "m", "metric"}};
+  q.filters = {{"country", "US"}};
+  auto r = store_.Execute(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 2u);  // a: 1+4, b: 3+6
+  double total = 0;
+  for (size_t i = 0; i < r->num_rows(); ++i) total += r->column(1)->GetF64(i);
+  EXPECT_DOUBLE_EQ(total, 14.0);
+}
+
+TEST_F(DroidTest, TimeseriesWithInterval) {
+  DroidQuery q;
+  q.query_type = "timeseries";
+  q.datasource = "events";
+  q.aggregations = {{"longSum", "clicks", "clicks"}, {"count", "n", ""}};
+  q.interval_start_us = Ts(2017, 1, 1);
+  q.interval_end_us = Ts(2018, 1, 1);
+  auto r = store_.Execute(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->column(0)->GetI64(0), 60);  // 10+20+30
+  EXPECT_EQ(r->column(1)->GetI64(0), 3);
+}
+
+TEST_F(DroidTest, TopNWithOrderAndLimit) {
+  DroidQuery q;
+  q.query_type = "topN";
+  q.datasource = "events";
+  q.dimensions = {"dim"};
+  q.aggregations = {{"doubleSum", "m", "metric"}};
+  q.order_by = {{"m", false}};
+  q.limit = 2;
+  auto r = store_.Execute(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->column(0)->GetStr(0), "b");  // 3+6 = 9
+  EXPECT_EQ(r->column(0)->GetStr(1), "a");  // 1+2+4 = 7
+}
+
+TEST_F(DroidTest, InFilterAndBounds) {
+  DroidQuery q;
+  q.datasource = "events";
+  q.dimensions = {"country"};
+  q.aggregations = {{"count", "n", ""}};
+  q.in_dimension = {"dim"};
+  q.in_values = {{"a", "c"}};
+  DroidBound bound;
+  bound.dimension = "metric";
+  bound.has_lower = true;
+  bound.lower = 1.5;
+  q.bounds = {bound};
+  auto r = store_.Execute(q);
+  ASSERT_TRUE(r.ok());
+  // dim in (a, c) and metric > 1.5: rows (a,DE,2), (a,US,4), (c,FR,5).
+  int64_t total = 0;
+  for (size_t i = 0; i < r->num_rows(); ++i) total += r->column(1)->GetI64(i);
+  EXPECT_EQ(total, 3);
+}
+
+TEST_F(DroidTest, MinMaxAggregators) {
+  DroidQuery q;
+  q.query_type = "timeseries";
+  q.datasource = "events";
+  q.aggregations = {{"doubleMin", "lo", "metric"}, {"doubleMax", "hi", "metric"}};
+  auto r = store_.Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->column(0)->GetF64(0), 1.0);
+  EXPECT_DOUBLE_EQ(r->column(1)->GetF64(0), 6.0);
+}
+
+TEST_F(DroidTest, SegmentsCutByMonth) {
+  // 6 rows across 6 distinct months -> 6 segments.
+  DroidQuery q;
+  q.query_type = "select";
+  q.datasource = "events";
+  auto r = store_.Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 6u);
+}
+
+TEST_F(DroidTest, JsonRoundTripPreservesSemantics) {
+  DroidQuery q;
+  q.datasource = "events";
+  q.dimensions = {"dim", "country"};
+  q.aggregations = {{"doubleSum", "m", "metric"}, {"count", "n", ""}};
+  q.filters = {{"country", "US"}};
+  q.in_dimension = {"dim"};
+  q.in_values = {{"a", "b"}};
+  DroidBound bound;
+  bound.dimension = "clicks";
+  bound.has_lower = true;
+  bound.lower = 15;
+  bound.lower_strict = true;
+  q.bounds = {bound};
+  q.interval_start_us = Ts(2017, 1, 1);
+  q.interval_end_us = Ts(2020, 1, 1);
+  q.limit = 5;
+  q.order_by = {{"m", false}};
+
+  std::string json = q.ToJson();
+  EXPECT_NE(json.find("\"queryType\": \"groupBy\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"selector\""), std::string::npos);
+
+  auto parsed = ParseDroidQuery(json);
+  ASSERT_TRUE(parsed.ok());
+  auto direct = store_.Execute(q);
+  auto roundtrip = store_.Execute(*parsed);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(roundtrip.ok());
+  ASSERT_EQ(direct->num_rows(), roundtrip->num_rows());
+  for (size_t i = 0; i < direct->num_rows(); ++i)
+    for (size_t c = 0; c < direct->num_columns(); ++c)
+      EXPECT_EQ(direct->column(c)->GetValue(i).ToString(),
+                roundtrip->column(c)->GetValue(i).ToString());
+}
+
+TEST_F(DroidTest, JsonEscaping) {
+  DroidQuery q;
+  q.datasource = "weird\"name";
+  q.filters = {{"dim", "va\\lue\"x"}};
+  auto parsed = ParseDroidQuery(q.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->datasource, "weird\"name");
+  ASSERT_EQ(parsed->filters.size(), 1u);
+  EXPECT_EQ(parsed->filters[0].value, "va\\lue\"x");
+}
+
+TEST_F(DroidTest, UnknownDatasourceAndColumns) {
+  DroidQuery q;
+  q.datasource = "missing";
+  EXPECT_FALSE(store_.Execute(q).ok());
+  q.datasource = "events";
+  q.dimensions = {"not_a_column"};
+  EXPECT_FALSE(store_.Execute(q).ok());
+}
+
+TEST_F(DroidTest, MultipleIngestsAccumulate) {
+  RowBatch batch(EventSchema());
+  batch.column(0)->AppendI64(Ts(2017, 1, 20));
+  batch.column(1)->AppendStr("a");
+  batch.column(2)->AppendStr("US");
+  batch.column(3)->AppendF64(100.0);
+  batch.column(4)->AppendI64(1);
+  batch.set_num_rows(1);
+  ASSERT_TRUE(store_.Ingest("events", batch).ok());
+  EXPECT_EQ(store_.NumRows("events"), 7u);
+  // The inverted index rebuilds for the dirty segment.
+  DroidQuery q;
+  q.datasource = "events";
+  q.dimensions = {"dim"};
+  q.aggregations = {{"doubleSum", "m", "metric"}};
+  q.filters = {{"dim", "a"}};
+  auto r = store_.Execute(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(r->column(1)->GetF64(0), 107.0);
+}
+
+}  // namespace
+}  // namespace hive

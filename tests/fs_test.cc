@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "fs/local_filesystem.h"
+#include "fs/mem_filesystem.h"
+
+namespace hive {
+namespace {
+
+class FsTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "mem") {
+      fs_ = std::make_unique<MemFileSystem>();
+    } else {
+      char tmpl[] = "/tmp/hive_fs_test_XXXXXX";
+      ASSERT_NE(mkdtemp(tmpl), nullptr);
+      root_ = tmpl;
+      fs_ = std::make_unique<LocalFileSystem>(root_);
+    }
+  }
+  void TearDown() override {
+    if (!root_.empty()) std::filesystem::remove_all(root_);
+  }
+  std::unique_ptr<FileSystem> fs_;
+  std::string root_;
+};
+
+TEST_P(FsTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(fs_->WriteFile("/warehouse/t/f1", "hello world").ok());
+  auto data = fs_->ReadFile("/warehouse/t/f1");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "hello world");
+}
+
+TEST_P(FsTest, ReadRangeClampsToEof) {
+  ASSERT_TRUE(fs_->WriteFile("/f", "abcdef").ok());
+  auto mid = fs_->ReadRange("/f", 2, 3);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(*mid, "cde");
+  auto tail = fs_->ReadRange("/f", 4, 100);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(*tail, "ef");
+}
+
+TEST_P(FsTest, StatAssignsFreshFileIds) {
+  ASSERT_TRUE(fs_->WriteFile("/f", "v1").ok());
+  auto s1 = fs_->Stat("/f");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(fs_->WriteFile("/f", "v2-longer").ok());
+  auto s2 = fs_->Stat("/f");
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NE(s1->file_id, s2->file_id) << "rewrite must change file identity (ETag)";
+  EXPECT_EQ(s2->size, 9u);
+}
+
+TEST_P(FsTest, ListDirIsNonRecursive) {
+  ASSERT_TRUE(fs_->WriteFile("/db/t/base_1/f0", "x").ok());
+  ASSERT_TRUE(fs_->WriteFile("/db/t/delta_2_2/f0", "y").ok());
+  ASSERT_TRUE(fs_->WriteFile("/db/t/top", "z").ok());
+  auto entries = fs_->ListDir("/db/t");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].path, "/db/t/base_1");
+  EXPECT_TRUE((*entries)[0].is_dir);
+  EXPECT_EQ((*entries)[1].path, "/db/t/delta_2_2");
+  EXPECT_EQ((*entries)[2].path, "/db/t/top");
+  EXPECT_FALSE((*entries)[2].is_dir);
+}
+
+TEST_P(FsTest, MakeDirsAndExists) {
+  EXPECT_FALSE(fs_->Exists("/a/b/c"));
+  ASSERT_TRUE(fs_->MakeDirs("/a/b/c").ok());
+  EXPECT_TRUE(fs_->Exists("/a/b/c"));
+  EXPECT_TRUE(fs_->Exists("/a/b"));
+  auto info = fs_->Stat("/a/b/c");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->is_dir);
+}
+
+TEST_P(FsTest, DeleteRecursive) {
+  ASSERT_TRUE(fs_->WriteFile("/t/base_1/f0", "x").ok());
+  ASSERT_TRUE(fs_->WriteFile("/t/base_1/f1", "y").ok());
+  ASSERT_TRUE(fs_->DeleteRecursive("/t/base_1").ok());
+  EXPECT_FALSE(fs_->Exists("/t/base_1"));
+  EXPECT_FALSE(fs_->Exists("/t/base_1/f0"));
+  EXPECT_TRUE(fs_->Exists("/t"));
+}
+
+TEST_P(FsTest, RenameDirectory) {
+  ASSERT_TRUE(fs_->WriteFile("/t/tmp_base/f0", "x").ok());
+  ASSERT_TRUE(fs_->Rename("/t/tmp_base", "/t/base_5").ok());
+  EXPECT_FALSE(fs_->Exists("/t/tmp_base"));
+  auto data = fs_->ReadFile("/t/base_5/f0");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "x");
+}
+
+TEST_P(FsTest, ReadMissingFileFails) {
+  auto r = fs_->ReadFile("/nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_P(FsTest, IoAccounting) {
+  ASSERT_TRUE(fs_->WriteFile("/f", std::string(1000, 'a')).ok());
+  fs_->ResetIoStats();
+  ASSERT_TRUE(fs_->ReadFile("/f").ok());
+  ASSERT_TRUE(fs_->ReadRange("/f", 0, 100).ok());
+  EXPECT_EQ(fs_->bytes_read(), 1100u);
+  EXPECT_EQ(fs_->read_calls(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FsTest, ::testing::Values("mem", "local"));
+
+TEST(PathTest, Helpers) {
+  EXPECT_EQ(ParentPath("/a/b/c"), "/a/b");
+  EXPECT_EQ(ParentPath("/a"), "/");
+  EXPECT_EQ(JoinPath("/a", "b"), "/a/b");
+  EXPECT_EQ(JoinPath("/", "b"), "/b");
+  EXPECT_EQ(BaseName("/a/b/base_10"), "base_10");
+  auto parts = SplitPath("//a/b//c/");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+}  // namespace
+}  // namespace hive

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "fs/mem_filesystem.h"
+#include "llap/daemon.h"
+#include "storage/acid.h"
+
+namespace hive {
+namespace {
+
+Schema TestSchema() {
+  Schema s;
+  s.AddField("a", DataType::Bigint());
+  s.AddField("b", DataType::String());
+  return s;
+}
+
+void WriteCofFile(MemFileSystem* fs, const std::string& path, int rows,
+                  const std::string& marker) {
+  CofWriter writer(TestSchema());
+  for (int i = 0; i < rows; ++i)
+    writer.AppendRow({Value::Bigint(i), Value::String(marker)});
+  auto bytes = writer.Finish();
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(fs->WriteFile(path, *bytes).ok());
+}
+
+TEST(LlapCacheTest, ChunksCachedByFileRowGroupColumn) {
+  MemFileSystem fs;
+  Config config;
+  LlapCacheProvider cache(&fs, config);
+  WriteCofFile(&fs, "/t/f0", 100, "x");
+
+  auto reader = cache.OpenReader("/t/f0");
+  ASSERT_TRUE(reader.ok());
+  fs.ResetIoStats();
+  auto chunk1 = cache.ReadChunk(*reader, 0, 0);
+  ASSERT_TRUE(chunk1.ok());
+  uint64_t bytes_first = fs.bytes_read();
+  EXPECT_GT(bytes_first, 0u);
+
+  auto chunk2 = cache.ReadChunk(*reader, 0, 0);
+  ASSERT_TRUE(chunk2.ok());
+  EXPECT_EQ(fs.bytes_read(), bytes_first) << "second read must hit the cache";
+  EXPECT_EQ(cache.data_hits(), 1u);
+  EXPECT_EQ(*chunk1, *chunk2) << "same shared chunk";
+
+  // A different column is a different cache entry.
+  auto chunk3 = cache.ReadChunk(*reader, 0, 1);
+  ASSERT_TRUE(chunk3.ok());
+  EXPECT_GT(fs.bytes_read(), bytes_first);
+}
+
+TEST(LlapCacheTest, MetadataCachedAcrossOpens) {
+  MemFileSystem fs;
+  LlapCacheProvider cache(&fs, Config{});
+  WriteCofFile(&fs, "/t/f0", 10, "x");
+  auto r1 = cache.OpenReader("/t/f0");
+  auto r2 = cache.OpenReader("/t/f0");
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->get(), r2->get()) << "same cached reader";
+  EXPECT_EQ(cache.metadata_hits(), 1u);
+}
+
+TEST(LlapCacheTest, FileIdChangeInvalidates) {
+  // The ETag analogue (Section 5.1): rewriting a path yields a new FileId;
+  // cached chunks for the old file must never serve the new one.
+  MemFileSystem fs;
+  LlapCacheProvider cache(&fs, Config{});
+  WriteCofFile(&fs, "/t/f0", 10, "old");
+  auto r1 = cache.OpenReader("/t/f0");
+  ASSERT_TRUE(r1.ok());
+  auto old_chunk = cache.ReadChunk(*r1, 0, 1);
+  ASSERT_TRUE(old_chunk.ok());
+  EXPECT_EQ((*old_chunk)->GetStr(0), "old");
+
+  WriteCofFile(&fs, "/t/f0", 10, "new");
+  auto r2 = cache.OpenReader("/t/f0");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE((*r2)->file_id(), (*r1)->file_id());
+  auto new_chunk = cache.ReadChunk(*r2, 0, 1);
+  ASSERT_TRUE(new_chunk.ok());
+  EXPECT_EQ((*new_chunk)->GetStr(0), "new");
+}
+
+TEST(LlapCacheTest, EvictionUnderCapacity) {
+  MemFileSystem fs;
+  Config config;
+  config.llap_cache_capacity_bytes = 4096;  // tiny cache
+  LlapCacheProvider cache(&fs, config);
+  for (int f = 0; f < 10; ++f)
+    WriteCofFile(&fs, "/t/f" + std::to_string(f), 200, "data");
+  for (int f = 0; f < 10; ++f) {
+    auto reader = cache.OpenReader("/t/f" + std::to_string(f));
+    ASSERT_TRUE(reader.ok());
+    ASSERT_TRUE(cache.ReadChunk(*reader, 0, 0).ok());
+    ASSERT_TRUE(cache.ReadChunk(*reader, 0, 1).ok());
+  }
+  EXPECT_LE(cache.used_bytes(), 4096u);
+  EXPECT_LT(cache.cached_chunks(), 20u) << "some chunks must have been evicted";
+}
+
+TEST(LlapCacheTest, MvccViaAcidFileSelection) {
+  // Two snapshots address different delta files; both are served correctly
+  // from one cache because keys carry file identity (the "MVCC view").
+  MemFileSystem fs;
+  Config config;
+  LlapCacheProvider cache(&fs, config);
+  Schema schema = TestSchema();
+  AcidWriter w1(&fs, "/w/t", schema, 1);
+  w1.Insert({Value::Bigint(1), Value::String("v1")});
+  ASSERT_TRUE(w1.Commit().ok());
+  AcidWriter w2(&fs, "/w/t", schema, 2);
+  w2.Insert({Value::Bigint(2), Value::String("v2")});
+  ASSERT_TRUE(w2.Commit().ok());
+
+  auto count_rows = [&](const ValidWriteIdList& snapshot) {
+    AcidReader reader(&fs, "/w/t", schema, &cache);
+    AcidScanOptions options;
+    EXPECT_TRUE(reader.Open(snapshot, options).ok());
+    int64_t rows = 0;
+    bool done = false;
+    for (;;) {
+      auto batch = reader.NextBatch(&done);
+      EXPECT_TRUE(batch.ok());
+      if (done) break;
+      rows += static_cast<int64_t>(batch->SelectedSize());
+    }
+    return rows;
+  };
+  EXPECT_EQ(count_rows(ValidWriteIdList::All(2)), 2);
+  ValidWriteIdList old_snapshot{2, {2}, {}};
+  EXPECT_EQ(count_rows(old_snapshot), 1) << "older snapshot sees fewer files";
+  EXPECT_EQ(count_rows(ValidWriteIdList::All(2)), 2)
+      << "newer snapshot unaffected by cached reads of the older one";
+  EXPECT_GT(cache.data_hits(), 0u);
+}
+
+TEST(LlapDaemonTest, FragmentsRunOnPersistentExecutors) {
+  MemFileSystem fs;
+  Config config;
+  config.num_executors = 3;
+  LlapDaemon daemon(&fs, config);
+  EXPECT_EQ(daemon.num_executors(), 3);
+  std::atomic<int> ran{0};
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 16; ++i)
+    futures.push_back(daemon.SubmitFragment([&ran] {
+      ran.fetch_add(1);
+      return Status::OK();
+    }));
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(daemon.fragments_completed(), 16);
+}
+
+TEST(LlapDaemonTest, FragmentErrorsPropagate) {
+  MemFileSystem fs;
+  LlapDaemon daemon(&fs, Config{});
+  auto future = daemon.SubmitFragment([] { return Status::ExecError("boom"); });
+  Status status = future.get();
+  EXPECT_TRUE(status.IsExecError());
+}
+
+TEST(LlapDaemonTest, IoElevatorPrefetchesAsync) {
+  MemFileSystem fs;
+  LlapDaemon daemon(&fs, Config{});
+  WriteCofFile(&fs, "/t/f0", 50, "x");
+  auto reader = daemon.cache()->OpenReader("/t/f0");
+  ASSERT_TRUE(reader.ok());
+  auto f0 = daemon.PrefetchChunk(*reader, 0, 0);
+  auto f1 = daemon.PrefetchChunk(*reader, 0, 1);
+  auto c0 = f0.get();
+  auto c1 = f1.get();
+  ASSERT_TRUE(c0.ok() && c1.ok());
+  EXPECT_EQ((*c0)->size(), 50u);
+  EXPECT_EQ((*c1)->GetStr(0), "x");
+  // Later synchronous reads hit what the elevator loaded.
+  uint64_t hits = daemon.cache()->data_hits();
+  ASSERT_TRUE(daemon.cache()->ReadChunk(*reader, 0, 0).ok());
+  EXPECT_GT(daemon.cache()->data_hits(), hits);
+}
+
+}  // namespace
+}  // namespace hive

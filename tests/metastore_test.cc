@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "fs/mem_filesystem.h"
+#include "metastore/catalog.h"
+#include "metastore/compaction_manager.h"
+#include "metastore/txn_manager.h"
+
+namespace hive {
+namespace {
+
+TableDesc SalesTable() {
+  TableDesc desc;
+  desc.db = "default";
+  desc.name = "store_sales";
+  desc.schema.AddField("item_sk", DataType::Bigint());
+  desc.schema.AddField("sales_price", DataType::Decimal(7, 2));
+  desc.partition_cols.push_back({"sold_date_sk", DataType::Bigint()});
+  return desc;
+}
+
+TEST(CatalogTest, CreateGetDropTable) {
+  MemFileSystem fs;
+  Catalog catalog(&fs);
+  ASSERT_TRUE(catalog.CreateTable(SalesTable()).ok());
+  auto t = catalog.GetTable("default", "STORE_SALES");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->name, "store_sales");
+  EXPECT_EQ(t->location, "/warehouse/default.db/store_sales");
+  EXPECT_TRUE(fs.Exists(t->location));
+  EXPECT_FALSE(catalog.CreateTable(SalesTable()).ok()) << "duplicate must fail";
+  ASSERT_TRUE(catalog.DropTable("default", "store_sales").ok());
+  EXPECT_FALSE(fs.Exists("/warehouse/default.db/store_sales"));
+  EXPECT_FALSE(catalog.GetTable("default", "store_sales").ok());
+}
+
+TEST(CatalogTest, Databases) {
+  MemFileSystem fs;
+  Catalog catalog(&fs);
+  EXPECT_TRUE(catalog.DatabaseExists("default"));
+  ASSERT_TRUE(catalog.CreateDatabase("tpcds").ok());
+  EXPECT_TRUE(catalog.DatabaseExists("TPCDS"));
+  TableDesc t = SalesTable();
+  t.db = "missing_db";
+  EXPECT_FALSE(catalog.CreateTable(t).ok());
+}
+
+TEST(CatalogTest, PartitionsCreateDirectoryLayout) {
+  MemFileSystem fs;
+  Catalog catalog(&fs);
+  ASSERT_TRUE(catalog.CreateTable(SalesTable()).ok());
+  ASSERT_TRUE(catalog.AddPartition("default", "store_sales", {Value::Bigint(1)}).ok());
+  ASSERT_TRUE(catalog.AddPartition("default", "store_sales", {Value::Bigint(2)}).ok());
+  // Figure 3 layout: one directory per partition value.
+  EXPECT_TRUE(fs.Exists("/warehouse/default.db/store_sales/sold_date_sk=1"));
+  EXPECT_TRUE(fs.Exists("/warehouse/default.db/store_sales/sold_date_sk=2"));
+  auto parts = catalog.GetPartitions("default", "store_sales");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 2u);
+  // Idempotent add.
+  ASSERT_TRUE(catalog.AddPartition("default", "store_sales", {Value::Bigint(1)}).ok());
+  parts = catalog.GetPartitions("default", "store_sales");
+  EXPECT_EQ(parts->size(), 2u);
+  ASSERT_TRUE(
+      catalog.DropPartition("default", "store_sales", {Value::Bigint(1)}).ok());
+  EXPECT_FALSE(fs.Exists("/warehouse/default.db/store_sales/sold_date_sk=1"));
+}
+
+TEST(CatalogTest, StatsMergeAdditively) {
+  MemFileSystem fs;
+  Catalog catalog(&fs);
+  ASSERT_TRUE(catalog.CreateTable(SalesTable()).ok());
+
+  TableStatistics s1;
+  s1.row_count = 100;
+  ColumnStatistics c1;
+  c1.num_values = 100;
+  c1.min = Value::Bigint(1);
+  c1.max = Value::Bigint(50);
+  for (int i = 1; i <= 50; ++i) c1.ndv.AddInt64(i);
+  s1.columns["item_sk"] = c1;
+  ASSERT_TRUE(catalog.MergeStats("default", "store_sales", s1).ok());
+
+  TableStatistics s2;
+  s2.row_count = 200;
+  ColumnStatistics c2;
+  c2.num_values = 200;
+  c2.min = Value::Bigint(30);
+  c2.max = Value::Bigint(120);
+  for (int i = 30; i <= 120; ++i) c2.ndv.AddInt64(i);
+  s2.columns["item_sk"] = c2;
+  ASSERT_TRUE(catalog.MergeStats("default", "store_sales", s2).ok());
+
+  auto t = catalog.GetTable("default", "store_sales");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->stats.row_count, 300);
+  const auto& merged = t->stats.columns.at("item_sk");
+  EXPECT_EQ(merged.min.i64(), 1);
+  EXPECT_EQ(merged.max.i64(), 120);
+  EXPECT_NEAR(static_cast<double>(merged.Ndv()), 120, 12);
+}
+
+TEST(TxnTest, SnapshotIsolationBasics) {
+  TransactionManager txns;
+  int64_t t1 = txns.OpenTxn();
+  TxnSnapshot snap1 = txns.GetSnapshot();
+  EXPECT_FALSE(snap1.Sees(t1)) << "own open txn is in the exception list";
+  ASSERT_TRUE(txns.CommitTxn(t1).ok());
+  TxnSnapshot snap2 = txns.GetSnapshot();
+  EXPECT_TRUE(snap2.Sees(t1));
+  EXPECT_FALSE(snap1.Sees(t1)) << "old snapshot must not change";
+}
+
+TEST(TxnTest, AbortedStaysInvisible) {
+  TransactionManager txns;
+  int64_t t1 = txns.OpenTxn();
+  ASSERT_TRUE(txns.AbortTxn(t1).ok());
+  EXPECT_TRUE(txns.IsAborted(t1));
+  EXPECT_FALSE(txns.GetSnapshot().Sees(t1));
+  EXPECT_EQ(txns.NumAborted(), 1u);
+}
+
+TEST(TxnTest, WriteIdsArePerTableMonotonic) {
+  TransactionManager txns;
+  int64_t t1 = txns.OpenTxn();
+  int64_t t2 = txns.OpenTxn();
+  auto w1a = txns.AllocateWriteId(t1, "default.a");
+  auto w2a = txns.AllocateWriteId(t2, "default.a");
+  auto w1b = txns.AllocateWriteId(t1, "default.b");
+  ASSERT_TRUE(w1a.ok() && w2a.ok() && w1b.ok());
+  EXPECT_EQ(*w1a, 1);
+  EXPECT_EQ(*w2a, 2);
+  EXPECT_EQ(*w1b, 1) << "write ids are table-scoped";
+  // Repeated allocation within the same txn returns the same id.
+  auto again = txns.AllocateWriteId(t1, "default.a");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 1);
+}
+
+TEST(TxnTest, ValidWriteIdsFollowTxnVisibility) {
+  TransactionManager txns;
+  int64_t t1 = txns.OpenTxn();
+  ASSERT_TRUE(txns.AllocateWriteId(t1, "default.a").ok());  // wid 1
+  ASSERT_TRUE(txns.CommitTxn(t1).ok());
+
+  int64_t t2 = txns.OpenTxn();
+  ASSERT_TRUE(txns.AllocateWriteId(t2, "default.a").ok());  // wid 2, open
+
+  int64_t t3 = txns.OpenTxn();
+  ASSERT_TRUE(txns.AllocateWriteId(t3, "default.a").ok());  // wid 3
+  ASSERT_TRUE(txns.CommitTxn(t3).ok());
+
+  TxnSnapshot snap = txns.GetSnapshot();
+  ValidWriteIdList wids = txns.GetValidWriteIds("default.a", snap);
+  EXPECT_EQ(wids.high_watermark, 3);
+  EXPECT_TRUE(wids.IsValid(1));
+  EXPECT_FALSE(wids.IsValid(2)) << "open txn's write id is an exception";
+  EXPECT_TRUE(wids.IsValid(3));
+}
+
+TEST(TxnTest, FirstCommitWinsOnUpdateConflict) {
+  TransactionManager txns;
+  int64_t t1 = txns.OpenTxn();
+  int64_t t2 = txns.OpenTxn();
+  ASSERT_TRUE(txns.RecordWriteSet(t1, "default.t/p=1", WriteOpKind::kUpdateDelete).ok());
+  ASSERT_TRUE(txns.RecordWriteSet(t2, "default.t/p=1", WriteOpKind::kUpdateDelete).ok());
+  ASSERT_TRUE(txns.CommitTxn(t1).ok());
+  Status second = txns.CommitTxn(t2);
+  EXPECT_TRUE(second.IsTxnAborted());
+  EXPECT_TRUE(txns.IsAborted(t2));
+}
+
+TEST(TxnTest, InsertsDoNotConflict) {
+  TransactionManager txns;
+  int64_t t1 = txns.OpenTxn();
+  int64_t t2 = txns.OpenTxn();
+  ASSERT_TRUE(txns.RecordWriteSet(t1, "default.t", WriteOpKind::kInsert).ok());
+  ASSERT_TRUE(txns.RecordWriteSet(t2, "default.t", WriteOpKind::kInsert).ok());
+  EXPECT_TRUE(txns.CommitTxn(t1).ok());
+  EXPECT_TRUE(txns.CommitTxn(t2).ok());
+}
+
+TEST(TxnTest, DisjointPartitionsDoNotConflict) {
+  TransactionManager txns;
+  int64_t t1 = txns.OpenTxn();
+  int64_t t2 = txns.OpenTxn();
+  ASSERT_TRUE(txns.RecordWriteSet(t1, "default.t/p=1", WriteOpKind::kUpdateDelete).ok());
+  ASSERT_TRUE(txns.RecordWriteSet(t2, "default.t/p=2", WriteOpKind::kUpdateDelete).ok());
+  EXPECT_TRUE(txns.CommitTxn(t1).ok());
+  EXPECT_TRUE(txns.CommitTxn(t2).ok());
+}
+
+TEST(TxnTest, SharedAndExclusiveLocks) {
+  TransactionManager txns;
+  int64_t t1 = txns.OpenTxn();
+  int64_t t2 = txns.OpenTxn();
+  EXPECT_TRUE(txns.AcquireLock(t1, "default.t", LockMode::kShared).ok());
+  EXPECT_TRUE(txns.AcquireLock(t2, "default.t", LockMode::kShared).ok());
+  int64_t t3 = txns.OpenTxn();
+  EXPECT_FALSE(txns.AcquireLock(t3, "default.t", LockMode::kExclusive).ok())
+      << "DROP-style exclusive lock blocked by readers";
+  ASSERT_TRUE(txns.CommitTxn(t1).ok());
+  ASSERT_TRUE(txns.CommitTxn(t2).ok());
+  EXPECT_TRUE(txns.AcquireLock(t3, "default.t", LockMode::kExclusive).ok());
+  int64_t t4 = txns.OpenTxn();
+  EXPECT_FALSE(txns.AcquireLock(t4, "default.t", LockMode::kShared).ok());
+  ASSERT_TRUE(txns.AbortTxn(t3).ok());
+  EXPECT_TRUE(txns.AcquireLock(t4, "default.t", LockMode::kShared).ok());
+}
+
+TEST(CompactionManagerTest, TriggersMinorAtDeltaThreshold) {
+  MemFileSystem fs;
+  Catalog catalog(&fs);
+  TransactionManager txns;
+  Config config;
+  config.compaction_delta_threshold = 5;
+  config.compaction_ratio_threshold = 100.0;  // effectively disable major
+  CompactionManager manager(&catalog, &txns, &config);
+
+  TableDesc desc;
+  desc.db = "default";
+  desc.name = "t";
+  desc.schema.AddField("a", DataType::Bigint());
+  ASSERT_TRUE(catalog.CreateTable(desc).ok());
+
+  auto write_once = [&](int64_t value) {
+    int64_t txn = txns.OpenTxn();
+    auto wid = txns.AllocateWriteId(txn, "default.t");
+    ASSERT_TRUE(wid.ok());
+    AcidWriter writer(&fs, "/warehouse/default.db/t", desc.schema, *wid);
+    writer.Insert({Value::Bigint(value)});
+    ASSERT_TRUE(writer.Commit().ok());
+    ASSERT_TRUE(txns.CommitTxn(txn).ok());
+  };
+
+  for (int i = 0; i < 4; ++i) write_once(i);
+  auto decisions = manager.MaybeCompact("default", "t");
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_EQ((*decisions)[0].action, CompactionDecision::Action::kNone);
+
+  write_once(4);
+  decisions = manager.MaybeCompact("default", "t");
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_EQ((*decisions)[0].action, CompactionDecision::Action::kMinor);
+  EXPECT_TRUE(fs.Exists("/warehouse/default.db/t/delta_1_5"));
+  EXPECT_FALSE(fs.Exists("/warehouse/default.db/t/delta_1_1")) << "cleaned";
+  EXPECT_EQ(manager.compactions_run(), 1);
+}
+
+TEST(CompactionManagerTest, MajorWhenDeltaRatioHigh) {
+  MemFileSystem fs;
+  Catalog catalog(&fs);
+  TransactionManager txns;
+  Config config;
+  config.compaction_delta_threshold = 2;
+  config.compaction_ratio_threshold = 0.01;
+  CompactionManager manager(&catalog, &txns, &config);
+
+  TableDesc desc;
+  desc.db = "default";
+  desc.name = "t";
+  desc.schema.AddField("a", DataType::Bigint());
+  ASSERT_TRUE(catalog.CreateTable(desc).ok());
+
+  for (int w = 0; w < 3; ++w) {
+    int64_t txn = txns.OpenTxn();
+    auto wid = txns.AllocateWriteId(txn, "default.t");
+    ASSERT_TRUE(wid.ok());
+    AcidWriter writer(&fs, "/warehouse/default.db/t", desc.schema, *wid);
+    for (int64_t i = 0; i < 100; ++i) writer.Insert({Value::Bigint(i)});
+    ASSERT_TRUE(writer.Commit().ok());
+    ASSERT_TRUE(txns.CommitTxn(txn).ok());
+  }
+  auto decisions = manager.MaybeCompact("default", "t");
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_EQ((*decisions)[0].action, CompactionDecision::Action::kMajor);
+  EXPECT_TRUE(fs.Exists("/warehouse/default.db/t/base_3"));
+}
+
+}  // namespace
+}  // namespace hive

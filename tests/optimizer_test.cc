@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "fs/mem_filesystem.h"
+#include "metastore/catalog.h"
+#include "optimizer/binder.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/rules.h"
+#include "optimizer/stats.h"
+#include "sql/parser.h"
+
+namespace hive {
+namespace {
+
+/// Plan-level assertions on the optimizer stages (Section 4).
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = std::make_unique<Catalog>(&fs_);
+
+    TableDesc fact;
+    fact.db = "default";
+    fact.name = "fact";
+    fact.schema.AddField("f_dim_sk", DataType::Bigint());
+    fact.schema.AddField("f_other_sk", DataType::Bigint());
+    fact.schema.AddField("f_amount", DataType::Decimal(7, 2));
+    fact.schema.AddField("f_note", DataType::String());
+    fact.partition_cols.push_back({"f_day", DataType::Bigint()});
+    fact.stats.row_count = 1000000;
+    ColumnStatistics dim_stats;
+    dim_stats.num_values = 1000000;
+    dim_stats.min = Value::Bigint(0);
+    dim_stats.max = Value::Bigint(999);
+    for (int i = 0; i < 1000; ++i) dim_stats.ndv.AddInt64(i);
+    fact.stats.columns["f_dim_sk"] = dim_stats;
+    ASSERT_TRUE(catalog_->CreateTable(fact).ok());
+    for (int day = 0; day < 10; ++day)
+      ASSERT_TRUE(catalog_->AddPartition("default", "fact", {Value::Bigint(day)}).ok());
+
+    TableDesc dim;
+    dim.db = "default";
+    dim.name = "dim";
+    dim.schema.AddField("d_sk", DataType::Bigint());
+    dim.schema.AddField("d_name", DataType::String());
+    dim.stats.row_count = 1000;
+    ASSERT_TRUE(catalog_->CreateTable(dim).ok());
+
+    TableDesc other;
+    other.db = "default";
+    other.name = "other";
+    other.schema.AddField("o_sk", DataType::Bigint());
+    other.schema.AddField("o_flag", DataType::Bigint());
+    other.stats.row_count = 50000;
+    ASSERT_TRUE(catalog_->CreateTable(other).ok());
+  }
+
+  RelNodePtr Plan(const std::string& sql) {
+    auto stmt = Parser::Parse(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto* select = dynamic_cast<SelectStatement*>(stmt->get());
+    Binder binder(catalog_.get(), &config_);
+    auto bound = binder.BindSelect(select->select);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    Optimizer optimizer(catalog_.get(), &config_);
+    auto optimized = optimizer.Optimize(*bound);
+    EXPECT_TRUE(optimized.ok()) << optimized.status().ToString();
+    return optimized.ok() ? *optimized : nullptr;
+  }
+
+  static void Visit(const RelNodePtr& node,
+                    const std::function<void(const RelNodePtr&)>& fn) {
+    fn(node);
+    for (const RelNodePtr& input : node->inputs) Visit(input, fn);
+  }
+
+  static int CountKind(const RelNodePtr& plan, RelKind kind) {
+    int n = 0;
+    Visit(plan, [&](const RelNodePtr& node) { n += node->kind == kind ? 1 : 0; });
+    return n;
+  }
+
+  MemFileSystem fs_;
+  Config config_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(OptimizerTest, FiltersPushIntoScans) {
+  RelNodePtr plan = Plan("SELECT f_amount FROM fact WHERE f_dim_sk = 5 AND f_amount > 10");
+  EXPECT_EQ(CountKind(plan, RelKind::kFilter), 0) << plan->ToString();
+  Visit(plan, [&](const RelNodePtr& node) {
+    if (node->kind == RelKind::kScan) {
+      EXPECT_EQ(node->scan_filters.size(), 2u) << plan->ToString();
+    }
+  });
+}
+
+TEST_F(OptimizerTest, FilterInJoinConditionSplitsToSides) {
+  RelNodePtr plan = Plan(
+      "SELECT COUNT(*) FROM fact JOIN dim ON f_dim_sk = d_sk AND d_name = 'x' "
+      "AND f_amount > 5");
+  Visit(plan, [&](const RelNodePtr& node) {
+    if (node->kind != RelKind::kScan) return;
+    EXPECT_EQ(node->scan_filters.size(), 1u)
+        << node->table.name << ": single-side conjuncts must leave the ON clause";
+  });
+}
+
+TEST_F(OptimizerTest, ConstantFoldingSimplifiesPredicates) {
+  RelNodePtr plan = Plan("SELECT f_amount FROM fact WHERE 1 + 1 = 2 AND f_dim_sk > 2 * 3");
+  Visit(plan, [&](const RelNodePtr& node) {
+    if (node->kind != RelKind::kScan) return;
+    ASSERT_EQ(node->scan_filters.size(), 1u) << "TRUE conjunct must fold away";
+    EXPECT_EQ(node->scan_filters[0]->ToString(), "(f_dim_sk > 6)");
+  });
+}
+
+TEST_F(OptimizerTest, AlwaysFalseFilterBecomesEmptyValues) {
+  RelNodePtr plan = Plan("SELECT f_amount FROM fact WHERE 1 = 2");
+  EXPECT_EQ(CountKind(plan, RelKind::kScan), 0) << plan->ToString();
+  EXPECT_GE(CountKind(plan, RelKind::kValues), 1);
+}
+
+TEST_F(OptimizerTest, ColumnPruningNarrowsScans) {
+  RelNodePtr plan = Plan("SELECT f_amount FROM fact");
+  Visit(plan, [&](const RelNodePtr& node) {
+    if (node->kind == RelKind::kScan) {
+      EXPECT_EQ(node->projected.size(), 1u) << "only f_amount should be read";
+    }
+  });
+}
+
+TEST_F(OptimizerTest, CountStarScanKeepsOneColumn) {
+  RelNodePtr plan = Plan("SELECT COUNT(*) FROM fact");
+  Visit(plan, [&](const RelNodePtr& node) {
+    if (node->kind == RelKind::kScan) {
+      EXPECT_EQ(node->projected.size(), 1u);
+    }
+  });
+}
+
+TEST_F(OptimizerTest, StaticPartitionPruning) {
+  RelNodePtr plan = Plan("SELECT f_amount FROM fact WHERE f_day = 3");
+  Visit(plan, [&](const RelNodePtr& node) {
+    if (node->kind != RelKind::kScan) return;
+    EXPECT_TRUE(node->partitions_pruned);
+    EXPECT_EQ(node->pruned_partitions.size(), 1u);
+  });
+  RelNodePtr range = Plan("SELECT f_amount FROM fact WHERE f_day >= 8");
+  Visit(range, [&](const RelNodePtr& node) {
+    if (node->kind == RelKind::kScan) {
+      EXPECT_EQ(node->pruned_partitions.size(), 2u);
+    }
+  });
+}
+
+TEST_F(OptimizerTest, JoinReorderingPutsSmallRelationsFirst) {
+  // fact (1M) x other (50k) x dim (1k): reordering should join the small
+  // relations before the giant one touches the intermediate result.
+  config_.cbo_enabled = true;
+  RelNodePtr plan = Plan(
+      "SELECT COUNT(*) FROM fact, other, dim "
+      "WHERE f_dim_sk = d_sk AND f_other_sk = o_sk");
+  // The first (deepest) join must not be fact-x-something-cross; find the
+  // deepest join and check its left input is not the fact table alone with
+  // a cross join.
+  const RelNode* deepest = nullptr;
+  Visit(plan, [&](const RelNodePtr& node) {
+    if (node->kind == RelKind::kJoin) deepest = node.get();
+  });
+  ASSERT_NE(deepest, nullptr);
+  EXPECT_NE(deepest->join_type, TableRef::JoinType::kCross)
+      << "greedy order should avoid Cartesian products:\n" << plan->ToString();
+}
+
+TEST_F(OptimizerTest, SemiJoinReducerAttachedForSelectiveBuildSide) {
+  config_.semijoin_reduction_enabled = true;
+  RelNodePtr plan = Plan(
+      "SELECT SUM(f_amount) FROM fact, dim "
+      "WHERE f_dim_sk = d_sk AND d_name = 'selective'");
+  bool found = false;
+  Visit(plan, [&](const RelNodePtr& node) {
+    if (node->kind == RelKind::kScan && node->table.name == "fact")
+      found = !node->semijoin_reducers.empty();
+  });
+  EXPECT_TRUE(found) << plan->ToString();
+}
+
+TEST_F(OptimizerTest, SemiJoinReducerMarksPartitionPruningVariant) {
+  config_.semijoin_reduction_enabled = true;
+  config_.dynamic_partition_pruning_enabled = true;
+  RelNodePtr plan = Plan(
+      "SELECT SUM(f_amount) FROM fact, dim "
+      "WHERE f_day = d_sk AND d_name = 'selective'");
+  Visit(plan, [&](const RelNodePtr& node) {
+    if (node->kind == RelKind::kScan && node->table.name == "fact") {
+      ASSERT_FALSE(node->semijoin_reducers.empty());
+      EXPECT_TRUE(node->semijoin_reducers[0].partition_pruning)
+          << "join key is the partition column";
+    }
+  });
+}
+
+TEST_F(OptimizerTest, NoSemiJoinReducerWhenDisabled) {
+  config_.semijoin_reduction_enabled = false;
+  RelNodePtr plan = Plan(
+      "SELECT SUM(f_amount) FROM fact, dim "
+      "WHERE f_dim_sk = d_sk AND d_name = 'selective'");
+  Visit(plan, [&](const RelNodePtr& node) {
+    if (node->kind == RelKind::kScan) {
+      EXPECT_TRUE(node->semijoin_reducers.empty());
+    }
+  });
+}
+
+TEST_F(OptimizerTest, RowEstimatesUseNdvForEquality) {
+  RelNodePtr plan = Plan("SELECT f_amount FROM fact WHERE f_dim_sk = 7");
+  // 1M rows, NDV(f_dim_sk) ~ 1000 -> estimate ~ 1000.
+  Visit(plan, [&](const RelNodePtr& node) {
+    if (node->kind == RelKind::kScan) {
+      EXPECT_GT(node->row_estimate, 100.0);
+      EXPECT_LT(node->row_estimate, 10000.0) << plan->ToString();
+    }
+  });
+}
+
+TEST_F(OptimizerTest, RuntimeStatsOverrideEstimates) {
+  Optimizer optimizer(catalog_.get(), &config_);
+  auto stmt = Parser::Parse("SELECT f_amount FROM fact WHERE f_dim_sk = 7");
+  auto* select = dynamic_cast<SelectStatement*>(stmt->get());
+  Binder binder(catalog_.get(), &config_);
+  auto bound = binder.BindSelect(select->select);
+  ASSERT_TRUE(bound.ok());
+  // Derive once to find the scan digest.
+  auto first = optimizer.Optimize(*bound);
+  ASSERT_TRUE(first.ok());
+  std::string digest;
+  Visit(*first, [&](const RelNodePtr& node) {
+    if (node->kind == RelKind::kScan) digest = node->Digest();
+  });
+  // Re-derive with a runtime override claiming 123456 rows.
+  std::map<std::string, int64_t> overrides{{digest, 123456}};
+  DeriveRowEstimates(*first, &overrides);
+  Visit(*first, [&](const RelNodePtr& node) {
+    if (node->kind == RelKind::kScan) {
+      EXPECT_DOUBLE_EQ(node->row_estimate, 123456.0);
+    }
+  });
+}
+
+TEST_F(OptimizerTest, ExplainDigestStableAcrossIdenticalPlans) {
+  RelNodePtr a = Plan("SELECT f_amount FROM fact WHERE f_dim_sk = 5");
+  RelNodePtr b = Plan("SELECT f_amount FROM fact WHERE f_dim_sk = 5");
+  EXPECT_EQ(a->Digest(), b->Digest());
+  RelNodePtr c = Plan("SELECT f_amount FROM fact WHERE f_dim_sk = 6");
+  EXPECT_NE(a->Digest(), c->Digest());
+}
+
+}  // namespace
+}  // namespace hive

@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace hive {
+namespace {
+
+Result<StatementPtr> P(const std::string& sql) { return Parser::Parse(sql); }
+
+SelectStmt Sel(const std::string& sql) {
+  auto r = P(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << sql;
+  auto* s = dynamic_cast<SelectStatement*>(r->get());
+  EXPECT_NE(s, nullptr);
+  return s->select;
+}
+
+TEST(ParserTest, SimpleSelect) {
+  SelectStmt s = Sel("SELECT a, b FROM t WHERE a > 5");
+  ASSERT_EQ(s.body->op, SetOpKind::kNone);
+  const SelectCore& core = s.body->core;
+  EXPECT_EQ(core.items.size(), 2u);
+  EXPECT_EQ(core.items[0].expr->column, "a");
+  ASSERT_NE(core.from, nullptr);
+  EXPECT_EQ(core.from->table, "t");
+  ASSERT_NE(core.where, nullptr);
+  EXPECT_EQ(core.where->ToString(), "(a > 5)");
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  SelectStmt s = Sel("select A from T where a = 'X'");
+  EXPECT_EQ(s.body->core.items[0].expr->column, "a") << "identifiers lower-cased";
+  EXPECT_EQ(s.body->core.where->ToString(), "(a = 'X')") << "literal case preserved";
+}
+
+TEST(ParserTest, JoinsWithConditions) {
+  SelectStmt s = Sel(
+      "SELECT ss.x FROM store_sales ss JOIN item i ON ss.item_sk = i.item_sk "
+      "LEFT JOIN store st ON ss.store_sk = st.store_sk");
+  ASSERT_EQ(s.body->core.from->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(s.body->core.from->join_type, TableRef::JoinType::kLeft);
+  EXPECT_EQ(s.body->core.from->left->join_type, TableRef::JoinType::kInner);
+  EXPECT_EQ(s.body->core.from->left->left->alias, "ss");
+}
+
+TEST(ParserTest, CommaJoinIsCross) {
+  SelectStmt s = Sel("SELECT 1 FROM a, b WHERE a.x = b.y");
+  ASSERT_EQ(s.body->core.from->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(s.body->core.from->join_type, TableRef::JoinType::kCross);
+}
+
+TEST(ParserTest, GroupByHavingOrderLimit) {
+  SelectStmt s = Sel(
+      "SELECT d_year, SUM(p) AS total FROM t GROUP BY d_year "
+      "HAVING SUM(p) > 10 ORDER BY total DESC LIMIT 10");
+  EXPECT_EQ(s.body->core.group_by.size(), 1u);
+  ASSERT_NE(s.body->core.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_FALSE(s.order_by[0].ascending);
+  EXPECT_EQ(s.limit, 10);
+}
+
+TEST(ParserTest, OrderByUnselectedColumn) {
+  // A SQL feature called out in Section 7.1 as missing from Hive 1.2.
+  SelectStmt s = Sel("SELECT a FROM t ORDER BY b");
+  EXPECT_EQ(s.order_by[0].expr->column, "b");
+}
+
+TEST(ParserTest, SetOperations) {
+  SelectStmt s = Sel("SELECT a FROM t1 UNION ALL SELECT a FROM t2");
+  EXPECT_EQ(s.body->op, SetOpKind::kUnionAll);
+  SelectStmt s2 = Sel("SELECT a FROM t1 INTERSECT SELECT a FROM t2");
+  EXPECT_EQ(s2.body->op, SetOpKind::kIntersect);
+  SelectStmt s3 = Sel("SELECT a FROM t1 EXCEPT SELECT a FROM t2");
+  EXPECT_EQ(s3.body->op, SetOpKind::kExcept);
+  SelectStmt s4 = Sel("SELECT a FROM t1 UNION SELECT a FROM t2");
+  EXPECT_EQ(s4.body->op, SetOpKind::kUnionDistinct);
+}
+
+TEST(ParserTest, SubqueryInFrom) {
+  SelectStmt s = Sel("SELECT x FROM (SELECT a AS x FROM t) sub WHERE x > 1");
+  ASSERT_EQ(s.body->core.from->kind, TableRef::Kind::kSubquery);
+  EXPECT_EQ(s.body->core.from->alias, "sub");
+}
+
+TEST(ParserTest, InSubqueryAndExists) {
+  SelectStmt s = Sel("SELECT a FROM t WHERE a IN (SELECT b FROM u)");
+  EXPECT_EQ(s.body->core.where->kind, ExprKind::kSubquery);
+  EXPECT_EQ(s.body->core.where->subquery_kind, SubqueryKind::kIn);
+
+  SelectStmt s2 = Sel("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.a)");
+  EXPECT_EQ(s2.body->core.where->subquery_kind, SubqueryKind::kExists);
+
+  SelectStmt s3 = Sel("SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)");
+  EXPECT_EQ(s3.body->core.where->subquery_kind, SubqueryKind::kNotExists);
+
+  SelectStmt s4 = Sel("SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)");
+  EXPECT_EQ(s4.body->core.where->subquery_kind, SubqueryKind::kNotIn);
+}
+
+TEST(ParserTest, ScalarSubqueryComparison) {
+  SelectStmt s = Sel("SELECT a FROM t WHERE a > (SELECT AVG(b) FROM u)");
+  const ExprPtr& where = s.body->core.where;
+  EXPECT_EQ(where->kind, ExprKind::kBinary);
+  EXPECT_EQ(where->children[1]->kind, ExprKind::kSubquery);
+  EXPECT_EQ(where->children[1]->subquery_kind, SubqueryKind::kScalar);
+}
+
+TEST(ParserTest, CaseExpressions) {
+  SelectStmt s = Sel(
+      "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t");
+  EXPECT_EQ(s.body->core.items[0].expr->kind, ExprKind::kCase);
+  // Simple CASE form rewrites to searched form.
+  SelectStmt s2 = Sel("SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t");
+  const ExprPtr& c = s2.body->core.items[0].expr;
+  EXPECT_EQ(c->children[0]->ToString(), "(a = 1)");
+}
+
+TEST(ParserTest, CastAndExtract) {
+  SelectStmt s = Sel(
+      "SELECT CAST(a AS DECIMAL(7,2)), EXTRACT(year FROM d) FROM t");
+  EXPECT_EQ(s.body->core.items[0].expr->kind, ExprKind::kCast);
+  EXPECT_EQ(s.body->core.items[0].expr->cast_type, DataType::Decimal(7, 2));
+  EXPECT_EQ(s.body->core.items[1].expr->func_name, "EXTRACT_YEAR");
+}
+
+TEST(ParserTest, BetweenInLikeIsNull) {
+  SelectStmt s = Sel(
+      "SELECT 1 FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1,2,3) AND "
+      "c LIKE 'x%' AND d IS NOT NULL AND e NOT BETWEEN 2 AND 3");
+  std::string text = s.body->core.where->ToString();
+  EXPECT_NE(text.find("BETWEEN"), std::string::npos);
+  EXPECT_NE(text.find("IN (1, 2, 3)"), std::string::npos);
+  EXPECT_NE(text.find("LIKE"), std::string::npos);
+  EXPECT_NE(text.find("IS NOT NULL"), std::string::npos);
+  EXPECT_NE(text.find("NOT BETWEEN"), std::string::npos);
+}
+
+TEST(ParserTest, IntervalNotation) {
+  // Interval notation: another Hive 1.2 gap listed in Section 7.1.
+  SelectStmt s = Sel("SELECT d + INTERVAL 30 DAY FROM t");
+  EXPECT_EQ(s.body->core.items[0].expr->children[1]->func_name, "INTERVAL_DAY");
+}
+
+TEST(ParserTest, WindowFunctions) {
+  SelectStmt s = Sel(
+      "SELECT ROW_NUMBER() OVER (PARTITION BY a ORDER BY b DESC), "
+      "SUM(c) OVER (PARTITION BY a) FROM t");
+  const ExprPtr& rn = s.body->core.items[0].expr;
+  ASSERT_NE(rn->window, nullptr);
+  EXPECT_EQ(rn->window->partition_by.size(), 1u);
+  ASSERT_EQ(rn->window->order_by.size(), 1u);
+  EXPECT_FALSE(rn->window->order_by[0].second);
+  ASSERT_NE(s.body->core.items[1].expr->window, nullptr);
+}
+
+TEST(ParserTest, GroupingSets) {
+  SelectStmt s = Sel(
+      "SELECT a, b, SUM(c) FROM t GROUP BY a, b GROUPING SETS ((a, b), (a), ())");
+  EXPECT_EQ(s.body->core.group_by.size(), 2u);
+  ASSERT_EQ(s.body->core.grouping_sets.size(), 3u);
+  EXPECT_EQ(s.body->core.grouping_sets[0].size(), 2u);
+  EXPECT_EQ(s.body->core.grouping_sets[2].size(), 0u);
+}
+
+TEST(ParserTest, Rollup) {
+  SelectStmt s = Sel("SELECT a, b, SUM(c) FROM t GROUP BY ROLLUP (a, b)");
+  ASSERT_EQ(s.body->core.grouping_sets.size(), 3u);  // (a,b),(a),()
+}
+
+TEST(ParserTest, Ctes) {
+  SelectStmt s = Sel(
+      "WITH x AS (SELECT a FROM t), y AS (SELECT a FROM x) SELECT * FROM y");
+  ASSERT_EQ(s.ctes.size(), 2u);
+  EXPECT_EQ(s.ctes[0].name, "x");
+  EXPECT_EQ(s.ctes[1].name, "y");
+}
+
+TEST(ParserTest, CountDistinctAndStar) {
+  SelectStmt s = Sel("SELECT COUNT(*), COUNT(DISTINCT a) FROM t");
+  EXPECT_EQ(s.body->core.items[0].expr->children[0]->kind, ExprKind::kStar);
+  EXPECT_TRUE(s.body->core.items[1].expr->distinct);
+}
+
+TEST(ParserTest, InsertValuesAndSelect) {
+  auto r = P("INSERT INTO t VALUES (1, 'a', 2.5), (2, 'b', 3.5)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* insert = dynamic_cast<InsertStatement*>(r->get());
+  ASSERT_NE(insert, nullptr);
+  EXPECT_EQ(insert->values_rows.size(), 2u);
+
+  auto r2 = P("INSERT INTO t SELECT * FROM u WHERE x > 1");
+  ASSERT_TRUE(r2.ok());
+  auto* insert2 = dynamic_cast<InsertStatement*>(r2->get());
+  ASSERT_NE(insert2->source, nullptr);
+}
+
+TEST(ParserTest, UpdateDelete) {
+  auto r = P("UPDATE t SET a = a + 1, b = 'x' WHERE c < 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* update = dynamic_cast<UpdateStatement*>(r->get());
+  ASSERT_NE(update, nullptr);
+  EXPECT_EQ(update->assignments.size(), 2u);
+
+  auto r2 = P("DELETE FROM t WHERE a = 3");
+  ASSERT_TRUE(r2.ok());
+  auto* del = dynamic_cast<DeleteStatement*>(r2->get());
+  ASSERT_NE(del, nullptr);
+  ASSERT_NE(del->where, nullptr);
+}
+
+TEST(ParserTest, Merge) {
+  auto r = P(
+      "MERGE INTO target t USING source s ON t.id = s.id "
+      "WHEN MATCHED AND s.del = 1 THEN DELETE "
+      "WHEN MATCHED THEN UPDATE SET v = s.v "
+      "WHEN NOT MATCHED THEN INSERT VALUES (s.id, s.v)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* merge = dynamic_cast<MergeStatement*>(r->get());
+  ASSERT_NE(merge, nullptr);
+  EXPECT_TRUE(merge->has_matched_update);
+  EXPECT_TRUE(merge->has_matched_delete);
+  ASSERT_NE(merge->matched_delete_condition, nullptr);
+  EXPECT_TRUE(merge->has_not_matched_insert);
+  EXPECT_EQ(merge->insert_values.size(), 2u);
+}
+
+TEST(ParserTest, CreateTablePartitionedWithConstraints) {
+  auto r = P(
+      "CREATE TABLE store_sales ("
+      "  sold_date_sk INT, item_sk INT NOT NULL, "
+      "  list_price DECIMAL(7,2), "
+      "  PRIMARY KEY (item_sk), "
+      "  FOREIGN KEY (item_sk) REFERENCES item (i_item_sk)"
+      ") PARTITIONED BY (sold_date_sk INT)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* create = dynamic_cast<CreateTableStatement*>(r->get());
+  ASSERT_NE(create, nullptr);
+  EXPECT_EQ(create->columns.size(), 3u);
+  EXPECT_EQ(create->partition_columns.size(), 1u);
+  ASSERT_EQ(create->constraints.size(), 3u);  // NOT NULL, PK, FK
+  EXPECT_EQ(create->constraints[1].kind,
+            CreateTableStatement::Constraint::Kind::kPrimaryKey);
+  EXPECT_EQ(create->constraints[2].ref_table, "item");
+}
+
+TEST(ParserTest, CreateExternalTableStoredBy) {
+  auto r = P(
+      "CREATE EXTERNAL TABLE druid_table (x BIGINT) STORED BY 'droid' "
+      "TBLPROPERTIES ('droid.datasource' = 'my_source')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* create = dynamic_cast<CreateTableStatement*>(r->get());
+  EXPECT_TRUE(create->external);
+  EXPECT_EQ(create->stored_by, "droid");
+  EXPECT_EQ(create->properties.at("droid.datasource"), "my_source");
+}
+
+TEST(ParserTest, MaterializedViewLifecycle) {
+  auto r = P(
+      "CREATE MATERIALIZED VIEW mv TBLPROPERTIES('rewriting.time.window'='600') "
+      "AS SELECT d_year, SUM(p) AS s FROM t GROUP BY d_year");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* mv = dynamic_cast<CreateMaterializedViewStatement*>(r->get());
+  ASSERT_NE(mv, nullptr);
+  EXPECT_EQ(mv->name, "mv");
+
+  auto r2 = P("ALTER MATERIALIZED VIEW mv REBUILD");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->kind(), StatementKind::kAlterMaterializedViewRebuild);
+
+  auto r3 = P("DROP MATERIALIZED VIEW mv");
+  ASSERT_TRUE(r3.ok());
+  auto* drop = dynamic_cast<DropTableStatement*>(r3->get());
+  EXPECT_TRUE(drop->is_materialized_view);
+}
+
+TEST(ParserTest, ResourcePlanDdlFromPaper) {
+  // The Section 5.2 example, statement by statement.
+  auto script = Parser::ParseScript(
+      "CREATE RESOURCE PLAN daytime;"
+      "CREATE POOL daytime.bi WITH alloc_fraction=0.8, query_parallelism=5;"
+      "CREATE POOL daytime.etl WITH alloc_fraction=0.2, query_parallelism=20;"
+      "CREATE RULE downgrade IN daytime WHEN total_runtime > 3000 THEN MOVE etl;"
+      "ADD RULE downgrade TO bi;"
+      "CREATE APPLICATION MAPPING visualization_app IN daytime TO bi;"
+      "ALTER PLAN daytime SET DEFAULT POOL = etl;"
+      "ALTER RESOURCE PLAN daytime ENABLE ACTIVATE;");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->size(), 8u);
+  auto* pool = dynamic_cast<ResourcePlanStatement*>((*script)[1].get());
+  ASSERT_NE(pool, nullptr);
+  EXPECT_DOUBLE_EQ(pool->alloc_fraction, 0.8);
+  EXPECT_EQ(pool->query_parallelism, 5);
+  auto* rule = dynamic_cast<ResourcePlanStatement*>((*script)[3].get());
+  EXPECT_EQ(rule->rule_metric, "total_runtime");
+  EXPECT_EQ(rule->rule_threshold, 3000);
+  EXPECT_EQ(rule->rule_action, "MOVE");
+}
+
+TEST(ParserTest, ExplainAndAnalyze) {
+  auto r = P("EXPLAIN SELECT * FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind(), StatementKind::kExplain);
+  auto r2 = P("ANALYZE TABLE t COMPUTE STATISTICS");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->kind(), StatementKind::kAnalyzeTable);
+}
+
+TEST(ParserTest, StringEscapes) {
+  SelectStmt s = Sel("SELECT 'it''s' FROM t");
+  EXPECT_EQ(s.body->core.items[0].expr->literal.str(), "it's");
+}
+
+TEST(ParserTest, Comments) {
+  SelectStmt s = Sel("SELECT a -- trailing comment\nFROM t");
+  EXPECT_EQ(s.body->core.items[0].expr->column, "a");
+}
+
+TEST(ParserTest, ErrorsHavePositions) {
+  auto r = P("SELECT FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+
+  auto r2 = P("SELECT a FROM t WHERE");
+  EXPECT_FALSE(r2.ok());
+
+  auto r3 = P("SELEC a FROM t");
+  EXPECT_FALSE(r3.ok());
+}
+
+TEST(ParserTest, CanonicalizationForResultCache) {
+  // Two formattings of the same query canonicalize identically (the query
+  // result cache keys on this).
+  SelectStmt a = Sel("select  a,   b from t where a>5 and b = 'x'");
+  SelectStmt b = Sel("SELECT a, b FROM t WHERE (a > 5) AND b = 'x'");
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(ParserTest, QualifiedTableNames) {
+  SelectStmt s = Sel("SELECT a FROM tpcds.store_sales");
+  EXPECT_EQ(s.body->core.from->db, "tpcds");
+  EXPECT_EQ(s.body->core.from->table, "store_sales");
+}
+
+}  // namespace
+}  // namespace hive

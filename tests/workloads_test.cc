@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "fs/mem_filesystem.h"
+#include "server/hive_server.h"
+#include "workloads/ssb.h"
+#include "workloads/tpcds.h"
+
+namespace hive {
+namespace {
+
+/// End-to-end correctness of the benchmark workloads: every Figure 7 query
+/// must run on the v3.1 configuration; the v1.2 configuration must reject
+/// exactly the queries flagged `requires_v3`; optimizations must never
+/// change results.
+class TpcdsWorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fs_ = new MemFileSystem();
+    Config config;
+    config.container_startup_us = 0;
+    server_ = new HiveServer2(fs_, config);
+    Session* loader = server_->OpenSession();
+    TpcdsOptions options;
+    options.days = 6;  // keep the suite fast
+    ASSERT_TRUE(LoadTpcds(server_, loader, options).ok());
+  }
+  static void TearDownTestSuite() {
+    delete server_;
+    delete fs_;
+  }
+
+  static MemFileSystem* fs_;
+  static HiveServer2* server_;
+};
+
+MemFileSystem* TpcdsWorkloadTest::fs_ = nullptr;
+HiveServer2* TpcdsWorkloadTest::server_ = nullptr;
+
+TEST_F(TpcdsWorkloadTest, AllQueriesRunOnV31) {
+  Session* session = server_->OpenSession();
+  session->config.result_cache_enabled = false;
+  for (const BenchQuery& q : TpcdsQueries()) {
+    auto r = server_->Execute(session, q.sql);
+    EXPECT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
+  }
+}
+
+TEST_F(TpcdsWorkloadTest, LegacyModeRejectsExactlyTheFlaggedQueries) {
+  Session* session = server_->OpenSession();
+  session->config.SetLegacyV12Mode();
+  for (const BenchQuery& q : TpcdsQueries()) {
+    auto r = server_->Execute(session, q.sql);
+    if (q.requires_v3) {
+      EXPECT_FALSE(r.ok()) << q.name << " should be unsupported on v1.2";
+      if (!r.ok())
+        EXPECT_TRUE(r.status().IsNotSupported()) << r.status().ToString();
+    } else {
+      EXPECT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
+    }
+  }
+}
+
+TEST_F(TpcdsWorkloadTest, OptimizationsPreserveResults) {
+  // The big safety property: CBO + semijoin + shared work + LLAP on/off
+  // must not change any query's result.
+  Session* full = server_->OpenSession();
+  full->config.result_cache_enabled = false;
+  Session* bare = server_->OpenSession();
+  bare->config.result_cache_enabled = false;
+  bare->config.cbo_enabled = false;
+  bare->config.semijoin_reduction_enabled = false;
+  bare->config.dynamic_partition_pruning_enabled = false;
+  bare->config.shared_work_enabled = false;
+  bare->config.llap_enabled = false;
+  for (const BenchQuery& q : TpcdsQueries()) {
+    auto a = server_->Execute(full, q.sql);
+    auto b = server_->Execute(bare, q.sql);
+    ASSERT_TRUE(a.ok()) << q.name << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << q.name << ": " << b.status().ToString();
+    ASSERT_EQ(a->rows.size(), b->rows.size()) << q.name;
+    // Row-set comparison (some queries have non-deterministic tie order).
+    auto digest = [](const QueryResult& r) {
+      std::multiset<std::string> out;
+      for (const auto& row : r.rows) {
+        std::string line;
+        for (const Value& v : row) line += v.ToString() + "|";
+        out.insert(line);
+      }
+      return out;
+    };
+    EXPECT_EQ(digest(*a), digest(*b)) << q.name << " results diverge";
+  }
+}
+
+TEST_F(TpcdsWorkloadTest, MrAndTezAgree) {
+  Session* mr = server_->OpenSession();
+  mr->config.result_cache_enabled = false;
+  mr->config.llap_enabled = false;
+  mr->config.execution_engine = "mr";
+  Session* tez = server_->OpenSession();
+  tez->config.result_cache_enabled = false;
+  tez->config.llap_enabled = false;
+  const std::string sql =
+      "SELECT i_category, COUNT(*) FROM store_sales, item "
+      "WHERE ss_item_sk = i_item_sk GROUP BY i_category ORDER BY i_category";
+  auto a = server_->Execute(mr, sql);
+  auto b = server_->Execute(tez, sql);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows.size(), b->rows.size());
+  for (size_t i = 0; i < a->rows.size(); ++i)
+    EXPECT_EQ(a->rows[i][1].i64(), b->rows[i][1].i64());
+}
+
+class SsbWorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fs_ = new MemFileSystem();
+    Config config;
+    config.container_startup_us = 0;
+    server_ = new HiveServer2(fs_, config);
+    Session* loader = server_->OpenSession();
+    SsbOptions options;
+    ASSERT_TRUE(LoadSsb(server_, loader, options).ok());
+  }
+  static void TearDownTestSuite() {
+    delete server_;
+    delete fs_;
+  }
+  static MemFileSystem* fs_;
+  static HiveServer2* server_;
+};
+
+MemFileSystem* SsbWorkloadTest::fs_ = nullptr;
+HiveServer2* SsbWorkloadTest::server_ = nullptr;
+
+TEST_F(SsbWorkloadTest, All13QueriesRun) {
+  Session* session = server_->OpenSession();
+  session->config.result_cache_enabled = false;
+  for (const BenchQuery& q : SsbQueries()) {
+    auto r = server_->Execute(session, q.sql);
+    EXPECT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
+  }
+}
+
+TEST_F(SsbWorkloadTest, MaterializedViewRewritePreservesAllQueryResults) {
+  // Run all 13 queries without any MV, then create the denormalized MV and
+  // re-run: every query must be rewritten AND produce identical results.
+  Session* session = server_->OpenSession();
+  session->config.result_cache_enabled = false;
+  std::vector<QueryResult> baseline;
+  for (const BenchQuery& q : SsbQueries()) {
+    auto r = server_->Execute(session, q.sql);
+    ASSERT_TRUE(r.ok()) << q.name;
+    baseline.push_back(std::move(*r));
+  }
+  auto mv = server_->Execute(
+      session, "CREATE MATERIALIZED VIEW ssb_mv AS " + SsbDenormalizedMvSql());
+  ASSERT_TRUE(mv.ok()) << mv.status().ToString();
+
+  auto queries = SsbQueries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto r = server_->Execute(session, queries[i].sql);
+    ASSERT_TRUE(r.ok()) << queries[i].name;
+    EXPECT_EQ(r->mv_rewrites_used, 1) << queries[i].name << " not rewritten";
+    ASSERT_EQ(r->rows.size(), baseline[i].rows.size()) << queries[i].name;
+    for (size_t row = 0; row < r->rows.size(); ++row)
+      for (size_t c = 0; c < r->rows[row].size(); ++c)
+        EXPECT_EQ(r->rows[row][c].ToString(), baseline[i].rows[row][c].ToString())
+            << queries[i].name << " row " << row << " col " << c;
+  }
+  ASSERT_TRUE(server_->Execute(session, "DROP MATERIALIZED VIEW ssb_mv").ok());
+}
+
+TEST_F(SsbWorkloadTest, DroidFederatedMvMatchesNativeResults) {
+  Session* session = server_->OpenSession();
+  session->config.result_cache_enabled = false;
+  std::vector<QueryResult> baseline;
+  for (const BenchQuery& q : SsbQueries()) {
+    auto r = server_->Execute(session, q.sql);
+    ASSERT_TRUE(r.ok()) << q.name;
+    baseline.push_back(std::move(*r));
+  }
+  auto droid = LoadSsbIntoDroid(server_, session);
+  ASSERT_TRUE(droid.ok()) << droid.status().ToString();
+
+  auto queries = SsbQueries();
+  int rewritten = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto r = server_->Execute(session, queries[i].sql);
+    ASSERT_TRUE(r.ok()) << queries[i].name;
+    rewritten += r->mv_rewrites_used;
+    ASSERT_EQ(r->rows.size(), baseline[i].rows.size()) << queries[i].name;
+    for (size_t row = 0; row < r->rows.size(); ++row)
+      for (size_t c = 0; c < r->rows[row].size(); ++c) {
+        // droid aggregates numerics in double; compare numerically.
+        const Value& got = r->rows[row][c];
+        const Value& want = baseline[i].rows[row][c];
+        if (want.kind() == TypeKind::kString) {
+          EXPECT_EQ(got.ToString(), want.ToString()) << queries[i].name;
+        } else {
+          EXPECT_NEAR(got.AsDouble(), want.AsDouble(),
+                      std::abs(want.AsDouble()) * 1e-9 + 1e-6)
+              << queries[i].name << " row " << row << " col " << c;
+        }
+      }
+  }
+  EXPECT_EQ(rewritten, static_cast<int>(queries.size()))
+      << "every SSB query should hit the droid-backed MV";
+}
+
+}  // namespace
+}  // namespace hive
