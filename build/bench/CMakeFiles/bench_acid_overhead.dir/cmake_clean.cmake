@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_acid_overhead.dir/bench_acid_overhead.cc.o"
+  "CMakeFiles/bench_acid_overhead.dir/bench_acid_overhead.cc.o.d"
+  "bench_acid_overhead"
+  "bench_acid_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acid_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_druid.dir/bench_fig8_druid.cc.o"
+  "CMakeFiles/bench_fig8_druid.dir/bench_fig8_druid.cc.o.d"
+  "bench_fig8_druid"
+  "bench_fig8_druid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_druid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharedwork.dir/bench_sharedwork.cc.o"
+  "CMakeFiles/bench_sharedwork.dir/bench_sharedwork.cc.o.d"
+  "bench_sharedwork"
+  "bench_sharedwork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharedwork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_llap.dir/bench_table1_llap.cc.o"
+  "CMakeFiles/bench_table1_llap.dir/bench_table1_llap.cc.o.d"
+  "bench_table1_llap"
+  "bench_table1_llap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_llap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_acid_warehouse.dir/acid_warehouse.cpp.o"
+  "CMakeFiles/example_acid_warehouse.dir/acid_warehouse.cpp.o.d"
+  "example_acid_warehouse"
+  "example_acid_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_acid_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

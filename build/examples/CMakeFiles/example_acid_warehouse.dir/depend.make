@@ -1,0 +1,2 @@
+# Empty dependencies file for example_acid_warehouse.
+# This may be replaced when dependencies are built.

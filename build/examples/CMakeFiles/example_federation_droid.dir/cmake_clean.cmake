@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_federation_droid.dir/federation_droid.cpp.o"
+  "CMakeFiles/example_federation_droid.dir/federation_droid.cpp.o.d"
+  "example_federation_droid"
+  "example_federation_droid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_federation_droid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

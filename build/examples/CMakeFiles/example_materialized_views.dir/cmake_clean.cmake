@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_materialized_views.dir/materialized_views.cpp.o"
+  "CMakeFiles/example_materialized_views.dir/materialized_views.cpp.o.d"
+  "example_materialized_views"
+  "example_materialized_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_materialized_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_workload_management.dir/workload_management.cpp.o"
+  "CMakeFiles/example_workload_management.dir/workload_management.cpp.o.d"
+  "example_workload_management"
+  "example_workload_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_workload_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bloom_filter.cc" "src/CMakeFiles/hive_common.dir/common/bloom_filter.cc.o" "gcc" "src/CMakeFiles/hive_common.dir/common/bloom_filter.cc.o.d"
+  "/root/repo/src/common/column_vector.cc" "src/CMakeFiles/hive_common.dir/common/column_vector.cc.o" "gcc" "src/CMakeFiles/hive_common.dir/common/column_vector.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/hive_common.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/hive_common.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/hll.cc" "src/CMakeFiles/hive_common.dir/common/hll.cc.o" "gcc" "src/CMakeFiles/hive_common.dir/common/hll.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/hive_common.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/hive_common.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hive_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hive_common.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/hive_common.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/hive_common.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/hive_common.dir/common/types.cc.o" "gcc" "src/CMakeFiles/hive_common.dir/common/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_common.dir/common/bloom_filter.cc.o"
+  "CMakeFiles/hive_common.dir/common/bloom_filter.cc.o.d"
+  "CMakeFiles/hive_common.dir/common/column_vector.cc.o"
+  "CMakeFiles/hive_common.dir/common/column_vector.cc.o.d"
+  "CMakeFiles/hive_common.dir/common/hash.cc.o"
+  "CMakeFiles/hive_common.dir/common/hash.cc.o.d"
+  "CMakeFiles/hive_common.dir/common/hll.cc.o"
+  "CMakeFiles/hive_common.dir/common/hll.cc.o.d"
+  "CMakeFiles/hive_common.dir/common/schema.cc.o"
+  "CMakeFiles/hive_common.dir/common/schema.cc.o.d"
+  "CMakeFiles/hive_common.dir/common/status.cc.o"
+  "CMakeFiles/hive_common.dir/common/status.cc.o.d"
+  "CMakeFiles/hive_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/hive_common.dir/common/thread_pool.cc.o.d"
+  "CMakeFiles/hive_common.dir/common/types.cc.o"
+  "CMakeFiles/hive_common.dir/common/types.cc.o.d"
+  "libhive_common.a"
+  "libhive_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

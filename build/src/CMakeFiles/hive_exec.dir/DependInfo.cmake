@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/agg_operator.cc" "src/CMakeFiles/hive_exec.dir/exec/agg_operator.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/agg_operator.cc.o.d"
+  "/root/repo/src/exec/compiler.cc" "src/CMakeFiles/hive_exec.dir/exec/compiler.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/compiler.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/CMakeFiles/hive_exec.dir/exec/exec_context.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/exec_context.cc.o.d"
+  "/root/repo/src/exec/join_operator.cc" "src/CMakeFiles/hive_exec.dir/exec/join_operator.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/join_operator.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/hive_exec.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/hive_exec.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/scan_operator.cc" "src/CMakeFiles/hive_exec.dir/exec/scan_operator.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/scan_operator.cc.o.d"
+  "/root/repo/src/exec/sort_window_operator.cc" "src/CMakeFiles/hive_exec.dir/exec/sort_window_operator.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/sort_window_operator.cc.o.d"
+  "/root/repo/src/exec/vector_eval.cc" "src/CMakeFiles/hive_exec.dir/exec/vector_eval.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/vector_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hive_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_metastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_exec.dir/exec/agg_operator.cc.o"
+  "CMakeFiles/hive_exec.dir/exec/agg_operator.cc.o.d"
+  "CMakeFiles/hive_exec.dir/exec/compiler.cc.o"
+  "CMakeFiles/hive_exec.dir/exec/compiler.cc.o.d"
+  "CMakeFiles/hive_exec.dir/exec/exec_context.cc.o"
+  "CMakeFiles/hive_exec.dir/exec/exec_context.cc.o.d"
+  "CMakeFiles/hive_exec.dir/exec/join_operator.cc.o"
+  "CMakeFiles/hive_exec.dir/exec/join_operator.cc.o.d"
+  "CMakeFiles/hive_exec.dir/exec/operator.cc.o"
+  "CMakeFiles/hive_exec.dir/exec/operator.cc.o.d"
+  "CMakeFiles/hive_exec.dir/exec/operators.cc.o"
+  "CMakeFiles/hive_exec.dir/exec/operators.cc.o.d"
+  "CMakeFiles/hive_exec.dir/exec/scan_operator.cc.o"
+  "CMakeFiles/hive_exec.dir/exec/scan_operator.cc.o.d"
+  "CMakeFiles/hive_exec.dir/exec/sort_window_operator.cc.o"
+  "CMakeFiles/hive_exec.dir/exec/sort_window_operator.cc.o.d"
+  "CMakeFiles/hive_exec.dir/exec/vector_eval.cc.o"
+  "CMakeFiles/hive_exec.dir/exec/vector_eval.cc.o.d"
+  "libhive_exec.a"
+  "libhive_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhive_exec.a"
+)

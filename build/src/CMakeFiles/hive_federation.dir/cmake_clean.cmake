@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_federation.dir/federation/csv_handler.cc.o"
+  "CMakeFiles/hive_federation.dir/federation/csv_handler.cc.o.d"
+  "CMakeFiles/hive_federation.dir/federation/droid.cc.o"
+  "CMakeFiles/hive_federation.dir/federation/droid.cc.o.d"
+  "CMakeFiles/hive_federation.dir/federation/droid_handler.cc.o"
+  "CMakeFiles/hive_federation.dir/federation/droid_handler.cc.o.d"
+  "CMakeFiles/hive_federation.dir/federation/materialized_operator.cc.o"
+  "CMakeFiles/hive_federation.dir/federation/materialized_operator.cc.o.d"
+  "CMakeFiles/hive_federation.dir/federation/pushdown.cc.o"
+  "CMakeFiles/hive_federation.dir/federation/pushdown.cc.o.d"
+  "libhive_federation.a"
+  "libhive_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/filesystem.cc" "src/CMakeFiles/hive_fs.dir/fs/filesystem.cc.o" "gcc" "src/CMakeFiles/hive_fs.dir/fs/filesystem.cc.o.d"
+  "/root/repo/src/fs/local_filesystem.cc" "src/CMakeFiles/hive_fs.dir/fs/local_filesystem.cc.o" "gcc" "src/CMakeFiles/hive_fs.dir/fs/local_filesystem.cc.o.d"
+  "/root/repo/src/fs/mem_filesystem.cc" "src/CMakeFiles/hive_fs.dir/fs/mem_filesystem.cc.o" "gcc" "src/CMakeFiles/hive_fs.dir/fs/mem_filesystem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_fs.dir/fs/filesystem.cc.o"
+  "CMakeFiles/hive_fs.dir/fs/filesystem.cc.o.d"
+  "CMakeFiles/hive_fs.dir/fs/local_filesystem.cc.o"
+  "CMakeFiles/hive_fs.dir/fs/local_filesystem.cc.o.d"
+  "CMakeFiles/hive_fs.dir/fs/mem_filesystem.cc.o"
+  "CMakeFiles/hive_fs.dir/fs/mem_filesystem.cc.o.d"
+  "libhive_fs.a"
+  "libhive_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_llap.dir/llap/llap_cache.cc.o"
+  "CMakeFiles/hive_llap.dir/llap/llap_cache.cc.o.d"
+  "libhive_llap.a"
+  "libhive_llap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_llap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metastore/catalog.cc" "src/CMakeFiles/hive_metastore.dir/metastore/catalog.cc.o" "gcc" "src/CMakeFiles/hive_metastore.dir/metastore/catalog.cc.o.d"
+  "/root/repo/src/metastore/compaction_manager.cc" "src/CMakeFiles/hive_metastore.dir/metastore/compaction_manager.cc.o" "gcc" "src/CMakeFiles/hive_metastore.dir/metastore/compaction_manager.cc.o.d"
+  "/root/repo/src/metastore/txn_manager.cc" "src/CMakeFiles/hive_metastore.dir/metastore/txn_manager.cc.o" "gcc" "src/CMakeFiles/hive_metastore.dir/metastore/txn_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hive_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_metastore.dir/metastore/catalog.cc.o"
+  "CMakeFiles/hive_metastore.dir/metastore/catalog.cc.o.d"
+  "CMakeFiles/hive_metastore.dir/metastore/compaction_manager.cc.o"
+  "CMakeFiles/hive_metastore.dir/metastore/compaction_manager.cc.o.d"
+  "CMakeFiles/hive_metastore.dir/metastore/txn_manager.cc.o"
+  "CMakeFiles/hive_metastore.dir/metastore/txn_manager.cc.o.d"
+  "libhive_metastore.a"
+  "libhive_metastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_metastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

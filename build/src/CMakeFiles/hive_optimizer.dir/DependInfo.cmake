@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/binder.cc" "src/CMakeFiles/hive_optimizer.dir/optimizer/binder.cc.o" "gcc" "src/CMakeFiles/hive_optimizer.dir/optimizer/binder.cc.o.d"
+  "/root/repo/src/optimizer/expr_eval.cc" "src/CMakeFiles/hive_optimizer.dir/optimizer/expr_eval.cc.o" "gcc" "src/CMakeFiles/hive_optimizer.dir/optimizer/expr_eval.cc.o.d"
+  "/root/repo/src/optimizer/mv_rewrite.cc" "src/CMakeFiles/hive_optimizer.dir/optimizer/mv_rewrite.cc.o" "gcc" "src/CMakeFiles/hive_optimizer.dir/optimizer/mv_rewrite.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/hive_optimizer.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/hive_optimizer.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/rel.cc" "src/CMakeFiles/hive_optimizer.dir/optimizer/rel.cc.o" "gcc" "src/CMakeFiles/hive_optimizer.dir/optimizer/rel.cc.o.d"
+  "/root/repo/src/optimizer/rules.cc" "src/CMakeFiles/hive_optimizer.dir/optimizer/rules.cc.o" "gcc" "src/CMakeFiles/hive_optimizer.dir/optimizer/rules.cc.o.d"
+  "/root/repo/src/optimizer/stats.cc" "src/CMakeFiles/hive_optimizer.dir/optimizer/stats.cc.o" "gcc" "src/CMakeFiles/hive_optimizer.dir/optimizer/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hive_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_metastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

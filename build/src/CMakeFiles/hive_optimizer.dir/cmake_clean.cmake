@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_optimizer.dir/optimizer/binder.cc.o"
+  "CMakeFiles/hive_optimizer.dir/optimizer/binder.cc.o.d"
+  "CMakeFiles/hive_optimizer.dir/optimizer/expr_eval.cc.o"
+  "CMakeFiles/hive_optimizer.dir/optimizer/expr_eval.cc.o.d"
+  "CMakeFiles/hive_optimizer.dir/optimizer/mv_rewrite.cc.o"
+  "CMakeFiles/hive_optimizer.dir/optimizer/mv_rewrite.cc.o.d"
+  "CMakeFiles/hive_optimizer.dir/optimizer/optimizer.cc.o"
+  "CMakeFiles/hive_optimizer.dir/optimizer/optimizer.cc.o.d"
+  "CMakeFiles/hive_optimizer.dir/optimizer/rel.cc.o"
+  "CMakeFiles/hive_optimizer.dir/optimizer/rel.cc.o.d"
+  "CMakeFiles/hive_optimizer.dir/optimizer/rules.cc.o"
+  "CMakeFiles/hive_optimizer.dir/optimizer/rules.cc.o.d"
+  "CMakeFiles/hive_optimizer.dir/optimizer/stats.cc.o"
+  "CMakeFiles/hive_optimizer.dir/optimizer/stats.cc.o.d"
+  "libhive_optimizer.a"
+  "libhive_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_server.dir/server/dml.cc.o"
+  "CMakeFiles/hive_server.dir/server/dml.cc.o.d"
+  "CMakeFiles/hive_server.dir/server/hive_server.cc.o"
+  "CMakeFiles/hive_server.dir/server/hive_server.cc.o.d"
+  "CMakeFiles/hive_server.dir/server/result_cache.cc.o"
+  "CMakeFiles/hive_server.dir/server/result_cache.cc.o.d"
+  "CMakeFiles/hive_server.dir/server/workload_manager.cc.o"
+  "CMakeFiles/hive_server.dir/server/workload_manager.cc.o.d"
+  "libhive_server.a"
+  "libhive_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

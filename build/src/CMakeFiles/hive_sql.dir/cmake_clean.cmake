@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/hive_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/hive_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/hive_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/hive_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/hive_sql.dir/sql/parser.cc.o.d"
+  "libhive_sql.a"
+  "libhive_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/acid.cc" "src/CMakeFiles/hive_storage.dir/storage/acid.cc.o" "gcc" "src/CMakeFiles/hive_storage.dir/storage/acid.cc.o.d"
+  "/root/repo/src/storage/cof.cc" "src/CMakeFiles/hive_storage.dir/storage/cof.cc.o" "gcc" "src/CMakeFiles/hive_storage.dir/storage/cof.cc.o.d"
+  "/root/repo/src/storage/sarg.cc" "src/CMakeFiles/hive_storage.dir/storage/sarg.cc.o" "gcc" "src/CMakeFiles/hive_storage.dir/storage/sarg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hive_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

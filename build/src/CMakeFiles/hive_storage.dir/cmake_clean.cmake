@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_storage.dir/storage/acid.cc.o"
+  "CMakeFiles/hive_storage.dir/storage/acid.cc.o.d"
+  "CMakeFiles/hive_storage.dir/storage/cof.cc.o"
+  "CMakeFiles/hive_storage.dir/storage/cof.cc.o.d"
+  "CMakeFiles/hive_storage.dir/storage/sarg.cc.o"
+  "CMakeFiles/hive_storage.dir/storage/sarg.cc.o.d"
+  "libhive_storage.a"
+  "libhive_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

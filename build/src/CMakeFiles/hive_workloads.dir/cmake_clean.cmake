@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_workloads.dir/workloads/ssb.cc.o"
+  "CMakeFiles/hive_workloads.dir/workloads/ssb.cc.o.d"
+  "CMakeFiles/hive_workloads.dir/workloads/tpcds.cc.o"
+  "CMakeFiles/hive_workloads.dir/workloads/tpcds.cc.o.d"
+  "libhive_workloads.a"
+  "libhive_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droid_test.dir/droid_test.cc.o"
+  "CMakeFiles/droid_test.dir/droid_test.cc.o.d"
+  "droid_test"
+  "droid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llap_test.dir/llap_test.cc.o"
+  "CMakeFiles/llap_test.dir/llap_test.cc.o.d"
+  "llap_test"
+  "llap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metastore_test.dir/metastore_test.cc.o"
+  "CMakeFiles/metastore_test.dir/metastore_test.cc.o.d"
+  "metastore_test"
+  "metastore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metastore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
