@@ -230,7 +230,15 @@ bench/CMakeFiles/bench_sharedwork.dir/bench_sharedwork.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/future \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/metastore/catalog.h /root/repo/src/common/hll.h \
  /root/repo/src/storage/acid.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
@@ -241,14 +249,6 @@ bench/CMakeFiles/bench_sharedwork.dir/bench_sharedwork.cc.o: \
  /root/repo/src/federation/storage_handler.h \
  /root/repo/src/federation/droid_handler.h \
  /root/repo/src/federation/droid.h /root/repo/src/llap/daemon.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/common/thread_pool.h /usr/include/c++/12/thread \
  /root/repo/src/llap/llap_cache.h /root/repo/src/common/lrfu_cache.h \
  /usr/include/c++/12/cmath /usr/include/math.h \

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/exec/join_operator.cc" "src/CMakeFiles/hive_exec.dir/exec/join_operator.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/join_operator.cc.o.d"
   "/root/repo/src/exec/operator.cc" "src/CMakeFiles/hive_exec.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/operator.cc.o.d"
   "/root/repo/src/exec/operators.cc" "src/CMakeFiles/hive_exec.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/parallel_scan.cc" "src/CMakeFiles/hive_exec.dir/exec/parallel_scan.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/parallel_scan.cc.o.d"
   "/root/repo/src/exec/scan_operator.cc" "src/CMakeFiles/hive_exec.dir/exec/scan_operator.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/scan_operator.cc.o.d"
   "/root/repo/src/exec/sort_window_operator.cc" "src/CMakeFiles/hive_exec.dir/exec/sort_window_operator.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/sort_window_operator.cc.o.d"
   "/root/repo/src/exec/vector_eval.cc" "src/CMakeFiles/hive_exec.dir/exec/vector_eval.cc.o" "gcc" "src/CMakeFiles/hive_exec.dir/exec/vector_eval.cc.o.d"

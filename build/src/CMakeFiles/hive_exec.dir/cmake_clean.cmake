@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/hive_exec.dir/exec/operator.cc.o.d"
   "CMakeFiles/hive_exec.dir/exec/operators.cc.o"
   "CMakeFiles/hive_exec.dir/exec/operators.cc.o.d"
+  "CMakeFiles/hive_exec.dir/exec/parallel_scan.cc.o"
+  "CMakeFiles/hive_exec.dir/exec/parallel_scan.cc.o.d"
   "CMakeFiles/hive_exec.dir/exec/scan_operator.cc.o"
   "CMakeFiles/hive_exec.dir/exec/scan_operator.cc.o.d"
   "CMakeFiles/hive_exec.dir/exec/sort_window_operator.cc.o"

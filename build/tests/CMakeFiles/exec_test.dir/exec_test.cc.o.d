@@ -298,9 +298,17 @@ tests/CMakeFiles/exec_test.dir/exec_test.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/exec/operator.h \
  /root/repo/src/common/column_vector.h /root/repo/src/common/schema.h \
  /root/repo/src/common/status.h /root/repo/src/common/types.h \
- /root/repo/src/exec/exec_context.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/config.h \
+ /root/repo/src/exec/exec_context.h /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/common/config.h \
  /root/repo/src/common/sim_clock.h /usr/include/c++/12/chrono \
  /root/repo/src/fs/filesystem.h /root/repo/src/metastore/catalog.h \
  /root/repo/src/common/hll.h /root/repo/src/storage/acid.h \

@@ -310,9 +310,11 @@ tests/CMakeFiles/server_test.dir/server_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/exec/operator.h /root/repo/src/common/column_vector.h \
  /root/repo/src/common/schema.h /root/repo/src/common/types.h \
- /root/repo/src/exec/exec_context.h /root/repo/src/metastore/catalog.h \
- /root/repo/src/common/hll.h /root/repo/src/storage/acid.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/exec/exec_context.h /usr/include/c++/12/future \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/metastore/catalog.h /root/repo/src/common/hll.h \
+ /root/repo/src/storage/acid.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/storage/chunk_provider.h /root/repo/src/storage/cof.h \
  /root/repo/src/common/bloom_filter.h /root/repo/src/storage/sarg.h \
@@ -321,8 +323,6 @@ tests/CMakeFiles/server_test.dir/server_test.cc.o: \
  /root/repo/src/federation/storage_handler.h \
  /root/repo/src/federation/droid_handler.h \
  /root/repo/src/federation/droid.h /root/repo/src/llap/daemon.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/future \
- /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/common/thread_pool.h /root/repo/src/llap/llap_cache.h \
  /root/repo/src/common/lrfu_cache.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the engine with ThreadSanitizer and runs the concurrency-sensitive
+# test binaries: the morsel-driven parallel execution paths, the LLAP cache
+# single-flight, and the multi-session transactional stress tests.
+#
+# Usage: scripts/run_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DHIVE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target \
+  concurrency_test llap_test parallel_exec_test
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+
+status=0
+for t in concurrency_test llap_test parallel_exec_test; do
+  echo "== TSan: $t"
+  if ! "$BUILD_DIR/tests/$t"; then
+    echo "== TSan FAILED: $t"
+    status=1
+  fi
+done
+exit $status

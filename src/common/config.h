@@ -28,6 +28,17 @@ class Config {
   bool mr_materialize_shuffle = true;
   /// Worker parallelism (stand-in for cluster executors).
   int num_executors = 4;
+  /// Morsel-driven intra-query parallelism for leaf scan pipelines
+  /// (scan -> filter/project [-> partial aggregate]). Off in MR mode
+  /// regardless of this flag.
+  bool parallel_scan_enabled = true;
+  /// Modeled per-row scan CPU cost in nanoseconds of virtual time (~3M
+  /// rows/s per executor core at the default). Executors are modeled the
+  /// same way container start-up is: a serial scan charges the clock for
+  /// every row it reads, while a parallel pipeline charges only its
+  /// slowest worker — the critical path of a morsel queue drained by
+  /// num_executors cores, whether or not the host physically has them.
+  int64_t scan_cpu_ns_per_row = 350;
   /// Rows per vectorized batch.
   int vector_batch_size = 1024;
   /// Memory guard on hash-join build sides (rows); exceeding it raises an
@@ -78,6 +89,7 @@ class Config {
   void SetLegacyV12Mode() {
     execution_engine = "mr";
     llap_enabled = false;
+    parallel_scan_enabled = false;
     cbo_enabled = false;
     shared_work_enabled = false;
     semijoin_reduction_enabled = false;

@@ -26,6 +26,20 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+void ThreadPool::SubmitOrRun(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!shutdown_ &&
+        active_ + static_cast<int>(queue_.size()) < num_threads()) {
+      queue_.push_back(std::move(task));
+      lock.unlock();
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  task();
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });

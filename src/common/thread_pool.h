@@ -23,6 +23,13 @@ class ThreadPool {
   /// Enqueues a task; tasks run FIFO across workers.
   void Submit(std::function<void()> task);
 
+  /// Enqueues the task only while the pool has spare capacity (running +
+  /// queued < num_threads); otherwise runs it inline on the calling thread.
+  /// A task enqueued under that bound is guaranteed a pickup even when every
+  /// later task blocks, which keeps nested fan-out (a pool task submitting
+  /// sub-tasks and waiting on them) deadlock-free.
+  void SubmitOrRun(std::function<void()> task);
+
   /// Blocks until the queue is empty and all workers are idle.
   void Wait();
 

@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include "common/hash.h"
 #include "exec/operators.h"
 #include "exec/vector_eval.h"
@@ -5,106 +7,135 @@
 
 namespace hive {
 
-HashAggregateOperator::HashAggregateOperator(ExecContext* ctx, OperatorPtr child,
-                                             std::vector<ExprPtr> keys,
-                                             std::vector<AggCall> aggs, Schema schema)
-    : Operator(ctx),
-      child_(std::move(child)),
-      keys_(std::move(keys)),
-      aggs_(std::move(aggs)),
-      schema_(std::move(schema)) {}
+// --- GroupedAggState ---
 
-Status HashAggregateOperator::Open() { return child_->Open(); }
+GroupedAggState::GroupedAggState(const std::vector<ExprPtr>* keys,
+                                 const std::vector<AggCall>* aggs)
+    : keys_(keys), aggs_(aggs) {}
 
-Status HashAggregateOperator::Consume() {
-  bool done = false;
-  uint64_t bytes = 0;
-  for (;;) {
-    HIVE_RETURN_IF_ERROR(CheckCancelled());
-    HIVE_ASSIGN_OR_RETURN(RowBatch batch, child_->Next(&done));
-    if (done) break;
-    // Evaluate key and argument vectors once per batch.
-    std::vector<ColumnVectorPtr> key_cols;
-    for (const ExprPtr& k : keys_) {
-      HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*k, batch));
-      key_cols.push_back(std::move(col));
+GroupedAggState::Group* GroupedAggState::FindOrCreate(uint64_t hash,
+                                                      std::vector<Value>&& keys,
+                                                      uint64_t seq, bool* created) {
+  *created = false;
+  auto& bucket = groups_[hash];
+  for (Group& g : bucket) {
+    bool equal = g.keys.size() == keys.size();
+    for (size_t k = 0; k < keys.size() && equal; ++k)
+      if (Value::Compare(g.keys[k], keys[k]) != 0) equal = false;
+    if (equal) return &g;
+  }
+  Group g;
+  g.keys = std::move(keys);
+  g.accs.resize(aggs_->size());
+  g.first_seq = seq;
+  bucket.push_back(std::move(g));
+  ++groups_created_;
+  *created = true;
+  return &bucket.back();
+}
+
+Status GroupedAggState::Consume(const RowBatch& batch, uint64_t seq_base) {
+  // Evaluate key and argument vectors once per batch.
+  std::vector<ColumnVectorPtr> key_cols;
+  for (const ExprPtr& k : *keys_) {
+    HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*k, batch));
+    key_cols.push_back(std::move(col));
+  }
+  std::vector<ColumnVectorPtr> arg_cols(aggs_->size());
+  for (size_t a = 0; a < aggs_->size(); ++a) {
+    if ((*aggs_)[a].arg) {
+      HIVE_ASSIGN_OR_RETURN(arg_cols[a], EvalVector(*(*aggs_)[a].arg, batch));
     }
-    std::vector<ColumnVectorPtr> arg_cols(aggs_.size());
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      if (aggs_[a].arg) {
-        HIVE_ASSIGN_OR_RETURN(arg_cols[a], EvalVector(*aggs_[a].arg, batch));
-      }
-    }
-    for (size_t i = 0; i < batch.SelectedSize(); ++i) {
-      int32_t row = batch.SelectedRow(i);
-      std::vector<Value> keys;
-      keys.reserve(keys_.size());
-      for (const auto& col : key_cols) keys.push_back(col->GetValue(row));
-      uint64_t h = 0x9e3779b97f4a7c15ULL;
-      for (const Value& v : keys) h = HashCombine(h, v.Hash());
+  }
+  for (size_t i = 0; i < batch.SelectedSize(); ++i) {
+    int32_t row = batch.SelectedRow(i);
+    std::vector<Value> keys;
+    keys.reserve(keys_->size());
+    for (const auto& col : key_cols) keys.push_back(col->GetValue(row));
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : keys) h = HashCombine(h, v.Hash());
 
-      Group* group = nullptr;
-      auto& bucket = groups_[h];
-      for (Group& g : bucket) {
-        bool equal = g.keys.size() == keys.size();
-        for (size_t k = 0; k < keys.size() && equal; ++k)
-          if (Value::Compare(g.keys[k], keys[k]) != 0) equal = false;
-        if (equal) {
-          group = &g;
-          break;
-        }
+    bool created = false;
+    Group* group = FindOrCreate(h, std::move(keys), seq_base + i, &created);
+    for (size_t a = 0; a < aggs_->size(); ++a) {
+      const AggCall& agg = (*aggs_)[a];
+      Accumulator& acc = group->accs[a];
+      Value v = arg_cols[a] ? arg_cols[a]->GetValue(row) : Value::Null();
+      if (agg.arg && v.is_null()) continue;  // aggregates skip nulls
+      if (agg.distinct) {
+        acc.distinct.insert(v);
+        continue;
       }
-      if (!group) {
-        Group g;
-        g.keys = keys;
-        g.accs.resize(aggs_.size());
-        bucket.push_back(std::move(g));
-        group = &bucket.back();
-        bytes += 64;
-      }
-      for (size_t a = 0; a < aggs_.size(); ++a) {
-        const AggCall& agg = aggs_[a];
-        Accumulator& acc = group->accs[a];
-        Value v = arg_cols[a] ? arg_cols[a]->GetValue(row) : Value::Null();
-        if (agg.arg && v.is_null()) continue;  // aggregates skip nulls
-        if (agg.distinct) {
-          acc.distinct.insert(v);
-          continue;
+      acc.any = true;
+      ++acc.count;
+      if (agg.func == "SUM" || agg.func == "AVG") {
+        if (agg.result_type.kind == TypeKind::kDouble || agg.func == "AVG") {
+          acc.sum_f64 += v.AsDouble();
         }
-        acc.any = true;
-        ++acc.count;
-        if (agg.func == "SUM" || agg.func == "AVG") {
-          if (agg.result_type.kind == TypeKind::kDouble || agg.func == "AVG") {
-            acc.sum_f64 += v.AsDouble();
-          }
-          if (agg.result_type.kind == TypeKind::kDecimal) {
-            auto cast = v.CastTo(agg.result_type);
-            acc.sum_i64 += cast.ok() && !cast->is_null() ? cast->i64() : 0;
-          } else if (agg.result_type.kind == TypeKind::kBigint) {
-            acc.sum_i64 += v.AsInt64();
-          }
-        } else if (agg.func == "MIN") {
-          if (acc.min.is_null() || Value::Compare(v, acc.min) < 0) acc.min = v;
-        } else if (agg.func == "MAX") {
-          if (acc.max.is_null() || Value::Compare(v, acc.max) > 0) acc.max = v;
+        if (agg.result_type.kind == TypeKind::kDecimal) {
+          auto cast = v.CastTo(agg.result_type);
+          acc.sum_i64 += cast.ok() && !cast->is_null() ? cast->i64() : 0;
+        } else if (agg.result_type.kind == TypeKind::kBigint) {
+          acc.sum_i64 += v.AsInt64();
         }
+      } else if (agg.func == "MIN") {
+        if (acc.min.is_null() || Value::Compare(v, acc.min) < 0) acc.min = v;
+      } else if (agg.func == "MAX") {
+        if (acc.max.is_null() || Value::Compare(v, acc.max) > 0) acc.max = v;
       }
     }
   }
-  // Global aggregates produce one row even with empty input.
-  if (keys_.empty() && groups_.empty()) {
-    Group g;
-    g.accs.resize(aggs_.size());
-    groups_[0].push_back(std::move(g));
-  }
-  for (const auto& [h, bucket] : groups_)
-    for (const Group& g : bucket) ordered_.push_back(&g);
-  HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(bytes));
-  consumed_ = true;
   return Status::OK();
 }
 
-Value HashAggregateOperator::Finalize(const AggCall& agg, const Accumulator& acc) const {
+void GroupedAggState::MergeAccumulator(Accumulator* into, Accumulator&& from) {
+  into->count += from.count;
+  into->any = into->any || from.any;
+  into->sum_i64 += from.sum_i64;
+  into->sum_f64 += from.sum_f64;
+  if (!from.min.is_null() &&
+      (into->min.is_null() || Value::Compare(from.min, into->min) < 0))
+    into->min = std::move(from.min);
+  if (!from.max.is_null() &&
+      (into->max.is_null() || Value::Compare(from.max, into->max) > 0))
+    into->max = std::move(from.max);
+  into->distinct.merge(from.distinct);
+}
+
+void GroupedAggState::Merge(GroupedAggState&& other) {
+  for (auto& [hash, bucket] : other.groups_) {
+    for (Group& g : bucket) {
+      bool created = false;
+      std::vector<Value> keys = g.keys;
+      Group* mine = FindOrCreate(hash, std::move(keys), g.first_seq, &created);
+      if (created) {
+        mine->accs = std::move(g.accs);
+        continue;
+      }
+      mine->first_seq = std::min(mine->first_seq, g.first_seq);
+      for (size_t a = 0; a < mine->accs.size(); ++a)
+        MergeAccumulator(&mine->accs[a], std::move(g.accs[a]));
+    }
+  }
+}
+
+void GroupedAggState::Seal() {
+  // Global aggregates produce one row even with empty input.
+  if (keys_->empty() && groups_.empty()) {
+    Group g;
+    g.accs.resize(aggs_->size());
+    groups_[0].push_back(std::move(g));
+    ++groups_created_;
+  }
+  ordered_.clear();
+  for (const auto& [h, bucket] : groups_)
+    for (const Group& g : bucket) ordered_.push_back(&g);
+  // First-seen input order: deterministic however rows were partitioned.
+  std::sort(ordered_.begin(), ordered_.end(),
+            [](const Group* a, const Group* b) { return a->first_seq < b->first_seq; });
+}
+
+Value GroupedAggState::Finalize(const AggCall& agg, const Accumulator& acc) const {
   if (agg.distinct) {
     if (agg.func == "COUNT") return Value::Bigint(static_cast<int64_t>(acc.distinct.size()));
     // SUM(DISTINCT) etc.
@@ -147,23 +178,60 @@ Value HashAggregateOperator::Finalize(const AggCall& agg, const Accumulator& acc
   return Value::Null();
 }
 
+Result<RowBatch> GroupedAggState::Emit(size_t begin, size_t end,
+                                       const Schema& schema) const {
+  RowBatch out(schema);
+  for (size_t i = begin; i < end && i < ordered_.size(); ++i) {
+    const Group& g = *ordered_[i];
+    for (size_t k = 0; k < keys_->size(); ++k) out.column(k)->AppendValue(g.keys[k]);
+    for (size_t a = 0; a < aggs_->size(); ++a)
+      out.column(keys_->size() + a)->AppendValue(Finalize((*aggs_)[a], g.accs[a]));
+  }
+  out.set_num_rows(out.num_columns() ? out.column(0)->size() : 0);
+  return out;
+}
+
+// --- HashAggregateOperator ---
+
+HashAggregateOperator::HashAggregateOperator(ExecContext* ctx, OperatorPtr child,
+                                             std::vector<ExprPtr> keys,
+                                             std::vector<AggCall> aggs, Schema schema)
+    : Operator(ctx),
+      child_(std::move(child)),
+      keys_(std::move(keys)),
+      aggs_(std::move(aggs)),
+      schema_(std::move(schema)),
+      state_(&keys_, &aggs_) {}
+
+Status HashAggregateOperator::Open() { return child_->Open(); }
+
+Status HashAggregateOperator::Consume() {
+  bool done = false;
+  uint64_t seq = 0;
+  for (;;) {
+    HIVE_RETURN_IF_ERROR(CheckCancelled());
+    HIVE_ASSIGN_OR_RETURN(RowBatch batch, child_->Next(&done));
+    if (done) break;
+    HIVE_RETURN_IF_ERROR(state_.Consume(batch, seq));
+    seq += batch.SelectedSize();
+  }
+  state_.Seal();
+  HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(state_.approx_bytes()));
+  consumed_ = true;
+  return Status::OK();
+}
+
 Result<RowBatch> HashAggregateOperator::Next(bool* done) {
   if (!consumed_) HIVE_RETURN_IF_ERROR(Consume());
   size_t batch_size = static_cast<size_t>(ctx_->config->vector_batch_size);
-  if (emit_index_ >= ordered_.size()) {
+  if (emit_index_ >= state_.num_groups()) {
     *done = true;
     return RowBatch();
   }
   *done = false;
-  RowBatch out(schema_);
-  size_t end = std::min(ordered_.size(), emit_index_ + batch_size);
-  for (; emit_index_ < end; ++emit_index_) {
-    const Group& g = *ordered_[emit_index_];
-    for (size_t k = 0; k < keys_.size(); ++k) out.column(k)->AppendValue(g.keys[k]);
-    for (size_t a = 0; a < aggs_.size(); ++a)
-      out.column(keys_.size() + a)->AppendValue(Finalize(aggs_[a], g.accs[a]));
-  }
-  out.set_num_rows(out.num_columns() ? out.column(0)->size() : 0);
+  size_t end = std::min(state_.num_groups(), emit_index_ + batch_size);
+  HIVE_ASSIGN_OR_RETURN(RowBatch out, state_.Emit(emit_index_, end, schema_));
+  emit_index_ = end;
   rows_produced_ += static_cast<int64_t>(out.num_rows());
   return out;
 }

@@ -1,6 +1,9 @@
 #include "exec/compiler.h"
 
+#include <algorithm>
 #include <map>
+
+#include "exec/parallel_scan.h"
 
 namespace hive {
 
@@ -122,7 +125,67 @@ class Compiler {
     return CompileBare(node);
   }
 
+  /// Morsel-driven parallelism is available outside MR mode (MapReduce
+  /// models one task per containerized stage, not intra-fragment threads).
+  bool ParallelEligible() const {
+    return ctx_->config->parallel_scan_enabled &&
+           ctx_->mode != RuntimeMode::kMapReduce;
+  }
+
+  bool IsSpooled(const RelNodePtr& node) const {
+    if (!ctx_->config->shared_work_enabled) return false;
+    auto it = digest_counts_.find(node->Digest());
+    return it != digest_counts_.end() && it->second > 1;
+  }
+
+  /// Matches the scan-merge sharing condition of CompileNode: such scans
+  /// must reach the spool path, not the parallel one.
+  bool IsMergedScan(const RelNodePtr& scan) const {
+    if (!ctx_->config->shared_work_enabled || !scan->semijoin_reducers.empty() ||
+        scan->scan_filters.empty())
+      return false;
+    auto it = bare_scan_counts_.find(BareScanDigest(*scan));
+    return it != bare_scan_counts_.end() && it->second > 1;
+  }
+
+  /// Collects `node` into a parallel leaf pipeline (native scan + stacked
+  /// filter/project stages) when the whole chain is private — any node that
+  /// participates in shared-work spooling keeps the serial operators so the
+  /// spool machinery stays in charge.
+  bool CollectPipeline(const RelNodePtr& node, ParallelPipelineSpec* spec) {
+    if (!ParallelEligible()) return false;
+    RelNodePtr cur = node;
+    std::vector<RelNodePtr> stages;
+    while (cur->kind == RelKind::kFilter || cur->kind == RelKind::kProject) {
+      if (IsSpooled(cur)) return false;
+      stages.push_back(cur);
+      cur = cur->inputs[0];
+    }
+    if (cur->kind != RelKind::kScan || !cur->table.storage_handler.empty())
+      return false;
+    if (IsSpooled(cur) || IsMergedScan(cur)) return false;
+    spec->scan = cur;
+    std::reverse(stages.begin(), stages.end());
+    spec->stages = std::move(stages);
+    return true;
+  }
+
   Result<OperatorPtr> CompileBare(const RelNodePtr& node) {
+    switch (node->kind) {
+      case RelKind::kScan:
+      case RelKind::kFilter:
+      case RelKind::kProject: {
+        // Parallel leaf pipeline: the gather operator records scan/filter
+        // stats from its workers, so no StatsRecording wrapper here.
+        ParallelPipelineSpec spec;
+        if (CollectPipeline(node, &spec))
+          return OperatorPtr(
+              std::make_unique<ParallelScanOperator>(ctx_, std::move(spec)));
+        break;
+      }
+      default:
+        break;
+    }
     switch (node->kind) {
       case RelKind::kScan: {
         if (!node->table.storage_handler.empty()) {
@@ -192,6 +255,17 @@ class Compiler {
             ctx_, std::move(op), node->Digest()));
       }
       case RelKind::kAggregate: {
+        // Scan -> filter/project -> partial aggregate: fold morsels into
+        // per-worker states and merge, instead of aggregating a gathered
+        // stream. Workers record the scan/filter stats; the wrapper here
+        // records only the aggregate node itself.
+        ParallelPipelineSpec spec;
+        if (CollectPipeline(node->inputs[0], &spec)) {
+          auto op = std::make_unique<ParallelAggregateOperator>(
+              ctx_, std::move(spec), node->group_keys, node->aggs, node->schema);
+          return OperatorPtr(std::make_unique<StatsRecordingOperator>(
+              ctx_, std::move(op), node->Digest()));
+        }
         HIVE_ASSIGN_OR_RETURN(OperatorPtr child, CompileNode(node->inputs[0]));
         auto op = std::make_unique<HashAggregateOperator>(
             ctx_, std::move(child), node->group_keys, node->aggs, node->schema);

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -34,9 +35,11 @@ struct RuntimeStats {
   std::mutex mu;
   std::map<std::string, int64_t> rows_produced;
 
+  /// Accumulates: a node executed as several parallel fragments records one
+  /// partial count per fragment, and re-optimization needs their sum.
   void Record(const std::string& digest, int64_t rows) {
     std::lock_guard<std::mutex> lock(mu);
-    rows_produced[digest] = rows;
+    rows_produced[digest] += rows;
   }
 };
 
@@ -59,6 +62,16 @@ struct ExecContext {
   /// Runtime stats sink (may be null).
   RuntimeStats* runtime_stats = nullptr;
   RuntimeMode mode = RuntimeMode::kTez;
+
+  /// Fans an intra-query worker fragment out to the persistent executor pool
+  /// (morsel-driven parallel pipelines). Null = no executor pool; workers
+  /// then run inline on the coordinating thread.
+  std::function<std::future<Status>(std::function<Status()>)> submit_worker;
+  /// I/O elevator hook: asynchronously reads + decodes a column chunk into
+  /// the shared cache so it is warm by the time a worker claims the morsel.
+  std::function<void(std::shared_ptr<CofReader>, size_t, size_t)> prefetch_chunk;
+  /// Upper bound on worker threads a single parallel pipeline may use.
+  int max_parallel_workers = 1;
   /// Abort flag for workload-manager KILL triggers.
   std::shared_ptr<std::atomic<bool>> cancelled;
 

@@ -1,9 +1,11 @@
 #ifndef HIVE_EXEC_OPERATORS_H_
 #define HIVE_EXEC_OPERATORS_H_
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -14,10 +16,15 @@ namespace hive {
 
 /// Table scan over native tables: resolves the snapshot, runs any dynamic
 /// semijoin reducers (building min/max + Bloom sargs, or pruning partitions
-/// dynamically), then streams batches partition by partition through the
-/// chunk provider (the LLAP cache when enabled). Partition-column values
-/// materialize as constant vectors. Residual predicates produce selection
-/// vectors.
+/// dynamically), then reads batches through the chunk provider (the LLAP
+/// cache when enabled). Partition-column values materialize as constant
+/// vectors. Residual predicates produce selection vectors.
+///
+/// Open() enumerates the scan into morsels — one (location, file, row group)
+/// unit each — which are the work-stealing granularity of the parallel
+/// execution layer: serial Next() walks them in order, while a parallel
+/// pipeline has workers claim indexes from a shared atomic counter and call
+/// ReadMorsel concurrently (const state, thread-safe).
 class ScanOperator : public Operator {
  public:
   ScanOperator(ExecContext* ctx, const RelNode& node);
@@ -26,18 +33,41 @@ class ScanOperator : public Operator {
   Result<RowBatch> Next(bool* done) override;
   const Schema& schema() const override { return out_schema_; }
 
-  uint64_t row_groups_skipped() const { return row_groups_skipped_; }
+  uint64_t row_groups_skipped() const { return row_groups_skipped_.load(); }
   size_t partitions_scanned() const { return locations_.size(); }
+
+  /// Number of morsels enumerated by Open().
+  size_t num_morsels() const { return morsels_.size(); }
+  /// Reads one morsel and applies residual filters / runtime Blooms. Sets
+  /// *skipped (returning an empty batch) when the sarg eliminates the row
+  /// group. Thread-safe after Open; does not touch rows_produced_.
+  Result<RowBatch> ReadMorsel(size_t index, bool* skipped);
+  /// Queues the morsel's column chunks on the I/O elevator so they decode
+  /// into the cache ahead of a worker claiming the morsel. No-op when the
+  /// context carries no prefetch hook or the morsel is out of range.
+  void PrefetchMorsel(size_t index) const;
 
  private:
   struct Location {
     std::string path;
     std::vector<Value> partition_values;
   };
+  /// Per-location open state shared (read-only) by concurrent ReadMorsel
+  /// calls: the merge-on-read planner for ACID locations plus the opened
+  /// file readers (footer metadata) that morsels index into.
+  struct LocationState {
+    std::unique_ptr<AcidReader> acid;  // null for non-ACID locations
+    std::vector<std::shared_ptr<CofReader>> files;
+  };
+  struct Morsel {
+    uint32_t location;
+    uint32_t file;
+    uint32_t row_group;
+  };
 
   Status RunSemiJoinReducers();
-  Status AdvanceLocation();
-  Result<RowBatch> PostProcess(RowBatch raw, const Location& loc);
+  Status EnumerateMorsels();
+  Result<RowBatch> PostProcess(RowBatch raw, const Location& loc) const;
 
   TableDesc table_;
   std::vector<size_t> projected_;       // into FullSchema
@@ -47,22 +77,20 @@ class ScanOperator : public Operator {
   bool partitions_pruned_ = false;
   Schema out_schema_;
 
-  // Derived at Open:
+  // Derived at Open (immutable afterwards):
   SearchArgument sarg_;
   std::vector<Location> locations_;
   std::vector<size_t> data_columns_;    // AcidReader projection (user ordinals)
   std::vector<int> output_from_data_;   // output i <- data column position or -1
   std::vector<int> output_from_part_;   // output i <- partition col index or -1
-  size_t location_index_ = 0;
-  std::unique_ptr<AcidReader> reader_;
-  // Non-ACID iteration state.
-  std::vector<std::string> plain_files_;
-  size_t plain_file_index_ = 0;
-  std::shared_ptr<CofReader> plain_reader_;
-  size_t plain_rg_ = 0;
-  uint64_t row_groups_skipped_ = 0;
+  std::vector<LocationState> location_states_;
+  std::vector<Morsel> morsels_;
   /// Row-level Bloom filters from semijoin reducers: (output column, filter).
   std::vector<std::pair<int, std::shared_ptr<BloomFilter>>> runtime_blooms_;
+
+  // Serial iteration cursor (unused by parallel pipelines).
+  size_t next_morsel_ = 0;
+  std::atomic<uint64_t> row_groups_skipped_{0};
 };
 
 /// Literal rows.
@@ -144,17 +172,36 @@ class HashJoinOperator : public Operator {
   bool emitted_unmatched_ = false;
 };
 
-/// Hash aggregation with optional DISTINCT aggregates; grouping-set
-/// expansion happens in the planner so this operator sees plain keys.
-class HashAggregateOperator : public Operator {
+/// Mergeable grouped-aggregation state: the hash table of one aggregation
+/// fragment. Every supported accumulator (COUNT / SUM / AVG-as-sum+count /
+/// MIN / MAX / DISTINCT value sets) merges commutatively, so each parallel
+/// worker folds its morsels into a private instance and the coordinator
+/// merges them — the classic partial-aggregate exchange. Groups remember the
+/// sequence number of the first input row that created them; emission sorts
+/// by that, making output order deterministic and independent of how rows
+/// were distributed over workers.
+class GroupedAggState {
  public:
-  HashAggregateOperator(ExecContext* ctx, OperatorPtr child,
-                        std::vector<ExprPtr> keys, std::vector<AggCall> aggs,
-                        Schema schema);
-  Status Open() override;
-  Result<RowBatch> Next(bool* done) override;
-  Status Close() override { return child_->Close(); }
-  const Schema& schema() const override { return schema_; }
+  GroupedAggState(const std::vector<ExprPtr>* keys, const std::vector<AggCall>* aggs);
+
+  /// Folds one batch in. `seq_base` positions the batch in the global input
+  /// order (a new group records seq_base + its row position).
+  Status Consume(const RowBatch& batch, uint64_t seq_base);
+
+  /// Merges `other`'s groups into this state.
+  void Merge(GroupedAggState&& other);
+
+  /// Finishes the build: adds the empty global group (no keys, no input)
+  /// and orders groups by first-seen sequence. Call once, after all
+  /// Consume/Merge.
+  void Seal();
+
+  size_t num_groups() const { return ordered_.size(); }
+  /// Rough memory footprint used for stage-boundary accounting.
+  uint64_t approx_bytes() const { return 64 * groups_created_; }
+
+  /// Emits groups [begin, end) as a batch over `schema` (keys then aggs).
+  Result<RowBatch> Emit(size_t begin, size_t end, const Schema& schema) const;
 
  private:
   struct Accumulator {
@@ -168,17 +215,42 @@ class HashAggregateOperator : public Operator {
   struct Group {
     std::vector<Value> keys;
     std::vector<Accumulator> accs;
+    uint64_t first_seq = 0;
   };
 
-  Status Consume();
+  Group* FindOrCreate(uint64_t hash, std::vector<Value>&& keys, uint64_t seq,
+                      bool* created);
+  static void MergeAccumulator(Accumulator* into, Accumulator&& from);
   Value Finalize(const AggCall& agg, const Accumulator& acc) const;
+
+  const std::vector<ExprPtr>* keys_;
+  const std::vector<AggCall>* aggs_;
+  std::unordered_map<uint64_t, std::vector<Group>> groups_;
+  std::vector<const Group*> ordered_;
+  uint64_t groups_created_ = 0;
+};
+
+/// Hash aggregation with optional DISTINCT aggregates; grouping-set
+/// expansion happens in the planner so this operator sees plain keys.
+/// Thin serial driver over GroupedAggState.
+class HashAggregateOperator : public Operator {
+ public:
+  HashAggregateOperator(ExecContext* ctx, OperatorPtr child,
+                        std::vector<ExprPtr> keys, std::vector<AggCall> aggs,
+                        Schema schema);
+  Status Open() override;
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override { return child_->Close(); }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  Status Consume();
 
   OperatorPtr child_;
   std::vector<ExprPtr> keys_;
   std::vector<AggCall> aggs_;
   Schema schema_;
-  std::unordered_map<uint64_t, std::vector<Group>> groups_;
-  std::vector<const Group*> ordered_;
+  GroupedAggState state_;
   size_t emit_index_ = 0;
   bool consumed_ = false;
 };

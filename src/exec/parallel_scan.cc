@@ -1,0 +1,226 @@
+#include "exec/parallel_scan.h"
+
+#include <algorithm>
+#include <future>
+
+#include "exec/vector_eval.h"
+
+namespace hive {
+
+MorselDriver::MorselDriver(ExecContext* ctx, ParallelPipelineSpec spec)
+    : ctx_(ctx), spec_(std::move(spec)) {
+  scan_ = std::make_unique<ScanOperator>(ctx_, *spec_.scan);
+}
+
+Status MorselDriver::Open() {
+  scan_digest_ = spec_.scan->Digest();
+  for (const RelNodePtr& stage : spec_.stages)
+    stage_digests_.push_back(stage->kind == RelKind::kFilter ? stage->Digest()
+                                                             : std::string());
+  return scan_->Open();
+}
+
+int MorselDriver::DecideWorkers() const {
+  int workers = std::max(1, ctx_->max_parallel_workers);
+  size_t morsels = scan_->num_morsels();
+  if (morsels < static_cast<size_t>(workers))
+    workers = std::max<int>(1, static_cast<int>(morsels));
+  return workers;
+}
+
+Status MorselDriver::WorkerLoop(
+    int worker, const std::function<Status(int, size_t, RowBatch&&)>& sink) {
+  int64_t scan_rows = 0;
+  int64_t busy_ns = 0;
+  std::vector<int64_t> stage_rows(spec_.stages.size(), 0);
+  Status status = Status::OK();
+  for (;;) {
+    if (failed_.load(std::memory_order_acquire)) break;
+    if (ctx_->IsCancelled()) {
+      status = Status::ResourceExhausted("query cancelled by workload manager");
+      break;
+    }
+    size_t m = next_morsel_.fetch_add(1, std::memory_order_relaxed);
+    if (m >= scan_->num_morsels()) break;
+    // I/O elevator read-ahead: decode the morsel one wave ahead while this
+    // one is processed (duplicates collapse via cache single-flight).
+    scan_->PrefetchMorsel(m + static_cast<size_t>(workers_));
+    bool skipped = false;
+    Result<RowBatch> read = scan_->ReadMorsel(m, &skipped);
+    if (!read.ok()) {
+      status = read.status();
+      break;
+    }
+    if (skipped) continue;
+    RowBatch batch = std::move(*read);
+    busy_ns += static_cast<int64_t>(batch.num_rows()) *
+               ctx_->config->scan_cpu_ns_per_row;
+    scan_rows += static_cast<int64_t>(batch.SelectedSize());
+    // Apply the stacked stages (mirrors FilterOperator / ProjectOperator).
+    bool eliminated = false;
+    for (size_t s = 0; s < spec_.stages.size() && !eliminated; ++s) {
+      const RelNodePtr& stage = spec_.stages[s];
+      if (stage->kind == RelKind::kFilter) {
+        Result<std::vector<int32_t>> selection =
+            FilterSelection(*stage->predicate, batch);
+        if (!selection.ok()) {
+          status = selection.status();
+          break;
+        }
+        stage_rows[s] += static_cast<int64_t>(selection->size());
+        if (selection->empty()) {
+          eliminated = true;
+          break;
+        }
+        batch.SetSelection(std::move(*selection));
+      } else {
+        RowBatch out(stage->schema);
+        for (size_t e = 0; e < stage->exprs.size(); ++e) {
+          Result<ColumnVectorPtr> col = EvalVector(*stage->exprs[e], batch);
+          if (!col.ok()) {
+            status = col.status();
+            break;
+          }
+          out.SetColumn(e, std::move(*col));
+        }
+        if (!status.ok()) break;
+        out.set_num_rows(batch.num_rows());
+        if (batch.has_selection()) out.SetSelection(batch.selection());
+        batch = std::move(out);
+      }
+    }
+    if (!status.ok()) break;
+    if (eliminated) continue;
+    Status sunk = sink(worker, m, std::move(batch));
+    if (!sunk.ok()) {
+      status = sunk;
+      break;
+    }
+  }
+  if (!status.ok()) failed_.store(true, std::memory_order_release);
+  worker_busy_ns_[worker] = busy_ns;
+  // Per-worker partial row counts; RuntimeStats::Record accumulates, so the
+  // per-digest totals equal the serial counts.
+  if (ctx_->runtime_stats) {
+    ctx_->runtime_stats->Record(scan_digest_, scan_rows);
+    for (size_t s = 0; s < stage_digests_.size(); ++s)
+      if (!stage_digests_[s].empty())
+        ctx_->runtime_stats->Record(stage_digests_[s], stage_rows[s]);
+  }
+  return status;
+}
+
+Status MorselDriver::Run(
+    int workers, const std::function<Status(int, size_t, RowBatch&&)>& sink) {
+  workers_ = std::max(1, workers);
+  failed_.store(false);
+  next_morsel_.store(0);
+  worker_busy_ns_.assign(static_cast<size_t>(workers_), 0);
+  // Warm the first wave through the I/O elevator before workers start.
+  for (int i = 0; i < workers_; ++i)
+    scan_->PrefetchMorsel(static_cast<size_t>(i));
+  std::vector<std::future<Status>> futures;
+  if (ctx_->submit_worker) {
+    for (int w = 1; w < workers_; ++w)
+      futures.push_back(
+          ctx_->submit_worker([this, w, &sink] { return WorkerLoop(w, sink); }));
+  }
+  Status status = WorkerLoop(0, sink);
+  for (auto& f : futures) {
+    Status s = f.get();
+    if (status.ok() && !s.ok()) status = s;
+  }
+  // Scan CPU is modeled like container start-up: the virtual clock pays the
+  // critical path — the slowest worker — so the morsel queue's speedup shows
+  // up in measured time even when the host serializes the threads.
+  int64_t critical_ns = 0;
+  for (int64_t ns : worker_busy_ns_) critical_ns = std::max(critical_ns, ns);
+  if (ctx_->clock) ctx_->clock->Charge(critical_ns / 1000);
+  return status;
+}
+
+// --- ParallelScanOperator ---
+
+ParallelScanOperator::ParallelScanOperator(ExecContext* ctx,
+                                           ParallelPipelineSpec spec)
+    : Operator(ctx),
+      driver_(ctx, ParallelPipelineSpec(spec)),
+      schema_(spec.stages.empty() ? spec.scan->schema
+                                  : spec.stages.back()->schema) {}
+
+Result<RowBatch> ParallelScanOperator::Next(bool* done) {
+  if (!ran_) {
+    ran_ = true;
+    results_.resize(driver_.num_morsels());
+    present_.assign(driver_.num_morsels(), 0);
+    int workers = driver_.DecideWorkers();
+    HIVE_RETURN_IF_ERROR(driver_.Run(
+        workers, [this](int, size_t morsel, RowBatch&& batch) -> Status {
+          // Disjoint morsel slots: ordered gather without locks.
+          results_[morsel] = std::move(batch);
+          present_[morsel] = 1;
+          return Status::OK();
+        }));
+  }
+  while (emit_ < results_.size() && !present_[emit_]) ++emit_;
+  if (emit_ >= results_.size()) {
+    *done = true;
+    return RowBatch();
+  }
+  *done = false;
+  RowBatch out = std::move(results_[emit_]);
+  present_[emit_] = 0;
+  ++emit_;
+  rows_produced_ += static_cast<int64_t>(out.SelectedSize());
+  return out;
+}
+
+// --- ParallelAggregateOperator ---
+
+ParallelAggregateOperator::ParallelAggregateOperator(
+    ExecContext* ctx, ParallelPipelineSpec spec, std::vector<ExprPtr> keys,
+    std::vector<AggCall> aggs, Schema schema)
+    : Operator(ctx),
+      driver_(ctx, std::move(spec)),
+      keys_(std::move(keys)),
+      aggs_(std::move(aggs)),
+      schema_(std::move(schema)) {}
+
+Status ParallelAggregateOperator::RunPipeline() {
+  ran_ = true;
+  int workers = driver_.DecideWorkers();
+  partials_.clear();
+  for (int w = 0; w < workers; ++w)
+    partials_.push_back(std::make_unique<GroupedAggState>(&keys_, &aggs_));
+  HIVE_RETURN_IF_ERROR(driver_.Run(
+      workers, [this](int worker, size_t morsel, RowBatch&& batch) -> Status {
+        // Sequence rows by (morsel, row) so group order is independent of
+        // the morsel-to-worker assignment. Row groups hold < 2^24 rows.
+        return partials_[worker]->Consume(batch,
+                                          static_cast<uint64_t>(morsel) << 24);
+      }));
+  // Merge the thread-local partial states (partial-aggregate exchange).
+  for (size_t w = 1; w < partials_.size(); ++w)
+    partials_[0]->Merge(std::move(*partials_[w]));
+  partials_.resize(1);
+  partials_[0]->Seal();
+  return ctx_->OnStageBoundary(partials_[0]->approx_bytes());
+}
+
+Result<RowBatch> ParallelAggregateOperator::Next(bool* done) {
+  if (!ran_) HIVE_RETURN_IF_ERROR(RunPipeline());
+  GroupedAggState& state = *partials_[0];
+  size_t batch_size = static_cast<size_t>(ctx_->config->vector_batch_size);
+  if (emit_index_ >= state.num_groups()) {
+    *done = true;
+    return RowBatch();
+  }
+  *done = false;
+  size_t end = std::min(state.num_groups(), emit_index_ + batch_size);
+  HIVE_ASSIGN_OR_RETURN(RowBatch out, state.Emit(emit_index_, end, schema_));
+  emit_index_ = end;
+  rows_produced_ += static_cast<int64_t>(out.num_rows());
+  return out;
+}
+
+}  // namespace hive

@@ -1,0 +1,123 @@
+#ifndef HIVE_EXEC_PARALLEL_SCAN_H_
+#define HIVE_EXEC_PARALLEL_SCAN_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+
+namespace hive {
+
+/// A leaf pipeline eligible for morsel-driven parallel execution: one native
+/// table scan plus the filter/project stages stacked directly above it
+/// (bottom-up order). Detected by the compiler; executed by the operators
+/// below across up to ExecContext::max_parallel_workers LLAP executors.
+struct ParallelPipelineSpec {
+  RelNodePtr scan;
+  std::vector<RelNodePtr> stages;  // kFilter / kProject nodes, scan upwards
+};
+
+/// Shared machinery of the parallel leaf operators: owns the ScanOperator
+/// (whose Open() enumerates the morsel queue) and drives worker loops that
+/// claim morsel indexes from an atomic counter, read them through the chunk
+/// provider, apply the stacked stages, and hand surviving batches to a sink.
+/// Worker 0 always runs on the calling (coordinator) thread; workers 1..K-1
+/// fan out through ExecContext::submit_worker when present, falling back to
+/// inline execution otherwise. Each worker prefetches a morsel one wave
+/// ahead through the I/O elevator so chunks decode off the execution path.
+class MorselDriver {
+ public:
+  MorselDriver(ExecContext* ctx, ParallelPipelineSpec spec);
+
+  /// Opens the scan (semijoin reducers, morsel enumeration) and resolves
+  /// per-stage digests for runtime-stats recording.
+  Status Open();
+
+  /// Picks the worker count for this pipeline: morsel-bounded, at least 1.
+  int DecideWorkers() const;
+
+  /// Runs the pipeline to completion. `sink` receives (worker, morsel,
+  /// batch) and must tolerate concurrent calls with distinct worker ids.
+  Status Run(int workers,
+             const std::function<Status(int, size_t, RowBatch&&)>& sink);
+
+  Status Close() { return scan_->Close(); }
+  ScanOperator* scan() { return scan_.get(); }
+  size_t num_morsels() const { return scan_->num_morsels(); }
+
+ private:
+  Status WorkerLoop(int worker,
+                    const std::function<Status(int, size_t, RowBatch&&)>& sink);
+
+  ExecContext* ctx_;
+  ParallelPipelineSpec spec_;
+  std::unique_ptr<ScanOperator> scan_;
+  std::string scan_digest_;
+  /// Parallel to spec_.stages: digest for kFilter stages (recorded like the
+  /// serial FilterOperator wrapper), empty for kProject (not recorded).
+  std::vector<std::string> stage_digests_;
+  std::atomic<size_t> next_morsel_{0};
+  std::atomic<bool> failed_{false};
+  int workers_ = 1;
+  /// Modeled scan-CPU nanoseconds accumulated by each worker; Run() charges
+  /// the maximum (the critical path) to the virtual clock.
+  std::vector<int64_t> worker_busy_ns_;
+};
+
+/// Gather exchange over a parallel scan pipeline: workers write each
+/// morsel's finished batch into a slot indexed by morsel, and Next() emits
+/// the slots in morsel order — byte-identical to the serial operator chain
+/// at any worker count. The pipeline runs on the first Next() call.
+class ParallelScanOperator : public Operator {
+ public:
+  ParallelScanOperator(ExecContext* ctx, ParallelPipelineSpec spec);
+
+  Status Open() override { return driver_.Open(); }
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override { return driver_.Close(); }
+  const Schema& schema() const override { return schema_; }
+
+  ScanOperator* scan() { return driver_.scan(); }
+
+ private:
+  MorselDriver driver_;
+  Schema schema_;
+  std::vector<RowBatch> results_;   // slot per morsel (ordered gather)
+  std::vector<uint8_t> present_;
+  bool ran_ = false;
+  size_t emit_ = 0;
+};
+
+/// Partial aggregation over a parallel scan pipeline: each worker folds its
+/// morsels into a private GroupedAggState keyed by (morsel << 24 | row)
+/// sequence numbers; the coordinator merges the partials and emits groups in
+/// first-seen input order — identical output at any worker count.
+class ParallelAggregateOperator : public Operator {
+ public:
+  ParallelAggregateOperator(ExecContext* ctx, ParallelPipelineSpec spec,
+                            std::vector<ExprPtr> keys, std::vector<AggCall> aggs,
+                            Schema schema);
+
+  Status Open() override { return driver_.Open(); }
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override { return driver_.Close(); }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  Status RunPipeline();
+
+  MorselDriver driver_;
+  std::vector<ExprPtr> keys_;
+  std::vector<AggCall> aggs_;
+  Schema schema_;
+  std::vector<std::unique_ptr<GroupedAggState>> partials_;  // one per worker
+  bool ran_ = false;
+  size_t emit_index_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_EXEC_PARALLEL_SCAN_H_

@@ -128,11 +128,11 @@ Status ScanOperator::Open() {
     if (ToSarg(f, out_schema_, &pred)) sarg_.conjuncts.push_back(std::move(pred));
   }
 
-  // Dynamic semijoin reduction (Section 4.6).
+  // Dynamic semijoin reduction (Section 4.6). Must run before morsel
+  // enumeration: reducers may drop locations and tighten the sarg.
   HIVE_RETURN_IF_ERROR(RunSemiJoinReducers());
 
-  location_index_ = 0;
-  return AdvanceLocation();
+  return EnumerateMorsels();
 }
 
 Status ScanOperator::RunSemiJoinReducers() {
@@ -167,13 +167,17 @@ Status ScanOperator::RunSemiJoinReducers() {
         if (ToLower(table_.partition_cols[p].name) == ToLower(reducer.target_column))
           part_index = static_cast<int>(p);
       if (part_index >= 0) {
+        // Sort the build values once and binary-search per partition:
+        // O((B + P) log B) instead of the old O(B * P) linear probes.
+        auto less = [](const Value& a, const Value& b) {
+          return Value::Compare(a, b) < 0;
+        };
+        std::sort(values.begin(), values.end(), less);
         std::vector<Location> kept;
         for (const Location& loc : locations_) {
           const Value& pv = loc.partition_values[part_index];
-          bool match = false;
-          for (const Value& v : values)
-            if (Value::Compare(v, pv) == 0) match = true;
-          if (match) kept.push_back(loc);
+          if (std::binary_search(values.begin(), values.end(), pv, less))
+            kept.push_back(loc);
         }
         locations_ = std::move(kept);
         continue;
@@ -192,35 +196,47 @@ Status ScanOperator::RunSemiJoinReducers() {
   return Status::OK();
 }
 
-Status ScanOperator::AdvanceLocation() {
-  reader_.reset();
-  plain_reader_.reset();
-  plain_files_.clear();
-  plain_file_index_ = 0;
-  plain_rg_ = 0;
-  if (location_index_ >= locations_.size()) return Status::OK();
-  const Location& loc = locations_[location_index_];
-  if (table_.is_acid) {
-    reader_ = std::make_unique<AcidReader>(ctx_->fs, loc.path, table_.schema,
-                                           ctx_->chunks);
-    AcidScanOptions options;
-    options.columns = data_columns_;
-    options.sarg = sarg_;
-    ValidWriteIdList snapshot = ctx_->snapshot_for
-                                    ? ctx_->snapshot_for(table_.FullName())
-                                    : ValidWriteIdList::All();
-    return reader_->Open(snapshot, options);
-  }
-  // Non-ACID: plain COF files directly under the location.
-  if (ctx_->fs->Exists(loc.path)) {
-    HIVE_ASSIGN_OR_RETURN(std::vector<FileInfo> files, ctx_->fs->ListDir(loc.path));
-    for (const FileInfo& f : files)
-      if (!f.is_dir) plain_files_.push_back(f.path);
+Status ScanOperator::EnumerateMorsels() {
+  // Plan every location up front and flatten the scan into (location, file,
+  // row group) morsels — the shared work queue of the parallel layer. Only
+  // footers are touched here; data chunks are read morsel by morsel.
+  location_states_.resize(locations_.size());
+  for (size_t l = 0; l < locations_.size(); ++l) {
+    const Location& loc = locations_[l];
+    LocationState& state = location_states_[l];
+    std::vector<std::string> files;
+    if (table_.is_acid) {
+      state.acid = std::make_unique<AcidReader>(ctx_->fs, loc.path, table_.schema,
+                                                ctx_->chunks);
+      AcidScanOptions options;
+      options.columns = data_columns_;
+      options.sarg = sarg_;
+      ValidWriteIdList snapshot = ctx_->snapshot_for
+                                      ? ctx_->snapshot_for(table_.FullName())
+                                      : ValidWriteIdList::All();
+      HIVE_RETURN_IF_ERROR(state.acid->Open(snapshot, options));
+      files = state.acid->data_files();
+    } else if (ctx_->fs->Exists(loc.path)) {
+      // Non-ACID: plain COF files directly under the location.
+      HIVE_ASSIGN_OR_RETURN(std::vector<FileInfo> entries,
+                            ctx_->fs->ListDir(loc.path));
+      for (const FileInfo& f : entries)
+        if (!f.is_dir) files.push_back(f.path);
+    }
+    for (const std::string& path : files) {
+      HIVE_ASSIGN_OR_RETURN(std::shared_ptr<CofReader> reader,
+                            ctx_->chunks->OpenReader(path));
+      uint32_t file_index = static_cast<uint32_t>(state.files.size());
+      state.files.push_back(reader);
+      for (size_t rg = 0; rg < reader->num_row_groups(); ++rg)
+        morsels_.push_back({static_cast<uint32_t>(l), file_index,
+                            static_cast<uint32_t>(rg)});
+    }
   }
   return Status::OK();
 }
 
-Result<RowBatch> ScanOperator::PostProcess(RowBatch raw, const Location& loc) {
+Result<RowBatch> ScanOperator::PostProcess(RowBatch raw, const Location& loc) const {
   // Assemble the output batch: data columns by position, partition columns
   // as broadcast constants.
   RowBatch out(out_schema_);
@@ -265,63 +281,75 @@ Result<RowBatch> ScanOperator::PostProcess(RowBatch raw, const Location& loc) {
     }
     out.SetSelection(std::move(selection));
   }
-  rows_produced_ += static_cast<int64_t>(out.SelectedSize());
   return out;
+}
+
+Result<RowBatch> ScanOperator::ReadMorsel(size_t index, bool* skipped) {
+  *skipped = false;
+  const Morsel& m = morsels_[index];
+  const Location& loc = locations_[m.location];
+  const LocationState& state = location_states_[m.location];
+  const std::shared_ptr<CofReader>& reader = state.files[m.file];
+  if (!reader->MightMatch(m.row_group, sarg_)) {
+    row_groups_skipped_.fetch_add(1, std::memory_order_relaxed);
+    *skipped = true;
+    return RowBatch();
+  }
+  if (state.acid) {
+    HIVE_ASSIGN_OR_RETURN(RowBatch raw,
+                          state.acid->ReadFileRowGroup(reader, m.row_group));
+    return PostProcess(std::move(raw), loc);
+  }
+  Schema raw_schema;
+  for (size_t c : data_columns_)
+    raw_schema.AddField(reader->schema().field(c).name,
+                        reader->schema().field(c).type);
+  RowBatch raw(raw_schema);
+  for (size_t i = 0; i < data_columns_.size(); ++i) {
+    HIVE_ASSIGN_OR_RETURN(
+        ColumnVectorPtr col,
+        ctx_->chunks->ReadChunk(reader, m.row_group, data_columns_[i]));
+    raw.SetColumn(i, std::move(col));
+  }
+  raw.set_num_rows(reader->row_group(m.row_group).num_rows);
+  return PostProcess(std::move(raw), loc);
+}
+
+void ScanOperator::PrefetchMorsel(size_t index) const {
+  if (!ctx_->prefetch_chunk || index >= morsels_.size()) return;
+  const Morsel& m = morsels_[index];
+  const LocationState& state = location_states_[m.location];
+  const std::shared_ptr<CofReader>& reader = state.files[m.file];
+  if (!reader->MightMatch(m.row_group, sarg_)) return;
+  if (state.acid) {
+    for (size_t c : data_columns_)
+      ctx_->prefetch_chunk(reader, m.row_group, c + kNumAcidMetaCols);
+    for (size_t c = 0; c < kNumAcidMetaCols; ++c)
+      ctx_->prefetch_chunk(reader, m.row_group, c);
+  } else {
+    for (size_t c : data_columns_)
+      ctx_->prefetch_chunk(reader, m.row_group, c);
+  }
 }
 
 Result<RowBatch> ScanOperator::Next(bool* done) {
   *done = false;
-  HIVE_RETURN_IF_ERROR(CheckCancelled());
   for (;;) {
-    if (location_index_ >= locations_.size()) {
+    HIVE_RETURN_IF_ERROR(CheckCancelled());
+    if (next_morsel_ >= morsels_.size()) {
       *done = true;
       return RowBatch();
     }
-    const Location& loc = locations_[location_index_];
-    if (table_.is_acid) {
-      bool reader_done = false;
-      HIVE_ASSIGN_OR_RETURN(RowBatch raw, reader_->NextBatch(&reader_done));
-      if (reader_done) {
-        row_groups_skipped_ += reader_->row_groups_skipped();
-        ++location_index_;
-        HIVE_RETURN_IF_ERROR(AdvanceLocation());
-        continue;
-      }
-      return PostProcess(std::move(raw), loc);
-    }
-    // Non-ACID path.
-    if (!plain_reader_) {
-      if (plain_file_index_ >= plain_files_.size()) {
-        ++location_index_;
-        HIVE_RETURN_IF_ERROR(AdvanceLocation());
-        continue;
-      }
-      HIVE_ASSIGN_OR_RETURN(plain_reader_,
-                            ctx_->chunks->OpenReader(plain_files_[plain_file_index_]));
-      plain_rg_ = 0;
-    }
-    if (plain_rg_ >= plain_reader_->num_row_groups()) {
-      plain_reader_.reset();
-      ++plain_file_index_;
-      continue;
-    }
-    size_t rg = plain_rg_++;
-    if (!plain_reader_->MightMatch(rg, sarg_)) {
-      ++row_groups_skipped_;
-      continue;
-    }
-    Schema raw_schema;
-    for (size_t c : data_columns_)
-      raw_schema.AddField(plain_reader_->schema().field(c).name,
-                          plain_reader_->schema().field(c).type);
-    RowBatch raw(raw_schema);
-    for (size_t i = 0; i < data_columns_.size(); ++i) {
-      HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col,
-                            ctx_->chunks->ReadChunk(plain_reader_, rg, data_columns_[i]));
-      raw.SetColumn(i, std::move(col));
-    }
-    raw.set_num_rows(plain_reader_->row_group(rg).num_rows);
-    return PostProcess(std::move(raw), loc);
+    bool skipped = false;
+    HIVE_ASSIGN_OR_RETURN(RowBatch batch, ReadMorsel(next_morsel_++, &skipped));
+    if (skipped) continue;
+    // Serial scan: every row's modeled CPU cost lands on the critical path
+    // (the parallel driver charges only its slowest worker instead).
+    if (ctx_->clock)
+      ctx_->clock->Charge(static_cast<int64_t>(batch.num_rows()) *
+                          ctx_->config->scan_cpu_ns_per_row / 1000);
+    rows_produced_ += static_cast<int64_t>(batch.SelectedSize());
+    return batch;
   }
 }
 

@@ -44,12 +44,29 @@ class LlapDaemon {
     return future;
   }
 
+  /// Runs an intra-query worker fragment of a morsel-driven pipeline. Unlike
+  /// SubmitFragment (whose coordinator fragments block on their workers),
+  /// this prefers an idle executor but falls back to running inline on the
+  /// caller when the pool is saturated, so nested fan-out cannot deadlock
+  /// the fixed-size executor set.
+  std::future<Status> SubmitWorkFragment(std::function<Status()> fragment) {
+    auto promise = std::make_shared<std::promise<Status>>();
+    auto future = promise->get_future();
+    fragments_submitted_.fetch_add(1, std::memory_order_relaxed);
+    executors_.SubmitOrRun([this, promise, fragment = std::move(fragment)]() mutable {
+      promise->set_value(fragment());
+      fragments_completed_.fetch_add(1, std::memory_order_relaxed);
+    });
+    return future;
+  }
+
   /// Asynchronously fetches and decodes a column chunk through the cache
   /// (the I/O elevator path).
   std::future<Result<ColumnVectorPtr>> PrefetchChunk(
       std::shared_ptr<CofReader> reader, size_t row_group, size_t column) {
     auto promise = std::make_shared<std::promise<Result<ColumnVectorPtr>>>();
     auto future = promise->get_future();
+    prefetches_issued_.fetch_add(1, std::memory_order_relaxed);
     io_pool_.Submit([this, promise, reader = std::move(reader), row_group, column] {
       promise->set_value(cache_.ReadChunk(reader, row_group, column));
     });
@@ -59,6 +76,7 @@ class LlapDaemon {
   int num_executors() const { return executors_.num_threads(); }
   int64_t fragments_submitted() const { return fragments_submitted_.load(); }
   int64_t fragments_completed() const { return fragments_completed_.load(); }
+  int64_t prefetches_issued() const { return prefetches_issued_.load(); }
 
  private:
   LlapCacheProvider cache_;
@@ -66,6 +84,7 @@ class LlapDaemon {
   ThreadPool io_pool_;
   std::atomic<int64_t> fragments_submitted_{0};
   std::atomic<int64_t> fragments_completed_{0};
+  std::atomic<int64_t> prefetches_issued_{0};
 };
 
 }  // namespace hive

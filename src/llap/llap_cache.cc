@@ -36,10 +36,51 @@ Result<ColumnVectorPtr> LlapCacheProvider::ReadChunk(
     const std::shared_ptr<CofReader>& reader, size_t row_group, size_t column) {
   ChunkKey key{reader->file_id(), static_cast<uint32_t>(row_group),
                static_cast<uint32_t>(column)};
-  if (ColumnVectorPtr cached = data_cache_.Get(key)) return cached;
-  HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr chunk, reader->ReadColumnChunk(row_group, column));
-  data_cache_.Put(key, chunk, chunk->ByteSize());
-  return chunk;
+  // Single-flight: concurrent readers of the same cold chunk (parallel
+  // workers plus their read-ahead prefetches) must not decode it N times.
+  // The flight map is consulted before the cache so that followers neither
+  // count a spurious miss nor race the leader's Put.
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      flight = it->second;
+    } else {
+      if (ColumnVectorPtr cached = data_cache_.Get(key)) return cached;
+      flight = std::make_shared<InFlight>();
+      inflight_.emplace(key, flight);
+      leader = true;
+    }
+  }
+  if (!leader) {
+    singleflight_waits_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    lock.unlock();
+    // Re-probe so the follower registers a cache hit (and refreshes LRFU
+    // recency); fall back to the flight's result if it was already evicted.
+    if (ColumnVectorPtr cached = data_cache_.Get(key)) return cached;
+    return flight->result;
+  }
+  // Leader: decode outside any lock, publish, then retire the flight.
+  Result<ColumnVectorPtr> decoded = reader->ReadColumnChunk(row_group, column);
+  if (decoded.ok()) {
+    data_decodes_.fetch_add(1, std::memory_order_relaxed);
+    data_cache_.Put(key, *decoded, (*decoded)->ByteSize());
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->result = decoded;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(key);
+  }
+  return decoded;
 }
 
 void LlapCacheProvider::Clear() {

@@ -2,10 +2,12 @@
 #define HIVE_LLAP_LLAP_CACHE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "common/config.h"
 #include "common/lrfu_cache.h"
@@ -47,6 +49,10 @@ class LlapCacheProvider : public ChunkProvider {
   uint64_t metadata_hits() const { return metadata_hits_; }
   uint64_t used_bytes() const { return data_cache_.used_bytes(); }
   size_t cached_chunks() const { return data_cache_.size(); }
+  /// Chunk decodes actually performed (single-flight leaders only).
+  uint64_t data_decodes() const { return data_decodes_; }
+  /// Readers that waited on another thread's in-flight decode.
+  uint64_t singleflight_waits() const { return singleflight_waits_; }
 
  private:
   struct ChunkKey {
@@ -65,10 +71,23 @@ class LlapCacheProvider : public ChunkProvider {
     }
   };
 
+  /// Single-flight slot: the first reader of a cold key (the leader)
+  /// decodes; concurrent readers wait on `cv` and reuse the result.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<ColumnVectorPtr> result{Status::Internal("decode pending")};
+  };
+
   void InvalidateFileLocked(uint64_t file_id);
 
   FileSystem* fs_;
   LrfuCache<ChunkKey, ColumnVectorPtr, ChunkKeyHash> data_cache_;
+  std::mutex inflight_mu_;
+  std::unordered_map<ChunkKey, std::shared_ptr<InFlight>, ChunkKeyHash> inflight_;
+  std::atomic<uint64_t> data_decodes_{0};
+  std::atomic<uint64_t> singleflight_waits_{0};
   /// Metadata cache: path -> (file_id, reader). Validity is re-checked via
   /// Stat on each open (FileId change = new file).
   std::mutex metadata_mu_;

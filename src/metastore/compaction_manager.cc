@@ -55,16 +55,39 @@ Status CompactionManager::CompactLocation(const std::string& location,
     case CompactionDecision::Action::kNone:
       return Status::OK();
   }
-  ++compactions_run_;
-  // Cleaning is a separate phase; here it runs immediately because readers
-  // in this in-process engine hold data, not file handles.
+  compactions_run_.fetch_add(1, std::memory_order_relaxed);
+  // Cleaning is a separate phase: a scan that started before this compaction
+  // may still be reading the superseded directories, so deletion waits until
+  // the last in-flight reader drains. New readers are unaffected either way —
+  // they select the freshly written base/delta.
+  if (active_readers_.load(std::memory_order_acquire) > 0) {
+    pending_cleans_.push_back({location, schema, snapshot});
+    return Status::OK();
+  }
   return compactor.Clean(snapshot);
+}
+
+void CompactionManager::FlushPendingCleans() {
+  std::lock_guard<std::mutex> lock(compact_mu_);
+  FlushPendingCleansLocked();
+}
+
+void CompactionManager::FlushPendingCleansLocked() {
+  if (active_readers_.load(std::memory_order_acquire) > 0) return;
+  for (const PendingClean& pending : pending_cleans_) {
+    Compactor compactor(catalog_->filesystem(), pending.location, pending.schema);
+    compactor.Clean(pending.snapshot);  // best effort; dirs may already be gone
+  }
+  pending_cleans_.clear();
 }
 
 Result<std::vector<CompactionDecision>> CompactionManager::MaybeCompact(
     const std::string& db, const std::string& table) {
   HIVE_ASSIGN_OR_RETURN(TableDesc desc, catalog_->GetTable(db, table));
   if (!desc.is_acid) return std::vector<CompactionDecision>{};
+  // One compaction at a time: post-write triggers arrive from every session.
+  std::lock_guard<std::mutex> lock(compact_mu_);
+  FlushPendingCleansLocked();
   // Compact only fully-committed history: snapshot from the txn manager.
   TxnSnapshot txn_snap = txns_->GetSnapshot();
   ValidWriteIdList snapshot = txns_->GetValidWriteIds(desc.FullName(), txn_snap);

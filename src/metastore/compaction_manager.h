@@ -1,6 +1,8 @@
 #ifndef HIVE_METASTORE_COMPACTION_MANAGER_H_
 #define HIVE_METASTORE_COMPACTION_MANAGER_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,17 +38,63 @@ class CompactionManager {
   Result<CompactionDecision> Evaluate(const std::string& location,
                                       const ValidWriteIdList& snapshot) const;
 
-  int64_t compactions_run() const { return compactions_run_; }
+  /// Marks a reader (query scan) as in flight. While any reader is active,
+  /// compactions still merge but their cleaning is deferred, so scans never
+  /// observe a delta directory vanishing mid-read.
+  void BeginRead() { active_readers_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Ends a reader scope; the last reader out flushes deferred cleans.
+  void EndRead() {
+    if (active_readers_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      FlushPendingCleans();
+  }
+
+  /// RAII reader scope for the server's scan paths.
+  class ReadScope {
+   public:
+    explicit ReadScope(CompactionManager* mgr) : mgr_(mgr) { mgr_->BeginRead(); }
+    ~ReadScope() { mgr_->EndRead(); }
+    ReadScope(const ReadScope&) = delete;
+    ReadScope& operator=(const ReadScope&) = delete;
+
+   private:
+    CompactionManager* mgr_;
+  };
+
+  /// Deletes directories superseded by earlier compactions, provided no
+  /// reader is active. Safe to call at any time.
+  void FlushPendingCleans();
+
+  int64_t compactions_run() const { return compactions_run_.load(); }
+  size_t pending_cleans() const {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    return pending_cleans_.size();
+  }
 
  private:
+  /// A cleaning pass postponed because readers were in flight when its
+  /// compaction committed.
+  struct PendingClean {
+    std::string location;
+    Schema schema;
+    ValidWriteIdList snapshot;
+  };
+
   Status CompactLocation(const std::string& location, const Schema& schema,
                          const ValidWriteIdList& snapshot,
                          CompactionDecision* decision);
+  void FlushPendingCleansLocked();
 
   Catalog* catalog_;
   TransactionManager* txns_;
   const Config* config_;
-  int64_t compactions_run_ = 0;
+  /// Serializes compaction runs: concurrent post-write triggers on the same
+  /// table must not interleave merge and clean phases (a second compactor
+  /// could list delta directories the first one is about to delete).
+  mutable std::mutex compact_mu_;
+  std::vector<PendingClean> pending_cleans_;
+  std::atomic<int64_t> active_readers_{0};
+  std::atomic<int64_t> compactions_run_{0};
 };
 
 }  // namespace hive

@@ -12,7 +12,10 @@ namespace hive {
 
 namespace {
 
-int g_last_rewrite_count = 0;
+/// Per-thread: planning runs on the session's coordinator thread, and a
+/// process-wide counter would race (and bleed values) across concurrent
+/// sessions.
+thread_local int g_last_rewrite_count = 0;
 
 /// Canonical SPJA decomposition of a plan subtree.
 struct SpjaSummary {

@@ -288,6 +288,9 @@ Result<std::vector<DmlDriver::TargetRow>> DmlDriver::ScanTargets(
     locations.push_back({desc.location, desc.FullName(), {}});
   }
 
+  // Hold a reader scope so compaction cleaning defers until this target
+  // scan drains (UPDATE/DELETE race post-write compactions from peers).
+  CompactionManager::ReadScope read_scope(&server_->compaction_);
   TxnSnapshot snapshot = server_->txns_.GetSnapshot();
   ValidWriteIdList write_ids =
       server_->txns_.GetValidWriteIds(desc.FullName(), snapshot);
@@ -347,10 +350,17 @@ Result<QueryResult> DmlDriver::Update(const UpdateStatement& stmt) {
     assignments.push_back({*idx, bound});
   }
 
-  HIVE_ASSIGN_OR_RETURN(std::vector<TargetRow> targets, ScanTargets(desc, bound_where));
-
-  // Update = delete + insert in one transaction (Section 3.2).
+  // Update = delete + insert in one transaction (Section 3.2). The txn must
+  // open BEFORE targets are scanned: first-commit-wins compares conflicting
+  // commits against the txn's start sequence, so a read performed before the
+  // start would let a peer's commit slip between read and open undetected.
   int64_t txn = server_->txns_.OpenTxn();
+  auto targets_or = ScanTargets(desc, bound_where);
+  if (!targets_or.ok()) {
+    server_->txns_.AbortTxn(txn);
+    return targets_or.status();
+  }
+  std::vector<TargetRow> targets = std::move(*targets_or);
   auto apply = [&]() -> Status {
     HIVE_ASSIGN_OR_RETURN(int64_t write_id,
                           server_->txns_.AllocateWriteId(txn, desc.FullName()));
@@ -397,9 +407,14 @@ Result<QueryResult> DmlDriver::Delete(const DeleteStatement& stmt) {
     HIVE_ASSIGN_OR_RETURN(bound_where,
                           binder.BindScalar(stmt.where, desc.FullSchema(), desc.name));
   }
-  HIVE_ASSIGN_OR_RETURN(std::vector<TargetRow> targets, ScanTargets(desc, bound_where));
-
+  // As in Update: open before reading so conflicting commits are detected.
   int64_t txn = server_->txns_.OpenTxn();
+  auto targets_or = ScanTargets(desc, bound_where);
+  if (!targets_or.ok()) {
+    server_->txns_.AbortTxn(txn);
+    return targets_or.status();
+  }
+  std::vector<TargetRow> targets = std::move(*targets_or);
   auto apply = [&]() -> Status {
     HIVE_ASSIGN_OR_RETURN(int64_t write_id,
                           server_->txns_.AllocateWriteId(txn, desc.FullName()));
@@ -479,9 +494,14 @@ Result<QueryResult> DmlDriver::Merge(const MergeStatement& stmt) {
     insert_values.push_back(bound);
   }
 
-  HIVE_ASSIGN_OR_RETURN(std::vector<TargetRow> targets, ScanTargets(desc, nullptr));
-
+  // As in Update: open before reading so conflicting commits are detected.
   int64_t txn = server_->txns_.OpenTxn();
+  auto targets_or = ScanTargets(desc, nullptr);
+  if (!targets_or.ok()) {
+    server_->txns_.AbortTxn(txn);
+    return targets_or.status();
+  }
+  std::vector<TargetRow> targets = std::move(*targets_or);
   int64_t affected = 0;
   auto apply = [&]() -> Status {
     HIVE_ASSIGN_OR_RETURN(int64_t write_id,

@@ -151,6 +151,22 @@ ExecContext HiveServer2::MakeContext(const Config& config, const TxnSnapshot& sn
   };
   ctx.runtime_stats = stats;
   ctx.cancelled = std::move(cancelled);
+  // Morsel-driven intra-query parallelism: leaf pipelines fan out across the
+  // LLAP executor pool; chunk read-ahead rides the I/O elevator threads.
+  ctx.max_parallel_workers = config.num_executors;
+  if (llap_ && config.execution_engine != "mr") {
+    LlapDaemon* llap = llap_.get();
+    ctx.submit_worker = [llap](std::function<Status()> fn) {
+      return llap->SubmitWorkFragment(std::move(fn));
+    };
+  }
+  if (config.llap_enabled && llap_) {
+    LlapDaemon* llap = llap_.get();
+    ctx.prefetch_chunk = [llap](std::shared_ptr<CofReader> reader,
+                                size_t row_group, size_t column) {
+      llap->PrefetchChunk(std::move(reader), row_group, column);
+    };
+  }
   return ctx;
 }
 
@@ -177,8 +193,10 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
       PlanSelect(session, stmt, config, &referenced, &nondeterministic,
                  overrides.empty() ? nullptr : &overrides, &mv_rewrites));
 
-  // Admission control + snapshot.
+  // Admission control + snapshot. The reader scope keeps the compaction
+  // cleaner from deleting directories this scan's snapshot may still select.
   HIVE_ASSIGN_OR_RETURN(auto wm_handle, wm_.Admit(session->application));
+  CompactionManager::ReadScope read_scope(&compaction_);
   TxnSnapshot snapshot = txns_.GetSnapshot();
 
   DirectChunkProvider direct(fs_);

@@ -258,6 +258,62 @@ Status AcidReader::Open(const ValidWriteIdList& snapshot, const AcidScanOptions&
   return Status::OK();
 }
 
+Result<RowBatch> AcidReader::ReadFileRowGroup(const std::shared_ptr<CofReader>& file,
+                                              size_t row_group) const {
+  row_groups_read_.fetch_add(1, std::memory_order_relaxed);
+  // Physical columns: requested user columns shifted past the meta
+  // columns, plus the meta columns themselves (always read: validity and
+  // delete anti-join need them; cheap because they are RLE).
+  std::vector<size_t> physical;
+  for (size_t c : options_.columns) physical.push_back(c + kNumAcidMetaCols);
+  physical.push_back(0);
+  physical.push_back(1);
+  physical.push_back(2);
+  Schema raw_schema;
+  for (size_t c : physical)
+    raw_schema.AddField(file->schema().field(c).name, file->schema().field(c).type);
+  RowBatch raw(raw_schema);
+  for (size_t i = 0; i < physical.size(); ++i) {
+    HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                          provider_->ReadChunk(file, row_group, physical[i]));
+    raw.SetColumn(i, std::move(col));
+  }
+  raw.set_num_rows(file->row_group(row_group).num_rows);
+
+  size_t n_user = options_.columns.size();
+  const auto& wid = raw.column(n_user)->i64_data();
+  const auto& bucket = raw.column(n_user + 1)->i64_data();
+  const auto& rowid = raw.column(n_user + 2)->i64_data();
+  std::vector<int32_t> selection;
+  selection.reserve(raw.num_rows());
+  for (size_t i = 0; i < raw.num_rows(); ++i) {
+    if (!snapshot_.IsValid(wid[i])) continue;
+    if (!delete_set_.empty() &&
+        delete_set_.count({wid[i], bucket[i], rowid[i]}) != 0)
+      continue;
+    selection.push_back(static_cast<int32_t>(i));
+  }
+
+  Schema out_schema;
+  for (size_t c : options_.columns)
+    out_schema.AddField(user_schema_.field(c).name, user_schema_.field(c).type);
+  if (options_.include_row_ids) {
+    out_schema.AddField(kAcidWriteIdCol, DataType::Bigint());
+    out_schema.AddField(kAcidBucketCol, DataType::Bigint());
+    out_schema.AddField(kAcidRowIdCol, DataType::Bigint());
+  }
+  RowBatch out(out_schema);
+  for (size_t i = 0; i < n_user; ++i) out.SetColumn(i, raw.column(i));
+  if (options_.include_row_ids) {
+    out.SetColumn(n_user, raw.column(n_user));
+    out.SetColumn(n_user + 1, raw.column(n_user + 1));
+    out.SetColumn(n_user + 2, raw.column(n_user + 2));
+  }
+  out.set_num_rows(raw.num_rows());
+  if (selection.size() != raw.num_rows()) out.SetSelection(std::move(selection));
+  return out;
+}
+
 Result<RowBatch> AcidReader::NextBatch(bool* done) {
   *done = false;
   if (!opened_) return Status::Internal("AcidReader not opened");
@@ -277,62 +333,10 @@ Result<RowBatch> AcidReader::NextBatch(bool* done) {
     }
     size_t rg = rg_index_++;
     if (!current_->MightMatch(rg, options_.sarg)) {
-      ++row_groups_skipped_;
+      row_groups_skipped_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    ++row_groups_read_;
-    // Physical columns: requested user columns shifted past the meta
-    // columns, plus the meta columns themselves (always read: validity and
-    // delete anti-join need them; cheap because they are RLE).
-    std::vector<size_t> physical;
-    for (size_t c : options_.columns) physical.push_back(c + kNumAcidMetaCols);
-    physical.push_back(0);
-    physical.push_back(1);
-    physical.push_back(2);
-    Schema raw_schema;
-    for (size_t c : physical)
-      raw_schema.AddField(current_->schema().field(c).name,
-                          current_->schema().field(c).type);
-    RowBatch raw(raw_schema);
-    for (size_t i = 0; i < physical.size(); ++i) {
-      HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col,
-                            provider_->ReadChunk(current_, rg, physical[i]));
-      raw.SetColumn(i, std::move(col));
-    }
-    raw.set_num_rows(current_->row_group(rg).num_rows);
-
-    size_t n_user = options_.columns.size();
-    const auto& wid = raw.column(n_user)->i64_data();
-    const auto& bucket = raw.column(n_user + 1)->i64_data();
-    const auto& rowid = raw.column(n_user + 2)->i64_data();
-    std::vector<int32_t> selection;
-    selection.reserve(raw.num_rows());
-    for (size_t i = 0; i < raw.num_rows(); ++i) {
-      if (!snapshot_.IsValid(wid[i])) continue;
-      if (!delete_set_.empty() &&
-          delete_set_.count({wid[i], bucket[i], rowid[i]}) != 0)
-        continue;
-      selection.push_back(static_cast<int32_t>(i));
-    }
-
-    Schema out_schema;
-    for (size_t c : options_.columns)
-      out_schema.AddField(user_schema_.field(c).name, user_schema_.field(c).type);
-    if (options_.include_row_ids) {
-      out_schema.AddField(kAcidWriteIdCol, DataType::Bigint());
-      out_schema.AddField(kAcidBucketCol, DataType::Bigint());
-      out_schema.AddField(kAcidRowIdCol, DataType::Bigint());
-    }
-    RowBatch out(out_schema);
-    for (size_t i = 0; i < n_user; ++i) out.SetColumn(i, raw.column(i));
-    if (options_.include_row_ids) {
-      out.SetColumn(n_user, raw.column(n_user));
-      out.SetColumn(n_user + 1, raw.column(n_user + 1));
-      out.SetColumn(n_user + 2, raw.column(n_user + 2));
-    }
-    out.set_num_rows(raw.num_rows());
-    if (selection.size() != raw.num_rows()) out.SetSelection(std::move(selection));
-    return out;
+    return ReadFileRowGroup(current_, rg);
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef HIVE_STORAGE_ACID_H_
 #define HIVE_STORAGE_ACID_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <set>
@@ -147,15 +148,23 @@ class AcidReader {
   /// `done` set) at end of scan.
   Result<RowBatch> NextBatch(bool* done);
 
+  /// Reads one row group of one selected data file, applying snapshot
+  /// validity and the delete anti-join but NOT the sarg (the caller decides
+  /// skipping). Const and thread-safe after Open: morsel-driven parallel
+  /// scans call this concurrently for disjoint (file, row group) pairs.
+  Result<RowBatch> ReadFileRowGroup(const std::shared_ptr<CofReader>& file,
+                                    size_t row_group) const;
+
   /// Data files selected by the snapshot (for LLAP-driven scans).
   const std::vector<std::string>& data_files() const { return data_files_; }
   const std::unordered_set<RecordId, RecordIdHash>& delete_set() const {
     return delete_set_;
   }
+  const SearchArgument& sarg() const { return options_.sarg; }
 
   /// Statistics: row groups skipped via sarg evaluation.
-  uint64_t row_groups_skipped() const { return row_groups_skipped_; }
-  uint64_t row_groups_read() const { return row_groups_read_; }
+  uint64_t row_groups_skipped() const { return row_groups_skipped_.load(); }
+  uint64_t row_groups_read() const { return row_groups_read_.load(); }
 
  private:
   Status LoadDeleteDeltas(const std::vector<AcidDirInfo>& delete_dirs);
@@ -173,12 +182,12 @@ class AcidReader {
   /// multi-writeid (compacted) files carry their own embedded write ids.
   std::unordered_set<RecordId, RecordIdHash> delete_set_;
 
-  // Iteration state.
+  // Iteration state (NextBatch only; ReadFileRowGroup is stateless).
   size_t file_index_ = 0;
   std::shared_ptr<CofReader> current_;
   size_t rg_index_ = 0;
-  uint64_t row_groups_skipped_ = 0;
-  uint64_t row_groups_read_ = 0;
+  std::atomic<uint64_t> row_groups_skipped_{0};
+  mutable std::atomic<uint64_t> row_groups_read_{0};
   bool opened_ = false;
 };
 

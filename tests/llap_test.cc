@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "fs/mem_filesystem.h"
 #include "llap/daemon.h"
 #include "storage/acid.h"
@@ -178,6 +182,40 @@ TEST(LlapDaemonTest, IoElevatorPrefetchesAsync) {
   uint64_t hits = daemon.cache()->data_hits();
   ASSERT_TRUE(daemon.cache()->ReadChunk(*reader, 0, 0).ok());
   EXPECT_GT(daemon.cache()->data_hits(), hits);
+}
+
+TEST(LlapCacheTest, ColdChunkDecodesOnceUnderConcurrency) {
+  // Single-flight: N threads racing on one cold chunk must produce exactly
+  // one decode and one recorded miss; everyone else scores a hit. This is
+  // what keeps the parallel scan's read-ahead from duplicating I/O work.
+  MemFileSystem fs;
+  LlapCacheProvider cache(&fs, Config{});
+  WriteCofFile(&fs, "/t/f0", 200, "x");
+  auto reader = cache.OpenReader("/t/f0");
+  ASSERT_TRUE(reader.ok());
+
+  constexpr int kThreads = 8;
+  std::atomic<int> go{0};
+  std::vector<std::thread> threads;
+  std::vector<ColumnVectorPtr> seen(kThreads);
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      go.fetch_add(1);
+      while (go.load() < kThreads) {}  // line up at the gate
+      auto chunk = cache.ReadChunk(*reader, 0, 0);
+      if (chunk.ok()) seen[t] = *chunk;
+      else errors.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(cache.data_decodes(), 1u) << "cold chunk must decode exactly once";
+  EXPECT_EQ(cache.data_misses(), 1u);
+  EXPECT_EQ(cache.data_hits(), static_cast<uint64_t>(kThreads - 1));
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(seen[t], seen[0]) << "all threads share the decoded chunk";
 }
 
 }  // namespace
