@@ -238,7 +238,7 @@ bench/CMakeFiles/bench_fig8_druid.dir/bench_fig8_druid.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/common/cancel.h \
  /root/repo/src/metastore/catalog.h /root/repo/src/common/hll.h \
  /root/repo/src/storage/acid.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \

@@ -222,7 +222,7 @@ src/CMakeFiles/hive_exec.dir/exec/exec_context.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/cancel.h \
  /root/repo/src/common/column_vector.h /root/repo/src/common/schema.h \
  /usr/include/c++/12/optional /root/repo/src/common/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
@@ -241,4 +241,5 @@ src/CMakeFiles/hive_exec.dir/exec/exec_context.cc.o: \
  /root/repo/src/common/bloom_filter.h /root/repo/src/storage/sarg.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/exec/task_retry.h

@@ -233,10 +233,10 @@ src/CMakeFiles/hive_exec.dir/exec/scan_operator.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/common/config.h \
- /root/repo/src/common/sim_clock.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/common/cancel.h \
+ /root/repo/src/common/config.h /root/repo/src/common/sim_clock.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/fs/filesystem.h \
  /root/repo/src/metastore/catalog.h /root/repo/src/common/hll.h \
  /root/repo/src/storage/acid.h /usr/include/c++/12/unordered_set \
@@ -244,4 +244,5 @@ src/CMakeFiles/hive_exec.dir/exec/scan_operator.cc.o: \
  /root/repo/src/storage/chunk_provider.h /root/repo/src/storage/cof.h \
  /root/repo/src/common/bloom_filter.h /root/repo/src/storage/sarg.h \
  /root/repo/src/optimizer/rel.h /root/repo/src/sql/ast.h \
- /root/repo/src/exec/vector_eval.h /root/repo/src/optimizer/expr_eval.h
+ /root/repo/src/exec/task_retry.h /root/repo/src/exec/vector_eval.h \
+ /root/repo/src/optimizer/expr_eval.h

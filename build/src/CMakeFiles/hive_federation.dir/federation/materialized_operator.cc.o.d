@@ -229,10 +229,10 @@ src/CMakeFiles/hive_federation.dir/federation/materialized_operator.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/config.h \
- /root/repo/src/common/sim_clock.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/cancel.h \
+ /root/repo/src/common/config.h /root/repo/src/common/sim_clock.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/fs/filesystem.h \
  /root/repo/src/metastore/catalog.h /root/repo/src/common/hll.h \
  /root/repo/src/storage/acid.h /usr/include/c++/12/set \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/fault_injection.cc" "src/CMakeFiles/hive_fs.dir/fs/fault_injection.cc.o" "gcc" "src/CMakeFiles/hive_fs.dir/fs/fault_injection.cc.o.d"
   "/root/repo/src/fs/filesystem.cc" "src/CMakeFiles/hive_fs.dir/fs/filesystem.cc.o" "gcc" "src/CMakeFiles/hive_fs.dir/fs/filesystem.cc.o.d"
   "/root/repo/src/fs/local_filesystem.cc" "src/CMakeFiles/hive_fs.dir/fs/local_filesystem.cc.o" "gcc" "src/CMakeFiles/hive_fs.dir/fs/local_filesystem.cc.o.d"
   "/root/repo/src/fs/mem_filesystem.cc" "src/CMakeFiles/hive_fs.dir/fs/mem_filesystem.cc.o" "gcc" "src/CMakeFiles/hive_fs.dir/fs/mem_filesystem.cc.o.d"

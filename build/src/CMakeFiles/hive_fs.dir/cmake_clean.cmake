@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/hive_fs.dir/fs/fault_injection.cc.o"
+  "CMakeFiles/hive_fs.dir/fs/fault_injection.cc.o.d"
   "CMakeFiles/hive_fs.dir/fs/filesystem.cc.o"
   "CMakeFiles/hive_fs.dir/fs/filesystem.cc.o.d"
   "CMakeFiles/hive_fs.dir/fs/local_filesystem.cc.o"

@@ -212,7 +212,9 @@ src/CMakeFiles/hive_llap.dir/llap/llap_cache.cc.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/common/config.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/config.h \
  /root/repo/src/common/lrfu_cache.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -249,4 +251,9 @@ src/CMakeFiles/hive_llap.dir/llap/llap_cache.cc.o: \
  /root/repo/src/storage/chunk_provider.h /root/repo/src/storage/cof.h \
  /root/repo/src/common/bloom_filter.h /root/repo/src/common/types.h \
  /root/repo/src/common/column_vector.h /root/repo/src/common/schema.h \
- /usr/include/c++/12/optional /root/repo/src/storage/sarg.h
+ /usr/include/c++/12/optional /root/repo/src/storage/sarg.h \
+ /root/repo/src/common/hash.h /usr/include/c++/12/cstddef \
+ /root/repo/src/common/sim_clock.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

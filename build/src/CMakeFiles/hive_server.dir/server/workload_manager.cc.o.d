@@ -205,10 +205,10 @@ src/CMakeFiles/hive_server.dir/server/workload_manager.cc.o: \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sql/ast.h /root/repo/src/common/schema.h \
- /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/cancel.h \
+ /root/repo/src/common/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sql/ast.h \
+ /root/repo/src/common/schema.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/common/types.h /root/repo/src/common/sim_clock.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \

@@ -216,5 +216,6 @@ src/CMakeFiles/hive_storage.dir/storage/cof.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/serde.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/hash.h \
+ /usr/include/c++/12/cstddef /root/repo/src/common/serde.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

@@ -308,11 +308,11 @@ tests/CMakeFiles/exec_test.dir/exec_test.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/common/config.h \
- /root/repo/src/common/sim_clock.h /usr/include/c++/12/chrono \
- /root/repo/src/fs/filesystem.h /root/repo/src/metastore/catalog.h \
- /root/repo/src/common/hll.h /root/repo/src/storage/acid.h \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/common/cancel.h \
+ /root/repo/src/common/config.h /root/repo/src/common/sim_clock.h \
+ /usr/include/c++/12/chrono /root/repo/src/fs/filesystem.h \
+ /root/repo/src/metastore/catalog.h /root/repo/src/common/hll.h \
+ /root/repo/src/storage/acid.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/storage/chunk_provider.h /root/repo/src/storage/cof.h \
  /root/repo/src/common/bloom_filter.h /root/repo/src/storage/sarg.h \

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hive_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_llap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_metastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -308,7 +308,8 @@ tests/CMakeFiles/llap_test.dir/llap_test.cc.o: \
  /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/common/thread_pool.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/llap/llap_cache.h /root/repo/src/common/config.h \
+ /root/repo/src/llap/llap_cache.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/config.h \
  /root/repo/src/common/lrfu_cache.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -335,6 +336,4 @@ tests/CMakeFiles/llap_test.dir/llap_test.cc.o: \
  /root/repo/src/storage/chunk_provider.h /root/repo/src/storage/cof.h \
  /root/repo/src/common/bloom_filter.h /root/repo/src/common/types.h \
  /root/repo/src/common/column_vector.h /root/repo/src/common/schema.h \
- /root/repo/src/storage/sarg.h /root/repo/src/storage/acid.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h
+ /root/repo/src/storage/sarg.h /root/repo/src/storage/acid.h

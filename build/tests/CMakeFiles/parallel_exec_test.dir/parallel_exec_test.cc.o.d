@@ -309,12 +309,12 @@ tests/CMakeFiles/parallel_exec_test.dir/parallel_exec_test.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/exec/exec_context.h \
  /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
- /root/repo/src/common/column_vector.h /root/repo/src/common/schema.h \
- /root/repo/src/common/status.h /root/repo/src/common/types.h \
- /root/repo/src/common/config.h /root/repo/src/common/sim_clock.h \
- /root/repo/src/fs/filesystem.h /root/repo/src/metastore/catalog.h \
- /root/repo/src/common/hll.h /root/repo/src/storage/acid.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/common/cancel.h /root/repo/src/common/column_vector.h \
+ /root/repo/src/common/schema.h /root/repo/src/common/status.h \
+ /root/repo/src/common/types.h /root/repo/src/common/config.h \
+ /root/repo/src/common/sim_clock.h /root/repo/src/fs/filesystem.h \
+ /root/repo/src/metastore/catalog.h /root/repo/src/common/hll.h \
+ /root/repo/src/storage/acid.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/storage/chunk_provider.h /root/repo/src/storage/cof.h \
  /root/repo/src/common/bloom_filter.h /root/repo/src/storage/sarg.h \

@@ -312,7 +312,7 @@ tests/CMakeFiles/server_test.dir/server_test.cc.o: \
  /root/repo/src/common/schema.h /root/repo/src/common/types.h \
  /root/repo/src/exec/exec_context.h /usr/include/c++/12/future \
  /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/common/cancel.h \
  /root/repo/src/metastore/catalog.h /root/repo/src/common/hll.h \
  /root/repo/src/storage/acid.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \

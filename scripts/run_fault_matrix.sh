@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the tier-1 suite plus the fault-injection matrix: every test in
+# fault_injection_test, including the 8-seed byte-identity sweep
+# (SeedMatrixIsByteIdentical) that re-runs the whole TPC-DS query set under
+# mixed transient read errors, silent corruption, and straggling reads and
+# asserts results identical to the fault-free baseline for each seed.
+#
+# Usage: scripts/run_fault_matrix.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+
+echo "== tier-1 suite"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo "== fault matrix (8 seeds x {read errors, corruption, latency})"
+"$BUILD_DIR/tests/fault_injection_test" \
+  --gtest_filter='FaultInjectionTest.SeedMatrixIsByteIdentical' \
+  --gtest_repeat=2
+echo "== fault matrix OK"

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Builds the engine with ThreadSanitizer and runs the concurrency-sensitive
 # test binaries: the morsel-driven parallel execution paths, the LLAP cache
-# single-flight, and the multi-session transactional stress tests.
+# single-flight, the multi-session transactional stress tests, and the
+# fault-injection suite (task-attempt retries, straggler speculation, cache
+# poisoning defense, and deadline kills all race worker threads on purpose).
 #
 # Usage: scripts/run_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -11,12 +13,12 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DHIVE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target \
-  concurrency_test llap_test parallel_exec_test
+  concurrency_test llap_test parallel_exec_test fault_injection_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 
 status=0
-for t in concurrency_test llap_test parallel_exec_test; do
+for t in concurrency_test llap_test parallel_exec_test fault_injection_test; do
   echo "== TSan: $t"
   if ! "$BUILD_DIR/tests/$t"; then
     echo "== TSan FAILED: $t"

@@ -1,0 +1,36 @@
+#ifndef HIVE_COMMON_CANCEL_H_
+#define HIVE_COMMON_CANCEL_H_
+
+#include <mutex>
+#include <string>
+
+namespace hive {
+
+/// Why a query's cancellation flag was raised, shared between the workload
+/// manager (KILL triggers), the deadline checker (query.timeout.ms) and the
+/// execution engine that surfaces it in the final Status. First writer wins:
+/// if a trigger and the deadline race, the query reports whichever actually
+/// killed it first, never a merged or second-guessed reason.
+class KillReason {
+ public:
+  /// Records `reason` unless one is already set.
+  void Set(const std::string& reason) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reason_.empty()) reason_ = reason;
+  }
+
+  /// The recorded reason, or `fallback` when none was recorded (e.g. a
+  /// direct Cancel() from a client rather than a named trigger).
+  std::string GetOr(const std::string& fallback) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reason_.empty() ? fallback : reason_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::string reason_;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_CANCEL_H_

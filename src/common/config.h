@@ -45,6 +45,30 @@ class Config {
   /// execution error, the trigger for query re-optimization (Section 4.2).
   int64_t join_build_row_limit = INT64_MAX;
 
+  // --- fault tolerance (task retries, speculation, deadlines) ---
+  /// "task.max.attempts": attempts for a task whose failure is transient —
+  /// a morsel read inside the parallel scan, or a whole query fragment
+  /// (Tez re-runs failed task attempts the same way). 1 disables retries.
+  int task_max_attempts = 3;
+  /// Base backoff between attempts, doubling per retry; charged to the
+  /// virtual clock so tests stay fast (microseconds of virtual time).
+  int64_t task_retry_backoff_us = 2000;
+  /// "speculation.enabled": when a morsel task runs slower than
+  /// speculation_slowdown_factor x the median completed task, launch a
+  /// speculative duplicate attempt and keep the first finisher
+  /// (deterministic tie-break: the original wins ties), mirroring Tez
+  /// speculative execution for stragglers.
+  bool speculation_enabled = true;
+  /// "speculation.slowdown.factor": straggler threshold multiplier.
+  double speculation_slowdown_factor = 2.0;
+  /// "cache.poison.threshold": consecutive chunk-checksum failures on one
+  /// file before the LLAP cache degrades that file to direct reads.
+  int cache_poison_threshold = 3;
+  /// "query.timeout.ms": elapsed (wall + virtual) budget per query; the
+  /// deadline is evaluated at morsel/batch boundaries and kills the query
+  /// with a ResourceExhausted status naming the trigger. <= 0 disables.
+  int64_t query_timeout_ms = 0;
+
   // --- optimizer ---
   /// Cost-based optimization (join reordering etc., Section 4.1).
   bool cbo_enabled = true;

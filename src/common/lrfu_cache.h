@@ -103,6 +103,14 @@ class LrfuCache {
     }
   }
 
+  /// Visits every entry, exposing a mutable value reference. Test
+  /// instrumentation (e.g. poisoning cached chunks in fault drills); not
+  /// meant for hot paths — it pins the cache mutex for the whole walk.
+  void ForEach(const std::function<void(const Key&, ValuePtr&)>& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& kv : map_) fn(kv.first, kv.second.value);
+  }
+
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();

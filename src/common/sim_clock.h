@@ -18,7 +18,39 @@ class SimClock {
  public:
   /// Charges `us` microseconds of modeled latency along the query's critical
   /// path (callers are responsible for only charging serialized costs).
-  void Charge(int64_t us) { virtual_us_.fetch_add(us, std::memory_order_relaxed); }
+  void Charge(int64_t us) {
+    virtual_us_.fetch_add(us, std::memory_order_relaxed);
+    if (task_sink_) *task_sink_ += us;
+  }
+
+  /// RAII scope that mirrors charges made on *this thread* into `sink`, on
+  /// top of the global total. The morsel driver wraps each task attempt in
+  /// one so modeled latency injected deep in the I/O stack (e.g. a
+  /// fault-injected slow datanode) is attributable to that attempt — the
+  /// signal its straggler detector compares against the median task.
+  class TaskScope {
+   public:
+    explicit TaskScope(int64_t* sink) : prev_(task_sink_) { task_sink_ = sink; }
+    ~TaskScope() { task_sink_ = prev_; }
+    TaskScope(const TaskScope&) = delete;
+    TaskScope& operator=(const TaskScope&) = delete;
+
+   private:
+    int64_t* prev_;
+  };
+
+  /// Mirrors `us` into the current thread's task sink WITHOUT advancing the
+  /// global clock — for modeled latency that was already charged on another
+  /// thread (an I/O-elevator prefetch) but must count against the task that
+  /// consumes its result. Returns false (and does nothing) when no task
+  /// scope is active, so callers can bank the charge for a later consumer.
+  static bool Attribute(int64_t us) {
+    if (!task_sink_) return false;
+    *task_sink_ += us;
+    return true;
+  }
+  /// True when the calling thread is inside a TaskScope.
+  static bool HasTaskSink() { return task_sink_ != nullptr; }
 
   int64_t virtual_us() const { return virtual_us_.load(std::memory_order_relaxed); }
   void Reset() { virtual_us_.store(0, std::memory_order_relaxed); }
@@ -32,6 +64,8 @@ class SimClock {
 
  private:
   std::atomic<int64_t> virtual_us_{0};
+  /// Per-thread mirror target installed by TaskScope (null = none active).
+  inline static thread_local int64_t* task_sink_ = nullptr;
 };
 
 }  // namespace hive

@@ -27,6 +27,7 @@ const char* CodeName(StatusCode code) {
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = CodeName(code_);
+  if (transient_) out += "(transient)";
   out += ": ";
   out += msg_;
   return out;

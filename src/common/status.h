@@ -27,6 +27,13 @@ enum class StatusCode {
 };
 
 /// Lightweight status object. Ok status carries no allocation.
+///
+/// A status may additionally be marked *transient*: the operation failed in
+/// a way that a retry of the same call can plausibly succeed (a flaky read,
+/// a lost rename ack, a corrupted byte on the wire). The task-attempt retry
+/// layer re-runs transient failures up to `task.max.attempts`; permanent
+/// errors fail fast. Mirrors the Tez distinction between task-attempt
+/// failures (re-run elsewhere) and fatal job errors.
 class Status {
  public:
   Status() : code_(StatusCode::kOk) {}
@@ -46,6 +53,22 @@ class Status {
   static Status ExecError(std::string m) { return {StatusCode::kExecError, std::move(m)}; }
   static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  /// A retryable I/O failure (flaky read, lost ack). The retry layer treats
+  /// any status with the transient bit as eligible for another attempt.
+  static Status TransientIoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m)).MarkTransient();
+  }
+
+  /// Flags this status as retryable; returns *this for chaining, e.g.
+  /// `return Status::Corruption("checksum").MarkTransient();`.
+  Status&& MarkTransient() && {
+    transient_ = true;
+    return std::move(*this);
+  }
+  Status& MarkTransient() & {
+    transient_ = true;
+    return *this;
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -55,12 +78,15 @@ class Status {
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsTxnAborted() const { return code_ == StatusCode::kTxnAborted; }
   bool IsExecError() const { return code_ == StatusCode::kExecError; }
+  /// True when a retry of the failed operation may succeed.
+  bool IsTransient() const { return transient_; }
 
   /// "OK" or "<code>: <message>" for diagnostics.
   std::string ToString() const;
 
  private:
   StatusCode code_;
+  bool transient_ = false;
   std::string msg_;
 };
 

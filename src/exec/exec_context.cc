@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "exec/task_retry.h"
+
 namespace hive {
+
+void RecordTaskAttempt(RuntimeStats* stats) {
+  if (stats) stats->task_attempts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RecordTaskRetry(RuntimeStats* stats) {
+  if (stats) stats->task_retries.fetch_add(1, std::memory_order_relaxed);
+}
 
 Status ExecContext::OnStageBoundary(uint64_t bytes) {
   ++stage_counter;
@@ -20,6 +30,36 @@ Status ExecContext::OnStageBoundary(uint64_t bytes) {
       (void)back;
       HIVE_RETURN_IF_ERROR(fs->DeleteFile(tmp));
     }
+  }
+  return Status::OK();
+}
+
+void ExecContext::ArmDeadline() {
+  deadline_wall_start_us = SimClock::WallMicros();
+  deadline_virt_start_us = clock ? clock->virtual_us() : 0;
+  deadline_armed = true;
+}
+
+Status ExecContext::CheckInterrupted() const {
+  if (deadline_armed && config && config->query_timeout_ms > 0 &&
+      !(cancelled && cancelled->load())) {
+    int64_t elapsed_us = SimClock::WallMicros() - deadline_wall_start_us;
+    if (clock) elapsed_us += clock->virtual_us() - deadline_virt_start_us;
+    if (elapsed_us / 1000 >= config->query_timeout_ms) {
+      // Deadline trigger: raise the same kill flag the workload manager
+      // uses, so every operator aborts at its next interruption point.
+      std::string why = "query deadline exceeded: query.timeout.ms=" +
+                        std::to_string(config->query_timeout_ms);
+      if (kill_reason) kill_reason->Set(why);
+      if (cancelled) cancelled->store(true);
+      return Status::ResourceExhausted(std::move(why));
+    }
+  }
+  if (IsCancelled()) {
+    std::string why = kill_reason
+                          ? kill_reason->GetOr("query cancelled by workload manager")
+                          : "query cancelled by workload manager";
+    return Status::ResourceExhausted(std::move(why));
   }
   return Status::OK();
 }

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/cancel.h"
 #include "common/column_vector.h"
 #include "common/config.h"
 #include "common/sim_clock.h"
@@ -34,6 +35,16 @@ enum class RuntimeMode { kMapReduce, kTez, kLlap };
 struct RuntimeStats {
   std::mutex mu;
   std::map<std::string, int64_t> rows_produced;
+
+  // --- fault-tolerance counters (task attempts, Section 5.2 robustness) ---
+  /// Task attempts started (morsel reads and vertex runs; >= tasks run).
+  std::atomic<int64_t> task_attempts{0};
+  /// Attempts that were retries of a transient failure.
+  std::atomic<int64_t> task_retries{0};
+  /// Speculative duplicate attempts launched against stragglers.
+  std::atomic<int64_t> speculative_tasks{0};
+  /// Speculative attempts that finished ahead of the original.
+  std::atomic<int64_t> speculative_wins{0};
 
   /// Accumulates: a node executed as several parallel fragments records one
   /// partial count per fragment, and re-optimization needs their sum.
@@ -74,6 +85,15 @@ struct ExecContext {
   int max_parallel_workers = 1;
   /// Abort flag for workload-manager KILL triggers.
   std::shared_ptr<std::atomic<bool>> cancelled;
+  /// Why `cancelled` was raised (trigger name / deadline); shared with the
+  /// workload manager's QueryHandle. May be null (no reason tracking).
+  std::shared_ptr<KillReason> kill_reason;
+  /// Query-start timestamps arming the query.timeout.ms deadline; the
+  /// elapsed budget counts wall time plus charged virtual time so modeled
+  /// cluster latency (container start-up, injected faults) consumes it too.
+  int64_t deadline_wall_start_us = 0;
+  int64_t deadline_virt_start_us = 0;
+  bool deadline_armed = false;
 
   /// Maximum rows a hash-join build side may hold before the operator
   /// fails with an ExecError — the trigger for re-optimization.
@@ -90,6 +110,15 @@ struct ExecContext {
 
   /// Called once when query execution starts (container allocation).
   void OnQueryStart();
+
+  /// Arms the query.timeout.ms deadline relative to now.
+  void ArmDeadline();
+
+  /// Interruption point, evaluated at morsel/batch boundaries: trips the
+  /// query.timeout.ms deadline if its budget is exhausted, then reports any
+  /// raised cancellation flag as a ResourceExhausted status naming the
+  /// trigger (workload-manager rule or deadline) that killed the query.
+  Status CheckInterrupted() const;
 
   bool IsCancelled() const { return cancelled && cancelled->load(); }
 };

@@ -31,11 +31,11 @@ class Operator {
   int64_t rows_produced() const { return rows_produced_; }
 
  protected:
-  Status CheckCancelled() const {
-    if (ctx_->IsCancelled())
-      return Status::ResourceExhausted("query cancelled by workload manager");
-    return Status::OK();
-  }
+  /// Interruption point: deadline evaluation + kill-flag check. Operators
+  /// call this at batch boundaries inside blocking loops (sort, hash build,
+  /// window materialization) so KILL triggers and query.timeout.ms take
+  /// effect mid-pipeline, not just between pipelines.
+  Status CheckCancelled() const { return ctx_->CheckInterrupted(); }
 
   ExecContext* ctx_;
   int64_t rows_produced_ = 0;

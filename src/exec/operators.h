@@ -42,6 +42,11 @@ class ScanOperator : public Operator {
   /// *skipped (returning an empty batch) when the sarg eliminates the row
   /// group. Thread-safe after Open; does not touch rows_produced_.
   Result<RowBatch> ReadMorsel(size_t index, bool* skipped);
+  /// ReadMorsel wrapped in the task-attempt policy: a transient failure
+  /// (flaky read, chunk checksum mismatch) re-runs the read up to
+  /// task.max.attempts times with backoff charged to the virtual clock;
+  /// permanent errors fail fast. Thread-safe after Open.
+  Result<RowBatch> ReadMorselWithRetry(size_t index, bool* skipped);
   /// Queues the morsel's column chunks on the I/O elevator so they decode
   /// into the cache ahead of a worker claiming the morsel. No-op when the
   /// context carries no prefetch hook or the morsel is out of range.

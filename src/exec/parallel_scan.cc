@@ -36,8 +36,11 @@ Status MorselDriver::WorkerLoop(
   Status status = Status::OK();
   for (;;) {
     if (failed_.load(std::memory_order_acquire)) break;
-    if (ctx_->IsCancelled()) {
-      status = Status::ResourceExhausted("query cancelled by workload manager");
+    // Morsel boundaries are the interruption points of the parallel
+    // pipeline: deadline evaluation + workload-manager kill flag.
+    Status interrupted = ctx_->CheckInterrupted();
+    if (!interrupted.ok()) {
+      status = interrupted;
       break;
     }
     size_t m = next_morsel_.fetch_add(1, std::memory_order_relaxed);
@@ -46,13 +49,30 @@ Status MorselDriver::WorkerLoop(
     // one is processed (duplicates collapse via cache single-flight).
     scan_->PrefetchMorsel(m + static_cast<size_t>(workers_));
     bool skipped = false;
-    Result<RowBatch> read = scan_->ReadMorsel(m, &skipped);
+    int64_t injected_us = 0;
+    Result<RowBatch> read = Status::OK();
+    {
+      // Mirror virtual-clock charges made during this attempt (injected
+      // fault latency, modeled I/O) so the task's cost is attributable.
+      SimClock::TaskScope task_scope(&injected_us);
+      read = scan_->ReadMorselWithRetry(m, &skipped);
+    }
     if (!read.ok()) {
       status = read.status();
       break;
     }
     if (skipped) continue;
     RowBatch batch = std::move(*read);
+    int64_t cpu_us = static_cast<int64_t>(batch.num_rows()) *
+                     ctx_->config->scan_cpu_ns_per_row / 1000;
+    int64_t kept_cost_us = 0;
+    Result<RowBatch> chosen =
+        MaybeSpeculate(m, std::move(batch), cpu_us, injected_us, &kept_cost_us);
+    if (!chosen.ok()) {
+      status = chosen.status();
+      break;
+    }
+    batch = std::move(*chosen);
     busy_ns += static_cast<int64_t>(batch.num_rows()) *
                ctx_->config->scan_cpu_ns_per_row;
     scan_rows += static_cast<int64_t>(batch.SelectedSize());
@@ -110,12 +130,71 @@ Status MorselDriver::WorkerLoop(
   return status;
 }
 
+int64_t MorselDriver::RecordCostAndThreshold(int64_t cost_us) {
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  int64_t threshold = 0;
+  // The baseline is the median of *previously* completed tasks, so a task
+  // never dilutes the very baseline it is judged against; at least 3
+  // completions are required before anyone can be called a straggler.
+  if (completed_costs_.size() >= 3) {
+    std::vector<int64_t> copy = completed_costs_;
+    size_t mid = copy.size() / 2;
+    std::nth_element(copy.begin(), copy.begin() + static_cast<long>(mid), copy.end());
+    threshold = static_cast<int64_t>(
+        ctx_->config->speculation_slowdown_factor * static_cast<double>(copy[mid]));
+  }
+  completed_costs_.push_back(cost_us);
+  return threshold;
+}
+
+Result<RowBatch> MorselDriver::MaybeSpeculate(size_t morsel, RowBatch&& original,
+                                              int64_t cpu_us, int64_t injected_us,
+                                              int64_t* kept_cost_us) {
+  int64_t cost_us = cpu_us + injected_us;
+  *kept_cost_us = cost_us;
+  int64_t threshold = RecordCostAndThreshold(cost_us);
+  if (!ctx_->config->speculation_enabled || threshold <= 0 || cost_us <= threshold)
+    return std::move(original);
+  // Straggler: launch a duplicate attempt of the same morsel. Both attempts
+  // produce byte-identical batches on success (corruption is always caught
+  // by checksums before a batch is built), so keeping either is safe — the
+  // choice only decides whose latency the query pays.
+  if (ctx_->runtime_stats)
+    ctx_->runtime_stats->speculative_tasks.fetch_add(1, std::memory_order_relaxed);
+  bool spec_skipped = false;
+  int64_t spec_injected_us = 0;
+  Result<RowBatch> spec = Status::OK();
+  {
+    SimClock::TaskScope task_scope(&spec_injected_us);
+    spec = scan_->ReadMorselWithRetry(morsel, &spec_skipped);
+  }
+  int64_t spec_cost_us = cpu_us + spec_injected_us;
+  if (spec.ok() && !spec_skipped && spec_cost_us < cost_us) {
+    // The duplicate finished first. Refund the original attempt's injected
+    // latency: the cluster's critical path followed the winner. Ties keep
+    // the original (strict <), making the winner deterministic.
+    if (ctx_->clock) ctx_->clock->Charge(-injected_us);
+    if (ctx_->runtime_stats)
+      ctx_->runtime_stats->speculative_wins.fetch_add(1, std::memory_order_relaxed);
+    *kept_cost_us = spec_cost_us;
+    return spec;
+  }
+  // Original wins (or the duplicate failed): abandon the duplicate and
+  // refund whatever latency it attracted.
+  if (ctx_->clock) ctx_->clock->Charge(-spec_injected_us);
+  return std::move(original);
+}
+
 Status MorselDriver::Run(
     int workers, const std::function<Status(int, size_t, RowBatch&&)>& sink) {
   workers_ = std::max(1, workers);
   failed_.store(false);
   next_morsel_.store(0);
   worker_busy_ns_.assign(static_cast<size_t>(workers_), 0);
+  {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    completed_costs_.clear();
+  }
   // Warm the first wave through the I/O elevator before workers start.
   for (int i = 0; i < workers_; ++i)
     scan_->PrefetchMorsel(static_cast<size_t>(i));

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,20 @@ class MorselDriver {
   Status WorkerLoop(int worker,
                     const std::function<Status(int, size_t, RowBatch&&)>& sink);
 
+  /// Straggler mitigation (Tez speculative execution): after a morsel task
+  /// completes, its cost (modeled CPU + latency injected during its reads)
+  /// is compared against the median completed task. A task slower than
+  /// speculation.slowdown.factor x the median gets a speculative duplicate
+  /// attempt; the cheaper attempt's batch is kept (ties keep the original,
+  /// deterministically) and the loser's injected latency is refunded from
+  /// the virtual clock — the cluster took the first finisher's path.
+  Result<RowBatch> MaybeSpeculate(size_t morsel, RowBatch&& original,
+                                  int64_t cpu_us, int64_t injected_us,
+                                  int64_t* kept_cost_us);
+  /// Records a completed task cost; returns the straggler threshold (or 0
+  /// while fewer than 3 tasks have completed — no baseline yet).
+  int64_t RecordCostAndThreshold(int64_t cost_us);
+
   ExecContext* ctx_;
   ParallelPipelineSpec spec_;
   std::unique_ptr<ScanOperator> scan_;
@@ -65,6 +80,10 @@ class MorselDriver {
   /// Modeled scan-CPU nanoseconds accumulated by each worker; Run() charges
   /// the maximum (the critical path) to the virtual clock.
   std::vector<int64_t> worker_busy_ns_;
+  /// Completed task costs (us of modeled CPU + injected latency), the
+  /// baseline the straggler detector takes its median from.
+  std::mutex cost_mu_;
+  std::vector<int64_t> completed_costs_;
 };
 
 /// Gather exchange over a parallel scan pipeline: workers write each

@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "exec/operators.h"
+#include "exec/task_retry.h"
 #include "exec/vector_eval.h"
 #include "optimizer/expr_eval.h"
 
@@ -224,8 +225,12 @@ Status ScanOperator::EnumerateMorsels() {
         if (!f.is_dir) files.push_back(f.path);
     }
     for (const std::string& path : files) {
-      HIVE_ASSIGN_OR_RETURN(std::shared_ptr<CofReader> reader,
-                            ctx_->chunks->OpenReader(path));
+      // Footer reads go through the retry policy too: a transient error
+      // while opening a file re-attempts instead of failing the vertex.
+      HIVE_ASSIGN_OR_RETURN(
+          std::shared_ptr<CofReader> reader,
+          RunTaskAttempts(ctx_->config, ctx_->clock, ctx_->runtime_stats,
+                          [&] { return ctx_->chunks->OpenReader(path); }));
       uint32_t file_index = static_cast<uint32_t>(state.files.size());
       state.files.push_back(reader);
       for (size_t rg = 0; rg < reader->num_row_groups(); ++rg)
@@ -315,6 +320,11 @@ Result<RowBatch> ScanOperator::ReadMorsel(size_t index, bool* skipped) {
   return PostProcess(std::move(raw), loc);
 }
 
+Result<RowBatch> ScanOperator::ReadMorselWithRetry(size_t index, bool* skipped) {
+  return RunTaskAttempts(ctx_->config, ctx_->clock, ctx_->runtime_stats,
+                         [&] { return ReadMorsel(index, skipped); });
+}
+
 void ScanOperator::PrefetchMorsel(size_t index) const {
   if (!ctx_->prefetch_chunk || index >= morsels_.size()) return;
   const Morsel& m = morsels_[index];
@@ -341,7 +351,8 @@ Result<RowBatch> ScanOperator::Next(bool* done) {
       return RowBatch();
     }
     bool skipped = false;
-    HIVE_ASSIGN_OR_RETURN(RowBatch batch, ReadMorsel(next_morsel_++, &skipped));
+    HIVE_ASSIGN_OR_RETURN(RowBatch batch,
+                          ReadMorselWithRetry(next_morsel_++, &skipped));
     if (skipped) continue;
     // Serial scan: every row's modeled CPU cost lands on the critical path
     // (the parallel driver charges only its slowest worker instead).

@@ -89,6 +89,7 @@ Result<RowBatch> WindowOperator::Next(bool* done) {
     RowBatch all(child_->schema());
     bool child_done = false;
     for (;;) {
+      HIVE_RETURN_IF_ERROR(CheckCancelled());
       HIVE_ASSIGN_OR_RETURN(RowBatch batch, child_->Next(&child_done));
       if (child_done) break;
       for (size_t i = 0; i < batch.SelectedSize(); ++i) {
@@ -106,6 +107,7 @@ Result<RowBatch> WindowOperator::Next(bool* done) {
     const size_t n = all.num_rows();
 
     for (const WindowCall& call : calls_) {
+      HIVE_RETURN_IF_ERROR(CheckCancelled());
       auto out_col = std::make_shared<ColumnVector>(call.result_type);
       out_col->Resize(n);
 

@@ -1,0 +1,47 @@
+#ifndef HIVE_EXEC_TASK_RETRY_H_
+#define HIVE_EXEC_TASK_RETRY_H_
+
+#include <algorithm>
+#include <utility>
+
+#include "common/config.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace hive {
+
+struct RuntimeStats;
+void RecordTaskAttempt(RuntimeStats* stats);
+void RecordTaskRetry(RuntimeStats* stats);
+
+inline bool IsTransientFailure(const Status& s) { return s.IsTransient(); }
+template <typename T>
+bool IsTransientFailure(const Result<T>& r) {
+  return r.status().IsTransient();
+}
+
+/// Task-attempt retry policy, the Tez failure model at every granularity the
+/// runtime re-runs work: a morsel read, a reader open, a whole query vertex.
+/// `fn` is run up to `task.max.attempts` times; a *transient* failure
+/// (flaky DFS read, chunk checksum mismatch, torn rename ack) re-runs after
+/// exponential backoff charged to the virtual clock, while permanent errors
+/// and success return immediately. `fn` must be re-runnable: each call is a
+/// fresh attempt that rebuilds whatever state the previous one left behind.
+template <typename Fn>
+auto RunTaskAttempts(const Config* config, SimClock* clock, RuntimeStats* stats,
+                     Fn&& fn) -> decltype(fn()) {
+  const int max_attempts = std::max(1, config ? config->task_max_attempts : 1);
+  for (int attempt = 0;; ++attempt) {
+    RecordTaskAttempt(stats);
+    auto result = fn();
+    if (result.ok() || !IsTransientFailure(result) || attempt + 1 >= max_attempts)
+      return result;
+    RecordTaskRetry(stats);
+    if (clock && config)
+      clock->Charge(config->task_retry_backoff_us << attempt);
+  }
+}
+
+}  // namespace hive
+
+#endif  // HIVE_EXEC_TASK_RETRY_H_

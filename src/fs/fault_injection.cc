@@ -1,0 +1,118 @@
+#include "fs/fault_injection.h"
+
+#include "common/hash.h"
+
+namespace hive {
+
+namespace {
+
+/// Site identity: one logical read/rename target. Offset distinguishes the
+/// chunk-granular ranged reads of the I/O elevator.
+uint64_t SiteHash(uint64_t seed, uint64_t kind, const std::string& path,
+                  uint64_t offset) {
+  uint64_t h = Murmur64(path.data(), path.size(), seed ^ (kind * 0x9e3779b97f4a7c15ULL));
+  h ^= offset + 0xbf58476d1ce4e5b9ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Maps a hash to a uniform double in [0, 1) — the coin for rate checks.
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+bool FaultInjectingFileSystem::ShouldInject(size_t rule_index, FaultKind kind,
+                                            const std::string& path, uint64_t offset,
+                                            double rate, int max_per_site,
+                                            bool permanent) {
+  if (rate <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t site = SiteHash(seed_ + rule_index * 0x2545f4914f6cdd1dULL,
+                           static_cast<uint64_t>(kind), path, offset);
+  // The coin depends only on (seed, kind, path, offset): the same site
+  // always draws the same faults, in every run and on every thread.
+  if (ToUnit(Murmur64(&site, sizeof site, seed_)) >= rate) return false;
+  int& count = site_counts_[site];
+  if (!permanent && count >= max_per_site) return false;  // transient: cleared
+  ++count;
+  return true;
+}
+
+Result<std::string> FaultInjectingFileSystem::FilterRead(const std::string& path,
+                                                         uint64_t offset,
+                                                         Result<std::string> result) {
+  if (!result.ok()) return result;
+  std::vector<FaultRule> rules;
+  uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules = rules_;
+    seed = seed_;
+  }
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const FaultRule& rule = rules[r];
+    if (rule.path_prefix.size() > path.size() ||
+        path.compare(0, rule.path_prefix.size(), rule.path_prefix) != 0)
+      continue;
+    if (ShouldInject(r, FaultKind::kLatency, path, offset, rule.latency_rate,
+                     rule.max_latency_injections_per_site, false)) {
+      injected_latency_us_.fetch_add(rule.latency_us, std::memory_order_relaxed);
+      if (clock_) clock_->Charge(rule.latency_us);
+    }
+    if (ShouldInject(r, FaultKind::kReadError, path, offset, rule.read_error_rate,
+                     rule.max_read_errors_per_site, rule.permanent)) {
+      injected_read_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (rule.permanent)
+        return Status::IoError("injected permanent read error: " + path);
+      return Status::TransientIoError("injected transient read error: " + path);
+    }
+    if (!result->empty() &&
+        ShouldInject(r, FaultKind::kCorrupt, path, offset, rule.corrupt_rate,
+                     rule.max_corruptions_per_site, false)) {
+      injected_corruptions_.fetch_add(1, std::memory_order_relaxed);
+      uint64_t site = SiteHash(seed, 0x5151, path, offset);
+      (*result)[site % result->size()] ^= 0x40;  // one silent bit flip
+    }
+  }
+  return result;
+}
+
+Result<std::string> FaultInjectingFileSystem::ReadFile(const std::string& path) {
+  return FilterRead(path, 0, base_->ReadFile(path));
+}
+
+Result<std::string> FaultInjectingFileSystem::ReadRange(const std::string& path,
+                                                        uint64_t offset, uint64_t len) {
+  return FilterRead(path, offset, base_->ReadRange(path, offset, len));
+}
+
+Status FaultInjectingFileSystem::Rename(const std::string& from, const std::string& to) {
+  std::vector<FaultRule> rules;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules = rules_;
+  }
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const FaultRule& rule = rules[r];
+    if (rule.path_prefix.size() > from.size() ||
+        from.compare(0, rule.path_prefix.size(), rule.path_prefix) != 0)
+      continue;
+    if (ShouldInject(r, FaultKind::kRename, from, 0, rule.rename_error_rate,
+                     rule.max_rename_errors_per_site, false)) {
+      injected_rename_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (rule.torn_rename) {
+        // Torn: the rename took effect but the ack was lost. A correct
+        // caller probes the destination before re-issuing.
+        Status applied = base_->Rename(from, to);
+        if (!applied.ok()) return applied;
+        return Status::TransientIoError("injected torn rename (applied): " + from +
+                                        " -> " + to);
+      }
+      return Status::TransientIoError("injected failed rename: " + from + " -> " + to);
+    }
+  }
+  return base_->Rename(from, to);
+}
+
+}  // namespace hive

@@ -1,0 +1,146 @@
+#ifndef HIVE_FS_FAULT_INJECTION_H_
+#define HIVE_FS_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "fs/filesystem.h"
+
+namespace hive {
+
+/// One fault rule of a deterministic fault schedule, scoped to a path
+/// prefix (empty prefix = every path). Rules model the cluster failures the
+/// paper's runtime is built to survive: flaky DFS reads that Tez re-runs as
+/// new task attempts, slow datanodes that trigger speculation, corrupted
+/// bytes that checksums catch, and lost rename acks during ACID commits.
+///
+/// Every decision is a pure function of (seed, operation, path, offset,
+/// attempt#), NOT of wall-clock time or thread interleaving, so a seeded
+/// schedule replays identically across runs and worker counts — the
+/// deterministic-simulation-testing idiom. "Transient" faults clear after
+/// `max_*_per_site` injections at one site (path+offset), so a retry of the
+/// same read eventually succeeds; `permanent` faults never clear.
+struct FaultRule {
+  std::string path_prefix;
+
+  /// Fraction of read sites (ReadFile / ReadRange at one offset) that fail
+  /// with a transient I/O error.
+  double read_error_rate = 0.0;
+  int max_read_errors_per_site = 1;
+  /// When set, injected read errors never clear (fail-fast path).
+  bool permanent = false;
+
+  /// Fraction of read sites whose returned bytes get one deterministic bit
+  /// flip (silent corruption; detected by COF chunk checksums downstream).
+  double corrupt_rate = 0.0;
+  int max_corruptions_per_site = 1;
+
+  /// Fraction of read sites that are charged `latency_us` of virtual time
+  /// (straggler modeling; drives speculative execution).
+  double latency_rate = 0.0;
+  int64_t latency_us = 0;
+  int max_latency_injections_per_site = 1;
+
+  /// Fraction of renames that fail. torn_rename=false: nothing happened
+  /// (source intact, safe to re-issue). torn_rename=true: the rename WAS
+  /// applied but the ack was lost — the caller sees an error while the
+  /// destination exists, and must probe before retrying.
+  double rename_error_rate = 0.0;
+  bool torn_rename = false;
+  int max_rename_errors_per_site = 1;
+};
+
+/// Decorator over any FileSystem that injects a seeded, deterministic fault
+/// schedule. Thread-safe; the wrapped file system must outlive it. All
+/// non-faulted operations delegate unchanged, so the decorator can wrap the
+/// warehouse FS of a running HiveServer2 in tests.
+class FaultInjectingFileSystem : public FileSystem {
+ public:
+  /// `clock` (optional) receives injected latency as virtual time.
+  FaultInjectingFileSystem(FileSystem* base, uint64_t seed,
+                           SimClock* clock = nullptr)
+      : base_(base), seed_(seed), clock_(clock) {}
+
+  void AddRule(FaultRule rule) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_.push_back(std::move(rule));
+  }
+  void ClearRules() {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_.clear();
+  }
+  /// Forgets per-site injection history (a fresh schedule replay).
+  void ResetSchedule() {
+    std::lock_guard<std::mutex> lock(mu_);
+    site_counts_.clear();
+  }
+  /// Re-seeds the schedule and forgets injection history, so one warehouse
+  /// can sweep a whole seed matrix. Call only while no query is running.
+  void Reseed(uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    seed_ = seed;
+    site_counts_.clear();
+  }
+  /// Late-binds the virtual clock (the server owning the clock is usually
+  /// constructed *after* the file system it reads from). Call only while no
+  /// query is running.
+  void set_clock(SimClock* clock) { clock_ = clock; }
+
+  Status WriteFile(const std::string& path, const std::string& data) override {
+    return base_->WriteFile(path, data);
+  }
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::string> ReadRange(const std::string& path, uint64_t offset,
+                                uint64_t len) override;
+  Result<FileInfo> Stat(const std::string& path) override { return base_->Stat(path); }
+  Result<std::vector<FileInfo>> ListDir(const std::string& path) override {
+    return base_->ListDir(path);
+  }
+  Status MakeDirs(const std::string& path) override { return base_->MakeDirs(path); }
+  Status DeleteFile(const std::string& path) override { return base_->DeleteFile(path); }
+  Status DeleteRecursive(const std::string& path) override {
+    return base_->DeleteRecursive(path);
+  }
+  Status Rename(const std::string& from, const std::string& to) override;
+  bool Exists(const std::string& path) override { return base_->Exists(path); }
+
+  // --- fault observability ---
+  uint64_t injected_read_errors() const { return injected_read_errors_.load(); }
+  uint64_t injected_corruptions() const { return injected_corruptions_.load(); }
+  uint64_t injected_rename_errors() const { return injected_rename_errors_.load(); }
+  int64_t injected_latency_us() const { return injected_latency_us_.load(); }
+
+ private:
+  enum class FaultKind : uint64_t { kReadError = 1, kCorrupt = 2, kLatency = 3, kRename = 4 };
+
+  /// Pure decision: does rule `rule_index` fire at this (kind, path, offset)
+  /// site, and is this injection still within the site's budget? Counts the
+  /// injection when it fires.
+  bool ShouldInject(size_t rule_index, FaultKind kind, const std::string& path,
+                    uint64_t offset, double rate, int max_per_site, bool permanent);
+
+  /// Applies read-path faults to the result of a base read.
+  Result<std::string> FilterRead(const std::string& path, uint64_t offset,
+                                 Result<std::string> result);
+
+  FileSystem* base_;
+  uint64_t seed_;
+  SimClock* clock_;
+  mutable std::mutex mu_;
+  std::vector<FaultRule> rules_;
+  /// Injections already delivered per (kind, path, offset) site.
+  std::unordered_map<uint64_t, int> site_counts_;
+  std::atomic<uint64_t> injected_read_errors_{0};
+  std::atomic<uint64_t> injected_corruptions_{0};
+  std::atomic<uint64_t> injected_rename_errors_{0};
+  std::atomic<int64_t> injected_latency_us_{0};
+};
+
+}  // namespace hive
+
+#endif  // HIVE_FS_FAULT_INJECTION_H_

@@ -40,9 +40,11 @@ Status LocalFileSystem::WriteFile(const std::string& path, const std::string& da
   std::error_code ec;
   stdfs::create_directories(stdfs::path(resolved).parent_path(), ec);
   std::ofstream out(resolved, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + resolved);
+  // Open/write failures on a local disk are frequently momentary (EINTR,
+  // AV scanners, NFS hiccups): tagged transient so the retry layer re-runs.
+  if (!out) return Status::TransientIoError("cannot open for write: " + resolved);
   out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  if (!out) return Status::IoError("short write: " + resolved);
+  if (!out) return Status::TransientIoError("short write: " + resolved);
   out.close();
   std::lock_guard<std::mutex> lock(mu_);
   ids_[resolved] = next_file_id_++;
@@ -133,7 +135,9 @@ Status LocalFileSystem::DeleteRecursive(const std::string& path) {
 Status LocalFileSystem::Rename(const std::string& from, const std::string& to) {
   std::error_code ec;
   stdfs::rename(Resolve(from), Resolve(to), ec);
-  if (ec) return Status::IoError("rename failed: " + from + " -> " + to);
+  // Retryable: the source is intact when rename fails, so the ACID commit
+  // path may simply re-issue it (rename is atomic, never torn, on POSIX).
+  if (ec) return Status::TransientIoError("rename failed: " + from + " -> " + to);
   return Status::OK();
 }
 

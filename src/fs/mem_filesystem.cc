@@ -126,13 +126,40 @@ Status MemFileSystem::DeleteRecursive(const std::string& raw) {
 Status MemFileSystem::Rename(const std::string& raw_from, const std::string& raw_to) {
   std::string from = Normalize(raw_from), to = Normalize(raw_to);
   std::lock_guard<std::mutex> lock(mu_);
+  if (from == to) return files_.count(from) || IsDirLocked(from)
+                             ? Status::OK()
+                             : Status::NotFound("no such path: " + from);
   auto fit = files_.find(from);
   if (fit != files_.end()) {
+    // POSIX rename semantics (what LocalFileSystem inherits from
+    // std::filesystem::rename): a file atomically replaces an existing
+    // destination *file*, but never a directory. ACID commit relies on this
+    // replace being a single step — no window where the destination is gone.
+    if (IsDirLocked(to))
+      return Status::InvalidArgument("rename target is a directory: " + to);
     files_[to] = std::move(fit->second);
     files_.erase(fit);
     return Status::OK();
   }
   if (!IsDirLocked(from)) return Status::NotFound("no such path: " + from);
+  if (files_.count(to))
+    return Status::InvalidArgument("rename target is a file: " + to);
+  if (IsDirLocked(to)) {
+    // Directory over directory: POSIX allows it only when the destination is
+    // empty (it is replaced); a non-empty destination fails with ENOTEMPTY.
+    // The old implementation silently *merged* the trees, which could make a
+    // half-committed ACID directory look fully committed.
+    std::string to_prefix = to + "/";
+    bool empty = files_.lower_bound(to_prefix) == files_.end() ||
+                 files_.lower_bound(to_prefix)->first.compare(
+                     0, to_prefix.size(), to_prefix) != 0;
+    auto dir_child = dirs_.lower_bound(to_prefix);
+    if (dir_child != dirs_.end() &&
+        dir_child->compare(0, to_prefix.size(), to_prefix) == 0)
+      empty = false;
+    if (!empty)
+      return Status::InvalidArgument("rename target not empty: " + to);
+  }
   std::string prefix = from + "/";
   std::map<std::string, File> moved;
   for (auto it = files_.begin(); it != files_.end();) {

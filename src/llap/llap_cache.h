@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/config.h"
 #include "common/lrfu_cache.h"
@@ -29,6 +30,14 @@ namespace hive {
 /// and decide row-group skips without touching the data at all.
 ///
 /// Eviction is LRFU over chunk byte sizes (the paper's default policy).
+///
+/// Poisoning defense: a decoded chunk is fingerprinted (content hash) when
+/// inserted and re-validated on every hit, so memory corruption — or a
+/// hostile writer scribbling over the shared daemon cache — can never leak
+/// wrong bytes into a query. A mismatch evicts the entry and falls back to
+/// a fresh decode through the single-flight path; after
+/// `cache.poison.threshold` *consecutive* corrupted hits on one file, that
+/// file degrades to direct (uncached) reads for the daemon's lifetime.
 class LlapCacheProvider : public ChunkProvider {
  public:
   LlapCacheProvider(FileSystem* fs, const Config& config);
@@ -37,11 +46,17 @@ class LlapCacheProvider : public ChunkProvider {
   Result<ColumnVectorPtr> ReadChunk(const std::shared_ptr<CofReader>& reader,
                                     size_t row_group, size_t column) override;
 
-  /// Drops every cache entry (tests / daemon restart).
+  /// Drops every cache entry (tests / daemon restart) and forgets poison
+  /// history: a restarted daemon re-admits degraded files.
   void Clear();
 
   /// Invalidates data cached for a specific file id (compaction cleanup).
   void InvalidateFile(uint64_t file_id);
+
+  /// Test hook: silently corrupts up to `n` cached chunks *without*
+  /// refreshing their stored fingerprints, simulating cache poisoning.
+  /// Returns how many chunks were corrupted.
+  size_t PoisonChunks(size_t n);
 
   // --- observability ---
   uint64_t data_hits() const { return data_cache_.hits(); }
@@ -53,6 +68,14 @@ class LlapCacheProvider : public ChunkProvider {
   uint64_t data_decodes() const { return data_decodes_; }
   /// Readers that waited on another thread's in-flight decode.
   uint64_t singleflight_waits() const { return singleflight_waits_; }
+  /// Cache hits rejected because the chunk's content hash no longer matched.
+  uint64_t poison_detected() const { return poison_detected_; }
+  /// Reads served directly from storage because the file is degraded.
+  uint64_t degraded_reads() const { return degraded_reads_; }
+  size_t degraded_files() const {
+    std::lock_guard<std::mutex> lock(poison_mu_);
+    return degraded_.size();
+  }
 
  private:
   struct ChunkKey {
@@ -71,6 +94,19 @@ class LlapCacheProvider : public ChunkProvider {
     }
   };
 
+  /// Cache entry: the decoded chunk plus its content fingerprint, taken at
+  /// insert time and re-checked on every hit.
+  struct CachedChunk {
+    ColumnVectorPtr chunk;
+    uint64_t fingerprint = 0;
+    /// Modeled I/O stall incurred decoding this chunk on a thread with no
+    /// task scope (the I/O elevator). The first task-scoped consumer takes
+    /// it (exchange to 0) so straggler detection still sees the stall even
+    /// though the read itself became a cache hit.
+    std::atomic<int64_t> pending_charge_us{0};
+  };
+  using CachedChunkPtr = std::shared_ptr<CachedChunk>;
+
   /// Single-flight slot: the first reader of a cold key (the leader)
   /// decodes; concurrent readers wait on `cv` and reuse the result.
   struct InFlight {
@@ -81,13 +117,28 @@ class LlapCacheProvider : public ChunkProvider {
   };
 
   void InvalidateFileLocked(uint64_t file_id);
+  /// Returns the chunk if the cached entry's fingerprint still matches;
+  /// otherwise evicts it, records the poisoning (possibly degrading the
+  /// file), and returns nullptr so the caller re-decodes.
+  ColumnVectorPtr ValidateHit(const ChunkKey& key, const CachedChunkPtr& entry);
+  bool IsDegraded(uint64_t file_id) const;
 
   FileSystem* fs_;
-  LrfuCache<ChunkKey, ColumnVectorPtr, ChunkKeyHash> data_cache_;
+  const int poison_threshold_;
+  LrfuCache<ChunkKey, CachedChunkPtr, ChunkKeyHash> data_cache_;
   std::mutex inflight_mu_;
   std::unordered_map<ChunkKey, std::shared_ptr<InFlight>, ChunkKeyHash> inflight_;
   std::atomic<uint64_t> data_decodes_{0};
   std::atomic<uint64_t> singleflight_waits_{0};
+  std::atomic<uint64_t> poison_detected_{0};
+  std::atomic<uint64_t> degraded_reads_{0};
+  /// Fast-path guard: true once any poisoning has ever been detected, so
+  /// clean hits only pay the streak-reset lock after an actual incident.
+  std::atomic<bool> poison_seen_{false};
+  mutable std::mutex poison_mu_;
+  /// Consecutive corrupted hits per file; reset by any clean hit.
+  std::unordered_map<uint64_t, int> poison_streak_;
+  std::unordered_set<uint64_t> degraded_;
   /// Metadata cache: path -> (file_id, reader). Validity is re-checked via
   /// Stat on each open (FileId change = new file).
   std::mutex metadata_mu_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/task_retry.h"
 #include "federation/materialized_operator.h"
 #include "server/dml.h"
 
@@ -133,7 +134,8 @@ Result<RelNodePtr> HiveServer2::PlanSelect(
 
 ExecContext HiveServer2::MakeContext(const Config& config, const TxnSnapshot& snapshot,
                                      RuntimeStats* stats,
-                                     std::shared_ptr<std::atomic<bool>> cancelled) {
+                                     std::shared_ptr<std::atomic<bool>> cancelled,
+                                     std::shared_ptr<KillReason> kill_reason) {
   ExecContext ctx;
   ctx.fs = fs_;
   ctx.catalog = &catalog_;
@@ -151,6 +153,7 @@ ExecContext HiveServer2::MakeContext(const Config& config, const TxnSnapshot& sn
   };
   ctx.runtime_stats = stats;
   ctx.cancelled = std::move(cancelled);
+  ctx.kill_reason = std::move(kill_reason);
   // Morsel-driven intra-query parallelism: leaf pipelines fan out across the
   // LLAP executor pool; chunk read-ahead rides the I/O elevator threads.
   ctx.max_parallel_workers = config.num_executors;
@@ -200,7 +203,8 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
   TxnSnapshot snapshot = txns_.GetSnapshot();
 
   DirectChunkProvider direct(fs_);
-  ExecContext ctx = MakeContext(config, snapshot, stats, wm_handle->cancelled);
+  ExecContext ctx = MakeContext(config, snapshot, stats, wm_handle->cancelled,
+                                wm_handle->kill_reason);
   if (!ctx.chunks) ctx.chunks = &direct;
   ctx.external_scan_factory = [this, &ctx](const RelNode& scan) -> Result<OperatorPtr> {
     StorageHandler* handler = handlers_.Get(scan.table.storage_handler);
@@ -213,16 +217,25 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
 
   int64_t wall_start = SimClock::WallMicros();
   int64_t virt_start = clock_.virtual_us();
+  ctx.ArmDeadline();
   ctx.OnQueryStart();
 
   QueryResult result;
   result.mv_rewrites_used = mv_rewrites;
   auto run = [&]() -> Status {
+    // Fresh vertex attempt: recompile and rebuild the result from scratch
+    // (a Tez task re-run restarts the fragment, never resumes it).
+    result.rows.clear();
+    result.schema = Schema();
     HIVE_ASSIGN_OR_RETURN(OperatorPtr root, CompilePlan(&ctx, plan));
     HIVE_RETURN_IF_ERROR(root->Open());
     result.schema = root->schema();
     bool done = false;
     for (;;) {
+      // Coordinator-side interruption point: a KILL trigger or deadline that
+      // fired between batches must abort even when every remaining operator
+      // only drains already-materialized state (and so never polls again).
+      HIVE_RETURN_IF_ERROR(ctx.CheckInterrupted());
       auto batch = root->Next(&done);
       if (!batch.ok()) return batch.status();
       if (done) break;
@@ -236,19 +249,29 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
     }
     return root->Close();
   };
-  Status exec_status;
-  if (config.llap_enabled && llap_) {
-    // Query fragments execute on the persistent LLAP executors.
-    auto future = llap_->SubmitFragment([&run] { return run(); });
-    exec_status = future.get();
-  } else {
-    exec_status = run();
-  }
+  // Vertex-level task attempts: a transient failure that escaped the
+  // morsel-level retries (e.g. while opening footers) re-runs the whole
+  // fragment, the way Tez re-runs a failed task attempt.
+  Status exec_status = RunTaskAttempts(&config, &clock_, stats, [&]() -> Status {
+    if (config.llap_enabled && llap_) {
+      // Query fragments execute on the persistent LLAP executors.
+      auto future = llap_->SubmitFragment([&run] { return run(); });
+      return future.get();
+    }
+    return run();
+  });
   wm_.Release(wm_handle);
   if (!exec_status.ok()) return exec_status;
 
   result.exec_wall_us = SimClock::WallMicros() - wall_start;
   result.exec_virtual_us = clock_.virtual_us() - virt_start;
+  if (stats) {
+    result.task_retries = stats->task_retries.load(std::memory_order_relaxed);
+    result.speculative_tasks =
+        stats->speculative_tasks.load(std::memory_order_relaxed);
+    result.speculative_wins =
+        stats->speculative_wins.load(std::memory_order_relaxed);
+  }
   result.rows_affected = static_cast<int64_t>(result.rows.size());
   return result;
 }

@@ -44,6 +44,12 @@ struct QueryResult {
   /// Virtual (modeled) + wall time spent executing, microseconds.
   int64_t exec_wall_us = 0;
   int64_t exec_virtual_us = 0;
+  // --- fault-tolerance footprint of this execution ---
+  /// Task attempts that were retries of transient failures.
+  int64_t task_retries = 0;
+  /// Speculative duplicate attempts launched / won against stragglers.
+  int64_t speculative_tasks = 0;
+  int64_t speculative_wins = 0;
 
   std::string ToString(size_t max_rows = 25) const;
 };
@@ -109,7 +115,8 @@ class HiveServer2 {
   /// Builds the ExecContext for one execution.
   ExecContext MakeContext(const Config& config, const TxnSnapshot& snapshot,
                           RuntimeStats* stats,
-                          std::shared_ptr<std::atomic<bool>> cancelled);
+                          std::shared_ptr<std::atomic<bool>> cancelled,
+                          std::shared_ptr<KillReason> kill_reason = nullptr);
 
   /// True when the MV is usable for rewriting under its staleness window.
   bool MvIsFresh(const TableDesc& view) const;

@@ -117,6 +117,12 @@ void WorkloadManager::ReportProgress(const std::shared_ptr<QueryHandle>& handle,
     if (rule == plan.rules.end()) continue;
     if (elapsed_ms <= rule->second.threshold) continue;
     if (rule->second.action == "KILL") {
+      // Record the trigger before raising the flag so any executor that
+      // observes the cancellation also sees why it fired.
+      handle->kill_reason->Set("query killed by workload manager trigger '" +
+                               rule->second.name + "' (" + rule->second.metric +
+                               " > " + std::to_string(rule->second.threshold) +
+                               " ms)");
       handle->cancelled->store(true);
       return;
     }

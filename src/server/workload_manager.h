@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "sql/ast.h"
 
@@ -54,6 +55,9 @@ class WorkloadManager {
     std::string borrowed_from;  // non-empty when running on a borrowed slot
     std::shared_ptr<std::atomic<bool>> cancelled =
         std::make_shared<std::atomic<bool>>(false);
+    /// Why `cancelled` was raised — the trigger's name for KILL rules, or
+    /// the deadline key; surfaced in the query's final error Status.
+    std::shared_ptr<KillReason> kill_reason = std::make_shared<KillReason>();
     int64_t start_us = 0;
     bool moved = false;
   };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/hash.h"
 #include "common/serde.h"
 
 namespace hive {
@@ -11,6 +12,9 @@ namespace {
 
 constexpr char kMagic[] = "COF1";
 constexpr size_t kMagicLen = 4;
+
+/// Seed for the per-chunk Murmur64 checksums carried in the footer.
+constexpr uint64_t kChunkChecksumSeed = 0xc0f1c0f1ULL;
 
 enum Encoding : uint8_t {
   kPlainI64 = 0,
@@ -313,6 +317,8 @@ void CofWriter::FlushRowGroup() {
     EncodeColumn(pending_[c], &encoded);
     info.column_offsets.push_back(buffer_.size() - info.offset);
     info.column_lengths.push_back(encoded.size());
+    info.column_checksums.push_back(
+        Murmur64(encoded.data(), encoded.size(), kChunkChecksumSeed));
     buffer_.append(encoded);
     info.stats.push_back(ComputeStats(pending_[c]));
     if (bloom_enabled_[c]) {
@@ -346,11 +352,17 @@ Result<std::string> CofWriter::Finish() {
     for (size_t c = 0; c < schema_.num_fields(); ++c) {
       serde::PutU64(&footer, rg.column_offsets[c]);
       serde::PutU64(&footer, rg.column_lengths[c]);
+      serde::PutU64(&footer, rg.column_checksums[c]);
       SerializeStats(&footer, rg.stats[c]);
       if (rg.stats[c].has_bloom) rg.blooms[c]->Serialize(&footer);
     }
   }
   buffer_.append(footer);
+  // Tail: [footer checksum][footer offset][magic]. The checksum covers the
+  // footer bytes so a corrupted footer read is detected before any of its
+  // offsets/checksums are trusted (the chunk checksums can only protect the
+  // data if the footer carrying them is itself intact).
+  serde::PutU64(&buffer_, Murmur64(footer.data(), footer.size(), kChunkChecksumSeed));
   serde::PutU64(&buffer_, footer_offset);
   buffer_.append(kMagic, kMagicLen);
   return std::move(buffer_);
@@ -359,16 +371,24 @@ Result<std::string> CofWriter::Finish() {
 Result<std::shared_ptr<CofReader>> CofReader::Open(FileSystem* fs,
                                                    const std::string& path) {
   HIVE_ASSIGN_OR_RETURN(FileInfo info, fs->Stat(path));
-  if (info.size < kMagicLen * 2 + 8) return Status::Corruption("cof too small: " + path);
-  HIVE_ASSIGN_OR_RETURN(std::string tail, fs->ReadRange(path, info.size - 12, 12));
-  if (tail.substr(8, 4) != kMagic) return Status::Corruption("cof bad magic: " + path);
+  if (info.size < kMagicLen * 2 + 16) return Status::Corruption("cof too small: " + path);
+  // Tail and footer integrity failures are marked transient: the bytes on
+  // storage are usually fine and only this read of them was bad (torn or
+  // corrupted), so the task-attempt layer re-reads instead of failing the
+  // query — and a bad footer is never admitted to the metadata cache.
+  HIVE_ASSIGN_OR_RETURN(std::string tail, fs->ReadRange(path, info.size - 20, 20));
+  if (tail.size() != 20 || tail.substr(16, 4) != kMagic)
+    return Status::Corruption("cof bad magic: " + path).MarkTransient();
   size_t off = 0;
-  uint64_t footer_offset = 0;
-  if (!serde::GetU64(tail, &off, &footer_offset) || footer_offset >= info.size)
-    return Status::Corruption("cof bad footer offset");
+  uint64_t footer_checksum = 0, footer_offset = 0;
+  if (!serde::GetU64(tail, &off, &footer_checksum) ||
+      !serde::GetU64(tail, &off, &footer_offset) || footer_offset >= info.size - 20)
+    return Status::Corruption("cof bad footer offset: " + path).MarkTransient();
   HIVE_ASSIGN_OR_RETURN(
       std::string footer,
-      fs->ReadRange(path, footer_offset, info.size - 12 - footer_offset));
+      fs->ReadRange(path, footer_offset, info.size - 20 - footer_offset));
+  if (Murmur64(footer.data(), footer.size(), kChunkChecksumSeed) != footer_checksum)
+    return Status::Corruption("cof footer checksum mismatch: " + path).MarkTransient();
 
   auto reader = std::shared_ptr<CofReader>(new CofReader());
   reader->fs_ = fs;
@@ -385,12 +405,14 @@ Result<std::shared_ptr<CofReader>> CofReader::Open(FileSystem* fs,
         !serde::GetU32(footer, &offset, &rg.num_rows))
       return Status::Corruption("cof rg header");
     for (size_t c = 0; c < reader->schema_.num_fields(); ++c) {
-      uint64_t coff, clen;
+      uint64_t coff, clen, csum;
       if (!serde::GetU64(footer, &offset, &coff) ||
-          !serde::GetU64(footer, &offset, &clen))
+          !serde::GetU64(footer, &offset, &clen) ||
+          !serde::GetU64(footer, &offset, &csum))
         return Status::Corruption("cof col range");
       rg.column_offsets.push_back(coff);
       rg.column_lengths.push_back(clen);
+      rg.column_checksums.push_back(csum);
       HIVE_ASSIGN_OR_RETURN(ColumnChunkStats stats, DeserializeStats(footer, &offset));
       if (stats.has_bloom) {
         HIVE_ASSIGN_OR_RETURN(BloomFilter bloom, BloomFilter::Deserialize(footer, &offset));
@@ -456,6 +478,17 @@ Result<ColumnVectorPtr> CofReader::ReadColumnChunk(size_t rg, size_t column) {
       std::string bytes,
       fs_->ReadRange(path_, info.offset + info.column_offsets[column],
                      info.column_lengths[column]));
+  // Checksum before decode: a short read or a flipped bit must never decode
+  // into wrong-but-plausible data. Marked transient — the chunk on disk may
+  // be fine and only this read of it bad — so the task-attempt retry layer
+  // re-reads instead of failing the query.
+  if (bytes.size() != info.column_lengths[column])
+    return Status::Corruption("cof chunk short read: " + path_)
+        .MarkTransient();
+  if (Murmur64(bytes.data(), bytes.size(), kChunkChecksumSeed) !=
+      info.column_checksums[column])
+    return Status::Corruption("cof chunk checksum mismatch: " + path_)
+        .MarkTransient();
   return DecodeColumn(bytes, schema_.field(column).type);
 }
 

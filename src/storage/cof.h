@@ -46,6 +46,11 @@ struct CofRowGroupInfo {
   /// reader can fetch a single column chunk with one ranged read.
   std::vector<uint64_t> column_offsets;
   std::vector<uint64_t> column_lengths;
+  /// Murmur64 of each encoded column chunk, validated on every read (ORC
+  /// likewise checksums its streams). A mismatch means the bytes — not the
+  /// format — are bad, so readers report it as a *transient* Corruption:
+  /// a re-read (new task attempt) can succeed where this one saw rot.
+  std::vector<uint64_t> column_checksums;
   std::vector<ColumnChunkStats> stats;
   std::vector<std::shared_ptr<BloomFilter>> blooms;  // nullptr when absent
 };

@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fs/fault_injection.h"
+#include "fs/mem_filesystem.h"
+#include "llap/daemon.h"
+#include "server/hive_server.h"
+#include "workloads/tpcds.h"
+
+namespace hive {
+namespace {
+
+std::vector<std::string> Rows(const QueryResult& result) {
+  std::vector<std::string> out;
+  out.reserve(result.rows.size());
+  for (const auto& row : result.rows) {
+    std::string line;
+    for (const Value& v : row) {
+      line += v.ToString();
+      line += '|';
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+/// Fault-injected execution: a seeded fault schedule (transient read
+/// errors, silent corruption, straggling reads, torn renames) must never
+/// change query *results* — retries, checksum re-reads, cache eviction and
+/// speculation absorb the faults — and queries that cannot finish must die
+/// with a Status naming what killed them.
+///
+/// One TPC-DS warehouse is shared by the whole suite; every test installs
+/// its own fault rules and TearDown restores a quiet, cache-cold cluster.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mem_ = new MemFileSystem();
+    faults_ = new FaultInjectingFileSystem(mem_, /*seed=*/1);
+    Config config;
+    config.container_startup_us = 0;
+    config.num_executors = 4;
+    server_ = new HiveServer2(faults_, config);
+    faults_->set_clock(server_->clock());
+    Session* loader = server_->OpenSession();
+    TpcdsOptions options;
+    options.days = 4;  // keep the suite fast
+    ASSERT_TRUE(LoadTpcds(server_, loader, options).ok());
+    // Fault-free reference results for every benchmark query.
+    baseline_ = new std::vector<std::pair<std::string, std::vector<std::string>>>();
+    Session* session = NewSession();
+    for (const BenchQuery& q : TpcdsQueries()) {
+      auto result = server_->Execute(session, q.sql);
+      ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
+      baseline_->emplace_back(q.name, Rows(*result));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete baseline_;
+    delete server_;
+    delete faults_;
+    delete mem_;
+  }
+
+  void TearDown() override {
+    faults_->ClearRules();
+    faults_->ResetSchedule();
+    faults_->Reseed(1);
+    if (server_->llap()) server_->llap()->cache()->Clear();
+  }
+
+  static Session* NewSession() {
+    Session* session = server_->OpenSession();
+    session->config.result_cache_enabled = false;
+    return session;
+  }
+
+  /// Drops all cached state so the next query pays real (faultable) reads.
+  static void DropCaches() {
+    if (server_->llap()) server_->llap()->cache()->Clear();
+  }
+
+  /// Summed fault-tolerance footprint of one sweep over the query set.
+  struct Footprint {
+    int64_t task_retries = 0;
+    int64_t speculative_tasks = 0;
+    int64_t speculative_wins = 0;
+  };
+
+  /// Runs every baseline query under the current fault schedule and asserts
+  /// byte-identical results, accumulating the footprint into `fp`.
+  void RunAllAndExpectBaseline(Session* session, Footprint* fp) {
+    size_t i = 0;
+    for (const BenchQuery& q : TpcdsQueries()) {
+      auto result = server_->Execute(session, q.sql);
+      ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
+      EXPECT_EQ(Rows(*result), (*baseline_)[i].second)
+          << q.name << " diverged under faults";
+      fp->task_retries += result->task_retries;
+      fp->speculative_tasks += result->speculative_tasks;
+      fp->speculative_wins += result->speculative_wins;
+      ++i;
+    }
+  }
+
+  static MemFileSystem* mem_;
+  static FaultInjectingFileSystem* faults_;
+  static HiveServer2* server_;
+  static std::vector<std::pair<std::string, std::vector<std::string>>>* baseline_;
+};
+
+MemFileSystem* FaultInjectionTest::mem_ = nullptr;
+FaultInjectingFileSystem* FaultInjectionTest::faults_ = nullptr;
+HiveServer2* FaultInjectionTest::server_ = nullptr;
+std::vector<std::pair<std::string, std::vector<std::string>>>*
+    FaultInjectionTest::baseline_ = nullptr;
+
+TEST_F(FaultInjectionTest, TransientReadErrorsRetriedByteIdentical) {
+  FaultRule rule;
+  rule.path_prefix = "/warehouse";
+  rule.read_error_rate = 0.2;
+  rule.max_read_errors_per_site = 1;
+  faults_->AddRule(rule);
+  DropCaches();
+  uint64_t before = faults_->injected_read_errors();
+  Footprint fp;
+  RunAllAndExpectBaseline(NewSession(), &fp);
+  EXPECT_GT(faults_->injected_read_errors(), before)
+      << "schedule injected nothing; the test exercised no fault path";
+  EXPECT_GT(fp.task_retries, 0) << "injected errors should surface as retries";
+}
+
+TEST_F(FaultInjectionTest, SilentCorruptionCaughtByChecksumAndRetried) {
+  FaultRule rule;
+  rule.path_prefix = "/warehouse";
+  rule.corrupt_rate = 0.15;
+  rule.max_corruptions_per_site = 1;
+  faults_->AddRule(rule);
+  DropCaches();
+  uint64_t before = faults_->injected_corruptions();
+  Footprint fp;
+  RunAllAndExpectBaseline(NewSession(), &fp);
+  EXPECT_GT(faults_->injected_corruptions(), before);
+  EXPECT_GT(fp.task_retries, 0)
+      << "checksum mismatches must be retried, not silently decoded";
+}
+
+TEST_F(FaultInjectionTest, PermanentReadErrorFailsFast) {
+  FaultRule rule;
+  rule.path_prefix = "/warehouse";
+  rule.read_error_rate = 1.0;
+  rule.permanent = true;
+  faults_->AddRule(rule);
+  DropCaches();
+  Session* session = NewSession();
+  auto result = server_->Execute(session, "SELECT COUNT(*) FROM store_sales");
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(result.status().IsTransient())
+      << "permanent faults must not look retryable: "
+      << result.status().ToString();
+  EXPECT_NE(result.status().ToString().find("injected permanent read error"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, TransientErrorsExhaustTaskAttempts) {
+  // A transient fault that outlives the retry budget: every attempt at every
+  // site fails, so the query must give up after task.max.attempts and
+  // surface the (still transient) error instead of looping forever.
+  FaultRule rule;
+  rule.path_prefix = "/warehouse";
+  rule.read_error_rate = 1.0;
+  rule.max_read_errors_per_site = 1000;
+  faults_->AddRule(rule);
+  DropCaches();
+  Session* session = NewSession();
+  session->config.task_max_attempts = 2;
+  auto result = server_->Execute(session, "SELECT COUNT(*) FROM store_sales");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTransient()) << result.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, CachePoisoningEvictsAndRecovers) {
+  ASSERT_NE(server_->llap(), nullptr);
+  LlapCacheProvider* cache = server_->llap()->cache();
+  Session* session = NewSession();
+  // Warm the cache, then corrupt cached chunks behind the engine's back.
+  auto warm = server_->Execute(session, TpcdsQueries()[0].sql);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_GT(cache->PoisonChunks(2), 0u) << "nothing cached to poison";
+  uint64_t detected = cache->poison_detected();
+  auto again = server_->Execute(session, TpcdsQueries()[0].sql);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(Rows(*again), (*baseline_)[0].second)
+      << "poisoned chunks leaked into a query result";
+  EXPECT_GT(cache->poison_detected(), detected)
+      << "fingerprint validation never fired";
+}
+
+TEST_F(FaultInjectionTest, RepeatedPoisoningDegradesFileToDirectReads) {
+  ASSERT_NE(server_->llap(), nullptr);
+  LlapCacheProvider* cache = server_->llap()->cache();
+  Session* session = NewSession();
+  // Default cache.poison.threshold is 3 consecutive corruptions per file.
+  // Poison everything before each run until some file crosses it.
+  for (int round = 0; round < 4; ++round) {
+    auto result = server_->Execute(session, TpcdsQueries()[0].sql);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(Rows(*result), (*baseline_)[0].second) << "round " << round;
+    cache->PoisonChunks(static_cast<size_t>(-1));
+  }
+  EXPECT_GT(cache->degraded_files(), 0u)
+      << "no file degraded after repeated poisoning";
+  uint64_t direct = cache->degraded_reads();
+  auto final_run = server_->Execute(session, TpcdsQueries()[0].sql);
+  ASSERT_TRUE(final_run.ok());
+  EXPECT_EQ(Rows(*final_run), (*baseline_)[0].second);
+  EXPECT_GT(cache->degraded_reads(), direct)
+      << "degraded file should bypass the cache entirely";
+}
+
+TEST(StragglerSpeculationTest, StragglerTriggersSpeculativeDuplicateThatWins) {
+  // One slow datanode, modeled deterministically: every read of ONE late
+  // file stalls 500ms (once per site) while the other eleven files' morsels
+  // cost microseconds. The stalled morsel dwarfs the median completed task,
+  // so the driver must launch a speculative duplicate; the duplicate's
+  // re-read finds the fault site's budget spent, runs clean, and wins.
+  MemFileSystem mem;
+  FaultInjectingFileSystem faults(&mem, /*seed=*/5);
+  Config config;
+  config.container_startup_us = 0;
+  config.num_executors = 4;
+  HiveServer2 server(&faults, config);
+  faults.set_clock(server.clock());
+  Session* session = server.OpenSession();
+  session->config.result_cache_enabled = false;
+  // Twelve partitions, one delta file each -> twelve morsels (and no
+  // compaction folding them back into one).
+  ASSERT_TRUE(
+      server.Execute(session, "CREATE TABLE t (k INT, v INT) PARTITIONED BY (p INT)")
+          .ok());
+  for (int part = 0; part < 12; ++part) {
+    std::string insert = "INSERT INTO t VALUES ";
+    for (int i = 0; i < 150; ++i) {
+      int k = part * 150 + i;
+      insert += (i ? ", (" : "(") + std::to_string(k) + ", " +
+                std::to_string(k % 23) + ", " + std::to_string(part) + ")";
+    }
+    ASSERT_TRUE(server.Execute(session, insert).ok());
+  }
+  const std::string sql =
+      "SELECT COUNT(*), SUM(v), MIN(k), MAX(k) FROM t";
+  auto baseline = server.Execute(session, sql);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  FaultRule rule;
+  // Partition p=9 sorts last in the directory listing, so its morsel is
+  // claimed after plenty of fast tasks have established the median.
+  rule.path_prefix = "/warehouse/default.db/t/p=9/";
+  rule.latency_rate = 1.0;
+  rule.latency_us = 500000;
+  rule.max_latency_injections_per_site = 1;
+  faults.AddRule(rule);
+  server.llap()->cache()->Clear();
+  auto faulted = server.Execute(session, sql);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  EXPECT_EQ(Rows(*faulted), Rows(*baseline));
+  EXPECT_GT(faulted->speculative_tasks, 0) << "straggler was never speculated";
+  EXPECT_GT(faulted->speculative_wins, 0)
+      << "the clean duplicate should beat a 500ms straggler";
+}
+
+TEST_F(FaultInjectionTest, QueryDeadlineKillsLongQueryMidSort) {
+  // Every read stalls 100ms (modeled); the deadline is 50ms, so the query
+  // is over budget after its first morsel and must die at the next
+  // interruption point — inside the sort's input collection here.
+  FaultRule rule;
+  rule.path_prefix = "/warehouse";
+  rule.latency_rate = 1.0;
+  rule.latency_us = 100000;
+  faults_->AddRule(rule);
+  DropCaches();
+  Session* session = NewSession();
+  session->config.query_timeout_ms = 50;
+  auto result = server_->Execute(
+      session,
+      "SELECT ss_item_sk, SUM(ss_quantity) FROM store_sales "
+      "GROUP BY ss_item_sk ORDER BY ss_item_sk");
+  ASSERT_FALSE(result.ok()) << "deadline never fired";
+  EXPECT_NE(result.status().ToString().find("query.timeout.ms"),
+            std::string::npos)
+      << "kill reason must name the deadline: " << result.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, DeadlineDisabledByDefault) {
+  FaultRule rule;
+  rule.path_prefix = "/warehouse";
+  rule.latency_rate = 1.0;
+  rule.latency_us = 100000;
+  faults_->AddRule(rule);
+  DropCaches();
+  // query.timeout.ms = 0 (default): slow but successful.
+  auto result =
+      server_->Execute(NewSession(), "SELECT COUNT(*) FROM store_sales");
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, SeedMatrixIsByteIdentical) {
+  // The acceptance matrix: eight schedules mixing transient errors, silent
+  // corruption and stragglers. Results must match the fault-free baseline
+  // bit for bit under every seed.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    faults_->ClearRules();
+    faults_->Reseed(seed);
+    FaultRule rule;
+    rule.path_prefix = "/warehouse";
+    rule.read_error_rate = 0.2;
+    rule.max_read_errors_per_site = 1;
+    rule.corrupt_rate = 0.1;
+    rule.max_corruptions_per_site = 1;
+    rule.latency_rate = 0.1;
+    rule.latency_us = 50000;
+    faults_->AddRule(rule);
+    DropCaches();
+    Footprint fp;
+    RunAllAndExpectBaseline(NewSession(), &fp);
+  }
+}
+
+/// Workload-manager kills must name their trigger. Uses its own tiny
+/// cluster because an activated resource plan cannot be deactivated.
+TEST(WorkloadKillReasonTest, KillStatusNamesTrigger) {
+  MemFileSystem mem;
+  FaultInjectingFileSystem faults(&mem, /*seed=*/7);
+  Config config;
+  config.container_startup_us = 0;
+  HiveServer2 server(&faults, config);
+  faults.set_clock(server.clock());
+  Session* session = server.OpenSession("etl");
+  session->config.result_cache_enabled = false;
+  ASSERT_TRUE(server.Execute(session, "CREATE TABLE t (k INT, v INT)").ok());
+  for (int batch = 0; batch < 4; ++batch) {
+    std::string insert = "INSERT INTO t VALUES ";
+    for (int i = 0; i < 200; ++i) {
+      int k = batch * 200 + i;
+      insert += (i ? ", (" : "(") + std::to_string(k) + ", " +
+                std::to_string(k % 17) + ")";
+    }
+    ASSERT_TRUE(server.Execute(session, insert).ok());
+  }
+  ASSERT_TRUE(server
+                  .ExecuteScript(session,
+                                 "CREATE RESOURCE PLAN guard;"
+                                 "CREATE POOL guard.all WITH alloc_fraction=1.0, "
+                                 "query_parallelism=4;"
+                                 "CREATE RULE slow_kill IN guard WHEN "
+                                 "total_runtime > 1 THEN KILL;"
+                                 "ADD RULE slow_kill TO all;"
+                                 "ALTER PLAN guard SET DEFAULT POOL = all;"
+                                 "ALTER RESOURCE PLAN guard ENABLE ACTIVATE;")
+                  .ok());
+  // Stall every read so elapsed (modeled) time trips the 1ms trigger.
+  FaultRule rule;
+  rule.latency_rate = 1.0;
+  rule.latency_us = 50000;
+  faults.AddRule(rule);
+  server.llap()->cache()->Clear();
+  auto result = server.Execute(session, "SELECT k, v FROM t ORDER BY k");
+  ASSERT_FALSE(result.ok()) << "trigger never fired";
+  EXPECT_NE(result.status().ToString().find("slow_kill"), std::string::npos)
+      << "kill reason must name the trigger: " << result.status().ToString();
+}
+
+/// Rename fault modes at the FileSystem level: a failed rename leaves the
+/// source intact; a *torn* rename applies but reports failure, so callers
+/// must probe before re-issuing.
+TEST(RenameFaultTest, FailedRenameLeavesSourceIntact) {
+  MemFileSystem mem;
+  FaultInjectingFileSystem faults(&mem, /*seed=*/3);
+  ASSERT_TRUE(faults.WriteFile("/w/tmp_delta/f0", "payload").ok());
+  FaultRule rule;
+  rule.rename_error_rate = 1.0;
+  rule.torn_rename = false;
+  rule.max_rename_errors_per_site = 1;
+  faults.AddRule(rule);
+  Status first = faults.Rename("/w/tmp_delta", "/w/delta_1");
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.IsTransient());
+  EXPECT_TRUE(faults.Exists("/w/tmp_delta")) << "failed rename must not apply";
+  EXPECT_FALSE(faults.Exists("/w/delta_1"));
+  // The site budget is spent: a straight retry succeeds.
+  ASSERT_TRUE(faults.Rename("/w/tmp_delta", "/w/delta_1").ok());
+  auto data = faults.ReadFile("/w/delta_1/f0");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "payload");
+}
+
+TEST(RenameFaultTest, TornRenameAppliesButReportsError) {
+  MemFileSystem mem;
+  FaultInjectingFileSystem faults(&mem, /*seed=*/3);
+  ASSERT_TRUE(faults.WriteFile("/w/tmp_delta/f0", "payload").ok());
+  FaultRule rule;
+  rule.rename_error_rate = 1.0;
+  rule.torn_rename = true;
+  rule.max_rename_errors_per_site = 1;
+  faults.AddRule(rule);
+  Status torn = faults.Rename("/w/tmp_delta", "/w/delta_1");
+  ASSERT_FALSE(torn.ok());
+  EXPECT_TRUE(torn.IsTransient());
+  // The rename took effect even though the ack was lost.
+  EXPECT_FALSE(faults.Exists("/w/tmp_delta"));
+  auto data = faults.ReadFile("/w/delta_1/f0");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "payload");
+}
+
+}  // namespace
+}  // namespace hive

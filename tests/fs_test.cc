@@ -98,6 +98,69 @@ TEST_P(FsTest, RenameDirectory) {
   EXPECT_EQ(*data, "x");
 }
 
+// POSIX rename semantics, shared by both backends. Error *codes* differ
+// between the in-memory model and the OS, so failures assert only !ok()
+// plus the invariant that matters: nothing was destroyed.
+
+TEST_P(FsTest, RenameFileOverFileReplacesAtomically) {
+  ASSERT_TRUE(fs_->WriteFile("/t/src", "new").ok());
+  ASSERT_TRUE(fs_->WriteFile("/t/dst", "old").ok());
+  ASSERT_TRUE(fs_->Rename("/t/src", "/t/dst").ok());
+  EXPECT_FALSE(fs_->Exists("/t/src"));
+  auto data = fs_->ReadFile("/t/dst");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "new");
+}
+
+TEST_P(FsTest, RenameFileOntoDirectoryFails) {
+  ASSERT_TRUE(fs_->WriteFile("/t/src", "x").ok());
+  ASSERT_TRUE(fs_->MakeDirs("/t/dst").ok());
+  EXPECT_FALSE(fs_->Rename("/t/src", "/t/dst").ok());
+  auto data = fs_->ReadFile("/t/src");
+  ASSERT_TRUE(data.ok()) << "failed rename must leave the source intact";
+  EXPECT_EQ(*data, "x");
+}
+
+TEST_P(FsTest, RenameDirectoryOntoFileFails) {
+  ASSERT_TRUE(fs_->WriteFile("/t/src/f0", "x").ok());
+  ASSERT_TRUE(fs_->WriteFile("/t/dst", "y").ok());
+  EXPECT_FALSE(fs_->Rename("/t/src", "/t/dst").ok());
+  EXPECT_TRUE(fs_->Exists("/t/src/f0"));
+  auto data = fs_->ReadFile("/t/dst");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "y");
+}
+
+TEST_P(FsTest, RenameDirectoryOntoNonEmptyDirectoryFails) {
+  ASSERT_TRUE(fs_->WriteFile("/t/src/f0", "x").ok());
+  ASSERT_TRUE(fs_->WriteFile("/t/dst/g0", "y").ok());
+  EXPECT_FALSE(fs_->Rename("/t/src", "/t/dst").ok())
+      << "rename must not merge directory trees";
+  EXPECT_TRUE(fs_->Exists("/t/src/f0"));
+  auto data = fs_->ReadFile("/t/dst/g0");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "y");
+  EXPECT_FALSE(fs_->Exists("/t/dst/f0"));
+}
+
+TEST_P(FsTest, RenameDirectoryOntoEmptyDirectorySucceeds) {
+  ASSERT_TRUE(fs_->WriteFile("/t/src/f0", "x").ok());
+  ASSERT_TRUE(fs_->MakeDirs("/t/dst").ok());
+  ASSERT_TRUE(fs_->Rename("/t/src", "/t/dst").ok());
+  EXPECT_FALSE(fs_->Exists("/t/src"));
+  auto data = fs_->ReadFile("/t/dst/f0");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "x");
+}
+
+TEST_P(FsTest, RenameToSelfIsNoOp) {
+  ASSERT_TRUE(fs_->WriteFile("/t/f", "x").ok());
+  ASSERT_TRUE(fs_->Rename("/t/f", "/t/f").ok());
+  auto data = fs_->ReadFile("/t/f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "x");
+}
+
 TEST_P(FsTest, ReadMissingFileFails) {
   auto r = fs_->ReadFile("/nope");
   EXPECT_FALSE(r.ok());
