@@ -35,7 +35,7 @@ int main() {
     Timing t = RunTimed(&server, session, queries[i].sql);
     if (t.ok) {
       native_ms[i] = t.millis;
-      native_rewrites[i] = t.result.mv_rewrites_used;
+      native_rewrites[i] = t.result.profile().counter(hive::obs::qc::kMvRewrites);
     }
   }
   // Retire the native MV so the droid variant is the only rewrite target.
@@ -55,7 +55,7 @@ int main() {
     Timing t = RunTimed(&server, session, queries[i].sql);
     if (t.ok) {
       droid_ms[i] = t.millis;
-      droid_rewrites[i] = t.result.mv_rewrites_used;
+      droid_rewrites[i] = t.result.profile().counter(hive::obs::qc::kMvRewrites);
     }
   }
 

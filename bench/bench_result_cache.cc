@@ -40,7 +40,7 @@ int main() {
       if (!t1.ok || !t2.ok) return 1;
       with_ms += t1.millis;
       without_ms += t2.millis;
-      if (t1.result.from_result_cache) ++hits;
+      if (t1.result.profile().counter(hive::obs::qc::kFromResultCache)) ++hits;
     }
   }
 
@@ -57,9 +57,9 @@ int main() {
                              "(1, 1, 1, 999999, 5, 10.00, 9.00, 0)");
   Timing after_write = RunTimed(&server, cached, dashboard[0]);
   std::printf("After INSERT into store_sales: served from cache = %s (expected no)\n",
-              after_write.result.from_result_cache ? "yes" : "no");
+              after_write.result.profile().counter(hive::obs::qc::kFromResultCache) ? "yes" : "no");
   Timing again = RunTimed(&server, cached, dashboard[0]);
   std::printf("Next identical query:          served from cache = %s (expected yes)\n",
-              again.result.from_result_cache ? "yes" : "no");
+              again.result.profile().counter(hive::obs::qc::kFromResultCache) ? "yes" : "no");
   return 0;
 }

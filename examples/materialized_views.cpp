@@ -51,7 +51,7 @@ int main() {
       "SELECT SUM(ss_sales_price) AS sum_sales FROM store_sales, date_dim "
       "WHERE ss_sold_date_sk = d_date_sk AND d_year = 2018 AND d_moy IN (1, 2, 3)");
   std::printf("q1 (full containment):   rewritten=%s  sum=%s\n",
-              q1.mv_rewrites_used ? "yes" : "no", q1.rows[0][0].ToString().c_str());
+              q1.profile().counter(hive::obs::qc::kMvRewrites) ? "yes" : "no", q1.rows[0][0].ToString().c_str());
 
   // Figure 4c: a wider filter -> MV part UNION ALL the complement from the
   // source tables, re-aggregated on top.
@@ -61,7 +61,7 @@ int main() {
       "WHERE ss_sold_date_sk = d_date_sk AND d_year > 2016 "
       "GROUP BY d_year, d_moy");
   std::printf("q2 (partial containment): rewritten=%s  groups=%zu\n",
-              q2.mv_rewrites_used ? "yes" : "no", q2.rows.size());
+              q2.profile().counter(hive::obs::qc::kMvRewrites) ? "yes" : "no", q2.rows.size());
 
   // New data makes the view stale: rewriting stops until REBUILD.
   run("INSERT INTO store_sales VALUES (35, 999.99)");
@@ -69,14 +69,14 @@ int main() {
       "SELECT SUM(ss_sales_price) AS sum_sales FROM store_sales, date_dim "
       "WHERE ss_sold_date_sk = d_date_sk AND d_year = 2018 AND d_moy IN (1, 2, 3)");
   std::printf("after insert (stale MV):  rewritten=%s\n",
-              stale.mv_rewrites_used ? "yes" : "no");
+              stale.profile().counter(hive::obs::qc::kMvRewrites) ? "yes" : "no");
 
   run("ALTER MATERIALIZED VIEW mat_view REBUILD");
   QueryResult fresh = run(
       "SELECT SUM(ss_sales_price) AS sum_sales FROM store_sales, date_dim "
       "WHERE ss_sold_date_sk = d_date_sk AND d_year = 2018 AND d_moy IN (1, 2, 3)");
   std::printf("after REBUILD:            rewritten=%s  sum=%s\n",
-              fresh.mv_rewrites_used ? "yes" : "no",
+              fresh.profile().counter(hive::obs::qc::kMvRewrites) ? "yes" : "no",
               fresh.rows[0][0].ToString().c_str());
 
   // Incremental maintenance: SPJ views absorb insert-only history without a

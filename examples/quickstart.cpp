@@ -60,7 +60,7 @@ int main() {
   auto once = server.Execute(session, "SELECT COUNT(*) FROM store_sales");
   auto twice = server.Execute(session, "SELECT COUNT(*) FROM store_sales");
   std::printf("result cache: first=%s second=%s\n",
-              once->from_result_cache ? "hit" : "miss",
-              twice->from_result_cache ? "hit" : "miss");
+              once->profile().counter(hive::obs::qc::kFromResultCache) ? "hit" : "miss",
+              twice->profile().counter(hive::obs::qc::kFromResultCache) ? "hit" : "miss");
   return 0;
 }

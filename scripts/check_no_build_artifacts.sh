@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Fails when generated build artifacts are tracked by git (or staged to be).
+# The build trees (`build/`, `build-tsan/`, or any CMake output) must stay
+# out of the repository: they are machine-specific, churn on every
+# configure, and bloat diffs. Run from anywhere; used by scripts/verify.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Tracked files under a build tree, or classic CMake droppings anywhere.
+offenders=$(git ls-files --cached \
+  | grep -E '^(build|build-[^/]+)/|(^|/)(CMakeCache\.txt|CMakeFiles/|cmake_install\.cmake)|\.o$|\.a$' \
+  || true)
+
+if [[ -n "$offenders" ]]; then
+  echo "error: build artifacts are tracked by git:" >&2
+  echo "$offenders" | head -20 >&2
+  count=$(echo "$offenders" | wc -l)
+  [[ "$count" -gt 20 ]] && echo "... and $((count - 20)) more" >&2
+  echo "fix: git rm -r --cached <path>  (build trees are covered by .gitignore)" >&2
+  exit 1
+fi
+echo "ok: no build artifacts tracked"

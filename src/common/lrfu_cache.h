@@ -134,6 +134,10 @@ class LrfuCache {
     std::lock_guard<std::mutex> lock(mu_);
     return misses_;
   }
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
 
  private:
   struct Entry {

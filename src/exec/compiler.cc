@@ -9,6 +9,141 @@ namespace hive {
 
 namespace {
 
+/// Records an operator's execution span (rows/batches out, inclusive wall +
+/// virtual time, memory estimate) into its OperatorProfileNode. The compiler
+/// wraps every physical operator in one when the context carries a
+/// QueryProfile; EXPLAIN ANALYZE renders the resulting tree.
+class ProfilingOperator : public Operator {
+ public:
+  ProfilingOperator(ExecContext* ctx, OperatorPtr child,
+                    obs::OperatorProfileNodePtr node)
+      : Operator(ctx), child_(std::move(child)), node_(std::move(node)) {}
+
+  Status Open() override {
+    Span span(this);
+    return child_->Open();
+  }
+
+  Result<RowBatch> Next(bool* done) override {
+    Span span(this);
+    auto batch = child_->Next(done);
+    if (batch.ok() && !*done) {
+      int64_t rows = static_cast<int64_t>(batch->SelectedSize());
+      ++node_->batches;
+      node_->rows_out += rows;
+      rows_produced_ += rows;
+      uint64_t bytes = batch->ByteSize();
+      node_->bytes_out += bytes;
+      max_batch_bytes_ = std::max(max_batch_bytes_, bytes);
+      // Streaming operators hold one batch at a time; blocking operators
+      // materialized everything they emitted.
+      node_->peak_mem_bytes = node_->blocking ? node_->bytes_out : max_batch_bytes_;
+    }
+    return batch;
+  }
+
+  Status Close() override {
+    Span span(this);
+    return child_->Close();
+  }
+
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  /// RAII span: accumulates the call's wall + virtual (SimClock) time into
+  /// the node. Times are inclusive of children; the tree subtracts.
+  class Span {
+   public:
+    explicit Span(ProfilingOperator* op)
+        : op_(op),
+          wall0_(SimClock::WallMicros()),
+          virt0_(op->ctx_->clock ? op->ctx_->clock->virtual_us() : 0) {}
+    ~Span() {
+      op_->node_->wall_us += SimClock::WallMicros() - wall0_;
+      if (op_->ctx_->clock)
+        op_->node_->virtual_us += op_->ctx_->clock->virtual_us() - virt0_;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    ProfilingOperator* op_;
+    int64_t wall0_;
+    int64_t virt0_;
+  };
+
+  OperatorPtr child_;
+  obs::OperatorProfileNodePtr node_;
+  uint64_t max_batch_bytes_ = 0;
+};
+
+const char* JoinTypeName(TableRef::JoinType t) {
+  switch (t) {
+    case TableRef::JoinType::kInner: return "inner";
+    case TableRef::JoinType::kLeft: return "left";
+    case TableRef::JoinType::kRight: return "right";
+    case TableRef::JoinType::kFull: return "full";
+    case TableRef::JoinType::kCross: return "cross";
+    case TableRef::JoinType::kSemi: return "semi";
+    case TableRef::JoinType::kAnti: return "anti";
+  }
+  return "?";
+}
+
+/// Fills a profile node's static identity from the plan node it profiles.
+void LabelProfileNode(const RelNode& rel, obs::OperatorProfileNode* node) {
+  switch (rel.kind) {
+    case RelKind::kScan:
+      node->name = "Scan";
+      node->detail = rel.table.FullName();
+      if (!rel.table.storage_handler.empty())
+        node->detail += "@" + rel.table.storage_handler;
+      break;
+    case RelKind::kValues:
+      node->name = "Values";
+      break;
+    case RelKind::kFilter:
+      node->name = "Filter";
+      break;
+    case RelKind::kProject:
+      node->name = "Project";
+      break;
+    case RelKind::kJoin:
+      node->name = "HashJoin";
+      node->detail = JoinTypeName(rel.join_type);
+      node->blocking = true;
+      break;
+    case RelKind::kAggregate:
+      node->name = "HashAgg";
+      node->detail = "keys=" + std::to_string(rel.group_keys.size()) +
+                     ",aggs=" + std::to_string(rel.aggs.size());
+      node->blocking = true;
+      break;
+    case RelKind::kWindow:
+      node->name = "Window";
+      node->blocking = true;
+      break;
+    case RelKind::kSort:
+      node->name = "Sort";
+      node->blocking = true;
+      break;
+    case RelKind::kLimit:
+      node->name = "Limit";
+      break;
+    case RelKind::kUnion:
+      node->name = "UnionAll";
+      break;
+    case RelKind::kMinus:
+      node->name = "Except";
+      node->blocking = true;
+      break;
+    case RelKind::kIntersect:
+      node->name = "Intersect";
+      node->blocking = true;
+      break;
+  }
+}
+
 /// Wraps an operator to record its produced row count under the plan-node
 /// digest when the query finishes; feeds re-optimization (Section 4.2).
 class StatsRecordingOperator : public Operator {
@@ -73,7 +208,27 @@ class Compiler {
         CountDigests(r.build_plan);
   }
 
+  /// Profile-aware compile: opens a span node for `node`, compiles the
+  /// subtree under it (children attach via recursion), and wraps the
+  /// produced operator so actuals land on the node.
   Result<OperatorPtr> CompileNode(const RelNodePtr& node) {
+    if (!ctx_->profile) return CompileNodeImpl(node);
+    auto pnode = std::make_shared<obs::OperatorProfileNode>();
+    LabelProfileNode(*node, pnode.get());
+    obs::OperatorProfileNode* parent = profile_parent_;
+    if (parent)
+      parent->children.push_back(pnode);
+    else
+      ctx_->profile->AttachRoot(pnode);
+    profile_parent_ = pnode.get();
+    auto op = CompileNodeImpl(node);
+    profile_parent_ = parent;
+    if (!op.ok()) return op;
+    return OperatorPtr(
+        std::make_unique<ProfilingOperator>(ctx_, std::move(*op), pnode));
+  }
+
+  Result<OperatorPtr> CompileNodeImpl(const RelNodePtr& node) {
     // Shared work: reuse a spool for repeated subtrees.
     std::string digest;
     bool spoolable = false;
@@ -87,13 +242,16 @@ class Compiler {
     }
     if (spoolable) {
       auto spool = spools_.find(digest);
-      if (spool != spools_.end())
+      if (spool != spools_.end()) {
+        RelabelProfile("Spool", "shared:" + ProfileDetail());
         return OperatorPtr(
             std::make_unique<SpoolOperator>(ctx_, spool->second, node->schema));
+      }
       HIVE_ASSIGN_OR_RETURN(OperatorPtr source, CompileBare(node));
       auto state = std::make_shared<SpoolState>();
       state->source = std::move(source);
       spools_[digest] = state;
+      AnnotateProfile("spooled");
       return OperatorPtr(std::make_unique<SpoolOperator>(ctx_, state, node->schema));
     }
     // Scan-merge sharing: identical scans that differ only in pushed-down
@@ -116,6 +274,7 @@ class Compiler {
           state->source = std::make_unique<ScanOperator>(ctx_, *bare);
           spools_[bare_digest] = state;
         }
+        AnnotateProfile("merged-scan");
         OperatorPtr op = std::make_unique<SpoolOperator>(ctx_, state, node->schema);
         for (const ExprPtr& filter : node->scan_filters)
           op = std::make_unique<FilterOperator>(ctx_, std::move(op), filter);
@@ -123,6 +282,26 @@ class Compiler {
       }
     }
     return CompileBare(node);
+  }
+
+  /// Current profile node's detail (empty when profiling is off).
+  std::string ProfileDetail() const {
+    return profile_parent_ ? profile_parent_->detail : std::string();
+  }
+
+  /// Appends a tag to the current profile node's detail.
+  void AnnotateProfile(const std::string& tag) {
+    if (!profile_parent_) return;
+    if (!profile_parent_->detail.empty()) profile_parent_->detail += ",";
+    profile_parent_->detail += tag;
+  }
+
+  /// Rewrites the current profile node's identity (parallel pipelines
+  /// replace a whole scan->filter->project chain with one operator).
+  void RelabelProfile(const std::string& name, const std::string& detail) {
+    if (!profile_parent_) return;
+    profile_parent_->name = name;
+    profile_parent_->detail = detail;
   }
 
   /// Morsel-driven parallelism is available outside MR mode (MapReduce
@@ -178,9 +357,14 @@ class Compiler {
         // Parallel leaf pipeline: the gather operator records scan/filter
         // stats from its workers, so no StatsRecording wrapper here.
         ParallelPipelineSpec spec;
-        if (CollectPipeline(node, &spec))
+        if (CollectPipeline(node, &spec)) {
+          // The whole scan->filter->project chain collapses into one
+          // morsel-parallel operator; the span follows suit.
+          RelabelProfile("ParallelScan", spec.scan->table.FullName());
+          if (profile_parent_) profile_parent_->blocking = true;
           return OperatorPtr(
               std::make_unique<ParallelScanOperator>(ctx_, std::move(spec)));
+        }
         break;
       }
       default:
@@ -261,6 +445,12 @@ class Compiler {
         // records only the aggregate node itself.
         ParallelPipelineSpec spec;
         if (CollectPipeline(node->inputs[0], &spec)) {
+          RelabelProfile(
+              "ParallelAgg",
+              spec.scan->table.FullName() + ",keys=" +
+                  std::to_string(node->group_keys.size()) + ",aggs=" +
+                  std::to_string(node->aggs.size()));
+          if (profile_parent_) profile_parent_->blocking = true;
           auto op = std::make_unique<ParallelAggregateOperator>(
               ctx_, std::move(spec), node->group_keys, node->aggs, node->schema);
           return OperatorPtr(std::make_unique<StatsRecordingOperator>(
@@ -309,6 +499,9 @@ class Compiler {
   }
 
   ExecContext* ctx_;
+  /// Span node currently being compiled into; children attach here. Null
+  /// when profiling is off or at the root of a plan.
+  obs::OperatorProfileNode* profile_parent_ = nullptr;
   std::map<std::string, int> digest_counts_;
   std::map<std::string, int> bare_scan_counts_;
   std::map<std::string, std::shared_ptr<SpoolState>> spools_;

@@ -15,6 +15,8 @@
 #include "common/sim_clock.h"
 #include "fs/filesystem.h"
 #include "metastore/catalog.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
 #include "storage/acid.h"
 #include "storage/chunk_provider.h"
 
@@ -72,6 +74,13 @@ struct ExecContext {
   std::function<Result<OperatorPtr>(const struct RelNode&)> external_scan_factory;
   /// Runtime stats sink (may be null).
   RuntimeStats* runtime_stats = nullptr;
+  /// Per-query profile: when set, the compiler wraps every operator in a
+  /// span recorder and attaches the plan's span tree here (EXPLAIN ANALYZE
+  /// and QueryResult::profile()). May be null (DML subplans, MV refresh).
+  obs::QueryProfile* profile = nullptr;
+  /// Engine-wide metrics registry (morsel counters/histograms land here);
+  /// may be null in unit tests that build contexts by hand.
+  obs::MetricsRegistry* metrics = nullptr;
   RuntimeMode mode = RuntimeMode::kTez;
 
   /// Fans an intra-query worker fragment out to the persistent executor pool

@@ -45,6 +45,11 @@ Status MorselDriver::WorkerLoop(
     }
     size_t m = next_morsel_.fetch_add(1, std::memory_order_relaxed);
     if (m >= scan_->num_morsels()) break;
+    if (morsels_claimed_) morsels_claimed_->Inc();
+    // Queue wait: how long this morsel sat in the queue before any worker
+    // picked it up — the dispatch latency of the morsel scheduler.
+    if (morsel_queue_wait_us_)
+      morsel_queue_wait_us_->Record(SimClock::WallMicros() - run_start_wall_us_);
     // I/O elevator read-ahead: decode the morsel one wave ahead while this
     // one is processed (duplicates collapse via cache single-flight).
     scan_->PrefetchMorsel(m + static_cast<size_t>(workers_));
@@ -61,7 +66,10 @@ Status MorselDriver::WorkerLoop(
       status = read.status();
       break;
     }
-    if (skipped) continue;
+    if (skipped) {
+      if (morsels_skipped_) morsels_skipped_->Inc();
+      continue;
+    }
     RowBatch batch = std::move(*read);
     int64_t cpu_us = static_cast<int64_t>(batch.num_rows()) *
                      ctx_->config->scan_cpu_ns_per_row / 1000;
@@ -72,6 +80,7 @@ Status MorselDriver::WorkerLoop(
       status = chosen.status();
       break;
     }
+    if (morsel_cost_us_) morsel_cost_us_->Record(kept_cost_us);
     batch = std::move(*chosen);
     busy_ns += static_cast<int64_t>(batch.num_rows()) *
                ctx_->config->scan_cpu_ns_per_row;
@@ -190,6 +199,13 @@ Status MorselDriver::Run(
   workers_ = std::max(1, workers);
   failed_.store(false);
   next_morsel_.store(0);
+  if (ctx_->metrics && !morsels_claimed_) {
+    morsels_claimed_ = ctx_->metrics->counter("exec.morsels.claimed");
+    morsels_skipped_ = ctx_->metrics->counter("exec.morsels.skipped");
+    morsel_cost_us_ = ctx_->metrics->histogram("exec.morsel.cost_us");
+    morsel_queue_wait_us_ = ctx_->metrics->histogram("exec.morsel.queue_wait_us");
+  }
+  run_start_wall_us_ = SimClock::WallMicros();
   worker_busy_ns_.assign(static_cast<size_t>(workers_), 0);
   {
     std::lock_guard<std::mutex> lock(cost_mu_);

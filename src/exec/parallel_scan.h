@@ -84,6 +84,14 @@ class MorselDriver {
   /// baseline the straggler detector takes its median from.
   std::mutex cost_mu_;
   std::vector<int64_t> completed_costs_;
+  /// Engine-metrics instruments, resolved once per Run() (the registry
+  /// lookup takes a lock; per-morsel recording is lock-free). Null when the
+  /// context carries no registry.
+  obs::Counter* morsels_claimed_ = nullptr;
+  obs::Counter* morsels_skipped_ = nullptr;
+  obs::Histogram* morsel_cost_us_ = nullptr;
+  obs::Histogram* morsel_queue_wait_us_ = nullptr;
+  int64_t run_start_wall_us_ = 0;
 };
 
 /// Gather exchange over a parallel scan pipeline: workers write each

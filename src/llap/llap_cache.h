@@ -61,6 +61,7 @@ class LlapCacheProvider : public ChunkProvider {
   // --- observability ---
   uint64_t data_hits() const { return data_cache_.hits(); }
   uint64_t data_misses() const { return data_cache_.misses(); }
+  uint64_t data_evictions() const { return data_cache_.evictions(); }
   uint64_t metadata_hits() const { return metadata_hits_; }
   uint64_t used_bytes() const { return data_cache_.used_bytes(); }
   size_t cached_chunks() const { return data_cache_.size(); }

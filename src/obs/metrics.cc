@@ -1,0 +1,145 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace hive {
+namespace obs {
+
+namespace {
+
+int BucketFor(int64_t v) {
+  if (v <= 0) return 0;
+  int bucket = 1;
+  while (bucket < Histogram::kBuckets - 1 && (int64_t{1} << bucket) <= v) ++bucket;
+  return bucket;
+}
+
+int64_t BucketUpperBound(int bucket) {
+  if (bucket <= 0) return 0;
+  return int64_t{1} << bucket;
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t v) {
+  buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (v > prev &&
+         !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::ValueAtPercentile(double p) const {
+  int64_t n = count();
+  if (n <= 0) return 0;
+  p = std::min(1.0, std::max(0.0, p));
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(n - 1)) + 1;
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpperBound(b);
+  }
+  return max();
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterCallback(const std::string& name,
+                                       std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_[name] = std::move(fn);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  // Copy the callback list out so user callbacks never run under the
+  // registry lock (they may take component locks of their own).
+  std::vector<std::pair<std::string, std::function<int64_t()>>> callbacks;
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) snap.values[name] = c->value();
+    for (const auto& [name, g] : gauges_) snap.values[name] = g->value();
+    for (const auto& [name, h] : histograms_) {
+      MetricsSnapshot::HistogramSummary s;
+      s.count = h->count();
+      s.sum = h->sum();
+      s.max = h->max();
+      s.p50 = h->ValueAtPercentile(0.5);
+      s.p95 = h->ValueAtPercentile(0.95);
+      snap.histograms[name] = s;
+      snap.values[name + ".count"] = s.count;
+      snap.values[name + ".sum"] = s.sum;
+      snap.values[name + ".max"] = s.max;
+      snap.values[name + ".p50"] = s.p50;
+      snap.values[name + ".p95"] = s.p95;
+    }
+    callbacks.assign(callbacks_.begin(), callbacks_.end());
+  }
+  for (const auto& [name, fn] : callbacks) snap.values[name] = fn();
+  return snap;
+}
+
+int64_t MetricsRegistry::Value(const std::string& name) const {
+  std::function<int64_t()> callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = counters_.find(name); it != counters_.end())
+      return it->second->value();
+    if (auto it = gauges_.find(name); it != gauges_.end())
+      return it->second->value();
+    // Histogram summaries are addressed by suffix: "x.p95" -> histogram "x".
+    if (size_t dot = name.rfind('.'); dot != std::string::npos) {
+      auto it = histograms_.find(name.substr(0, dot));
+      if (it != histograms_.end()) {
+        const std::string suffix = name.substr(dot + 1);
+        const Histogram& h = *it->second;
+        if (suffix == "count") return h.count();
+        if (suffix == "sum") return h.sum();
+        if (suffix == "max") return h.max();
+        if (suffix == "p50") return h.ValueAtPercentile(0.5);
+        if (suffix == "p95") return h.ValueAtPercentile(0.95);
+      }
+    }
+    auto it = callbacks_.find(name);
+    if (it == callbacks_.end()) return 0;
+    callback = it->second;
+  }
+  // Run the callback outside the lock (it may take component locks).
+  return callback();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hive

@@ -1,0 +1,162 @@
+#ifndef HIVE_OBS_METRICS_H_
+#define HIVE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hive {
+namespace obs {
+
+/// Metric naming scheme (see DESIGN.md "Observability"): dot-separated,
+/// lower-case, `<subsystem>.<object>.<event>` — e.g. "llap.cache.hits",
+/// "exec.morsels.claimed", "task.retries". Counters count events, gauges
+/// report a current level, histograms record a distribution of values
+/// (microsecond latencies, bytes).
+
+/// A monotonically increasing event counter. Increments land on one of
+/// several cache-line-padded shards chosen by the calling thread, so
+/// concurrent writers on the hot path never contend on one cache line;
+/// `value()` (the snapshot path) sums the shards.
+class Counter {
+ public:
+  static constexpr int kShards = 16;
+
+  void Add(int64_t delta) {
+    shards_[ShardIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Inc() { Add(1); }
+
+  /// Sum over shards. Concurrent increments may or may not be included
+  /// (each shard is read atomically; the sum is not a point-in-time cut).
+  int64_t value() const {
+    int64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> v{0};
+  };
+
+  static unsigned ShardIndex() {
+    // Cheap per-thread shard assignment: round-robin on first use.
+    static std::atomic<unsigned> next{0};
+    thread_local unsigned slot = next.fetch_add(1, std::memory_order_relaxed);
+    return slot % kShards;
+  }
+
+  Shard shards_[kShards];
+};
+
+/// A current-level metric (bytes in use, active queries). Set/Add semantics.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// A lock-free histogram over power-of-two buckets (bucket i holds values
+/// in [2^(i-1), 2^i), bucket 0 holds 0). Suited to latency/byte
+/// distributions where a factor-of-two resolution is enough.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void Record(int64_t v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    int64_t n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+  }
+  /// Upper bound of the bucket containing the p-th percentile (p in [0,1]).
+  int64_t ValueAtPercentile(double p) const;
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Point-in-time view of every metric in a registry. Counter/gauge/callback
+/// values flatten into one name -> value map; histograms carry a summary.
+struct MetricsSnapshot {
+  struct HistogramSummary {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t max = 0;
+    int64_t p50 = 0;
+    int64_t p95 = 0;
+  };
+
+  std::map<std::string, int64_t> values;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// Value lookup with 0 default (histograms expose "<name>.count" etc.).
+  int64_t Get(const std::string& name) const {
+    auto it = values.find(name);
+    return it == values.end() ? 0 : it->second;
+  }
+
+  /// Stable JSON export for benches ({"name": value, ...}).
+  std::string ToJson() const;
+};
+
+/// Registry of named metrics. Lookup (`counter("x")`) takes a mutex once;
+/// callers cache the returned pointer, which stays valid for the registry's
+/// lifetime, so steady-state increments are lock-free. Components that
+/// already maintain internal atomics (the LLAP cache, the result cache, the
+/// transaction manager) register *callback gauges* instead: the registry
+/// polls them only when a snapshot is taken, adding zero hot-path cost.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named metric, creating it on first use. Pointers are
+  /// stable; hold them instead of re-resolving names on hot paths.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Registers a pull-style gauge evaluated at snapshot time. Re-registering
+  /// a name replaces the callback (daemon restart).
+  void RegisterCallback(const std::string& name, std::function<int64_t()> fn);
+
+  /// Aggregates every shard/callback into a consistent-enough point view.
+  MetricsSnapshot Snapshot() const;
+
+  /// Point lookup without creating the metric: counters, gauges, callback
+  /// gauges and histogram summary suffixes ("<name>.count", ".sum", ".max",
+  /// ".p50", ".p95") all resolve; unknown names return 0. Used by the
+  /// workload manager's trigger rules, which reference metrics by name.
+  int64_t Value(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<int64_t()>> callbacks_;
+};
+
+}  // namespace obs
+}  // namespace hive
+
+#endif  // HIVE_OBS_METRICS_H_

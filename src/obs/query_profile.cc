@@ -1,0 +1,166 @@
+#include "obs/query_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hive {
+namespace obs {
+
+namespace {
+
+int64_t ChildrenWall(const OperatorProfileNode& n) {
+  int64_t sum = 0;
+  for (const auto& c : n.children) sum += c->wall_us;
+  return sum;
+}
+
+int64_t ChildrenVirtual(const OperatorProfileNode& n) {
+  int64_t sum = 0;
+  for (const auto& c : n.children) sum += c->virtual_us;
+  return sum;
+}
+
+std::string HumanUs(int64_t us) {
+  char buf[32];
+  if (us >= 1000000)
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(us) / 1e6);
+  else if (us >= 1000)
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(us) / 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  return buf;
+}
+
+std::string HumanBytes(uint64_t b) {
+  char buf[32];
+  if (b >= (1u << 20))
+    std::snprintf(buf, sizeof(buf), "%.1fMB", static_cast<double>(b) / (1u << 20));
+  else if (b >= (1u << 10))
+    std::snprintf(buf, sizeof(buf), "%.1fKB", static_cast<double>(b) / (1u << 10));
+  else
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(b));
+  return buf;
+}
+
+void RenderNode(const OperatorProfileNode& n, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += n.name;
+  if (!n.detail.empty()) *out += "[" + n.detail + "]";
+  *out += " (rows=" + std::to_string(n.rows_out);
+  *out += " batches=" + std::to_string(n.batches);
+  *out += " wall=" + HumanUs(n.wall_us);
+  *out += " virt=" + HumanUs(n.virtual_us);
+  *out += " mem~" + HumanBytes(n.peak_mem_bytes);
+  *out += ")\n";
+  for (const auto& c : n.children) RenderNode(*c, depth + 1, out);
+}
+
+void SumTree(const OperatorProfileNode& n, int64_t* wall, int64_t* virt) {
+  *wall += n.SelfWallUs();
+  *virt += n.SelfVirtualUs();
+  for (const auto& c : n.children) SumTree(*c, wall, virt);
+}
+
+void NodeJson(const OperatorProfileNode& n, std::string* out) {
+  *out += "{\"op\":\"" + n.name + "\"";
+  if (!n.detail.empty()) *out += ",\"detail\":\"" + n.detail + "\"";
+  *out += ",\"rows\":" + std::to_string(n.rows_out);
+  *out += ",\"batches\":" + std::to_string(n.batches);
+  *out += ",\"wall_us\":" + std::to_string(n.wall_us);
+  *out += ",\"virtual_us\":" + std::to_string(n.virtual_us);
+  *out += ",\"peak_mem_bytes\":" + std::to_string(n.peak_mem_bytes);
+  if (!n.children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i) *out += ",";
+      NodeJson(*n.children[i], out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+int64_t OperatorProfileNode::SelfWallUs() const {
+  return std::max<int64_t>(0, wall_us - ChildrenWall(*this));
+}
+
+int64_t OperatorProfileNode::SelfVirtualUs() const {
+  return std::max<int64_t>(0, virtual_us - ChildrenVirtual(*this));
+}
+
+int64_t QueryProfile::TreeVirtualUs() const {
+  if (roots_.empty()) return 0;
+  int64_t wall = 0, virt = 0;
+  SumTree(*roots_.front(), &wall, &virt);
+  return virt;
+}
+
+int64_t QueryProfile::TreeWallUs() const {
+  if (roots_.empty()) return 0;
+  int64_t wall = 0, virt = 0;
+  SumTree(*roots_.front(), &wall, &virt);
+  return wall;
+}
+
+std::string QueryProfile::Summary() const {
+  std::string out;
+  out += std::to_string(counter(qc::kRowsReturned)) + " rows";
+  out += ", wall " + HumanUs(counter(qc::kWallUs));
+  out += " (+" + HumanUs(counter(qc::kVirtualUs)) + " virtual)";
+  if (counter(qc::kFromResultCache)) out += ", result-cache hit";
+  if (counter(qc::kMvRewrites))
+    out += ", mv-rewrites " + std::to_string(counter(qc::kMvRewrites));
+  if (counter(qc::kReexecutions))
+    out += ", reexecutions " + std::to_string(counter(qc::kReexecutions));
+  if (counter(qc::kTaskRetries))
+    out += ", retries " + std::to_string(counter(qc::kTaskRetries));
+  if (counter(qc::kSpeculativeTasks))
+    out += ", speculative " + std::to_string(counter(qc::kSpeculativeTasks)) +
+           "/" + std::to_string(counter(qc::kSpeculativeWins)) + " won";
+  return out;
+}
+
+std::string QueryProfile::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < roots_.size(); ++i) {
+    if (i == 1)
+      out +=
+          "-- auxiliary plans (semijoin reducer builds; run inside the main "
+          "plan's scan Open, so their time is included above) --\n";
+    RenderNode(*roots_[i], 0, &out);
+  }
+  out += "-- " + Summary() + "\n";
+  for (const auto& [name, value] : counters_)
+    out += "   " + name + " = " + std::to_string(value) + "\n";
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "}";
+  if (!roots_.empty()) {
+    out += ",\"plan\":";
+    NodeJson(*roots_.front(), &out);
+    if (roots_.size() > 1) {
+      out += ",\"auxiliary\":[";
+      for (size_t i = 1; i < roots_.size(); ++i) {
+        if (i > 1) out += ",";
+        NodeJson(*roots_[i], &out);
+      }
+      out += "]";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hive

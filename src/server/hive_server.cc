@@ -10,20 +10,27 @@ namespace hive {
 
 std::string QueryResult::ToString(size_t max_rows) const {
   std::string out;
-  for (size_t c = 0; c < schema.num_fields(); ++c) {
+  const size_t ncols = schema.num_fields();
+  for (size_t c = 0; c < ncols; ++c) {
     if (c) out += "\t";
     out += schema.field(c).name;
   }
-  out += "\n";
-  for (size_t i = 0; i < rows.size() && i < max_rows; ++i) {
-    for (size_t c = 0; c < rows[i].size(); ++c) {
+  if (ncols) out += "\n";
+  const size_t shown = std::min(rows.size(), max_rows);
+  for (size_t i = 0; i < shown; ++i) {
+    // Render exactly the schema's column count: a ragged row (hand-built
+    // results, wide rows from set operations) can never shift the columns
+    // of every row after it.
+    for (size_t c = 0; c < ncols; ++c) {
       if (c) out += "\t";
-      out += rows[i][c].ToString();
+      out += c < rows[i].size() ? rows[i][c].ToString() : "NULL";
     }
     out += "\n";
   }
   if (rows.size() > max_rows)
-    out += "... (" + std::to_string(rows.size()) + " rows)\n";
+    out += "... (" + std::to_string(rows.size() - max_rows) + " more, " +
+           std::to_string(rows.size()) + " rows total)\n";
+  if (!profile_->counters().empty()) out += "-- " + profile_->Summary() + "\n";
   return out;
 }
 
@@ -35,6 +42,70 @@ HiveServer2::HiveServer2(FileSystem* fs, Config config)
   llap_ = std::make_unique<LlapDaemon>(fs_, default_config_);
   handlers_.Register(std::make_unique<DroidStorageHandler>(&droid_));
   handlers_.Register(std::make_unique<CsvStorageHandler>(fs_));
+  RegisterEngineMetrics();
+  // Workload-manager triggers may name any registry metric in addition to
+  // the built-in elapsed-runtime one ("WHEN llap.cache.misses > N THEN ...").
+  wm_.SetMetricReader([this](const std::string& name) { return metrics_.Value(name); });
+}
+
+void HiveServer2::RegisterEngineMetrics() {
+  // Pull-style gauges: each component keeps its own atomics; the registry
+  // polls them only when a snapshot is taken, so these add zero hot-path
+  // cost. Names follow the <subsystem>.<object>.<event> scheme.
+  LlapCacheProvider* cache = llap_->cache();
+  metrics_.RegisterCallback("llap.cache.hits",
+                            [cache] { return static_cast<int64_t>(cache->data_hits()); });
+  metrics_.RegisterCallback("llap.cache.misses",
+                            [cache] { return static_cast<int64_t>(cache->data_misses()); });
+  metrics_.RegisterCallback("llap.cache.evictions",
+                            [cache] { return static_cast<int64_t>(cache->data_evictions()); });
+  metrics_.RegisterCallback("llap.cache.used_bytes",
+                            [cache] { return static_cast<int64_t>(cache->used_bytes()); });
+  metrics_.RegisterCallback("llap.cache.chunks",
+                            [cache] { return static_cast<int64_t>(cache->cached_chunks()); });
+  metrics_.RegisterCallback("llap.cache.decodes",
+                            [cache] { return static_cast<int64_t>(cache->data_decodes()); });
+  metrics_.RegisterCallback("llap.cache.singleflight_waits", [cache] {
+    return static_cast<int64_t>(cache->singleflight_waits());
+  });
+  metrics_.RegisterCallback("llap.cache.metadata_hits", [cache] {
+    return static_cast<int64_t>(cache->metadata_hits());
+  });
+  metrics_.RegisterCallback("llap.cache.poison_detected", [cache] {
+    return static_cast<int64_t>(cache->poison_detected());
+  });
+  metrics_.RegisterCallback("llap.cache.degraded_reads", [cache] {
+    return static_cast<int64_t>(cache->degraded_reads());
+  });
+  metrics_.RegisterCallback("llap.cache.degraded_files", [cache] {
+    return static_cast<int64_t>(cache->degraded_files());
+  });
+  LlapDaemon* llap = llap_.get();
+  metrics_.RegisterCallback("llap.fragments.submitted",
+                            [llap] { return llap->fragments_submitted(); });
+  metrics_.RegisterCallback("llap.fragments.completed",
+                            [llap] { return llap->fragments_completed(); });
+  metrics_.RegisterCallback("llap.io.prefetches",
+                            [llap] { return llap->prefetches_issued(); });
+  QueryResultCache* results = &result_cache_;
+  metrics_.RegisterCallback("cache.result.hits", [results] { return results->hits(); });
+  metrics_.RegisterCallback("cache.result.misses",
+                            [results] { return results->misses(); });
+  metrics_.RegisterCallback("cache.result.entries", [results] {
+    return static_cast<int64_t>(results->size());
+  });
+  TransactionManager* txns = &txns_;
+  metrics_.RegisterCallback("txn.aborted", [txns] {
+    return static_cast<int64_t>(txns->NumAborted());
+  });
+  CompactionManager* compaction = &compaction_;
+  metrics_.RegisterCallback("compaction.runs",
+                            [compaction] { return compaction->compactions_run(); });
+  metrics_.RegisterCallback("compaction.pending_cleans", [compaction] {
+    return static_cast<int64_t>(compaction->pending_cleans());
+  });
+  SimClock* clock = &clock_;
+  metrics_.RegisterCallback("time.virtual_us", [clock] { return clock->virtual_us(); });
 }
 
 Session* HiveServer2::OpenSession(const std::string& application) {
@@ -51,17 +122,27 @@ Result<QueryResult> HiveServer2::Execute(Session* session, const std::string& sq
   return Dispatch(session, stmt);
 }
 
-Result<QueryResult> HiveServer2::ExecuteScript(Session* session,
-                                               const std::string& sql) {
+Result<std::vector<QueryResult>> HiveServer2::ExecuteScript(
+    Session* session, const std::string& sql) {
   HIVE_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, Parser::ParseScript(sql));
-  QueryResult last;
+  std::vector<QueryResult> results;
+  results.reserve(stmts.size());
   for (const StatementPtr& stmt : stmts) {
-    HIVE_ASSIGN_OR_RETURN(last, Dispatch(session, stmt));
+    HIVE_ASSIGN_OR_RETURN(QueryResult result, Dispatch(session, stmt));
+    results.push_back(std::move(result));
   }
-  return last;
+  return results;
+}
+
+Result<QueryResult> HiveServer2::ExecuteScriptLast(Session* session,
+                                                   const std::string& sql) {
+  HIVE_ASSIGN_OR_RETURN(std::vector<QueryResult> results, ExecuteScript(session, sql));
+  if (results.empty()) return QueryResult{};
+  return std::move(results.back());
 }
 
 Result<QueryResult> HiveServer2::Dispatch(Session* session, const StatementPtr& stmt) {
+  metrics_.counter("server.statements")->Inc();
   DmlDriver dml(this, session);
   switch (stmt->kind()) {
     case StatementKind::kSelect: {
@@ -96,6 +177,8 @@ Result<QueryResult> HiveServer2::Dispatch(Session* session, const StatementPtr& 
           wm_.Apply(*static_cast<const ResourcePlanStatement*>(stmt.get())));
       return QueryResult{};
     }
+    case StatementKind::kShowMetrics:
+      return ExecuteShowMetrics();
     default:
       return ExecuteDdl(session, stmt);
   }
@@ -152,6 +235,7 @@ ExecContext HiveServer2::MakeContext(const Config& config, const TxnSnapshot& sn
     return txns_.GetValidWriteIds(table, snapshot);
   };
   ctx.runtime_stats = stats;
+  ctx.metrics = &metrics_;
   ctx.cancelled = std::move(cancelled);
   ctx.kill_reason = std::move(kill_reason);
   // Morsel-driven intra-query parallelism: leaf pipelines fan out across the
@@ -217,16 +301,23 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
 
   int64_t wall_start = SimClock::WallMicros();
   int64_t virt_start = clock_.virtual_us();
+  // Engine-wide cache counters move under concurrent queries; the deltas
+  // recorded below are this query's approximate share.
+  uint64_t llap_hits_start = llap_ ? llap_->cache()->data_hits() : 0;
+  uint64_t llap_misses_start = llap_ ? llap_->cache()->data_misses() : 0;
   ctx.ArmDeadline();
   ctx.OnQueryStart();
 
   QueryResult result;
-  result.mv_rewrites_used = mv_rewrites;
+  obs::QueryProfile* profile = &result.profile();
+  ctx.profile = profile;
   auto run = [&]() -> Status {
     // Fresh vertex attempt: recompile and rebuild the result from scratch
-    // (a Tez task re-run restarts the fragment, never resumes it).
+    // (a Tez task re-run restarts the fragment, never resumes it), and drop
+    // any span tree a failed attempt attached.
     result.rows.clear();
     result.schema = Schema();
+    profile->ResetOperatorTree();
     HIVE_ASSIGN_OR_RETURN(OperatorPtr root, CompilePlan(&ctx, plan));
     HIVE_RETURN_IF_ERROR(root->Open());
     result.schema = root->schema();
@@ -263,26 +354,44 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
   wm_.Release(wm_handle);
   if (!exec_status.ok()) return exec_status;
 
-  result.exec_wall_us = SimClock::WallMicros() - wall_start;
-  result.exec_virtual_us = clock_.virtual_us() - virt_start;
+  namespace qc = obs::qc;
+  profile->SetCounter(qc::kWallUs, SimClock::WallMicros() - wall_start);
+  profile->SetCounter(qc::kVirtualUs, clock_.virtual_us() - virt_start);
+  profile->SetCounter(qc::kRowsReturned, static_cast<int64_t>(result.rows.size()));
+  if (mv_rewrites) profile->SetCounter(qc::kMvRewrites, mv_rewrites);
   if (stats) {
-    result.task_retries = stats->task_retries.load(std::memory_order_relaxed);
-    result.speculative_tasks =
-        stats->speculative_tasks.load(std::memory_order_relaxed);
-    result.speculative_wins =
-        stats->speculative_wins.load(std::memory_order_relaxed);
+    // RuntimeStats accumulates across attempts of one ExecuteSelect, so
+    // these are cumulative for the query, not just this attempt.
+    profile->SetCounter(qc::kTaskAttempts,
+                        stats->task_attempts.load(std::memory_order_relaxed));
+    profile->SetCounter(qc::kTaskRetries,
+                        stats->task_retries.load(std::memory_order_relaxed));
+    profile->SetCounter(qc::kSpeculativeTasks,
+                        stats->speculative_tasks.load(std::memory_order_relaxed));
+    profile->SetCounter(qc::kSpeculativeWins,
+                        stats->speculative_wins.load(std::memory_order_relaxed));
+  }
+  if (llap_ && config.llap_enabled) {
+    profile->SetCounter(qc::kLlapCacheHits,
+                        static_cast<int64_t>(llap_->cache()->data_hits() -
+                                             llap_hits_start));
+    profile->SetCounter(qc::kLlapCacheMisses,
+                        static_cast<int64_t>(llap_->cache()->data_misses() -
+                                             llap_misses_start));
   }
   result.rows_affected = static_cast<int64_t>(result.rows.size());
   return result;
 }
 
 Result<QueryResult> HiveServer2::ExecuteSelect(Session* session, const SelectStmt& stmt,
-                                               const std::string& cache_key) {
+                                               const std::string& cache_key,
+                                               bool bypass_cache) {
   Config config = session->config;
+  metrics_.counter("server.queries")->Inc();
 
   // Result cache probe (Section 4.3). The binder reports determinism and
   // the referenced tables; both gate caching.
-  bool cache_eligible = config.result_cache_enabled;
+  bool cache_eligible = config.result_cache_enabled && !bypass_cache;
   auto current_hwm = [this](const std::string& table) {
     return txns_.TableWriteIdHighWatermark(table);
   };
@@ -295,7 +404,9 @@ Result<QueryResult> HiveServer2::ExecuteSelect(Session* session, const SelectStm
       result.schema = entry.schema;
       result.rows = entry.rows;
       result.rows_affected = static_cast<int64_t>(result.rows.size());
-      result.from_result_cache = true;
+      result.profile().SetCounter(obs::qc::kFromResultCache, 1);
+      result.profile().SetCounter(obs::qc::kRowsReturned,
+                                  static_cast<int64_t>(result.rows.size()));
       return result;
     }
     filling = true;
@@ -308,16 +419,32 @@ Result<QueryResult> HiveServer2::ExecuteSelect(Session* session, const SelectStm
     Config attempt_config = config;
     result = TryExecuteSelect(session, stmt, attempt, &stats, &attempt_config);
     if (result.ok()) {
-      result->reexecutions = attempt;
+      if (attempt) result->profile().SetCounter(obs::qc::kReexecutions, attempt);
       break;
     }
     // Only execution errors trigger the re-execution machinery.
     if (!result.status().IsExecError()) break;
   }
   if (!result.ok()) {
+    metrics_.counter("server.query_errors")->Inc();
     if (filling) result_cache_.AbandonFill(cache_key);
     return result;
   }
+  // Fold this query's fault-tolerance footprint into the engine totals once
+  // (morsel-level and vertex-level attempts both landed in `stats`).
+  namespace qc = obs::qc;
+  const obs::QueryProfile& profile = result->profile();
+  metrics_.counter(qc::kTaskAttempts)->Add(profile.counter(qc::kTaskAttempts));
+  metrics_.counter(qc::kTaskRetries)->Add(profile.counter(qc::kTaskRetries));
+  metrics_.counter(qc::kSpeculativeTasks)
+      ->Add(profile.counter(qc::kSpeculativeTasks));
+  metrics_.counter(qc::kSpeculativeWins)
+      ->Add(profile.counter(qc::kSpeculativeWins));
+  if (profile.counter(qc::kReexecutions))
+    metrics_.counter(qc::kReexecutions)->Add(profile.counter(qc::kReexecutions));
+  if (profile.counter(qc::kMvRewrites))
+    metrics_.counter(qc::kMvRewrites)->Add(profile.counter(qc::kMvRewrites));
+  metrics_.histogram("server.query.wall_us")->Record(profile.counter(qc::kWallUs));
 
   if (filling) {
     // Non-deterministic queries must not populate the cache.
@@ -385,12 +512,24 @@ Result<QueryResult> HiveServer2::ExecuteExplain(Session* session,
   if (stmt.inner->kind() != StatementKind::kSelect)
     return Status::NotSupported("EXPLAIN supports SELECT statements");
   const auto* select = static_cast<const SelectStatement*>(stmt.inner.get());
-  HIVE_ASSIGN_OR_RETURN(RelNodePtr plan,
-                        PlanSelect(session, select->select, session->config, nullptr,
-                                   nullptr, nullptr, nullptr));
+
+  std::string text;
+  if (stmt.analyze) {
+    // EXPLAIN ANALYZE really executes the query (bypassing the result cache:
+    // a cached answer has no operator tree to annotate) and renders the
+    // profile — the plan tree with per-operator actuals plus the counters.
+    HIVE_ASSIGN_OR_RETURN(QueryResult executed,
+                          ExecuteSelect(session, select->select, /*cache_key=*/"",
+                                        /*bypass_cache=*/true));
+    text = executed.profile().ToString();
+  } else {
+    HIVE_ASSIGN_OR_RETURN(RelNodePtr plan,
+                          PlanSelect(session, select->select, session->config, nullptr,
+                                     nullptr, nullptr, nullptr));
+    text = plan->ToString();
+  }
   QueryResult result;
   result.schema.AddField("plan", DataType::String());
-  std::string text = plan->ToString();
   size_t start = 0;
   while (start < text.size()) {
     size_t end = text.find('\n', start);
@@ -398,6 +537,17 @@ Result<QueryResult> HiveServer2::ExecuteExplain(Session* session,
     result.rows.push_back({Value::String(text.substr(start, end - start))});
     start = end + 1;
   }
+  return result;
+}
+
+Result<QueryResult> HiveServer2::ExecuteShowMetrics() {
+  QueryResult result;
+  result.schema.AddField("metric", DataType::String());
+  result.schema.AddField("value", DataType::Bigint());
+  obs::MetricsSnapshot snap = metrics_.Snapshot();
+  for (const auto& [name, value] : snap.values)
+    result.rows.push_back({Value::String(name), Value::Bigint(value)});
+  result.rows_affected = static_cast<int64_t>(result.rows.size());
   return result;
 }
 

@@ -16,6 +16,8 @@
 #include "metastore/catalog.h"
 #include "metastore/compaction_manager.h"
 #include "metastore/txn_manager.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
 #include "optimizer/binder.h"
 #include "optimizer/mv_rewrite.h"
 #include "optimizer/optimizer.h"
@@ -33,25 +35,54 @@ struct Session {
   Config config;
 };
 
-/// Result of one statement.
+/// Result of one statement. Everything the engine measured while producing
+/// it lives in the attached QueryProfile — named counters (see obs::qc for
+/// the well-known names) plus the operator span tree EXPLAIN ANALYZE
+/// renders. Copies of a QueryResult share one profile.
 struct QueryResult {
   Schema schema;
   std::vector<std::vector<Value>> rows;
   int64_t rows_affected = 0;
-  bool from_result_cache = false;
-  int reexecutions = 0;
-  int mv_rewrites_used = 0;
-  /// Virtual (modeled) + wall time spent executing, microseconds.
-  int64_t exec_wall_us = 0;
-  int64_t exec_virtual_us = 0;
-  // --- fault-tolerance footprint of this execution ---
-  /// Task attempts that were retries of transient failures.
-  int64_t task_retries = 0;
-  /// Speculative duplicate attempts launched / won against stragglers.
-  int64_t speculative_tasks = 0;
-  int64_t speculative_wins = 0;
 
+  /// Structured execution record: `result.profile().counter("task.retries")`,
+  /// `result.profile().root()` for the annotated operator tree.
+  obs::QueryProfile& profile() { return *profile_; }
+  const obs::QueryProfile& profile() const { return *profile_; }
+
+  // --- deprecated flat accessors ---
+  // Thin shims over profile() counters, kept for one PR so out-of-tree
+  // callers can migrate; new code reads the profile directly.
+  bool from_result_cache() const {
+    return profile_->counter(obs::qc::kFromResultCache) != 0;
+  }
+  int reexecutions() const {
+    return static_cast<int>(profile_->counter(obs::qc::kReexecutions));
+  }
+  int mv_rewrites_used() const {
+    return static_cast<int>(profile_->counter(obs::qc::kMvRewrites));
+  }
+  int64_t exec_wall_us() const { return profile_->counter(obs::qc::kWallUs); }
+  int64_t exec_virtual_us() const {
+    return profile_->counter(obs::qc::kVirtualUs);
+  }
+  int64_t task_retries() const {
+    return profile_->counter(obs::qc::kTaskRetries);
+  }
+  int64_t speculative_tasks() const {
+    return profile_->counter(obs::qc::kSpeculativeTasks);
+  }
+  int64_t speculative_wins() const {
+    return profile_->counter(obs::qc::kSpeculativeWins);
+  }
+
+  /// Header + up to `max_rows` rows (always exactly the schema's columns,
+  /// so ragged hand-built rows cannot misalign), a truncation marker, and
+  /// the profile's one-line summary when the query recorded one.
   std::string ToString(size_t max_rows = 25) const;
+
+ private:
+  std::shared_ptr<obs::QueryProfile> profile_ =
+      std::make_shared<obs::QueryProfile>();
 };
 
 /// HiveServer2 (Section 2): parses, plans, optimizes and executes SQL
@@ -69,8 +100,15 @@ class HiveServer2 {
   /// Executes one SQL statement in the session.
   Result<QueryResult> Execute(Session* session, const std::string& sql);
 
-  /// Runs a ';'-separated script, returning the last statement's result.
-  Result<QueryResult> ExecuteScript(Session* session, const std::string& sql);
+  /// Runs a ';'-separated script, returning every statement's result in
+  /// order. Fails on the first statement that errors.
+  Result<std::vector<QueryResult>> ExecuteScript(Session* session,
+                                                 const std::string& sql);
+
+  /// Convenience shim over ExecuteScript for callers that only care about
+  /// the final statement (DDL preambles): returns the last result, or an
+  /// empty QueryResult for an empty script.
+  Result<QueryResult> ExecuteScriptLast(Session* session, const std::string& sql);
 
   // --- component access (benchmarks / tests) ---
   Catalog* catalog() { return &catalog_; }
@@ -79,6 +117,9 @@ class HiveServer2 {
   DroidStore* droid() { return &droid_; }
   QueryResultCache* result_cache() { return &result_cache_; }
   WorkloadManager* workload_manager() { return &wm_; }
+  /// Engine-wide metrics registry (SHOW METRICS); components publish into
+  /// it via push counters or snapshot-time callback gauges.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
   SimClock* clock() { return &clock_; }
   FileSystem* filesystem() { return fs_; }
   CompactionManager* compaction() { return &compaction_; }
@@ -87,9 +128,17 @@ class HiveServer2 {
  private:
   friend class DmlDriver;
 
+  /// Registers snapshot-time callback gauges for every component that
+  /// already keeps internal counters (LLAP cache/daemon, result cache,
+  /// transaction + compaction managers); called once from the constructor.
+  void RegisterEngineMetrics();
+
   Result<QueryResult> Dispatch(Session* session, const StatementPtr& stmt);
+  /// `bypass_cache` skips the result-cache probe AND fill (EXPLAIN ANALYZE
+  /// must measure a real execution).
   Result<QueryResult> ExecuteSelect(Session* session, const SelectStmt& stmt,
-                                    const std::string& cache_key);
+                                    const std::string& cache_key,
+                                    bool bypass_cache = false);
   /// One planning+execution attempt; `attempt` > 0 applies the configured
   /// re-execution strategy (overlay / reoptimize with runtime stats).
   Result<QueryResult> TryExecuteSelect(Session* session, const SelectStmt& stmt,
@@ -103,6 +152,7 @@ class HiveServer2 {
                                                 const SelectStmt& stmt,
                                                 const TableDesc& view);
   Result<QueryResult> ExecuteAnalyze(Session* session, const AnalyzeTableStatement& stmt);
+  Result<QueryResult> ExecuteShowMetrics();
 
   /// Plans a SELECT into an optimized RelNode tree (parse products in).
   Result<RelNodePtr> PlanSelect(Session* session, const SelectStmt& stmt,
@@ -132,6 +182,7 @@ class HiveServer2 {
   StorageHandlerRegistry handlers_;
   QueryResultCache result_cache_;
   WorkloadManager wm_;
+  obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Session>> sessions_;
   std::mutex sessions_mu_;
 };

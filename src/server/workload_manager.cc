@@ -115,14 +115,23 @@ void WorkloadManager::ReportProgress(const std::shared_ptr<QueryHandle>& handle,
   for (const std::string& rule_name : pool->second.rules) {
     auto rule = plan.rules.find(rule_name);
     if (rule == plan.rules.end()) continue;
-    if (elapsed_ms <= rule->second.threshold) continue;
+    // Elapsed-time rules compare the query's own runtime; any other metric
+    // name is resolved against the engine registry via the installed reader
+    // (so e.g. "llap.cache.misses > N" throttles a pool once the cache
+    // starts thrashing, regardless of which query caused it).
+    const std::string& metric = rule->second.metric;
+    bool elapsed_rule = metric == "total_runtime" || metric == "elapsed";
+    int64_t observed = elapsed_rule
+                           ? elapsed_ms
+                           : (metric_reader_ ? metric_reader_(metric) : 0);
+    if (observed <= rule->second.threshold) continue;
     if (rule->second.action == "KILL") {
       // Record the trigger before raising the flag so any executor that
       // observes the cancellation also sees why it fired.
       handle->kill_reason->Set("query killed by workload manager trigger '" +
                                rule->second.name + "' (" + rule->second.metric +
                                " > " + std::to_string(rule->second.threshold) +
-                               " ms)");
+                               (elapsed_rule ? " ms)" : ")"));
       handle->cancelled->store(true);
       return;
     }

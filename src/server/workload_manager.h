@@ -2,6 +2,7 @@
 #define HIVE_SERVER_WORKLOAD_MANAGER_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -34,8 +35,11 @@ class WorkloadManager {
 
   struct Rule {
     std::string name;
-    std::string metric;       // "total_runtime" (ms) | "elapsed" alias
-    int64_t threshold = 0;    // ms
+    /// "total_runtime"/"elapsed" compare against the query's elapsed ms;
+    /// any other (dotted) name reads the engine metric registry through the
+    /// reader installed with SetMetricReader — e.g. "llap.cache.misses".
+    std::string metric;
+    int64_t threshold = 0;    // ms for elapsed rules, raw units otherwise
     std::string action;       // "MOVE" | "KILL"
     std::string target_pool;
   };
@@ -62,6 +66,14 @@ class WorkloadManager {
     bool moved = false;
   };
 
+  /// Installs the engine-metric lookup rules with dotted metric names use
+  /// (the server wires this to its MetricsRegistry). Keeping it a plain
+  /// reader function leaves this layer ignorant of the registry type.
+  void SetMetricReader(std::function<int64_t(const std::string&)> reader) {
+    std::lock_guard<std::mutex> lock(mu_);
+    metric_reader_ = std::move(reader);
+  }
+
   /// Applies one resource-plan DDL statement.
   Status Apply(const ResourcePlanStatement& stmt);
 
@@ -87,6 +99,7 @@ class WorkloadManager {
   mutable std::mutex mu_;
   std::map<std::string, Plan> plans_;
   std::string active_plan_;
+  std::function<int64_t(const std::string&)> metric_reader_;
 };
 
 }  // namespace hive

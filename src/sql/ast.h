@@ -192,6 +192,7 @@ enum class StatementKind {
   kAnalyzeTable,
   kResourcePlanDdl,
   kShowTables,
+  kShowMetrics,
 };
 
 struct Statement {
@@ -305,8 +306,13 @@ struct DropTableStatement : Statement {
 
 struct ExplainStatement : Statement {
   StatementPtr inner;
+  /// EXPLAIN ANALYZE: execute the statement and annotate the plan tree with
+  /// per-operator actuals (rows, batches, wall + virtual time, memory).
+  bool analyze = false;
   StatementKind kind() const override { return StatementKind::kExplain; }
-  std::string ToString() const override { return "EXPLAIN " + inner->ToString(); }
+  std::string ToString() const override {
+    return (analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ") + inner->ToString();
+  }
 };
 
 struct CreateDatabaseStatement : Statement {
@@ -328,6 +334,13 @@ struct ShowTablesStatement : Statement {
   std::string db;
   StatementKind kind() const override { return StatementKind::kShowTables; }
   std::string ToString() const override { return "SHOW TABLES"; }
+};
+
+/// SHOW METRICS: one row per engine metric from the server's registry
+/// (counters, gauges, callback gauges and histogram summaries).
+struct ShowMetricsStatement : Statement {
+  StatementKind kind() const override { return StatementKind::kShowMetrics; }
+  std::string ToString() const override { return "SHOW METRICS"; }
 };
 
 /// Workload-management DDL (Section 5.2): CREATE RESOURCE PLAN / POOL /

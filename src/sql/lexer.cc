@@ -28,7 +28,7 @@ const std::set<std::string>& Keywords() {
       "STATISTICS", "RESOURCE", "PLAN", "POOL", "RULE", "MOVE", "KILL",
       "TO", "ADD", "APPLICATION", "MAPPING", "DEFAULT", "ENABLE", "ACTIVATE",
       "GROUPING", "SETS", "ROLLUP", "CUBE", "HAVING", "BY", "IF", "TRANSACTIONAL",
-      "SHOW", "TABLES", "DESCRIBE", "TRUNCATE",
+      "SHOW", "TABLES", "DESCRIBE", "TRUNCATE", "METRICS",
   };
   return *kKeywords;
 }

@@ -107,11 +107,19 @@ Result<StatementPtr> Parser::ParseStatement() {
   if (t.IsKeyword("EXPLAIN")) {
     Next();
     auto stmt = std::make_shared<ExplainStatement>();
+    // EXPLAIN ANALYZE <query>; "ANALYZE TABLE" after EXPLAIN still means
+    // explaining the ANALYZE statement, not the execute-and-profile form.
+    if (Peek().IsKeyword("ANALYZE") && !Peek(1).IsKeyword("TABLE")) {
+      Next();
+      stmt->analyze = true;
+    }
     HIVE_ASSIGN_OR_RETURN(stmt->inner, ParseStatement());
     return StatementPtr(stmt);
   }
   if (t.IsKeyword("SHOW")) {
     Next();
+    if (Accept("METRICS"))
+      return StatementPtr(std::make_shared<ShowMetricsStatement>());
     HIVE_RETURN_IF_ERROR(Expect("TABLES"));
     return StatementPtr(std::make_shared<ShowTablesStatement>());
   }
@@ -1081,7 +1089,10 @@ Result<StatementPtr> Parser::ParseResourcePlanCreate() {
     HIVE_RETURN_IF_ERROR(Expect("IN"));
     stmt->plan = ToLower(Next().text);
     HIVE_RETURN_IF_ERROR(Expect("WHEN"));
+    // Metric names may be dotted registry counters ("llap.cache.misses")
+    // in addition to the built-in "total_runtime"/"elapsed".
     stmt->rule_metric = ToLower(Next().text);
+    while (Accept(".")) stmt->rule_metric += "." + ToLower(Next().text);
     HIVE_RETURN_IF_ERROR(Expect(">"));
     stmt->rule_threshold = Next().int_value;
     HIVE_RETURN_IF_ERROR(Expect("THEN"));

@@ -100,9 +100,10 @@ class FaultInjectionTest : public ::testing::Test {
       ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
       EXPECT_EQ(Rows(*result), (*baseline_)[i].second)
           << q.name << " diverged under faults";
-      fp->task_retries += result->task_retries;
-      fp->speculative_tasks += result->speculative_tasks;
-      fp->speculative_wins += result->speculative_wins;
+      const obs::QueryProfile& profile = result->profile();
+      fp->task_retries += profile.counter(obs::qc::kTaskRetries);
+      fp->speculative_tasks += profile.counter(obs::qc::kSpeculativeTasks);
+      fp->speculative_wins += profile.counter(obs::qc::kSpeculativeWins);
       ++i;
     }
   }
@@ -269,8 +270,9 @@ TEST(StragglerSpeculationTest, StragglerTriggersSpeculativeDuplicateThatWins) {
   auto faulted = server.Execute(session, sql);
   ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
   EXPECT_EQ(Rows(*faulted), Rows(*baseline));
-  EXPECT_GT(faulted->speculative_tasks, 0) << "straggler was never speculated";
-  EXPECT_GT(faulted->speculative_wins, 0)
+  EXPECT_GT(faulted->profile().counter(obs::qc::kSpeculativeTasks), 0)
+      << "straggler was never speculated";
+  EXPECT_GT(faulted->profile().counter(obs::qc::kSpeculativeWins), 0)
       << "the clean duplicate should beat a 500ms straggler";
 }
 

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "fs/mem_filesystem.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
+#include "server/hive_server.h"
+#include "workloads/tpcds.h"
+
+namespace hive {
+namespace {
+
+// --- MetricsRegistry ---
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSumExactly) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Resolve once, then hammer the sharded fast path like a component
+      // holding a cached pointer would.
+      obs::Counter* c = registry.counter("test.hits");
+      for (int i = 0; i < kIncrements; ++i) c->Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.Value("test.hits"), kThreads * kIncrements);
+  EXPECT_EQ(registry.Snapshot().Get("test.hits"), kThreads * kIncrements);
+}
+
+TEST(MetricsRegistryTest, SnapshotDuringConcurrentWritesIsMonotone) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.counter("test.events");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c->Inc();
+    });
+  }
+  // Snapshots taken mid-flight must never go backwards and never exceed a
+  // later settled total.
+  int64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    int64_t now = registry.Snapshot().Get("test.events");
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_GE(registry.Value("test.events"), last);
+}
+
+TEST(MetricsRegistryTest, GaugesSetAndAdd) {
+  obs::MetricsRegistry registry;
+  obs::Gauge* g = registry.gauge("pool.active");
+  g->Set(5);
+  g->Add(-2);
+  EXPECT_EQ(registry.Value("pool.active"), 3);
+}
+
+TEST(MetricsRegistryTest, HistogramSummaryAndPercentiles) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.histogram("scan.latency_us");
+  // 90 fast scans and 10 slow ones: p50 lands in the fast band, p95 in the
+  // slow one. Buckets are powers of two, so bounds are exact.
+  for (int i = 0; i < 90; ++i) h->Record(100);   // bucket (64,128]
+  for (int i = 0; i < 10; ++i) h->Record(9000);  // bucket (8192,16384]
+  EXPECT_EQ(h->count(), 100);
+  EXPECT_EQ(h->sum(), 90 * 100 + 10 * 9000);
+  EXPECT_EQ(h->max(), 9000);
+  EXPECT_EQ(h->ValueAtPercentile(0.5), 128);
+  EXPECT_EQ(h->ValueAtPercentile(0.95), 16384);
+  // Snapshot flattens the summary under dotted suffixes; Value() resolves
+  // the same names without creating anything.
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Get("scan.latency_us.count"), 100);
+  EXPECT_EQ(snap.Get("scan.latency_us.max"), 9000);
+  EXPECT_EQ(registry.Value("scan.latency_us.p50"), 128);
+  EXPECT_EQ(registry.Value("scan.latency_us.p95"), 16384);
+  EXPECT_EQ(registry.Value("scan.latency_us.sum"), h->sum());
+}
+
+TEST(MetricsRegistryTest, CallbackGaugesPolledAtSnapshotTime) {
+  obs::MetricsRegistry registry;
+  int polls = 0;
+  int64_t level = 42;
+  registry.RegisterCallback("component.level", [&] {
+    ++polls;
+    return level;
+  });
+  EXPECT_EQ(polls, 0) << "registration must not invoke the callback";
+  EXPECT_EQ(registry.Snapshot().Get("component.level"), 42);
+  level = 7;
+  EXPECT_EQ(registry.Value("component.level"), 7);
+  EXPECT_EQ(polls, 2);
+}
+
+TEST(MetricsRegistryTest, ValueOfUnknownMetricIsZeroAndCreatesNothing) {
+  obs::MetricsRegistry registry;
+  registry.counter("known")->Inc();
+  EXPECT_EQ(registry.Value("unknown.metric"), 0);
+  EXPECT_EQ(registry.Snapshot().values.size(), 1u)
+      << "Value() lookups must not materialize metrics";
+}
+
+// --- QueryProfile ---
+
+TEST(QueryProfileTest, SelfTimeSubtractsChildren) {
+  auto root = std::make_shared<obs::OperatorProfileNode>();
+  root->name = "HashAgg";
+  root->wall_us = 1000;
+  root->virtual_us = 500;
+  auto child = std::make_shared<obs::OperatorProfileNode>();
+  child->name = "Scan";
+  child->wall_us = 700;
+  child->virtual_us = 500;
+  root->children.push_back(child);
+
+  EXPECT_EQ(root->SelfWallUs(), 300);
+  EXPECT_EQ(root->SelfVirtualUs(), 0);
+  EXPECT_EQ(child->SelfWallUs(), 700);
+
+  obs::QueryProfile profile;
+  profile.AttachRoot(root);
+  // Self times over the tree sum back to the root's inclusive time.
+  EXPECT_EQ(profile.TreeWallUs(), 1000);
+  EXPECT_EQ(profile.TreeVirtualUs(), 500);
+}
+
+TEST(QueryProfileTest, ResetDropsSpansButKeepsCounters) {
+  obs::QueryProfile profile;
+  profile.SetCounter(obs::qc::kRowsReturned, 9);
+  profile.AttachRoot(std::make_shared<obs::OperatorProfileNode>());
+  profile.ResetOperatorTree();
+  EXPECT_EQ(profile.root(), nullptr);
+  EXPECT_EQ(profile.counter(obs::qc::kRowsReturned), 9);
+}
+
+TEST(QueryProfileTest, ToJsonContainsCountersAndPlan) {
+  obs::QueryProfile profile;
+  profile.SetCounter(obs::qc::kRowsReturned, 3);
+  auto root = std::make_shared<obs::OperatorProfileNode>();
+  root->name = "Scan";
+  root->rows_out = 3;
+  profile.AttachRoot(root);
+  std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"exec.rows_returned\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"op\":\"Scan\""), std::string::npos) << json;
+}
+
+TEST(QueryProfileTest, DeprecatedQueryResultAccessorsMirrorProfile) {
+  QueryResult result;
+  result.profile().SetCounter(obs::qc::kFromResultCache, 1);
+  result.profile().SetCounter(obs::qc::kReexecutions, 1);
+  result.profile().SetCounter(obs::qc::kMvRewrites, 2);
+  result.profile().SetCounter(obs::qc::kWallUs, 1234);
+  result.profile().SetCounter(obs::qc::kTaskRetries, 3);
+  EXPECT_TRUE(result.from_result_cache());
+  EXPECT_EQ(result.reexecutions(), 1);
+  EXPECT_EQ(result.mv_rewrites_used(), 2);
+  EXPECT_EQ(result.exec_wall_us(), 1234);
+  EXPECT_EQ(result.task_retries(), 3);
+}
+
+// --- end-to-end: EXPLAIN ANALYZE + SHOW METRICS over TPC-DS ---
+
+class ObsEndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fs_ = new MemFileSystem();
+    Config config;
+    config.container_startup_us = 0;
+    server_ = new HiveServer2(fs_, config);
+    Session* loader = server_->OpenSession();
+    TpcdsOptions options;
+    options.days = 4;  // keep the suite fast
+    ASSERT_TRUE(LoadTpcds(server_, loader, options).ok());
+  }
+  static void TearDownTestSuite() {
+    delete server_;
+    delete fs_;
+  }
+
+  /// Reads one metric row out of a SHOW METRICS result.
+  static int64_t MetricRow(const QueryResult& metrics, const std::string& name) {
+    for (const auto& row : metrics.rows)
+      if (row.size() == 2 && row[0].ToString() == name) return row[1].i64();
+    return -1;
+  }
+
+  static MemFileSystem* fs_;
+  static HiveServer2* server_;
+};
+
+MemFileSystem* ObsEndToEndTest::fs_ = nullptr;
+HiveServer2* ObsEndToEndTest::server_ = nullptr;
+
+/// Every profiled span must contain its children (inclusive timing), so the
+/// rendered tree's numbers add up for a reader.
+void ExpectNestedSpans(const obs::OperatorProfileNode& node) {
+  int64_t child_wall = 0, child_virtual = 0;
+  for (const auto& c : node.children) {
+    child_wall += c->wall_us;
+    child_virtual += c->virtual_us;
+    ExpectNestedSpans(*c);
+  }
+  EXPECT_GE(node.wall_us, child_wall) << node.name << "[" << node.detail << "]";
+  EXPECT_GE(node.virtual_us, child_virtual)
+      << node.name << "[" << node.detail << "]";
+}
+
+TEST_F(ObsEndToEndTest, ProfileTreeRowsAndTimesConsistent) {
+  Session* session = server_->OpenSession();
+  session->config.result_cache_enabled = false;
+  for (const BenchQuery& q : TpcdsQueries()) {
+    auto result = server_->Execute(session, q.sql);
+    ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
+    const obs::QueryProfile& profile = result->profile();
+    ASSERT_NE(profile.root(), nullptr) << q.name;
+    // The root operator's row count is the query's row count, which is also
+    // the rows_returned counter.
+    EXPECT_EQ(profile.root()->rows_out,
+              static_cast<int64_t>(result->rows.size()))
+        << q.name;
+    EXPECT_EQ(profile.counter(obs::qc::kRowsReturned),
+              static_cast<int64_t>(result->rows.size()))
+        << q.name;
+    for (const auto& root : profile.roots()) ExpectNestedSpans(*root);
+    // Summing self times over the main plan's spans reconstructs the root's
+    // inclusive totals exactly (the identity EXPLAIN ANALYZE's numbers rely
+    // on). Auxiliary roots are excluded: they run nested inside the main
+    // plan's scan Open, so the main root already contains them.
+    EXPECT_EQ(profile.TreeWallUs(), profile.root()->wall_us) << q.name;
+    EXPECT_EQ(profile.TreeVirtualUs(), profile.root()->virtual_us) << q.name;
+    // The plan's time is part of the query's measured time.
+    EXPECT_LE(profile.TreeWallUs(), profile.counter(obs::qc::kWallUs)) << q.name;
+    EXPECT_LE(profile.TreeVirtualUs(), profile.counter(obs::qc::kVirtualUs))
+        << q.name;
+  }
+}
+
+TEST_F(ObsEndToEndTest, ExplainAnalyzeAnnotatesPlanWithActualRowCounts) {
+  Session* session = server_->OpenSession();
+  session->config.result_cache_enabled = false;
+  const BenchQuery q = TpcdsQueries().front();
+  auto plain = server_->Execute(session, q.sql);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  auto analyzed = server_->Execute(session, "EXPLAIN ANALYZE " + q.sql);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  ASSERT_EQ(analyzed->schema.field(0).name, "plan");
+  ASSERT_FALSE(analyzed->rows.empty());
+  // Root line: the plan's top operator annotated with the real row count.
+  std::string root_line = analyzed->rows[0][0].ToString();
+  EXPECT_NE(root_line.find("rows=" + std::to_string(plain->rows.size())),
+            std::string::npos)
+      << root_line;
+  // The tree must mention a table scan and per-operator timings.
+  std::string all;
+  for (const auto& row : analyzed->rows) all += row[0].ToString() + "\n";
+  EXPECT_NE(all.find("Scan"), std::string::npos) << all;
+  EXPECT_NE(all.find("wall="), std::string::npos) << all;
+  // The counter block follows the tree (flat counters, one per line).
+  EXPECT_NE(all.find(std::string(obs::qc::kRowsReturned) + " = " +
+                     std::to_string(plain->rows.size())),
+            std::string::npos)
+      << all;
+}
+
+TEST_F(ObsEndToEndTest, ExplainAnalyzeBypassesResultCache) {
+  Session* session = server_->OpenSession();
+  session->config.result_cache_enabled = true;
+  const BenchQuery q = TpcdsQueries().front();
+  ASSERT_TRUE(server_->Execute(session, q.sql).ok());  // fill the cache
+  auto analyzed = server_->Execute(session, "EXPLAIN ANALYZE " + q.sql);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  std::string all;
+  for (const auto& row : analyzed->rows) all += row[0].ToString() + "\n";
+  EXPECT_EQ(all.find("result-cache hit"), std::string::npos)
+      << "EXPLAIN ANALYZE must measure a real execution:\n" << all;
+  EXPECT_NE(all.find("Scan"), std::string::npos) << all;
+}
+
+TEST_F(ObsEndToEndTest, ShowMetricsReflectsLlapCacheAcrossWarmRerun) {
+  Session* session = server_->OpenSession();
+  session->config.result_cache_enabled = false;
+  ASSERT_TRUE(session->config.llap_enabled);
+  server_->llap()->cache()->Clear();
+
+  const BenchQuery q = TpcdsQueries().front();
+  ASSERT_TRUE(server_->Execute(session, q.sql).ok());
+  auto cold = server_->Execute(session, "SHOW METRICS");
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  int64_t cold_hits = MetricRow(*cold, "llap.cache.hits");
+  int64_t cold_misses = MetricRow(*cold, "llap.cache.misses");
+  ASSERT_GE(cold_hits, 0);
+  EXPECT_GT(cold_misses, 0) << "cold run must miss the cleared cache";
+
+  // Warm re-run: same chunks, so hits rise and misses stay put.
+  auto warm_run = server_->Execute(session, q.sql);
+  ASSERT_TRUE(warm_run.ok());
+  auto warm = server_->Execute(session, "SHOW METRICS");
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_GT(MetricRow(*warm, "llap.cache.hits"), cold_hits);
+  EXPECT_EQ(MetricRow(*warm, "llap.cache.misses"), cold_misses);
+  // The per-query profile agrees: the warm run recorded cache hits.
+  EXPECT_GT(warm_run->profile().counter(obs::qc::kLlapCacheHits), 0);
+  EXPECT_EQ(warm_run->profile().counter(obs::qc::kLlapCacheMisses), 0);
+
+  // Engine totals exposed alongside component callbacks.
+  EXPECT_GT(MetricRow(*warm, "server.statements"), 0);
+  EXPECT_GT(MetricRow(*warm, "server.queries"), 0);
+}
+
+TEST_F(ObsEndToEndTest, ExecuteScriptReturnsEveryStatementsResult) {
+  Session* session = server_->OpenSession();
+  auto results = server_->ExecuteScript(
+      session, "SELECT 1; SELECT 2; SELECT 3");
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_EQ((*results)[0].rows[0][0].ToString(), "1");
+  EXPECT_EQ((*results)[2].rows[0][0].ToString(), "3");
+
+  auto last = server_->ExecuteScriptLast(session, "SELECT 1; SELECT 2");
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->rows[0][0].ToString(), "2");
+
+  auto empty = server_->ExecuteScriptLast(session, "  ");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->rows.empty());
+}
+
+}  // namespace
+}  // namespace hive

@@ -126,14 +126,14 @@ TEST_F(ServerTest, ResultCacheHitsAndInvalidation) {
   Run("CREATE TABLE t (a INT)");
   Run("INSERT INTO t VALUES (1), (2)");
   QueryResult first = Run("SELECT SUM(a) FROM t");
-  EXPECT_FALSE(first.from_result_cache);
+  EXPECT_FALSE(first.profile().counter(obs::qc::kFromResultCache));
   QueryResult second = Run("SELECT  SUM(a)  FROM t");  // same canonical AST
-  EXPECT_TRUE(second.from_result_cache);
+  EXPECT_TRUE(second.profile().counter(obs::qc::kFromResultCache));
   EXPECT_EQ(second.rows[0][0].i64(), 3);
   // A write invalidates (snapshot changed).
   Run("INSERT INTO t VALUES (10)");
   QueryResult third = Run("SELECT SUM(a) FROM t");
-  EXPECT_FALSE(third.from_result_cache);
+  EXPECT_FALSE(third.profile().counter(obs::qc::kFromResultCache));
   EXPECT_EQ(third.rows[0][0].i64(), 13);
 }
 
@@ -142,7 +142,7 @@ TEST_F(ServerTest, NondeterministicQueriesNotCached) {
   Run("INSERT INTO t VALUES (1)");
   Run("SELECT a, RAND() FROM t");
   QueryResult second = Run("SELECT a, RAND() FROM t");
-  EXPECT_FALSE(second.from_result_cache);
+  EXPECT_FALSE(second.profile().counter(obs::qc::kFromResultCache));
 }
 
 TEST_F(ServerTest, ExplainShowsPlan) {
@@ -172,12 +172,12 @@ TEST_F(ServerTest, MaterializedViewRewriteFullContainment) {
   // Fully contained query (Figure 4b): stricter filter, fewer keys.
   QueryResult rewritten = Run(
       "SELECT SUM(v) FROM f, d WHERE f.k = d.k AND year = 2018 GROUP BY year");
-  EXPECT_EQ(rewritten.mv_rewrites_used, 1) << "expected MV rewrite";
+  EXPECT_EQ(rewritten.profile().counter(obs::qc::kMvRewrites), 1) << "expected MV rewrite";
   // Cross-check against the MV-free answer.
   session_->config.materialized_view_rewriting_enabled = false;
   QueryResult direct = Run(
       "SELECT SUM(v) FROM f, d WHERE f.k = d.k AND year = 2018 GROUP BY year");
-  EXPECT_EQ(direct.mv_rewrites_used, 0);
+  EXPECT_EQ(direct.profile().counter(obs::qc::kMvRewrites), 0);
   ASSERT_EQ(rewritten.rows.size(), direct.rows.size());
   EXPECT_EQ(rewritten.rows[0][0].ToString(), direct.rows[0][0].ToString());
 }
@@ -193,7 +193,7 @@ TEST_F(ServerTest, MaterializedViewPartialContainmentUnion) {
   // Wider filter (Figure 4c): needs MV part UNION source part.
   QueryResult rewritten =
       Run("SELECT year, SUM(v) FROM f, d WHERE f.k = d.k AND year > 2016 GROUP BY year");
-  EXPECT_EQ(rewritten.mv_rewrites_used, 1);
+  EXPECT_EQ(rewritten.profile().counter(obs::qc::kMvRewrites), 1);
   session_->config.materialized_view_rewriting_enabled = false;
   QueryResult direct =
       Run("SELECT year, SUM(v) FROM f, d WHERE f.k = d.k AND year > 2016 GROUP BY year");
@@ -210,16 +210,16 @@ TEST_F(ServerTest, StaleMaterializedViewNotUsedUntilRebuilt) {
   Run("INSERT INTO f VALUES (1, 10)");
   Run("CREATE MATERIALIZED VIEW mv3 AS SELECT k, SUM(v) AS s FROM f GROUP BY k");
   QueryResult hit = Run("SELECT k, SUM(v) FROM f GROUP BY k");
-  EXPECT_EQ(hit.mv_rewrites_used, 1);
+  EXPECT_EQ(hit.profile().counter(obs::qc::kMvRewrites), 1);
   // New data makes the view stale: rewriting must stop.
   Run("INSERT INTO f VALUES (1, 5)");
   QueryResult miss = Run("SELECT k, SUM(v) FROM f GROUP BY k");
-  EXPECT_EQ(miss.mv_rewrites_used, 0);
+  EXPECT_EQ(miss.profile().counter(obs::qc::kMvRewrites), 0);
   EXPECT_EQ(miss.rows[0][1].i64(), 15);
   // Rebuild refreshes the snapshot; rewriting resumes with correct data.
   Run("ALTER MATERIALIZED VIEW mv3 REBUILD");
   QueryResult again = Run("SELECT k, SUM(v) FROM f GROUP BY k");
-  EXPECT_EQ(again.mv_rewrites_used, 1);
+  EXPECT_EQ(again.profile().counter(obs::qc::kMvRewrites), 1);
   EXPECT_EQ(again.rows[0][1].i64(), 15);
 }
 
@@ -368,7 +368,7 @@ TEST_F(ServerTest, ReoptimizationRecoversFromBuildOverflow) {
   QueryResult rows = Run(
       "SELECT COUNT(*) FROM small, big WHERE small.k = big.k");
   EXPECT_EQ(rows.rows[0][0].i64(), 2);
-  EXPECT_EQ(rows.reexecutions, 1)
+  EXPECT_EQ(rows.profile().counter(obs::qc::kReexecutions), 1)
       << "first attempt must fail on the build limit, rerun with runtime stats";
 }
 
@@ -439,7 +439,7 @@ TEST_F(ServerTest, ThunderingHerdPendingMode) {
       auto r = server_->Execute(s, "SELECT SUM(a) FROM t");
       ASSERT_TRUE(r.ok());
       EXPECT_EQ(r->rows[0][0].i64(), 6);
-      (r->from_result_cache ? from_cache : computed)++;
+      (r->profile().counter(obs::qc::kFromResultCache) ? from_cache : computed)++;
     });
   }
   for (auto& t : threads) t.join();
@@ -510,7 +510,7 @@ TEST_F(ServerTest, MvStalenessWindowAllowsRewriteOnStaleData) {
       "AS SELECT k, SUM(v) AS s FROM f GROUP BY k");
   Run("INSERT INTO f VALUES (1, 5)");
   QueryResult q = Run("SELECT k, SUM(v) FROM f GROUP BY k");
-  EXPECT_EQ(q.mv_rewrites_used, 1)
+  EXPECT_EQ(q.profile().counter(obs::qc::kMvRewrites), 1)
       << "within the staleness window the stale view still rewrites";
   // The (stale) answer comes from the view: 10, not 15.
   EXPECT_EQ(q.rows[0][1].i64(), 10);

@@ -161,7 +161,7 @@ TEST_F(SsbWorkloadTest, MaterializedViewRewritePreservesAllQueryResults) {
   for (size_t i = 0; i < queries.size(); ++i) {
     auto r = server_->Execute(session, queries[i].sql);
     ASSERT_TRUE(r.ok()) << queries[i].name;
-    EXPECT_EQ(r->mv_rewrites_used, 1) << queries[i].name << " not rewritten";
+    EXPECT_EQ(r->profile().counter(obs::qc::kMvRewrites), 1) << queries[i].name << " not rewritten";
     ASSERT_EQ(r->rows.size(), baseline[i].rows.size()) << queries[i].name;
     for (size_t row = 0; row < r->rows.size(); ++row)
       for (size_t c = 0; c < r->rows[row].size(); ++c)
@@ -188,7 +188,7 @@ TEST_F(SsbWorkloadTest, DroidFederatedMvMatchesNativeResults) {
   for (size_t i = 0; i < queries.size(); ++i) {
     auto r = server_->Execute(session, queries[i].sql);
     ASSERT_TRUE(r.ok()) << queries[i].name;
-    rewritten += r->mv_rewrites_used;
+    rewritten += r->profile().counter(obs::qc::kMvRewrites);
     ASSERT_EQ(r->rows.size(), baseline[i].rows.size()) << queries[i].name;
     for (size_t row = 0; row < r->rows.size(); ++row)
       for (size_t c = 0; c < r->rows[row].size(); ++c) {
