@@ -6,10 +6,25 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "fs/mem_filesystem.h"
 #include "metastore/catalog.h"
 #include "storage/acid.h"
 #include "storage/chunk_provider.h"
+
+namespace {
+/// Bench setup over MemFileSystem cannot legitimately fail; abort loudly if
+/// it does rather than silently benchmarking a half-built table.
+void Must(const hive::Status& s) {
+  if (!s.ok()) {
+    fprintf(stderr, "bench setup failed: %s\n", s.ToString().c_str());
+    abort();
+  }
+}
+}  // namespace
+
 
 namespace hive {
 namespace {
@@ -40,17 +55,17 @@ struct AcidBenchState {
       CofWriter writer(schema);
       for (int64_t i = 0; i < kRows; ++i) writer.AppendRow(Row(i));
       auto bytes = writer.Finish();
-      fs.MakeDirs("/plain");
-      fs.WriteFile("/plain/file_0000", *bytes);
+      Must(fs.MakeDirs("/plain"));
+      Must(fs.WriteFile("/plain/file_0000", *bytes));
     }
     // (b) ACID, compacted: one base directory.
     {
       AcidWriter writer(&fs, "/acid_compacted", schema, 1);
       for (int64_t i = 0; i < kRows; ++i) writer.Insert(Row(i));
-      writer.Commit();
+      Must(writer.Commit());
       Compactor compactor(&fs, "/acid_compacted", schema);
-      compactor.RunMajor(ValidWriteIdList::All(1));
-      compactor.Clean(ValidWriteIdList::All(1));
+      Must(compactor.RunMajor(ValidWriteIdList::All(1)));
+      Must(compactor.Clean(ValidWriteIdList::All(1)));
     }
     // (c) ACID, uncompacted: 20 insert deltas + 4 delete deltas.
     {
@@ -60,13 +75,13 @@ struct AcidBenchState {
         for (int64_t i = d * (kRows / kDeltas);
              i < (d + 1) * static_cast<int64_t>(kRows / kDeltas); ++i)
           writer.Insert(Row(i));
-        writer.Commit();
+        Must(writer.Commit());
       }
       for (int d = 0; d < 4; ++d) {
         AcidWriter writer(&fs, "/acid_deltas", schema, kDeltas + d + 1);
         for (int64_t r = 0; r < 50; ++r)
           writer.Delete({d * 3 + 1, 0, r * 7});
-        writer.Commit();
+        Must(writer.Commit());
       }
     }
   }
@@ -90,7 +105,7 @@ int64_t ScanPlain(FileSystem* fs) {
 int64_t ScanAcid(FileSystem* fs, const Schema& schema, const std::string& dir,
                  int64_t hwm) {
   AcidReader reader(fs, dir, schema);
-  reader.Open(ValidWriteIdList::All(hwm), {});
+  Must(reader.Open(ValidWriteIdList::All(hwm), {}));
   int64_t rows = 0;
   bool done = false;
   for (;;) {
@@ -133,7 +148,7 @@ void BM_AcidPointLookup(benchmark::State& state) {
     AcidScanOptions options;
     options.sarg.conjuncts.push_back(
         {"k", SargOp::kEq, {Value::Bigint(12345)}, nullptr});
-    reader.Open(ValidWriteIdList::All(1), options);
+    Must(reader.Open(ValidWriteIdList::All(1), options));
     bool done = false;
     int64_t rows = 0;
     for (;;) {

@@ -5,8 +5,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "fs/mem_filesystem.h"
 #include "storage/acid.h"
+
+namespace {
+/// Table setup over MemFileSystem cannot legitimately fail; abort loudly
+/// rather than silently benchmarking a half-built table.
+void Must(const hive::Status& s) {
+  if (!s.ok()) {
+    fprintf(stderr, "bench setup failed: %s\n", s.ToString().c_str());
+    abort();
+  }
+}
+}  // namespace
 
 namespace hive {
 namespace {
@@ -32,24 +46,24 @@ std::string BuildTable(MemFileSystem* fs, int num_deltas, bool minor, bool major
     if (d % 3 == 1) {
       for (int64_t r = 0; r < 20; ++r) writer.Delete({d, 0, r * 3});
     }
-    writer.Commit();
+    Must(writer.Commit());
   }
   ValidWriteIdList snapshot = ValidWriteIdList::All(num_deltas);
   Compactor compactor(fs, dir, schema);
   if (minor) {
-    compactor.RunMinor(snapshot);
-    compactor.Clean(snapshot);
+    Must(compactor.RunMinor(snapshot));
+    Must(compactor.Clean(snapshot));
   }
   if (major) {
-    compactor.RunMajor(snapshot);
-    compactor.Clean(snapshot);
+    Must(compactor.RunMajor(snapshot));
+    Must(compactor.Clean(snapshot));
   }
   return dir;
 }
 
 int64_t Scan(MemFileSystem* fs, const std::string& dir, int hwm) {
   AcidReader reader(fs, dir, TableSchema());
-  reader.Open(ValidWriteIdList::All(hwm), {});
+  Must(reader.Open(ValidWriteIdList::All(hwm), {}));
   bool done = false;
   int64_t rows = 0;
   for (;;) {
@@ -97,7 +111,7 @@ void BM_MinorCompactionCost(benchmark::State& state) {
     std::string dir = BuildTable(&fs, 20, false, false);
     Compactor compactor(&fs, dir, TableSchema());
     state.ResumeTiming();
-    compactor.RunMinor(ValidWriteIdList::All(20));
+    Must(compactor.RunMinor(ValidWriteIdList::All(20)));
   }
 }
 BENCHMARK(BM_MinorCompactionCost)->Unit(benchmark::kMillisecond);

@@ -39,7 +39,8 @@ int main() {
     }
   }
   // Retire the native MV so the droid variant is the only rewrite target.
-  server.Execute(session, "DROP MATERIALIZED VIEW ssb_denorm");
+  // lint: allow-discard(drop is best-effort scaffolding between variants)
+  (void)server.Execute(session, "DROP MATERIALIZED VIEW ssb_denorm");
 
   // --- variant B: the same materialization stored in droid ---
   auto droid_table = LoadSsbIntoDroid(&server, session);

@@ -2,6 +2,7 @@
 #define HIVE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -11,6 +12,15 @@
 #include "workloads/tpcds.h"
 
 namespace hive::bench {
+
+/// Bench/example setup cannot legitimately fail; abort loudly if it does
+/// rather than silently measuring a half-built table.
+inline void Must(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
 
 /// Measured execution of one statement: wall-clock work plus the modeled
 /// cluster latency charged to the virtual clock (container start-up, MR

@@ -68,8 +68,11 @@ ALTER RESOURCE PLAN daytime ENABLE ACTIVATE;
 
   // And queries still execute normally under the plan.
   Session* bi_session = server.OpenSession("visualization_app");
-  server.Execute(bi_session, "CREATE TABLE kpis (name STRING, v DOUBLE)");
-  server.Execute(bi_session, "INSERT INTO kpis VALUES ('conversion', 0.031)");
+  if (!server.Execute(bi_session, "CREATE TABLE kpis (name STRING, v DOUBLE)").ok() ||
+      !server.Execute(bi_session, "INSERT INTO kpis VALUES ('conversion', 0.031)").ok()) {
+    std::fprintf(stderr, "kpi table setup failed\n");
+    return 1;
+  }
   auto result = server.Execute(bi_session, "SELECT name, v FROM kpis");
   std::printf("\nmanaged query result:\n%s", result->ToString().c_str());
   return 0;

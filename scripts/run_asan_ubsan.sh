@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the engine with AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the full test suite under them. Complements scripts/run_tsan.sh
+# (races need TSan's happens-before tracking; heap misuse, leaks, and UB
+# need this build) and the static layers (-Wthread-safety under Clang,
+# hivelint, the lock-order detector): each catches what the others cannot.
+#
+# Usage: scripts/run_asan_ubsan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DHIVE_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j
+
+export ASAN_OPTIONS="detect_leaks=1 strict_string_checks=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}"
+
+echo "== ASan/UBSan: ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

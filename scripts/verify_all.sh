@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The whole verification ladder in one command, cheapest rung first:
+#
+#   1. build + ctest        — unit/integration suites, the lock-order
+#                             detector (on by default), hivelint self-test,
+#                             and hivelint over src/
+#   2. TSan                 — data races on the concurrency-sensitive suites
+#   3. ASan + UBSan         — heap misuse, leaks, undefined behavior
+#
+# (Under a Clang toolchain, step 1's build also runs the -Wthread-safety
+# static analysis against the annotations in common/sync.h.)
+#
+# Usage: scripts/verify_all.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==== [1/3] build + ctest (includes hivelint) ===="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "==== [2/3] ThreadSanitizer ===="
+scripts/run_tsan.sh
+
+echo "==== [3/3] ASan + UBSan ===="
+scripts/run_asan_ubsan.sh
+
+echo "==== verify_all: all rungs passed ===="

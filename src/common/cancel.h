@@ -1,8 +1,9 @@
 #ifndef HIVE_COMMON_CANCEL_H_
 #define HIVE_COMMON_CANCEL_H_
 
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 namespace hive {
 
@@ -15,20 +16,20 @@ class KillReason {
  public:
   /// Records `reason` unless one is already set.
   void Set(const std::string& reason) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (reason_.empty()) reason_ = reason;
   }
 
   /// The recorded reason, or `fallback` when none was recorded (e.g. a
   /// direct Cancel() from a client rather than a named trigger).
   std::string GetOr(const std::string& fallback) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return reason_.empty() ? fallback : reason_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::string reason_;
+  mutable Mutex mu_{"kill_reason.mu"};
+  std::string reason_ HIVE_GUARDED_BY(mu_);
 };
 
 }  // namespace hive

@@ -6,9 +6,10 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace hive {
 
@@ -40,7 +41,7 @@ class LrfuCache {
   /// minimum-CRF entries until the new entry fits. Entries wider than the
   /// whole cache are rejected (returns false).
   bool Put(const Key& key, ValuePtr value, uint64_t weight) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (weight > capacity_) return false;
     auto it = map_.find(key);
     if (it != map_.end()) {
@@ -65,7 +66,7 @@ class LrfuCache {
   /// Returns the value or a default-constructed ValuePtr on miss. A hit
   /// refreshes the entry's CRF score.
   ValuePtr Get(const Key& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = map_.find(key);
     if (it == map_.end()) {
       ++misses_;
@@ -77,12 +78,12 @@ class LrfuCache {
   }
 
   bool Contains(const Key& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return map_.count(key) != 0;
   }
 
   void Erase(const Key& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = map_.find(key);
     if (it == map_.end()) return;
     used_ -= it->second.weight;
@@ -92,7 +93,7 @@ class LrfuCache {
   /// Removes every entry whose key matches `pred`. Used for file-level
   /// invalidation when a cached file's identity (FileId/length) changes.
   void EraseIf(const std::function<bool(const Key&)>& pred) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto it = map_.begin(); it != map_.end();) {
       if (pred(it->first)) {
         used_ -= it->second.weight;
@@ -107,35 +108,35 @@ class LrfuCache {
   /// instrumentation (e.g. poisoning cached chunks in fault drills); not
   /// meant for hot paths — it pins the cache mutex for the whole walk.
   void ForEach(const std::function<void(const Key&, ValuePtr&)>& fn) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& kv : map_) fn(kv.first, kv.second.value);
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     map_.clear();
     used_ = 0;
   }
 
   uint64_t used_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return used_;
   }
   uint64_t capacity_bytes() const { return capacity_; }
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return map_.size();
   }
   uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return hits_;
   }
   uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return misses_;
   }
   uint64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return evictions_;
   }
 
@@ -147,19 +148,19 @@ class LrfuCache {
     uint64_t last_tick = 0;
   };
 
-  void Touch(Entry* e) {
+  void Touch(Entry* e) HIVE_REQUIRES(mu_) {
     uint64_t now = ++tick_;
     double dt = static_cast<double>(now - e->last_tick);
     e->crf = 1.0 + e->crf * std::exp2(-lambda_ * dt);
     e->last_tick = now;
   }
 
-  double CurrentCrf(const Entry& e) const {
+  double CurrentCrf(const Entry& e) const HIVE_REQUIRES(mu_) {
     double dt = static_cast<double>(tick_ - e.last_tick);
     return e.crf * std::exp2(-lambda_ * dt);
   }
 
-  void EvictIfNeeded() {
+  void EvictIfNeeded() HIVE_REQUIRES(mu_) {
     while (used_ > capacity_ && !map_.empty()) {
       auto victim = map_.begin();
       double victim_crf = CurrentCrf(victim->second);
@@ -176,15 +177,15 @@ class LrfuCache {
     }
   }
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"lrfu.mu"};
   const uint64_t capacity_;
   const double lambda_;
-  uint64_t used_ = 0;
-  uint64_t tick_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  std::unordered_map<Key, Entry, KeyHash> map_;
+  uint64_t used_ HIVE_GUARDED_BY(mu_) = 0;
+  uint64_t tick_ HIVE_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ HIVE_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ HIVE_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ HIVE_GUARDED_BY(mu_) = 0;
+  std::unordered_map<Key, Entry, KeyHash> map_ HIVE_GUARDED_BY(mu_);
 };
 
 }  // namespace hive

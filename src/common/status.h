@@ -28,13 +28,19 @@ enum class StatusCode {
 
 /// Lightweight status object. Ok status carries no allocation.
 ///
+/// Marked [[nodiscard]] (and the build promotes the warning to an error):
+/// silently dropping a fallible call's Status is how lost-ack renames and
+/// half-applied DML slip through. An *intentional* discard is written
+/// `(void)expr;` with an adjacent `// lint: allow-discard(<reason>)`
+/// comment, which tools/hivelint checks for.
+///
 /// A status may additionally be marked *transient*: the operation failed in
 /// a way that a retry of the same call can plausibly succeed (a flaky read,
 /// a lost rename ack, a corrupted byte on the wire). The task-attempt retry
 /// layer re-runs transient failures up to `task.max.attempts`; permanent
 /// errors fail fast. Mirrors the Tez distinction between task-attempt
 /// failures (re-run elsewhere) and fatal job errors.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
@@ -92,7 +98,7 @@ class Status {
 
 /// Either a value or an error status. Minimal StatusOr-style wrapper.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
   Result(Status s) : status_(std::move(s)) {}                           // NOLINT

@@ -1,0 +1,257 @@
+#include "common/sync.h"
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hive {
+
+#ifdef HIVE_LOCK_ORDER_CHECKS
+
+namespace {
+
+/// Process-wide lock-order graph. Nodes are live Mutex instances (by id),
+/// edges A→B mean "B was acquired while A was held". The graph is kept
+/// acyclic: an acquisition that would close a cycle is reported instead of
+/// recorded, so one bad ordering cannot cascade into spurious reports on
+/// every later path through it.
+struct Graph {
+  std::mutex mu;
+  uint64_t next_id = 1;
+  std::unordered_map<uint64_t, std::string> names;
+  /// from → (to → held-lock names when the edge was first recorded).
+  std::unordered_map<uint64_t,
+                     std::unordered_map<uint64_t, std::vector<std::string>>>
+      edges;
+  std::vector<lockorder::Violation> violations;
+  /// (from<<32 | to) pairs already reported, to keep output finite.
+  std::unordered_set<uint64_t> reported;
+};
+
+Graph& G() {
+  // Leaked intentionally: mutexes with static storage duration may lock
+  // during other statics' destructors; the graph must outlive them all.
+  static Graph* g = new Graph;
+  return *g;
+}
+
+struct HeldLock {
+  uint64_t id;
+  const char* name;
+};
+
+thread_local std::vector<HeldLock> tls_held;
+/// Edges this thread has already pushed through the global graph; lets the
+/// steady state (all orderings long since recorded) skip the graph mutex.
+/// Held through an owning holder so thread exit frees it (leak-sanitizer
+/// clean) while a lock taken after thread_local destruction — possible in
+/// late static destructors — just sees a null cache and re-allocates.
+struct SeenCache {
+  std::unordered_set<uint64_t>* set = nullptr;
+  ~SeenCache() {
+    delete set;
+    set = nullptr;
+  }
+};
+thread_local SeenCache tls_seen_cache;
+
+uint64_t EdgeKey(uint64_t from, uint64_t to) { return (from << 32) | to; }
+
+std::vector<std::string> HeldNames() {
+  std::vector<std::string> names;
+  names.reserve(tls_held.size());
+  for (const HeldLock& h : tls_held) names.emplace_back(h.name);
+  return names;
+}
+
+/// True when `to` can already reach `from` through recorded edges — i.e.
+/// adding from→to would close a cycle. On success fills `first_hop` with
+/// the first node on the to→…→from path (for the prior-stack report).
+bool Reaches(Graph& g, uint64_t to, uint64_t from, uint64_t* first_hop) {
+  std::vector<std::pair<uint64_t, uint64_t>> stack;  // (node, origin hop)
+  std::unordered_set<uint64_t> visited{to};
+  auto it = g.edges.find(to);
+  if (it != g.edges.end())
+    for (const auto& e : it->second) stack.emplace_back(e.first, e.first);
+  while (!stack.empty()) {
+    auto [node, origin] = stack.back();
+    stack.pop_back();
+    if (node == from) {
+      *first_hop = origin;
+      return true;
+    }
+    if (!visited.insert(node).second) continue;
+    auto next = g.edges.find(node);
+    if (next == g.edges.end()) continue;
+    for (const auto& e : next->second) stack.emplace_back(e.first, origin);
+  }
+  return false;
+}
+
+void RecordEdges(uint64_t id, const char* name) {
+  for (const HeldLock& held : tls_held) {
+    if (held.id == id) continue;
+    uint64_t key = EdgeKey(held.id, id);
+    std::unordered_set<uint64_t>* seen = tls_seen_cache.set;
+    if (seen && seen->count(key)) continue;
+    Graph& g = G();
+    std::lock_guard<std::mutex> lock(g.mu);
+    if (!g.names.count(held.id) || !g.names.count(id)) continue;
+    auto& out = g.edges[held.id];
+    if (out.count(id)) {
+      if (seen) seen->insert(key);
+      continue;
+    }
+    uint64_t first_hop = 0;
+    if (Reaches(g, id, held.id, &first_hop)) {
+      // Cycle: `id` already orders before `held.id` somewhere, and this
+      // thread is acquiring `id` while holding `held.id`.
+      if (g.reported.insert(key).second) {
+        lockorder::Violation v;
+        v.acquiring = name;
+        v.conflicting = held.name;
+        v.current_stack = HeldNames();
+        auto prior = g.edges[id].find(first_hop);
+        if (prior != g.edges[id].end()) v.prior_stack = prior->second;
+        std::fprintf(stderr, "%s\n", v.Report().c_str());
+        g.violations.push_back(std::move(v));
+      }
+      if (seen) seen->insert(key);  // don't re-walk the graph
+      continue;
+    }
+    out.emplace(id, HeldNames());
+    if (seen) seen->insert(key);
+  }
+}
+
+void OnAcquired(uint64_t id, const char* name) {
+  if (tls_seen_cache.set == nullptr)
+    tls_seen_cache.set = new std::unordered_set<uint64_t>;
+  if (!tls_held.empty()) RecordEdges(id, name);
+  tls_held.push_back({id, name});
+}
+
+void OnReleased(uint64_t id) {
+  for (auto it = tls_held.rbegin(); it != tls_held.rend(); ++it) {
+    if (it->id == id) {
+      tls_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Mutex::Mutex(const char* name) : name_(name) {
+  Graph& g = G();
+  std::lock_guard<std::mutex> lock(g.mu);
+  order_id_ = g.next_id++;
+  g.names.emplace(order_id_, name);
+}
+
+Mutex::~Mutex() {
+  Graph& g = G();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.names.erase(order_id_);
+  g.edges.erase(order_id_);
+  for (auto& [from, out] : g.edges) out.erase(order_id_);
+}
+
+void Mutex::Lock() {
+  mu_.lock();
+  OnAcquired(order_id_, name_);
+}
+
+void Mutex::Unlock() {
+  OnReleased(order_id_);
+  mu_.unlock();
+}
+
+bool Mutex::TryLock() {
+  if (!mu_.try_lock()) return false;
+  OnAcquired(order_id_, name_);
+  return true;
+}
+
+void CondVar::Wait(MutexLock& lock) {
+  Mutex* mu = lock.mutex();
+  OnReleased(mu->order_id_);
+  std::unique_lock<std::mutex> ul(mu->mu_, std::adopt_lock);
+  cv_.wait(ul);
+  ul.release();
+  OnAcquired(mu->order_id_, mu->name_);
+}
+
+namespace lockorder {
+
+std::vector<Violation> Violations() {
+  Graph& g = G();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.violations;
+}
+
+size_t ViolationCount() {
+  Graph& g = G();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.violations.size();
+}
+
+void ResetForTests() {
+  Graph& g = G();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.edges.clear();
+  g.violations.clear();
+  g.reported.clear();
+  // Only the calling thread's edge cache can be dropped from here; tests
+  // should use fresh Mutex instances (fresh ids) so other threads' caches
+  // cannot mask a re-created ordering.
+  if (tls_seen_cache.set) tls_seen_cache.set->clear();
+}
+
+}  // namespace lockorder
+
+#else  // !HIVE_LOCK_ORDER_CHECKS
+
+Mutex::Mutex(const char* name) : name_(name) {}
+Mutex::~Mutex() = default;
+
+void Mutex::Lock() { mu_.lock(); }
+void Mutex::Unlock() { mu_.unlock(); }
+bool Mutex::TryLock() { return mu_.try_lock(); }
+
+void CondVar::Wait(MutexLock& lock) {
+  std::unique_lock<std::mutex> ul(lock.mutex()->mu_, std::adopt_lock);
+  cv_.wait(ul);
+  ul.release();
+}
+
+namespace lockorder {
+std::vector<Violation> Violations() { return {}; }
+size_t ViolationCount() { return 0; }
+void ResetForTests() {}
+}  // namespace lockorder
+
+#endif  // HIVE_LOCK_ORDER_CHECKS
+
+namespace lockorder {
+
+std::string Violation::Report() const {
+  std::string out = "hive::Mutex lock-order violation: acquiring '" +
+                    acquiring + "' while holding [";
+  for (size_t i = 0; i < current_stack.size(); ++i) {
+    if (i) out += ", ";
+    out += current_stack[i];
+  }
+  out += "] conflicts with the recorded order '" + acquiring + "' -> '" +
+         conflicting + "' (first recorded while holding [";
+  for (size_t i = 0; i < prior_stack.size(); ++i) {
+    if (i) out += ", ";
+    out += prior_stack[i];
+  }
+  out += "]); a cross-thread interleaving of these paths can deadlock";
+  return out;
+}
+
+}  // namespace lockorder
+
+}  // namespace hive

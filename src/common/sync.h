@@ -1,0 +1,175 @@
+#ifndef HIVE_COMMON_SYNC_H_
+#define HIVE_COMMON_SYNC_H_
+
+// Annotated synchronization primitives — the only place in the engine where
+// raw std:: synchronization types may appear (enforced by tools/hivelint).
+//
+// Why wrappers instead of std::mutex directly:
+//
+//  1. *Static* checking. hive::Mutex carries Clang thread-safety capability
+//     attributes, so a Clang build with -Wthread-safety -Werror rejects code
+//     that touches a HIVE_GUARDED_BY field without holding its mutex, or
+//     that acquires locks a function promised to avoid (HIVE_EXCLUDES).
+//     Under GCC the attributes compile to nothing; the wrappers still work.
+//
+//  2. *Dynamic* deadlock-order checking. When built with
+//     HIVE_LOCK_ORDER_CHECKS (the default; see CMakeLists.txt), every Mutex
+//     participates in a process-wide lock-order graph: acquiring B while
+//     holding A records the edge A→B, and an acquisition that would close a
+//     cycle (B held, acquiring A) is reported with both acquisition stacks'
+//     lock names. This catches *potential* deadlocks on the first
+//     inconsistent ordering, even when the deadly interleaving never fires —
+//     the complement of TSan, which needs the bad schedule to happen.
+//
+// The canonical lock order is documented in DESIGN.md ("Static analysis &
+// concurrency hygiene"): server.sessions → workload_manager → txn_manager →
+// catalog → compaction → result_cache → llap caches → single-flight slots →
+// filesystems → metrics/stats leaves.
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// --- Clang thread-safety annotation macros -------------------------------
+// Names follow the conventional capability vocabulary (see the Clang
+// ThreadSafetyAnalysis docs / Abseil's thread_annotations.h) with a HIVE_
+// prefix so they cannot collide with third-party headers.
+
+#if defined(__clang__)
+#define HIVE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define HIVE_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define HIVE_CAPABILITY(x) HIVE_THREAD_ANNOTATION_(capability(x))
+#define HIVE_SCOPED_CAPABILITY HIVE_THREAD_ANNOTATION_(scoped_lockable)
+#define HIVE_GUARDED_BY(x) HIVE_THREAD_ANNOTATION_(guarded_by(x))
+#define HIVE_PT_GUARDED_BY(x) HIVE_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define HIVE_ACQUIRE(...) HIVE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define HIVE_RELEASE(...) HIVE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define HIVE_TRY_ACQUIRE(...) HIVE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define HIVE_REQUIRES(...) HIVE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define HIVE_EXCLUDES(...) HIVE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define HIVE_ACQUIRED_BEFORE(...) HIVE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define HIVE_ACQUIRED_AFTER(...) HIVE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define HIVE_RETURN_CAPABILITY(x) HIVE_THREAD_ANNOTATION_(lock_returned(x))
+#define HIVE_NO_THREAD_SAFETY_ANALYSIS HIVE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace hive {
+
+class CondVar;
+
+/// A std::mutex wrapper carrying a Clang capability attribute and (in
+/// checked builds) membership in the process-wide lock-order graph. Every
+/// Mutex is named; names are what the deadlock detector prints, so use
+/// stable dotted identifiers ("catalog.mu", "llap.poison").
+class HIVE_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name);
+  ~Mutex();
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HIVE_ACQUIRE();
+  void Unlock() HIVE_RELEASE();
+  bool TryLock() HIVE_TRY_ACQUIRE(true);
+
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+  const char* name_;
+#ifdef HIVE_LOCK_ORDER_CHECKS
+  /// Node id in the lock-order graph; assigned at construction, never
+  /// reused, unregistered at destruction.
+  uint64_t order_id_;
+#endif
+};
+
+/// RAII scoped lock over a hive::Mutex; supports early release (Unlock())
+/// for the unlock-then-notify idiom.
+class HIVE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) HIVE_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() HIVE_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases before scope exit (then stays released).
+  void Unlock() HIVE_RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+
+  Mutex* mutex() const { return mu_; }
+
+ private:
+  Mutex* mu_;
+  bool held_ = true;
+};
+
+/// Condition variable paired with hive::Mutex. There is deliberately no
+/// predicate overload: writing the `while (!cond) cv.Wait(lock);` loop at
+/// the call site keeps guarded-field reads inside the function that holds
+/// the MutexLock, where Clang's analysis can see them (lambda bodies are
+/// analyzed as separate functions and would need escape hatches).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`'s mutex and blocks; re-acquires before
+  /// returning. As with all condition variables, spurious wakeups happen:
+  /// always wait in a predicate loop.
+  void Wait(MutexLock& lock) HIVE_NO_THREAD_SAFETY_ANALYSIS;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// --- lock-order (potential-deadlock) detector ----------------------------
+
+namespace lockorder {
+
+/// One detected ordering inconsistency. `Report()` is the human-readable
+/// form the detector also prints to stderr on first detection.
+struct Violation {
+  /// The lock being acquired when the cycle closed.
+  std::string acquiring;
+  /// The already-ordered lock the new edge conflicts with.
+  std::string conflicting;
+  /// Lock names held (outermost first) at the acquisition that closed the
+  /// cycle.
+  std::vector<std::string> current_stack;
+  /// Lock names held when the conflicting (reverse-direction) edge was
+  /// first recorded.
+  std::vector<std::string> prior_stack;
+
+  std::string Report() const;
+};
+
+/// Violations recorded since process start (or the last Reset). Checked
+/// builds only; stubs return empty when HIVE_LOCK_ORDER_CHECKS is off.
+std::vector<Violation> Violations();
+size_t ViolationCount();
+
+/// Test hook: forgets recorded violations AND learned edges, so one test's
+/// intentional cycle does not leak into the next.
+void ResetForTests();
+
+}  // namespace lockorder
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_SYNC_H_

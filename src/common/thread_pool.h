@@ -1,12 +1,12 @@
 #ifndef HIVE_COMMON_THREAD_POOL_H_
 #define HIVE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace hive {
 
@@ -38,13 +38,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_{"thread_pool.mu"};
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ HIVE_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  int active_ HIVE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ HIVE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hive

@@ -6,13 +6,13 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/cancel.h"
 #include "common/column_vector.h"
 #include "common/config.h"
 #include "common/sim_clock.h"
+#include "common/sync.h"
 #include "fs/filesystem.h"
 #include "metastore/catalog.h"
 #include "obs/metrics.h"
@@ -35,8 +35,8 @@ enum class RuntimeMode { kMapReduce, kTez, kLlap };
 /// Runtime statistics captured per plan node (keyed by node digest); feeds
 /// query re-optimization (Section 4.2).
 struct RuntimeStats {
-  std::mutex mu;
-  std::map<std::string, int64_t> rows_produced;
+  Mutex mu{"runtime_stats.mu"};
+  std::map<std::string, int64_t> rows_produced HIVE_GUARDED_BY(mu);
 
   // --- fault-tolerance counters (task attempts, Section 5.2 robustness) ---
   /// Task attempts started (morsel reads and vertex runs; >= tasks run).
@@ -51,7 +51,7 @@ struct RuntimeStats {
   /// Accumulates: a node executed as several parallel fragments records one
   /// partial count per fragment, and re-optimization needs their sum.
   void Record(const std::string& digest, int64_t rows) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     rows_produced[digest] += rows;
   }
 };

@@ -204,7 +204,7 @@ SpoolOperator::SpoolOperator(ExecContext* ctx, std::shared_ptr<SpoolState> state
     : Operator(ctx), state_(std::move(state)), schema_(std::move(schema)) {}
 
 Status SpoolOperator::Open() {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   if (!state_->materialized) {
     state_->materialized = true;
     state_->status = state_->source->Open();
@@ -227,6 +227,10 @@ Status SpoolOperator::Open() {
 }
 
 Result<RowBatch> SpoolOperator::Next(bool* done) {
+  // Replays are read-only, but concurrent consumers may still be inside
+  // Open() on another plan branch; the lock keeps the guarded access
+  // discipline checkable instead of relying on operator-protocol ordering.
+  MutexLock lock(&state_->mu);
   if (index_ >= state_->batches.size()) {
     *done = true;
     return RowBatch();

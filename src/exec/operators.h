@@ -349,11 +349,11 @@ class WindowOperator : public Operator {
 /// Shared-work spool (Section 4.5): the first consumer executes the shared
 /// subtree and materializes its batches; subsequent consumers replay them.
 struct SpoolState {
-  std::mutex mu;
-  bool materialized = false;
-  Status status;
-  std::vector<RowBatch> batches;
-  OperatorPtr source;
+  Mutex mu{"exec.spool.mu"};
+  bool materialized HIVE_GUARDED_BY(mu) = false;
+  Status status HIVE_GUARDED_BY(mu);
+  std::vector<RowBatch> batches HIVE_GUARDED_BY(mu);
+  OperatorPtr source HIVE_GUARDED_BY(mu);
 };
 
 class SpoolOperator : public Operator {

@@ -140,7 +140,7 @@ Status MorselDriver::WorkerLoop(
 }
 
 int64_t MorselDriver::RecordCostAndThreshold(int64_t cost_us) {
-  std::lock_guard<std::mutex> lock(cost_mu_);
+  MutexLock lock(&cost_mu_);
   int64_t threshold = 0;
   // The baseline is the median of *previously* completed tasks, so a task
   // never dilutes the very baseline it is judged against; at least 3
@@ -208,7 +208,7 @@ Status MorselDriver::Run(
   run_start_wall_us_ = SimClock::WallMicros();
   worker_busy_ns_.assign(static_cast<size_t>(workers_), 0);
   {
-    std::lock_guard<std::mutex> lock(cost_mu_);
+    MutexLock lock(&cost_mu_);
     completed_costs_.clear();
   }
   // Warm the first wave through the I/O elevator before workers start.

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "exec/operators.h"
 
 namespace hive {
@@ -82,8 +82,8 @@ class MorselDriver {
   std::vector<int64_t> worker_busy_ns_;
   /// Completed task costs (us of modeled CPU + injected latency), the
   /// baseline the straggler detector takes its median from.
-  std::mutex cost_mu_;
-  std::vector<int64_t> completed_costs_;
+  Mutex cost_mu_{"exec.morsel.cost.mu"};
+  std::vector<int64_t> completed_costs_ HIVE_GUARDED_BY(cost_mu_);
   /// Engine-metrics instruments, resolved once per Run() (the registry
   /// lookup takes a lock; per-morsel recording is lock-free). Null when the
   /// context carries no registry.

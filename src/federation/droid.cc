@@ -565,33 +565,33 @@ Result<RowBatch> DroidDataSource::Execute(const DroidQuery& query) const {
 }
 
 Status DroidStore::CreateDataSource(const std::string& name, Schema schema) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (sources_.count(name)) return Status::AlreadyExists("datasource " + name);
   sources_[name] = std::make_unique<DroidDataSource>(std::move(schema));
   return Status::OK();
 }
 
 bool DroidStore::Exists(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sources_.count(name) != 0;
 }
 
 Result<Schema> DroidStore::GetSchema(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sources_.find(name);
   if (it == sources_.end()) return Status::NotFound("datasource " + name);
   return it->second->schema();
 }
 
 Status DroidStore::Ingest(const std::string& name, const RowBatch& rows) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sources_.find(name);
   if (it == sources_.end()) return Status::NotFound("datasource " + name);
   return it->second->Ingest(rows);
 }
 
 Result<RowBatch> DroidStore::Execute(const DroidQuery& query) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sources_.find(query.datasource);
   if (it == sources_.end())
     return Status::NotFound("datasource " + query.datasource);
@@ -599,7 +599,7 @@ Result<RowBatch> DroidStore::Execute(const DroidQuery& query) const {
 }
 
 size_t DroidStore::NumRows(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sources_.find(name);
   return it == sources_.end() ? 0 : it->second->num_rows();
 }

@@ -3,13 +3,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/column_vector.h"
 #include "common/schema.h"
+#include "common/sync.h"
 
 namespace hive {
 
@@ -128,8 +128,8 @@ class DroidStore {
   size_t NumRows(const std::string& name) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<DroidDataSource>> sources_;
+  mutable Mutex mu_{"droid.store.mu"};
+  std::map<std::string, std::unique_ptr<DroidDataSource>> sources_ HIVE_GUARDED_BY(mu_);
 };
 
 }  // namespace hive

@@ -27,7 +27,7 @@ bool FaultInjectingFileSystem::ShouldInject(size_t rule_index, FaultKind kind,
                                             double rate, int max_per_site,
                                             bool permanent) {
   if (rate <= 0.0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t site = SiteHash(seed_ + rule_index * 0x2545f4914f6cdd1dULL,
                            static_cast<uint64_t>(kind), path, offset);
   // The coin depends only on (seed, kind, path, offset): the same site
@@ -46,7 +46,7 @@ Result<std::string> FaultInjectingFileSystem::FilterRead(const std::string& path
   std::vector<FaultRule> rules;
   uint64_t seed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     rules = rules_;
     seed = seed_;
   }
@@ -90,7 +90,7 @@ Result<std::string> FaultInjectingFileSystem::ReadRange(const std::string& path,
 Status FaultInjectingFileSystem::Rename(const std::string& from, const std::string& to) {
   std::vector<FaultRule> rules;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     rules = rules_;
   }
   for (size_t r = 0; r < rules.size(); ++r) {

@@ -3,12 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/sim_clock.h"
+#include "common/sync.h"
 #include "fs/filesystem.h"
 
 namespace hive {
@@ -67,22 +67,22 @@ class FaultInjectingFileSystem : public FileSystem {
       : base_(base), seed_(seed), clock_(clock) {}
 
   void AddRule(FaultRule rule) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     rules_.push_back(std::move(rule));
   }
   void ClearRules() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     rules_.clear();
   }
   /// Forgets per-site injection history (a fresh schedule replay).
   void ResetSchedule() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     site_counts_.clear();
   }
   /// Re-seeds the schedule and forgets injection history, so one warehouse
   /// can sweep a whole seed matrix. Call only while no query is running.
   void Reseed(uint64_t seed) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     seed_ = seed;
     site_counts_.clear();
   }
@@ -129,12 +129,12 @@ class FaultInjectingFileSystem : public FileSystem {
                                  Result<std::string> result);
 
   FileSystem* base_;
-  uint64_t seed_;
+  uint64_t seed_;  // written only via Reseed() while quiescent
   SimClock* clock_;
-  mutable std::mutex mu_;
-  std::vector<FaultRule> rules_;
+  mutable Mutex mu_{"fs.faults.mu"};
+  std::vector<FaultRule> rules_ HIVE_GUARDED_BY(mu_);
   /// Injections already delivered per (kind, path, offset) site.
-  std::unordered_map<uint64_t, int> site_counts_;
+  std::unordered_map<uint64_t, int> site_counts_ HIVE_GUARDED_BY(mu_);
   std::atomic<uint64_t> injected_read_errors_{0};
   std::atomic<uint64_t> injected_corruptions_{0};
   std::atomic<uint64_t> injected_rename_errors_{0};

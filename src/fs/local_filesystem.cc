@@ -22,7 +22,7 @@ std::string LocalFileSystem::Resolve(const std::string& path) const {
 }
 
 uint64_t LocalFileSystem::IdFor(const std::string& resolved) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = ids_.find(resolved);
   if (it != ids_.end()) return it->second;
   // Synthesize a stable id from size and mtime for externally created files.
@@ -46,7 +46,7 @@ Status LocalFileSystem::WriteFile(const std::string& path, const std::string& da
   out.write(data.data(), static_cast<std::streamsize>(data.size()));
   if (!out) return Status::TransientIoError("short write: " + resolved);
   out.close();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ids_[resolved] = next_file_id_++;
   return Status::OK();
 }

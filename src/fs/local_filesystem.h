@@ -1,11 +1,11 @@
 #ifndef HIVE_FS_LOCAL_FILESYSTEM_H_
 #define HIVE_FS_LOCAL_FILESYSTEM_H_
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "fs/filesystem.h"
 
 namespace hive {
@@ -36,9 +36,9 @@ class LocalFileSystem : public FileSystem {
   uint64_t IdFor(const std::string& resolved);
 
   std::string root_;
-  std::mutex mu_;
-  std::unordered_map<std::string, uint64_t> ids_;
-  uint64_t next_file_id_ = 1;
+  Mutex mu_{"fs.local.mu"};
+  std::unordered_map<std::string, uint64_t> ids_ HIVE_GUARDED_BY(mu_);
+  uint64_t next_file_id_ HIVE_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace hive

@@ -18,7 +18,7 @@ bool MemFileSystem::IsDirLocked(const std::string& path) const {
 
 Status MemFileSystem::WriteFile(const std::string& raw, const std::string& data) {
   std::string path = Normalize(raw);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (IsDirLocked(path)) return Status::InvalidArgument("is a directory: " + path);
   // Create parent directories implicitly (HDFS-create semantics).
   std::string parent = path;
@@ -34,7 +34,7 @@ Status MemFileSystem::WriteFile(const std::string& raw, const std::string& data)
 
 Result<std::string> MemFileSystem::ReadFile(const std::string& raw) {
   std::string path = Normalize(raw);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   CountRead(it->second.data.size());
@@ -44,7 +44,7 @@ Result<std::string> MemFileSystem::ReadFile(const std::string& raw) {
 Result<std::string> MemFileSystem::ReadRange(const std::string& raw, uint64_t offset,
                                              uint64_t len) {
   std::string path = Normalize(raw);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   const std::string& data = it->second.data;
@@ -56,7 +56,7 @@ Result<std::string> MemFileSystem::ReadRange(const std::string& raw, uint64_t of
 
 Result<FileInfo> MemFileSystem::Stat(const std::string& raw) {
   std::string path = Normalize(raw);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it != files_.end())
     return FileInfo{path, it->second.data.size(), it->second.file_id, false};
@@ -66,7 +66,7 @@ Result<FileInfo> MemFileSystem::Stat(const std::string& raw) {
 
 Result<std::vector<FileInfo>> MemFileSystem::ListDir(const std::string& raw) {
   std::string path = Normalize(raw);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!IsDirLocked(path)) return Status::NotFound("no such dir: " + path);
   std::string prefix = path == "/" ? "/" : path + "/";
   std::vector<FileInfo> out;
@@ -87,7 +87,7 @@ Result<std::vector<FileInfo>> MemFileSystem::ListDir(const std::string& raw) {
 
 Status MemFileSystem::MakeDirs(const std::string& raw) {
   std::string path = Normalize(raw);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (files_.count(path)) return Status::AlreadyExists("file exists: " + path);
   std::string cur = "/";
   for (const std::string& part : SplitPath(path)) {
@@ -99,14 +99,14 @@ Status MemFileSystem::MakeDirs(const std::string& raw) {
 
 Status MemFileSystem::DeleteFile(const std::string& raw) {
   std::string path = Normalize(raw);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (files_.erase(path) == 0) return Status::NotFound("no such file: " + path);
   return Status::OK();
 }
 
 Status MemFileSystem::DeleteRecursive(const std::string& raw) {
   std::string path = Normalize(raw);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string prefix = path + "/";
   for (auto it = files_.begin(); it != files_.end();) {
     if (it->first == path || it->first.compare(0, prefix.size(), prefix) == 0)
@@ -125,7 +125,7 @@ Status MemFileSystem::DeleteRecursive(const std::string& raw) {
 
 Status MemFileSystem::Rename(const std::string& raw_from, const std::string& raw_to) {
   std::string from = Normalize(raw_from), to = Normalize(raw_to);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (from == to) return files_.count(from) || IsDirLocked(from)
                              ? Status::OK()
                              : Status::NotFound("no such path: " + from);
@@ -189,7 +189,7 @@ Status MemFileSystem::Rename(const std::string& raw_from, const std::string& raw
 
 bool MemFileSystem::Exists(const std::string& raw) {
   std::string path = Normalize(raw);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.count(path) != 0 || IsDirLocked(path);
 }
 

@@ -2,11 +2,11 @@
 #define HIVE_FS_MEM_FILESYSTEM_H_
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "fs/filesystem.h"
 
 namespace hive {
@@ -37,12 +37,12 @@ class MemFileSystem : public FileSystem {
   };
 
   static std::string Normalize(const std::string& path);
-  bool IsDirLocked(const std::string& path) const;
+  bool IsDirLocked(const std::string& path) const HIVE_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::map<std::string, File> files_;
-  std::set<std::string> dirs_;
-  uint64_t next_file_id_ = 1;
+  mutable Mutex mu_{"fs.mem.mu"};
+  std::map<std::string, File> files_ HIVE_GUARDED_BY(mu_);
+  std::set<std::string> dirs_ HIVE_GUARDED_BY(mu_);
+  uint64_t next_file_id_ HIVE_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace hive

@@ -2,7 +2,6 @@
 #define HIVE_LLAP_DAEMON_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>

@@ -39,7 +39,7 @@ Result<std::shared_ptr<CofReader>> LlapCacheProvider::OpenReader(
   // re-created by compaction).
   HIVE_ASSIGN_OR_RETURN(FileInfo info, fs_->Stat(path));
   {
-    std::lock_guard<std::mutex> lock(metadata_mu_);
+    MutexLock lock(&metadata_mu_);
     auto it = metadata_.find(path);
     if (it != metadata_.end()) {
       if (it->second.first == info.file_id) {
@@ -52,14 +52,14 @@ Result<std::shared_ptr<CofReader>> LlapCacheProvider::OpenReader(
     }
   }
   HIVE_ASSIGN_OR_RETURN(std::shared_ptr<CofReader> reader, CofReader::Open(fs_, path));
-  std::lock_guard<std::mutex> lock(metadata_mu_);
+  MutexLock lock(&metadata_mu_);
   metadata_[path] = {info.file_id, reader};
   return reader;
 }
 
 bool LlapCacheProvider::IsDegraded(uint64_t file_id) const {
   if (!poison_seen_.load(std::memory_order_relaxed)) return false;
-  std::lock_guard<std::mutex> lock(poison_mu_);
+  MutexLock lock(&poison_mu_);
   return degraded_.count(file_id) != 0;
 }
 
@@ -68,7 +68,7 @@ ColumnVectorPtr LlapCacheProvider::ValidateHit(const ChunkKey& key,
   if (ChunkFingerprint(*entry->chunk) == entry->fingerprint) {
     // Clean hit. If this file had a corruption streak going, it ends here.
     if (poison_seen_.load(std::memory_order_relaxed)) {
-      std::lock_guard<std::mutex> lock(poison_mu_);
+      MutexLock lock(&poison_mu_);
       auto it = poison_streak_.find(key.file_id);
       if (it != poison_streak_.end()) it->second = 0;
     }
@@ -85,7 +85,7 @@ ColumnVectorPtr LlapCacheProvider::ValidateHit(const ChunkKey& key,
   poison_detected_.fetch_add(1, std::memory_order_relaxed);
   poison_seen_.store(true, std::memory_order_relaxed);
   data_cache_.Erase(key);
-  std::lock_guard<std::mutex> lock(poison_mu_);
+  MutexLock lock(&poison_mu_);
   if (++poison_streak_[key.file_id] >= poison_threshold_)
     degraded_.insert(key.file_id);
   return nullptr;
@@ -108,7 +108,7 @@ Result<ColumnVectorPtr> LlapCacheProvider::ReadChunk(
   std::shared_ptr<InFlight> flight;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(&inflight_mu_);
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       flight = it->second;
@@ -124,14 +124,17 @@ Result<ColumnVectorPtr> LlapCacheProvider::ReadChunk(
   }
   if (!leader) {
     singleflight_waits_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(flight->mu);
-    flight->cv.wait(lock, [&] { return flight->done; });
-    lock.unlock();
+    Result<ColumnVectorPtr> flight_result = Status::Internal("decode pending");
+    {
+      MutexLock lock(&flight->mu);
+      while (!flight->done) flight->cv.Wait(lock);
+      flight_result = flight->result;
+    }
     // Re-probe so the follower registers a cache hit (and refreshes LRFU
     // recency); fall back to the flight's result if it was already evicted.
     if (CachedChunkPtr cached = data_cache_.Get(key))
       if (ColumnVectorPtr chunk = ValidateHit(key, cached)) return chunk;
-    return flight->result;
+    return flight_result;
   }
   // Leader: decode outside any lock, publish, then retire the flight.
   // Capture the modeled I/O stall of the decode so it can be attributed to
@@ -154,13 +157,13 @@ Result<ColumnVectorPtr> LlapCacheProvider::ReadChunk(
     data_cache_.Put(key, std::move(entry), (*decoded)->ByteSize());
   }
   {
-    std::lock_guard<std::mutex> lock(flight->mu);
+    MutexLock lock(&flight->mu);
     flight->result = decoded;
     flight->done = true;
   }
-  flight->cv.notify_all();
+  flight->cv.NotifyAll();
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(&inflight_mu_);
     inflight_.erase(key);
   }
   return decoded;
@@ -192,11 +195,11 @@ size_t LlapCacheProvider::PoisonChunks(size_t n) {
 void LlapCacheProvider::Clear() {
   data_cache_.Clear();
   {
-    std::lock_guard<std::mutex> lock(poison_mu_);
+    MutexLock lock(&poison_mu_);
     poison_streak_.clear();
     degraded_.clear();
   }
-  std::lock_guard<std::mutex> lock(metadata_mu_);
+  MutexLock lock(&metadata_mu_);
   metadata_.clear();
 }
 

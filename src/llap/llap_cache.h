@@ -2,15 +2,14 @@
 #define HIVE_LLAP_LLAP_CACHE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/config.h"
+#include "common/sync.h"
 #include "common/lrfu_cache.h"
 #include "fs/filesystem.h"
 #include "storage/chunk_provider.h"
@@ -74,7 +73,7 @@ class LlapCacheProvider : public ChunkProvider {
   /// Reads served directly from storage because the file is degraded.
   uint64_t degraded_reads() const { return degraded_reads_; }
   size_t degraded_files() const {
-    std::lock_guard<std::mutex> lock(poison_mu_);
+    MutexLock lock(&poison_mu_);
     return degraded_.size();
   }
 
@@ -111,10 +110,10 @@ class LlapCacheProvider : public ChunkProvider {
   /// Single-flight slot: the first reader of a cold key (the leader)
   /// decodes; concurrent readers wait on `cv` and reuse the result.
   struct InFlight {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    Result<ColumnVectorPtr> result{Status::Internal("decode pending")};
+    Mutex mu{"llap.inflight.slot.mu"};
+    CondVar cv;
+    bool done HIVE_GUARDED_BY(mu) = false;
+    Result<ColumnVectorPtr> result HIVE_GUARDED_BY(mu){Status::Internal("decode pending")};
   };
 
   void InvalidateFileLocked(uint64_t file_id);
@@ -127,8 +126,9 @@ class LlapCacheProvider : public ChunkProvider {
   FileSystem* fs_;
   const int poison_threshold_;
   LrfuCache<ChunkKey, CachedChunkPtr, ChunkKeyHash> data_cache_;
-  std::mutex inflight_mu_;
-  std::unordered_map<ChunkKey, std::shared_ptr<InFlight>, ChunkKeyHash> inflight_;
+  Mutex inflight_mu_{"llap.inflight.mu"};
+  std::unordered_map<ChunkKey, std::shared_ptr<InFlight>, ChunkKeyHash> inflight_
+      HIVE_GUARDED_BY(inflight_mu_);
   std::atomic<uint64_t> data_decodes_{0};
   std::atomic<uint64_t> singleflight_waits_{0};
   std::atomic<uint64_t> poison_detected_{0};
@@ -136,14 +136,15 @@ class LlapCacheProvider : public ChunkProvider {
   /// Fast-path guard: true once any poisoning has ever been detected, so
   /// clean hits only pay the streak-reset lock after an actual incident.
   std::atomic<bool> poison_seen_{false};
-  mutable std::mutex poison_mu_;
+  mutable Mutex poison_mu_{"llap.poison.mu"};
   /// Consecutive corrupted hits per file; reset by any clean hit.
-  std::unordered_map<uint64_t, int> poison_streak_;
-  std::unordered_set<uint64_t> degraded_;
+  std::unordered_map<uint64_t, int> poison_streak_ HIVE_GUARDED_BY(poison_mu_);
+  std::unordered_set<uint64_t> degraded_ HIVE_GUARDED_BY(poison_mu_);
   /// Metadata cache: path -> (file_id, reader). Validity is re-checked via
   /// Stat on each open (FileId change = new file).
-  std::mutex metadata_mu_;
-  std::map<std::string, std::pair<uint64_t, std::shared_ptr<CofReader>>> metadata_;
+  Mutex metadata_mu_{"llap.metadata.mu"};
+  std::map<std::string, std::pair<uint64_t, std::shared_ptr<CofReader>>> metadata_
+      HIVE_GUARDED_BY(metadata_mu_);
   std::atomic<uint64_t> metadata_hits_{0};
 };
 

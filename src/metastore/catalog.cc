@@ -39,7 +39,7 @@ Catalog::Catalog(FileSystem* fs, std::string warehouse_root)
 }
 
 Status Catalog::CreateDatabase(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string key = ToLower(name);
   if (dbs_.count(key)) return Status::AlreadyExists("database " + name);
   dbs_[key] = {};
@@ -47,12 +47,12 @@ Status Catalog::CreateDatabase(const std::string& name) {
 }
 
 bool Catalog::DatabaseExists(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return dbs_.count(ToLower(name)) != 0;
 }
 
 std::vector<std::string> Catalog::ListDatabases() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (const auto& kv : dbs_) out.push_back(kv.first);
   return out;
@@ -63,7 +63,7 @@ std::string Catalog::TableLocation(const std::string& db, const std::string& nam
 }
 
 Status Catalog::CreateTable(TableDesc desc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string db = ToLower(desc.db);
   std::string name = ToLower(desc.name);
   auto dbit = dbs_.find(db);
@@ -78,7 +78,7 @@ Status Catalog::CreateTable(TableDesc desc) {
 }
 
 Result<TableDesc> Catalog::GetTable(const std::string& db, const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto dbit = dbs_.find(ToLower(db));
   if (dbit == dbs_.end()) return Status::NotFound("database " + db);
   auto it = dbit->second.find(ToLower(name));
@@ -88,20 +88,25 @@ Result<TableDesc> Catalog::GetTable(const std::string& db, const std::string& na
 
 Status Catalog::DropTable(const std::string& db, const std::string& name,
                           bool delete_data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto dbit = dbs_.find(ToLower(db));
   if (dbit == dbs_.end()) return Status::NotFound("database " + db);
   auto it = dbit->second.find(ToLower(name));
   if (it == dbit->second.end()) return Status::NotFound("table " + db + "." + name);
-  if (delete_data && !it->second.location.empty())
-    fs_->DeleteRecursive(it->second.location);
+  if (delete_data && !it->second.location.empty()) {
+    // Delete data *before* dropping metadata: if the delete fails the table
+    // stays registered and the drop can be retried, instead of silently
+    // leaking the directory with no catalog entry pointing at it.
+    Status del = fs_->DeleteRecursive(it->second.location);
+    if (!del.ok() && !del.IsNotFound()) return del;
+  }
   partitions_.erase(it->second.FullName());
   dbit->second.erase(it);
   return Status::OK();
 }
 
 std::vector<std::string> Catalog::ListTables(const std::string& db) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   auto dbit = dbs_.find(ToLower(db));
   if (dbit == dbs_.end()) return out;
@@ -121,7 +126,7 @@ std::string Catalog::PartitionDirName(const std::vector<Field>& partition_cols,
 
 Status Catalog::AddPartition(const std::string& db, const std::string& table,
                              const std::vector<Value>& values) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto dbit = dbs_.find(ToLower(db));
   if (dbit == dbs_.end()) return Status::NotFound("database " + db);
   auto it = dbit->second.find(ToLower(table));
@@ -142,7 +147,7 @@ Status Catalog::AddPartition(const std::string& db, const std::string& table,
 
 Result<std::vector<PartitionInfo>> Catalog::GetPartitions(
     const std::string& db, const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto dbit = dbs_.find(ToLower(db));
   if (dbit == dbs_.end()) return Status::NotFound("database " + db);
   auto it = dbit->second.find(ToLower(table));
@@ -156,7 +161,7 @@ Result<std::vector<PartitionInfo>> Catalog::GetPartitions(
 
 Status Catalog::DropPartition(const std::string& db, const std::string& table,
                               const std::vector<Value>& values, bool delete_data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto dbit = dbs_.find(ToLower(db));
   if (dbit == dbs_.end()) return Status::NotFound("database " + db);
   auto it = dbit->second.find(ToLower(table));
@@ -165,7 +170,12 @@ Status Catalog::DropPartition(const std::string& db, const std::string& table,
   auto pit = partitions_.find(it->second.FullName());
   if (pit == partitions_.end() || !pit->second.count(dir))
     return Status::NotFound("partition " + dir);
-  if (delete_data) fs_->DeleteRecursive(pit->second[dir].location);
+  if (delete_data) {
+    // Same ordering as DropTable: a failed data delete aborts the drop so
+    // the partition never becomes an orphaned directory.
+    Status del = fs_->DeleteRecursive(pit->second[dir].location);
+    if (!del.ok() && !del.IsNotFound()) return del;
+  }
   pit->second.erase(dir);
   return Status::OK();
 }
@@ -173,7 +183,7 @@ Status Catalog::DropPartition(const std::string& db, const std::string& table,
 Status Catalog::MergeStats(const std::string& db, const std::string& table,
                            const TableStatistics& delta,
                            const std::vector<Value>& partition_values) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto dbit = dbs_.find(ToLower(db));
   if (dbit == dbs_.end()) return Status::NotFound("database " + db);
   auto it = dbit->second.find(ToLower(table));
@@ -191,7 +201,7 @@ Status Catalog::MergeStats(const std::string& db, const std::string& table,
 }
 
 Status Catalog::UpdateTable(const TableDesc& desc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto dbit = dbs_.find(ToLower(desc.db));
   if (dbit == dbs_.end()) return Status::NotFound("database " + desc.db);
   auto it = dbit->second.find(ToLower(desc.name));
@@ -201,7 +211,7 @@ Status Catalog::UpdateTable(const TableDesc& desc) {
 }
 
 std::vector<TableDesc> Catalog::ListMaterializedViews() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<TableDesc> out;
   for (const auto& [db, tables] : dbs_)
     for (const auto& [name, desc] : tables)

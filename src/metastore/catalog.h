@@ -3,12 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/hll.h"
+#include "common/sync.h"
 #include "common/schema.h"
 #include "common/types.h"
 #include "fs/filesystem.h"
@@ -147,10 +147,10 @@ class Catalog {
 
   FileSystem* fs_;
   std::string root_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::map<std::string, TableDesc>> dbs_;
+  mutable Mutex mu_{"catalog.mu"};
+  std::map<std::string, std::map<std::string, TableDesc>> dbs_ HIVE_GUARDED_BY(mu_);
   /// partitions_[db.table] -> value-key -> info
-  std::map<std::string, std::map<std::string, PartitionInfo>> partitions_;
+  std::map<std::string, std::map<std::string, PartitionInfo>> partitions_ HIVE_GUARDED_BY(mu_);
 };
 
 }  // namespace hive

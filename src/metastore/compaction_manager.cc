@@ -68,17 +68,25 @@ Status CompactionManager::CompactLocation(const std::string& location,
 }
 
 void CompactionManager::FlushPendingCleans() {
-  std::lock_guard<std::mutex> lock(compact_mu_);
+  MutexLock lock(&compact_mu_);
   FlushPendingCleansLocked();
 }
 
 void CompactionManager::FlushPendingCleansLocked() {
   if (active_readers_.load(std::memory_order_acquire) > 0) return;
-  for (const PendingClean& pending : pending_cleans_) {
+  // A clean that fails (e.g. a transient delete error) stays queued for the
+  // next flush instead of being forgotten — dropping it would leak the
+  // superseded directories until some later compaction of the same
+  // location. kNotFound counts as done: the table (and its directories) was
+  // dropped while the clean was pending.
+  std::vector<PendingClean> still_pending;
+  for (PendingClean& pending : pending_cleans_) {
     Compactor compactor(catalog_->filesystem(), pending.location, pending.schema);
-    compactor.Clean(pending.snapshot);  // best effort; dirs may already be gone
+    Status clean = compactor.Clean(pending.snapshot);
+    if (!clean.ok() && !clean.IsNotFound())
+      still_pending.push_back(std::move(pending));
   }
-  pending_cleans_.clear();
+  pending_cleans_ = std::move(still_pending);
 }
 
 Result<std::vector<CompactionDecision>> CompactionManager::MaybeCompact(
@@ -86,7 +94,7 @@ Result<std::vector<CompactionDecision>> CompactionManager::MaybeCompact(
   HIVE_ASSIGN_OR_RETURN(TableDesc desc, catalog_->GetTable(db, table));
   if (!desc.is_acid) return std::vector<CompactionDecision>{};
   // One compaction at a time: post-write triggers arrive from every session.
-  std::lock_guard<std::mutex> lock(compact_mu_);
+  MutexLock lock(&compact_mu_);
   FlushPendingCleansLocked();
   // Compact only fully-committed history: snapshot from the txn manager.
   TxnSnapshot txn_snap = txns_->GetSnapshot();

@@ -2,11 +2,11 @@
 #define HIVE_METASTORE_COMPACTION_MANAGER_H_
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "common/sync.h"
 #include "metastore/catalog.h"
 #include "metastore/txn_manager.h"
 
@@ -67,7 +67,7 @@ class CompactionManager {
 
   int64_t compactions_run() const { return compactions_run_.load(); }
   size_t pending_cleans() const {
-    std::lock_guard<std::mutex> lock(compact_mu_);
+    MutexLock lock(&compact_mu_);
     return pending_cleans_.size();
   }
 
@@ -83,7 +83,7 @@ class CompactionManager {
   Status CompactLocation(const std::string& location, const Schema& schema,
                          const ValidWriteIdList& snapshot,
                          CompactionDecision* decision);
-  void FlushPendingCleansLocked();
+  void FlushPendingCleansLocked() HIVE_REQUIRES(compact_mu_);
 
   Catalog* catalog_;
   TransactionManager* txns_;
@@ -91,8 +91,8 @@ class CompactionManager {
   /// Serializes compaction runs: concurrent post-write triggers on the same
   /// table must not interleave merge and clean phases (a second compactor
   /// could list delta directories the first one is about to delete).
-  mutable std::mutex compact_mu_;
-  std::vector<PendingClean> pending_cleans_;
+  mutable Mutex compact_mu_{"compaction.mu"};
+  std::vector<PendingClean> pending_cleans_ HIVE_GUARDED_BY(compact_mu_);
   std::atomic<int64_t> active_readers_{0};
   std::atomic<int64_t> compactions_run_{0};
 };

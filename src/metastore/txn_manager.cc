@@ -5,7 +5,7 @@
 namespace hive {
 
 int64_t TransactionManager::OpenTxn() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t id = next_txn_id_++;
   TxnInfo info;
   info.start_commit_seq = commit_seq_;
@@ -14,7 +14,7 @@ int64_t TransactionManager::OpenTxn() {
 }
 
 Status TransactionManager::CommitTxn(int64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) return Status::NotFound("txn " + std::to_string(txn_id));
   TxnInfo& txn = it->second;
@@ -45,7 +45,7 @@ Status TransactionManager::CommitTxn(int64_t txn_id) {
 }
 
 Status TransactionManager::AbortTxn(int64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) return Status::NotFound("txn " + std::to_string(txn_id));
   it->second.state = TxnState::kAborted;
@@ -54,19 +54,19 @@ Status TransactionManager::AbortTxn(int64_t txn_id) {
 }
 
 bool TransactionManager::IsOpen(int64_t txn_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   return it != txns_.end() && it->second.state == TxnState::kOpen;
 }
 
 bool TransactionManager::IsAborted(int64_t txn_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   return it != txns_.end() && it->second.state == TxnState::kAborted;
 }
 
 TxnSnapshot TransactionManager::GetSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   TxnSnapshot snap;
   snap.high_watermark = next_txn_id_ - 1;
   for (const auto& [id, info] : txns_)
@@ -76,7 +76,7 @@ TxnSnapshot TransactionManager::GetSnapshot() const {
 
 Result<int64_t> TransactionManager::AllocateWriteId(int64_t txn_id,
                                                     const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) return Status::NotFound("txn " + std::to_string(txn_id));
   if (it->second.state != TxnState::kOpen)
@@ -91,7 +91,7 @@ Result<int64_t> TransactionManager::AllocateWriteId(int64_t txn_id,
 
 ValidWriteIdList TransactionManager::GetValidWriteIds(const std::string& table,
                                                       const TxnSnapshot& snapshot) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ValidWriteIdList out;
   auto it = table_write_ids_.find(table);
   if (it == table_write_ids_.end()) return out;  // hwm 0: nothing written
@@ -116,14 +116,14 @@ ValidWriteIdList TransactionManager::GetValidWriteIds(const std::string& table,
 }
 
 int64_t TransactionManager::TableWriteIdHighWatermark(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = next_write_id_.find(table);
   return it == next_write_id_.end() ? 0 : it->second;
 }
 
 Status TransactionManager::RecordWriteSet(int64_t txn_id, const std::string& resource,
                                           WriteOpKind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) return Status::NotFound("txn " + std::to_string(txn_id));
   auto& entry = it->second.write_set[resource];
@@ -133,7 +133,7 @@ Status TransactionManager::RecordWriteSet(int64_t txn_id, const std::string& res
 
 Status TransactionManager::AcquireLock(int64_t txn_id, const std::string& resource,
                                        LockMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) return Status::NotFound("txn " + std::to_string(txn_id));
   LockState& state = locks_[resource];
@@ -168,7 +168,7 @@ void TransactionManager::ReleaseLocksLocked(int64_t txn_id) {
 }
 
 int64_t TransactionManager::UpdateDeleteCount(const std::string& table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t count = 0;
   for (const CommittedWrite& cw : committed_writes_) {
     for (const auto& [resource, kind] : cw.write_set) {
@@ -180,7 +180,7 @@ int64_t TransactionManager::UpdateDeleteCount(const std::string& table) const {
 }
 
 size_t TransactionManager::NumAborted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t n = 0;
   for (const auto& [id, info] : txns_)
     if (info.state == TxnState::kAborted) ++n;

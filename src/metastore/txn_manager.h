@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/acid.h"
 
 namespace hive {
@@ -113,17 +113,18 @@ class TransactionManager {
     std::set<int64_t> shared_holders;
   };
 
-  void ReleaseLocksLocked(int64_t txn_id);
+  void ReleaseLocksLocked(int64_t txn_id) HIVE_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  int64_t next_txn_id_ = 1;
-  int64_t commit_seq_ = 0;
-  std::map<int64_t, TxnInfo> txns_;
-  std::map<std::string, int64_t> next_write_id_;  // per table
+  mutable Mutex mu_{"txn.mu"};
+  int64_t next_txn_id_ HIVE_GUARDED_BY(mu_) = 1;
+  int64_t commit_seq_ HIVE_GUARDED_BY(mu_) = 0;
+  std::map<int64_t, TxnInfo> txns_ HIVE_GUARDED_BY(mu_);
+  std::map<std::string, int64_t> next_write_id_ HIVE_GUARDED_BY(mu_);  // per table
   /// table -> list of (txn, write id) allocations, for snapshot derivation.
-  std::map<std::string, std::vector<std::pair<int64_t, int64_t>>> table_write_ids_;
-  std::vector<CommittedWrite> committed_writes_;
-  std::map<std::string, LockState> locks_;
+  std::map<std::string, std::vector<std::pair<int64_t, int64_t>>> table_write_ids_
+      HIVE_GUARDED_BY(mu_);
+  std::vector<CommittedWrite> committed_writes_ HIVE_GUARDED_BY(mu_);
+  std::map<std::string, LockState> locks_ HIVE_GUARDED_BY(mu_);
 };
 
 }  // namespace hive

@@ -45,21 +45,21 @@ int64_t Histogram::ValueAtPercentile(double p) const {
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -67,7 +67,7 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
 
 void MetricsRegistry::RegisterCallback(const std::string& name,
                                        std::function<int64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   callbacks_[name] = std::move(fn);
 }
 
@@ -77,7 +77,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::vector<std::pair<std::string, std::function<int64_t()>>> callbacks;
   MetricsSnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [name, c] : counters_) snap.values[name] = c->value();
     for (const auto& [name, g] : gauges_) snap.values[name] = g->value();
     for (const auto& [name, h] : histograms_) {
@@ -103,7 +103,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 int64_t MetricsRegistry::Value(const std::string& name) const {
   std::function<int64_t()> callback;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (auto it = counters_.find(name); it != counters_.end())
       return it->second->value();
     if (auto it = gauges_.find(name); it != gauges_.end())

@@ -6,10 +6,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace hive {
 namespace obs {
@@ -149,11 +150,11 @@ class MetricsRegistry {
   int64_t Value(const std::string& name) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::function<int64_t()>> callbacks_;
+  mutable Mutex mu_{"metrics.registry.mu"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ HIVE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ HIVE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ HIVE_GUARDED_BY(mu_);
+  std::map<std::string, std::function<int64_t()>> callbacks_ HIVE_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -133,7 +133,8 @@ Result<QueryResult> DmlDriver::CreateTable(const CreateTableStatement& stmt) {
     int64_t txn = server_->txns_.OpenTxn();
     auto inserted = InsertRows(created, ctas_rows, txn);
     if (!inserted.ok()) {
-      server_->txns_.AbortTxn(txn);
+      // lint: allow-discard(best-effort abort while propagating the original error)
+    (void)server_->txns_.AbortTxn(txn);
       return inserted.status();
     }
     HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
@@ -251,14 +252,17 @@ Result<QueryResult> DmlDriver::Insert(const InsertStatement& stmt) {
   int64_t txn = server_->txns_.OpenTxn();
   auto inserted = InsertRows(desc, shaped, txn);
   if (!inserted.ok()) {
-    server_->txns_.AbortTxn(txn);
+    // lint: allow-discard(best-effort abort while propagating the original error)
+    (void)server_->txns_.AbortTxn(txn);
     return inserted.status();
   }
   HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
-  // Automatic compaction check (Section 3.2).
+  // Automatic compaction check (Section 3.2). Post-commit and advisory:
+  // the insert already committed, and a failed check simply retries after
+  // the next write surpasses the thresholds again.
   if (desc.is_acid) {
-    auto compaction = server_->compaction_.MaybeCompact(db, stmt.table);
-    (void)compaction;
+    // lint: allow-discard(post-commit compaction is advisory)
+    (void)server_->compaction_.MaybeCompact(db, stmt.table);
   }
   QueryResult result;
   result.rows_affected = *inserted;
@@ -357,7 +361,8 @@ Result<QueryResult> DmlDriver::Update(const UpdateStatement& stmt) {
   int64_t txn = server_->txns_.OpenTxn();
   auto targets_or = ScanTargets(desc, bound_where);
   if (!targets_or.ok()) {
-    server_->txns_.AbortTxn(txn);
+    // lint: allow-discard(best-effort abort while propagating the original error)
+    (void)server_->txns_.AbortTxn(txn);
     return targets_or.status();
   }
   std::vector<TargetRow> targets = std::move(*targets_or);
@@ -385,13 +390,17 @@ Result<QueryResult> DmlDriver::Update(const UpdateStatement& stmt) {
   };
   Status status = apply();
   if (!status.ok()) {
-    server_->txns_.AbortTxn(txn);
+    // lint: allow-discard(best-effort abort while propagating the original error)
+    (void)server_->txns_.AbortTxn(txn);
     return status;
   }
   HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
   QueryResult result;
   result.rows_affected = static_cast<int64_t>(targets.size());
-  if (desc.is_acid) server_->compaction_.MaybeCompact(db, stmt.table);
+  if (desc.is_acid) {
+    // lint: allow-discard(post-commit compaction is advisory)
+    (void)server_->compaction_.MaybeCompact(db, stmt.table);
+  }
   return result;
 }
 
@@ -411,7 +420,8 @@ Result<QueryResult> DmlDriver::Delete(const DeleteStatement& stmt) {
   int64_t txn = server_->txns_.OpenTxn();
   auto targets_or = ScanTargets(desc, bound_where);
   if (!targets_or.ok()) {
-    server_->txns_.AbortTxn(txn);
+    // lint: allow-discard(best-effort abort while propagating the original error)
+    (void)server_->txns_.AbortTxn(txn);
     return targets_or.status();
   }
   std::vector<TargetRow> targets = std::move(*targets_or);
@@ -430,13 +440,15 @@ Result<QueryResult> DmlDriver::Delete(const DeleteStatement& stmt) {
   };
   Status status = apply();
   if (!status.ok()) {
-    server_->txns_.AbortTxn(txn);
+    // lint: allow-discard(best-effort abort while propagating the original error)
+    (void)server_->txns_.AbortTxn(txn);
     return status;
   }
   HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
   QueryResult result;
   result.rows_affected = static_cast<int64_t>(targets.size());
-  server_->compaction_.MaybeCompact(db, stmt.table);
+  // lint: allow-discard(post-commit compaction is advisory)
+  (void)server_->compaction_.MaybeCompact(db, stmt.table);
   return result;
 }
 
@@ -498,7 +510,8 @@ Result<QueryResult> DmlDriver::Merge(const MergeStatement& stmt) {
   int64_t txn = server_->txns_.OpenTxn();
   auto targets_or = ScanTargets(desc, nullptr);
   if (!targets_or.ok()) {
-    server_->txns_.AbortTxn(txn);
+    // lint: allow-discard(best-effort abort while propagating the original error)
+    (void)server_->txns_.AbortTxn(txn);
     return targets_or.status();
   }
   std::vector<TargetRow> targets = std::move(*targets_or);
@@ -607,13 +620,15 @@ Result<QueryResult> DmlDriver::Merge(const MergeStatement& stmt) {
   };
   Status status = apply();
   if (!status.ok()) {
-    server_->txns_.AbortTxn(txn);
+    // lint: allow-discard(best-effort abort while propagating the original error)
+    (void)server_->txns_.AbortTxn(txn);
     return status;
   }
   HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
   QueryResult result;
   result.rows_affected = affected;
-  server_->compaction_.MaybeCompact(db, stmt.table);
+  // lint: allow-discard(post-commit compaction is advisory)
+  (void)server_->compaction_.MaybeCompact(db, stmt.table);
   return result;
 }
 
@@ -657,7 +672,8 @@ Result<QueryResult> DmlDriver::CreateMaterializedView(
   int64_t txn = server_->txns_.OpenTxn();
   auto inserted = InsertRows(created, rows.rows, txn);
   if (!inserted.ok()) {
-    server_->txns_.AbortTxn(txn);
+    // lint: allow-discard(best-effort abort while propagating the original error)
+    (void)server_->txns_.AbortTxn(txn);
     return inserted.status();
   }
   HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
@@ -705,7 +721,8 @@ Result<QueryResult> DmlDriver::RebuildMaterializedView(
       int64_t txn = server_->txns_.OpenTxn();
       auto inserted = InsertRows(view, delta.rows, txn);
       if (!inserted.ok()) {
-        server_->txns_.AbortTxn(txn);
+        // lint: allow-discard(best-effort abort while propagating the original error)
+    (void)server_->txns_.AbortTxn(txn);
         return inserted.status();
       }
       HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));
@@ -715,7 +732,8 @@ Result<QueryResult> DmlDriver::RebuildMaterializedView(
     int64_t txn = server_->txns_.OpenTxn();
     Status lock = server_->txns_.AcquireLock(txn, view.FullName(), LockMode::kExclusive);
     if (!lock.ok()) {
-      server_->txns_.AbortTxn(txn);
+      // lint: allow-discard(best-effort abort while propagating the original error)
+    (void)server_->txns_.AbortTxn(txn);
       return lock;
     }
     HIVE_ASSIGN_OR_RETURN(QueryResult rows, RunSelect(select->select));
@@ -726,7 +744,8 @@ Result<QueryResult> DmlDriver::RebuildMaterializedView(
     HIVE_RETURN_IF_ERROR(server_->catalog_.UpdateTable(reset));
     auto inserted = InsertRows(view, rows.rows, txn);
     if (!inserted.ok()) {
-      server_->txns_.AbortTxn(txn);
+      // lint: allow-discard(best-effort abort while propagating the original error)
+    (void)server_->txns_.AbortTxn(txn);
       return inserted.status();
     }
     HIVE_RETURN_IF_ERROR(server_->txns_.CommitTxn(txn));

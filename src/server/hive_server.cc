@@ -109,7 +109,7 @@ void HiveServer2::RegisterEngineMetrics() {
 }
 
 Session* HiveServer2::OpenSession(const std::string& application) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   auto session = std::make_unique<Session>();
   session->application = application;
   session->config = default_config_;
@@ -264,7 +264,7 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
   Config& config = *attempt_config;
   std::map<std::string, int64_t> overrides;
   if (attempt > 0 && config.reexecution_strategy == "reoptimize" && stats) {
-    std::lock_guard<std::mutex> lock(stats->mu);
+    MutexLock lock(&stats->mu);
     overrides = stats->rows_produced;
   }
   if (attempt > 0 && config.reexecution_strategy == "overlay") {
@@ -582,17 +582,32 @@ Result<QueryResult> HiveServer2::ExecuteDdl(Session* session, const StatementPtr
       int64_t txn = txns_.OpenTxn();
       Status lock = txns_.AcquireLock(txn, desc->FullName(), LockMode::kExclusive);
       if (!lock.ok()) {
-        txns_.AbortTxn(txn);
+        // lint: allow-discard(best-effort abort while propagating the lock error)
+        (void)txns_.AbortTxn(txn);
         return lock;
       }
       if (!desc->storage_handler.empty()) {
         StorageHandler* handler = handlers_.Get(desc->storage_handler);
-        if (handler) HIVE_RETURN_IF_ERROR(handler->OnDropTable(*desc));
+        if (handler) {
+          Status handler_drop = handler->OnDropTable(*desc);
+          if (!handler_drop.ok()) {
+            // Abort — not commit — so the exclusive lock is released and the
+            // table (still in the catalog) can be dropped again after the
+            // handler recovers. Returning early without the abort would leak
+            // the lock and wedge every later writer on this table.
+            (void)txns_.AbortTxn(txn);  // lint: allow-discard(propagating handler error)
+            return handler_drop;
+          }
+        }
       }
       Status status = catalog_.DropTable(db, drop->table);
       result_cache_.InvalidateTable(desc->FullName());
-      txns_.CommitTxn(txn);
-      HIVE_RETURN_IF_ERROR(status);
+      if (!status.ok()) {
+        // lint: allow-discard(best-effort abort while propagating the drop error)
+        (void)txns_.AbortTxn(txn);
+        return status;
+      }
+      HIVE_RETURN_IF_ERROR(txns_.CommitTxn(txn));
       return QueryResult{};
     }
     case StatementKind::kShowTables: {

@@ -7,6 +7,7 @@
 
 #include "common/config.h"
 #include "common/sim_clock.h"
+#include "common/sync.h"
 #include "exec/compiler.h"
 #include "federation/csv_handler.h"
 #include "federation/droid_handler.h"
@@ -125,6 +126,13 @@ class HiveServer2 {
   CompactionManager* compaction() { return &compaction_; }
   const Config& default_config() const { return default_config_; }
 
+  /// Registers an additional storage handler (Section 6.1) alongside the
+  /// built-in droid/CSV ones; referenced by CREATE TABLE ... STORED BY
+  /// '<name>'. Call before queries touch tables of that handler.
+  void RegisterStorageHandler(std::unique_ptr<StorageHandler> handler) {
+    handlers_.Register(std::move(handler));
+  }
+
  private:
   friend class DmlDriver;
 
@@ -183,8 +191,8 @@ class HiveServer2 {
   QueryResultCache result_cache_;
   WorkloadManager wm_;
   obs::MetricsRegistry metrics_;
-  std::vector<std::unique_ptr<Session>> sessions_;
-  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_ HIVE_GUARDED_BY(sessions_mu_);
+  Mutex sessions_mu_{"server.sessions.mu"};
 };
 
 }  // namespace hive

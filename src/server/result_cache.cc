@@ -13,7 +13,7 @@ bool QueryResultCache::ValidLocked(
 QueryResultCache::LookupState QueryResultCache::Lookup(
     const std::string& key,
     const std::function<int64_t(const std::string&)>& current_hwm, Entry* entry) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (;;) {
     auto it = entries_.find(key);
     if (it != entries_.end()) {
@@ -35,7 +35,7 @@ QueryResultCache::LookupState QueryResultCache::Lookup(
     }
     // Another query is filling this entry: wait for it (pending mode).
     std::shared_ptr<Pending> p = pending->second;
-    p->cv.wait(lock, [&] { return !p->filling; });
+    while (p->filling) p->cv.Wait(lock);
     auto filled = entries_.find(key);
     if (filled != entries_.end() && ValidLocked(filled->second, current_hwm)) {
       ++hits_;
@@ -47,28 +47,28 @@ QueryResultCache::LookupState QueryResultCache::Lookup(
 }
 
 void QueryResultCache::Publish(const std::string& key, Entry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_[key] = std::move(entry);
   auto pending = pending_.find(key);
   if (pending != pending_.end()) {
     pending->second->filling = false;
-    pending->second->cv.notify_all();
+    pending->second->cv.NotifyAll();
     pending_.erase(pending);
   }
 }
 
 void QueryResultCache::AbandonFill(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto pending = pending_.find(key);
   if (pending != pending_.end()) {
     pending->second->filling = false;
-    pending->second->cv.notify_all();
+    pending->second->cv.NotifyAll();
     pending_.erase(pending);
   }
 }
 
 void QueryResultCache::InvalidateTable(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.snapshot.count(table)) {
       it = entries_.erase(it);
@@ -79,7 +79,7 @@ void QueryResultCache::InvalidateTable(const std::string& table) {
 }
 
 size_t QueryResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 

@@ -1,15 +1,15 @@
 #ifndef HIVE_SERVER_RESULT_CACHE_H_
 #define HIVE_SERVER_RESULT_CACHE_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/schema.h"
+#include "common/sync.h"
 #include "common/types.h"
 
 namespace hive {
@@ -55,24 +55,27 @@ class QueryResultCache {
   /// Drops entries referencing `table` (explicit invalidation hook).
   void InvalidateTable(const std::string& table);
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   size_t size() const;
 
  private:
   struct Pending {
-    bool filling = false;
-    std::condition_variable cv;
+    bool filling = false;  // guarded by QueryResultCache::mu_
+    CondVar cv;            // waits on QueryResultCache::mu_
   };
 
   bool ValidLocked(const Entry& entry,
-                   const std::function<int64_t(const std::string&)>& current_hwm) const;
+                   const std::function<int64_t(const std::string&)>& current_hwm) const
+      HIVE_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  std::map<std::string, std::shared_ptr<Pending>> pending_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  mutable Mutex mu_{"result_cache.mu"};
+  std::map<std::string, Entry> entries_ HIVE_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<Pending>> pending_ HIVE_GUARDED_BY(mu_);
+  /// Atomics, not guarded fields: the accessors above read them without
+  /// taking mu_ (metrics callbacks poll while queries run).
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
 };
 
 }  // namespace hive

@@ -5,7 +5,7 @@
 namespace hive {
 
 Status WorkloadManager::Apply(const ResourcePlanStatement& stmt) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   switch (stmt.op) {
     case ResourcePlanStatement::Op::kCreatePlan: {
       if (plans_.count(stmt.plan)) return Status::AlreadyExists("plan " + stmt.plan);
@@ -75,7 +75,7 @@ Status WorkloadManager::Apply(const ResourcePlanStatement& stmt) {
 
 Result<std::shared_ptr<WorkloadManager::QueryHandle>> WorkloadManager::Admit(
     const std::string& application) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto handle = std::make_shared<QueryHandle>();
   handle->start_us = SimClock::WallMicros();
   if (active_plan_.empty()) return handle;  // unmanaged
@@ -107,7 +107,7 @@ Result<std::shared_ptr<WorkloadManager::QueryHandle>> WorkloadManager::Admit(
 
 void WorkloadManager::ReportProgress(const std::shared_ptr<QueryHandle>& handle,
                                      int64_t elapsed_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (active_plan_.empty() || handle->pool.empty() || handle->moved) return;
   Plan& plan = plans_[active_plan_];
   auto pool = plan.pools.find(handle->pool);
@@ -156,7 +156,7 @@ void WorkloadManager::ReportProgress(const std::shared_ptr<QueryHandle>& handle,
 }
 
 void WorkloadManager::Release(const std::shared_ptr<QueryHandle>& handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (active_plan_.empty() || handle->pool.empty()) return;
   Plan& plan = plans_[active_plan_];
   std::string slot_pool =
@@ -167,18 +167,18 @@ void WorkloadManager::Release(const std::shared_ptr<QueryHandle>& handle) {
 }
 
 bool WorkloadManager::HasActivePlan() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return !active_plan_.empty();
 }
 
 Result<WorkloadManager::Plan> WorkloadManager::ActivePlan() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (active_plan_.empty()) return Status::NotFound("no active plan");
   return plans_.at(active_plan_);
 }
 
 int WorkloadManager::ActiveInPool(const std::string& pool) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (active_plan_.empty()) return 0;
   const Plan& plan = plans_.at(active_plan_);
   auto it = plan.pools.find(pool);

@@ -5,11 +5,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/sync.h"
 #include "common/status.h"
 #include "sql/ast.h"
 
@@ -70,7 +70,7 @@ class WorkloadManager {
   /// (the server wires this to its MetricsRegistry). Keeping it a plain
   /// reader function leaves this layer ignorant of the registry type.
   void SetMetricReader(std::function<int64_t(const std::string&)> reader) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     metric_reader_ = std::move(reader);
   }
 
@@ -96,10 +96,10 @@ class WorkloadManager {
   int ActiveInPool(const std::string& pool) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Plan> plans_;
-  std::string active_plan_;
-  std::function<int64_t(const std::string&)> metric_reader_;
+  mutable Mutex mu_{"workload_manager.mu"};
+  std::map<std::string, Plan> plans_ HIVE_GUARDED_BY(mu_);
+  std::string active_plan_ HIVE_GUARDED_BY(mu_);
+  std::function<int64_t(const std::string&)> metric_reader_ HIVE_GUARDED_BY(mu_);
 };
 
 }  // namespace hive

@@ -1,0 +1,33 @@
+// Fixture: wall-clock and nondeterministic randomness in src/.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long Bad() {
+  long t = time(nullptr);                            // expect[wall-clock]
+  t += std::time(nullptr);                           // expect[wall-clock]
+  srand(42);                                         // expect[wall-clock]
+  t += rand();                                       // expect[wall-clock]
+  std::random_device rd;                             // expect[wall-clock]
+  std::mt19937 gen(rd());                            // expect[wall-clock]
+  std::mt19937_64 gen64(1);                          // expect[wall-clock]
+  auto now = std::chrono::system_clock::now();       // expect[wall-clock]
+  auto mono = std::chrono::steady_clock::now();      // expect[wall-clock]
+  (void)now;
+  (void)mono;
+  (void)gen;
+  (void)gen64;
+  return t;
+}
+
+// Must NOT fire: identifiers that merely end in "time", member calls, and
+// chrono durations without a clock read.
+struct Stats {
+  long runtime(int x) { return x; }
+  long scan_time(int x) { return x; }
+};
+long Fine(Stats* s) {
+  std::chrono::milliseconds d(5);
+  return s->runtime(1) + s->scan_time(2) + d.count();
+}

@@ -1,0 +1,24 @@
+// Fixture: (void)-silenced calls need an adjacent allow-discard comment.
+struct Status {
+  bool ok() const { return true; }
+};
+Status DoWork();
+Status Abort(int txn);
+
+void Bad(int txn) {
+  (void)DoWork();               // expect[silent-discard]
+  (void)Abort(txn);             // expect[silent-discard]
+  ( void ) DoWork();            // expect[silent-discard]
+  (void)Abort(txn).ok();        // expect[silent-discard]
+}
+
+void Fine(int txn, int unused) {
+  // Same-line marker.
+  (void)DoWork();  // lint: allow-discard(best-effort warmup)
+  // Previous-line marker.
+  // lint: allow-discard(abort failure is secondary to the returned error)
+  (void)Abort(txn);
+  // Plain identifier discards are unused-variable silencing, not a
+  // swallowed Status; they stay legal without a marker.
+  (void)unused;
+}

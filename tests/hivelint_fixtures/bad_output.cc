@@ -1,0 +1,20 @@
+// Fixture: stdout chatter in src/ library code.
+#include <cstdio>
+#include <iostream>
+
+void Bad(int rows) {
+  std::cout << "rows: " << rows << "\n";  // expect[stray-output]
+  printf("rows: %d\n", rows);             // expect[stray-output]
+  std::printf("rows: %d\n", rows);        // expect[stray-output]
+  puts("done");                           // expect[stray-output]
+}
+
+// Must NOT fire: stderr diagnostics and string formatting are fine, and
+// "printf" inside a string or comment is prose, not a call.
+void Fine(int rows) {
+  std::fprintf(stderr, "rows: %d\n", rows);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "rows: %d", rows);
+  const char* doc = "printf(\"...\") is banned here";
+  (void)doc;
+}

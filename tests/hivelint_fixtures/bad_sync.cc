@@ -1,0 +1,20 @@
+// Fixture: raw synchronization primitives in src/ must be flagged.
+#include <mutex>               // expect[raw-sync]
+#include <condition_variable>  // expect[raw-sync]
+
+// A comment mentioning std::mutex must NOT fire; only real code does.
+struct Bad {
+  std::mutex mu;                  // expect[raw-sync]
+  std::recursive_mutex rmu;       // expect[raw-sync]
+  std::shared_mutex smu;          // expect[raw-sync]
+  std::condition_variable cv;     // expect[raw-sync]
+  std::condition_variable_any a;  // expect[raw-sync]
+};
+
+void Use(Bad* b) {
+  std::lock_guard<std::mutex> g(b->mu);   // expect[raw-sync]
+  std::unique_lock<std::mutex> u(b->mu);  // expect[raw-sync]
+  std::scoped_lock s(b->mu);              // expect[raw-sync]
+  const char* msg = "the string std::mutex must not fire";
+  (void)msg;
+}

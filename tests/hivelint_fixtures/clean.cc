@@ -1,0 +1,18 @@
+// Fixture: idiomatic engine code produces zero findings. Mentions of
+// std::mutex, printf("...") and rand() in comments or string literals are
+// prose. R"(raw strings with printf( inside)" are also prose.
+#include <string>
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status Query(const std::string& sql);
+
+Status Fine() {
+  std::string doc = "call rand() and std::cout << printf(...) -- all prose";
+  std::string raw = R"(std::mutex inside a raw string, time(nullptr) too)";
+  Status s = Query(doc + raw);
+  if (!s.ok()) return s;
+  return Status{};
+}

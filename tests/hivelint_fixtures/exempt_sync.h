@@ -1,0 +1,10 @@
+// hivelint-fixture-path: src/common/sync.h
+// Fixture: the sync wrapper itself is the one place raw primitives are
+// legal — the exemption list must suppress every raw-sync hit here.
+#include <condition_variable>
+#include <mutex>
+
+struct Wrapper {
+  std::mutex mu;
+  std::condition_variable cv;
+};

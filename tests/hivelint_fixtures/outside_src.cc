@@ -1,0 +1,19 @@
+// hivelint-fixture-path: bench/outside_src.cc
+// Fixture: the src/-scoped rules (raw-sync, wall-clock, stray-output) stay
+// quiet outside src/ — benches and tests may use raw primitives and print
+// results. silent-discard applies everywhere.
+#include <cstdio>
+#include <mutex>
+
+struct Status {
+  bool ok() const { return true; }
+};
+Status Run();
+
+void Bench() {
+  std::mutex mu;
+  std::lock_guard<std::mutex> g(mu);
+  printf("ok\n");
+  (void)Run();  // expect[silent-discard]
+  (void)Run();  // lint: allow-discard(warmup iteration)
+}

@@ -276,5 +276,138 @@ TEST(CompactionManagerTest, MajorWhenDeltaRatioHigh) {
   EXPECT_TRUE(fs.Exists("/warehouse/default.db/t/base_3"));
 }
 
+/// Forwards to MemFileSystem but fails DeleteRecursive while `fail_deletes`
+/// is set — models a storage layer that temporarily rejects recursive
+/// deletes (e.g. an object store throttling its batch-delete API).
+class FlakyDeleteFs : public FileSystem {
+ public:
+  Status WriteFile(const std::string& path, const std::string& data) override {
+    return base_.WriteFile(path, data);
+  }
+  Result<std::string> ReadFile(const std::string& path) override {
+    return base_.ReadFile(path);
+  }
+  Result<std::string> ReadRange(const std::string& path, uint64_t offset,
+                                uint64_t len) override {
+    return base_.ReadRange(path, offset, len);
+  }
+  Result<FileInfo> Stat(const std::string& path) override { return base_.Stat(path); }
+  Result<std::vector<FileInfo>> ListDir(const std::string& path) override {
+    return base_.ListDir(path);
+  }
+  Status MakeDirs(const std::string& path) override { return base_.MakeDirs(path); }
+  Status DeleteFile(const std::string& path) override { return base_.DeleteFile(path); }
+  Status DeleteRecursive(const std::string& path) override {
+    if (fail_deletes) return Status::TransientIoError("delete throttled: " + path);
+    return base_.DeleteRecursive(path);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return base_.Rename(from, to);
+  }
+  bool Exists(const std::string& path) override { return base_.Exists(path); }
+
+  bool fail_deletes = false;
+
+ private:
+  MemFileSystem base_;
+};
+
+TEST(CatalogTest, DropTableFailedDeleteKeepsEntryRetryable) {
+  // Regression: DropTable used to erase the catalog entry even when the data
+  // delete failed, orphaning the directory with nothing pointing at it. The
+  // delete now runs first and a failure aborts the drop, so it can be retried.
+  FlakyDeleteFs fs;
+  Catalog catalog(&fs);
+  TableDesc desc = SalesTable();
+  desc.partition_cols.clear();
+  ASSERT_TRUE(catalog.CreateTable(desc).ok());
+
+  fs.fail_deletes = true;
+  Status drop = catalog.DropTable("default", "store_sales");
+  EXPECT_FALSE(drop.ok());
+  EXPECT_TRUE(catalog.GetTable("default", "store_sales").ok())
+      << "failed drop must keep the table registered";
+  EXPECT_TRUE(fs.Exists("/warehouse/default.db/store_sales"));
+
+  fs.fail_deletes = false;
+  EXPECT_TRUE(catalog.DropTable("default", "store_sales").ok()) << "retry succeeds";
+  EXPECT_FALSE(fs.Exists("/warehouse/default.db/store_sales"));
+  EXPECT_FALSE(catalog.GetTable("default", "store_sales").ok());
+}
+
+TEST(CatalogTest, DropPartitionFailedDeleteKeepsPartition) {
+  FlakyDeleteFs fs;
+  Catalog catalog(&fs);
+  ASSERT_TRUE(catalog.CreateTable(SalesTable()).ok());
+  ASSERT_TRUE(
+      catalog.AddPartition("default", "store_sales", {Value::Bigint(20260101)}).ok());
+  const std::string part_dir =
+      "/warehouse/default.db/store_sales/sold_date_sk=20260101";
+  ASSERT_TRUE(fs.Exists(part_dir));
+
+  fs.fail_deletes = true;
+  EXPECT_FALSE(
+      catalog.DropPartition("default", "store_sales", {Value::Bigint(20260101)}).ok());
+  auto parts = catalog.GetPartitions("default", "store_sales");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 1u) << "failed drop must keep the partition registered";
+  EXPECT_TRUE(fs.Exists(part_dir));
+
+  fs.fail_deletes = false;
+  EXPECT_TRUE(
+      catalog.DropPartition("default", "store_sales", {Value::Bigint(20260101)}).ok());
+  EXPECT_FALSE(fs.Exists(part_dir));
+}
+
+TEST(CompactionManagerTest, FailedCleanStaysPendingAndRetries) {
+  // Regression: a deferred clean whose deletes failed used to be dropped from
+  // the pending list forever, leaking the superseded delta directories. It
+  // now stays queued and succeeds on a later flush.
+  FlakyDeleteFs fs;
+  Catalog catalog(&fs);
+  TransactionManager txns;
+  Config config;
+  config.compaction_delta_threshold = 3;
+  config.compaction_ratio_threshold = 100.0;
+  CompactionManager manager(&catalog, &txns, &config);
+
+  TableDesc desc;
+  desc.db = "default";
+  desc.name = "t";
+  desc.schema.AddField("a", DataType::Bigint());
+  ASSERT_TRUE(catalog.CreateTable(desc).ok());
+  for (int w = 0; w < 3; ++w) {
+    int64_t txn = txns.OpenTxn();
+    auto wid = txns.AllocateWriteId(txn, "default.t");
+    ASSERT_TRUE(wid.ok());
+    AcidWriter writer(&fs, "/warehouse/default.db/t", desc.schema, *wid);
+    writer.Insert({Value::Bigint(w)});
+    ASSERT_TRUE(writer.Commit().ok());
+    ASSERT_TRUE(txns.CommitTxn(txn).ok());
+  }
+
+  // A reader is in flight when the compaction commits: cleaning is deferred.
+  manager.BeginRead();
+  auto decisions = manager.MaybeCompact("default", "t");
+  ASSERT_TRUE(decisions.ok());
+  ASSERT_EQ((*decisions)[0].action, CompactionDecision::Action::kMinor);
+  EXPECT_EQ(manager.pending_cleans(), 1u);
+  EXPECT_TRUE(fs.Exists("/warehouse/default.db/t/delta_1_1")) << "clean deferred";
+
+  // The last reader drains while deletes are failing: the clean must stay
+  // queued, not vanish.
+  fs.fail_deletes = true;
+  manager.EndRead();
+  EXPECT_EQ(manager.pending_cleans(), 1u) << "failed clean must be retained";
+  EXPECT_TRUE(fs.Exists("/warehouse/default.db/t/delta_1_1"));
+
+  // Storage recovers: the next flush completes the clean.
+  fs.fail_deletes = false;
+  manager.FlushPendingCleans();
+  EXPECT_EQ(manager.pending_cleans(), 0u);
+  EXPECT_FALSE(fs.Exists("/warehouse/default.db/t/delta_1_1"));
+  EXPECT_TRUE(fs.Exists("/warehouse/default.db/t/delta_1_3")) << "compacted delta kept";
+}
+
 }  // namespace
 }  // namespace hive

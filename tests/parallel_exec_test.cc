@@ -171,7 +171,7 @@ TEST(RuntimeStatsTest, RecordAccumulatesAcrossWorkers) {
   stats.Record("scan-digest", 5);
   stats.Record("scan-digest", 7);
   stats.Record("filter-digest", 3);
-  std::lock_guard<std::mutex> lock(stats.mu);
+  MutexLock lock(&stats.mu);
   EXPECT_EQ(stats.rows_produced["scan-digest"], 12);
   EXPECT_EQ(stats.rows_produced["filter-digest"], 3);
 }

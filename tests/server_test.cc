@@ -500,6 +500,46 @@ TEST_F(ServerTest, DropTableTakesExclusiveLockPath) {
   EXPECT_TRUE(server_->Execute(session_, "DROP TABLE t").ok());
 }
 
+/// Handler whose metastore drop hook fails until told otherwise — models an
+/// external system rejecting the un-registration call.
+class FlakyDropHandler : public StorageHandler {
+ public:
+  std::string name() const override { return "flaky"; }
+  Result<OperatorPtr> CreateScan(ExecContext*, const RelNode&) override {
+    return Status::NotSupported("flaky handler has no scan");
+  }
+  Status Insert(const TableDesc&, const RowBatch&) override {
+    return Status::NotSupported("flaky handler has no insert");
+  }
+  Status OnDropTable(const TableDesc&) override {
+    if (fail_drops) return Status::TransientIoError("external system unavailable");
+    return Status::OK();
+  }
+  bool fail_drops = true;
+};
+
+TEST_F(ServerTest, FailedHandlerDropReleasesExclusiveLock) {
+  // Regression: when the storage handler's OnDropTable failed, DROP TABLE
+  // returned without aborting its transaction, leaking the exclusive lock —
+  // every later lock on the table (including the retried drop) then failed.
+  auto handler = std::make_unique<FlakyDropHandler>();
+  FlakyDropHandler* flaky = handler.get();
+  server_->RegisterStorageHandler(std::move(handler));
+  Run("CREATE TABLE ext (a INT) STORED BY 'flaky'");
+
+  auto drop = server_->Execute(session_, "DROP TABLE ext");
+  EXPECT_FALSE(drop.ok());
+  EXPECT_TRUE(server_->catalog()->GetTable("default", "ext").ok())
+      << "failed drop must keep the table registered";
+
+  // The external system recovers: the retried drop must get the exclusive
+  // lock (i.e. the failed attempt released it) and succeed.
+  flaky->fail_drops = false;
+  auto retry = server_->Execute(session_, "DROP TABLE ext");
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_FALSE(server_->catalog()->GetTable("default", "ext").ok());
+}
+
 TEST_F(ServerTest, MvStalenessWindowAllowsRewriteOnStaleData) {
   session_->config.result_cache_enabled = false;
   Run("CREATE TABLE f (k INT, v INT)");

@@ -1,0 +1,416 @@
+// hivelint — textual hygiene checks the compiler cannot express.
+//
+// The build already enforces the strong properties (thread-safety
+// annotations under Clang, -Werror=unused-result everywhere); hivelint
+// closes the textual gaps that survive compilation:
+//
+//   raw-sync        std::mutex / lock_guard / unique_lock / scoped_lock /
+//                   condition_variable in src/ outside common/sync.{h,cc}.
+//                   Raw primitives bypass both the Clang annotations and the
+//                   runtime lock-order detector.
+//   wall-clock      rand()/srand()/time()/clock_gettime/gettimeofday,
+//                   std::random_device / mt19937, and chrono clock reads in
+//                   src/ outside common/sim_clock.h and common/rng.h. All
+//                   time flows through SimClock and all randomness through
+//                   Rng so runs are deterministic and virtual-clock latency
+//                   accounting stays honest.
+//   stray-output    std::cout / printf / puts in src/ library code. The
+//                   engine reports through Status and the metrics registry,
+//                   never by writing to stdout under the server's feet.
+//   silent-discard  `(void)call(...)` silencing [[nodiscard]] without an
+//                   adjacent `// lint: allow-discard(<reason>)` comment. The
+//                   cast compiles; the comment is what makes the discard a
+//                   reviewed decision instead of a reflex.
+//
+// Usage:
+//   hivelint [--root <dir>] <file-or-dir>...   lint (dirs walk *.h/*.cc/*.cpp)
+//   hivelint --self-test <fixtures-dir>        verify against // expect[rule]
+//
+// Exit codes: 0 clean, 1 findings (or self-test mismatch), 2 usage/IO error.
+//
+// Scanning is line-based over comment- and string-stripped text, so a rule
+// token inside a comment or a log message never fires. The allow-discard
+// check is the one rule that reads the *raw* text (the comment is the
+// point); a marker counts on the offending line or the line above it.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct Rule {
+  std::string name;
+  std::regex pattern;
+  std::string message;
+  // Path prefixes (relative, '/'-separated) the rule is confined to.
+  std::vector<std::string> only_under;
+  // Relative paths exempt from the rule.
+  std::vector<std::string> exempt;
+};
+
+const std::vector<Rule>& Rules() {
+  static const std::vector<Rule> rules = {
+      {"raw-sync",
+       std::regex(R"(std::(recursive_|timed_|shared_)?mutex\b|std::(lock_guard|unique_lock|scoped_lock|shared_lock)\b|std::condition_variable(_any)?\b|#\s*include\s*<(mutex|condition_variable|shared_mutex)>)"),
+       "raw std:: synchronization primitive; use hive::Mutex/MutexLock/CondVar "
+       "from common/sync.h (annotated + lock-order checked)",
+       {"src/"},
+       {"src/common/sync.h", "src/common/sync.cc"}},
+      {"wall-clock",
+       std::regex(R"(\b(rand|srand|gettimeofday|clock_gettime)\s*\(|(^|[^\w:.>])time\s*\(|std::time\s*\(|std::random_device\b|std::mt19937(_64)?\b|std::chrono::(system_clock|steady_clock|high_resolution_clock)\b)"),
+       "wall-clock or nondeterministic randomness; use SimClock "
+       "(common/sim_clock.h) / Rng (common/rng.h) so runs stay deterministic",
+       {"src/"},
+       {"src/common/sim_clock.h", "src/common/rng.h"}},
+      {"stray-output",
+       std::regex(R"(std::cout\b|(^|[^\w:])std::printf\s*\(|\bprintf\s*\(|\bputs\s*\()"),
+       "stdout output in library code; return a Status or record a metric "
+       "instead",
+       {"src/"},
+       {}},
+      {"silent-discard",
+       // `(void)` casting away an expression that contains a call. Plain
+       // `(void)identifier;` (unused-variable silencing) is fine.
+       std::regex(R"(\(\s*void\s*\)\s*[\w:.*&<>\[\]\- ]*\()"),
+       "(void) discard of a fallible call without an adjacent "
+       "`// lint: allow-discard(<reason>)` comment",
+       {},  // applies everywhere hivelint looks, tests included
+       {}},
+  };
+  return rules;
+}
+
+// Replaces comments and string/char-literal contents with spaces, preserving
+// line structure, so token scans don't fire on prose or log text. Handles
+// //, /*...*/, "...", '...' and (crudely) R"(...)"; good enough for a linter.
+std::vector<std::string> StripCommentsAndStrings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  St st = St::kCode;
+  std::string raw_delim;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!isalnum(static_cast<unsigned char>(text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          size_t paren = text.find('(', i + 2);
+          if (paren != std::string::npos) {
+            raw_delim = ")" + text.substr(i + 2, paren - i - 2) + "\"";
+            st = St::kRawString;
+            for (size_t j = i; j <= paren; ++j) out += text[j] == '\n' ? '\n' : ' ';
+            i = paren;
+          } else {
+            out += c;
+          }
+        } else if (c == '"') {
+          st = St::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          st = St::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n') {
+          st = St::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (next == '\n') out.back() = '\n';
+        } else if (c == '"') {
+          st = St::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          out += ' ';
+        } else {
+          out += ' ';
+        }
+        break;
+      case St::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t j = 0; j < raw_delim.size(); ++j) out += ' ';
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  std::vector<std::string> lines;
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool RuleApplies(const Rule& rule, const std::string& rel_path) {
+  for (const std::string& ex : rule.exempt)
+    if (rel_path == ex) return false;
+  if (rule.only_under.empty()) return true;
+  return std::any_of(rule.only_under.begin(), rule.only_under.end(),
+                     [&](const std::string& p) { return StartsWith(rel_path, p); });
+}
+
+// Lints one file's content as if it lived at `rel_path` (relative to the
+// repo root, '/'-separated). Returns findings; display_path is what the
+// diagnostics name.
+std::vector<Finding> LintContent(const std::string& display_path,
+                                 const std::string& rel_path,
+                                 const std::string& text) {
+  std::vector<Finding> findings;
+  std::vector<std::string> raw = SplitLines(text);
+  std::vector<std::string> code = StripCommentsAndStrings(text);
+  code.resize(raw.size());
+  for (const Rule& rule : Rules()) {
+    if (!RuleApplies(rule, rel_path)) continue;
+    for (size_t i = 0; i < code.size(); ++i) {
+      if (!std::regex_search(code[i], rule.pattern)) continue;
+      if (rule.name == "silent-discard") {
+        bool allowed =
+            raw[i].find("lint: allow-discard(") != std::string::npos ||
+            (i > 0 && raw[i - 1].find("lint: allow-discard(") != std::string::npos);
+        if (allowed) continue;
+      }
+      findings.push_back({display_path, i + 1, rule.name, rule.message});
+    }
+  }
+  return findings;
+}
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool IsSourceFile(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+// Path of `p` relative to `root`, '/'-separated; empty if p is outside root.
+std::string RelativeTo(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  fs::path rel = fs::relative(fs::absolute(p), fs::absolute(root), ec);
+  if (ec) return {};
+  std::string s = rel.generic_string();
+  if (StartsWith(s, "..")) return {};
+  return s;
+}
+
+int RunLint(const fs::path& root, const std::vector<std::string>& inputs) {
+  std::vector<fs::path> files;
+  for (const std::string& input : inputs) {
+    fs::path p = fs::path(input).is_absolute() ? fs::path(input) : root / input;
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p))
+        if (entry.is_regular_file() && IsSourceFile(entry.path()))
+          files.push_back(entry.path());
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "hivelint: no such file or directory: %s\n",
+                   input.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  size_t total = 0;
+  for (const fs::path& file : files) {
+    std::string text;
+    if (!ReadFile(file, &text)) {
+      std::fprintf(stderr, "hivelint: cannot read %s\n", file.string().c_str());
+      return 2;
+    }
+    std::string rel = RelativeTo(root, file);
+    if (rel.empty()) rel = file.generic_string();
+    for (const Finding& f : LintContent(rel, rel, text)) {
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                   f.rule.c_str(), f.message.c_str());
+      ++total;
+    }
+  }
+  if (total) {
+    std::fprintf(stderr, "hivelint: %zu finding(s) in %zu file(s) scanned\n",
+                 total, files.size());
+    return 1;
+  }
+  std::fprintf(stderr, "hivelint: clean (%zu files)\n", files.size());
+  return 0;
+}
+
+// --self-test: each fixture file carries `// expect[rule]` markers on the
+// lines that must fire. A fixture is linted as if it lived under src/
+// (so the src/-scoped rules apply); a leading
+// `// hivelint-fixture-path: <rel-path>` directive overrides that, which is
+// how the sync.h/sim_clock.h exemptions get coverage.
+int RunSelfTest(const fs::path& fixtures_dir) {
+  if (!fs::is_directory(fixtures_dir)) {
+    std::fprintf(stderr, "hivelint: fixtures dir not found: %s\n",
+                 fixtures_dir.string().c_str());
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(fixtures_dir))
+    if (entry.is_regular_file() && IsSourceFile(entry.path()))
+      files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "hivelint: no fixtures in %s\n",
+                 fixtures_dir.string().c_str());
+    return 2;
+  }
+
+  static const std::regex expect_re(R"(//\s*expect\[([a-z-]+)\])");
+  size_t failures = 0;
+  for (const fs::path& file : files) {
+    std::string text;
+    if (!ReadFile(file, &text)) {
+      std::fprintf(stderr, "hivelint: cannot read %s\n", file.string().c_str());
+      return 2;
+    }
+    std::vector<std::string> raw = SplitLines(text);
+    std::string rel = "src/fixture/" + file.filename().string();
+    // (line, rule) pairs the fixture declares.
+    std::set<std::pair<size_t, std::string>> expected;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (i == 0 && StartsWith(raw[i], "// hivelint-fixture-path:")) {
+        rel = raw[i].substr(raw[i].find(':') + 1);
+        rel.erase(0, rel.find_first_not_of(" \t"));
+        continue;
+      }
+      auto begin = std::sregex_iterator(raw[i].begin(), raw[i].end(), expect_re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it)
+        expected.insert({i + 1, (*it)[1].str()});
+    }
+    std::set<std::pair<size_t, std::string>> actual;
+    for (const Finding& f : LintContent(file.filename().string(), rel, text))
+      actual.insert({f.line, f.rule});
+
+    for (const auto& [line, rule] : expected)
+      if (!actual.count({line, rule})) {
+        std::fprintf(stderr, "self-test FAIL %s:%zu: expected [%s], not reported\n",
+                     file.filename().string().c_str(), line, rule.c_str());
+        ++failures;
+      }
+    for (const auto& [line, rule] : actual)
+      if (!expected.count({line, rule})) {
+        std::fprintf(stderr, "self-test FAIL %s:%zu: unexpected [%s]\n",
+                     file.filename().string().c_str(), line, rule.c_str());
+        ++failures;
+      }
+  }
+  if (failures) {
+    std::fprintf(stderr, "hivelint --self-test: %zu mismatch(es)\n", failures);
+    return 1;
+  }
+  std::fprintf(stderr, "hivelint --self-test: OK (%zu fixtures)\n", files.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--self-test") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hivelint: --self-test needs a fixtures dir\n");
+        return 2;
+      }
+      return RunSelfTest(argv[i + 1]);
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hivelint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: hivelint [--root <dir>] <file-or-dir>...\n"
+                   "       hivelint --self-test <fixtures-dir>\n");
+      return 0;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "hivelint: nothing to lint (see --help)\n");
+    return 2;
+  }
+  return RunLint(root, inputs);
+}
