@@ -6,6 +6,7 @@
 #                             and hivelint over src/
 #   2. TSan                 — data races on the concurrency-sensitive suites
 #   3. ASan + UBSan         — heap misuse, leaks, undefined behavior
+#   4. join bench           — morsel-parallel join scaling (BENCH_join.json)
 #
 # (Under a Clang toolchain, step 1's build also runs the -Wthread-safety
 # static analysis against the annotations in common/sync.h.)
@@ -15,15 +16,19 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==== [1/3] build + ctest (includes hivelint) ===="
+echo "==== [1/4] build + ctest (includes hivelint) ===="
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==== [2/3] ThreadSanitizer ===="
+echo "==== [2/4] ThreadSanitizer ===="
 scripts/run_tsan.sh
 
-echo "==== [3/3] ASan + UBSan ===="
+echo "==== [3/4] ASan + UBSan ===="
 scripts/run_asan_ubsan.sh
+
+echo "==== [4/4] join scaling bench ===="
+build/bench/bench_join
+test -s BENCH_join.json
 
 echo "==== verify_all: all rungs passed ===="

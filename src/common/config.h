@@ -39,6 +39,16 @@ class Config {
   /// slowest worker — the critical path of a morsel queue drained by
   /// num_executors cores, whether or not the host physically has them.
   int64_t scan_cpu_ns_per_row = 350;
+  /// Morsel-driven parallel hash-join probe (build side is partitioned
+  /// across the executor pool as well). Off in MR mode regardless.
+  bool parallel_join_enabled = true;
+  /// Perfect-hash join for single dense-integer build-key domains
+  /// (date_dim/item-style dimensions): probe = bounds check + array load.
+  bool perfect_hash_join_enabled = true;
+  /// Modeled per-row join CPU cost (build insert / probe lookup), charged
+  /// like scan_cpu_ns_per_row: serial joins pay every row, parallel joins
+  /// pay the slowest worker.
+  int64_t join_cpu_ns_per_row = 200;
   /// Rows per vectorized batch.
   int vector_batch_size = 1024;
   /// Memory guard on hash-join build sides (rows); exceeding it raises an
@@ -114,6 +124,8 @@ class Config {
     execution_engine = "mr";
     llap_enabled = false;
     parallel_scan_enabled = false;
+    parallel_join_enabled = false;
+    perfect_hash_join_enabled = false;
     cbo_enabled = false;
     shared_work_enabled = false;
     semijoin_reduction_enabled = false;

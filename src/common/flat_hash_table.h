@@ -1,0 +1,268 @@
+#ifndef HIVE_COMMON_FLAT_HASH_TABLE_H_
+#define HIVE_COMMON_FLAT_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hive {
+
+/// Cache-friendly hash structures for the vectorized join/aggregation hot
+/// path. All of them are deterministic by construction: their observable
+/// contents (lookup results and chain order) depend only on the sequence of
+/// inserts, never on partition fan-out or thread scheduling, which is what
+/// lets the morsel-parallel build produce byte-identical query results at
+/// any executor count.
+
+/// Open-addressing (linear-probing, power-of-two) hash index mapping 64-bit
+/// hashes to chains of int32 payload ids. One flat slot array replaces the
+/// node-per-entry std::unordered_multimap/std::unordered_map layout: a probe
+/// touches consecutive cache lines instead of chasing list nodes, and the
+/// stored hash filters mismatches without comparing keys.
+///
+/// Payloads with the same 64-bit hash chain together in a side array;
+/// chains are newest-first, so inserting ids in ascending order yields
+/// descending chains — the discipline the join build relies on for
+/// deterministic duplicate-match order. Rehashing relocates slots wholesale
+/// and never reorders a chain.
+///
+/// Not internally synchronized: build single-threaded (or one instance per
+/// partition), then probe concurrently (Find/NextOf/PayloadOf are const).
+class FlatHashIndex {
+ public:
+  static constexpr int32_t kInvalid = -1;
+
+  /// Clears and pre-sizes the slot array for `expected` entries.
+  void Reset(size_t expected) {
+    entries_.clear();
+    occupied_ = 0;
+    size_t slots = 16;
+    while (slots < expected * 2) slots <<= 1;
+    slots_.assign(slots, Slot{});
+    mask_ = slots - 1;
+  }
+
+  /// Inserts `id` under `hash`; duplicates chain newest-first.
+  void Insert(uint64_t hash, int32_t id) {
+    if ((occupied_ + 1) * 2 > slots_.size()) Rehash(slots_.size() * 2);
+    size_t i = hash & mask_;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.head == kInvalid) {
+        s.hash = hash;
+        s.head = static_cast<int32_t>(entries_.size());
+        entries_.push_back(Entry{id, kInvalid});
+        ++occupied_;
+        return;
+      }
+      if (s.hash == hash) {
+        entries_.push_back(Entry{id, s.head});
+        s.head = static_cast<int32_t>(entries_.size() - 1);
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Head of the chain for `hash` (an entry handle), or kInvalid.
+  int32_t Find(uint64_t hash) const {
+    if (slots_.empty()) return kInvalid;
+    size_t i = hash & mask_;
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.head == kInvalid) return kInvalid;
+      if (s.hash == hash) return s.head;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  int32_t PayloadOf(int32_t entry) const { return entries_[entry].id; }
+  int32_t NextOf(int32_t entry) const { return entries_[entry].next; }
+
+  size_t num_entries() const { return entries_.size(); }
+  size_t num_slots() const { return slots_.size(); }
+  /// Occupied fraction of the slot array (distinct hashes / slots).
+  double load_factor() const {
+    return slots_.empty() ? 0.0
+                          : static_cast<double>(occupied_) /
+                                static_cast<double>(slots_.size());
+  }
+  size_t ApproxBytes() const {
+    return slots_.size() * sizeof(Slot) + entries_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    int32_t head = kInvalid;  // entry handle, kInvalid = empty slot
+  };
+  struct Entry {
+    int32_t id;    // caller payload (build row / group ordinal)
+    int32_t next;  // next entry with the same hash, kInvalid at chain end
+  };
+
+  void Rehash(size_t new_slots) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots, Slot{});
+    mask_ = new_slots - 1;
+    // Chains live in entries_ and move wholesale with their slot, so a
+    // rehash never changes lookup results or chain order.
+    for (const Slot& s : old) {
+      if (s.head == kInvalid) continue;
+      size_t i = s.hash & mask_;
+      while (slots_[i].head != kInvalid) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<Entry> entries_;
+  size_t occupied_ = 0;
+  uint64_t mask_ = 0;
+};
+
+/// The join build table: hash-partitioned FlatHashIndexes built in parallel
+/// (one worker per partition, lock-free — partitions share nothing) and
+/// probed without synchronization. A row's partition comes from its hash's
+/// top bits, so chains — which group rows with *equal* hashes — always land
+/// in one partition; as long as every partition inserts its rows in
+/// ascending row order, the probe sees identical candidate chains no matter
+/// how many partitions or workers built the table.
+class FlatJoinTable {
+ public:
+  /// Sizes `partitions` (rounded up to a power of two) sub-indexes from a
+  /// counting pass over `hashes`; rows with valid[row]==0 are skipped (null
+  /// join keys never match). Call once, then BuildPartition for each p.
+  void Init(const std::vector<uint64_t>& hashes, const std::vector<uint8_t>& valid,
+            int partitions) {
+    int p = 1;
+    while (p < partitions) p <<= 1;
+    bits_ = 0;
+    while ((1 << bits_) < p) ++bits_;
+    parts_.assign(static_cast<size_t>(p), FlatHashIndex());
+    std::vector<size_t> counts(parts_.size(), 0);
+    for (size_t r = 0; r < hashes.size(); ++r)
+      if (valid[r]) ++counts[PartitionOf(hashes[r])];
+    for (size_t i = 0; i < parts_.size(); ++i) parts_[i].Reset(counts[i]);
+  }
+
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
+
+  size_t PartitionOf(uint64_t hash) const {
+    return bits_ == 0 ? 0 : static_cast<size_t>(hash >> (64 - bits_));
+  }
+
+  /// Inserts partition `p`'s rows in ascending row order. Thread-safe for
+  /// distinct partitions (each touches only its own sub-index).
+  void BuildPartition(int p, const std::vector<uint64_t>& hashes,
+                      const std::vector<uint8_t>& valid) {
+    FlatHashIndex& idx = parts_[static_cast<size_t>(p)];
+    for (size_t r = 0; r < hashes.size(); ++r)
+      if (valid[r] && PartitionOf(hashes[r]) == static_cast<size_t>(p))
+        idx.Insert(hashes[r], static_cast<int32_t>(r));
+  }
+
+  /// Walks the candidate build rows for one probe hash (rows whose build
+  /// hash equals it exactly, descending row order).
+  class Iterator {
+   public:
+    Iterator() = default;
+    Iterator(const FlatHashIndex* idx, int32_t entry) : idx_(idx), entry_(entry) {}
+    bool valid() const { return entry_ != FlatHashIndex::kInvalid; }
+    int32_t row() const { return idx_->PayloadOf(entry_); }
+    void Advance() { entry_ = idx_->NextOf(entry_); }
+
+   private:
+    const FlatHashIndex* idx_ = nullptr;
+    int32_t entry_ = FlatHashIndex::kInvalid;
+  };
+
+  Iterator Probe(uint64_t hash) const {
+    const FlatHashIndex& idx = parts_[PartitionOf(hash)];
+    return Iterator(&idx, idx.Find(hash));
+  }
+
+  size_t num_entries() const {
+    size_t n = 0;
+    for (const FlatHashIndex& p : parts_) n += p.num_entries();
+    return n;
+  }
+  /// Entries in one partition (per-worker build-cost accounting).
+  size_t num_entries_in(int p) const {
+    return parts_[static_cast<size_t>(p)].num_entries();
+  }
+  size_t num_slots() const {
+    size_t n = 0;
+    for (const FlatHashIndex& p : parts_) n += p.num_slots();
+    return n;
+  }
+  double load_factor() const {
+    size_t slots = num_slots();
+    if (slots == 0) return 0.0;
+    double occupied = 0;
+    for (const FlatHashIndex& p : parts_)
+      occupied += p.load_factor() * static_cast<double>(p.num_slots());
+    return occupied / static_cast<double>(slots);
+  }
+  size_t ApproxBytes() const {
+    size_t n = 0;
+    for (const FlatHashIndex& p : parts_) n += p.ApproxBytes();
+    return n;
+  }
+
+ private:
+  std::vector<FlatHashIndex> parts_;
+  int bits_ = 0;
+};
+
+/// Perfect-hash join table (cf. DuckDB's perfect hash join): when the build
+/// side's single integer key spans a dense domain [min, max] with no
+/// duplicates — the date_dim/item dimension-table shape — a probe is one
+/// bounds check plus one array load, with no hashing, probing, or key
+/// verification at all.
+class PerfectHashTable {
+ public:
+  /// Attempts to build over `keys` (valid[r]==0 rows are skipped). Returns
+  /// false — leaving the table disengaged — when a duplicate key shows up;
+  /// the caller falls back to the generic table. The caller is responsible
+  /// for checking density before sizing a [min, max] array.
+  bool TryBuild(const std::vector<int64_t>& keys, const std::vector<uint8_t>& valid,
+                int64_t min, int64_t max) {
+    min_ = min;
+    max_ = max;
+    size_t range = static_cast<size_t>(max - min + 1);
+    rows_.assign(range, -1);
+    for (size_t r = 0; r < keys.size(); ++r) {
+      if (!valid[r]) continue;
+      int32_t& slot = rows_[static_cast<size_t>(keys[r] - min_)];
+      if (slot != -1) {
+        rows_.clear();
+        return false;  // duplicate build key: not a perfect domain
+      }
+      slot = static_cast<int32_t>(r);
+    }
+    engaged_ = true;
+    return true;
+  }
+
+  bool engaged() const { return engaged_; }
+
+  /// Build row for `key`, or -1. No verification needed: the array index is
+  /// the key.
+  int32_t Lookup(int64_t key) const {
+    if (key < min_ || key > max_) return -1;
+    return rows_[static_cast<size_t>(key - min_)];
+  }
+
+  size_t range() const { return rows_.size(); }
+  size_t ApproxBytes() const { return rows_.capacity() * sizeof(int32_t); }
+
+ private:
+  std::vector<int32_t> rows_;
+  int64_t min_ = 0;
+  int64_t max_ = -1;
+  bool engaged_ = false;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_FLAT_HASH_TABLE_H_

@@ -124,6 +124,13 @@ class Value {
   std::string str_;
 };
 
+/// Hash functor for unordered containers of Value (DISTINCT accumulators).
+/// Pairs with the default std::equal_to<Value> (Value::Compare equality), so
+/// cross-kind numeric equality groups together just as the ordered set did.
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return static_cast<size_t>(v.Hash()); }
+};
+
 /// --- Civil date/time helpers (Howard Hinnant's algorithms) ---
 
 /// days since 1970-01-01 for a proleptic Gregorian date.

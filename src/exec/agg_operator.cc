@@ -7,40 +7,96 @@
 
 namespace hive {
 
+namespace {
+
+/// HashKeys seed (= the combined hash of a zero-column key set).
+constexpr uint64_t kHashSeed = 0x9e3779b97f4a7c15ULL;
+
+/// Approximate heap overhead of one unordered_set node (hash + next pointer
+/// + allocator header).
+constexpr uint64_t kDistinctNodeBytes = 32;
+
+}  // namespace
+
 // --- GroupedAggState ---
 
 GroupedAggState::GroupedAggState(const std::vector<ExprPtr>* keys,
                                  const std::vector<AggCall>* aggs)
-    : keys_(keys), aggs_(aggs) {}
+    : keys_(keys), aggs_(aggs) {
+  index_.Reset(0);
+}
 
-GroupedAggState::Group* GroupedAggState::FindOrCreate(uint64_t hash,
-                                                      std::vector<Value>&& keys,
-                                                      uint64_t seq, bool* created) {
-  *created = false;
-  auto& bucket = groups_[hash];
-  for (Group& g : bucket) {
-    bool equal = g.keys.size() == keys.size();
-    for (size_t k = 0; k < keys.size() && equal; ++k)
-      if (Value::Compare(g.keys[k], keys[k]) != 0) equal = false;
-    if (equal) return &g;
-  }
+uint64_t GroupedAggState::ValueBytes(const Value& v) {
+  uint64_t bytes = sizeof(Value);
+  if (v.kind() == TypeKind::kString) bytes += v.str().capacity();
+  return bytes;
+}
+
+uint64_t GroupedAggState::GroupPayloadBytes(const Group& g) {
+  uint64_t bytes = g.keys.capacity() * sizeof(Value) +
+                   g.accs.capacity() * sizeof(Accumulator);
+  for (const Value& k : g.keys)
+    if (k.kind() == TypeKind::kString) bytes += k.str().capacity();
+  for (const Accumulator& acc : g.accs)
+    for (const Value& v : acc.distinct) bytes += kDistinctNodeBytes + ValueBytes(v);
+  return bytes;
+}
+
+uint64_t GroupedAggState::approx_bytes() const {
+  return index_.ApproxBytes() + groups_.capacity() * sizeof(Group) +
+         payload_bytes_;
+}
+
+uint32_t GroupedAggState::CreateGroup(uint64_t hash, std::vector<Value>&& keys,
+                                      uint64_t seq) {
   Group g;
   g.keys = std::move(keys);
   g.accs.resize(aggs_->size());
   g.first_seq = seq;
-  bucket.push_back(std::move(g));
-  ++groups_created_;
+  g.hash = hash;
+  uint32_t ordinal = static_cast<uint32_t>(groups_.size());
+  payload_bytes_ += GroupPayloadBytes(g);
+  groups_.push_back(std::move(g));
+  index_.Insert(hash, static_cast<int32_t>(ordinal));
+  return ordinal;
+}
+
+bool GroupedAggState::GroupMatchesRow(const Group& g,
+                                      const std::vector<ColumnVectorPtr>& key_cols,
+                                      int32_t row) const {
+  for (size_t k = 0; k < key_cols.size(); ++k)
+    if (Value::Compare(g.keys[k],
+                       key_cols[k]->GetValue(static_cast<size_t>(row))) != 0)
+      return false;
+  return true;
+}
+
+uint32_t GroupedAggState::FindOrCreate(uint64_t hash, std::vector<Value>&& keys,
+                                       uint64_t seq, bool* created) {
+  *created = false;
+  for (int32_t e = index_.Find(hash); e != FlatHashIndex::kInvalid;
+       e = index_.NextOf(e)) {
+    const Group& g = groups_[static_cast<size_t>(index_.PayloadOf(e))];
+    bool equal = g.keys.size() == keys.size();
+    for (size_t k = 0; k < keys.size() && equal; ++k)
+      if (Value::Compare(g.keys[k], keys[k]) != 0) equal = false;
+    if (equal) return static_cast<uint32_t>(index_.PayloadOf(e));
+  }
   *created = true;
-  return &bucket.back();
+  return CreateGroup(hash, std::move(keys), seq);
 }
 
 Status GroupedAggState::Consume(const RowBatch& batch, uint64_t seq_base) {
-  // Evaluate key and argument vectors once per batch.
+  // Evaluate key and argument vectors once per batch, then hash the key
+  // columns column-wise — no per-row boxed key vector on the lookup path
+  // (keys box once, when a group is first created).
   std::vector<ColumnVectorPtr> key_cols;
   for (const ExprPtr& k : *keys_) {
     HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*k, batch));
     key_cols.push_back(std::move(col));
   }
+  std::vector<uint64_t> hashes;
+  HashKeyColumns(key_cols, batch.num_rows(), &hashes, nullptr);
   std::vector<ColumnVectorPtr> arg_cols(aggs_->size());
   for (size_t a = 0; a < aggs_->size(); ++a) {
     if ((*aggs_)[a].arg) {
@@ -49,21 +105,36 @@ Status GroupedAggState::Consume(const RowBatch& batch, uint64_t seq_base) {
   }
   for (size_t i = 0; i < batch.SelectedSize(); ++i) {
     int32_t row = batch.SelectedRow(i);
-    std::vector<Value> keys;
-    keys.reserve(keys_->size());
-    for (const auto& col : key_cols) keys.push_back(col->GetValue(row));
-    uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (const Value& v : keys) h = HashCombine(h, v.Hash());
+    uint64_t h = hashes[static_cast<size_t>(row)];
 
-    bool created = false;
-    Group* group = FindOrCreate(h, std::move(keys), seq_base + i, &created);
+    // Chain walk over equal-hash groups; key comparison resolves collisions.
+    uint32_t ordinal = UINT32_MAX;
+    for (int32_t e = index_.Find(h); e != FlatHashIndex::kInvalid;
+         e = index_.NextOf(e)) {
+      uint32_t cand = static_cast<uint32_t>(index_.PayloadOf(e));
+      if (GroupMatchesRow(groups_[cand], key_cols, row)) {
+        ordinal = cand;
+        break;
+      }
+    }
+    if (ordinal == UINT32_MAX) {
+      std::vector<Value> keys;
+      keys.reserve(keys_->size());
+      for (const auto& col : key_cols)
+        keys.push_back(col->GetValue(static_cast<size_t>(row)));
+      ordinal = CreateGroup(h, std::move(keys), seq_base + i);
+    }
+    Group& group = groups_[ordinal];
     for (size_t a = 0; a < aggs_->size(); ++a) {
       const AggCall& agg = (*aggs_)[a];
-      Accumulator& acc = group->accs[a];
-      Value v = arg_cols[a] ? arg_cols[a]->GetValue(row) : Value::Null();
+      Accumulator& acc = group.accs[a];
+      Value v = arg_cols[a] ? arg_cols[a]->GetValue(static_cast<size_t>(row))
+                            : Value::Null();
       if (agg.arg && v.is_null()) continue;  // aggregates skip nulls
       if (agg.distinct) {
-        acc.distinct.insert(v);
+        auto inserted = acc.distinct.insert(v);
+        if (inserted.second)
+          payload_bytes_ += kDistinctNodeBytes + ValueBytes(*inserted.first);
         continue;
       }
       acc.any = true;
@@ -99,53 +170,70 @@ void GroupedAggState::MergeAccumulator(Accumulator* into, Accumulator&& from) {
   if (!from.max.is_null() &&
       (into->max.is_null() || Value::Compare(from.max, into->max) > 0))
     into->max = std::move(from.max);
-  into->distinct.merge(from.distinct);
+  // Move nodes across; only elements new to `into` count toward payload.
+  for (auto it = from.distinct.begin(); it != from.distinct.end();) {
+    auto node = from.distinct.extract(it++);
+    uint64_t bytes = kDistinctNodeBytes + ValueBytes(node.value());
+    auto res = into->distinct.insert(std::move(node));
+    if (res.inserted) payload_bytes_ += bytes;
+  }
 }
 
 void GroupedAggState::Merge(GroupedAggState&& other) {
-  for (auto& [hash, bucket] : other.groups_) {
-    for (Group& g : bucket) {
-      bool created = false;
-      std::vector<Value> keys = g.keys;
-      Group* mine = FindOrCreate(hash, std::move(keys), g.first_seq, &created);
-      if (created) {
-        mine->accs = std::move(g.accs);
-        continue;
-      }
-      mine->first_seq = std::min(mine->first_seq, g.first_seq);
-      for (size_t a = 0; a < mine->accs.size(); ++a)
-        MergeAccumulator(&mine->accs[a], std::move(g.accs[a]));
+  for (Group& g : other.groups_) {
+    bool created = false;
+    std::vector<Value> keys = g.keys;
+    uint32_t ordinal = FindOrCreate(g.hash, std::move(keys), g.first_seq, &created);
+    Group& mine = groups_[ordinal];
+    if (created) {
+      // Swap in the adopted accumulators; CreateGroup counted empty ones.
+      payload_bytes_ -= mine.accs.capacity() * sizeof(Accumulator);
+      mine.accs = std::move(g.accs);
+      payload_bytes_ += mine.accs.capacity() * sizeof(Accumulator);
+      for (const Accumulator& acc : mine.accs)
+        for (const Value& v : acc.distinct)
+          payload_bytes_ += kDistinctNodeBytes + ValueBytes(v);
+      continue;
     }
+    mine.first_seq = std::min(mine.first_seq, g.first_seq);
+    for (size_t a = 0; a < mine.accs.size(); ++a)
+      MergeAccumulator(&mine.accs[a], std::move(g.accs[a]));
   }
 }
 
 void GroupedAggState::Seal() {
   // Global aggregates produce one row even with empty input.
-  if (keys_->empty() && groups_.empty()) {
-    Group g;
-    g.accs.resize(aggs_->size());
-    groups_[0].push_back(std::move(g));
-    ++groups_created_;
-  }
+  if (keys_->empty() && groups_.empty())
+    CreateGroup(kHashSeed, std::vector<Value>(), 0);
   ordered_.clear();
-  for (const auto& [h, bucket] : groups_)
-    for (const Group& g : bucket) ordered_.push_back(&g);
+  ordered_.reserve(groups_.size());
+  for (uint32_t i = 0; i < groups_.size(); ++i) ordered_.push_back(i);
   // First-seen input order: deterministic however rows were partitioned.
-  std::sort(ordered_.begin(), ordered_.end(),
-            [](const Group* a, const Group* b) { return a->first_seq < b->first_seq; });
+  std::sort(ordered_.begin(), ordered_.end(), [this](uint32_t a, uint32_t b) {
+    return groups_[a].first_seq < groups_[b].first_seq;
+  });
 }
 
 Value GroupedAggState::Finalize(const AggCall& agg, const Accumulator& acc) const {
   if (agg.distinct) {
     if (agg.func == "COUNT") return Value::Bigint(static_cast<int64_t>(acc.distinct.size()));
-    // SUM(DISTINCT) etc.
+    // SUM(DISTINCT) etc. The hash set iterates in an order that depends on
+    // insertion history, so any order-sensitive fold sorts first.
     if (agg.func == "SUM") {
       if (agg.result_type.kind == TypeKind::kDouble) {
+        // FP addition is not associative: sum in sorted order so the result
+        // is identical at any worker count / merge order.
+        std::vector<const Value*> sorted;
+        sorted.reserve(acc.distinct.size());
+        for (const Value& v : acc.distinct) sorted.push_back(&v);
+        std::sort(sorted.begin(), sorted.end(), [](const Value* a, const Value* b) {
+          return Value::Compare(*a, *b) < 0;
+        });
         double total = 0;
-        for (const Value& v : acc.distinct) total += v.AsDouble();
+        for (const Value* v : sorted) total += v->AsDouble();
         return Value::Double(total);
       }
-      int64_t total = 0;
+      int64_t total = 0;  // integer addition commutes; no sort needed
       bool decimal = agg.result_type.kind == TypeKind::kDecimal;
       for (const Value& v : acc.distinct) {
         if (decimal) {
@@ -158,8 +246,16 @@ Value GroupedAggState::Finalize(const AggCall& agg, const Accumulator& acc) cons
       return decimal ? Value::Decimal(total, agg.result_type.scale) : Value::Bigint(total);
     }
     if (acc.distinct.empty()) return Value::Null();
-    if (agg.func == "MIN") return *acc.distinct.begin();
-    if (agg.func == "MAX") return *acc.distinct.rbegin();
+    if (agg.func == "MIN" || agg.func == "MAX") {
+      const Value* best = nullptr;
+      bool want_min = agg.func == "MIN";
+      for (const Value& v : acc.distinct) {
+        if (!best || (want_min ? Value::Compare(v, *best) < 0
+                               : Value::Compare(v, *best) > 0))
+          best = &v;
+      }
+      return *best;
+    }
     return Value::Null();
   }
   if (agg.func == "COUNT") return Value::Bigint(acc.count);
@@ -182,7 +278,7 @@ Result<RowBatch> GroupedAggState::Emit(size_t begin, size_t end,
                                        const Schema& schema) const {
   RowBatch out(schema);
   for (size_t i = begin; i < end && i < ordered_.size(); ++i) {
-    const Group& g = *ordered_[i];
+    const Group& g = groups_[ordered_[i]];
     for (size_t k = 0; k < keys_->size(); ++k) out.column(k)->AppendValue(g.keys[k]);
     for (size_t a = 0; a < aggs_->size(); ++a)
       out.column(keys_->size() + a)->AppendValue(Finalize((*aggs_)[a], g.accs[a]));

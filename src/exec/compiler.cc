@@ -349,6 +349,40 @@ class Compiler {
     return true;
   }
 
+  /// Builds the physical join for (left_rel JOIN right_rel): perfect-hash
+  /// hint from plan-time key-shape analysis, morsel-parallel probe when the
+  /// probe side collapses into a parallel leaf pipeline, serial hash join
+  /// otherwise. `join_type` and `condition` are already normalized (right
+  /// joins arrive as left joins over swapped inputs).
+  Result<OperatorPtr> CompileJoin(const RelNodePtr& left_rel,
+                                  const RelNodePtr& right_rel,
+                                  TableRef::JoinType join_type, ExprPtr condition,
+                                  const Schema& out_schema) {
+    bool perfect_hint =
+        ctx_->config->perfect_hash_join_enabled &&
+        HashJoinCore::PerfectHashEligible(
+            condition, static_cast<int>(left_rel->schema.num_fields()));
+    ParallelPipelineSpec spec;
+    if (ctx_->config->parallel_join_enabled && CollectPipeline(left_rel, &spec)) {
+      HIVE_ASSIGN_OR_RETURN(OperatorPtr build, CompileNode(right_rel));
+      AnnotateProfile("parallel");
+      auto join = std::make_unique<ParallelHashJoinOperator>(
+          ctx_, std::move(spec), std::move(build), join_type, std::move(condition),
+          out_schema);
+      join->core()->set_perfect_hash_hint(perfect_hint);
+      join->core()->set_profile_node(profile_parent_);
+      return OperatorPtr(std::move(join));
+    }
+    HIVE_ASSIGN_OR_RETURN(OperatorPtr left, CompileNode(left_rel));
+    HIVE_ASSIGN_OR_RETURN(OperatorPtr right, CompileNode(right_rel));
+    auto join = std::make_unique<HashJoinOperator>(ctx_, std::move(left),
+                                                   std::move(right), join_type,
+                                                   std::move(condition), out_schema);
+    join->core()->set_perfect_hash_hint(perfect_hint);
+    join->core()->set_profile_node(profile_parent_);
+    return OperatorPtr(std::move(join));
+  }
+
   Result<OperatorPtr> CompileBare(const RelNodePtr& node) {
     switch (node->kind) {
       case RelKind::kScan:
@@ -400,8 +434,6 @@ class Compiler {
         if (node->join_type == TableRef::JoinType::kRight) {
           // Normalize: right join == left join with swapped inputs plus an
           // output permutation.
-          HIVE_ASSIGN_OR_RETURN(OperatorPtr left, CompileNode(node->inputs[1]));
-          HIVE_ASSIGN_OR_RETURN(OperatorPtr right, CompileNode(node->inputs[0]));
           size_t lw = node->inputs[0]->schema.num_fields();
           size_t rw = node->inputs[1]->schema.num_fields();
           // Rebind the condition into (right, left) order.
@@ -415,9 +447,10 @@ class Compiler {
             swapped.AddField(f.name, f.type);
           for (const Field& f : node->inputs[0]->schema.fields())
             swapped.AddField(f.name, f.type);
-          auto join = std::make_unique<HashJoinOperator>(
-              ctx_, std::move(left), std::move(right), TableRef::JoinType::kLeft,
-              condition, swapped);
+          HIVE_ASSIGN_OR_RETURN(
+              OperatorPtr join,
+              CompileJoin(node->inputs[1], node->inputs[0],
+                          TableRef::JoinType::kLeft, condition, swapped));
           // Permute back to (left, right).
           std::vector<ExprPtr> exprs;
           for (size_t i = 0; i < lw + rw; ++i) {
@@ -430,11 +463,10 @@ class Compiler {
           return OperatorPtr(std::make_unique<ProjectOperator>(
               ctx_, std::move(join), std::move(exprs), node->schema));
         }
-        HIVE_ASSIGN_OR_RETURN(OperatorPtr left, CompileNode(node->inputs[0]));
-        HIVE_ASSIGN_OR_RETURN(OperatorPtr right, CompileNode(node->inputs[1]));
-        auto op = std::make_unique<HashJoinOperator>(
-            ctx_, std::move(left), std::move(right), node->join_type,
-            node->condition, node->schema);
+        HIVE_ASSIGN_OR_RETURN(
+            OperatorPtr op,
+            CompileJoin(node->inputs[0], node->inputs[1], node->join_type,
+                        node->condition, node->schema));
         return OperatorPtr(std::make_unique<StatsRecordingOperator>(
             ctx_, std::move(op), node->Digest()));
       }

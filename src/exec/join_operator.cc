@@ -1,3 +1,7 @@
+#include <algorithm>
+#include <cstdio>
+#include <future>
+
 #include "common/hash.h"
 #include "exec/operators.h"
 #include "exec/vector_eval.h"
@@ -43,50 +47,65 @@ ExprPtr ShiftClone(const ExprPtr& e, int delta) {
   return out;
 }
 
-uint64_t HashKeys(const std::vector<Value>& keys) {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (const Value& v : keys) h = HashCombine(h, v.Hash());
-  return h;
-}
-
-}  // namespace
-
-HashJoinOperator::HashJoinOperator(ExecContext* ctx, OperatorPtr left,
-                                   OperatorPtr right, TableRef::JoinType join_type,
-                                   ExprPtr condition, Schema schema)
-    : Operator(ctx),
-      left_(std::move(left)),
-      right_(std::move(right)),
-      join_type_(join_type),
-      condition_(std::move(condition)),
-      schema_(std::move(schema)) {}
-
-Status HashJoinOperator::Open() {
-  HIVE_RETURN_IF_ERROR(right_->Open());
-  HIVE_RETURN_IF_ERROR(left_->Open());
-  // Split the condition into equi keys and a residual.
-  int left_width = static_cast<int>(left_->schema().num_fields());
+/// Extracts the equi-key pairs and residual conjuncts of a join condition
+/// given the probe side's width. Shared by runtime binding and the
+/// plan-time perfect-hash eligibility check.
+void SplitJoinCondition(const ExprPtr& condition, int left_width,
+                        std::vector<ExprPtr>* left_keys,
+                        std::vector<ExprPtr>* right_keys,
+                        std::vector<ExprPtr>* residual_conjuncts) {
   std::vector<ExprPtr> conjuncts;
-  SplitAnd(condition_, &conjuncts);
-  std::vector<ExprPtr> residual_conjuncts;
+  SplitAnd(condition, &conjuncts);
   for (const ExprPtr& c : conjuncts) {
     if (c->kind == ExprKind::kLiteral) continue;  // TRUE markers
     if (c->kind == ExprKind::kBinary && c->bin_op == BinaryOp::kEq) {
       const ExprPtr& a = c->children[0];
       const ExprPtr& b = c->children[1];
       if (BindingsBelow(a, left_width) && BindingsAtOrAbove(b, left_width)) {
-        left_keys_.push_back(a);
-        right_keys_.push_back(ShiftClone(b, -left_width));
+        left_keys->push_back(a);
+        right_keys->push_back(ShiftClone(b, -left_width));
         continue;
       }
       if (BindingsBelow(b, left_width) && BindingsAtOrAbove(a, left_width)) {
-        left_keys_.push_back(b);
-        right_keys_.push_back(ShiftClone(a, -left_width));
+        left_keys->push_back(b);
+        right_keys->push_back(ShiftClone(a, -left_width));
         continue;
       }
     }
-    residual_conjuncts.push_back(c);
+    residual_conjuncts->push_back(c);
   }
+}
+
+}  // namespace
+
+// --- HashJoinCore ---
+
+HashJoinCore::HashJoinCore(ExecContext* ctx, TableRef::JoinType join_type,
+                           ExprPtr condition, const Schema* out_schema)
+    : ctx_(ctx),
+      join_type_(join_type),
+      condition_(std::move(condition)),
+      out_schema_(out_schema) {}
+
+bool HashJoinCore::PerfectHashEligible(const ExprPtr& condition, int left_width) {
+  std::vector<ExprPtr> left_keys, right_keys, residual;
+  SplitJoinCondition(condition, left_width, &left_keys, &right_keys, &residual);
+  if (left_keys.size() != 1) return false;
+  TypeKind lk = left_keys[0]->type.kind;
+  TypeKind rk = right_keys[0]->type.kind;
+  // Same non-decimal integer kind on both sides: array-index equality then
+  // coincides with Value::Compare (cross-kind integer comparisons do not —
+  // BIGINT 7 never equals DATE 7).
+  if (lk != rk) return false;
+  return lk == TypeKind::kBigint || lk == TypeKind::kDate ||
+         lk == TypeKind::kTimestamp;
+}
+
+Status HashJoinCore::BindCondition(const Schema& left_schema) {
+  left_width_ = left_schema.num_fields();
+  std::vector<ExprPtr> residual_conjuncts;
+  SplitJoinCondition(condition_, static_cast<int>(left_width_), &left_keys_,
+                     &right_keys_, &residual_conjuncts);
   for (const ExprPtr& c : residual_conjuncts) {
     if (!residual_) {
       residual_ = c;
@@ -95,16 +114,47 @@ Status HashJoinOperator::Open() {
       residual_->type = DataType::Boolean();
     }
   }
-  return BuildHashTable();
+  // Typed comparison plan per key pair; anything without a safe fast path
+  // (cross-kind numerics, cross-scale decimals) verifies boxed through
+  // Value::Compare, which is what the hash contract is defined against.
+  key_cmp_.clear();
+  for (size_t k = 0; k < left_keys_.size(); ++k) {
+    const DataType& lt = left_keys_[k]->type;
+    const DataType& rt = right_keys_[k]->type;
+    KeyCmp cmp = KeyCmp::kBoxed;
+    if (lt.kind == rt.kind) {
+      switch (lt.kind) {
+        case TypeKind::kBigint:
+        case TypeKind::kDate:
+        case TypeKind::kTimestamp:
+        case TypeKind::kBoolean:
+          cmp = KeyCmp::kI64;
+          break;
+        case TypeKind::kDecimal:
+          if (lt.scale == rt.scale) cmp = KeyCmp::kI64;
+          break;
+        case TypeKind::kDouble:
+          cmp = KeyCmp::kF64;
+          break;
+        case TypeKind::kString:
+          cmp = KeyCmp::kStr;
+          break;
+        default:
+          break;
+      }
+    }
+    key_cmp_.push_back(cmp);
+  }
+  return Status::OK();
 }
 
-Status HashJoinOperator::BuildHashTable() {
-  build_ = RowBatch(right_->schema());
+Status HashJoinCore::Build(Operator* build_child) {
+  build_ = RowBatch(build_child->schema());
   bool done = false;
   size_t build_rows = 0;
   for (;;) {
-    HIVE_RETURN_IF_ERROR(CheckCancelled());
-    HIVE_ASSIGN_OR_RETURN(RowBatch batch, right_->Next(&done));
+    HIVE_RETURN_IF_ERROR(ctx_->CheckInterrupted());
+    HIVE_ASSIGN_OR_RETURN(RowBatch batch, build_child->Next(&done));
     if (done) break;
     build_rows += batch.SelectedSize();
     for (size_t i = 0; i < batch.SelectedSize(); ++i) {
@@ -117,134 +167,274 @@ Status HashJoinOperator::BuildHashTable() {
   if (static_cast<int64_t>(build_.num_rows()) > ctx_->join_build_row_limit)
     return Status::ExecError("hash join build side exceeded memory limit (" +
                              std::to_string(build_.num_rows()) + " rows)");
-  // Hash the build rows by key.
-  for (size_t r = 0; r < build_.num_rows(); ++r) {
-    std::vector<Value> keys;
-    keys.reserve(right_keys_.size());
-    bool null_key = false;
-    std::vector<Value> row;
-    for (size_t c = 0; c < build_.num_columns(); ++c)
-      row.push_back(build_.column(c)->GetValue(r));
-    for (const ExprPtr& k : right_keys_) {
-      HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &row));
-      if (v.is_null()) null_key = true;
-      keys.push_back(std::move(v));
-    }
-    if (null_key) continue;  // null keys never match in equi joins
-    table_.emplace(HashKeys(keys), static_cast<int32_t>(r));
+  const size_t n = build_.num_rows();
+  matched_ = std::unique_ptr<std::atomic<uint8_t>[]>(new std::atomic<uint8_t>[n]);
+  for (size_t i = 0; i < n; ++i) matched_[i].store(0, std::memory_order_relaxed);
+
+  obs::Counter* metric_perfect = nullptr;
+  if (ctx_->metrics) {
+    ctx_->metrics->counter("exec.join.build_rows")->Add(static_cast<int64_t>(n));
+    metric_perfect = ctx_->metrics->counter("exec.join.perfect_hash");
+    metric_probe_hits_ = ctx_->metrics->counter("exec.join.probe.hits");
+    metric_probe_misses_ = ctx_->metrics->counter("exec.join.probe.misses");
   }
-  right_matched_.assign(build_.num_rows(), 0);
-  built_ = true;
-  HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(build_.ByteSize()));
-  return Status::OK();
+
+  if (!right_keys_.empty()) {
+    // Vectorized key evaluation + column-wise hashing over the dense build
+    // batch: no per-row boxed rows, no per-row key vectors.
+    build_key_cols_.clear();
+    for (const ExprPtr& k : right_keys_) {
+      HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*k, build_));
+      build_key_cols_.push_back(std::move(col));
+    }
+    std::vector<uint64_t> hashes;
+    std::vector<uint8_t> valid;
+    HashKeyColumns(build_key_cols_, n, &hashes, &valid);
+
+    const int64_t ns_per_row = ctx_->config->join_cpu_ns_per_row;
+    bool perfect_built = false;
+    if (perfect_hint_ && ctx_->config->perfect_hash_join_enabled &&
+        right_keys_.size() == 1 && key_cmp_[0] == KeyCmp::kI64 && n > 0) {
+      // Build finalize decides from min/max whether the single integer key
+      // domain is dense enough for an array table; duplicates make TryBuild
+      // bail back to the generic path.
+      const std::vector<int64_t>& keys = build_key_cols_[0]->i64_data();
+      int64_t mn = 0, mx = 0;
+      size_t cnt = 0;
+      for (size_t r = 0; r < n; ++r) {
+        if (!valid[r]) continue;
+        if (cnt == 0 || keys[r] < mn) mn = keys[r];
+        if (cnt == 0 || keys[r] > mx) mx = keys[r];
+        ++cnt;
+      }
+      if (cnt > 0) {
+        uint64_t range = static_cast<uint64_t>(mx) - static_cast<uint64_t>(mn) + 1;
+        // Density rule: the array may be at most 2x the build rows (plus a
+        // small constant for tiny tables), and never outlandishly large.
+        if (range <= 2 * cnt + 1024 && range <= (1u << 22))
+          perfect_built = perfect_.TryBuild(keys, valid, mn, mx);
+      }
+    }
+    if (perfect_built) {
+      if (metric_perfect) metric_perfect->Inc();
+      if (ctx_->clock)
+        ctx_->clock->Charge(static_cast<int64_t>(n) * ns_per_row / 1000);
+    } else {
+      // Partitioned parallel build: partitions share nothing (a hash's top
+      // bits pick its partition), so workers claim partitions from an atomic
+      // counter and insert lock-free. Chain order within a partition depends
+      // only on row order, which every partition walks ascending — the table
+      // is identical at any worker or partition count.
+      bool want_parallel = ctx_->submit_worker != nullptr &&
+                           ctx_->config->parallel_join_enabled &&
+                           ctx_->mode != RuntimeMode::kMapReduce &&
+                           ctx_->max_parallel_workers > 1;
+      int target = want_parallel ? std::min(ctx_->max_parallel_workers, 16) : 1;
+      table_.Init(hashes, valid, target);
+      const int parts = table_.num_partitions();
+      const int workers = want_parallel ? std::min(ctx_->max_parallel_workers, parts) : 1;
+      std::atomic<size_t> next_part{0};
+      std::vector<int64_t> busy_ns(static_cast<size_t>(workers), 0);
+      auto build_loop = [&](int w) -> Status {
+        for (;;) {
+          size_t p = next_part.fetch_add(1, std::memory_order_relaxed);
+          if (p >= static_cast<size_t>(parts)) break;
+          table_.BuildPartition(static_cast<int>(p), hashes, valid);
+          busy_ns[static_cast<size_t>(w)] +=
+              static_cast<int64_t>(table_.num_entries_in(static_cast<int>(p))) *
+              ns_per_row;
+        }
+        return Status::OK();
+      };
+      std::vector<std::future<Status>> futures;
+      for (int w = 1; w < workers; ++w)
+        futures.push_back(ctx_->submit_worker([&build_loop, w] { return build_loop(w); }));
+      Status status = build_loop(0);
+      for (auto& f : futures) {
+        Status s = f.get();
+        if (status.ok() && !s.ok()) status = s;
+      }
+      HIVE_RETURN_IF_ERROR(status);
+      // Like scan CPU, build CPU charges the critical path: the slowest
+      // worker in a parallel build, every insert in a serial one.
+      int64_t critical_ns = 0;
+      for (int64_t b : busy_ns) critical_ns = std::max(critical_ns, b);
+      if (ctx_->clock) ctx_->clock->Charge(critical_ns / 1000);
+    }
+  }
+  return ctx_->OnStageBoundary(build_.ByteSize());
 }
 
-Result<RowBatch> HashJoinOperator::ProbeBatch(const RowBatch& batch, bool* emitted) {
+bool HashJoinCore::KeysEqual(const std::vector<ColumnVectorPtr>& probe_cols,
+                             int32_t probe_row, int32_t build_row) const {
+  for (size_t k = 0; k < key_cmp_.size(); ++k) {
+    const ColumnVector& p = *probe_cols[k];
+    const ColumnVector& b = *build_key_cols_[k];
+    size_t pr = static_cast<size_t>(probe_row), br = static_cast<size_t>(build_row);
+    switch (key_cmp_[k]) {
+      case KeyCmp::kI64:
+        if (p.GetI64(pr) != b.GetI64(br)) return false;
+        break;
+      case KeyCmp::kF64:
+        if (p.GetF64(pr) != b.GetF64(br)) return false;
+        break;
+      case KeyCmp::kStr:
+        if (p.GetStr(pr) != b.GetStr(br)) return false;
+        break;
+      case KeyCmp::kBoxed:
+        if (Value::Compare(p.GetValue(pr), b.GetValue(br)) != 0) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+Result<RowBatch> HashJoinCore::ProbeBatch(const RowBatch& batch, bool* emitted) {
   *emitted = false;
   const bool semi = join_type_ == TableRef::JoinType::kSemi;
   const bool anti = join_type_ == TableRef::JoinType::kAnti;
   const bool left_outer = join_type_ == TableRef::JoinType::kLeft ||
                           join_type_ == TableRef::JoinType::kFull;
-  const bool cross = join_type_ == TableRef::JoinType::kCross;
-  size_t left_width = left_->schema().num_fields();
 
-  RowBatch out(schema_);
+  // Vectorized probe-key evaluation + hashing over the batch's physical
+  // rows (selection applied below, per the vector_eval contract).
+  std::vector<ColumnVectorPtr> probe_cols;
+  std::vector<uint64_t> hashes;
+  std::vector<uint8_t> valid;
+  if (!left_keys_.empty()) {
+    for (const ExprPtr& k : left_keys_) {
+      HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*k, batch));
+      probe_cols.push_back(std::move(col));
+    }
+    HashKeyColumns(probe_cols, batch.num_rows(), &hashes, &valid);
+  }
+
+  RowBatch out(*out_schema_);
   size_t out_rows = 0;
-  auto emit = [&](const std::vector<Value>& left_row, int32_t right_row) {
+  auto emit = [&](int32_t left_row, int32_t right_row) {
     ++out_rows;
-    for (size_t c = 0; c < left_width; ++c)
-      out.column(c)->AppendValue(left_row[c]);
+    for (size_t c = 0; c < left_width_; ++c)
+      out.column(c)->AppendFrom(*batch.column(c), static_cast<size_t>(left_row));
     if (semi || anti) return;
     for (size_t c = 0; c < build_.num_columns(); ++c) {
       if (right_row < 0) {
-        out.column(left_width + c)->AppendNull();
+        out.column(left_width_ + c)->AppendNull();
       } else {
-        out.column(left_width + c)->AppendFrom(*build_.column(c), right_row);
+        out.column(left_width_ + c)
+            ->AppendFrom(*build_.column(c), static_cast<size_t>(right_row));
       }
     }
   };
 
+  int64_t hits = 0, misses = 0;
+  std::vector<int32_t> candidates;
+  std::vector<Value> left_row_boxed;  // only materialized for residuals
   for (size_t i = 0; i < batch.SelectedSize(); ++i) {
     int32_t src = batch.SelectedRow(i);
-    std::vector<Value> left_row;
-    left_row.reserve(left_width);
-    for (size_t c = 0; c < batch.num_columns(); ++c)
-      left_row.push_back(batch.column(c)->GetValue(src));
-
-    // Candidate right rows.
-    std::vector<int32_t> candidates;
-    bool null_key = false;
-    if (!left_keys_.empty()) {
-      std::vector<Value> keys;
-      for (const ExprPtr& k : left_keys_) {
-        HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &left_row));
-        if (v.is_null()) null_key = true;
-        keys.push_back(std::move(v));
-      }
-      if (!null_key) {
-        auto range = table_.equal_range(HashKeys(keys));
-        for (auto it = range.first; it != range.second; ++it) {
-          // Verify exact key equality (hash collisions).
-          bool equal = true;
-          std::vector<Value> right_row;
-          for (size_t c = 0; c < build_.num_columns(); ++c)
-            right_row.push_back(build_.column(c)->GetValue(it->second));
-          for (size_t k = 0; k < right_keys_.size() && equal; ++k) {
-            HIVE_ASSIGN_OR_RETURN(Value rv, EvalExpr(*right_keys_[k], &right_row));
-            if (rv.is_null() || Value::Compare(keys[k], rv) != 0) equal = false;
-          }
-          if (equal) candidates.push_back(it->second);
-        }
-      }
-    } else if (!cross || build_.num_rows() > 0) {
-      // No equi keys: every build row is a candidate (nested loop).
+    candidates.clear();
+    if (left_keys_.empty()) {
+      // No equi keys: every build row is a candidate (nested loop / cross).
       candidates.reserve(build_.num_rows());
       for (size_t r = 0; r < build_.num_rows(); ++r)
         candidates.push_back(static_cast<int32_t>(r));
+    } else if (valid[static_cast<size_t>(src)]) {  // null keys never match
+      if (perfect_.engaged()) {
+        int32_t r = perfect_.Lookup(probe_cols[0]->GetI64(static_cast<size_t>(src)));
+        if (r >= 0) candidates.push_back(r);
+      } else {
+        for (FlatJoinTable::Iterator it =
+                 table_.Probe(hashes[static_cast<size_t>(src)]);
+             it.valid(); it.Advance()) {
+          // Chains filter by exact hash; verify keys (hash collisions).
+          if (KeysEqual(probe_cols, src, it.row())) candidates.push_back(it.row());
+        }
+        // Chains are newest-first; emit matches in build-row order.
+        std::reverse(candidates.begin(), candidates.end());
+      }
     }
 
     bool matched = false;
     for (int32_t r : candidates) {
       if (residual_) {
-        // Evaluate residual over concat(left, right).
-        std::vector<Value> combined = left_row;
+        // Evaluate residual over concat(left, right), boxed (rare path).
+        left_row_boxed.clear();
+        for (size_t c = 0; c < left_width_; ++c)
+          left_row_boxed.push_back(
+              batch.column(c)->GetValue(static_cast<size_t>(src)));
         for (size_t c = 0; c < build_.num_columns(); ++c)
-          combined.push_back(build_.column(c)->GetValue(r));
-        HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*residual_, &combined));
+          left_row_boxed.push_back(build_.column(c)->GetValue(static_cast<size_t>(r)));
+        HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*residual_, &left_row_boxed));
         if (!IsTrue(v)) continue;
       }
       matched = true;
-      if (static_cast<size_t>(r) < right_matched_.size()) right_matched_[r] = 1;
-      if (semi) break;
-      if (anti) break;
-      emit(left_row, r);
+      matched_[static_cast<size_t>(r)].store(1, std::memory_order_relaxed);
+      if (semi || anti) break;
+      emit(src, r);
     }
-    if (semi && matched) emit(left_row, -1);
-    if (anti && !matched) emit(left_row, -1);
-    if (left_outer && !matched) emit(left_row, -1);
+    if (matched) ++hits; else ++misses;
+    if (semi && matched) emit(src, -1);
+    if (anti && !matched) emit(src, -1);
+    if (left_outer && !matched) emit(src, -1);
   }
+  probe_hits_.fetch_add(hits, std::memory_order_relaxed);
+  probe_misses_.fetch_add(misses, std::memory_order_relaxed);
+  if (metric_probe_hits_) metric_probe_hits_->Add(hits);
+  if (metric_probe_misses_) metric_probe_misses_->Add(misses);
   out.set_num_rows(out_rows);
-  if (out.num_rows() > 0) {
-    *emitted = true;
-    rows_produced_ += static_cast<int64_t>(out.num_rows());
-  }
+  if (out.num_rows() > 0) *emitted = true;
   return out;
 }
 
-Result<RowBatch> HashJoinOperator::EmitUnmatchedRight() {
-  RowBatch out(schema_);
-  size_t left_width = left_->schema().num_fields();
+Result<RowBatch> HashJoinCore::EmitUnmatchedRight() {
+  RowBatch out(*out_schema_);
   size_t out_rows = 0;
   for (size_t r = 0; r < build_.num_rows(); ++r) {
-    if (right_matched_[r]) continue;
+    if (matched_[r].load(std::memory_order_relaxed)) continue;
     ++out_rows;
-    for (size_t c = 0; c < left_width; ++c) out.column(c)->AppendNull();
+    for (size_t c = 0; c < left_width_; ++c) out.column(c)->AppendNull();
     for (size_t c = 0; c < build_.num_columns(); ++c)
-      out.column(left_width + c)->AppendFrom(*build_.column(c), r);
+      out.column(left_width_ + c)->AppendFrom(*build_.column(c), r);
   }
   out.set_num_rows(out_rows);
-  rows_produced_ += static_cast<int64_t>(out.num_rows());
   return out;
+}
+
+void HashJoinCore::AnnotateProfile() {
+  if (!profile_node_) return;
+  std::string& d = profile_node_->detail;
+  if (!d.empty()) d += ", ";
+  d += "build_rows=" + std::to_string(build_.num_rows());
+  if (perfect_.engaged()) {
+    d += " perfect_hash range=" + std::to_string(perfect_.range());
+  } else if (table_.num_slots() > 0) {
+    char load[32];
+    std::snprintf(load, sizeof load, "%.2f", table_.load_factor());
+    d += " slots=" + std::to_string(table_.num_slots()) + " load=" + load;
+  }
+  d += " probe_hits=" + std::to_string(probe_hits_.load(std::memory_order_relaxed)) +
+       " probe_misses=" +
+       std::to_string(probe_misses_.load(std::memory_order_relaxed));
+}
+
+// --- HashJoinOperator ---
+
+HashJoinOperator::HashJoinOperator(ExecContext* ctx, OperatorPtr left,
+                                   OperatorPtr right, TableRef::JoinType join_type,
+                                   ExprPtr condition, Schema schema)
+    : Operator(ctx),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      schema_(std::move(schema)),
+      core_(ctx, join_type, std::move(condition), &schema_),
+      is_full_join_(join_type == TableRef::JoinType::kFull) {}
+
+Status HashJoinOperator::Open() {
+  HIVE_RETURN_IF_ERROR(right_->Open());
+  HIVE_RETURN_IF_ERROR(core_.BindCondition(left_->schema()));
+  HIVE_RETURN_IF_ERROR(core_.Build(right_.get()));
+  // The probe subtree opens only once the build side finalized: a build
+  // error or deadline kill returns above without ever touching it.
+  return left_->Open();
 }
 
 Result<RowBatch> HashJoinOperator::Next(bool* done) {
@@ -259,14 +449,25 @@ Result<RowBatch> HashJoinOperator::Next(bool* done) {
         continue;
       }
       bool emitted = false;
-      HIVE_ASSIGN_OR_RETURN(RowBatch out, ProbeBatch(batch, &emitted));
-      if (emitted) return out;
+      HIVE_ASSIGN_OR_RETURN(RowBatch out, core_.ProbeBatch(batch, &emitted));
+      // Serial probe charges modeled CPU for every probed row (a parallel
+      // probe charges only its slowest worker).
+      if (ctx_->clock)
+        ctx_->clock->Charge(static_cast<int64_t>(batch.SelectedSize()) *
+                            core_.probe_ns_per_row() / 1000);
+      if (emitted) {
+        rows_produced_ += static_cast<int64_t>(out.num_rows());
+        return out;
+      }
       continue;
     }
-    if (join_type_ == TableRef::JoinType::kFull && !emitted_unmatched_) {
+    if (is_full_join_ && !emitted_unmatched_) {
       emitted_unmatched_ = true;
-      HIVE_ASSIGN_OR_RETURN(RowBatch out, EmitUnmatchedRight());
-      if (out.num_rows() > 0) return out;
+      HIVE_ASSIGN_OR_RETURN(RowBatch out, core_.EmitUnmatchedRight());
+      if (out.num_rows() > 0) {
+        rows_produced_ += static_cast<int64_t>(out.num_rows());
+        return out;
+      }
     }
     *done = true;
     return RowBatch();
@@ -274,6 +475,7 @@ Result<RowBatch> HashJoinOperator::Next(bool* done) {
 }
 
 Status HashJoinOperator::Close() {
+  core_.AnnotateProfile();
   HIVE_RETURN_IF_ERROR(left_->Close());
   return right_->Close();
 }

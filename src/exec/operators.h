@@ -7,8 +7,10 @@
 #include <memory>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash_table.h"
 #include "exec/operator.h"
 #include "optimizer/rel.h"
 
@@ -140,10 +142,106 @@ class ProjectOperator : public Operator {
   Schema schema_;
 };
 
+/// Shared core of the hash-join operators (the serial HashJoinOperator and
+/// the morsel-parallel ParallelHashJoinOperator): equi-key extraction, the
+/// materialized build side, the flat open-addressing join table — built
+/// hash-partitioned across the LLAP executor pool — the perfect-hash array
+/// for dense single-integer build domains, and batch-at-a-time probing.
+///
+/// Key columns evaluate vectorized (EvalVector) and hash column-wise
+/// (HashKeyColumns); candidate verification compares evaluated key columns
+/// directly, so the per-row boxed std::vector<Value> of the old path never
+/// materializes. After Build(), ProbeBatch is safe to call concurrently:
+/// the only shared writes are relaxed match-flag stores and metric shards.
+class HashJoinCore {
+ public:
+  HashJoinCore(ExecContext* ctx, TableRef::JoinType join_type, ExprPtr condition,
+               const Schema* out_schema);
+
+  /// Plan-time perfect-hash eligibility: the condition reduces to exactly
+  /// one equi-key conjunct whose two sides are the same non-decimal
+  /// integer-backed kind. The runtime still requires a dense duplicate-free
+  /// build domain before engaging (checked at build finalize).
+  static bool PerfectHashEligible(const ExprPtr& condition, int left_width);
+
+  /// Splits the condition into equi-key pairs and a residual given the
+  /// probe (left) side's schema. Call once, before Build.
+  Status BindCondition(const Schema& left_schema);
+
+  /// Drains the (already open) build child and finalizes the hash table:
+  /// vectorized key evaluation, column-wise hashing, then a partitioned
+  /// parallel flat-table build (or the perfect-hash array when the hint is
+  /// set and the key domain turns out dense and duplicate-free).
+  Status Build(Operator* build_child);
+
+  /// Joins one probe batch against the finalized table. Sets *emitted when
+  /// the output batch is non-empty. Thread-safe after Build.
+  Result<RowBatch> ProbeBatch(const RowBatch& batch, bool* emitted);
+
+  /// FULL OUTER tail: null-extended build rows no probe row matched. Call
+  /// after all ProbeBatch calls have completed.
+  Result<RowBatch> EmitUnmatchedRight();
+
+  size_t build_rows() const { return build_.num_rows(); }
+  bool perfect_hash_engaged() const { return perfect_.engaged(); }
+  /// Modeled probe CPU per row. A perfect-hash probe is one bounds check
+  /// and an array load — half the modeled cost of the generic hash + chain
+  /// walk. Callers charge this per probed row (serial: every batch;
+  /// parallel: max over workers).
+  int64_t probe_ns_per_row() const {
+    const int64_t ns = ctx_->config->join_cpu_ns_per_row;
+    return perfect_.engaged() ? (ns + 1) / 2 : ns;
+  }
+  void set_perfect_hash_hint(bool v) { perfect_hint_ = v; }
+  /// EXPLAIN ANALYZE surface: build/probe table statistics append to this
+  /// node's detail (AnnotateProfile, called by the owning operator's Close).
+  void set_profile_node(obs::OperatorProfileNode* node) { profile_node_ = node; }
+  void AnnotateProfile();
+
+ private:
+  enum class KeyCmp : uint8_t { kI64, kF64, kStr, kBoxed };
+
+  /// Equality of one probe-row key against one build-row key, using the
+  /// typed fast path the key kinds allow.
+  bool KeysEqual(const std::vector<ColumnVectorPtr>& probe_cols, int32_t probe_row,
+                 int32_t build_row) const;
+
+  ExecContext* ctx_;
+  TableRef::JoinType join_type_;
+  ExprPtr condition_;
+  const Schema* out_schema_;
+  size_t left_width_ = 0;
+
+  // Extracted equi-key expressions (left-side expr, right-side expr with
+  // right-local bindings) and their typed comparison plan.
+  std::vector<ExprPtr> left_keys_, right_keys_;
+  std::vector<KeyCmp> key_cmp_;
+  ExprPtr residual_;  // over concat(left, right)
+
+  RowBatch build_;  // densely materialized right side
+  std::vector<ColumnVectorPtr> build_key_cols_;  // evaluated over build_
+  FlatJoinTable table_;
+  PerfectHashTable perfect_;
+  bool perfect_hint_ = false;
+  /// Per-build-row matched flags (FULL OUTER bookkeeping). Atomic bytes:
+  /// concurrent probe workers may flag the same build row; stores of 1 are
+  /// idempotent and relaxed.
+  std::unique_ptr<std::atomic<uint8_t>[]> matched_;
+
+  // Probe statistics for EXPLAIN ANALYZE / metrics (relaxed accumulation).
+  std::atomic<int64_t> probe_hits_{0};
+  std::atomic<int64_t> probe_misses_{0};
+  obs::Counter* metric_probe_hits_ = nullptr;
+  obs::Counter* metric_probe_misses_ = nullptr;
+  obs::OperatorProfileNode* profile_node_ = nullptr;
+};
+
 /// Hash join supporting inner/left/full/semi/anti (+cross). Right joins are
 /// normalized to left joins by the compiler. Builds on the right input,
 /// probes with the left; equi-keys are extracted from the condition and the
-/// rest evaluates as a residual predicate per candidate pair.
+/// rest evaluates as a residual predicate per candidate pair. The probe
+/// (left) child opens lazily — only after the build side finalized — so
+/// build-side errors and deadline kills never touch the probe subtree.
 class HashJoinOperator : public Operator {
  public:
   HashJoinOperator(ExecContext* ctx, OperatorPtr left, OperatorPtr right,
@@ -153,28 +251,16 @@ class HashJoinOperator : public Operator {
   Status Close() override;
   const Schema& schema() const override { return schema_; }
 
- private:
-  Status BuildHashTable();
-  Result<RowBatch> ProbeBatch(const RowBatch& batch, bool* emitted);
-  Result<RowBatch> EmitUnmatchedRight();
+  HashJoinCore* core() { return &core_; }
 
+ private:
   OperatorPtr left_;
   OperatorPtr right_;
-  TableRef::JoinType join_type_;
-  ExprPtr condition_;
   Schema schema_;
-
-  // Extracted equi-key expressions (left-side expr, right-side expr with
-  // right-local bindings).
-  std::vector<ExprPtr> left_keys_, right_keys_;
-  ExprPtr residual_;  // over concat(left, right)
-
-  RowBatch build_;                 // densely materialized right side
-  std::unordered_multimap<uint64_t, int32_t> table_;
-  std::vector<uint8_t> right_matched_;
-  bool built_ = false;
+  HashJoinCore core_;
   bool exhausted_left_ = false;
   bool emitted_unmatched_ = false;
+  bool is_full_join_;
 };
 
 /// Mergeable grouped-aggregation state: the hash table of one aggregation
@@ -202,8 +288,10 @@ class GroupedAggState {
   void Seal();
 
   size_t num_groups() const { return ordered_.size(); }
-  /// Rough memory footprint used for stage-boundary accounting.
-  uint64_t approx_bytes() const { return 64 * groups_created_; }
+  /// Memory footprint for stage-boundary accounting: hash index + dense
+  /// group array + per-group key bytes and accumulator payloads (including
+  /// DISTINCT sets), tallied as groups grow and values accumulate.
+  uint64_t approx_bytes() const;
 
   /// Emits groups [begin, end) as a batch over `schema` (keys then aggs).
   Result<RowBatch> Emit(size_t begin, size_t end, const Schema& schema) const;
@@ -215,24 +303,48 @@ class GroupedAggState {
     int64_t sum_i64 = 0;
     double sum_f64 = 0;
     Value min, max;
-    std::set<Value> distinct;
+    /// DISTINCT values, hashed on Value::Hash. Iteration order is
+    /// nondeterministic, so order-sensitive finalizes (SUM over doubles)
+    /// sort via Value::Compare first.
+    std::unordered_set<Value, ValueHasher> distinct;
   };
   struct Group {
     std::vector<Value> keys;
     std::vector<Accumulator> accs;
     uint64_t first_seq = 0;
+    uint64_t hash = 0;  // combined key hash (Merge re-indexes without reboxing)
   };
 
-  Group* FindOrCreate(uint64_t hash, std::vector<Value>&& keys, uint64_t seq,
-                      bool* created);
-  static void MergeAccumulator(Accumulator* into, Accumulator&& from);
+  /// Returns the dense ordinal of the group for `hash`/`keys`, creating it
+  /// (consuming `keys`) when unseen. `seq` stamps a new group's first_seq.
+  /// Merge-side path; Consume looks up against key columns directly.
+  uint32_t FindOrCreate(uint64_t hash, std::vector<Value>&& keys, uint64_t seq,
+                        bool* created);
+  /// Appends a new group and indexes it; returns its ordinal.
+  uint32_t CreateGroup(uint64_t hash, std::vector<Value>&& keys, uint64_t seq);
+  /// Key equality of a stored group against one physical row of evaluated
+  /// key columns (hash-chain verification without boxing the row).
+  bool GroupMatchesRow(const Group& g, const std::vector<ColumnVectorPtr>& key_cols,
+                       int32_t row) const;
+  void MergeAccumulator(Accumulator* into, Accumulator&& from);
   Value Finalize(const AggCall& agg, const Accumulator& acc) const;
+  /// Incremental footprint bookkeeping for one boxed value entering the
+  /// state (group key or DISTINCT element).
+  static uint64_t ValueBytes(const Value& v);
+  /// Full payload footprint of one group (keys + accumulators + DISTINCT
+  /// contents); used when Merge adopts a group wholesale.
+  static uint64_t GroupPayloadBytes(const Group& g);
 
   const std::vector<ExprPtr>* keys_;
   const std::vector<AggCall>* aggs_;
-  std::unordered_map<uint64_t, std::vector<Group>> groups_;
-  std::vector<const Group*> ordered_;
-  uint64_t groups_created_ = 0;
+  /// Dense group storage + flat open-addressing index over group-key hashes
+  /// (payload = ordinal into groups_). Hash collisions chain in the index
+  /// and resolve by key comparison.
+  std::vector<Group> groups_;
+  FlatHashIndex index_;
+  std::vector<uint32_t> ordered_;  // Seal(): ordinals sorted by first_seq
+  /// Running payload footprint (keys + distinct values) feeding approx_bytes.
+  uint64_t payload_bytes_ = 0;
 };
 
 /// Hash aggregation with optional DISTINCT aggregates; grouping-set

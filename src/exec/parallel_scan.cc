@@ -270,6 +270,87 @@ Result<RowBatch> ParallelScanOperator::Next(bool* done) {
   return out;
 }
 
+// --- ParallelHashJoinOperator ---
+
+ParallelHashJoinOperator::ParallelHashJoinOperator(
+    ExecContext* ctx, ParallelPipelineSpec probe_spec, OperatorPtr build,
+    TableRef::JoinType join_type, ExprPtr condition, Schema schema)
+    : Operator(ctx),
+      driver_(ctx, ParallelPipelineSpec(probe_spec)),
+      build_(std::move(build)),
+      probe_schema_(probe_spec.stages.empty() ? probe_spec.scan->schema
+                                              : probe_spec.stages.back()->schema),
+      schema_(std::move(schema)),
+      core_(ctx, join_type, std::move(condition), &schema_),
+      is_full_join_(join_type == TableRef::JoinType::kFull) {}
+
+Status ParallelHashJoinOperator::Open() {
+  HIVE_RETURN_IF_ERROR(build_->Open());
+  HIVE_RETURN_IF_ERROR(core_.BindCondition(probe_schema_));
+  HIVE_RETURN_IF_ERROR(core_.Build(build_.get()));
+  // Probe pipeline opens (reducers, morsel enumeration) only after the
+  // build finalized — build errors never touch the probe subtree.
+  return driver_.Open();
+}
+
+Status ParallelHashJoinOperator::RunPipeline() {
+  ran_ = true;
+  results_.resize(driver_.num_morsels());
+  present_.assign(driver_.num_morsels(), 0);
+  int workers = driver_.DecideWorkers();
+  probe_busy_ns_.assign(static_cast<size_t>(workers), 0);
+  HIVE_RETURN_IF_ERROR(driver_.Run(
+      workers, [this](int worker, size_t morsel, RowBatch&& batch) -> Status {
+        bool emitted = false;
+        Result<RowBatch> out = core_.ProbeBatch(batch, &emitted);
+        if (!out.ok()) return out.status();
+        probe_busy_ns_[static_cast<size_t>(worker)] +=
+            static_cast<int64_t>(batch.SelectedSize()) *
+            core_.probe_ns_per_row();
+        if (emitted) {
+          // Disjoint morsel slots: ordered gather without locks.
+          results_[morsel] = std::move(*out);
+          present_[morsel] = 1;
+        }
+        return Status::OK();
+      }));
+  // Probe CPU pays the critical path — the slowest worker — like scan CPU.
+  int64_t critical_ns = 0;
+  for (int64_t ns : probe_busy_ns_) critical_ns = std::max(critical_ns, ns);
+  if (ctx_->clock) ctx_->clock->Charge(critical_ns / 1000);
+  return Status::OK();
+}
+
+Result<RowBatch> ParallelHashJoinOperator::Next(bool* done) {
+  if (!ran_) HIVE_RETURN_IF_ERROR(RunPipeline());
+  while (emit_ < results_.size() && !present_[emit_]) ++emit_;
+  if (emit_ < results_.size()) {
+    *done = false;
+    RowBatch out = std::move(results_[emit_]);
+    present_[emit_] = 0;
+    ++emit_;
+    rows_produced_ += static_cast<int64_t>(out.num_rows());
+    return out;
+  }
+  if (is_full_join_ && !emitted_unmatched_) {
+    emitted_unmatched_ = true;
+    HIVE_ASSIGN_OR_RETURN(RowBatch out, core_.EmitUnmatchedRight());
+    if (out.num_rows() > 0) {
+      *done = false;
+      rows_produced_ += static_cast<int64_t>(out.num_rows());
+      return out;
+    }
+  }
+  *done = true;
+  return RowBatch();
+}
+
+Status ParallelHashJoinOperator::Close() {
+  core_.AnnotateProfile();
+  HIVE_RETURN_IF_ERROR(driver_.Close());
+  return build_->Close();
+}
+
 // --- ParallelAggregateOperator ---
 
 ParallelAggregateOperator::ParallelAggregateOperator(

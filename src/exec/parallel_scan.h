@@ -118,6 +118,46 @@ class ParallelScanOperator : public Operator {
   size_t emit_ = 0;
 };
 
+/// Morsel-parallel hash join: the build (right) side compiles to a regular
+/// operator subtree and finalizes first — partitioned across the executor
+/// pool inside HashJoinCore::Build — then the probe (left) side runs as a
+/// parallel leaf pipeline whose workers probe the shared read-only table
+/// concurrently. Output batches land in per-morsel slots and emit in morsel
+/// order (ordered gather), so results are byte-identical to the serial
+/// HashJoinOperator at any worker count. The probe subtree opens only after
+/// the build finalized, same lazy-open contract as the serial operator.
+class ParallelHashJoinOperator : public Operator {
+ public:
+  ParallelHashJoinOperator(ExecContext* ctx, ParallelPipelineSpec probe_spec,
+                           OperatorPtr build, TableRef::JoinType join_type,
+                           ExprPtr condition, Schema schema);
+
+  Status Open() override;
+  Result<RowBatch> Next(bool* done) override;
+  Status Close() override;
+  const Schema& schema() const override { return schema_; }
+
+  HashJoinCore* core() { return &core_; }
+
+ private:
+  Status RunPipeline();
+
+  MorselDriver driver_;
+  OperatorPtr build_;
+  Schema probe_schema_;
+  Schema schema_;
+  HashJoinCore core_;
+  bool is_full_join_;
+  std::vector<RowBatch> results_;  // slot per morsel (ordered gather)
+  std::vector<uint8_t> present_;
+  /// Modeled probe CPU per worker; RunPipeline charges the maximum (the
+  /// critical path), mirroring MorselDriver's scan-CPU accounting.
+  std::vector<int64_t> probe_busy_ns_;
+  bool ran_ = false;
+  bool emitted_unmatched_ = false;
+  size_t emit_ = 0;
+};
+
 /// Partial aggregation over a parallel scan pipeline: each worker folds its
 /// morsels into a private GroupedAggState keyed by (morsel << 24 | row)
 /// sequence numbers; the coordinator merges the partials and emits groups in

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "optimizer/expr_eval.h"
 
 namespace hive {
@@ -272,6 +273,85 @@ Result<ColumnVectorPtr> EvalVector(const Expr& e, const RowBatch& batch) {
     }
     default:
       return RowWiseEval(e, batch);
+  }
+}
+
+namespace {
+
+constexpr uint64_t kNullHash = 0x9e3779b97f4a7c15ULL;  // Value::Hash() of NULL
+
+/// One column's contribution, folded into the running combined hashes. Each
+/// kind mirrors the corresponding Value::Hash() case exactly.
+void FoldColumnHash(const ColumnVector& col, size_t n, std::vector<uint64_t>* hashes) {
+  const auto& valid = col.validity();
+  auto fold = [&](size_t i, uint64_t h) {
+    (*hashes)[i] = HashCombine((*hashes)[i], h);
+  };
+  switch (col.type().kind) {
+    case TypeKind::kString: {
+      const auto& data = col.str_data();
+      for (size_t i = 0; i < n; ++i)
+        fold(i, valid[i] ? Murmur64(data[i].data(), data[i].size(), 0x5eed)
+                         : kNullHash);
+      break;
+    }
+    case TypeKind::kDouble: {
+      const auto& data = col.f64_data();
+      for (size_t i = 0; i < n; ++i) {
+        if (!valid[i]) {
+          fold(i, kNullHash);
+          continue;
+        }
+        // Integral doubles hash equal with bigints (Value::Hash contract).
+        double d = data[i];
+        int64_t asint = static_cast<int64_t>(d);
+        if (static_cast<double>(asint) == d) {
+          fold(i, Murmur64(&asint, sizeof asint, 0x5eed));
+        } else {
+          fold(i, Murmur64(&d, sizeof d, 0x5eed));
+        }
+      }
+      break;
+    }
+    case TypeKind::kDecimal: {
+      const auto& data = col.i64_data();
+      int64_t pow = Pow10(col.type().scale);
+      for (size_t i = 0; i < n; ++i) {
+        if (!valid[i]) {
+          fold(i, kNullHash);
+          continue;
+        }
+        if (data[i] % pow == 0) {
+          int64_t whole = data[i] / pow;
+          fold(i, Murmur64(&whole, sizeof whole, 0x5eed));
+        } else {
+          double d = static_cast<double>(data[i]) / static_cast<double>(pow);
+          fold(i, Murmur64(&d, sizeof d, 0x5eed));
+        }
+      }
+      break;
+    }
+    default: {  // bigint / date / timestamp / boolean share the i64 buffer
+      const auto& data = col.i64_data();
+      for (size_t i = 0; i < n; ++i)
+        fold(i, valid[i] ? Murmur64(&data[i], sizeof data[i], 0x5eed) : kNullHash);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void HashKeyColumns(const std::vector<ColumnVectorPtr>& key_cols, size_t num_rows,
+                    std::vector<uint64_t>* hashes, std::vector<uint8_t>* all_valid) {
+  hashes->assign(num_rows, kNullHash);
+  if (all_valid) all_valid->assign(num_rows, 1);
+  for (const ColumnVectorPtr& col : key_cols) {
+    FoldColumnHash(*col, num_rows, hashes);
+    if (all_valid) {
+      const auto& valid = col->validity();
+      for (size_t i = 0; i < num_rows; ++i) (*all_valid)[i] &= valid[i];
+    }
   }
 }
 

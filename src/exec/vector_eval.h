@@ -20,6 +20,19 @@ Result<ColumnVectorPtr> EvalVector(const Expr& e, const RowBatch& batch);
 Result<std::vector<int32_t>> FilterSelection(const Expr& predicate,
                                              const RowBatch& batch);
 
+/// Column-wise key hashing for the join/aggregation hot path: hashes every
+/// *physical* row of the evaluated key columns in one pass per column,
+/// replacing the per-row boxed std::vector<Value> + Value::Hash() loop. The
+/// output is bit-identical to folding Value::Hash() of each key into
+/// HashCombine seeded with 0x9e3779b97f4a7c15 (the HashKeys discipline), so
+/// flat tables built from either path agree.
+///
+/// `all_valid` (optional) gets 1 for rows where every key column is
+/// non-null — equi-join keys with any NULL never match and are skipped by
+/// the build/probe, while GROUP BY keeps NULL groups and ignores it.
+void HashKeyColumns(const std::vector<ColumnVectorPtr>& key_cols, size_t num_rows,
+                    std::vector<uint64_t>* hashes, std::vector<uint8_t>* all_valid);
+
 }  // namespace hive
 
 #endif  // HIVE_EXEC_VECTOR_EVAL_H_
