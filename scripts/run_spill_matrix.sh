@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the spill matrix: the budget ladder (unlimited / 1/4x / 1/16x of the
+# working set) across 1 and 8 executors, asserting every join/agg/sort query
+# stays byte-identical to the unlimited in-memory baseline, plus the same
+# ladder under injected spill-file faults (transient read errors, silent
+# corruption caught by spill checksums) and the low-memory 8-seed
+# fault-injection sweep where the whole TPC-DS set runs under a 96 KiB query
+# budget and must still match the fault-free baseline.
+#
+# Usage: scripts/run_spill_matrix.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+
+echo "== spill unit + stream format tests"
+"$BUILD_DIR/tests/spill_test" \
+  --gtest_filter='MemoryGovernorTest.*:QueryMemoryTest.*:MemoryReservationTest.*:SpillStreamTest.*:SpillPartitionTest.*'
+
+echo "== budget ladder (unlimited / 1/4x / 1/16x, 1 and 8 executors)"
+"$BUILD_DIR/tests/spill_test" \
+  --gtest_filter='SpillEndToEndTest.*' \
+  --gtest_repeat=2
+
+echo "== low-memory fault matrix (8 seeds, 96 KiB query budget)"
+"$BUILD_DIR/tests/fault_injection_test" \
+  --gtest_filter='FaultInjectionTest.LowMemorySeedMatrixSpillsAndStaysByteIdentical'
+
+echo "== spill matrix OK"

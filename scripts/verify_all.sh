@@ -6,7 +6,10 @@
 #                             and hivelint over src/
 #   2. TSan                 — data races on the concurrency-sensitive suites
 #   3. ASan + UBSan         — heap misuse, leaks, undefined behavior
-#   4. join bench           — morsel-parallel join scaling (BENCH_join.json)
+#   4. spill matrix         — budget ladder byte-identity + low-memory
+#                             fault sweep (scripts/run_spill_matrix.sh)
+#   5. join + spill benches — morsel-parallel join scaling (BENCH_join.json)
+#                             and spill degradation (BENCH_spill.json)
 #
 # (Under a Clang toolchain, step 1's build also runs the -Wthread-safety
 # static analysis against the annotations in common/sync.h.)
@@ -16,19 +19,24 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==== [1/4] build + ctest (includes hivelint) ===="
+echo "==== [1/5] build + ctest (includes hivelint) ===="
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==== [2/4] ThreadSanitizer ===="
+echo "==== [2/5] ThreadSanitizer ===="
 scripts/run_tsan.sh
 
-echo "==== [3/4] ASan + UBSan ===="
+echo "==== [3/5] ASan + UBSan ===="
 scripts/run_asan_ubsan.sh
 
-echo "==== [4/4] join scaling bench ===="
+echo "==== [4/5] spill matrix ===="
+scripts/run_spill_matrix.sh
+
+echo "==== [5/5] join + spill benches ===="
 build/bench/bench_join
 test -s BENCH_join.json
+build/bench/bench_spill
+test -s BENCH_spill.json
 
 echo "==== verify_all: all rungs passed ===="

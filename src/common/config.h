@@ -55,6 +55,31 @@ class Config {
   /// execution error, the trigger for query re-optimization (Section 4.2).
   int64_t join_build_row_limit = INT64_MAX;
 
+  // --- memory governance & spill ---
+  /// "exec.memory.limit.bytes": process-wide byte budget blocking operators
+  /// (hash-join build, aggregation state, sort buffers) draw reservations
+  /// from. <= 0 disables the process cap.
+  int64_t exec_memory_limit_bytes = 0;
+  /// "query.memory.limit.bytes": one query's share of the process budget,
+  /// checked before the governor. <= 0 means bounded only by the process
+  /// cap.
+  int64_t query_memory_limit_bytes = 0;
+  /// "exec.spill.enabled": a denied reservation makes the operator spill
+  /// through hive::fs (grace hash join, external merge sort, agg partition
+  /// flush). When false the query instead fails with a budget-exceeded
+  /// ResourceExhausted status.
+  bool spill_enabled = true;
+  /// Root directory for spill files; each query gets a unique subdirectory,
+  /// deleted when the query finishes.
+  std::string spill_dir = "/tmp/spill";
+  /// Hash-prefix fan-out of one spill pass: grace-join partition pairs, agg
+  /// flush partitions, and the external-sort merge fan-in.
+  int spill_partitions = 8;
+  /// Grace-join recursion bound: a build partition still over budget after
+  /// this many repartition passes (duplicate-heavy keys cannot split
+  /// further) is joined in memory best-effort instead of failing.
+  int spill_max_recursion = 4;
+
   // --- fault tolerance (task retries, speculation, deadlines) ---
   /// "task.max.attempts": attempts for a task whose failure is transient —
   /// a morsel read inside the parallel scan, or a whole query fragment

@@ -1,0 +1,79 @@
+#include "common/memory_governor.h"
+
+#include <algorithm>
+
+namespace hive {
+
+bool MemoryGovernor::TryReserve(int64_t bytes) {
+  if (bytes <= 0) return true;
+  const int64_t limit = limit_.load(std::memory_order_relaxed);
+  if (limit <= 0) {
+    reserved_.fetch_add(bytes, std::memory_order_relaxed);
+    return true;
+  }
+  int64_t cur = reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur + bytes > limit) {
+      denied_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (reserved_.compare_exchange_weak(cur, cur + bytes,
+                                        std::memory_order_relaxed))
+      return true;
+  }
+}
+
+void MemoryGovernor::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+QueryMemory::~QueryMemory() {
+  int64_t leftover = used_.exchange(0, std::memory_order_relaxed);
+  if (governor_ && leftover > 0) governor_->Release(leftover);
+}
+
+bool QueryMemory::TryGrow(int64_t bytes) {
+  if (bytes <= 0) return true;
+  if (query_limit_ > 0) {
+    int64_t cur = used_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur + bytes > query_limit_) return false;
+      if (used_.compare_exchange_weak(cur, cur + bytes,
+                                      std::memory_order_relaxed))
+        break;
+    }
+  } else {
+    used_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  if (governor_ && !governor_->TryReserve(bytes)) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void QueryMemory::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (governor_) governor_->Release(bytes);
+}
+
+bool MemoryReservation::GrowTo(int64_t bytes) {
+  bytes = std::max<int64_t>(bytes, 0);
+  if (bytes <= held_) {
+    if (memory_) memory_->Release(held_ - bytes);
+    held_ = bytes;
+    return true;
+  }
+  if (memory_ && !memory_->TryGrow(bytes - held_)) return false;
+  held_ = bytes;
+  return true;
+}
+
+void MemoryReservation::Release() {
+  if (memory_ && held_ > 0) memory_->Release(held_);
+  held_ = 0;
+}
+
+}  // namespace hive

@@ -1,0 +1,109 @@
+#ifndef HIVE_COMMON_MEMORY_GOVERNOR_H_
+#define HIVE_COMMON_MEMORY_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hive {
+
+/// Process-wide memory budget ("exec.memory.limit.bytes") that blocking
+/// operators draw reservations from. The governor hands out bytes, never
+/// allocates them: an operator reports the footprint it is about to reach
+/// at batch granularity, and a denied grow is the signal to spill through
+/// hive::fs (or fail with a budget-exceeded status when spilling is off).
+///
+/// Accounting is a pair of relaxed atomics; a reservation race between two
+/// queries may over-admit by one batch, which is the same slack a real
+/// memory manager has between malloc and its ledger. Within one query the
+/// serial operator pipeline makes grow/denial decisions deterministic.
+class MemoryGovernor {
+ public:
+  /// `limit_bytes` <= 0 means unlimited.
+  explicit MemoryGovernor(int64_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  int64_t limit() const { return limit_.load(std::memory_order_relaxed); }
+  int64_t reserved() const { return reserved_.load(std::memory_order_relaxed); }
+  int64_t denied() const { return denied_.load(std::memory_order_relaxed); }
+
+  /// Tries to take `bytes` from the remaining budget. Returns false (and
+  /// counts a denial) when the grant would exceed the limit.
+  bool TryReserve(int64_t bytes);
+  void Release(int64_t bytes);
+
+  /// Unique id for spill directories / file prefixes; file names never
+  /// influence query results, only namespace uniqueness across attempts.
+  uint64_t NextSpillId() {
+    return spill_ids_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> limit_;
+  std::atomic<int64_t> reserved_{0};
+  std::atomic<int64_t> denied_{0};
+  std::atomic<uint64_t> spill_ids_{0};
+};
+
+/// One query's share of the governor ("query.memory.limit.bytes"): grows
+/// are checked against the per-query cap first, then forwarded to the
+/// process governor. Destruction releases whatever the query still holds,
+/// so error paths cannot leak budget.
+class QueryMemory {
+ public:
+  /// Either pointer/limit may be absent (null / <= 0): the missing layer
+  /// admits everything.
+  QueryMemory(MemoryGovernor* governor, int64_t query_limit_bytes)
+      : governor_(governor), query_limit_(query_limit_bytes) {}
+  ~QueryMemory();
+
+  QueryMemory(const QueryMemory&) = delete;
+  QueryMemory& operator=(const QueryMemory&) = delete;
+
+  bool TryGrow(int64_t bytes);
+  void Release(int64_t bytes);
+
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t query_limit() const { return query_limit_; }
+  /// True when any layer can actually deny (there is a budget to exceed).
+  bool bounded() const {
+    return query_limit_ > 0 || (governor_ && governor_->limit() > 0);
+  }
+  MemoryGovernor* governor() const { return governor_; }
+
+ private:
+  MemoryGovernor* governor_;
+  const int64_t query_limit_;
+  std::atomic<int64_t> used_{0};
+};
+
+/// Operator-level reservation: tracks the bytes one blocking operator holds
+/// and reports growth at batch granularity. GrowTo(footprint) is the whole
+/// protocol — the operator states the size it is about to reach; a false
+/// return means the budget is exhausted and the operator must spill (and
+/// Release) or fail. RAII: destruction returns the bytes.
+class MemoryReservation {
+ public:
+  /// `memory` may be null (hand-built contexts): every grow succeeds.
+  explicit MemoryReservation(QueryMemory* memory = nullptr) : memory_(memory) {}
+  ~MemoryReservation() { Release(); }
+
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  void Attach(QueryMemory* memory) { memory_ = memory; }
+
+  /// Grows (or shrinks) the held reservation to `bytes`. On denial the
+  /// reservation keeps its previous size.
+  bool GrowTo(int64_t bytes);
+  /// Returns everything held (the operator spilled or finished).
+  void Release();
+
+  int64_t held() const { return held_; }
+
+ private:
+  QueryMemory* memory_ = nullptr;
+  int64_t held_ = 0;
+};
+
+}  // namespace hive
+
+#endif  // HIVE_COMMON_MEMORY_GOVERNOR_H_

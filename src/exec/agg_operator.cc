@@ -1,9 +1,11 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "common/serde.h"
 #include "exec/operators.h"
 #include "exec/vector_eval.h"
 #include "optimizer/expr_eval.h"
+#include "storage/cof.h"
 
 namespace hive {
 
@@ -201,6 +203,90 @@ void GroupedAggState::Merge(GroupedAggState&& other) {
   }
 }
 
+std::string GroupedAggState::SerializeGroup(size_t i) const {
+  const Group& g = groups_[i];
+  std::string out;
+  serde::PutU64(&out, g.hash);
+  serde::PutU64(&out, g.first_seq);
+  serde::PutU32(&out, static_cast<uint32_t>(g.keys.size()));
+  for (const Value& k : g.keys) SerializeValue(&out, k);
+  serde::PutU32(&out, static_cast<uint32_t>(g.accs.size()));
+  for (const Accumulator& acc : g.accs) {
+    serde::PutI64(&out, acc.count);
+    out.push_back(acc.any ? 1 : 0);
+    serde::PutI64(&out, acc.sum_i64);
+    serde::PutF64(&out, acc.sum_f64);
+    SerializeValue(&out, acc.min);
+    SerializeValue(&out, acc.max);
+    serde::PutU32(&out, static_cast<uint32_t>(acc.distinct.size()));
+    // The hash set iterates in insertion-history order; sort so the record
+    // bytes are deterministic however the values arrived.
+    std::vector<const Value*> sorted;
+    sorted.reserve(acc.distinct.size());
+    for (const Value& v : acc.distinct) sorted.push_back(&v);
+    std::sort(sorted.begin(), sorted.end(), [](const Value* a, const Value* b) {
+      return Value::Compare(*a, *b) < 0;
+    });
+    for (const Value* v : sorted) SerializeValue(&out, *v);
+  }
+  return out;
+}
+
+Status GroupedAggState::AbsorbSerializedGroup(const std::string& record) {
+  size_t offset = 0;
+  uint64_t hash = 0, first_seq = 0;
+  uint32_t nkeys = 0, naggs = 0;
+  if (!serde::GetU64(record, &offset, &hash) ||
+      !serde::GetU64(record, &offset, &first_seq) ||
+      !serde::GetU32(record, &offset, &nkeys))
+    return Status::Corruption("agg spill group header").MarkTransient();
+  std::vector<Value> keys;
+  keys.reserve(nkeys);
+  for (uint32_t k = 0; k < nkeys; ++k) {
+    auto v = DeserializeValue(record, &offset);
+    if (!v.ok()) return Status::Corruption("agg spill group key").MarkTransient();
+    keys.push_back(std::move(*v));
+  }
+  if (!serde::GetU32(record, &offset, &naggs) || naggs != aggs_->size())
+    return Status::Corruption("agg spill accumulator count").MarkTransient();
+  bool created = false;
+  uint32_t ordinal = FindOrCreate(hash, std::move(keys), first_seq, &created);
+  Group& mine = groups_[ordinal];
+  if (!created) mine.first_seq = std::min(mine.first_seq, first_seq);
+  for (uint32_t a = 0; a < naggs; ++a) {
+    Accumulator acc;
+    uint32_t ndistinct = 0;
+    if (!serde::GetI64(record, &offset, &acc.count) || offset >= record.size())
+      return Status::Corruption("agg spill accumulator").MarkTransient();
+    acc.any = record[offset++] != 0;
+    if (!serde::GetI64(record, &offset, &acc.sum_i64) ||
+        !serde::GetF64(record, &offset, &acc.sum_f64))
+      return Status::Corruption("agg spill accumulator").MarkTransient();
+    auto mn = DeserializeValue(record, &offset);
+    auto mx = DeserializeValue(record, &offset);
+    if (!mn.ok() || !mx.ok() || !serde::GetU32(record, &offset, &ndistinct))
+      return Status::Corruption("agg spill accumulator").MarkTransient();
+    acc.min = std::move(*mn);
+    acc.max = std::move(*mx);
+    for (uint32_t d = 0; d < ndistinct; ++d) {
+      auto v = DeserializeValue(record, &offset);
+      if (!v.ok())
+        return Status::Corruption("agg spill distinct value").MarkTransient();
+      acc.distinct.insert(std::move(*v));
+    }
+    MergeAccumulator(&mine.accs[a], std::move(acc));
+  }
+  return Status::OK();
+}
+
+void GroupedAggState::Reset() {
+  groups_.clear();
+  groups_.shrink_to_fit();
+  index_.Reset(0);
+  ordered_.clear();
+  payload_bytes_ = 0;
+}
+
 void GroupedAggState::Seal() {
   // Global aggregates produce one row even with empty input.
   if (keys_->empty() && groups_.empty())
@@ -287,6 +373,152 @@ Result<RowBatch> GroupedAggState::Emit(size_t begin, size_t end,
   return out;
 }
 
+// --- AggSpillSet ---
+
+AggSpillSet::AggSpillSet(ExecContext* ctx, std::string prefix,
+                         const std::vector<ExprPtr>* keys,
+                         const std::vector<AggCall>* aggs, int partitions,
+                         int workers)
+    : ctx_(ctx),
+      prefix_(std::move(prefix)),
+      keys_(keys),
+      aggs_(aggs),
+      partitions_(std::max(1, partitions)),
+      writers_(static_cast<size_t>(std::max(1, workers))) {
+  for (auto& streams : writers_)
+    streams.resize(static_cast<size_t>(partitions_));
+}
+
+Status AggSpillSet::Flush(int worker, GroupedAggState* state) {
+  spilled_.store(true, std::memory_order_relaxed);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::unique_ptr<SpillChunkWriter>>& streams =
+      writers_[static_cast<size_t>(worker)];
+  const size_t n = state->num_raw_groups();
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t p = SpillPartitionOf(state->group_hash(i), 0, partitions_);
+    std::unique_ptr<SpillChunkWriter>& w = streams[p];
+    if (!w) {
+      w = std::make_unique<SpillChunkWriter>(
+          ctx_, prefix_ + ".w" + std::to_string(worker) + ".p" +
+                    std::to_string(p));
+      CountSpillMetric(ctx_, "exec.spill.partitions", 1);
+    }
+    HIVE_RETURN_IF_ERROR(w->AppendRecord(state->SerializeGroup(i)));
+  }
+  state->Reset();
+  return Status::OK();
+}
+
+Status AggSpillSet::RefillCursor(Cursor* c) {
+  c->pos = 0;
+  HIVE_ASSIGN_OR_RETURN(bool more, c->reader->NextBatch(&c->batch, &c->seqs));
+  if (!more) c->done = true;
+  return Status::OK();
+}
+
+Status AggSpillSet::PrepareEmit(GroupedAggState* remainder, const Schema& schema) {
+  out_schema_ = schema;
+  for (auto& streams : writers_)
+    for (std::unique_ptr<SpillChunkWriter>& w : streams)
+      if (w) HIVE_RETURN_IF_ERROR(w->Finish());
+  const size_t batch_rows =
+      ctx_->config ? static_cast<size_t>(ctx_->config->vector_batch_size) : 1024;
+  // Rebuild one hash partition at a time: a group's records always land in
+  // one partition, so the transient footprint is ~1/partitions of the full
+  // state. Absorption order is fixed — remainder, then each worker's chunks
+  // in worker order — so the rebuild is deterministic.
+  for (int p = 0; p < partitions_; ++p) {
+    GroupedAggState part(keys_, aggs_);
+    if (remainder) {
+      const size_t n = remainder->num_raw_groups();
+      for (size_t i = 0; i < n; ++i) {
+        if (SpillPartitionOf(remainder->group_hash(i), 0, partitions_) !=
+            static_cast<uint32_t>(p))
+          continue;
+        HIVE_RETURN_IF_ERROR(
+            part.AbsorbSerializedGroup(remainder->SerializeGroup(i)));
+      }
+    }
+    for (auto& streams : writers_) {
+      SpillChunkWriter* w = streams[static_cast<size_t>(p)].get();
+      if (!w) continue;
+      SpillChunkReader reader(ctx_, w->prefix(), w->num_chunks());
+      std::string record;
+      for (;;) {
+        HIVE_RETURN_IF_ERROR(ctx_->CheckInterrupted());
+        HIVE_ASSIGN_OR_RETURN(bool more, reader.NextRecord(&record));
+        if (!more) break;
+        HIVE_RETURN_IF_ERROR(part.AbsorbSerializedGroup(record));
+      }
+    }
+    if (part.num_raw_groups() == 0) continue;
+    // keys_ is never empty here (scalar aggregates fail instead of spilling),
+    // so Seal adds no phantom global group to non-originating partitions.
+    part.Seal();
+    auto run = std::make_unique<SpillBatchWriter>(
+        ctx_, prefix_ + ".run" + std::to_string(p), schema, true);
+    const size_t groups = part.num_groups();
+    for (size_t begin = 0; begin < groups; begin += batch_rows) {
+      size_t end = std::min(groups, begin + batch_rows);
+      HIVE_ASSIGN_OR_RETURN(RowBatch out, part.Emit(begin, end, schema));
+      for (size_t r = 0; r < out.num_rows(); ++r)
+        HIVE_RETURN_IF_ERROR(
+            run->AppendBatchRow(out, r, part.ordered_first_seq(begin + r)));
+    }
+    HIVE_RETURN_IF_ERROR(run->Finish());
+    runs_.push_back(std::move(run));
+  }
+  cursors_.clear();
+  for (std::unique_ptr<SpillBatchWriter>& run : runs_) {
+    if (run->num_rows() == 0) continue;
+    cursors_.emplace_back();
+    Cursor& c = cursors_.back();
+    c.batch = RowBatch(schema);
+    c.reader = std::make_unique<SpillBatchReader>(ctx_, *run);
+    HIVE_RETURN_IF_ERROR(RefillCursor(&c));
+  }
+  if (!cursors_.empty()) CountSpillMetric(ctx_, "exec.spill.merge_passes", 1);
+  return Status::OK();
+}
+
+Result<RowBatch> AggSpillSet::NextOutput(bool* done) {
+  *done = false;
+  const size_t limit =
+      ctx_->config ? static_cast<size_t>(ctx_->config->vector_batch_size) : 1024;
+  RowBatch out(out_schema_);
+  size_t out_rows = 0;
+  // K-way merge by first-seen sequence: each group lives in exactly one
+  // partition run, and every run is ascending, so the merged stream is the
+  // exact first-seen order the in-memory Seal produces.
+  while (out_rows < limit) {
+    Cursor* best = nullptr;
+    for (Cursor& c : cursors_) {
+      if (c.done) continue;
+      if (!best || c.seqs[c.pos] < best->seqs[best->pos]) best = &c;
+    }
+    if (!best) break;
+    for (size_t col = 0; col < out.num_columns(); ++col)
+      out.column(col)->AppendFrom(*best->batch.column(col), best->pos);
+    ++out_rows;
+    ++best->pos;
+    if (best->pos >= best->batch.num_rows()) HIVE_RETURN_IF_ERROR(RefillCursor(best));
+  }
+  out.set_num_rows(out_rows);
+  if (out_rows == 0) *done = true;
+  return out;
+}
+
+uint64_t AggSpillSet::bytes_spilled() const {
+  uint64_t total = 0;
+  for (const auto& streams : writers_)
+    for (const std::unique_ptr<SpillChunkWriter>& w : streams)
+      if (w) total += w->bytes_written();
+  for (const std::unique_ptr<SpillBatchWriter>& r : runs_)
+    total += r->bytes_written();
+  return total;
+}
+
 // --- HashAggregateOperator ---
 
 HashAggregateOperator::HashAggregateOperator(ExecContext* ctx, OperatorPtr child,
@@ -304,21 +536,49 @@ Status HashAggregateOperator::Open() { return child_->Open(); }
 Status HashAggregateOperator::Consume() {
   bool done = false;
   uint64_t seq = 0;
+  reservation_.Attach(ctx_->query_memory);
   for (;;) {
     HIVE_RETURN_IF_ERROR(CheckCancelled());
     HIVE_ASSIGN_OR_RETURN(RowBatch batch, child_->Next(&done));
     if (done) break;
     HIVE_RETURN_IF_ERROR(state_.Consume(batch, seq));
     seq += batch.SelectedSize();
+    if (!reservation_.GrowTo(static_cast<int64_t>(state_.approx_bytes()))) {
+      CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+      // Scalar aggregates (no keys) hold a single group; spilling cannot
+      // shrink them.
+      if (!ctx_->CanSpill() || keys_.empty())
+        return BudgetExceededStatus(
+            "hash aggregate", static_cast<int64_t>(state_.approx_bytes()), ctx_);
+      if (!spill_)
+        spill_ = std::make_unique<AggSpillSet>(
+            ctx_, ctx_->spill_dir + "/a" + std::to_string(NextSpillStreamId()),
+            &keys_, &aggs_, std::max(2, ctx_->config->spill_partitions),
+            /*workers=*/1);
+      HIVE_RETURN_IF_ERROR(spill_->Flush(0, &state_));
+      reservation_.Release();
+    }
   }
-  state_.Seal();
-  HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(state_.approx_bytes()));
+  if (spill_ && spill_->spilled()) {
+    HIVE_RETURN_IF_ERROR(spill_->PrepareEmit(&state_, schema_));
+    state_.Reset();
+    reservation_.Release();
+    HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(spill_->bytes_spilled()));
+  } else {
+    state_.Seal();
+    HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(state_.approx_bytes()));
+  }
   consumed_ = true;
   return Status::OK();
 }
 
 Result<RowBatch> HashAggregateOperator::Next(bool* done) {
   if (!consumed_) HIVE_RETURN_IF_ERROR(Consume());
+  if (spill_ && spill_->spilled()) {
+    HIVE_ASSIGN_OR_RETURN(RowBatch out, spill_->NextOutput(done));
+    if (!*done) rows_produced_ += static_cast<int64_t>(out.num_rows());
+    return out;
+  }
   size_t batch_size = static_cast<size_t>(ctx_->config->vector_batch_size);
   if (emit_index_ >= state_.num_groups()) {
     *done = true;
@@ -330,6 +590,16 @@ Result<RowBatch> HashAggregateOperator::Next(bool* done) {
   emit_index_ = end;
   rows_produced_ += static_cast<int64_t>(out.num_rows());
   return out;
+}
+
+Status HashAggregateOperator::Close() {
+  if (profile_node_ && spill_ && spill_->spilled()) {
+    std::string& d = profile_node_->detail;
+    if (!d.empty()) d += ", ";
+    d += "spill=agg flushes=" + std::to_string(spill_->flushes()) +
+         " spill_bytes=" + std::to_string(spill_->bytes_spilled());
+  }
+  return child_->Close();
 }
 
 }  // namespace hive

@@ -485,12 +485,14 @@ class Compiler {
           if (profile_parent_) profile_parent_->blocking = true;
           auto op = std::make_unique<ParallelAggregateOperator>(
               ctx_, std::move(spec), node->group_keys, node->aggs, node->schema);
+          op->set_profile_node(profile_parent_);
           return OperatorPtr(std::make_unique<StatsRecordingOperator>(
               ctx_, std::move(op), node->Digest()));
         }
         HIVE_ASSIGN_OR_RETURN(OperatorPtr child, CompileNode(node->inputs[0]));
         auto op = std::make_unique<HashAggregateOperator>(
             ctx_, std::move(child), node->group_keys, node->aggs, node->schema);
+        op->set_profile_node(profile_parent_);
         return OperatorPtr(std::make_unique<StatsRecordingOperator>(
             ctx_, std::move(op), node->Digest()));
       }
@@ -501,8 +503,10 @@ class Compiler {
       }
       case RelKind::kSort: {
         HIVE_ASSIGN_OR_RETURN(OperatorPtr child, CompileNode(node->inputs[0]));
-        return OperatorPtr(std::make_unique<SortOperator>(
-            ctx_, std::move(child), node->sort_keys, node->limit));
+        auto op = std::make_unique<SortOperator>(ctx_, std::move(child),
+                                                 node->sort_keys, node->limit);
+        op->set_profile_node(profile_parent_);
+        return OperatorPtr(std::move(op));
       }
       case RelKind::kLimit: {
         HIVE_ASSIGN_OR_RETURN(OperatorPtr child, CompileNode(node->inputs[0]));

@@ -11,6 +11,7 @@
 #include "common/cancel.h"
 #include "common/column_vector.h"
 #include "common/config.h"
+#include "common/memory_governor.h"
 #include "common/sim_clock.h"
 #include "common/sync.h"
 #include "fs/filesystem.h"
@@ -107,6 +108,20 @@ struct ExecContext {
   /// Maximum rows a hash-join build side may hold before the operator
   /// fails with an ExecError — the trigger for re-optimization.
   int64_t join_build_row_limit = INT64_MAX;
+
+  /// Per-query memory accounting (process governor + query share) blocking
+  /// operators draw reservations from. Null (hand-built contexts, DML
+  /// subplans) means unlimited — no reservation is ever denied.
+  QueryMemory* query_memory = nullptr;
+  /// This query's spill directory (unique per query, cleaned up by the
+  /// server after the last attempt). Empty disables spilling.
+  std::string spill_dir;
+
+  /// True when a denied reservation may be answered by spilling: the knob
+  /// is on and the context has a file system and a spill directory.
+  bool CanSpill() const {
+    return config && config->spill_enabled && fs && !spill_dir.empty();
+  }
 
   int64_t stage_counter = 0;
   uint64_t shuffle_bytes = 0;

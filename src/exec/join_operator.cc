@@ -87,6 +87,88 @@ HashJoinCore::HashJoinCore(ExecContext* ctx, TableRef::JoinType join_type,
       condition_(std::move(condition)),
       out_schema_(out_schema) {}
 
+HashJoinCore::~HashJoinCore() = default;
+
+/// Grace-mode state: depth-0 partition writers for both sides, the output
+/// and tail runs the partition pairs produce, and the merge cursors that
+/// stream them back in global probe (then build) order.
+struct HashJoinCore::GraceState {
+  explicit GraceState(int p) : parts(p), build_writers(p), probe_writers(p) {}
+
+  int parts;
+  uint64_t id = 0;
+  std::string prefix;           // <spill_dir>/j<id>
+  uint64_t stream_counter = 0;  // unique suffix for recursive/output streams
+  Schema build_schema;
+
+  std::vector<std::unique_ptr<SpillBatchWriter>> build_writers;  // depth 0
+  std::vector<std::unique_ptr<SpillBatchWriter>> probe_writers;  // depth 0
+  uint64_t build_seq = 0;  // global build row counter (doubles as row count)
+  uint64_t probe_seq = 0;  // global probe row counter
+  int64_t partitions_spawned = 0;
+  int max_depth = 0;
+  uint64_t bytes = 0;  // spill bytes this join wrote
+
+  std::vector<std::unique_ptr<SpillBatchWriter>> output_runs;
+  std::vector<std::unique_ptr<SpillBatchWriter>> tail_runs;
+
+  struct Cursor {
+    std::unique_ptr<SpillBatchReader> reader;
+    RowBatch batch;
+    std::vector<uint64_t> seqs;
+    size_t pos = 0;
+    bool done = false;
+  };
+  std::vector<Cursor> cursors;
+  bool merge_armed = false;
+  bool tail_phase = false;
+
+  Status Refill(Cursor* c) {
+    c->pos = 0;
+    HIVE_ASSIGN_OR_RETURN(bool more, c->reader->NextBatch(&c->batch, &c->seqs));
+    if (!more) c->done = true;
+    return Status::OK();
+  }
+
+  Status Arm(ExecContext* ctx,
+             std::vector<std::unique_ptr<SpillBatchWriter>>& runs) {
+    cursors.clear();
+    for (std::unique_ptr<SpillBatchWriter>& w : runs) {
+      if (!w || w->num_rows() == 0) continue;
+      cursors.emplace_back();
+      Cursor& c = cursors.back();
+      c.batch = RowBatch(w->schema());
+      c.reader = std::make_unique<SpillBatchReader>(ctx, *w);
+      HIVE_RETURN_IF_ERROR(Refill(&c));
+    }
+    return Status::OK();
+  }
+
+  /// One k-way merge step: up to `limit` rows in ascending sequence order.
+  /// Each probe (resp. build) row lands in exactly one partition, so the
+  /// per-run sequences are disjoint and ascending — the merge reproduces
+  /// the serial emission order exactly.
+  Result<RowBatch> MergeStep(const Schema& schema, size_t limit) {
+    RowBatch out(schema);
+    size_t out_rows = 0;
+    while (out_rows < limit) {
+      Cursor* best = nullptr;
+      for (Cursor& c : cursors) {
+        if (c.done) continue;
+        if (!best || c.seqs[c.pos] < best->seqs[best->pos]) best = &c;
+      }
+      if (!best) break;
+      for (size_t col = 0; col < out.num_columns(); ++col)
+        out.column(col)->AppendFrom(*best->batch.column(col), best->pos);
+      ++out_rows;
+      ++best->pos;
+      if (best->pos >= best->batch.num_rows()) HIVE_RETURN_IF_ERROR(Refill(best));
+    }
+    out.set_num_rows(out_rows);
+    return out;
+  }
+};
+
 bool HashJoinCore::PerfectHashEligible(const ExprPtr& condition, int left_width) {
   std::vector<ExprPtr> left_keys, right_keys, residual;
   SplitJoinCondition(condition, left_width, &left_keys, &right_keys, &residual);
@@ -150,19 +232,78 @@ Status HashJoinCore::BindCondition(const Schema& left_schema) {
 
 Status HashJoinCore::Build(Operator* build_child) {
   build_ = RowBatch(build_child->schema());
+  reservation_.Attach(ctx_->query_memory);
   bool done = false;
   size_t build_rows = 0;
+  // Reservation grows by incoming batch bytes (an O(batch) approximation of
+  // the dense footprint; rescanning build_ per batch would be quadratic).
+  uint64_t accum_bytes = 0;
   for (;;) {
     HIVE_RETURN_IF_ERROR(ctx_->CheckInterrupted());
     HIVE_ASSIGN_OR_RETURN(RowBatch batch, build_child->Next(&done));
     if (done) break;
+    if (grace_) {
+      HIVE_RETURN_IF_ERROR(GraceRouteBuildBatch(batch));
+      continue;
+    }
     build_rows += batch.SelectedSize();
     for (size_t i = 0; i < batch.SelectedSize(); ++i) {
       int32_t row = batch.SelectedRow(i);
       for (size_t c = 0; c < build_.num_columns(); ++c)
         build_.column(c)->AppendFrom(*batch.column(c), row);
     }
+    build_.set_num_rows(build_rows);
+    accum_bytes += batch.ByteSize();
+    if (!reservation_.GrowTo(static_cast<int64_t>(accum_bytes))) {
+      CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+      // Cross and non-equi joins have no key to partition by; they fail
+      // rather than spill.
+      if (!ctx_->CanSpill() || right_keys_.empty())
+        return BudgetExceededStatus("hash join build",
+                                    static_cast<int64_t>(accum_bytes), ctx_);
+      HIVE_RETURN_IF_ERROR(EnterGrace());
+      build_rows = 0;
+      accum_bytes = 0;
+    }
   }
+
+  // The hash table rides on top of the dense rows (~24 bytes/row of slots
+  // and chain entries); reserve it before finalizing.
+  if (!grace_ && build_rows > 0 && !right_keys_.empty() &&
+      !reservation_.GrowTo(static_cast<int64_t>(accum_bytes) +
+                           static_cast<int64_t>(build_rows) * 24)) {
+    CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+    if (!ctx_->CanSpill())
+      return BudgetExceededStatus("hash join build",
+                                  static_cast<int64_t>(accum_bytes), ctx_);
+    build_.set_num_rows(build_rows);
+    HIVE_RETURN_IF_ERROR(EnterGrace());
+  }
+
+  obs::Counter* metric_perfect = nullptr;
+  if (ctx_->metrics) {
+    metric_perfect = ctx_->metrics->counter("exec.join.perfect_hash");
+    metric_probe_hits_ = ctx_->metrics->counter("exec.join.probe.hits");
+    metric_probe_misses_ = ctx_->metrics->counter("exec.join.probe.misses");
+  }
+
+  if (grace_) {
+    GraceState& g = *grace_;
+    if (static_cast<int64_t>(g.build_seq) > ctx_->join_build_row_limit)
+      return Status::ExecError("hash join build side exceeded memory limit (" +
+                               std::to_string(g.build_seq) + " rows)");
+    for (std::unique_ptr<SpillBatchWriter>& w : g.build_writers) {
+      if (!w) continue;
+      HIVE_RETURN_IF_ERROR(w->Finish());
+      g.bytes += w->bytes_written();
+    }
+    if (ctx_->metrics)
+      ctx_->metrics->counter("exec.join.build_rows")
+          ->Add(static_cast<int64_t>(g.build_seq));
+    // The build side materialized to spill; that is this stage's output.
+    return ctx_->OnStageBoundary(g.bytes);
+  }
+
   build_.set_num_rows(build_rows);
   if (static_cast<int64_t>(build_.num_rows()) > ctx_->join_build_row_limit)
     return Status::ExecError("hash join build side exceeded memory limit (" +
@@ -171,13 +312,8 @@ Status HashJoinCore::Build(Operator* build_child) {
   matched_ = std::unique_ptr<std::atomic<uint8_t>[]>(new std::atomic<uint8_t>[n]);
   for (size_t i = 0; i < n; ++i) matched_[i].store(0, std::memory_order_relaxed);
 
-  obs::Counter* metric_perfect = nullptr;
-  if (ctx_->metrics) {
+  if (ctx_->metrics)
     ctx_->metrics->counter("exec.join.build_rows")->Add(static_cast<int64_t>(n));
-    metric_perfect = ctx_->metrics->counter("exec.join.perfect_hash");
-    metric_probe_hits_ = ctx_->metrics->counter("exec.join.probe.hits");
-    metric_probe_misses_ = ctx_->metrics->counter("exec.join.probe.misses");
-  }
 
   if (!right_keys_.empty()) {
     // Vectorized key evaluation + column-wise hashing over the dense build
@@ -265,6 +401,312 @@ Status HashJoinCore::Build(Operator* build_child) {
   return ctx_->OnStageBoundary(build_.ByteSize());
 }
 
+Status HashJoinCore::EnterGrace() {
+  grace_ = std::make_unique<GraceState>(
+      std::max(2, ctx_->config ? ctx_->config->spill_partitions : 8));
+  GraceState& g = *grace_;
+  g.id = NextSpillStreamId();
+  g.prefix = ctx_->spill_dir + "/j" + std::to_string(g.id);
+  g.build_schema = build_.schema();
+  Status routed = GraceRouteBuildBatch(build_);
+  build_ = RowBatch(g.build_schema);
+  reservation_.Release();
+  return routed;
+}
+
+Status HashJoinCore::GraceRouteBuildBatch(const RowBatch& batch) {
+  GraceState& g = *grace_;
+  if (batch.SelectedSize() == 0) return Status::OK();
+  std::vector<ColumnVectorPtr> key_cols;
+  for (const ExprPtr& k : right_keys_) {
+    HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*k, batch));
+    key_cols.push_back(std::move(col));
+  }
+  std::vector<uint64_t> hashes;
+  std::vector<uint8_t> valid;
+  HashKeyColumns(key_cols, batch.num_rows(), &hashes, &valid);
+  for (size_t i = 0; i < batch.SelectedSize(); ++i) {
+    int32_t src = batch.SelectedRow(i);
+    uint32_t p = SpillPartitionOf(hashes[static_cast<size_t>(src)], 0, g.parts);
+    std::unique_ptr<SpillBatchWriter>& w = g.build_writers[p];
+    if (!w) {
+      w = std::make_unique<SpillBatchWriter>(
+          ctx_, g.prefix + ".b" + std::to_string(p), g.build_schema, true);
+      CountSpillMetric(ctx_, "exec.spill.partitions", 1);
+      ++g.partitions_spawned;
+    }
+    HIVE_RETURN_IF_ERROR(w->AppendRow(batch, src, g.build_seq++));
+  }
+  return Status::OK();
+}
+
+Status HashJoinCore::GraceAddProbeBatch(const RowBatch& batch) {
+  GraceState& g = *grace_;
+  if (batch.SelectedSize() == 0) return Status::OK();
+  std::vector<ColumnVectorPtr> key_cols;
+  for (const ExprPtr& k : left_keys_) {
+    HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*k, batch));
+    key_cols.push_back(std::move(col));
+  }
+  std::vector<uint64_t> hashes;
+  std::vector<uint8_t> valid;
+  HashKeyColumns(key_cols, batch.num_rows(), &hashes, &valid);
+  for (size_t i = 0; i < batch.SelectedSize(); ++i) {
+    int32_t src = batch.SelectedRow(i);
+    uint32_t p = SpillPartitionOf(hashes[static_cast<size_t>(src)], 0, g.parts);
+    std::unique_ptr<SpillBatchWriter>& w = g.probe_writers[p];
+    if (!w) {
+      w = std::make_unique<SpillBatchWriter>(
+          ctx_, g.prefix + ".p" + std::to_string(p), batch.schema(), true);
+      CountSpillMetric(ctx_, "exec.spill.partitions", 1);
+      ++g.partitions_spawned;
+    }
+    HIVE_RETURN_IF_ERROR(w->AppendRow(batch, src, g.probe_seq++));
+  }
+  return Status::OK();
+}
+
+Status HashJoinCore::GraceFinishProbe() {
+  GraceState& g = *grace_;
+  for (std::unique_ptr<SpillBatchWriter>& w : g.probe_writers) {
+    if (!w) continue;
+    HIVE_RETURN_IF_ERROR(w->Finish());
+    g.bytes += w->bytes_written();
+  }
+  // Serial probe semantics: every probe row pays its modeled CPU exactly
+  // once, whichever partition pair ends up probing it.
+  if (ctx_->clock)
+    ctx_->clock->Charge(static_cast<int64_t>(g.probe_seq) * probe_ns_per_row() /
+                        1000);
+  for (int p = 0; p < g.parts; ++p)
+    HIVE_RETURN_IF_ERROR(JoinPartitionPair(0, g.build_writers[p].get(),
+                                           g.probe_writers[p].get()));
+  return Status::OK();
+}
+
+Status HashJoinCore::RebuildTableOverBuild() {
+  const size_t n = build_.num_rows();
+  matched_ = std::unique_ptr<std::atomic<uint8_t>[]>(new std::atomic<uint8_t>[n]);
+  for (size_t i = 0; i < n; ++i) matched_[i].store(0, std::memory_order_relaxed);
+  build_key_cols_.clear();
+  for (const ExprPtr& k : right_keys_) {
+    HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*k, build_));
+    build_key_cols_.push_back(std::move(col));
+  }
+  std::vector<uint64_t> hashes;
+  std::vector<uint8_t> valid;
+  HashKeyColumns(build_key_cols_, n, &hashes, &valid);
+  table_.Init(hashes, valid, 1);
+  if (n > 0) table_.BuildPartition(0, hashes, valid);
+  if (ctx_->clock)
+    ctx_->clock->Charge(static_cast<int64_t>(n) *
+                        ctx_->config->join_cpu_ns_per_row / 1000);
+  return Status::OK();
+}
+
+Status HashJoinCore::JoinPartitionPair(int depth, SpillBatchWriter* build_run,
+                                       SpillBatchWriter* probe_run) {
+  GraceState& g = *grace_;
+  if (depth > g.max_depth) g.max_depth = depth;
+  const bool full = join_type_ == TableRef::JoinType::kFull;
+  const bool anti = join_type_ == TableRef::JoinType::kAnti;
+  const bool left_outer = join_type_ == TableRef::JoinType::kLeft || full;
+  // Pairs that cannot emit anything skip all I/O: without probe rows only
+  // FULL OUTER produces output (the unmatched-build tail); without build
+  // rows only the null-extending join types do.
+  if (!probe_run && !(full && build_run)) return Status::OK();
+  if (!build_run && !(anti || left_outer)) return Status::OK();
+
+  const bool may_recurse =
+      depth < (ctx_->config ? ctx_->config->spill_max_recursion : 4);
+
+  // Load the build partition under the reservation.
+  build_ = RowBatch(g.build_schema);
+  grace_build_seqs_.clear();
+  bool over_budget = false;
+  uint64_t loaded_bytes = 0;
+  if (build_run) {
+    SpillBatchReader reader(ctx_, *build_run);
+    RowBatch chunk;
+    std::vector<uint64_t> seqs;
+    for (;;) {
+      HIVE_RETURN_IF_ERROR(ctx_->CheckInterrupted());
+      HIVE_ASSIGN_OR_RETURN(bool more, reader.NextBatch(&chunk, &seqs));
+      if (!more) break;
+      for (size_t r = 0; r < chunk.num_rows(); ++r) {
+        for (size_t c = 0; c < build_.num_columns(); ++c)
+          build_.column(c)->AppendFrom(*chunk.column(c), r);
+        grace_build_seqs_.push_back(seqs[r]);
+      }
+      loaded_bytes += chunk.ByteSize();
+      if (!reservation_.GrowTo(
+              static_cast<int64_t>(loaded_bytes) +
+              static_cast<int64_t>(grace_build_seqs_.size()) * 24)) {
+        CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+        // Past the recursion bound (duplicate-heavy keys cannot split
+        // further), finish loading best-effort instead of failing.
+        if (may_recurse) {
+          over_budget = true;
+          break;
+        }
+      }
+    }
+    build_.set_num_rows(grace_build_seqs_.size());
+  }
+
+  if (over_budget) {
+    // Repartition both runs one hash byte deeper and recurse pairwise.
+    build_ = RowBatch(g.build_schema);
+    grace_build_seqs_.clear();
+    reservation_.Release();
+    auto repartition =
+        [&](SpillBatchWriter* run, const std::vector<ExprPtr>& keys,
+            const char* kind,
+            std::vector<std::unique_ptr<SpillBatchWriter>>* subs) -> Status {
+      SpillBatchReader reader(ctx_, *run);
+      RowBatch chunk;
+      std::vector<uint64_t> seqs;
+      for (;;) {
+        HIVE_RETURN_IF_ERROR(ctx_->CheckInterrupted());
+        HIVE_ASSIGN_OR_RETURN(bool more, reader.NextBatch(&chunk, &seqs));
+        if (!more) break;
+        std::vector<ColumnVectorPtr> key_cols;
+        for (const ExprPtr& k : keys) {
+          HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*k, chunk));
+          key_cols.push_back(std::move(col));
+        }
+        std::vector<uint64_t> hashes;
+        std::vector<uint8_t> valid;
+        HashKeyColumns(key_cols, chunk.num_rows(), &hashes, &valid);
+        for (size_t r = 0; r < chunk.num_rows(); ++r) {
+          uint32_t p = SpillPartitionOf(hashes[r], depth + 1, g.parts);
+          std::unique_ptr<SpillBatchWriter>& w = (*subs)[p];
+          if (!w) {
+            w = std::make_unique<SpillBatchWriter>(
+                ctx_,
+                g.prefix + ".s" + std::to_string(g.stream_counter++) + kind,
+                run->schema(), true);
+            CountSpillMetric(ctx_, "exec.spill.partitions", 1);
+            ++g.partitions_spawned;
+          }
+          HIVE_RETURN_IF_ERROR(w->AppendBatchRow(chunk, r, seqs[r]));
+        }
+      }
+      for (std::unique_ptr<SpillBatchWriter>& w : *subs) {
+        if (!w) continue;
+        HIVE_RETURN_IF_ERROR(w->Finish());
+        g.bytes += w->bytes_written();
+      }
+      return Status::OK();
+    };
+    std::vector<std::unique_ptr<SpillBatchWriter>> sub_build(
+        static_cast<size_t>(g.parts));
+    std::vector<std::unique_ptr<SpillBatchWriter>> sub_probe(
+        static_cast<size_t>(g.parts));
+    HIVE_RETURN_IF_ERROR(repartition(build_run, right_keys_, ".b", &sub_build));
+    if (probe_run)
+      HIVE_RETURN_IF_ERROR(repartition(probe_run, left_keys_, ".p", &sub_probe));
+    for (int p = 0; p < g.parts; ++p)
+      HIVE_RETURN_IF_ERROR(
+          JoinPartitionPair(depth + 1, sub_build[static_cast<size_t>(p)].get(),
+                            sub_probe[static_cast<size_t>(p)].get()));
+    return Status::OK();
+  }
+
+  HIVE_RETURN_IF_ERROR(RebuildTableOverBuild());
+
+  std::unique_ptr<SpillBatchWriter> out_run;
+  if (probe_run) {
+    SpillBatchReader reader(ctx_, *probe_run);
+    RowBatch chunk;
+    std::vector<uint64_t> seqs;
+    std::vector<uint64_t> out_seqs;
+    for (;;) {
+      HIVE_RETURN_IF_ERROR(ctx_->CheckInterrupted());
+      HIVE_ASSIGN_OR_RETURN(bool more, reader.NextBatch(&chunk, &seqs));
+      if (!more) break;
+      bool emitted = false;
+      out_seqs.clear();
+      HIVE_ASSIGN_OR_RETURN(RowBatch out,
+                            ProbeBatch(chunk, &emitted, &seqs, &out_seqs));
+      for (size_t r = 0; r < out.num_rows(); ++r) {
+        if (!out_run)
+          out_run = std::make_unique<SpillBatchWriter>(
+              ctx_, g.prefix + ".out" + std::to_string(g.stream_counter++),
+              *out_schema_, true);
+        HIVE_RETURN_IF_ERROR(out_run->AppendBatchRow(out, r, out_seqs[r]));
+      }
+    }
+  }
+  if (out_run) {
+    HIVE_RETURN_IF_ERROR(out_run->Finish());
+    g.bytes += out_run->bytes_written();
+    g.output_runs.push_back(std::move(out_run));
+  }
+
+  if (full && build_.num_rows() > 0) {
+    // Unmatched build rows, tagged with their *global* build sequence so
+    // the tail phase merges into one build-order stream across partitions.
+    RowBatch tail(*out_schema_);
+    std::vector<uint64_t> tail_seqs;
+    size_t tail_rows = 0;
+    for (size_t r = 0; r < build_.num_rows(); ++r) {
+      if (matched_[r].load(std::memory_order_relaxed)) continue;
+      for (size_t c = 0; c < left_width_; ++c) tail.column(c)->AppendNull();
+      for (size_t c = 0; c < build_.num_columns(); ++c)
+        tail.column(left_width_ + c)->AppendFrom(*build_.column(c), r);
+      tail_seqs.push_back(grace_build_seqs_[r]);
+      ++tail_rows;
+    }
+    tail.set_num_rows(tail_rows);
+    if (tail_rows > 0) {
+      auto tail_run = std::make_unique<SpillBatchWriter>(
+          ctx_, g.prefix + ".tail" + std::to_string(g.stream_counter++),
+          *out_schema_, true);
+      for (size_t r = 0; r < tail_rows; ++r)
+        HIVE_RETURN_IF_ERROR(tail_run->AppendBatchRow(tail, r, tail_seqs[r]));
+      HIVE_RETURN_IF_ERROR(tail_run->Finish());
+      g.bytes += tail_run->bytes_written();
+      g.tail_runs.push_back(std::move(tail_run));
+    }
+  }
+
+  // Drop pair-local state before the next pair.
+  build_ = RowBatch(g.build_schema);
+  grace_build_seqs_.clear();
+  build_key_cols_.clear();
+  matched_.reset();
+  reservation_.Release();
+  return Status::OK();
+}
+
+Result<RowBatch> HashJoinCore::GraceNextOutput(bool* done) {
+  *done = false;
+  GraceState& g = *grace_;
+  const size_t limit =
+      ctx_->config ? static_cast<size_t>(ctx_->config->vector_batch_size) : 1024;
+  for (;;) {
+    HIVE_RETURN_IF_ERROR(ctx_->CheckInterrupted());
+    if (!g.merge_armed) {
+      g.merge_armed = true;
+      HIVE_RETURN_IF_ERROR(g.Arm(ctx_, g.output_runs));
+      if (!g.cursors.empty())
+        CountSpillMetric(ctx_, "exec.spill.merge_passes", 1);
+    }
+    HIVE_ASSIGN_OR_RETURN(RowBatch out, g.MergeStep(*out_schema_, limit));
+    if (out.num_rows() > 0) return out;
+    if (!g.tail_phase) {
+      g.tail_phase = true;
+      HIVE_RETURN_IF_ERROR(g.Arm(ctx_, g.tail_runs));
+      if (!g.cursors.empty())
+        CountSpillMetric(ctx_, "exec.spill.merge_passes", 1);
+      continue;
+    }
+    *done = true;
+    return RowBatch(*out_schema_);
+  }
+}
+
 bool HashJoinCore::KeysEqual(const std::vector<ColumnVectorPtr>& probe_cols,
                              int32_t probe_row, int32_t build_row) const {
   for (size_t k = 0; k < key_cmp_.size(); ++k) {
@@ -289,7 +731,9 @@ bool HashJoinCore::KeysEqual(const std::vector<ColumnVectorPtr>& probe_cols,
   return true;
 }
 
-Result<RowBatch> HashJoinCore::ProbeBatch(const RowBatch& batch, bool* emitted) {
+Result<RowBatch> HashJoinCore::ProbeBatch(const RowBatch& batch, bool* emitted,
+                                          const std::vector<uint64_t>* in_seqs,
+                                          std::vector<uint64_t>* out_seqs) {
   *emitted = false;
   const bool semi = join_type_ == TableRef::JoinType::kSemi;
   const bool anti = join_type_ == TableRef::JoinType::kAnti;
@@ -311,8 +755,10 @@ Result<RowBatch> HashJoinCore::ProbeBatch(const RowBatch& batch, bool* emitted) 
 
   RowBatch out(*out_schema_);
   size_t out_rows = 0;
+  uint64_t cur_seq = 0;
   auto emit = [&](int32_t left_row, int32_t right_row) {
     ++out_rows;
+    if (out_seqs) out_seqs->push_back(cur_seq);
     for (size_t c = 0; c < left_width_; ++c)
       out.column(c)->AppendFrom(*batch.column(c), static_cast<size_t>(left_row));
     if (semi || anti) return;
@@ -331,6 +777,7 @@ Result<RowBatch> HashJoinCore::ProbeBatch(const RowBatch& batch, bool* emitted) 
   std::vector<Value> left_row_boxed;  // only materialized for residuals
   for (size_t i = 0; i < batch.SelectedSize(); ++i) {
     int32_t src = batch.SelectedRow(i);
+    if (in_seqs) cur_seq = (*in_seqs)[static_cast<size_t>(src)];
     candidates.clear();
     if (left_keys_.empty()) {
       // No equi keys: every build row is a candidate (nested loop / cross).
@@ -403,8 +850,13 @@ void HashJoinCore::AnnotateProfile() {
   if (!profile_node_) return;
   std::string& d = profile_node_->detail;
   if (!d.empty()) d += ", ";
-  d += "build_rows=" + std::to_string(build_.num_rows());
-  if (perfect_.engaged()) {
+  d += "build_rows=" +
+       std::to_string(grace_ ? grace_->build_seq : build_.num_rows());
+  if (grace_) {
+    d += " spill=grace partitions=" + std::to_string(grace_->partitions_spawned) +
+         " spill_bytes=" + std::to_string(grace_->bytes) +
+         " max_depth=" + std::to_string(grace_->max_depth);
+  } else if (perfect_.engaged()) {
     d += " perfect_hash range=" + std::to_string(perfect_.range());
   } else if (table_.num_slots() > 0) {
     char load[32];
@@ -439,6 +891,25 @@ Status HashJoinOperator::Open() {
 
 Result<RowBatch> HashJoinOperator::Next(bool* done) {
   *done = false;
+  if (core_.grace_active()) {
+    // Grace mode: route the whole probe side into hash partitions (modeled
+    // CPU charges once, inside GraceFinishProbe), join the partition pairs,
+    // then stream the sequence-merged output.
+    if (!exhausted_left_) {
+      bool left_done = false;
+      for (;;) {
+        HIVE_RETURN_IF_ERROR(CheckCancelled());
+        HIVE_ASSIGN_OR_RETURN(RowBatch batch, left_->Next(&left_done));
+        if (left_done) break;
+        HIVE_RETURN_IF_ERROR(core_.GraceAddProbeBatch(batch));
+      }
+      exhausted_left_ = true;
+      HIVE_RETURN_IF_ERROR(core_.GraceFinishProbe());
+    }
+    HIVE_ASSIGN_OR_RETURN(RowBatch out, core_.GraceNextOutput(done));
+    if (!*done) rows_produced_ += static_cast<int64_t>(out.num_rows());
+    return out;
+  }
   for (;;) {
     HIVE_RETURN_IF_ERROR(CheckCancelled());
     if (!exhausted_left_) {

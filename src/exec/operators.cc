@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/hash.h"
+#include "exec/spill.h"
 #include "exec/vector_eval.h"
 
 namespace hive {
@@ -153,6 +154,15 @@ Status SetOpOperator::Close() {
 Result<RowBatch> SetOpOperator::Next(bool* done) {
   if (!done_) {
     done_ = true;
+    // Approximate resident cost of one digest in the std::set: the red-black
+    // tree node (3 pointers + color + std::string header) plus the digest
+    // payload when it escapes the small-string buffer.
+    constexpr uint64_t kSetNodeBytes = 64;
+    auto digest_bytes = [](const std::string& d) -> uint64_t {
+      return kSetNodeBytes + (d.capacity() > sizeof(std::string) ? d.capacity() : 0);
+    };
+    reservation_.Attach(ctx_->query_memory);
+    uint64_t digest_footprint = 0;
     // Hash the right side row digests.
     std::set<std::string> right_rows;
     bool child_done = false;
@@ -162,11 +172,17 @@ Result<RowBatch> SetOpOperator::Next(bool* done) {
       for (size_t i = 0; i < batch.SelectedSize(); ++i) {
         std::string digest;
         for (const Value& v : batch.GetRow(i)) digest += v.ToString() + "\x1f";
-        right_rows.insert(digest);
+        auto [it, inserted] = right_rows.insert(std::move(digest));
+        if (inserted) digest_footprint += digest_bytes(*it);
+      }
+      if (!reservation_.GrowTo(static_cast<int64_t>(digest_footprint))) {
+        CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+        return BudgetExceededStatus("set operation",
+                                    static_cast<int64_t>(digest_footprint), ctx_);
       }
     }
-    HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(right_rows.size() * 16));
-    // Stream the left side, applying set semantics with dedup.
+    // Stream the left side, applying set semantics with dedup. The emitted-
+    // digest set grows the same reservation: both sets are resident at once.
     result_ = RowBatch(left_->schema());
     std::set<std::string> emitted;
     child_done = false;
@@ -179,12 +195,20 @@ Result<RowBatch> SetOpOperator::Next(bool* done) {
         for (const Value& v : row) digest += v.ToString() + "\x1f";
         bool in_right = right_rows.count(digest) != 0;
         if (in_right != is_intersect_) continue;
-        if (!emitted.insert(digest).second) continue;
+        auto [it, inserted] = emitted.insert(std::move(digest));
+        if (!inserted) continue;
+        digest_footprint += digest_bytes(*it);
         int32_t src = batch.SelectedRow(i);
         for (size_t c = 0; c < result_.num_columns(); ++c)
           result_.column(c)->AppendFrom(*batch.column(c), src);
       }
+      if (!reservation_.GrowTo(static_cast<int64_t>(digest_footprint))) {
+        CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+        return BudgetExceededStatus("set operation",
+                                    static_cast<int64_t>(digest_footprint), ctx_);
+      }
     }
+    HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(digest_footprint));
     result_.set_num_rows(result_.num_columns() ? result_.column(0)->size() : 0);
     rows_produced_ += static_cast<int64_t>(result_.num_rows());
   }

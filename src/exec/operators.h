@@ -12,6 +12,7 @@
 
 #include "common/flat_hash_table.h"
 #include "exec/operator.h"
+#include "exec/spill.h"
 #include "optimizer/rel.h"
 
 namespace hive {
@@ -157,6 +158,7 @@ class HashJoinCore {
  public:
   HashJoinCore(ExecContext* ctx, TableRef::JoinType join_type, ExprPtr condition,
                const Schema* out_schema);
+  ~HashJoinCore();
 
   /// Plan-time perfect-hash eligibility: the condition reduces to exactly
   /// one equi-key conjunct whose two sides are the same non-decimal
@@ -175,12 +177,33 @@ class HashJoinCore {
   Status Build(Operator* build_child);
 
   /// Joins one probe batch against the finalized table. Sets *emitted when
-  /// the output batch is non-empty. Thread-safe after Build.
-  Result<RowBatch> ProbeBatch(const RowBatch& batch, bool* emitted);
+  /// the output batch is non-empty. Thread-safe after Build. `in_seqs`
+  /// (grace pair joins only) positions each *physical* probe row in the
+  /// global probe order; when set, `out_seqs` receives the probe sequence of
+  /// every emitted output row so partition outputs can merge back into exact
+  /// serial order.
+  Result<RowBatch> ProbeBatch(const RowBatch& batch, bool* emitted,
+                              const std::vector<uint64_t>* in_seqs = nullptr,
+                              std::vector<uint64_t>* out_seqs = nullptr);
 
   /// FULL OUTER tail: null-extended build rows no probe row matched. Call
   /// after all ProbeBatch calls have completed.
   Result<RowBatch> EmitUnmatchedRight();
+
+  /// True once Build's memory reservation was denied and the join switched
+  /// to grace mode: build rows live in hash-partitioned spill files instead
+  /// of build_. The owner then routes probe batches through
+  /// GraceAddProbeBatch *in input order*, calls GraceFinishProbe once the
+  /// probe side is drained, and streams GraceNextOutput — whose output is
+  /// byte-identical to the in-memory probe path.
+  bool grace_active() const { return grace_ != nullptr; }
+  Status GraceAddProbeBatch(const RowBatch& batch);
+  /// Joins every (build, probe) partition pair — recursively repartitioning
+  /// pairs that still exceed the budget — and arms the sequence-merge over
+  /// the pair outputs. Call once, after the last GraceAddProbeBatch.
+  Status GraceFinishProbe();
+  /// Streams the merged join output (FULL OUTER unmatched-build tail last).
+  Result<RowBatch> GraceNextOutput(bool* done);
 
   size_t build_rows() const { return build_.num_rows(); }
   bool perfect_hash_engaged() const { return perfect_.engaged(); }
@@ -200,11 +223,26 @@ class HashJoinCore {
 
  private:
   enum class KeyCmp : uint8_t { kI64, kF64, kStr, kBoxed };
+  struct GraceState;
 
   /// Equality of one probe-row key against one build-row key, using the
   /// typed fast path the key kinds allow.
   bool KeysEqual(const std::vector<ColumnVectorPtr>& probe_cols, int32_t probe_row,
                  int32_t build_row) const;
+
+  /// Switches an over-budget build into grace mode: spills the rows already
+  /// accumulated in build_ to depth-0 hash partitions and resets build_.
+  Status EnterGrace();
+  /// Routes the selected rows of one build-side batch to the depth-0 build
+  /// partition writers, assigning global build sequence numbers.
+  Status GraceRouteBuildBatch(const RowBatch& batch);
+  /// Rebuilds table_/build_key_cols_/matched_ over the rows currently in
+  /// build_ (serial, no perfect hash): the per-pair table of a grace join.
+  Status RebuildTableOverBuild();
+  /// Joins one (build, probe) partition pair, recursing on pairs whose
+  /// build side still exceeds the budget. Appends output/tail spill runs.
+  Status JoinPartitionPair(int depth, SpillBatchWriter* build_run,
+                           SpillBatchWriter* probe_run);
 
   ExecContext* ctx_;
   TableRef::JoinType join_type_;
@@ -234,6 +272,15 @@ class HashJoinCore {
   obs::Counter* metric_probe_hits_ = nullptr;
   obs::Counter* metric_probe_misses_ = nullptr;
   obs::OperatorProfileNode* profile_node_ = nullptr;
+
+  /// Build-side memory reservation (held while build_/table_ are resident).
+  MemoryReservation reservation_;
+  /// Grace-mode state (partition writers, pair-output runs, merge cursors);
+  /// null while the build fits in memory.
+  std::unique_ptr<GraceState> grace_;
+  /// Global build index of each row currently in build_ (grace pair joins;
+  /// FULL OUTER tails merge by it). Empty in the in-memory path.
+  std::vector<uint64_t> grace_build_seqs_;
 };
 
 /// Hash join supporting inner/left/full/semi/anti (+cross). Right joins are
@@ -296,6 +343,24 @@ class GroupedAggState {
   /// Emits groups [begin, end) as a batch over `schema` (keys then aggs).
   Result<RowBatch> Emit(size_t begin, size_t end, const Schema& schema) const;
 
+  // --- spill surface (AggSpillSet) ---
+  /// Stored-group count, valid before Seal (spill flushes walk raw groups).
+  size_t num_raw_groups() const { return groups_.size(); }
+  uint64_t group_hash(size_t i) const { return groups_[i].hash; }
+  /// First-seen sequence of the i-th *sealed* group (merge-emit ordering).
+  uint64_t ordered_first_seq(size_t i) const {
+    return groups_[ordered_[i]].first_seq;
+  }
+  /// Serializes raw group `i` — hash, first_seq, keys, accumulators
+  /// (DISTINCT sets sorted for determinism) — as one spill record.
+  std::string SerializeGroup(size_t i) const;
+  /// Merges one serialized group record into this state (same semantics as
+  /// Merge: new groups are adopted, existing ones fold accumulators and
+  /// keep the minimum first_seq).
+  Status AbsorbSerializedGroup(const std::string& record);
+  /// Drops all groups and the index (after a spill flush).
+  void Reset();
+
  private:
   struct Accumulator {
     int64_t count = 0;
@@ -347,9 +412,65 @@ class GroupedAggState {
   uint64_t payload_bytes_ = 0;
 };
 
+/// Aggregation spill: hash-prefix partition streams that over-budget
+/// fragments flush serialized group records into, plus the partition-wise
+/// rebuild that reassembles the sealed result as a first-seen-ordered row
+/// stream. One instance per aggregation node; each fragment (worker) flushes
+/// into its own stream set, so concurrent flushes never contend. A group's
+/// records always land in one hash partition, so rebuilding partitions one
+/// at a time bounds the merge-side footprint to ~1/partitions of the state.
+class AggSpillSet {
+ public:
+  AggSpillSet(ExecContext* ctx, std::string prefix,
+              const std::vector<ExprPtr>* keys, const std::vector<AggCall>* aggs,
+              int partitions, int workers);
+
+  /// Serializes every group of `state` into worker `w`'s partition streams
+  /// and resets the state. Thread-safe across distinct workers.
+  Status Flush(int worker, GroupedAggState* state);
+  /// True once any fragment flushed.
+  bool spilled() const { return spilled_.load(std::memory_order_relaxed); }
+
+  /// Rebuilds each hash partition — absorbing `remainder`'s groups of that
+  /// partition plus every worker's spilled records in fixed (remainder,
+  /// worker, chunk) order — seals it, finalizes it into a seq-tagged row
+  /// run, then arms the k-way merge over the runs. Call once, after input
+  /// ends. `remainder` (may be null) is the final unspilled in-memory state.
+  Status PrepareEmit(GroupedAggState* remainder, const Schema& schema);
+  /// Streams the merged output in first-seen group order.
+  Result<RowBatch> NextOutput(bool* done);
+
+  int64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+  uint64_t bytes_spilled() const;
+
+ private:
+  struct Cursor {
+    std::unique_ptr<SpillBatchReader> reader;
+    RowBatch batch;
+    std::vector<uint64_t> seqs;
+    size_t pos = 0;
+    bool done = false;
+  };
+  Status RefillCursor(Cursor* c);
+
+  ExecContext* ctx_;
+  std::string prefix_;
+  const std::vector<ExprPtr>* keys_;
+  const std::vector<AggCall>* aggs_;
+  int partitions_;
+  /// Partition record streams, [worker][partition]; created lazily.
+  std::vector<std::vector<std::unique_ptr<SpillChunkWriter>>> writers_;
+  std::atomic<bool> spilled_{false};
+  std::atomic<int64_t> flushes_{0};
+  std::vector<std::unique_ptr<SpillBatchWriter>> runs_;  // per-partition rows
+  std::vector<Cursor> cursors_;
+  Schema out_schema_;
+};
+
 /// Hash aggregation with optional DISTINCT aggregates; grouping-set
 /// expansion happens in the planner so this operator sees plain keys.
-/// Thin serial driver over GroupedAggState.
+/// Thin serial driver over GroupedAggState; a denied memory reservation
+/// flushes the state through AggSpillSet and merge-emits on Seal.
 class HashAggregateOperator : public Operator {
  public:
   HashAggregateOperator(ExecContext* ctx, OperatorPtr child,
@@ -357,8 +478,10 @@ class HashAggregateOperator : public Operator {
                         Schema schema);
   Status Open() override;
   Result<RowBatch> Next(bool* done) override;
-  Status Close() override { return child_->Close(); }
+  Status Close() override;
   const Schema& schema() const override { return schema_; }
+
+  void set_profile_node(obs::OperatorProfileNode* node) { profile_node_ = node; }
 
  private:
   Status Consume();
@@ -370,20 +493,49 @@ class HashAggregateOperator : public Operator {
   GroupedAggState state_;
   size_t emit_index_ = 0;
   bool consumed_ = false;
+  MemoryReservation reservation_;
+  std::unique_ptr<AggSpillSet> spill_;  // created on first denied reservation
+  obs::OperatorProfileNode* profile_node_ = nullptr;
 };
 
-/// Full sort with optional fetch (ORDER BY ... LIMIT).
+/// Full sort with optional fetch (ORDER BY ... LIMIT). Three regimes:
+///  - small fetch: a bounded top-K heap holds only the K best rows, so
+///    ORDER BY ... LIMIT never materializes (or spills) the input;
+///  - input within budget: dense materialize + stable sort (the classic
+///    path);
+///  - over budget: external merge sort — each chunk that fills the
+///    reservation sorts in memory and drains to a spill run, and emission
+///    k-way-merges the runs (ties break toward the earlier run, which is
+///    exactly std::stable_sort order).
 class SortOperator : public Operator {
  public:
   SortOperator(ExecContext* ctx, OperatorPtr child,
                std::vector<std::pair<ExprPtr, bool>> keys, int64_t fetch);
   Status Open() override { return child_->Open(); }
   Result<RowBatch> Next(bool* done) override;
-  Status Close() override { return child_->Close(); }
+  Status Close() override;
   const Schema& schema() const override { return child_->schema(); }
 
+  void set_profile_node(obs::OperatorProfileNode* node) { profile_node_ = node; }
+
  private:
-  Result<RowBatch> CollectAllIntoDense();
+  struct MergeCursor {
+    std::unique_ptr<SpillBatchReader> reader;
+    RowBatch batch;
+    std::vector<ColumnVectorPtr> keys;  // evaluated over `batch`
+    size_t pos = 0;
+    bool done = false;
+  };
+
+  /// Drains the child: top-K heap, in-memory sort into materialized_, or
+  /// spill runs + armed merge, depending on fetch and the reservation.
+  Status ConsumeInput();
+  /// Bounded ORDER BY ... LIMIT consumption (fetch small enough for a heap).
+  Status ConsumeTopK();
+  /// Sorts the pending chunk and drains it to a new spill run.
+  Status SpillRun(RowBatch* pending);
+  Result<RowBatch> MergeNext(bool* done);
+  Status RefillCursor(MergeCursor* c);
 
   OperatorPtr child_;
   std::vector<std::pair<ExprPtr, bool>> keys_;
@@ -391,6 +543,14 @@ class SortOperator : public Operator {
   bool sorted_ = false;
   RowBatch materialized_;
   size_t emit_offset_ = 0;
+  MemoryReservation reservation_;
+  std::vector<std::unique_ptr<SpillBatchWriter>> runs_;
+  std::vector<MergeCursor> cursors_;
+  bool merge_armed_ = false;
+  int64_t merge_emitted_ = 0;  // rows emitted by the external merge
+  bool used_top_k_ = false;
+  uint64_t input_bytes_ = 0;
+  obs::OperatorProfileNode* profile_node_ = nullptr;
 };
 
 class LimitOperator : public Operator {
@@ -421,6 +581,10 @@ class UnionOperator : public Operator {
 };
 
 /// INTERSECT / EXCEPT with set (distinct) semantics via row-digest sets.
+/// The digest sets and the materialized result draw a reservation at batch
+/// granularity (their *actual* byte footprint, not a fabricated estimate);
+/// this operator does not spill, so a denied reservation fails the query
+/// with a budget-exceeded status.
 class SetOpOperator : public Operator {
  public:
   SetOpOperator(ExecContext* ctx, OperatorPtr left, OperatorPtr right,
@@ -436,6 +600,7 @@ class SetOpOperator : public Operator {
   bool done_ = false;
   RowBatch result_;
   bool emitted_ = false;
+  MemoryReservation reservation_;
 };
 
 /// Window functions: materializes the input, then computes each call over

@@ -295,6 +295,17 @@ Status ParallelHashJoinOperator::Open() {
 
 Status ParallelHashJoinOperator::RunPipeline() {
   ran_ = true;
+  if (core_.grace_active()) {
+    // Grace mode trades probe parallelism for bounded memory: a single
+    // worker claims morsels in order, so probe rows route to their hash
+    // partitions in global input order — the sequence the merged output
+    // reassembles by. The pipeline is disk-bound here anyway.
+    HIVE_RETURN_IF_ERROR(
+        driver_.Run(1, [this](int, size_t, RowBatch&& batch) -> Status {
+          return core_.GraceAddProbeBatch(batch);
+        }));
+    return core_.GraceFinishProbe();
+  }
   results_.resize(driver_.num_morsels());
   present_.assign(driver_.num_morsels(), 0);
   int workers = driver_.DecideWorkers();
@@ -323,6 +334,12 @@ Status ParallelHashJoinOperator::RunPipeline() {
 
 Result<RowBatch> ParallelHashJoinOperator::Next(bool* done) {
   if (!ran_) HIVE_RETURN_IF_ERROR(RunPipeline());
+  if (core_.grace_active()) {
+    // Sequence-merged grace output (FULL OUTER tail included).
+    HIVE_ASSIGN_OR_RETURN(RowBatch out, core_.GraceNextOutput(done));
+    if (!*done) rows_produced_ += static_cast<int64_t>(out.num_rows());
+    return out;
+  }
   while (emit_ < results_.size() && !present_[emit_]) ++emit_;
   if (emit_ < results_.size()) {
     *done = false;
@@ -366,25 +383,64 @@ Status ParallelAggregateOperator::RunPipeline() {
   ran_ = true;
   int workers = driver_.DecideWorkers();
   partials_.clear();
-  for (int w = 0; w < workers; ++w)
+  worker_reservations_.clear();
+  for (int w = 0; w < workers; ++w) {
     partials_.push_back(std::make_unique<GroupedAggState>(&keys_, &aggs_));
+    worker_reservations_.push_back(
+        std::make_unique<MemoryReservation>(ctx_->query_memory));
+  }
+  // The spill set is created eagerly: workers flush concurrently and must
+  // not race a lazy construction. Scalar aggregates never spill (one group;
+  // flushing cannot shrink it).
+  const bool can_spill = ctx_->CanSpill() && !keys_.empty();
+  if (can_spill && !spill_)
+    spill_ = std::make_unique<AggSpillSet>(
+        ctx_, ctx_->spill_dir + "/a" + std::to_string(NextSpillStreamId()),
+        &keys_, &aggs_, std::max(2, ctx_->config->spill_partitions), workers);
   HIVE_RETURN_IF_ERROR(driver_.Run(
-      workers, [this](int worker, size_t morsel, RowBatch&& batch) -> Status {
+      workers,
+      [this, can_spill](int worker, size_t morsel, RowBatch&& batch) -> Status {
         // Sequence rows by (morsel, row) so group order is independent of
         // the morsel-to-worker assignment. Row groups hold < 2^24 rows.
-        return partials_[worker]->Consume(batch,
-                                          static_cast<uint64_t>(morsel) << 24);
+        GroupedAggState* state = partials_[static_cast<size_t>(worker)].get();
+        HIVE_RETURN_IF_ERROR(
+            state->Consume(batch, static_cast<uint64_t>(morsel) << 24));
+        MemoryReservation* res =
+            worker_reservations_[static_cast<size_t>(worker)].get();
+        if (!res->GrowTo(static_cast<int64_t>(state->approx_bytes()))) {
+          CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+          if (!can_spill)
+            return BudgetExceededStatus(
+                "parallel hash aggregate",
+                static_cast<int64_t>(state->approx_bytes()), ctx_);
+          HIVE_RETURN_IF_ERROR(spill_->Flush(worker, state));
+          res->Release();
+        }
+        return Status::OK();
       }));
   // Merge the thread-local partial states (partial-aggregate exchange).
   for (size_t w = 1; w < partials_.size(); ++w)
     partials_[0]->Merge(std::move(*partials_[w]));
   partials_.resize(1);
+  if (spill_ && spill_->spilled()) {
+    // The merged unspilled groups are the remainder; the sealed result
+    // rebuilds partition-wise from the spill streams.
+    HIVE_RETURN_IF_ERROR(spill_->PrepareEmit(partials_[0].get(), schema_));
+    partials_[0]->Reset();
+    for (auto& r : worker_reservations_) r->Release();
+    return ctx_->OnStageBoundary(spill_->bytes_spilled());
+  }
   partials_[0]->Seal();
   return ctx_->OnStageBoundary(partials_[0]->approx_bytes());
 }
 
 Result<RowBatch> ParallelAggregateOperator::Next(bool* done) {
   if (!ran_) HIVE_RETURN_IF_ERROR(RunPipeline());
+  if (spill_ && spill_->spilled()) {
+    HIVE_ASSIGN_OR_RETURN(RowBatch out, spill_->NextOutput(done));
+    if (!*done) rows_produced_ += static_cast<int64_t>(out.num_rows());
+    return out;
+  }
   GroupedAggState& state = *partials_[0];
   size_t batch_size = static_cast<size_t>(ctx_->config->vector_batch_size);
   if (emit_index_ >= state.num_groups()) {
@@ -397,6 +453,16 @@ Result<RowBatch> ParallelAggregateOperator::Next(bool* done) {
   emit_index_ = end;
   rows_produced_ += static_cast<int64_t>(out.num_rows());
   return out;
+}
+
+Status ParallelAggregateOperator::Close() {
+  if (profile_node_ && spill_ && spill_->spilled()) {
+    std::string& d = profile_node_->detail;
+    if (!d.empty()) d += ", ";
+    d += "spill=agg flushes=" + std::to_string(spill_->flushes()) +
+         " spill_bytes=" + std::to_string(spill_->bytes_spilled());
+  }
+  return driver_.Close();
 }
 
 }  // namespace hive

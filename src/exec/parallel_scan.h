@@ -170,8 +170,10 @@ class ParallelAggregateOperator : public Operator {
 
   Status Open() override { return driver_.Open(); }
   Result<RowBatch> Next(bool* done) override;
-  Status Close() override { return driver_.Close(); }
+  Status Close() override;
   const Schema& schema() const override { return schema_; }
+
+  void set_profile_node(obs::OperatorProfileNode* node) { profile_node_ = node; }
 
  private:
   Status RunPipeline();
@@ -183,6 +185,11 @@ class ParallelAggregateOperator : public Operator {
   std::vector<std::unique_ptr<GroupedAggState>> partials_;  // one per worker
   bool ran_ = false;
   size_t emit_index_ = 0;
+  /// Per-worker reservations over the shared query budget; a denied grow
+  /// flushes that worker's partial state into spill_ (its own stream set).
+  std::vector<std::unique_ptr<MemoryReservation>> worker_reservations_;
+  std::unique_ptr<AggSpillSet> spill_;
+  obs::OperatorProfileNode* profile_node_ = nullptr;
 };
 
 }  // namespace hive

@@ -3,6 +3,7 @@
 
 #include "common/hash.h"
 #include "exec/operators.h"
+#include "exec/spill.h"
 #include "exec/vector_eval.h"
 #include "optimizer/expr_eval.h"
 
@@ -14,17 +15,76 @@ SortOperator::SortOperator(ExecContext* ctx, OperatorPtr child,
                            std::vector<std::pair<ExprPtr, bool>> keys, int64_t fetch)
     : Operator(ctx), child_(std::move(child)), keys_(std::move(keys)), fetch_(fetch) {}
 
+namespace {
+
+/// Largest ORDER BY ... LIMIT a bounded heap answers without materializing
+/// (boxed rows; beyond this the generic sort paths win).
+constexpr int64_t kTopKMaxFetch = 65536;
+
+}  // namespace
+
 Result<RowBatch> SortOperator::Next(bool* done) {
-  if (!sorted_) {
-    sorted_ = true;
-    HIVE_ASSIGN_OR_RETURN(RowBatch all, CollectAllIntoDense());
-    // Evaluate the sort keys once over the dense batch.
+  if (!sorted_) HIVE_RETURN_IF_ERROR(ConsumeInput());
+  if (merge_armed_) {
+    HIVE_ASSIGN_OR_RETURN(RowBatch out, MergeNext(done));
+    if (!*done) rows_produced_ += static_cast<int64_t>(out.num_rows());
+    return out;
+  }
+  if (emit_offset_ > 0 || materialized_.num_rows() == 0) {
+    *done = true;
+    return RowBatch();
+  }
+  emit_offset_ = materialized_.num_rows();
+  rows_produced_ += static_cast<int64_t>(materialized_.num_rows());
+  *done = false;
+  return materialized_;
+}
+
+Status SortOperator::ConsumeInput() {
+  sorted_ = true;
+  reservation_.Attach(ctx_->query_memory);
+  if (fetch_ >= 0 && fetch_ <= kTopKMaxFetch) {
+    used_top_k_ = true;
+    return ConsumeTopK();
+  }
+
+  RowBatch pending(child_->schema());
+  size_t rows = 0;
+  uint64_t pending_bytes = 0;
+  bool done = false;
+  for (;;) {
+    HIVE_RETURN_IF_ERROR(CheckCancelled());
+    HIVE_ASSIGN_OR_RETURN(RowBatch batch, child_->Next(&done));
+    if (done) break;
+    rows += batch.SelectedSize();
+    for (size_t i = 0; i < batch.SelectedSize(); ++i) {
+      int32_t row = batch.SelectedRow(i);
+      for (size_t c = 0; c < pending.num_columns(); ++c)
+        pending.column(c)->AppendFrom(*batch.column(c), row);
+    }
+    pending.set_num_rows(rows);
+    pending_bytes += batch.ByteSize();
+    input_bytes_ += batch.ByteSize();
+    if (!reservation_.GrowTo(static_cast<int64_t>(pending_bytes))) {
+      CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+      if (!ctx_->CanSpill())
+        return BudgetExceededStatus("sort",
+                                    static_cast<int64_t>(pending_bytes), ctx_);
+      HIVE_RETURN_IF_ERROR(SpillRun(&pending));
+      reservation_.Release();
+      rows = 0;
+      pending_bytes = 0;
+    }
+  }
+
+  if (runs_.empty()) {
+    // Whole input fit: the classic dense materialize + stable sort.
     std::vector<ColumnVectorPtr> key_cols;
     for (const auto& [expr, asc] : keys_) {
-      HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*expr, all));
+      HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*expr, pending));
       key_cols.push_back(std::move(col));
     }
-    std::vector<int32_t> order(all.num_rows());
+    std::vector<int32_t> order(pending.num_rows());
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
       for (size_t k = 0; k < keys_.size(); ++k) {
@@ -40,37 +100,214 @@ Result<RowBatch> SortOperator::Next(bool* done) {
     materialized_ = RowBatch(child_->schema());
     for (int32_t row : order)
       for (size_t c = 0; c < materialized_.num_columns(); ++c)
-        materialized_.column(c)->AppendFrom(*all.column(c), row);
+        materialized_.column(c)->AppendFrom(*pending.column(c), row);
     materialized_.set_num_rows(order.size());
-    HIVE_RETURN_IF_ERROR(ctx_->OnStageBoundary(all.ByteSize()));
+    return ctx_->OnStageBoundary(pending.ByteSize());
   }
-  if (emit_offset_ > 0 || materialized_.num_rows() == 0) {
-    *done = true;
-    return RowBatch();
+
+  // External merge sort: the tail chunk becomes the last run, then a k-way
+  // merge streams the runs back. Runs are consecutive time slices of the
+  // input, each stable-sorted, and the merge breaks key ties toward the
+  // earlier run — together that reproduces std::stable_sort over the whole
+  // input exactly.
+  if (pending.num_rows() > 0) HIVE_RETURN_IF_ERROR(SpillRun(&pending));
+  reservation_.Release();
+  uint64_t spill_bytes = 0;
+  for (const std::unique_ptr<SpillBatchWriter>& run : runs_)
+    spill_bytes += run->bytes_written();
+  cursors_.clear();
+  for (std::unique_ptr<SpillBatchWriter>& run : runs_) {
+    cursors_.emplace_back();
+    MergeCursor& c = cursors_.back();
+    c.batch = RowBatch(child_->schema());
+    c.reader = std::make_unique<SpillBatchReader>(ctx_, *run);
+    HIVE_RETURN_IF_ERROR(RefillCursor(&c));
   }
-  emit_offset_ = materialized_.num_rows();
-  rows_produced_ += static_cast<int64_t>(materialized_.num_rows());
-  *done = false;
-  return materialized_;
+  merge_armed_ = true;
+  CountSpillMetric(ctx_, "exec.spill.merge_passes", 1);
+  return ctx_->OnStageBoundary(spill_bytes);
 }
 
-Result<RowBatch> SortOperator::CollectAllIntoDense() {
+Status SortOperator::SpillRun(RowBatch* pending) {
+  if (pending->num_rows() == 0) return Status::OK();
+  std::vector<ColumnVectorPtr> key_cols;
+  for (const auto& [expr, asc] : keys_) {
+    HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*expr, *pending));
+    key_cols.push_back(std::move(col));
+  }
+  std::vector<int32_t> order(pending->num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      Value va = key_cols[k]->GetValue(a);
+      Value vb = key_cols[k]->GetValue(b);
+      int cmp = Value::Compare(va, vb);
+      if (cmp != 0) return keys_[k].second ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  auto run = std::make_unique<SpillBatchWriter>(
+      ctx_, ctx_->spill_dir + "/s" + std::to_string(NextSpillStreamId()),
+      child_->schema(), /*with_seqs=*/false);
+  for (int32_t row : order)
+    HIVE_RETURN_IF_ERROR(run->AppendRow(*pending, row, 0));
+  HIVE_RETURN_IF_ERROR(run->Finish());
+  CountSpillMetric(ctx_, "exec.spill.partitions", 1);
+  runs_.push_back(std::move(run));
+  *pending = RowBatch(child_->schema());
+  return Status::OK();
+}
+
+Status SortOperator::RefillCursor(MergeCursor* c) {
+  c->pos = 0;
+  HIVE_ASSIGN_OR_RETURN(bool more, c->reader->NextBatch(&c->batch, nullptr));
+  if (!more) {
+    c->done = true;
+    return Status::OK();
+  }
+  c->keys.clear();
+  for (const auto& [expr, asc] : keys_) {
+    HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*expr, c->batch));
+    c->keys.push_back(std::move(col));
+  }
+  return Status::OK();
+}
+
+Result<RowBatch> SortOperator::MergeNext(bool* done) {
+  *done = false;
+  const size_t limit =
+      ctx_->config ? static_cast<size_t>(ctx_->config->vector_batch_size) : 1024;
+  // Strictly-less comparison scanning cursors in run order: key ties keep
+  // the earliest run, i.e. original input order (stable-sort semantics).
+  auto less = [this](const MergeCursor& a, const MergeCursor& b) {
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      Value va = a.keys[k]->GetValue(a.pos);
+      Value vb = b.keys[k]->GetValue(b.pos);
+      int cmp = Value::Compare(va, vb);
+      if (cmp != 0) return keys_[k].second ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  };
   RowBatch out(child_->schema());
+  size_t out_rows = 0;
+  while (out_rows < limit) {
+    if (fetch_ >= 0 && merge_emitted_ >= fetch_) break;
+    MergeCursor* best = nullptr;
+    for (MergeCursor& c : cursors_) {
+      if (c.done) continue;
+      if (!best || less(c, *best)) best = &c;
+    }
+    if (!best) break;
+    for (size_t col = 0; col < out.num_columns(); ++col)
+      out.column(col)->AppendFrom(*best->batch.column(col), best->pos);
+    ++out_rows;
+    ++merge_emitted_;
+    ++best->pos;
+    if (best->pos >= best->batch.num_rows()) HIVE_RETURN_IF_ERROR(RefillCursor(best));
+  }
+  out.set_num_rows(out_rows);
+  if (out_rows == 0) *done = true;
+  return out;
+}
+
+Status SortOperator::ConsumeTopK() {
+  // Bounded ORDER BY ... LIMIT: a max-heap of the K best (boxed) rows. An
+  // incoming row replaces the heap's worst entry only when strictly better
+  // by (keys, input position) — exactly stable_sort + truncate semantics,
+  // with O(K) resident rows and no spill.
+  struct Entry {
+    std::vector<Value> keys;
+    std::vector<Value> row;
+    uint64_t seq;
+  };
+  auto before = [this](const Entry& a, const Entry& b) {
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      int cmp = Value::Compare(a.keys[k], b.keys[k]);
+      if (cmp != 0) return keys_[k].second ? cmp < 0 : cmp > 0;
+    }
+    return a.seq < b.seq;
+  };
+  auto value_bytes = [](const Value& v) -> uint64_t {
+    uint64_t bytes = sizeof(Value);
+    if (v.kind() == TypeKind::kString) bytes += v.str().capacity();
+    return bytes;
+  };
+  auto entry_bytes = [&](const Entry& e) -> uint64_t {
+    uint64_t bytes = sizeof(Entry);
+    for (const Value& v : e.keys) bytes += value_bytes(v);
+    for (const Value& v : e.row) bytes += value_bytes(v);
+    return bytes;
+  };
+
+  const size_t cap = static_cast<size_t>(fetch_);
+  std::vector<Entry> heap;
+  uint64_t heap_bytes = 0;
+  uint64_t seq = 0;
   bool done = false;
-  size_t rows = 0;
+  const size_t width = child_->schema().num_fields();
   for (;;) {
     HIVE_RETURN_IF_ERROR(CheckCancelled());
     HIVE_ASSIGN_OR_RETURN(RowBatch batch, child_->Next(&done));
     if (done) break;
-    rows += batch.SelectedSize();
+    if (cap == 0) continue;  // LIMIT 0 still drains the child
+    std::vector<ColumnVectorPtr> key_cols;
+    for (const auto& [expr, asc] : keys_) {
+      HIVE_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalVector(*expr, batch));
+      key_cols.push_back(std::move(col));
+    }
     for (size_t i = 0; i < batch.SelectedSize(); ++i) {
-      int32_t row = batch.SelectedRow(i);
-      for (size_t c = 0; c < out.num_columns(); ++c)
-        out.column(c)->AppendFrom(*batch.column(c), row);
+      int32_t src = batch.SelectedRow(i);
+      Entry e;
+      e.seq = seq++;
+      e.keys.reserve(key_cols.size());
+      for (const ColumnVectorPtr& col : key_cols)
+        e.keys.push_back(col->GetValue(static_cast<size_t>(src)));
+      if (heap.size() == cap && !before(e, heap.front())) continue;
+      e.row.reserve(width);
+      for (size_t c = 0; c < width; ++c)
+        e.row.push_back(batch.column(c)->GetValue(static_cast<size_t>(src)));
+      heap_bytes += entry_bytes(e);
+      if (heap.size() == cap) {
+        std::pop_heap(heap.begin(), heap.end(), before);
+        heap_bytes -= entry_bytes(heap.back());
+        heap.pop_back();
+      }
+      heap.push_back(std::move(e));
+      std::push_heap(heap.begin(), heap.end(), before);
+    }
+    if (!reservation_.GrowTo(static_cast<int64_t>(heap_bytes))) {
+      CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+      // The heap is the minimal state answering this query; it cannot spill.
+      return BudgetExceededStatus("top-k sort",
+                                  static_cast<int64_t>(heap_bytes), ctx_);
     }
   }
-  out.set_num_rows(rows);
-  return out;
+  std::sort(heap.begin(), heap.end(), before);
+  materialized_ = RowBatch(child_->schema());
+  for (const Entry& e : heap)
+    for (size_t c = 0; c < width; ++c)
+      materialized_.column(c)->AppendValue(e.row[c]);
+  materialized_.set_num_rows(heap.size());
+  return ctx_->OnStageBoundary(heap_bytes);
+}
+
+Status SortOperator::Close() {
+  if (profile_node_) {
+    std::string& d = profile_node_->detail;
+    auto add = [&d](const std::string& s) {
+      if (!d.empty()) d += ", ";
+      d += s;
+    };
+    if (used_top_k_) add("top_k=" + std::to_string(fetch_));
+    if (!runs_.empty()) {
+      uint64_t bytes = 0;
+      for (const std::unique_ptr<SpillBatchWriter>& r : runs_)
+        bytes += r->bytes_written();
+      add("spill=sort runs=" + std::to_string(runs_.size()) +
+          " spill_bytes=" + std::to_string(bytes));
+    }
+  }
+  return child_->Close();
 }
 
 // --- Window ---

@@ -38,7 +38,8 @@ HiveServer2::HiveServer2(FileSystem* fs, Config config)
     : fs_(fs),
       default_config_(config),
       catalog_(fs),
-      compaction_(&catalog_, &txns_, &default_config_) {
+      compaction_(&catalog_, &txns_, &default_config_),
+      governor_(config.exec_memory_limit_bytes) {
   llap_ = std::make_unique<LlapDaemon>(fs_, default_config_);
   handlers_.Register(std::make_unique<DroidStorageHandler>(&droid_));
   handlers_.Register(std::make_unique<CsvStorageHandler>(fs_));
@@ -299,6 +300,18 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
   ctx.join_build_row_limit = config.join_build_row_limit;
   if (attempt > 0) ctx.join_build_row_limit = INT64_MAX;
 
+  // Memory governance: every blocking operator in this query draws from one
+  // QueryMemory over the process governor; a denied grow makes it spill into
+  // the query's private namespace under spill_dir (torn down below).
+  QueryMemory query_memory(&governor_, config.query_memory_limit_bytes);
+  ctx.query_memory = &query_memory;
+  std::string spill_dir;
+  if (config.spill_enabled && !config.spill_dir.empty()) {
+    spill_dir =
+        config.spill_dir + "/q" + std::to_string(governor_.NextSpillId());
+    ctx.spill_dir = spill_dir;
+  }
+
   int64_t wall_start = SimClock::WallMicros();
   int64_t virt_start = clock_.virtual_us();
   // Engine-wide cache counters move under concurrent queries; the deltas
@@ -352,6 +365,10 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
     return run();
   });
   wm_.Release(wm_handle);
+  if (!spill_dir.empty()) {
+    // lint: allow-discard(spill teardown is best-effort; results are already materialized)
+    (void)fs_->DeleteRecursive(spill_dir);
+  }
   if (!exec_status.ok()) return exec_status;
 
   namespace qc = obs::qc;

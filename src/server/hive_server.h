@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/memory_governor.h"
 #include "common/sim_clock.h"
 #include "common/sync.h"
 #include "exec/compiler.h"
@@ -121,6 +122,8 @@ class HiveServer2 {
   /// Engine-wide metrics registry (SHOW METRICS); components publish into
   /// it via push counters or snapshot-time callback gauges.
   obs::MetricsRegistry* metrics() { return &metrics_; }
+  /// Process-wide memory budget every query's reservations draw from.
+  MemoryGovernor* memory_governor() { return &governor_; }
   SimClock* clock() { return &clock_; }
   FileSystem* filesystem() { return fs_; }
   CompactionManager* compaction() { return &compaction_; }
@@ -191,6 +194,7 @@ class HiveServer2 {
   QueryResultCache result_cache_;
   WorkloadManager wm_;
   obs::MetricsRegistry metrics_;
+  MemoryGovernor governor_;
   std::vector<std::unique_ptr<Session>> sessions_ HIVE_GUARDED_BY(sessions_mu_);
   Mutex sessions_mu_{"server.sessions.mu"};
 };

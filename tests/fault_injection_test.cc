@@ -334,6 +334,40 @@ TEST_F(FaultInjectionTest, SeedMatrixIsByteIdentical) {
   }
 }
 
+TEST_F(FaultInjectionTest, LowMemorySeedMatrixSpillsAndStaysByteIdentical) {
+  // The seed matrix again, with a per-query memory budget small enough that
+  // the heavy joins/aggregates/sorts spill — while the faults also target
+  // the spill directory, so transient errors and corruption hit spill runs
+  // mid-query. Spilling plus retries must still be byte-identical.
+  //
+  // The budget is tuned above what the non-spilling operators (set ops,
+  // windows, scalar aggregates) need on this 4-day warehouse but well below
+  // the big blocking operators' working sets.
+  constexpr int64_t kLowBudget = 96 * 1024;
+  int64_t spilled_before = server_->metrics()->Value("exec.spill.bytes");
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    faults_->ClearRules();
+    faults_->Reseed(seed);
+    for (const char* prefix : {"/warehouse", "/tmp/spill"}) {
+      FaultRule rule;
+      rule.path_prefix = prefix;
+      rule.read_error_rate = 0.2;
+      rule.max_read_errors_per_site = 1;
+      rule.corrupt_rate = 0.1;
+      rule.max_corruptions_per_site = 1;
+      faults_->AddRule(rule);
+    }
+    DropCaches();
+    Session* session = NewSession();
+    session->config.query_memory_limit_bytes = kLowBudget;
+    Footprint fp;
+    RunAllAndExpectBaseline(session, &fp);
+  }
+  EXPECT_GT(server_->metrics()->Value("exec.spill.bytes"), spilled_before)
+      << "the low budget never forced a spill; the matrix tested nothing new";
+}
+
 /// Workload-manager kills must name their trigger. Uses its own tiny
 /// cluster because an activated resource plan cannot be deactivated.
 TEST(WorkloadKillReasonTest, KillStatusNamesTrigger) {

@@ -1,0 +1,19 @@
+// hivelint-fixture-path: src/exec/spill_like.cc
+// Fixture: raw file I/O inside the execution engine. Spill paths must go
+// through hive::fs FileSystem so fault injection can reach them.
+#include <fstream>      // expect[raw-exec-io]
+#include <filesystem>   // expect[raw-exec-io]
+#include <cstdio>
+
+void Bad(const char* path) {
+  std::ofstream out(path);                     // expect[raw-exec-io]
+  std::ifstream in(path);                      // expect[raw-exec-io]
+  std::fstream both(path);                     // expect[raw-exec-io]
+  std::filesystem::remove(path);               // expect[raw-exec-io]
+  FILE* f = fopen(path, "rb");                 // expect[raw-exec-io]
+  if (f) fclose(f);
+}
+
+// Must NOT fire: the tokens inside comments or strings are prose.
+// std::ofstream in a comment is fine, as is "fopen(" in a message.
+const char* Fine() { return "never fopen( spill files directly"; }

@@ -21,6 +21,11 @@
 //                   adjacent `// lint: allow-discard(<reason>)` comment. The
 //                   cast compiles; the comment is what makes the discard a
 //                   reviewed decision instead of a reflex.
+//   raw-exec-io     <fstream>/<filesystem>/fopen/FILE* in src/exec/. Spill
+//                   and exchange I/O must flow through the injectable
+//                   hive::fs FileSystem so fault injection (transient
+//                   errors, corruption, torn renames) exercises every
+//                   execution-time byte that touches a disk.
 //
 // Usage:
 //   hivelint [--root <dir>] <file-or-dir>...   lint (dirs walk *.h/*.cc/*.cpp)
@@ -92,6 +97,12 @@ const std::vector<Rule>& Rules() {
        "(void) discard of a fallible call without an adjacent "
        "`// lint: allow-discard(<reason>)` comment",
        {},  // applies everywhere hivelint looks, tests included
+       {}},
+      {"raw-exec-io",
+       std::regex(R"(#\s*include\s*<(fstream|filesystem)>|std::(i|o)?fstream\b|std::filesystem\b|\bfopen\s*\(|\bFILE\s*\*)"),
+       "raw file I/O in the execution engine; spill and exchange bytes must "
+       "flow through hive::fs FileSystem (injectable, fault-tested)",
+       {"src/exec/"},
        {}},
   };
   return rules;
