@@ -1,0 +1,241 @@
+// Many-session throughput under true admission control: N client threads,
+// each owning a Connection, fire a mixed workload (prepared point lookups
+// via EXECUTE plus heavier TPC-DS-style aggregates) at a server running an
+// active resource plan with separate `bi` and `etl` pools. Every submitted
+// query must be accounted for — admitted, deadline-timed-out, or rejected;
+// a single *lost* query (vanished without a terminal status) fails the
+// bench. Two passes, plan cache off then on, report p50/p99 latency and
+// throughput so the cache's effect on a prepared-heavy workload is visible.
+//
+// Emits BENCH_concurrency.json. `--smoke` runs 32 sessions for ctest.
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace hive;
+using namespace hive::bench;
+
+namespace {
+
+constexpr const char* kPointLookup =
+    "PREPARE point AS SELECT COUNT(*) AS cnt, SUM(ss_quantity) AS qty "
+    "FROM store_sales WHERE ss_item_sk = ?";
+
+constexpr const char* kAggregate =
+    "SELECT i_category, COUNT(*) AS cnt, SUM(ss_quantity) AS qty "
+    "FROM store_sales, item WHERE ss_item_sk = i_item_sk "
+    "GROUP BY i_category ORDER BY i_category";
+
+struct SessionStats {
+  int64_t submitted = 0;
+  int64_t admitted = 0;   // ran to completion
+  int64_t timed_out = 0;  // admission deadline expired
+  int64_t rejected = 0;   // other resource-exhausted outcomes
+  int64_t failed = 0;     // anything else — counts as lost
+  std::vector<double> latencies_ms;
+
+  void Merge(const SessionStats& other) {
+    submitted += other.submitted;
+    admitted += other.admitted;
+    timed_out += other.timed_out;
+    rejected += other.rejected;
+    failed += other.failed;
+    latencies_ms.insert(latencies_ms.end(), other.latencies_ms.begin(),
+                        other.latencies_ms.end());
+  }
+};
+
+struct PassResult {
+  bool plan_cache = false;
+  SessionStats stats;
+  double wall_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double throughput_qps = 0;
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+};
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + static_cast<long>(idx), v.end());
+  return v[idx];
+}
+
+/// One simulated client: connects under its application, prepares the point
+/// lookup once, then interleaves cheap EXECUTEs with the heavy aggregate.
+void RunSession(HiveServer2* server, int session_idx, int queries, bool cache,
+                SessionStats* out) {
+  const bool etl = session_idx % 4 == 3;
+  Connection conn = server->Connect(etl ? "etl" : "bi");
+  conn.config().result_cache_enabled = false;
+  conn.config().plan_cache_enabled = cache;
+  conn.config().wlm_queue_timeout_ms = 30000;
+
+  SessionStats stats;
+  auto prep = conn.Execute(kPointLookup);
+  if (!prep.ok()) {
+    // A session that cannot even prepare loses all its queries.
+    stats.submitted = stats.failed = queries;
+    *out = std::move(stats);
+    return;
+  }
+  for (int q = 0; q < queries; ++q) {
+    const bool heavy = etl || q % 4 == 0;
+    const int key = (session_idx * 31 + q * 7) % 1000 + 1;
+    const std::string sql =
+        heavy ? std::string(kAggregate)
+              : "EXECUTE point (" + std::to_string(key) + ")";
+    ++stats.submitted;
+    int64_t t0 = SimClock::WallMicros();
+    auto r = conn.Execute(sql);
+    double ms = static_cast<double>(SimClock::WallMicros() - t0) / 1000.0;
+    if (r.ok()) {
+      ++stats.admitted;
+      stats.latencies_ms.push_back(ms);
+    } else if (r.status().code() == StatusCode::kResourceExhausted) {
+      if (r.status().ToString().find("wlm.queue.timeout.ms") != std::string::npos)
+        ++stats.timed_out;
+      else
+        ++stats.rejected;
+    } else {
+      std::fprintf(stderr, "session %d query lost: %s\n", session_idx,
+                   r.status().ToString().c_str());
+      ++stats.failed;
+    }
+  }
+  *out = std::move(stats);
+}
+
+PassResult RunPass(HiveServer2* server, int sessions, int queries_per_session,
+                   bool plan_cache) {
+  const int64_t hits0 = server->plan_cache()->hits();
+  const int64_t misses0 = server->plan_cache()->misses();
+
+  std::vector<SessionStats> per_session(static_cast<size_t>(sessions));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(sessions));
+  int64_t wall0 = SimClock::WallMicros();
+  for (int i = 0; i < sessions; ++i)
+    threads.emplace_back(RunSession, server, i, queries_per_session,
+                         plan_cache, &per_session[static_cast<size_t>(i)]);
+  for (auto& t : threads) t.join();
+
+  PassResult pass;
+  pass.plan_cache = plan_cache;
+  pass.wall_ms = static_cast<double>(SimClock::WallMicros() - wall0) / 1000.0;
+  for (const SessionStats& s : per_session) pass.stats.Merge(s);
+  pass.p50_ms = Percentile(pass.stats.latencies_ms, 0.50);
+  pass.p99_ms = Percentile(pass.stats.latencies_ms, 0.99);
+  pass.throughput_qps =
+      static_cast<double>(pass.stats.admitted) / (pass.wall_ms / 1000.0);
+  pass.plan_cache_hits = server->plan_cache()->hits() - hits0;
+  pass.plan_cache_misses = server->plan_cache()->misses() - misses0;
+  return pass;
+}
+
+int64_t Lost(const PassResult& p) {
+  return p.stats.failed + (p.stats.submitted - p.stats.admitted -
+                           p.stats.timed_out - p.stats.rejected -
+                           p.stats.failed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int sessions = smoke ? 32 : 500;
+  const int queries_per_session = smoke ? 4 : 8;
+
+  MemFileSystem fs;
+  Config config;
+  config.container_startup_us = 0;
+  config.num_executors = 8;
+  HiveServer2 server(&fs, config);
+  Connection admin = server.Connect();
+  TpcdsOptions options;
+  options.scale = 1;
+  Must(LoadTpcds(admin, options));
+  Must(admin
+           .ExecuteScript(
+               "CREATE RESOURCE PLAN conc;"
+               "CREATE POOL conc.bi WITH alloc_fraction=0.7, "
+               "query_parallelism=8;"
+               "CREATE POOL conc.etl WITH alloc_fraction=0.3, "
+               "query_parallelism=2;"
+               "CREATE APPLICATION MAPPING bi IN conc TO bi;"
+               "CREATE APPLICATION MAPPING etl IN conc TO etl;"
+               "ALTER PLAN conc SET DEFAULT POOL = bi;"
+               "ALTER RESOURCE PLAN conc ENABLE ACTIVATE;")
+           .status());
+
+  PrintHeader("Many-session concurrency (admission control + plan cache)");
+  std::printf("sessions: %d, queries/session: %d, pools: bi(8) etl(2)\n",
+              sessions, queries_per_session);
+  std::printf("%-12s %10s %10s %10s %10s %6s %10s %10s %12s\n", "plan cache",
+              "submitted", "admitted", "timed_out", "rejected", "lost",
+              "p50 (ms)", "p99 (ms)", "qps");
+
+  std::vector<PassResult> passes;
+  for (bool cache : {false, true}) {
+    PassResult pass = RunPass(&server, sessions, queries_per_session, cache);
+    std::printf("%-12s %10lld %10lld %10lld %10lld %6lld %10.2f %10.2f %12.1f\n",
+                cache ? "on" : "off",
+                static_cast<long long>(pass.stats.submitted),
+                static_cast<long long>(pass.stats.admitted),
+                static_cast<long long>(pass.stats.timed_out),
+                static_cast<long long>(pass.stats.rejected),
+                static_cast<long long>(Lost(pass)), pass.p50_ms, pass.p99_ms,
+                pass.throughput_qps);
+    passes.push_back(std::move(pass));
+  }
+
+  int64_t total_lost = 0;
+  for (const PassResult& p : passes) total_lost += Lost(p);
+  if (total_lost != 0) {
+    std::fprintf(stderr, "%lld queries lost — every submission must end in "
+                         "admitted/timed_out/rejected\n",
+                 static_cast<long long>(total_lost));
+    return 1;
+  }
+  std::printf("\nall %lld submitted queries accounted for; none lost\n",
+              static_cast<long long>(passes[0].stats.submitted +
+                                     passes[1].stats.submitted));
+
+  const int64_t queue_timeouts = server.metrics()->Value("wlm.queue.timeouts");
+  const int64_t queue_admitted = server.metrics()->Value("wlm.queue.admitted");
+
+  std::ofstream json("BENCH_concurrency.json");
+  json << "{\n  \"benchmark\": \"concurrency\",\n  \"smoke\": "
+       << (smoke ? "true" : "false") << ",\n  \"sessions\": " << sessions
+       << ",\n  \"queries_per_session\": " << queries_per_session
+       << ",\n  \"pools\": {\"bi\": 8, \"etl\": 2}"
+       << ",\n  \"wlm_admitted\": " << queue_admitted
+       << ",\n  \"wlm_timeouts\": " << queue_timeouts
+       << ",\n  \"lost\": " << total_lost << ",\n  \"passes\": [\n";
+  for (size_t i = 0; i < passes.size(); ++i) {
+    const PassResult& p = passes[i];
+    json << "    {\"plan_cache\": " << (p.plan_cache ? "true" : "false")
+         << ", \"submitted\": " << p.stats.submitted
+         << ", \"admitted\": " << p.stats.admitted
+         << ", \"timed_out\": " << p.stats.timed_out
+         << ", \"rejected\": " << p.stats.rejected
+         << ", \"lost\": " << Lost(p) << ", \"p50_ms\": " << p.p50_ms
+         << ", \"p99_ms\": " << p.p99_ms
+         << ", \"throughput_qps\": " << p.throughput_qps
+         << ", \"plan_cache_hits\": " << p.plan_cache_hits
+         << ", \"plan_cache_misses\": " << p.plan_cache_misses << "}"
+         << (i + 1 < passes.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_concurrency.json\n");
+  return 0;
+}

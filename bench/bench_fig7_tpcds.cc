@@ -22,23 +22,23 @@ int main() {
   MemFileSystem fs;
   Config v31;  // defaults = Hive 3.1 mode
   HiveServer2 server(&fs, v31);
-  Session* session = server.OpenSession();
+  Connection session = server.Connect();
   TpcdsOptions options;
-  Status load = LoadTpcds(&server, session, options);
+  Status load = LoadTpcds(session, options);
   if (!load.ok()) {
     std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
     return 1;
   }
 
-  Session* legacy = server.OpenSession();
-  legacy->config.SetLegacyV12Mode();
-  Session* modern = server.OpenSession();
+  Connection legacy = server.Connect();
+  legacy.config().SetLegacyV12Mode();
+  Connection modern = server.Connect();
   // Measure execution, not the result cache (the cache ablation is a
   // separate bench); keep the modeled container start-up proportionate to
   // this downscaled dataset.
-  modern->config.result_cache_enabled = false;
-  legacy->config.container_startup_us = 10000;
-  modern->config.container_startup_us = 10000;
+  modern.config().result_cache_enabled = false;
+  legacy.config().container_startup_us = 10000;
+  modern.config().container_startup_us = 10000;
 
   PrintHeader("Figure 7: TPC-DS query response times, Hive 1.2 vs Hive 3.1");
   std::printf("%-22s %12s %12s %9s\n", "query", "v1.2 (ms)", "v3.1 (ms)", "speedup");
@@ -50,12 +50,12 @@ int main() {
   auto queries = TpcdsQueries();
   // Warm both paths once (the paper reports warm-cache numbers).
   for (const auto& q : queries) {
-    RunTimed(&server, legacy, q.sql);
-    RunTimed(&server, modern, q.sql);
+    RunTimed(legacy, q.sql);
+    RunTimed(modern, q.sql);
   }
   for (const auto& q : queries) {
-    Timing old_time = RunTimed(&server, legacy, q.sql);
-    Timing new_time = RunTimed(&server, modern, q.sql);
+    Timing old_time = RunTimed(legacy, q.sql);
+    Timing new_time = RunTimed(modern, q.sql);
     if (!new_time.ok) {
       std::printf("%-22s %12s %12s %9s\n", q.name.c_str(), "-", "FAILED", "-");
       continue;

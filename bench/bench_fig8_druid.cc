@@ -11,9 +11,9 @@ using namespace hive::bench;
 int main() {
   MemFileSystem fs;
   HiveServer2 server(&fs, Config{});
-  Session* session = server.OpenSession();
-  session->config.result_cache_enabled = false;
-  if (Status load = LoadSsb(&server, session, SsbOptions{}); !load.ok()) {
+  Connection session = server.Connect();
+  session.config().result_cache_enabled = false;
+  if (Status load = LoadSsb(session, SsbOptions{}); !load.ok()) {
     std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
     return 1;
   }
@@ -21,8 +21,7 @@ int main() {
   auto queries = SsbQueries();
 
   // --- variant A: denormalized MV stored natively in Hive ---
-  auto mv = server.Execute(session,
-                           "CREATE MATERIALIZED VIEW ssb_denorm AS " +
+  auto mv = session.Execute("CREATE MATERIALIZED VIEW ssb_denorm AS " +
                                SsbDenormalizedMvSql());
   if (!mv.ok()) {
     std::fprintf(stderr, "MV creation failed: %s\n", mv.status().ToString().c_str());
@@ -30,9 +29,9 @@ int main() {
   }
   std::vector<double> native_ms(queries.size(), -1);
   std::vector<int> native_rewrites(queries.size(), 0);
-  for (size_t i = 0; i < queries.size(); ++i) RunTimed(&server, session, queries[i].sql);
+  for (size_t i = 0; i < queries.size(); ++i) RunTimed(session, queries[i].sql);
   for (size_t i = 0; i < queries.size(); ++i) {
-    Timing t = RunTimed(&server, session, queries[i].sql);
+    Timing t = RunTimed(session, queries[i].sql);
     if (t.ok) {
       native_ms[i] = t.millis;
       native_rewrites[i] = t.result.profile().counter(hive::obs::qc::kMvRewrites);
@@ -40,10 +39,10 @@ int main() {
   }
   // Retire the native MV so the droid variant is the only rewrite target.
   // lint: allow-discard(drop is best-effort scaffolding between variants)
-  (void)server.Execute(session, "DROP MATERIALIZED VIEW ssb_denorm");
+  (void)session.Execute("DROP MATERIALIZED VIEW ssb_denorm");
 
   // --- variant B: the same materialization stored in droid ---
-  auto droid_table = LoadSsbIntoDroid(&server, session);
+  auto droid_table = LoadSsbIntoDroid(session);
   if (!droid_table.ok()) {
     std::fprintf(stderr, "droid load failed: %s\n",
                  droid_table.status().ToString().c_str());
@@ -51,9 +50,9 @@ int main() {
   }
   std::vector<double> droid_ms(queries.size(), -1);
   std::vector<int> droid_rewrites(queries.size(), 0);
-  for (size_t i = 0; i < queries.size(); ++i) RunTimed(&server, session, queries[i].sql);
+  for (size_t i = 0; i < queries.size(); ++i) RunTimed(session, queries[i].sql);
   for (size_t i = 0; i < queries.size(); ++i) {
-    Timing t = RunTimed(&server, session, queries[i].sql);
+    Timing t = RunTimed(session, queries[i].sql);
     if (t.ok) {
       droid_ms[i] = t.millis;
       droid_rewrites[i] = t.result.profile().counter(hive::obs::qc::kMvRewrites);

@@ -54,15 +54,15 @@ std::string RowsKey(const QueryResult& result) {
   return key;
 }
 
-Session* SessionFor(HiveServer2* server, int executors, bool perfect_hash) {
-  Session* session = server->OpenSession();
-  session->config.result_cache_enabled = false;
+Connection SessionFor(HiveServer2* server, int executors, bool perfect_hash) {
+  Connection session = server->Connect();
+  session.config().result_cache_enabled = false;
   // Semijoin reduction would prune the probe scan to near-nothing on these
   // selective build sides — great for TPC-DS, but this bench measures the
   // probe pipeline itself, so every fact row must reach the join.
-  session->config.semijoin_reduction_enabled = false;
-  session->config.num_executors = executors;
-  session->config.perfect_hash_join_enabled = perfect_hash;
+  session.config().semijoin_reduction_enabled = false;
+  session.config().num_executors = executors;
+  session.config().perfect_hash_join_enabled = perfect_hash;
   return session;
 }
 
@@ -80,15 +80,15 @@ struct Sample {
 Sample Measure(HiveServer2* server, const std::string& name,
                const std::string& variant, const std::string& sql,
                int executors, bool perfect_hash, std::string* expected_key) {
-  Session* session = SessionFor(server, executors, perfect_hash);
+  Connection session = SessionFor(server, executors, perfect_hash);
   server->llap()->cache()->Clear();
-  Timing cold = RunTimed(server, session, sql);
+  Timing cold = RunTimed(session, sql);
   if (!cold.ok) std::exit(1);
 
   double warm_ms = 0;
   QueryResult warm_result;
   for (int rep = 0; rep < 5; ++rep) {
-    Timing t = RunTimed(server, session, sql);
+    Timing t = RunTimed(session, sql);
     if (!t.ok) std::exit(1);
     if (rep == 0 || t.millis < warm_ms) warm_ms = t.millis;
     warm_result = std::move(t.result);
@@ -121,10 +121,10 @@ int main(int argc, char** argv) {
   config.container_startup_us = 0;
   config.num_executors = 8;  // pool size; per-run sessions scale below it
   HiveServer2 server(&fs, config);
-  Session* loader = server.OpenSession();
+  Connection loader = server.Connect();
   TpcdsOptions options;
   options.scale = smoke ? 1 : 12;  // ~30k fact rows per unit of scale
-  Must(LoadTpcds(&server, loader, options));
+  Must(LoadTpcds(loader, options));
 
   const std::vector<int> sweep = smoke ? std::vector<int>{1, 8}
                                        : std::vector<int>{1, 2, 4, 8};

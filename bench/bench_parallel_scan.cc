@@ -36,8 +36,8 @@ std::string RowsKey(const QueryResult& result) {
   return key;
 }
 
-double RunMs(HiveServer2* server, Session* session, QueryResult* out) {
-  Timing t = RunTimed(server, session, kQuery);
+double RunMs(Connection& session, QueryResult* out) {
+  Timing t = RunTimed(session, kQuery);
   if (!t.ok) std::exit(1);
   *out = std::move(t.result);
   return t.millis;
@@ -51,10 +51,10 @@ int main() {
   config.container_startup_us = 0;
   config.num_executors = 8;  // pool size; per-run sessions scale below it
   HiveServer2 server(&fs, config);
-  Session* loader = server.OpenSession();
+  Connection loader = server.Connect();
   TpcdsOptions options;
   options.scale = 12;  // enough morsels that fan-out dominates overheads
-  if (Status load = LoadTpcds(&server, loader, options); !load.ok()) {
+  if (Status load = LoadTpcds(loader, options); !load.ok()) {
     std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
     return 1;
   }
@@ -74,20 +74,20 @@ int main() {
 
   double warm_at_1 = 0;
   for (int executors : {1, 2, 4, 8}) {
-    Session* session = server.OpenSession();
-    session->config.result_cache_enabled = false;
-    session->config.num_executors = executors;
+    Connection session = server.Connect();
+    session.config().result_cache_enabled = false;
+    session.config().num_executors = executors;
 
     server.llap()->cache()->Clear();
     QueryResult cold_result;
-    double cold_ms = RunMs(&server, session, &cold_result);
+    double cold_ms = RunMs(session, &cold_result);
 
     // Warm: best of three with the cache populated.
     double warm_ms = 0;
     QueryResult warm_result;
     for (int rep = 0; rep < 3; ++rep) {
       QueryResult r;
-      double ms = RunMs(&server, session, &r);
+      double ms = RunMs(session, &r);
       if (rep == 0 || ms < warm_ms) warm_ms = ms;
       warm_result = std::move(r);
     }

@@ -10,8 +10,8 @@ using namespace hive::bench;
 int main() {
   MemFileSystem fs;
   HiveServer2 server(&fs, Config{});
-  Session* session = server.OpenSession();
-  if (Status load = LoadTpcds(&server, session, TpcdsOptions{}); !load.ok()) {
+  Connection session = server.Connect();
+  if (Status load = LoadTpcds(session, TpcdsOptions{}); !load.ok()) {
     std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
     return 1;
   }
@@ -26,17 +26,17 @@ int main() {
       "WHERE ss_store_sk = s_store_sk GROUP BY s_state",
   };
 
-  Session* cached = server.OpenSession();
-  Session* uncached = server.OpenSession();
-  uncached->config.result_cache_enabled = false;
+  Connection cached = server.Connect();
+  Connection uncached = server.Connect();
+  uncached.config().result_cache_enabled = false;
 
   const int kRefreshes = 10;
   double with_ms = 0, without_ms = 0;
   int hits = 0;
   for (int r = 0; r < kRefreshes; ++r) {
     for (const std::string& sql : dashboard) {
-      Timing t1 = RunTimed(&server, cached, sql);
-      Timing t2 = RunTimed(&server, uncached, sql);
+      Timing t1 = RunTimed(cached, sql);
+      Timing t2 = RunTimed(uncached, sql);
       if (!t1.ok || !t2.ok) return 1;
       with_ms += t1.millis;
       without_ms += t2.millis;
@@ -53,12 +53,12 @@ int main() {
               kRefreshes * static_cast<int>(dashboard.size()));
 
   // Invalidation: a write to a referenced table forces recomputation.
-  RunTimed(&server, session, "INSERT INTO store_sales VALUES "
+  RunTimed(session, "INSERT INTO store_sales VALUES "
                              "(1, 1, 1, 999999, 5, 10.00, 9.00, 0)");
-  Timing after_write = RunTimed(&server, cached, dashboard[0]);
+  Timing after_write = RunTimed(cached, dashboard[0]);
   std::printf("After INSERT into store_sales: served from cache = %s (expected no)\n",
               after_write.result.profile().counter(hive::obs::qc::kFromResultCache) ? "yes" : "no");
-  Timing again = RunTimed(&server, cached, dashboard[0]);
+  Timing again = RunTimed(cached, dashboard[0]);
   std::printf("Next identical query:          served from cache = %s (expected yes)\n",
               again.result.profile().counter(hive::obs::qc::kFromResultCache) ? "yes" : "no");
   return 0;

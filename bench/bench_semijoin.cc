@@ -11,20 +11,20 @@ using namespace hive::bench;
 int main() {
   MemFileSystem fs;
   HiveServer2 server(&fs, Config{});
-  Session* session = server.OpenSession();
+  Connection session = server.Connect();
   TpcdsOptions options;
   options.scale = 2;
-  if (Status load = LoadTpcds(&server, session, options); !load.ok()) {
+  if (Status load = LoadTpcds(session, options); !load.ok()) {
     std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
     return 1;
   }
 
-  Session* on = server.OpenSession();
-  on->config.result_cache_enabled = false;
-  Session* off = server.OpenSession();
-  off->config.result_cache_enabled = false;
-  off->config.semijoin_reduction_enabled = false;
-  off->config.dynamic_partition_pruning_enabled = false;
+  Connection on = server.Connect();
+  on.config().result_cache_enabled = false;
+  Connection off = server.Connect();
+  off.config().result_cache_enabled = false;
+  off.config().semijoin_reduction_enabled = false;
+  off.config().dynamic_partition_pruning_enabled = false;
 
   // Index-semijoin case: selective filter on item, fact scanned via Bloom.
   const std::string star =
@@ -36,12 +36,12 @@ int main() {
       "SELECT SUM(ss_sales_price) FROM store_sales, date_dim "
       "WHERE ss_sold_date_sk = d_date_sk AND d_moy = 2";
 
-  auto measure = [&](Session* s, const std::string& sql) {
-    RunTimed(&server, s, sql);  // warm
+  auto measure = [&](Connection& s, const std::string& sql) {
+    RunTimed(s, sql);  // warm
     double total = 0;
     QueryResult last;
     for (int r = 0; r < 5; ++r) {
-      Timing t = RunTimed(&server, s, sql);
+      Timing t = RunTimed(s, sql);
       total += t.millis;
       last = t.result;
     }

@@ -10,34 +10,34 @@ using namespace hive::bench;
 int main() {
   MemFileSystem fs;
   HiveServer2 server(&fs, Config{});
-  Session* session = server.OpenSession();
-  if (Status load = LoadTpcds(&server, session, TpcdsOptions{}); !load.ok()) {
+  Connection session = server.Connect();
+  if (Status load = LoadTpcds(session, TpcdsOptions{}); !load.ok()) {
     std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
     return 1;
   }
 
   // Run on the container path (no LLAP chunk cache) so the shared scan's
   // I/O and decode savings are visible, as they were in the paper's q88.
-  Session* with = server.OpenSession();
-  with->config.result_cache_enabled = false;
-  with->config.llap_enabled = false;
-  with->config.container_startup_us = 0;
-  Session* without = server.OpenSession();
-  without->config.result_cache_enabled = false;
-  without->config.llap_enabled = false;
-  without->config.container_startup_us = 0;
-  without->config.shared_work_enabled = false;
+  Connection with = server.Connect();
+  with.config().result_cache_enabled = false;
+  with.config().llap_enabled = false;
+  with.config().container_startup_us = 0;
+  Connection without = server.Connect();
+  without.config().result_cache_enabled = false;
+  without.config().llap_enabled = false;
+  without.config().container_startup_us = 0;
+  without.config().shared_work_enabled = false;
 
   std::string sql = TpcdsQ88Style();
   // Warm the data cache so the comparison isolates plan-level reuse.
-  RunTimed(&server, with, sql);
-  RunTimed(&server, without, sql);
+  RunTimed(with, sql);
+  RunTimed(without, sql);
 
   const int kRuns = 5;
   double on_ms = 0, off_ms = 0;
   for (int r = 0; r < kRuns; ++r) {
-    Timing t_on = RunTimed(&server, with, sql);
-    Timing t_off = RunTimed(&server, without, sql);
+    Timing t_on = RunTimed(with, sql);
+    Timing t_off = RunTimed(without, sql);
     if (!t_on.ok || !t_off.ok) {
       std::fprintf(stderr, "q88 failed\n");
       return 1;
@@ -54,10 +54,10 @@ int main() {
   // Bytes read per execution (the mechanism behind the speedup).
   MemFileSystem* mem = static_cast<MemFileSystem*>(server.filesystem());
   mem->ResetIoStats();
-  RunTimed(&server, with, sql);
+  RunTimed(with, sql);
   uint64_t bytes_on = mem->bytes_read();
   mem->ResetIoStats();
-  RunTimed(&server, without, sql);
+  RunTimed(without, sql);
   uint64_t bytes_off = mem->bytes_read();
 
   // The in-memory FS serves reads for free; charge them at a modeled disk

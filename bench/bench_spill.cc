@@ -80,19 +80,19 @@ struct Sample {
 
 Sample Measure(HiveServer2* server, const std::string& name, const Rung& rung,
                const std::string& sql, std::string* expected_key) {
-  Session* session = server->OpenSession();
-  session->config.result_cache_enabled = false;
-  session->config.query_memory_limit_bytes = rung.budget_bytes;
+  Connection session = server->Connect();
+  session.config().result_cache_enabled = false;
+  session.config().query_memory_limit_bytes = rung.budget_bytes;
 
   int64_t spill0 = server->metrics()->Value("exec.spill.bytes");
   server->llap()->cache()->Clear();
-  Timing cold = RunTimed(server, session, sql);
+  Timing cold = RunTimed(session, sql);
   if (!cold.ok) std::exit(1);
 
   double warm_ms = 0;
   QueryResult warm_result;
   for (int rep = 0; rep < 3; ++rep) {
-    Timing t = RunTimed(server, session, sql);
+    Timing t = RunTimed(session, sql);
     if (!t.ok) std::exit(1);
     if (rep == 0 || t.millis < warm_ms) warm_ms = t.millis;
     warm_result = std::move(t.result);
@@ -132,12 +132,12 @@ int main(int argc, char** argv) {
   config.container_startup_us = 0;
   config.num_executors = 8;
   HiveServer2 server(&fs, config);
-  Session* loader = server.OpenSession();
+  Connection loader = server.Connect();
   TpcdsOptions options;
   options.scale = smoke ? 1 : 8;  // ~30k fact rows per unit of scale
-  Must(LoadTpcds(&server, loader, options));
+  Must(LoadTpcds(loader, options));
 
-  auto count = server.Execute(loader, "SELECT COUNT(*) FROM store_sales");
+  auto count = loader.Execute("SELECT COUNT(*) FROM store_sales");
   Must(count.status());
   const int64_t fact_rows = count->rows[0][0].AsInt64();
   // Rough per-row resident footprint (boxed values plus hash/sort

@@ -18,30 +18,30 @@ int main() {
   // dataset (the paper's queries run for seconds-to-minutes; ours for ms).
   config.container_startup_us = 30000;
   HiveServer2 server(&fs, config);
-  Session* session = server.OpenSession();
-  if (Status load = LoadTpcds(&server, session, TpcdsOptions{}); !load.ok()) {
+  Connection session = server.Connect();
+  if (Status load = LoadTpcds(session, TpcdsOptions{}); !load.ok()) {
     std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
     return 1;
   }
 
-  Session* container = server.OpenSession();
-  container->config.llap_enabled = false;  // Tez containers, no cache
-  container->config.result_cache_enabled = false;
-  Session* llap = server.OpenSession();
-  llap->config.result_cache_enabled = false;
+  Connection container = server.Connect();
+  container.config().llap_enabled = false;  // Tez containers, no cache
+  container.config().result_cache_enabled = false;
+  Connection llap = server.Connect();
+  llap.config().result_cache_enabled = false;
 
   auto queries = TpcdsQueries();
   // Warm cache runs (the paper reports averages over warm-cache runs).
   for (const auto& q : queries) {
-    RunTimed(&server, container, q.sql);
-    RunTimed(&server, llap, q.sql);
+    RunTimed(container, q.sql);
+    RunTimed(llap, q.sql);
   }
 
   double total_container = 0, total_llap = 0;
   int executed = 0;
   for (const auto& q : queries) {
-    Timing without = RunTimed(&server, container, q.sql);
-    Timing with = RunTimed(&server, llap, q.sql);
+    Timing without = RunTimed(container, q.sql);
+    Timing with = RunTimed(llap, q.sql);
     if (!without.ok || !with.ok) continue;
     total_container += without.millis;
     total_llap += with.millis;

@@ -33,11 +33,12 @@ struct Timing {
   QueryResult result;
 };
 
-inline Timing RunTimed(HiveServer2* server, Session* session, const std::string& sql) {
+inline Timing RunTimed(Connection& conn, const std::string& sql) {
   Timing t;
+  HiveServer2* server = conn.server();
   int64_t wall0 = SimClock::WallMicros();
   int64_t virt0 = server->clock()->virtual_us();
-  auto r = server->Execute(session, sql);
+  auto r = conn.Execute(sql);
   int64_t wall = SimClock::WallMicros() - wall0;
   int64_t virt = server->clock()->virtual_us() - virt0;
   if (!r.ok()) {

@@ -25,10 +25,10 @@ int main() {
   Config config;
   config.compaction_delta_threshold = 6;  // compact eagerly for the demo
   HiveServer2 server(&fs, config);
-  Session* session = server.OpenSession("acid-demo");
+  Connection session = server.Connect("acid-demo");
 
   auto run = [&](const std::string& sql) {
-    auto r = server.Execute(session, sql);
+    auto r = session.Execute(sql);
     if (!r.ok()) std::printf("ERROR: %s\n", r.status().ToString().c_str());
     return r.ok() ? *r : QueryResult{};
   };

@@ -16,10 +16,10 @@ using namespace hive;
 int main() {
   MemFileSystem fs;
   HiveServer2 server(&fs);
-  Session* session = server.OpenSession("federation-demo");
+  Connection session = server.Connect("federation-demo");
 
   auto run = [&](const std::string& sql, bool print = true) {
-    auto r = server.Execute(session, sql);
+    auto r = session.Execute(sql);
     if (!r.ok()) {
       std::printf("ERROR: %s\n", r.status().ToString().c_str());
       return QueryResult{};

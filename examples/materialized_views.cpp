@@ -14,11 +14,11 @@ using namespace hive;
 int main() {
   MemFileSystem fs;
   HiveServer2 server(&fs);
-  Session* session = server.OpenSession("mv-demo");
-  session->config.result_cache_enabled = false;  // watch the MV, not the cache
+  Connection session = server.Connect("mv-demo");
+  session.config().result_cache_enabled = false;  // watch the MV, not the cache
 
   auto run = [&](const std::string& sql) {
-    auto r = server.Execute(session, sql);
+    auto r = session.Execute(sql);
     if (!r.ok()) std::printf("ERROR: %s\n", r.status().ToString().c_str());
     return r.ok() ? *r : QueryResult{};
   };

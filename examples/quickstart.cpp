@@ -15,11 +15,11 @@ int main() {
   // LocalFileSystem("/path") for durability.
   MemFileSystem fs;
   HiveServer2 server(&fs);
-  Session* session = server.OpenSession("quickstart");
+  Connection session = server.Connect("quickstart");
 
   auto run = [&](const std::string& sql) {
     std::printf("hive> %s\n", sql.c_str());
-    auto result = server.Execute(session, sql);
+    auto result = session.Execute(sql);
     if (!result.ok()) {
       std::printf("ERROR: %s\n\n", result.status().ToString().c_str());
       return;
@@ -57,8 +57,8 @@ int main() {
   run("SELECT item_sk, customer_sk, quantity FROM store_sales ORDER BY item_sk");
 
   // The second identical query is served by the result cache (Section 4.3).
-  auto once = server.Execute(session, "SELECT COUNT(*) FROM store_sales");
-  auto twice = server.Execute(session, "SELECT COUNT(*) FROM store_sales");
+  auto once = session.Execute("SELECT COUNT(*) FROM store_sales");
+  auto twice = session.Execute("SELECT COUNT(*) FROM store_sales");
   std::printf("result cache: first=%s second=%s\n",
               once->profile().counter(hive::obs::qc::kFromResultCache) ? "hit" : "miss",
               twice->profile().counter(hive::obs::qc::kFromResultCache) ? "hit" : "miss");

@@ -14,7 +14,7 @@ using namespace hive;
 int main() {
   MemFileSystem fs;
   HiveServer2 server(&fs);
-  Session* admin = server.OpenSession("admin");
+  Connection admin = server.Connect("admin");
 
   // The exact DDL from Section 5.2.
   const char* plan_ddl = R"sql(
@@ -27,7 +27,7 @@ CREATE APPLICATION MAPPING visualization_app IN daytime TO bi;
 ALTER PLAN daytime SET DEFAULT POOL = etl;
 ALTER RESOURCE PLAN daytime ENABLE ACTIVATE;
 )sql";
-  if (auto r = server.ExecuteScript(admin, plan_ddl); !r.ok()) {
+  if (auto r = admin.ExecuteScript(plan_ddl); !r.ok()) {
     std::printf("plan DDL failed: %s\n", r.status().ToString().c_str());
     return 1;
   }
@@ -67,13 +67,13 @@ ALTER RESOURCE PLAN daytime ENABLE ACTIVATE;
   server.workload_manager()->Release(*borrowed);
 
   // And queries still execute normally under the plan.
-  Session* bi_session = server.OpenSession("visualization_app");
-  if (!server.Execute(bi_session, "CREATE TABLE kpis (name STRING, v DOUBLE)").ok() ||
-      !server.Execute(bi_session, "INSERT INTO kpis VALUES ('conversion', 0.031)").ok()) {
+  Connection bi_session = server.Connect("visualization_app");
+  if (!bi_session.Execute("CREATE TABLE kpis (name STRING, v DOUBLE)").ok() ||
+      !bi_session.Execute("INSERT INTO kpis VALUES ('conversion', 0.031)").ok()) {
     std::fprintf(stderr, "kpi table setup failed\n");
     return 1;
   }
-  auto result = server.Execute(bi_session, "SELECT name, v FROM kpis");
+  auto result = bi_session.Execute("SELECT name, v FROM kpis");
   std::printf("\nmanaged query result:\n%s", result->ToString().c_str());
   return 0;
 }

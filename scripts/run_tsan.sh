@@ -18,12 +18,12 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DHIVE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target \
   concurrency_test llap_test parallel_exec_test fault_injection_test obs_test \
-  sync_test join_matrix_test spill_test
+  sync_test join_matrix_test spill_test workloads_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 
 status=0
-for t in concurrency_test llap_test parallel_exec_test fault_injection_test obs_test sync_test join_matrix_test spill_test; do
+for t in concurrency_test llap_test parallel_exec_test fault_injection_test obs_test sync_test join_matrix_test spill_test workloads_test; do
   echo "== TSan: $t"
   if ! "$BUILD_DIR/tests/$t"; then
     echo "== TSan FAILED: $t"

@@ -10,6 +10,9 @@
 #                             fault sweep (scripts/run_spill_matrix.sh)
 #   5. join + spill benches — morsel-parallel join scaling (BENCH_join.json)
 #                             and spill degradation (BENCH_spill.json)
+#   6. concurrency bench    — many-session admission-control smoke; fails
+#                             unless every submitted query is accounted for
+#                             (BENCH_concurrency.json must report "lost": 0)
 #
 # (Under a Clang toolchain, step 1's build also runs the -Wthread-safety
 # static analysis against the annotations in common/sync.h.)
@@ -19,24 +22,29 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==== [1/5] build + ctest (includes hivelint) ===="
+echo "==== [1/6] build + ctest (includes hivelint) ===="
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==== [2/5] ThreadSanitizer ===="
+echo "==== [2/6] ThreadSanitizer ===="
 scripts/run_tsan.sh
 
-echo "==== [3/5] ASan + UBSan ===="
+echo "==== [3/6] ASan + UBSan ===="
 scripts/run_asan_ubsan.sh
 
-echo "==== [4/5] spill matrix ===="
+echo "==== [4/6] spill matrix ===="
 scripts/run_spill_matrix.sh
 
-echo "==== [5/5] join + spill benches ===="
+echo "==== [5/6] join + spill benches ===="
 build/bench/bench_join
 test -s BENCH_join.json
 build/bench/bench_spill
 test -s BENCH_spill.json
+
+echo "==== [6/6] concurrency bench (no lost queries) ===="
+build/bench/bench_concurrency --smoke
+test -s BENCH_concurrency.json
+grep -q '"lost": 0' BENCH_concurrency.json
 
 echo "==== verify_all: all rungs passed ===="

@@ -141,6 +141,19 @@ class Config {
   /// delta/base size ratio that triggers major compaction.
   double compaction_ratio_threshold = 0.1;
 
+  // --- sessions & admission control ---
+  /// "wlm.queue.timeout.ms": how long a query may wait in its resource
+  /// pool's admission queue for a concurrency slot before failing with a
+  /// ResourceExhausted status naming the pool. <= 0 restores the historic
+  /// reject-on-full behavior (no queueing).
+  int64_t wlm_queue_timeout_ms = 0;
+  /// "server.plan.cache.enabled": reuse compiled plans for EXECUTE of
+  /// prepared statements via the server-wide LRU plan cache (keyed on
+  /// normalized AST + catalog version).
+  bool plan_cache_enabled = true;
+  /// "server.plan.cache.capacity": max cached plans before LRU eviction.
+  int plan_cache_capacity = 128;
+
   /// Switches every knob to the Hive v1.2-era configuration used as the
   /// Figure 7 baseline: MapReduce-style runtime, no LLAP, rule-based-only
   /// optimizer, no shared work / semijoin / result cache / MV rewriting,
@@ -161,6 +174,69 @@ class Config {
     legacy_sql_only = true;
   }
 };
+
+/// Every Config field, for code that must treat the knob set uniformly
+/// (the session/server layering merge below). A new knob only needs to be
+/// added here once to participate.
+#define HIVE_CONFIG_FIELDS(X)                                               \
+  X(execution_engine)                                                       \
+  X(llap_enabled)                                                           \
+  X(container_startup_us)                                                   \
+  X(mr_materialize_shuffle)                                                 \
+  X(num_executors)                                                          \
+  X(parallel_scan_enabled)                                                  \
+  X(scan_cpu_ns_per_row)                                                    \
+  X(parallel_join_enabled)                                                  \
+  X(perfect_hash_join_enabled)                                              \
+  X(join_cpu_ns_per_row)                                                    \
+  X(vector_batch_size)                                                      \
+  X(join_build_row_limit)                                                   \
+  X(exec_memory_limit_bytes)                                                \
+  X(query_memory_limit_bytes)                                               \
+  X(spill_enabled)                                                          \
+  X(spill_dir)                                                              \
+  X(spill_partitions)                                                       \
+  X(spill_max_recursion)                                                    \
+  X(task_max_attempts)                                                      \
+  X(task_retry_backoff_us)                                                  \
+  X(speculation_enabled)                                                    \
+  X(speculation_slowdown_factor)                                            \
+  X(cache_poison_threshold)                                                 \
+  X(query_timeout_ms)                                                       \
+  X(cbo_enabled)                                                            \
+  X(shared_work_enabled)                                                    \
+  X(semijoin_reduction_enabled)                                             \
+  X(dynamic_partition_pruning_enabled)                                      \
+  X(materialized_view_rewriting_enabled)                                    \
+  X(result_cache_enabled)                                                   \
+  X(reexecution_strategy)                                                   \
+  X(join_reorder_max_relations)                                             \
+  X(legacy_sql_only)                                                        \
+  X(llap_cache_capacity_bytes)                                              \
+  X(llap_lrfu_lambda)                                                       \
+  X(llap_io_threads)                                                        \
+  X(compaction_delta_threshold)                                             \
+  X(compaction_ratio_threshold)                                             \
+  X(wlm_queue_timeout_ms)                                                   \
+  X(plan_cache_enabled)                                                     \
+  X(plan_cache_capacity)
+
+/// THE config layering rule, defined in exactly one place: a session's
+/// effective configuration starts from the server's *current* defaults and
+/// applies, per field, only the knobs the session itself changed since it
+/// was opened (`session` differs from `open_snapshot`, the server defaults
+/// captured at open time). So a server-level default change made after a
+/// session opened is visible to that session — unless the session overrode
+/// the same knob, in which case the session override wins.
+inline Config LayerConfig(const Config& server_now, const Config& open_snapshot,
+                          const Config& session) {
+  Config effective = server_now;
+#define HIVE_CONFIG_LAYER_FIELD(f) \
+  if (!(session.f == open_snapshot.f)) effective.f = session.f;
+  HIVE_CONFIG_FIELDS(HIVE_CONFIG_LAYER_FIELD)
+#undef HIVE_CONFIG_LAYER_FIELD
+  return effective;
+}
 
 }  // namespace hive
 

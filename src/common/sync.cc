@@ -1,5 +1,6 @@
 #include "common/sync.h"
 
+#include <chrono>
 #include <cstdio>
 #include <unordered_map>
 #include <unordered_set>
@@ -182,6 +183,18 @@ void CondVar::Wait(MutexLock& lock) {
   OnAcquired(mu->order_id_, mu->name_);
 }
 
+bool CondVar::WaitFor(MutexLock& lock, int64_t timeout_us) {
+  Mutex* mu = lock.mutex();
+  OnReleased(mu->order_id_);
+  std::unique_lock<std::mutex> ul(mu->mu_, std::adopt_lock);
+  bool notified =
+      cv_.wait_for(ul, std::chrono::microseconds(timeout_us)) ==
+      std::cv_status::no_timeout;
+  ul.release();
+  OnAcquired(mu->order_id_, mu->name_);
+  return notified;
+}
+
 namespace lockorder {
 
 std::vector<Violation> Violations() {
@@ -223,6 +236,15 @@ void CondVar::Wait(MutexLock& lock) {
   std::unique_lock<std::mutex> ul(lock.mutex()->mu_, std::adopt_lock);
   cv_.wait(ul);
   ul.release();
+}
+
+bool CondVar::WaitFor(MutexLock& lock, int64_t timeout_us) {
+  std::unique_lock<std::mutex> ul(lock.mutex()->mu_, std::adopt_lock);
+  bool notified =
+      cv_.wait_for(ul, std::chrono::microseconds(timeout_us)) ==
+      std::cv_status::no_timeout;
+  ul.release();
+  return notified;
 }
 
 namespace lockorder {

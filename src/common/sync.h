@@ -131,6 +131,12 @@ class CondVar {
   /// always wait in a predicate loop.
   void Wait(MutexLock& lock) HIVE_NO_THREAD_SAFETY_ANALYSIS;
 
+  /// Like Wait, but gives up after `timeout_us` microseconds of real time.
+  /// Returns false when the wait timed out, true when the CondVar was
+  /// notified (or woke spuriously) — either way the mutex is re-held on
+  /// return, so the caller's predicate loop stays correct.
+  bool WaitFor(MutexLock& lock, int64_t timeout_us) HIVE_NO_THREAD_SAFETY_ANALYSIS;
+
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -43,6 +43,7 @@ Status Catalog::CreateDatabase(const std::string& name) {
   std::string key = ToLower(name);
   if (dbs_.count(key)) return Status::AlreadyExists("database " + name);
   dbs_[key] = {};
+  BumpVersion();
   return Status::OK();
 }
 
@@ -74,6 +75,7 @@ Status Catalog::CreateTable(TableDesc desc) {
   desc.name = name;
   HIVE_RETURN_IF_ERROR(fs_->MakeDirs(desc.location));
   dbit->second.emplace(name, std::move(desc));
+  BumpVersion();
   return Status::OK();
 }
 
@@ -102,6 +104,7 @@ Status Catalog::DropTable(const std::string& db, const std::string& name,
   }
   partitions_.erase(it->second.FullName());
   dbit->second.erase(it);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -142,6 +145,7 @@ Status Catalog::AddPartition(const std::string& db, const std::string& table,
   info.location = JoinPath(desc.location, dir);
   HIVE_RETURN_IF_ERROR(fs_->MakeDirs(info.location));
   parts.emplace(dir, std::move(info));
+  BumpVersion();
   return Status::OK();
 }
 
@@ -177,6 +181,7 @@ Status Catalog::DropPartition(const std::string& db, const std::string& table,
     if (!del.ok() && !del.IsNotFound()) return del;
   }
   pit->second.erase(dir);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -197,6 +202,7 @@ Status Catalog::MergeStats(const std::string& db, const std::string& table,
       if (part != pit->second.end()) part->second.stats.MergeFrom(delta);
     }
   }
+  BumpVersion();
   return Status::OK();
 }
 
@@ -207,6 +213,7 @@ Status Catalog::UpdateTable(const TableDesc& desc) {
   auto it = dbit->second.find(ToLower(desc.name));
   if (it == dbit->second.end()) return Status::NotFound("table " + desc.FullName());
   it->second = desc;
+  BumpVersion();
   return Status::OK();
 }
 

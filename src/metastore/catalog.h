@@ -1,6 +1,7 @@
 #ifndef HIVE_METASTORE_CATALOG_H_
 #define HIVE_METASTORE_CATALOG_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -138,6 +139,12 @@ class Catalog {
   FileSystem* filesystem() const { return fs_; }
   const std::string& warehouse_root() const { return root_; }
 
+  /// Monotonic metadata version, bumped by every successful mutation
+  /// (DDL, partition changes, stats merges). Cached query plans are keyed
+  /// on the version they were built against, so any catalog change —
+  /// including an ANALYZE that only shifts statistics — invalidates them.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
   /// Directory name for a partition value set: "col1=v1/col2=v2".
   static std::string PartitionDirName(const std::vector<Field>& partition_cols,
                                       const std::vector<Value>& values);
@@ -145,6 +152,9 @@ class Catalog {
  private:
   std::string TableLocation(const std::string& db, const std::string& name) const;
 
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
+  std::atomic<uint64_t> version_{1};
   FileSystem* fs_;
   std::string root_;
   mutable Mutex mu_{"catalog.mu"};

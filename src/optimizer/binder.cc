@@ -288,8 +288,13 @@ Result<RelNodePtr> Binder::BindTableRef(const TableRef& ref, Scope* scope, Scope
           }
         }
       }
-      std::string db = ref.db.empty() ? current_db_ : ref.db;
-      HIVE_ASSIGN_OR_RETURN(TableDesc desc, catalog_->GetTable(db, ref.table));
+      std::string db = ref.db;
+      std::string table = ref.table;
+      if (db.empty()) {
+        if (table_resolver_) table_resolver_(&db, &table);
+        if (db.empty()) db = current_db_;
+      }
+      HIVE_ASSIGN_OR_RETURN(TableDesc desc, catalog_->GetTable(db, table));
       referenced_tables_.push_back(desc.FullName());
       auto scan = std::make_shared<RelNode>();
       scan->kind = RelKind::kScan;
@@ -417,6 +422,11 @@ Status Binder::BindExprInPlace(const ExprPtr& e, Scope* scope, bool allow_aggreg
       // binding; reaching here means an unsupported position.
       return Status::NotSupported("subquery not supported in this position: " +
                                   e->ToString());
+    case ExprKind::kParam:
+      // EXECUTE substitutes literals before planning; a surviving parameter
+      // means a raw PREPARE template leaked into the binder.
+      return Status::PlanError("unbound parameter " + e->ToString() +
+                               " (use EXECUTE to run a prepared statement)");
     default:
       break;
   }

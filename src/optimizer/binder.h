@@ -8,6 +8,7 @@
 
 #include "common/config.h"
 #include "metastore/catalog.h"
+#include "optimizer/normalize.h"
 #include "optimizer/rel.h"
 #include "sql/ast.h"
 
@@ -27,6 +28,13 @@ namespace hive {
 class Binder {
  public:
   Binder(Catalog* catalog, const Config* config, std::string current_db = "default");
+
+  /// Installs a resolver consulted for unqualified table names before the
+  /// current-database fallback (sessions use it to redirect temp-table
+  /// names into the hidden temp database). CTE names in scope still win.
+  void set_table_resolver(TableResolver resolver) {
+    table_resolver_ = std::move(resolver);
+  }
 
   /// Binds a full SELECT statement into a logical plan.
   Result<RelNodePtr> BindSelect(const SelectStmt& stmt);
@@ -107,6 +115,7 @@ class Binder {
   Catalog* catalog_;
   const Config* config_;
   std::string current_db_;
+  TableResolver table_resolver_;
   /// CTEs visible while binding (per BindSelect invocation).
   std::vector<std::map<std::string, std::pair<std::shared_ptr<SelectStmt>, RelNodePtr>>>
       cte_stack_;

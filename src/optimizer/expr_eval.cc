@@ -320,6 +320,7 @@ Result<Value> EvalExpr(const Expr& e, const std::vector<Value>* row) {
       return EvalFunction(e, row);
     case ExprKind::kStar:
     case ExprKind::kSubquery:
+    case ExprKind::kParam:
       return Status::ExecError("cannot evaluate " + e.ToString());
   }
   return Status::ExecError("unhandled expression kind");

@@ -1,0 +1,155 @@
+#include "optimizer/normalize.h"
+
+#include "common/schema.h"
+
+namespace hive {
+namespace {
+
+/// One deep-clone walk shared by qualification and parameter substitution.
+/// Either knob may be inactive; the walk always produces a fresh tree (the
+/// originals are shared between concurrent EXECUTEs and must stay
+/// immutable).
+class Rewriter {
+ public:
+  Rewriter(const std::string* current_db, const TableResolver* resolver,
+           const std::vector<Value>* params)
+      : current_db_(current_db), resolver_(resolver), params_(params) {}
+
+  std::shared_ptr<SelectStmt> RewriteSelect(const SelectStmt& stmt) {
+    auto out = std::make_shared<SelectStmt>();
+    // CTE visibility mirrors the binder: each definition sees the ones
+    // before it; the body sees them all. Only names *in scope* escape
+    // qualification, so a real table shadow-named by an outer CTE still
+    // resolves the same way it would at bind time.
+    size_t pushed = 0;
+    for (const CteDef& cte : stmt.ctes) {
+      CteDef copy;
+      copy.name = cte.name;
+      copy.query = cte.query ? RewriteSelect(*cte.query) : nullptr;
+      out->ctes.push_back(std::move(copy));
+      cte_scope_.push_back(ToLower(cte.name));
+      ++pushed;
+    }
+    out->body = stmt.body ? RewriteQuery(*stmt.body) : nullptr;
+    for (const OrderItem& item : stmt.order_by)
+      out->order_by.push_back({RewriteExpr(item.expr), item.ascending});
+    out->limit = stmt.limit;
+    cte_scope_.resize(cte_scope_.size() - pushed);
+    return out;
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  std::shared_ptr<QueryExpr> RewriteQuery(const QueryExpr& q) {
+    auto out = std::make_shared<QueryExpr>();
+    out->op = q.op;
+    if (q.op == SetOpKind::kNone) {
+      out->core = RewriteCore(q.core);
+    } else {
+      out->left = q.left ? RewriteQuery(*q.left) : nullptr;
+      out->right = q.right ? RewriteQuery(*q.right) : nullptr;
+    }
+    return out;
+  }
+
+  SelectCore RewriteCore(const SelectCore& core) {
+    SelectCore out;
+    out.distinct = core.distinct;
+    for (const SelectItem& item : core.items)
+      out.items.push_back({RewriteExpr(item.expr), item.alias});
+    out.from = core.from ? RewriteTableRef(*core.from) : nullptr;
+    out.where = RewriteExpr(core.where);
+    for (const ExprPtr& e : core.group_by) out.group_by.push_back(RewriteExpr(e));
+    out.grouping_sets = core.grouping_sets;
+    out.having = RewriteExpr(core.having);
+    return out;
+  }
+
+  TableRefPtr RewriteTableRef(const TableRef& ref) {
+    auto out = std::make_shared<TableRef>(ref);
+    switch (ref.kind) {
+      case TableRef::Kind::kTable:
+        if (out->db.empty() && !InCteScope(out->table)) {
+          if (resolver_ && *resolver_) (*resolver_)(&out->db, &out->table);
+          if (out->db.empty() && current_db_) out->db = *current_db_;
+        }
+        break;
+      case TableRef::Kind::kSubquery:
+        out->subquery = ref.subquery ? RewriteSelect(*ref.subquery) : nullptr;
+        break;
+      case TableRef::Kind::kJoin:
+        out->left = ref.left ? RewriteTableRef(*ref.left) : nullptr;
+        out->right = ref.right ? RewriteTableRef(*ref.right) : nullptr;
+        out->condition = RewriteExpr(ref.condition);
+        break;
+    }
+    return out;
+  }
+
+  ExprPtr RewriteExpr(const ExprPtr& e) {
+    if (!e) return nullptr;
+    if (e->kind == ExprKind::kParam && params_) {
+      if (e->param_index < 1 ||
+          static_cast<size_t>(e->param_index) > params_->size()) {
+        if (status_.ok())
+          status_ = Status::InvalidArgument(
+              "prepared statement expects parameter ?" +
+              std::to_string(e->param_index) + " but only " +
+              std::to_string(params_->size()) + " argument(s) were given");
+        return e;
+      }
+      return MakeLiteral((*params_)[e->param_index - 1]);
+    }
+    auto out = std::make_shared<Expr>(*e);
+    for (ExprPtr& child : out->children) child = RewriteExpr(child);
+    if (e->subquery) out->subquery = RewriteSelect(*e->subquery);
+    if (e->window) {
+      auto w = std::make_shared<WindowSpec>();
+      for (const ExprPtr& p : e->window->partition_by)
+        w->partition_by.push_back(RewriteExpr(p));
+      for (const auto& [expr, asc] : e->window->order_by)
+        w->order_by.emplace_back(RewriteExpr(expr), asc);
+      out->window = std::move(w);
+    }
+    return out;
+  }
+
+  bool InCteScope(const std::string& table) const {
+    std::string key = ToLower(table);
+    for (const std::string& name : cte_scope_)
+      if (name == key) return true;
+    return false;
+  }
+
+  const std::string* current_db_;
+  const TableResolver* resolver_;
+  const std::vector<Value>* params_;
+  std::vector<std::string> cte_scope_;
+  Status status_;
+};
+
+}  // namespace
+
+std::shared_ptr<SelectStmt> QualifyTables(const SelectStmt& stmt,
+                                          const std::string& current_db,
+                                          const TableResolver& resolver) {
+  Rewriter rewriter(&current_db, &resolver, nullptr);
+  return rewriter.RewriteSelect(stmt);
+}
+
+std::string NormalizedQueryText(const SelectStmt& stmt,
+                                const std::string& current_db,
+                                const TableResolver& resolver) {
+  return QualifyTables(stmt, current_db, resolver)->ToString();
+}
+
+Result<std::shared_ptr<SelectStmt>> SubstituteParams(
+    const SelectStmt& stmt, const std::vector<Value>& values) {
+  Rewriter rewriter(nullptr, nullptr, &values);
+  auto out = rewriter.RewriteSelect(stmt);
+  HIVE_RETURN_IF_ERROR(rewriter.status());
+  return out;
+}
+
+}  // namespace hive

@@ -1,0 +1,53 @@
+#ifndef HIVE_OPTIMIZER_NORMALIZE_H_
+#define HIVE_OPTIMIZER_NORMALIZE_H_
+
+// AST normalization for cache keys and prepared statements.
+//
+// Two caches key on a statement's canonical text: the result cache and the
+// prepared-statement plan cache. The raw text is ambiguous across sessions —
+// `SELECT * FROM t` means different things depending on the current database
+// and on session temp tables — so both keys are derived from a *qualified*
+// copy of the AST in which every table reference names its physical
+// database.table. EXECUTE additionally substitutes literal arguments for the
+// `?` placeholders of a PREPAREd template before planning, which makes the
+// substituted statement literally equal to the equivalent ad-hoc query (and
+// therefore share its result-cache entry).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sql/ast.h"
+
+namespace hive {
+
+/// Maps an *unqualified* table name to a physical (db, table); leaves both
+/// untouched when no mapping applies. Sessions install one that redirects
+/// temp-table names into the hidden temp database.
+using TableResolver = std::function<void(std::string* db, std::string* table)>;
+
+/// Deep-copies `stmt`, database-qualifying every table reference that is not
+/// a CTE name in scope: an unqualified name is first offered to `resolver`
+/// (may be null), then falls back to `current_db`. The input is not
+/// modified; unqualified CTE references stay unqualified so the binder still
+/// resolves them against the CTE stack.
+std::shared_ptr<SelectStmt> QualifyTables(const SelectStmt& stmt,
+                                          const std::string& current_db,
+                                          const TableResolver& resolver);
+
+/// Canonical text both caches key on: qualified AST rendered by ToString.
+std::string NormalizedQueryText(const SelectStmt& stmt,
+                                const std::string& current_db,
+                                const TableResolver& resolver);
+
+/// Deep-copies `stmt`, replacing each `?i` parameter with the literal
+/// `values[i-1]`. Fails when a parameter index exceeds the value count.
+Result<std::shared_ptr<SelectStmt>> SubstituteParams(
+    const SelectStmt& stmt, const std::vector<Value>& values);
+
+}  // namespace hive
+
+#endif  // HIVE_OPTIMIZER_NORMALIZE_H_

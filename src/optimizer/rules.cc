@@ -22,6 +22,7 @@ bool IsFoldable(const ExprPtr& e) {
     case ExprKind::kColumnRef:
     case ExprKind::kStar:
     case ExprKind::kSubquery:
+    case ExprKind::kParam:
       return false;
     case ExprKind::kFunction:
       if (!IsDeterministicFunc(e->func_name) || e->window ||

@@ -65,12 +65,44 @@ TableStatistics DmlDriver::ComputeStats(const Schema& schema,
 }
 
 Result<QueryResult> DmlDriver::RunSelect(const SelectStmt& stmt) {
-  Config config = session_->config;
+  Config config = server_->EffectiveConfig(session_);
   RuntimeStats stats;
-  return server_->TryExecuteSelect(session_, stmt, 0, &stats, &config);
+  return server_->TryExecuteSelect(session_, stmt, 0, &stats, &config,
+                                   /*use_plan_cache=*/false);
+}
+
+std::pair<std::string, std::string> DmlDriver::ResolveTarget(
+    const std::string& db, const std::string& table) const {
+  std::string out_db = db;
+  std::string out_table = table;
+  if (out_db.empty()) {
+    session_->ResolveTempTable(&out_db, &out_table);
+    if (out_db.empty()) out_db = session_->database;
+  }
+  return {out_db, out_table};
 }
 
 Result<QueryResult> DmlDriver::CreateTable(const CreateTableStatement& stmt) {
+  if (stmt.temporary) {
+    // Session temp table: physically a normal table in the hidden temp
+    // database under a session-mangled name, registered with the session
+    // so unqualified references resolve to it and close drops it.
+    if (!stmt.db.empty())
+      return Status::InvalidArgument(
+          "TEMPORARY tables cannot be database-qualified");
+    CreateTableStatement physical = stmt;
+    physical.temporary = false;
+    physical.db = kTempDatabase;
+    physical.table = Session::TempPhysicalName(session_->id, stmt.table);
+    HIVE_RETURN_IF_ERROR(session_->AddTempTable(stmt.table, physical.table));
+    auto result = CreateTable(physical);
+    if (!result.ok()) {
+      std::string unused;
+      // lint: allow-discard(undoing the registration we just made)
+      (void)session_->RemoveTempTable(stmt.table, &unused);
+    }
+    return result;
+  }
   TableDesc desc;
   desc.db = stmt.db.empty() ? session_->database : stmt.db;
   desc.name = stmt.table;
@@ -194,8 +226,8 @@ Result<int64_t> DmlDriver::InsertRows(const TableDesc& desc,
 }
 
 Result<QueryResult> DmlDriver::Insert(const InsertStatement& stmt) {
-  std::string db = stmt.db.empty() ? session_->database : stmt.db;
-  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, stmt.table));
+  auto [db, table] = ResolveTarget(stmt.db, stmt.table);
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, table));
   Schema full = desc.FullSchema();
 
   // Gather source rows.
@@ -208,8 +240,9 @@ Result<QueryResult> DmlDriver::Insert(const InsertStatement& stmt) {
       std::vector<Value> row;
       for (const ExprPtr& e : exprs) {
         // VALUES rows are literal expressions (fold with the evaluator).
-        Config config = session_->config;
+        Config config = server_->EffectiveConfig(session_);
         Binder binder(&server_->catalog_, &config, session_->database);
+        binder.set_table_resolver(server_->TempResolver(session_));
         HIVE_ASSIGN_OR_RETURN(ExprPtr bound, binder.BindScalar(e, Schema(), ""));
         HIVE_ASSIGN_OR_RETURN(Value v, EvalExpr(*bound, nullptr));
         row.push_back(std::move(v));
@@ -262,7 +295,7 @@ Result<QueryResult> DmlDriver::Insert(const InsertStatement& stmt) {
   // the next write surpasses the thresholds again.
   if (desc.is_acid) {
     // lint: allow-discard(post-commit compaction is advisory)
-    (void)server_->compaction_.MaybeCompact(db, stmt.table);
+    (void)server_->compaction_.MaybeCompact(db, table);
   }
   QueryResult result;
   result.rows_affected = *inserted;
@@ -332,13 +365,14 @@ Result<std::vector<DmlDriver::TargetRow>> DmlDriver::ScanTargets(
 }
 
 Result<QueryResult> DmlDriver::Update(const UpdateStatement& stmt) {
-  std::string db = stmt.db.empty() ? session_->database : stmt.db;
-  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, stmt.table));
+  auto [db, table] = ResolveTarget(stmt.db, stmt.table);
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, table));
   if (!desc.is_acid)
     return Status::NotSupported("UPDATE requires a transactional table");
   Schema full = desc.FullSchema();
-  Config config = session_->config;
+  Config config = server_->EffectiveConfig(session_);
   Binder binder(&server_->catalog_, &config, session_->database);
+  binder.set_table_resolver(server_->TempResolver(session_));
 
   ExprPtr bound_where;
   if (stmt.where) {
@@ -399,18 +433,19 @@ Result<QueryResult> DmlDriver::Update(const UpdateStatement& stmt) {
   result.rows_affected = static_cast<int64_t>(targets.size());
   if (desc.is_acid) {
     // lint: allow-discard(post-commit compaction is advisory)
-    (void)server_->compaction_.MaybeCompact(db, stmt.table);
+    (void)server_->compaction_.MaybeCompact(db, table);
   }
   return result;
 }
 
 Result<QueryResult> DmlDriver::Delete(const DeleteStatement& stmt) {
-  std::string db = stmt.db.empty() ? session_->database : stmt.db;
-  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, stmt.table));
+  auto [db, table] = ResolveTarget(stmt.db, stmt.table);
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, table));
   if (!desc.is_acid)
     return Status::NotSupported("DELETE requires a transactional table");
-  Config config = session_->config;
+  Config config = server_->EffectiveConfig(session_);
   Binder binder(&server_->catalog_, &config, session_->database);
+  binder.set_table_resolver(server_->TempResolver(session_));
   ExprPtr bound_where;
   if (stmt.where) {
     HIVE_ASSIGN_OR_RETURN(bound_where,
@@ -448,13 +483,13 @@ Result<QueryResult> DmlDriver::Delete(const DeleteStatement& stmt) {
   QueryResult result;
   result.rows_affected = static_cast<int64_t>(targets.size());
   // lint: allow-discard(post-commit compaction is advisory)
-  (void)server_->compaction_.MaybeCompact(db, stmt.table);
+  (void)server_->compaction_.MaybeCompact(db, table);
   return result;
 }
 
 Result<QueryResult> DmlDriver::Merge(const MergeStatement& stmt) {
-  std::string db = stmt.db.empty() ? session_->database : stmt.db;
-  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, stmt.table));
+  auto [db, table] = ResolveTarget(stmt.db, stmt.table);
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, table));
   if (!desc.is_acid)
     return Status::NotSupported("MERGE requires a transactional table");
   Schema target_schema = desc.FullSchema();
@@ -476,8 +511,9 @@ Result<QueryResult> DmlDriver::Merge(const MergeStatement& stmt) {
   const Schema& source_schema = source.schema;
   std::string source_alias = stmt.source->alias;
 
-  Config config = session_->config;
+  Config config = server_->EffectiveConfig(session_);
   Binder binder(&server_->catalog_, &config, session_->database);
+  binder.set_table_resolver(server_->TempResolver(session_));
   std::vector<std::pair<std::string, Schema>> scopes = {
       {target_alias, target_schema}, {source_alias, source_schema}};
   HIVE_ASSIGN_OR_RETURN(ExprPtr on, binder.BindAgainst(stmt.on, scopes));
@@ -628,7 +664,7 @@ Result<QueryResult> DmlDriver::Merge(const MergeStatement& stmt) {
   QueryResult result;
   result.rows_affected = affected;
   // lint: allow-discard(post-commit compaction is advisory)
-  (void)server_->compaction_.MaybeCompact(db, stmt.table);
+  (void)server_->compaction_.MaybeCompact(db, table);
   return result;
 }
 
@@ -639,8 +675,9 @@ Result<QueryResult> DmlDriver::CreateMaterializedView(
   HIVE_ASSIGN_OR_RETURN(QueryResult rows, RunSelect(*stmt.query));
 
   // Referenced tables + current snapshot for staleness tracking.
-  Config config = session_->config;
+  Config config = server_->EffectiveConfig(session_);
   Binder binder(&server_->catalog_, &config, session_->database);
+  binder.set_table_resolver(server_->TempResolver(session_));
   HIVE_RETURN_IF_ERROR(binder.BindSelect(*stmt.query).status());
 
   TableDesc desc;
@@ -694,7 +731,7 @@ Result<QueryResult> DmlDriver::RebuildMaterializedView(
 
   // Incremental eligibility: definition is SPJ (no aggregate in the plan)
   // and every source only saw INSERTs since the last rebuild.
-  Config config = session_->config;
+  Config config = server_->EffectiveConfig(session_);
   Binder binder(&server_->catalog_, &config, db);
   HIVE_ASSIGN_OR_RETURN(RelNodePtr bound, binder.BindSelect(select->select));
   std::function<bool(const RelNodePtr&)> has_agg = [&](const RelNodePtr& node) {
@@ -764,8 +801,8 @@ Result<QueryResult> DmlDriver::RebuildMaterializedView(
 }
 
 Result<QueryResult> DmlDriver::Analyze(const AnalyzeTableStatement& stmt) {
-  std::string db = stmt.db.empty() ? session_->database : stmt.db;
-  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, stmt.table));
+  auto [db, table] = ResolveTarget(stmt.db, stmt.table);
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server_->catalog_.GetTable(db, table));
   // Recompute statistics with a full scan of the table.
   SelectStmt query;
   auto body = std::make_shared<QueryExpr>();
@@ -784,7 +821,7 @@ Result<QueryResult> DmlDriver::Analyze(const AnalyzeTableStatement& stmt) {
   query.body = body;
   HIVE_ASSIGN_OR_RETURN(QueryResult rows, RunSelect(query));
 
-  HIVE_ASSIGN_OR_RETURN(TableDesc updated, server_->catalog_.GetTable(db, stmt.table));
+  HIVE_ASSIGN_OR_RETURN(TableDesc updated, server_->catalog_.GetTable(db, table));
   updated.stats = ComputeStats(desc.FullSchema(), rows.rows);
   HIVE_RETURN_IF_ERROR(server_->catalog_.UpdateTable(updated));
   QueryResult result;

@@ -38,6 +38,11 @@ class DmlDriver {
   /// Runs a SELECT without touching the result cache (DML sources).
   Result<QueryResult> RunSelect(const SelectStmt& stmt);
 
+  /// Resolves a statement's (db, table): for unqualified names, session
+  /// temp tables shadow the current database.
+  std::pair<std::string, std::string> ResolveTarget(const std::string& db,
+                                                    const std::string& table) const;
+
   /// Writes `rows` (full-schema order: data then partition columns) into
   /// the table under `txn`, routing partitioned rows into per-partition
   /// delta directories, merging statistics, and recording the write set.

@@ -8,42 +8,23 @@
 
 namespace hive {
 
-std::string QueryResult::ToString(size_t max_rows) const {
-  std::string out;
-  const size_t ncols = schema.num_fields();
-  for (size_t c = 0; c < ncols; ++c) {
-    if (c) out += "\t";
-    out += schema.field(c).name;
-  }
-  if (ncols) out += "\n";
-  const size_t shown = std::min(rows.size(), max_rows);
-  for (size_t i = 0; i < shown; ++i) {
-    // Render exactly the schema's column count: a ragged row (hand-built
-    // results, wide rows from set operations) can never shift the columns
-    // of every row after it.
-    for (size_t c = 0; c < ncols; ++c) {
-      if (c) out += "\t";
-      out += c < rows[i].size() ? rows[i][c].ToString() : "NULL";
-    }
-    out += "\n";
-  }
-  if (rows.size() > max_rows)
-    out += "... (" + std::to_string(rows.size() - max_rows) + " more, " +
-           std::to_string(rows.size()) + " rows total)\n";
-  if (!profile_->counters().empty()) out += "-- " + profile_->Summary() + "\n";
-  return out;
-}
-
 HiveServer2::HiveServer2(FileSystem* fs, Config config)
     : fs_(fs),
       default_config_(config),
       catalog_(fs),
       compaction_(&catalog_, &txns_, &default_config_),
-      governor_(config.exec_memory_limit_bytes) {
+      governor_(config.exec_memory_limit_bytes),
+      plan_cache_(static_cast<size_t>(std::max(config.plan_cache_capacity, 0))),
+      connections_(this, &catalog_, &result_cache_, fs_, &wm_, &metrics_) {
   llap_ = std::make_unique<LlapDaemon>(fs_, default_config_);
   handlers_.Register(std::make_unique<DroidStorageHandler>(&droid_));
   handlers_.Register(std::make_unique<CsvStorageHandler>(fs_));
+  // Hidden home of session temp tables; created eagerly so the first
+  // CREATE TEMPORARY TABLE doesn't race another session's.
+  // lint: allow-discard(already-exists is fine when two servers share a catalog fs)
+  (void)catalog_.CreateDatabase(kTempDatabase);
   RegisterEngineMetrics();
+  wm_.RegisterMetrics(&metrics_);
   // Workload-manager triggers may name any registry metric in addition to
   // the built-in elapsed-runtime one ("WHEN llap.cache.misses > N THEN ...").
   wm_.SetMetricReader([this](const std::string& name) { return metrics_.Value(name); });
@@ -107,39 +88,71 @@ void HiveServer2::RegisterEngineMetrics() {
   });
   SimClock* clock = &clock_;
   metrics_.RegisterCallback("time.virtual_us", [clock] { return clock->virtual_us(); });
+  PlanCache* plans = &plan_cache_;
+  metrics_.RegisterCallback("server.plan_cache.hits",
+                            [plans] { return plans->hits(); });
+  metrics_.RegisterCallback("server.plan_cache.misses",
+                            [plans] { return plans->misses(); });
+  metrics_.RegisterCallback("server.plan_cache.invalidations",
+                            [plans] { return plans->invalidations(); });
+  metrics_.RegisterCallback("server.plan_cache.entries", [plans] {
+    return static_cast<int64_t>(plans->size());
+  });
+}
+
+Connection HiveServer2::Connect(const std::string& application) {
+  return connections_.Connect(application, default_config_);
 }
 
 Session* HiveServer2::OpenSession(const std::string& application) {
-  MutexLock lock(&sessions_mu_);
-  auto session = std::make_unique<Session>();
-  session->application = application;
-  session->config = default_config_;
-  sessions_.push_back(std::move(session));
-  return sessions_.back().get();
+  return connections_.OpenUnowned(application, default_config_);
 }
 
-Result<QueryResult> HiveServer2::Execute(Session* session, const std::string& sql) {
-  HIVE_ASSIGN_OR_RETURN(StatementPtr stmt, Parser::Parse(sql));
-  return Dispatch(session, stmt);
-}
-
-Result<std::vector<QueryResult>> HiveServer2::ExecuteScript(
-    Session* session, const std::string& sql) {
-  HIVE_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, Parser::ParseScript(sql));
-  std::vector<QueryResult> results;
-  results.reserve(stmts.size());
-  for (const StatementPtr& stmt : stmts) {
-    HIVE_ASSIGN_OR_RETURN(QueryResult result, Dispatch(session, stmt));
-    results.push_back(std::move(result));
+Result<QueryResult> HiveServer2::ExecuteOn(Session* session, const std::string& sql) {
+  HIVE_RETURN_IF_ERROR(session->BeginStatement());
+  Result<QueryResult> result = Status::OK();
+  auto parsed = Parser::Parse(sql);
+  if (parsed.ok()) {
+    result = Dispatch(session, *parsed);
+  } else {
+    result = parsed.status();
   }
-  return results;
+  session->EndStatement();
+  return result;
 }
 
-Result<QueryResult> HiveServer2::ExecuteScriptLast(Session* session,
-                                                   const std::string& sql) {
-  HIVE_ASSIGN_OR_RETURN(std::vector<QueryResult> results, ExecuteScript(session, sql));
-  if (results.empty()) return QueryResult{};
-  return std::move(results.back());
+Result<std::vector<QueryResult>> HiveServer2::ExecuteScriptOn(
+    Session* session, const std::string& sql) {
+  HIVE_RETURN_IF_ERROR(session->BeginStatement());
+  Result<std::vector<QueryResult>> out = std::vector<QueryResult>{};
+  auto parsed = Parser::ParseScript(sql);
+  if (!parsed.ok()) {
+    out = parsed.status();
+  } else {
+    out->reserve(parsed->size());
+    for (const StatementPtr& stmt : *parsed) {
+      Result<QueryResult> result = Dispatch(session, stmt);
+      if (!result.ok()) {
+        out = result.status();
+        break;
+      }
+      out->push_back(std::move(*result));
+    }
+  }
+  session->EndStatement();
+  return out;
+}
+
+TableResolver HiveServer2::TempResolver(Session* session) const {
+  return [session](std::string* db, std::string* table) {
+    // lint: allow-discard(resolver contract: untouched names mean no match)
+    (void)session->ResolveTempTable(db, table);
+  };
+}
+
+std::string HiveServer2::ResultCacheKey(Session* session,
+                                        const SelectStmt& stmt) const {
+  return NormalizedQueryText(stmt, session->database, TempResolver(session));
 }
 
 Result<QueryResult> HiveServer2::Dispatch(Session* session, const StatementPtr& stmt) {
@@ -148,14 +161,24 @@ Result<QueryResult> HiveServer2::Dispatch(Session* session, const StatementPtr& 
   switch (stmt->kind()) {
     case StatementKind::kSelect: {
       const auto* select = static_cast<const SelectStatement*>(stmt.get());
-      // Cache key: canonical AST with qualified tables (resolve the
-      // current database into the key so identical text in different
-      // databases cannot collide).
-      std::string key = session->database + "|" + select->ToString();
+      // Cache key: canonical AST with fully qualified tables (current
+      // database and session temp tables resolved into the key), so
+      // identical text in different databases/sessions cannot collide and
+      // an EXECUTE of the equivalent query shares the entry.
+      std::string key = ResultCacheKey(session, select->select);
       return ExecuteSelect(session, select->select, key);
     }
     case StatementKind::kExplain:
       return ExecuteExplain(session, *static_cast<const ExplainStatement*>(stmt.get()));
+    case StatementKind::kPrepare:
+      return ExecutePrepare(session, *static_cast<const PrepareStatement*>(stmt.get()));
+    case StatementKind::kExecute:
+      return ExecutePrepared(session, *static_cast<const ExecuteStatement*>(stmt.get()));
+    case StatementKind::kDeallocate: {
+      const auto* dealloc = static_cast<const DeallocateStatement*>(stmt.get());
+      HIVE_RETURN_IF_ERROR(session->RemovePrepared(dealloc->name));
+      return QueryResult{};
+    }
     case StatementKind::kInsert:
       return dml.Insert(*static_cast<const InsertStatement*>(stmt.get()));
     case StatementKind::kUpdate:
@@ -203,6 +226,7 @@ Result<RelNodePtr> HiveServer2::PlanSelect(
     std::vector<std::string>* referenced_tables, bool* nondeterministic,
     const std::map<std::string, int64_t>* runtime_stats, int* mv_rewrites) {
   Binder binder(&catalog_, &config, session->database);
+  binder.set_table_resolver(TempResolver(session));
   HIVE_ASSIGN_OR_RETURN(RelNodePtr plan, binder.BindSelect(stmt));
   if (referenced_tables) *referenced_tables = binder.referenced_tables();
   if (nondeterministic) *nondeterministic = binder.uses_nondeterministic();
@@ -258,10 +282,20 @@ ExecContext HiveServer2::MakeContext(const Config& config, const TxnSnapshot& sn
   return ctx;
 }
 
+namespace {
+/// Unhooks a statement's cancellation registration on every exit path.
+struct CancelRegistration {
+  Session* session;
+  uint64_t token;
+  ~CancelRegistration() { session->UnregisterCancel(token); }
+};
+}  // namespace
+
 Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
                                                   const SelectStmt& stmt, int attempt,
                                                   RuntimeStats* stats,
-                                                  Config* attempt_config) {
+                                                  Config* attempt_config,
+                                                  bool use_plan_cache) {
   Config& config = *attempt_config;
   std::map<std::string, int64_t> overrides;
   if (attempt > 0 && config.reexecution_strategy == "reoptimize" && stats) {
@@ -276,14 +310,47 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
   int mv_rewrites = 0;
   std::vector<std::string> referenced;
   bool nondeterministic = false;
-  HIVE_ASSIGN_OR_RETURN(
-      RelNodePtr plan,
-      PlanSelect(session, stmt, config, &referenced, &nondeterministic,
-                 overrides.empty() ? nullptr : &overrides, &mv_rewrites));
+  // Plan-cache probe (prepared statements, attempt 0 only: re-execution
+  // attempts deliberately re-plan). The key folds in the planner-relevant
+  // config fingerprint; the catalog version check drops entries staled by
+  // DDL or ANALYZE. Plans that used an MV rewrite are never reused — MV
+  // freshness is time-dependent.
+  RelNodePtr plan;
+  const bool probe_plan_cache =
+      use_plan_cache && attempt == 0 && config.plan_cache_enabled;
+  std::string plan_key;
+  uint64_t catalog_version = 0;
+  if (probe_plan_cache) {
+    plan_key = ResultCacheKey(session, stmt) + "#" +
+               PlanCache::ConfigFingerprint(config);
+    catalog_version = catalog_.version();
+    PlanCache::Entry entry;
+    if (plan_cache_.Lookup(plan_key, catalog_version, &entry)) {
+      plan = entry.plan;
+      mv_rewrites = entry.mv_rewrites;
+    }
+  }
+  if (!plan) {
+    HIVE_ASSIGN_OR_RETURN(
+        plan, PlanSelect(session, stmt, config, &referenced, &nondeterministic,
+                         overrides.empty() ? nullptr : &overrides, &mv_rewrites));
+    if (probe_plan_cache && mv_rewrites == 0)
+      plan_cache_.Insert(plan_key, {plan, mv_rewrites, catalog_version});
+  }
 
-  // Admission control + snapshot. The reader scope keeps the compaction
-  // cleaner from deleting directories this scan's snapshot may still select.
-  HIVE_ASSIGN_OR_RETURN(auto wm_handle, wm_.Admit(session->application));
+  // Admission control + snapshot. The cancellation hooks are created ahead
+  // of Admit and registered with the session so teardown can abort this
+  // query even while it waits in the admission queue. The reader scope
+  // keeps the compaction cleaner from deleting directories this scan's
+  // snapshot may still select.
+  auto cancelled = std::make_shared<std::atomic<bool>>(false);
+  auto kill_reason = std::make_shared<KillReason>();
+  CancelRegistration registration{
+      session, session->RegisterCancel(cancelled, kill_reason)};
+  HIVE_ASSIGN_OR_RETURN(
+      auto wm_handle,
+      wm_.Admit(session->application, config.wlm_queue_timeout_ms, cancelled,
+                kill_reason));
   CompactionManager::ReadScope read_scope(&compaction_);
   TxnSnapshot snapshot = txns_.GetSnapshot();
 
@@ -307,8 +374,11 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
   ctx.query_memory = &query_memory;
   std::string spill_dir;
   if (config.spill_enabled && !config.spill_dir.empty()) {
-    spill_dir =
-        config.spill_dir + "/q" + std::to_string(governor_.NextSpillId());
+    // Session-scoped namespace: close tears down everything under
+    // <spill_dir>/s<sid> in one sweep even when per-query cleanup was
+    // skipped by a crashily-cancelled query.
+    spill_dir = config.spill_dir + "/s" + std::to_string(session->id) + "/q" +
+                std::to_string(governor_.NextSpillId());
     ctx.spill_dir = spill_dir;
   }
 
@@ -368,6 +438,15 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
   if (!spill_dir.empty()) {
     // lint: allow-discard(spill teardown is best-effort; results are already materialized)
     (void)fs_->DeleteRecursive(spill_dir);
+    // Prune the session namespace too once its last query dir is gone, so an
+    // idle session leaves no entry under spill_dir (close sweeps it anyway).
+    std::string session_dir =
+        config.spill_dir + "/s" + std::to_string(session->id);
+    if (auto entries = fs_->ListDir(session_dir);
+        entries.ok() && entries->empty()) {
+      // lint: allow-discard(best-effort prune; a concurrent query may recreate it)
+      (void)fs_->DeleteRecursive(session_dir);
+    }
   }
   if (!exec_status.ok()) return exec_status;
 
@@ -402,8 +481,9 @@ Result<QueryResult> HiveServer2::TryExecuteSelect(Session* session,
 
 Result<QueryResult> HiveServer2::ExecuteSelect(Session* session, const SelectStmt& stmt,
                                                const std::string& cache_key,
-                                               bool bypass_cache) {
-  Config config = session->config;
+                                               bool bypass_cache,
+                                               bool use_plan_cache) {
+  Config config = EffectiveConfig(session);
   metrics_.counter("server.queries")->Inc();
 
   // Result cache probe (Section 4.3). The binder reports determinism and
@@ -434,7 +514,8 @@ Result<QueryResult> HiveServer2::ExecuteSelect(Session* session, const SelectStm
   int attempts = config.reexecution_strategy == "off" ? 1 : 2;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     Config attempt_config = config;
-    result = TryExecuteSelect(session, stmt, attempt, &stats, &attempt_config);
+    result = TryExecuteSelect(session, stmt, attempt, &stats, &attempt_config,
+                              use_plan_cache);
     if (result.ok()) {
       if (attempt) result->profile().SetCounter(obs::qc::kReexecutions, attempt);
       break;
@@ -467,6 +548,7 @@ Result<QueryResult> HiveServer2::ExecuteSelect(Session* session, const SelectStm
     // Non-deterministic queries must not populate the cache.
     bool nondeterministic = false;
     Binder binder(&catalog_, &config, session->database);
+    binder.set_table_resolver(TempResolver(session));
     auto bound = binder.BindSelect(stmt);
     std::vector<std::string> referenced;
     if (bound.ok()) {
@@ -490,7 +572,7 @@ Result<QueryResult> HiveServer2::ExecuteSelect(Session* session, const SelectStm
 Result<QueryResult> HiveServer2::ExecuteIncrementalMvQuery(Session* session,
                                                            const SelectStmt& stmt,
                                                            const TableDesc& view) {
-  Config config = session->config;
+  Config config = EffectiveConfig(session);
   config.materialized_view_rewriting_enabled = false;  // never self-rewrite
   config.result_cache_enabled = false;
   HIVE_ASSIGN_OR_RETURN(RelNodePtr plan, PlanSelect(session, stmt, config, nullptr,
@@ -524,24 +606,115 @@ Result<QueryResult> HiveServer2::ExecuteIncrementalMvQuery(Session* session,
   return result;
 }
 
+namespace {
+
+/// Evaluates one EXECUTE argument. Only literals (and a negated numeric
+/// literal, which the parser leaves as unary minus) are allowed: argument
+/// expressions never see a row, so anything else is a user error.
+Result<Value> EvalExecuteArg(const ExprPtr& e) {
+  if (!e) return Status::InvalidArgument("EXECUTE argument is empty");
+  if (e->kind == ExprKind::kLiteral) return e->literal;
+  if (e->kind == ExprKind::kUnary && e->un_op == UnaryOp::kNegate &&
+      !e->children.empty() && e->children[0] &&
+      e->children[0]->kind == ExprKind::kLiteral) {
+    const Value& v = e->children[0]->literal;
+    if (v.kind() == TypeKind::kBigint) return Value::Bigint(-v.i64());
+    if (v.kind() == TypeKind::kDouble) return Value::Double(-v.f64());
+  }
+  return Status::InvalidArgument("EXECUTE arguments must be literals, got " +
+                                 e->ToString());
+}
+
+}  // namespace
+
+Result<QueryResult> HiveServer2::ExecutePrepare(Session* session,
+                                                const PrepareStatement& stmt) {
+  PreparedStatement prepared;
+  prepared.name = stmt.name;
+  prepared.sql = stmt.ToString();
+  prepared.query = stmt.query;
+  prepared.param_count = stmt.param_count;
+  HIVE_RETURN_IF_ERROR(session->AddPrepared(std::move(prepared)));
+  return QueryResult{};
+}
+
+Result<std::shared_ptr<SelectStmt>> HiveServer2::ResolvePrepared(
+    Session* session, const ExecuteStatement& stmt) {
+  HIVE_ASSIGN_OR_RETURN(PreparedStatement prepared, session->GetPrepared(stmt.name));
+  if (static_cast<int>(stmt.args.size()) != prepared.param_count)
+    return Status::InvalidArgument(
+        "prepared statement '" + stmt.name + "' expects " +
+        std::to_string(prepared.param_count) + " parameter(s), got " +
+        std::to_string(stmt.args.size()));
+  std::vector<Value> values;
+  values.reserve(stmt.args.size());
+  for (const ExprPtr& arg : stmt.args) {
+    HIVE_ASSIGN_OR_RETURN(Value v, EvalExecuteArg(arg));
+    values.push_back(std::move(v));
+  }
+  // After substitution the tree is literally the equivalent ad-hoc query:
+  // same canonical text, same result-cache key, byte-identical answer.
+  return SubstituteParams(*prepared.query, values);
+}
+
+Result<QueryResult> HiveServer2::ExecutePrepared(Session* session,
+                                                 const ExecuteStatement& stmt,
+                                                 bool bypass_cache) {
+  HIVE_ASSIGN_OR_RETURN(std::shared_ptr<SelectStmt> substituted,
+                        ResolvePrepared(session, stmt));
+  std::string key = ResultCacheKey(session, *substituted);
+  return ExecuteSelect(session, *substituted, key, bypass_cache,
+                       /*use_plan_cache=*/true);
+}
+
 Result<QueryResult> HiveServer2::ExecuteExplain(Session* session,
                                                 const ExplainStatement& stmt) {
-  if (stmt.inner->kind() != StatementKind::kSelect)
-    return Status::NotSupported("EXPLAIN supports SELECT statements");
-  const auto* select = static_cast<const SelectStatement*>(stmt.inner.get());
+  const SelectStmt* select = nullptr;
+  std::shared_ptr<SelectStmt> substituted;  // keeps an EXECUTE's tree alive
+  bool prepared = false;
+  if (stmt.inner->kind() == StatementKind::kSelect) {
+    select = &static_cast<const SelectStatement*>(stmt.inner.get())->select;
+  } else if (stmt.inner->kind() == StatementKind::kExecute) {
+    const auto* exec = static_cast<const ExecuteStatement*>(stmt.inner.get());
+    HIVE_ASSIGN_OR_RETURN(substituted, ResolvePrepared(session, *exec));
+    select = substituted.get();
+    prepared = true;
+  } else {
+    return Status::NotSupported("EXPLAIN supports SELECT and EXECUTE statements");
+  }
 
+  Config config = EffectiveConfig(session);
   std::string text;
   if (stmt.analyze) {
     // EXPLAIN ANALYZE really executes the query (bypassing the result cache:
     // a cached answer has no operator tree to annotate) and renders the
     // profile — the plan tree with per-operator actuals plus the counters.
     HIVE_ASSIGN_OR_RETURN(QueryResult executed,
-                          ExecuteSelect(session, select->select, /*cache_key=*/"",
-                                        /*bypass_cache=*/true));
+                          ExecuteSelect(session, *select, /*cache_key=*/"",
+                                        /*bypass_cache=*/true,
+                                        /*use_plan_cache=*/prepared));
     text = executed.profile().ToString();
+  } else if (prepared && config.plan_cache_enabled) {
+    // EXPLAIN EXECUTE shows whether the plan came from the plan cache, and
+    // warms the cache on a miss (so EXPLAIN then EXECUTE plans once).
+    std::string plan_key = ResultCacheKey(session, *select) + "#" +
+                           PlanCache::ConfigFingerprint(config);
+    uint64_t catalog_version = catalog_.version();
+    PlanCache::Entry entry;
+    if (plan_cache_.Lookup(plan_key, catalog_version, &entry)) {
+      text = "-- plan cache: hit\n" + entry.plan->ToString();
+    } else {
+      int mv_rewrites = 0;
+      HIVE_ASSIGN_OR_RETURN(RelNodePtr plan,
+                            PlanSelect(session, *select, config, nullptr,
+                                       nullptr, nullptr, &mv_rewrites));
+      if (mv_rewrites == 0)
+        plan_cache_.Insert(plan_key, {plan, mv_rewrites, catalog_version});
+      text = "-- plan cache: miss\n" + plan->ToString();
+    }
   } else {
     HIVE_ASSIGN_OR_RETURN(RelNodePtr plan,
-                          PlanSelect(session, select->select, session->config, nullptr,
+                          PlanSelect(session, *select, config, nullptr,
                                      nullptr, nullptr, nullptr));
     text = plan->ToString();
   }
@@ -589,6 +762,19 @@ Result<QueryResult> HiveServer2::ExecuteDdl(Session* session, const StatementPtr
       return dml.CreateTable(*static_cast<const CreateTableStatement*>(stmt.get()));
     case StatementKind::kDropTable: {
       const auto* drop = static_cast<const DropTableStatement*>(stmt.get());
+      if (drop->db.empty()) {
+        // Session temp tables shadow permanent ones for unqualified names,
+        // mirroring how SELECT resolves them. No transaction/lock dance:
+        // nobody outside this session can see the table.
+        std::string physical;
+        if (session->RemoveTempTable(drop->table, &physical)) {
+          Status status = catalog_.DropTable(kTempDatabase, physical);
+          result_cache_.InvalidateTable(std::string(kTempDatabase) + "." +
+                                        physical);
+          if (!status.ok()) return status;
+          return QueryResult{};
+        }
+      }
       std::string db = drop->db.empty() ? session->database : drop->db;
       auto desc = catalog_.GetTable(db, drop->table);
       if (!desc.ok()) {

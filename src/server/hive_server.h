@@ -22,95 +22,58 @@
 #include "obs/query_profile.h"
 #include "optimizer/binder.h"
 #include "optimizer/mv_rewrite.h"
+#include "optimizer/normalize.h"
 #include "optimizer/optimizer.h"
+#include "server/connection_manager.h"
+#include "server/prepared_statement.h"
+#include "server/query_result.h"
 #include "server/result_cache.h"
 #include "server/workload_manager.h"
 #include "sql/parser.h"
 
 namespace hive {
 
-/// A session holds per-connection state: current database, config overrides
-/// and the application name the workload manager maps on.
-struct Session {
-  std::string database = "default";
-  std::string application;
-  Config config;
-};
-
-/// Result of one statement. Everything the engine measured while producing
-/// it lives in the attached QueryProfile — named counters (see obs::qc for
-/// the well-known names) plus the operator span tree EXPLAIN ANALYZE
-/// renders. Copies of a QueryResult share one profile.
-struct QueryResult {
-  Schema schema;
-  std::vector<std::vector<Value>> rows;
-  int64_t rows_affected = 0;
-
-  /// Structured execution record: `result.profile().counter("task.retries")`,
-  /// `result.profile().root()` for the annotated operator tree.
-  obs::QueryProfile& profile() { return *profile_; }
-  const obs::QueryProfile& profile() const { return *profile_; }
-
-  // --- deprecated flat accessors ---
-  // Thin shims over profile() counters, kept for one PR so out-of-tree
-  // callers can migrate; new code reads the profile directly.
-  bool from_result_cache() const {
-    return profile_->counter(obs::qc::kFromResultCache) != 0;
-  }
-  int reexecutions() const {
-    return static_cast<int>(profile_->counter(obs::qc::kReexecutions));
-  }
-  int mv_rewrites_used() const {
-    return static_cast<int>(profile_->counter(obs::qc::kMvRewrites));
-  }
-  int64_t exec_wall_us() const { return profile_->counter(obs::qc::kWallUs); }
-  int64_t exec_virtual_us() const {
-    return profile_->counter(obs::qc::kVirtualUs);
-  }
-  int64_t task_retries() const {
-    return profile_->counter(obs::qc::kTaskRetries);
-  }
-  int64_t speculative_tasks() const {
-    return profile_->counter(obs::qc::kSpeculativeTasks);
-  }
-  int64_t speculative_wins() const {
-    return profile_->counter(obs::qc::kSpeculativeWins);
-  }
-
-  /// Header + up to `max_rows` rows (always exactly the schema's columns,
-  /// so ragged hand-built rows cannot misalign), a truncation marker, and
-  /// the profile's one-line summary when the query recorded one.
-  std::string ToString(size_t max_rows = 25) const;
-
- private:
-  std::shared_ptr<obs::QueryProfile> profile_ =
-      std::make_shared<obs::QueryProfile>();
-};
-
 /// HiveServer2 (Section 2): parses, plans, optimizes and executes SQL
 /// statements, coordinating the metastore, transaction manager, LLAP
 /// daemon, workload manager, result cache and storage handlers. Figure 2's
 /// preparation pipeline maps to ExecuteSelect; DML/DDL follow their own
 /// drivers.
+///
+/// Clients talk to the server through RAII Connection handles:
+///
+///   HiveServer2 server(&fs);
+///   Connection conn = server.Connect("etl");
+///   auto result = conn.Execute("SELECT ...");
+///
+/// Each connection owns a server-side session (current database, config
+/// overrides, temp tables, prepared statements) that is torn down
+/// deterministically when the handle closes.
 class HiveServer2 {
  public:
   /// `fs` outlives the server. Default config applies to new sessions.
   HiveServer2(FileSystem* fs, Config config = {});
 
+  /// Opens a connection for `application` (the name workload-manager
+  /// mappings route on). The returned handle is the public entry point for
+  /// executing statements; it must not outlive the server.
+  Connection Connect(const std::string& application = "");
+
+  [[deprecated("use Connect(); the returned Connection owns the session")]]
   Session* OpenSession(const std::string& application = "");
 
   /// Executes one SQL statement in the session.
-  Result<QueryResult> Execute(Session* session, const std::string& sql);
+  [[deprecated("use Connection::Execute")]]
+  Result<QueryResult> Execute(Session* session, const std::string& sql) {
+    return ExecuteOn(session, sql);
+  }
 
   /// Runs a ';'-separated script, returning every statement's result in
   /// order. Fails on the first statement that errors.
+  [[deprecated("use Connection::ExecuteScript")]]
   Result<std::vector<QueryResult>> ExecuteScript(Session* session,
-                                                 const std::string& sql);
-
-  /// Convenience shim over ExecuteScript for callers that only care about
-  /// the final statement (DDL preambles): returns the last result, or an
-  /// empty QueryResult for an empty script.
-  Result<QueryResult> ExecuteScriptLast(Session* session, const std::string& sql);
+                                                 const std::string& sql) {
+    return ExecuteScriptOn(session, sql);
+  }
 
   // --- component access (benchmarks / tests) ---
   Catalog* catalog() { return &catalog_; }
@@ -119,6 +82,9 @@ class HiveServer2 {
   DroidStore* droid() { return &droid_; }
   QueryResultCache* result_cache() { return &result_cache_; }
   WorkloadManager* workload_manager() { return &wm_; }
+  /// Prepared-statement plan cache (server-wide; see prepared_statement.h).
+  PlanCache* plan_cache() { return &plan_cache_; }
+  ConnectionManager* connections() { return &connections_; }
   /// Engine-wide metrics registry (SHOW METRICS); components publish into
   /// it via push counters or snapshot-time callback gauges.
   obs::MetricsRegistry* metrics() { return &metrics_; }
@@ -129,6 +95,20 @@ class HiveServer2 {
   CompactionManager* compaction() { return &compaction_; }
   const Config& default_config() const { return default_config_; }
 
+  /// Replaces the server default config. Sessions see the change through
+  /// Config layering (LayerConfig): every field a session has not
+  /// explicitly overridden tracks the new default. Apply between
+  /// statements — concurrent readers of the default are not synchronized.
+  void SetDefaultConfig(const Config& config) { default_config_ = config; }
+
+  /// The config one of this session's statements would run under right
+  /// now: session overrides on top of the live server default. THE one
+  /// place the layering rule is applied (satellite: config layering).
+  Config EffectiveConfig(const Session* session) const {
+    return LayerConfig(default_config_, session->open_defaults,
+                       session->config);
+  }
+
   /// Registers an additional storage handler (Section 6.1) alongside the
   /// built-in droid/CSV ones; referenced by CREATE TABLE ... STORED BY
   /// '<name>'. Call before queries touch tables of that handler.
@@ -138,25 +118,46 @@ class HiveServer2 {
 
  private:
   friend class DmlDriver;
+  friend class Connection;
 
   /// Registers snapshot-time callback gauges for every component that
   /// already keeps internal counters (LLAP cache/daemon, result cache,
   /// transaction + compaction managers); called once from the constructor.
   void RegisterEngineMetrics();
 
+  /// Statement entry points behind Connection::Execute/ExecuteScript (and
+  /// the deprecated Session overloads): bracket the dispatch with the
+  /// session's in-flight accounting so Close can drain deterministically.
+  Result<QueryResult> ExecuteOn(Session* session, const std::string& sql);
+  Result<std::vector<QueryResult>> ExecuteScriptOn(Session* session,
+                                                   const std::string& sql);
+
   Result<QueryResult> Dispatch(Session* session, const StatementPtr& stmt);
   /// `bypass_cache` skips the result-cache probe AND fill (EXPLAIN ANALYZE
-  /// must measure a real execution).
+  /// must measure a real execution); `use_plan_cache` lets attempt 0 reuse
+  /// an optimized plan from the prepared-statement plan cache.
   Result<QueryResult> ExecuteSelect(Session* session, const SelectStmt& stmt,
                                     const std::string& cache_key,
-                                    bool bypass_cache = false);
+                                    bool bypass_cache = false,
+                                    bool use_plan_cache = false);
   /// One planning+execution attempt; `attempt` > 0 applies the configured
   /// re-execution strategy (overlay / reoptimize with runtime stats).
   Result<QueryResult> TryExecuteSelect(Session* session, const SelectStmt& stmt,
                                        int attempt, RuntimeStats* stats,
-                                       Config* attempt_config);
+                                       Config* attempt_config,
+                                       bool use_plan_cache);
   Result<QueryResult> ExecuteExplain(Session* session, const ExplainStatement& stmt);
   Result<QueryResult> ExecuteDdl(Session* session, const StatementPtr& stmt);
+  /// PREPARE / EXECUTE / DEALLOCATE (prepared statements).
+  Result<QueryResult> ExecutePrepare(Session* session,
+                                     const PrepareStatement& stmt);
+  Result<QueryResult> ExecutePrepared(Session* session,
+                                      const ExecuteStatement& stmt,
+                                      bool bypass_cache = false);
+  /// Looks up the prepared statement and substitutes the EXECUTE arguments
+  /// (literals only) into a fresh tree ready for planning.
+  Result<std::shared_ptr<SelectStmt>> ResolvePrepared(
+      Session* session, const ExecuteStatement& stmt);
   /// Evaluates a materialized view's definition over only the write ids
   /// added since the view's recorded snapshot (incremental maintenance).
   Result<QueryResult> ExecuteIncrementalMvQuery(Session* session,
@@ -164,6 +165,12 @@ class HiveServer2 {
                                                 const TableDesc& view);
   Result<QueryResult> ExecuteAnalyze(Session* session, const AnalyzeTableStatement& stmt);
   Result<QueryResult> ExecuteShowMetrics();
+
+  /// Temp-table resolver for this session (feeds normalization + binding).
+  TableResolver TempResolver(Session* session) const;
+  /// Canonical result-cache key: database-qualified, temp-resolved text,
+  /// identical for an ad-hoc query and the equivalent EXECUTE.
+  std::string ResultCacheKey(Session* session, const SelectStmt& stmt) const;
 
   /// Plans a SELECT into an optimized RelNode tree (parse products in).
   Result<RelNodePtr> PlanSelect(Session* session, const SelectStmt& stmt,
@@ -195,8 +202,11 @@ class HiveServer2 {
   WorkloadManager wm_;
   obs::MetricsRegistry metrics_;
   MemoryGovernor governor_;
-  std::vector<std::unique_ptr<Session>> sessions_ HIVE_GUARDED_BY(sessions_mu_);
-  Mutex sessions_mu_{"server.sessions.mu"};
+  PlanCache plan_cache_;
+  /// Declared last: its destructor closes every remaining session (which
+  /// touches the catalog, caches and filesystem above), so it must be
+  /// destroyed first.
+  ConnectionManager connections_;
 };
 
 }  // namespace hive

@@ -1,0 +1,91 @@
+#ifndef HIVE_SERVER_PREPARED_STATEMENT_H_
+#define HIVE_SERVER_PREPARED_STATEMENT_H_
+
+#include <atomic>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "common/sync.h"
+#include "optimizer/rel.h"
+#include "sql/ast.h"
+
+namespace hive {
+
+/// One PREPAREd statement in a session: the parsed SELECT template with its
+/// `?` placeholders intact. EXECUTE substitutes literal arguments into a
+/// deep copy (optimizer/normalize.h) and runs the result like an ad-hoc
+/// query, so the template itself stays immutable and shareable.
+struct PreparedStatement {
+  std::string name;
+  std::string sql;  // original PREPARE text, for EXPLAIN and SHOW
+  std::shared_ptr<SelectStmt> query;
+  int param_count = 0;
+};
+
+/// Server-wide bounded LRU cache of optimized plans for prepared-statement
+/// executions. Keyed on the normalized (database-qualified, parameter-
+/// substituted) statement text plus a fingerprint of the planner-relevant
+/// config knobs — sessions with different optimizer settings must not share
+/// plans. Entries remember the catalog version they were planned against;
+/// any DDL or stats change bumps that version and the stale entry is
+/// dropped (and counted as an invalidation) on its next lookup.
+class PlanCache {
+ public:
+  struct Entry {
+    RelNodePtr plan;
+    int mv_rewrites = 0;
+    uint64_t catalog_version = 0;
+  };
+
+  explicit PlanCache(size_t capacity = 128) : capacity_(capacity) {}
+
+  void set_capacity(size_t capacity) {
+    MutexLock lock(&mu_);
+    capacity_ = capacity;
+    EvictLocked();
+  }
+
+  /// Returns the cached plan for `key` when present AND planned against
+  /// `catalog_version`; a version mismatch erases the entry and counts an
+  /// invalidation. Hits refresh LRU order.
+  bool Lookup(const std::string& key, uint64_t catalog_version, Entry* out);
+
+  /// Inserts (or refreshes) `key`, evicting least-recently-used entries
+  /// beyond capacity.
+  void Insert(const std::string& key, Entry entry);
+
+  /// Drops every entry (used when invalidation must be immediate).
+  void Clear();
+
+  /// Planner-relevant knobs folded into every cache key: two sessions whose
+  /// configs agree on these may share a plan, everything else (memory
+  /// limits, timeouts, engine selection at runtime) binds at execution.
+  static std::string ConfigFingerprint(const Config& config);
+
+  size_t size() const;
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void EvictLocked() HIVE_REQUIRES(mu_);
+
+  mutable Mutex mu_{"server.plan_cache.mu"};
+  size_t capacity_ HIVE_GUARDED_BY(mu_);
+  /// Most-recently-used at the front.
+  std::list<std::pair<std::string, Entry>> lru_ HIVE_GUARDED_BY(mu_);
+  std::map<std::string, std::list<std::pair<std::string, Entry>>::iterator>
+      index_ HIVE_GUARDED_BY(mu_);
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> invalidations_{0};
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SERVER_PREPARED_STATEMENT_H_

@@ -1,0 +1,33 @@
+#include "server/query_result.h"
+
+#include <algorithm>
+
+namespace hive {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  const size_t ncols = schema.num_fields();
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c) out += "\t";
+    out += schema.field(c).name;
+  }
+  if (ncols) out += "\n";
+  const size_t shown = std::min(rows.size(), max_rows);
+  for (size_t i = 0; i < shown; ++i) {
+    // Render exactly the schema's column count: a ragged row (hand-built
+    // results, wide rows from set operations) can never shift the columns
+    // of every row after it.
+    for (size_t c = 0; c < ncols; ++c) {
+      if (c) out += "\t";
+      out += c < rows[i].size() ? rows[i][c].ToString() : "NULL";
+    }
+    out += "\n";
+  }
+  if (rows.size() > max_rows)
+    out += "... (" + std::to_string(rows.size() - max_rows) + " more, " +
+           std::to_string(rows.size()) + " rows total)\n";
+  if (!profile_->counters().empty()) out += "-- " + profile_->Summary() + "\n";
+  return out;
+}
+
+}  // namespace hive

@@ -1,0 +1,40 @@
+#ifndef HIVE_SERVER_QUERY_RESULT_H_
+#define HIVE_SERVER_QUERY_RESULT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/types.h"
+#include "obs/query_profile.h"
+
+namespace hive {
+
+/// Result of one statement. Everything the engine measured while producing
+/// it lives in the attached QueryProfile — named counters (see obs::qc for
+/// the well-known names) plus the operator span tree EXPLAIN ANALYZE
+/// renders. Copies of a QueryResult share one profile.
+struct QueryResult {
+  Schema schema;
+  std::vector<std::vector<Value>> rows;
+  int64_t rows_affected = 0;
+
+  /// Structured execution record: `result.profile().counter("task.retries")`,
+  /// `result.profile().root()` for the annotated operator tree.
+  obs::QueryProfile& profile() { return *profile_; }
+  const obs::QueryProfile& profile() const { return *profile_; }
+
+  /// Header + up to `max_rows` rows (always exactly the schema's columns,
+  /// so ragged hand-built rows cannot misalign), a truncation marker, and
+  /// the profile's one-line summary when the query recorded one.
+  std::string ToString(size_t max_rows = 25) const;
+
+ private:
+  std::shared_ptr<obs::QueryProfile> profile_ =
+      std::make_shared<obs::QueryProfile>();
+};
+
+}  // namespace hive
+
+#endif  // HIVE_SERVER_QUERY_RESULT_H_

@@ -1,8 +1,22 @@
 #include "server/workload_manager.h"
 
+#include <algorithm>
+
 #include "common/sim_clock.h"
+#include "obs/metrics.h"
 
 namespace hive {
+
+void WorkloadManager::RegisterMetrics(obs::MetricsRegistry* registry) {
+  queued_counter_ = registry->counter("wlm.queue.queued");
+  admitted_counter_ = registry->counter("wlm.queue.admitted");
+  timeout_counter_ = registry->counter("wlm.queue.timeouts");
+  rejected_counter_ = registry->counter("wlm.queue.rejected");
+  wait_histogram_ = registry->histogram("wlm.queue.wait_us");
+  registry->RegisterCallback(
+      "wlm.queue.depth",
+      [this] { return queue_depth_.load(std::memory_order_relaxed); });
+}
 
 Status WorkloadManager::Apply(const ResourcePlanStatement& stmt) {
   MutexLock lock(&mu_);
@@ -23,6 +37,8 @@ Status WorkloadManager::Apply(const ResourcePlanStatement& stmt) {
       pool.query_parallelism = stmt.query_parallelism;
       it->second.pools[stmt.pool] = std::move(pool);
       if (it->second.default_pool.empty()) it->second.default_pool = stmt.pool;
+      // New capacity may unblock waiters when the active plan grows.
+      if (active_plan_ == stmt.plan) DrainQueueLocked();
       return Status::OK();
     }
     case ResourcePlanStatement::Op::kCreateRule: {
@@ -67,6 +83,7 @@ Status WorkloadManager::Apply(const ResourcePlanStatement& stmt) {
       for (auto& [name, plan] : plans_) plan.active = false;
       it->second.active = true;
       active_plan_ = stmt.plan;
+      DrainQueueLocked();
       return Status::OK();
     }
   }
@@ -74,41 +91,184 @@ Status WorkloadManager::Apply(const ResourcePlanStatement& stmt) {
 }
 
 Result<std::shared_ptr<WorkloadManager::QueryHandle>> WorkloadManager::Admit(
-    const std::string& application) {
+    const std::string& application, int64_t queue_timeout_ms,
+    std::shared_ptr<std::atomic<bool>> cancelled,
+    std::shared_ptr<KillReason> kill_reason) {
   MutexLock lock(&mu_);
   auto handle = std::make_shared<QueryHandle>();
+  if (cancelled) handle->cancelled = std::move(cancelled);
+  if (kill_reason) handle->kill_reason = std::move(kill_reason);
   handle->start_us = SimClock::WallMicros();
   if (active_plan_.empty()) return handle;  // unmanaged
   Plan& plan = plans_[active_plan_];
   auto mapping = plan.mappings.find(ToLower(application));
   std::string pool_name =
       mapping != plan.mappings.end() ? mapping->second : plan.default_pool;
-  auto pool = plan.pools.find(pool_name);
-  if (pool == plan.pools.end())
+  if (!plan.pools.count(pool_name))
     return Status::Internal("active plan has no pool " + pool_name);
-  if (pool->second.active < pool->second.query_parallelism) {
-    ++pool->second.active;
-    handle->pool = pool_name;
-    return handle;
+
+  handle->application = application;
+  handle->pool = pool_name;
+  handle->state = QueryHandle::State::kQueued;
+  handle->seq = next_seq_++;
+  handle->enqueued_us = SimClock::WallMicros();
+  queue_.push_back(handle);
+  queue_depth_.store(static_cast<int64_t>(queue_.size()),
+                     std::memory_order_relaxed);
+  if (queued_counter_) queued_counter_->Inc();
+  DrainQueueLocked();
+  if (handle->state == QueryHandle::State::kAdmitted) return handle;
+
+  if (queue_timeout_ms <= 0) {
+    // Historic reject-on-full semantics: no queueing without a deadline.
+    RemoveFromQueueLocked(handle);
+    handle->state = QueryHandle::State::kTimedOut;
+    if (rejected_counter_) rejected_counter_->Inc();
+    return Status::ResourceExhausted("all pools at capacity for application " +
+                                     application);
   }
-  // Borrow an idle slot from another pool until its owner claims it.
-  for (auto& [name, other] : plan.pools) {
-    if (name == pool_name) continue;
-    if (other.active < other.query_parallelism) {
-      ++other.active;
-      handle->pool = pool_name;
-      handle->borrowed_from = name;
-      return handle;
+
+  const int64_t deadline_us =
+      SimClock::WallMicros() + queue_timeout_ms * 1000;
+  while (handle->state == QueryHandle::State::kQueued &&
+         !handle->cancelled->load(std::memory_order_acquire)) {
+    int64_t remaining_us = deadline_us - SimClock::WallMicros();
+    if (remaining_us <= 0) break;
+    queue_cv_.WaitFor(lock, remaining_us);
+  }
+  if (handle->state == QueryHandle::State::kAdmitted) return handle;
+  RemoveFromQueueLocked(handle);
+  if (handle->cancelled->load(std::memory_order_acquire)) {
+    handle->state = QueryHandle::State::kKilled;
+    return Status::ResourceExhausted(
+        handle->kill_reason->GetOr("query killed while queued for admission"));
+  }
+  handle->state = QueryHandle::State::kTimedOut;
+  if (timeout_counter_) timeout_counter_->Inc();
+  return Status::ResourceExhausted(
+      "admission queue deadline expired after " +
+      std::to_string(queue_timeout_ms) + " ms waiting for a slot in pool '" +
+      handle->pool + "' (wlm.queue.timeout.ms)");
+}
+
+void WorkloadManager::DrainQueueLocked() {
+  if (queue_.empty()) return;
+  if (active_plan_.empty()) {
+    // Plan went away while queries waited: everyone runs unmanaged.
+    for (auto& waiter : queue_) {
+      waiter->state = QueryHandle::State::kAdmitted;
+      waiter->pool.clear();
+      if (admitted_counter_) admitted_counter_->Inc();
+    }
+    queue_.clear();
+    queue_depth_.store(0, std::memory_order_relaxed);
+    queue_cv_.NotifyAll();
+    return;
+  }
+  Plan& plan = plans_[active_plan_];
+  bool admitted_any = false;
+  auto admit = [&](const std::shared_ptr<QueryHandle>& waiter) {
+    waiter->state = QueryHandle::State::kAdmitted;
+    if (admitted_counter_) admitted_counter_->Inc();
+    if (wait_histogram_)
+      wait_histogram_->Record(
+          std::max<int64_t>(0, SimClock::WallMicros() - waiter->enqueued_us));
+    admitted_any = true;
+  };
+  // Pass 1: own-pool slots. queue_ is in arrival order, so scanning front to
+  // back admits each pool's waiters FIFO.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    auto pool = plan.pools.find((*it)->pool);
+    if (pool != plan.pools.end() &&
+        pool->second.active < pool->second.query_parallelism) {
+      ++pool->second.active;
+      admit(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
     }
   }
-  return Status::ResourceExhausted("all pools at capacity for application " +
-                                   application);
+  // Pass 2: after pass 1 no waiter's own pool has capacity, so leftover idle
+  // slots go to the globally oldest waiters (fair cross-pool draining) as
+  // borrowed slots — but never from a pool that has waiters of its own.
+  bool progress = true;
+  while (progress && !queue_.empty()) {
+    progress = false;
+    const std::shared_ptr<QueryHandle>& head = queue_.front();
+    for (auto& [name, other] : plan.pools) {
+      if (name == head->pool) continue;
+      if (other.active >= other.query_parallelism) continue;
+      bool has_own_waiter = false;
+      for (const auto& waiter : queue_)
+        if (waiter->pool == name) { has_own_waiter = true; break; }
+      if (has_own_waiter) continue;
+      ++other.active;
+      head->borrowed_from = name;
+      admit(head);
+      queue_.erase(queue_.begin());
+      progress = true;
+      break;
+    }
+  }
+  queue_depth_.store(static_cast<int64_t>(queue_.size()),
+                     std::memory_order_relaxed);
+  if (admitted_any) queue_cv_.NotifyAll();
+}
+
+void WorkloadManager::RemoveFromQueueLocked(
+    const std::shared_ptr<QueryHandle>& handle) {
+  auto it = std::find(queue_.begin(), queue_.end(), handle);
+  if (it != queue_.end()) queue_.erase(it);
+  queue_depth_.store(static_cast<int64_t>(queue_.size()),
+                     std::memory_order_relaxed);
+}
+
+Status WorkloadManager::Move(const std::shared_ptr<QueryHandle>& handle,
+                             const std::string& target_pool) {
+  MutexLock lock(&mu_);
+  return MoveLocked(handle, target_pool);
+}
+
+Status WorkloadManager::MoveLocked(const std::shared_ptr<QueryHandle>& handle,
+                                   const std::string& target_pool) {
+  if (active_plan_.empty()) return Status::OK();  // unmanaged: nothing to do
+  Plan& plan = plans_[active_plan_];
+  auto target = plan.pools.find(target_pool);
+  if (target == plan.pools.end()) return Status::NotFound("pool " + target_pool);
+  if (handle->state == QueryHandle::State::kQueued) {
+    // A queued query just starts competing for the target pool's slots; its
+    // arrival order (seq) is preserved.
+    handle->pool = target_pool;
+    handle->moved = true;
+    DrainQueueLocked();
+    return Status::OK();
+  }
+  if (handle->state != QueryHandle::State::kAdmitted)
+    return Status::InvalidArgument("query is not queued or running");
+  // Move accounting: free the old slot, take one in the target (moves
+  // always succeed; the target may transiently exceed its parallelism,
+  // matching the paper's preemption-friendly fragment model).
+  std::string slot_pool =
+      handle->borrowed_from.empty() ? handle->pool : handle->borrowed_from;
+  auto pool = plan.pools.find(slot_pool);
+  if (pool != plan.pools.end() && pool->second.active > 0)
+    --pool->second.active;
+  handle->borrowed_from.clear();
+  ++target->second.active;
+  handle->pool = target_pool;
+  handle->moved = true;
+  // The freed slot may admit a waiter.
+  DrainQueueLocked();
+  return Status::OK();
 }
 
 void WorkloadManager::ReportProgress(const std::shared_ptr<QueryHandle>& handle,
                                      int64_t elapsed_ms) {
   MutexLock lock(&mu_);
   if (active_plan_.empty() || handle->pool.empty() || handle->moved) return;
+  if (handle->state != QueryHandle::State::kAdmitted &&
+      handle->state != QueryHandle::State::kUnmanaged)
+    return;
   Plan& plan = plans_[active_plan_];
   auto pool = plan.pools.find(handle->pool);
   if (pool == plan.pools.end()) return;
@@ -136,20 +296,8 @@ void WorkloadManager::ReportProgress(const std::shared_ptr<QueryHandle>& handle,
       return;
     }
     if (rule->second.action == "MOVE") {
-      auto target = plan.pools.find(rule->second.target_pool);
-      if (target == plan.pools.end()) continue;
-      // Move accounting: free the old slot, take one in the target (moves
-      // always succeed; the target may transiently exceed its parallelism,
-      // matching the paper's preemption-friendly fragment model).
-      if (handle->borrowed_from.empty()) {
-        --pool->second.active;
-      } else {
-        --plan.pools[handle->borrowed_from].active;
-        handle->borrowed_from.clear();
-      }
-      ++target->second.active;
-      handle->pool = rule->second.target_pool;
-      handle->moved = true;
+      if (!plan.pools.count(rule->second.target_pool)) continue;
+      (void)MoveLocked(handle, rule->second.target_pool);  // lint: allow-discard(target checked above)
       return;
     }
   }
@@ -157,6 +305,12 @@ void WorkloadManager::ReportProgress(const std::shared_ptr<QueryHandle>& handle,
 
 void WorkloadManager::Release(const std::shared_ptr<QueryHandle>& handle) {
   MutexLock lock(&mu_);
+  if (handle->state == QueryHandle::State::kUnmanaged) {
+    handle->state = QueryHandle::State::kReleased;
+    return;
+  }
+  if (handle->state != QueryHandle::State::kAdmitted) return;
+  handle->state = QueryHandle::State::kReleased;
   if (active_plan_.empty() || handle->pool.empty()) return;
   Plan& plan = plans_[active_plan_];
   std::string slot_pool =
@@ -164,6 +318,12 @@ void WorkloadManager::Release(const std::shared_ptr<QueryHandle>& handle) {
   auto pool = plan.pools.find(slot_pool);
   if (pool != plan.pools.end() && pool->second.active > 0) --pool->second.active;
   handle->pool.clear();
+  DrainQueueLocked();
+}
+
+void WorkloadManager::Kick() {
+  MutexLock lock(&mu_);
+  queue_cv_.NotifyAll();
 }
 
 bool WorkloadManager::HasActivePlan() const {
@@ -183,6 +343,24 @@ int WorkloadManager::ActiveInPool(const std::string& pool) const {
   const Plan& plan = plans_.at(active_plan_);
   auto it = plan.pools.find(pool);
   return it == plan.pools.end() ? 0 : it->second.active;
+}
+
+int WorkloadManager::QueuedInPool(const std::string& pool) const {
+  MutexLock lock(&mu_);
+  int count = 0;
+  for (const auto& waiter : queue_)
+    if (waiter->pool == pool) ++count;
+  return count;
+}
+
+int64_t WorkloadManager::QueueDepth() const {
+  return queue_depth_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::shared_ptr<WorkloadManager::QueryHandle>>
+WorkloadManager::QueuedQueries() const {
+  MutexLock lock(&mu_);
+  return queue_;
 }
 
 }  // namespace hive

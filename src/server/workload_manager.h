@@ -15,14 +15,24 @@
 
 namespace hive {
 
+namespace obs {
+class MetricsRegistry;
+class Counter;
+class Histogram;
+}  // namespace obs
+
 /// Workload management (Section 5.2): resource plans made of pools (with
 /// an allocation fraction and a query-parallelism cap), application
 /// mappings routing queries to pools, and triggers that MOVE or KILL
 /// queries based on runtime metrics. One plan is active at a time.
 ///
-/// Admission control: a query takes a slot in its mapped pool; when the
-/// pool is full, an idle slot is borrowed from another pool (the paper's
-/// cluster-utilization rule) and returned as soon as the query finishes.
+/// Admission control: a query takes a slot in its mapped pool. When the
+/// pool is full the query enters the pool's FIFO admission queue and waits
+/// up to its deadline (`wlm.queue.timeout.ms`) for a slot; a deadline of
+/// zero restores the historic reject-on-full behavior. Queues drain fairly
+/// on every release: each pool's oldest waiter takes freed own-pool slots
+/// first, then the globally oldest waiter may borrow an idle slot from a
+/// pool with no waiters of its own (the paper's cluster-utilization rule).
 class WorkloadManager {
  public:
   struct Pool {
@@ -53,10 +63,18 @@ class WorkloadManager {
     bool active = false;
   };
 
-  /// A running query's registration; move/kill state lives here.
+  /// A query's registration, from admission request to release. Queued and
+  /// running state (pool, move/kill flags) lives here.
   struct QueryHandle {
-    std::string pool;
+    enum class State { kUnmanaged, kQueued, kAdmitted, kTimedOut, kKilled, kReleased };
+
+    std::string application;
+    std::string pool;           // mapped pool while queued; running pool after
     std::string borrowed_from;  // non-empty when running on a borrowed slot
+    State state = State::kUnmanaged;
+    /// Global arrival order; queues drain oldest-seq-first.
+    uint64_t seq = 0;
+    int64_t enqueued_us = 0;
     std::shared_ptr<std::atomic<bool>> cancelled =
         std::make_shared<std::atomic<bool>>(false);
     /// Why `cancelled` was raised — the trigger's name for KILL rules, or
@@ -74,32 +92,86 @@ class WorkloadManager {
     metric_reader_ = std::move(reader);
   }
 
+  /// Wires the wlm.queue.* metrics (queued/admitted/timeout counters, wait
+  /// histogram, depth callback gauge) into the server's registry.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
   /// Applies one resource-plan DDL statement.
   Status Apply(const ResourcePlanStatement& stmt);
 
   /// Admits a query for `application`; chooses its pool via mappings or the
-  /// default pool. Fails with kResourceExhausted when no slot is available
-  /// anywhere. No active plan = unmanaged (always admitted).
-  Result<std::shared_ptr<QueryHandle>> Admit(const std::string& application);
+  /// default pool. With a positive `queue_timeout_ms` a query that finds
+  /// every usable slot busy waits in its pool's FIFO queue, failing with
+  /// kResourceExhausted (naming the pool) only when the deadline expires;
+  /// with a non-positive timeout it fails immediately. No active plan =
+  /// unmanaged (always admitted). Callers may pass pre-made cancellation
+  /// hooks (`cancelled`, `kill_reason`) so a third party — e.g. session
+  /// teardown — can abort the query even while it waits in the queue.
+  Result<std::shared_ptr<QueryHandle>> Admit(
+      const std::string& application, int64_t queue_timeout_ms = 0,
+      std::shared_ptr<std::atomic<bool>> cancelled = nullptr,
+      std::shared_ptr<KillReason> kill_reason = nullptr);
+
+  /// MOVE to another pool. Works on running queries (re-accounts the slot;
+  /// the target may transiently exceed its parallelism) and on *queued*
+  /// queries, which simply start competing for the target pool's slots.
+  Status Move(const std::shared_ptr<QueryHandle>& handle,
+              const std::string& target_pool);
 
   /// Evaluates triggers for a running query given its elapsed runtime.
   /// MOVE re-accounts the query into the target pool; KILL sets the
   /// cancellation flag (the engine aborts at the next batch boundary).
   void ReportProgress(const std::shared_ptr<QueryHandle>& handle, int64_t elapsed_ms);
 
-  /// Releases the query's slot.
+  /// Releases the query's slot and drains the admission queues into any
+  /// freed capacity.
   void Release(const std::shared_ptr<QueryHandle>& handle);
+
+  /// Wakes queued waiters so they can re-check their cancellation flags
+  /// (used by session teardown, which cancels queued queries).
+  void Kick();
 
   bool HasActivePlan() const;
   /// Active-plan introspection for tests/examples.
   Result<Plan> ActivePlan() const;
   int ActiveInPool(const std::string& pool) const;
+  int QueuedInPool(const std::string& pool) const;
+  /// Total queries waiting for admission across all pools.
+  int64_t QueueDepth() const;
+  /// Snapshot of the waiting queries in arrival order — the admin view a
+  /// MOVE of a still-queued query operates on.
+  std::vector<std::shared_ptr<QueryHandle>> QueuedQueries() const;
 
  private:
+  /// Admits as many waiters as freed capacity allows: own-pool FIFO heads
+  /// first, then the oldest waiter overall may borrow an idle slot from a
+  /// pool nobody is queued for. Notifies waiters when anyone was admitted.
+  void DrainQueueLocked() HIVE_REQUIRES(mu_);
+  void RemoveFromQueueLocked(const std::shared_ptr<QueryHandle>& handle)
+      HIVE_REQUIRES(mu_);
+  Status MoveLocked(const std::shared_ptr<QueryHandle>& handle,
+                    const std::string& target_pool) HIVE_REQUIRES(mu_);
+
   mutable Mutex mu_{"workload_manager.mu"};
+  CondVar queue_cv_;
   std::map<std::string, Plan> plans_ HIVE_GUARDED_BY(mu_);
   std::string active_plan_ HIVE_GUARDED_BY(mu_);
   std::function<int64_t(const std::string&)> metric_reader_ HIVE_GUARDED_BY(mu_);
+  /// Waiting queries in arrival order (seq ascending).
+  std::vector<std::shared_ptr<QueryHandle>> queue_ HIVE_GUARDED_BY(mu_);
+  uint64_t next_seq_ HIVE_GUARDED_BY(mu_) = 1;
+  /// Mirror of queue_.size() readable without mu_, so the depth callback
+  /// can't self-deadlock when a trigger rule references "wlm.queue.depth"
+  /// (trigger evaluation already holds mu_).
+  std::atomic<int64_t> queue_depth_{0};
+  /// Registry-owned metric handles (null until RegisterMetrics). Counters
+  /// and histograms are internally atomic, so bumping them under mu_ is
+  /// cheap and respects the lock order (metrics are leaves).
+  obs::Counter* queued_counter_ = nullptr;
+  obs::Counter* admitted_counter_ = nullptr;
+  obs::Counter* timeout_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Histogram* wait_histogram_ = nullptr;
 };
 
 }  // namespace hive

@@ -166,6 +166,8 @@ std::string Expr::ToString() const {
       }
       return "?";
     }
+    case ExprKind::kParam:
+      return "?" + std::to_string(param_index);
   }
   return "?";
 }
@@ -323,6 +325,7 @@ std::string MergeStatement::ToString() const {
 
 std::string CreateTableStatement::ToString() const {
   std::string out = "CREATE ";
+  if (temporary) out += "TEMPORARY ";
   if (external) out += "EXTERNAL ";
   out += "TABLE " + (db.empty() ? table : db + "." + table);
   out += " (";

@@ -27,6 +27,7 @@ enum class ExprKind {
   kBetween,     // operand BETWEEN lo AND hi
   kIsNull,      // IS [NOT] NULL via negated flag
   kSubquery,    // scalar / EXISTS / IN subquery
+  kParam,       // ? placeholder in a PREPAREd statement; 1-based index
 };
 
 enum class BinaryOp {
@@ -81,6 +82,10 @@ struct Expr {
   // kSubquery
   SubqueryKind subquery_kind = SubqueryKind::kScalar;
   std::shared_ptr<SelectStmt> subquery;
+
+  // kParam: 1-based position of the `?` in the prepared statement's text.
+  // Parameters never survive to binding: EXECUTE substitutes literals first.
+  int param_index = 0;
 
   std::vector<std::shared_ptr<Expr>> children;
 
@@ -193,6 +198,9 @@ enum class StatementKind {
   kResourcePlanDdl,
   kShowTables,
   kShowMetrics,
+  kPrepare,
+  kExecute,
+  kDeallocate,
 };
 
 struct Statement {
@@ -260,6 +268,9 @@ struct CreateTableStatement : Statement {
   std::string db, table;
   bool if_not_exists = false;
   bool external = false;
+  /// CREATE TEMPORARY TABLE: session-scoped, dropped when the connection
+  /// closes, invisible to every other session. May not be db-qualified.
+  bool temporary = false;
   std::vector<ColumnDef> columns;
   std::vector<ColumnDef> partition_columns;
   /// Constraint clauses (PRIMARY KEY, FOREIGN KEY ... REFERENCES, ...).
@@ -343,6 +354,42 @@ struct ShowMetricsStatement : Statement {
   std::string ToString() const override { return "SHOW METRICS"; }
 };
 
+/// Renders an expression list: "a, b, c".
+std::string ExprListToString(const std::vector<ExprPtr>& exprs);
+
+/// PREPARE name AS <select>: parses and stores a parameterized SELECT
+/// template under a session-scoped name. `?` placeholders become kParam
+/// expressions numbered in textual order.
+struct PrepareStatement : Statement {
+  std::string name;
+  std::shared_ptr<SelectStmt> query;
+  int param_count = 0;  // number of ? placeholders seen by the parser
+  StatementKind kind() const override { return StatementKind::kPrepare; }
+  std::string ToString() const override {
+    return "PREPARE " + name + " AS " + query->ToString();
+  }
+};
+
+/// EXECUTE name [(arg, ...)]: runs a prepared statement with literal
+/// arguments substituted for its ? placeholders in order.
+struct ExecuteStatement : Statement {
+  std::string name;
+  std::vector<ExprPtr> args;
+  StatementKind kind() const override { return StatementKind::kExecute; }
+  std::string ToString() const override {
+    std::string out = "EXECUTE " + name;
+    if (!args.empty()) out += " (" + ExprListToString(args) + ")";
+    return out;
+  }
+};
+
+/// DEALLOCATE [PREPARE] name: drops a prepared statement.
+struct DeallocateStatement : Statement {
+  std::string name;
+  StatementKind kind() const override { return StatementKind::kDeallocate; }
+  std::string ToString() const override { return "DEALLOCATE " + name; }
+};
+
 /// Workload-management DDL (Section 5.2): CREATE RESOURCE PLAN / POOL /
 /// RULE / MAPPING, ALTER PLAN ... Parsed into one statement kind with a
 /// sub-operation tag; the server applies them to the WorkloadManager.
@@ -370,9 +417,6 @@ struct ResourcePlanStatement : Statement {
   StatementKind kind() const override { return StatementKind::kResourcePlanDdl; }
   std::string ToString() const override;
 };
-
-/// Renders an expression list: "a, b, c".
-std::string ExprListToString(const std::vector<ExprPtr>& exprs);
 
 }  // namespace hive
 

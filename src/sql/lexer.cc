@@ -29,6 +29,7 @@ const std::set<std::string>& Keywords() {
       "TO", "ADD", "APPLICATION", "MAPPING", "DEFAULT", "ENABLE", "ACTIVATE",
       "GROUPING", "SETS", "ROLLUP", "CUBE", "HAVING", "BY", "IF", "TRANSACTIONAL",
       "SHOW", "TABLES", "DESCRIBE", "TRUNCATE", "METRICS",
+      "PREPARE", "EXECUTE", "DEALLOCATE", "TEMPORARY", "DATABASE",
   };
   return *kKeywords;
 }
@@ -129,7 +130,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
           continue;
         }
       }
-      static const std::string kSingle = "(),.;*+-/%<>=";
+      static const std::string kSingle = "(),.;*+-/%<>=?";
       if (kSingle.find(c) == std::string::npos)
         return Status::ParseError(std::string("unexpected character '") + c +
                                   "' at offset " + std::to_string(i));

@@ -104,6 +104,9 @@ Result<StatementPtr> Parser::ParseStatement() {
     stmt->pool = ToLower(Next().text);
     return StatementPtr(stmt);
   }
+  if (t.IsKeyword("PREPARE")) return ParsePrepare();
+  if (t.IsKeyword("EXECUTE")) return ParseExecute();
+  if (t.IsKeyword("DEALLOCATE")) return ParseDeallocate();
   if (t.IsKeyword("EXPLAIN")) {
     Next();
     auto stmt = std::make_shared<ExplainStatement>();
@@ -545,6 +548,13 @@ Result<ExprPtr> Parser::ParseUnary() {
 
 Result<ExprPtr> Parser::ParsePrimary() {
   const Token& t = Peek();
+  if (t.IsSymbol("?")) {
+    Next();
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kParam;
+    e->param_index = ++params_seen_;
+    return e;
+  }
   if (t.kind == TokenKind::kIntLiteral) {
     Next();
     return MakeLiteral(Value::Bigint(t.int_value));
@@ -883,14 +893,16 @@ Result<StatementPtr> Parser::ParseCreate() {
     HIVE_RETURN_IF_ERROR(Expect("VIEW"));
     return ParseCreateMaterializedView();
   }
+  bool temporary = Accept("TEMPORARY");
   bool external = Accept("EXTERNAL");
   HIVE_RETURN_IF_ERROR(Expect("TABLE"));
-  return ParseCreateTable(external);
+  return ParseCreateTable(external, temporary);
 }
 
-Result<StatementPtr> Parser::ParseCreateTable(bool external) {
+Result<StatementPtr> Parser::ParseCreateTable(bool external, bool temporary) {
   auto stmt = std::make_shared<CreateTableStatement>();
   stmt->external = external;
+  stmt->temporary = temporary;
   if (Accept("IF")) {
     HIVE_RETURN_IF_ERROR(Expect("NOT"));
     HIVE_RETURN_IF_ERROR(Expect("EXISTS"));
@@ -1124,6 +1136,45 @@ Result<StatementPtr> Parser::ParseAnalyze() {
   HIVE_RETURN_IF_ERROR(ParseQualifiedName(&stmt->db, &stmt->table));
   HIVE_RETURN_IF_ERROR(Expect("COMPUTE"));
   HIVE_RETURN_IF_ERROR(Expect("STATISTICS"));
+  return StatementPtr(stmt);
+}
+
+Result<StatementPtr> Parser::ParsePrepare() {
+  HIVE_RETURN_IF_ERROR(Expect("PREPARE"));
+  auto stmt = std::make_shared<PrepareStatement>();
+  if (Peek().kind != TokenKind::kIdentifier)
+    return ErrorHere("expected prepared statement name");
+  stmt->name = ToLower(Next().text);
+  HIVE_RETURN_IF_ERROR(Expect("AS"));
+  params_seen_ = 0;
+  HIVE_ASSIGN_OR_RETURN(stmt->query, ParseSelectStmt());
+  stmt->param_count = params_seen_;
+  params_seen_ = 0;
+  return StatementPtr(stmt);
+}
+
+Result<StatementPtr> Parser::ParseExecute() {
+  HIVE_RETURN_IF_ERROR(Expect("EXECUTE"));
+  auto stmt = std::make_shared<ExecuteStatement>();
+  if (Peek().kind != TokenKind::kIdentifier)
+    return ErrorHere("expected prepared statement name");
+  stmt->name = ToLower(Next().text);
+  if (Accept("(")) {
+    if (!Accept(")")) {
+      HIVE_ASSIGN_OR_RETURN(stmt->args, ParseExprList());
+      HIVE_RETURN_IF_ERROR(Expect(")"));
+    }
+  }
+  return StatementPtr(stmt);
+}
+
+Result<StatementPtr> Parser::ParseDeallocate() {
+  HIVE_RETURN_IF_ERROR(Expect("DEALLOCATE"));
+  Accept("PREPARE");  // optional PostgreSQL-style noise word
+  auto stmt = std::make_shared<DeallocateStatement>();
+  if (Peek().kind != TokenKind::kIdentifier)
+    return ErrorHere("expected prepared statement name");
+  stmt->name = ToLower(Next().text);
   return StatementPtr(stmt);
 }
 

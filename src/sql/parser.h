@@ -59,18 +59,24 @@ class Parser {
   Result<StatementPtr> ParseDelete();
   Result<StatementPtr> ParseMerge();
   Result<StatementPtr> ParseCreate();
-  Result<StatementPtr> ParseCreateTable(bool external);
+  Result<StatementPtr> ParseCreateTable(bool external, bool temporary);
   Result<StatementPtr> ParseCreateMaterializedView();
   Result<StatementPtr> ParseDrop();
   Result<StatementPtr> ParseAlter();
   Result<StatementPtr> ParseResourcePlanCreate();
   Result<StatementPtr> ParseAnalyze();
+  Result<StatementPtr> ParsePrepare();
+  Result<StatementPtr> ParseExecute();
+  Result<StatementPtr> ParseDeallocate();
 
   /// Parses [db.]name into the pair.
   Status ParseQualifiedName(std::string* db, std::string* name);
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  /// Count of `?` placeholders seen so far; assigns 1-based param indexes
+  /// in textual order (only meaningful inside PREPARE).
+  int params_seen_ = 0;
 };
 
 }  // namespace hive

@@ -12,7 +12,8 @@ const char* kNations[] = {"UNITED STATES", "CHINA", "FRANCE", "BRAZIL", "INDIA",
 
 }  // namespace
 
-Status LoadSsb(HiveServer2* server, Session* session, const SsbOptions& options) {
+Status LoadSsb(Connection& conn, const SsbOptions& options) {
+  HiveServer2* server = conn.server();
   const char* ddl = R"sql(
 CREATE TABLE dates (
   d_datekey INT, d_year INT, d_yearmonthnum INT, d_weeknuminyear INT,
@@ -32,7 +33,7 @@ CREATE TABLE lineorder (
   lo_discount INT, lo_revenue INT, lo_supplycost INT,
   FOREIGN KEY (lo_orderdate) REFERENCES dates (d_datekey));
 )sql";
-  HIVE_RETURN_IF_ERROR(server->ExecuteScript(session, ddl).status());
+  HIVE_RETURN_IF_ERROR(conn.ExecuteScript(ddl).status());
 
   Rng rng(0x55b);
   std::string insert;
@@ -49,13 +50,13 @@ CREATE TABLE lineorder (
   insert = "INSERT INTO dates VALUES ";
   for (size_t i = 0; i < date_rows.size(); ++i)
     insert += (i ? ", " : "") + date_rows[i];
-  HIVE_RETURN_IF_ERROR(server->Execute(session, insert).status());
+  HIVE_RETURN_IF_ERROR(conn.Execute(insert).status());
 
   auto bulk_insert = [&](const std::string& table,
                          const std::vector<std::string>& rows) -> Status {
     std::string sql = "INSERT INTO " + table + " VALUES ";
     for (size_t i = 0; i < rows.size(); ++i) sql += (i ? ", " : "") + rows[i];
-    return server->Execute(session, sql).status();
+    return conn.Execute(sql).status();
   };
 
   std::vector<std::string> rows;
@@ -120,7 +121,8 @@ std::string SsbDenormalizedMvSql() {
          "AND lo_suppkey = s_suppkey AND lo_partkey = p_partkey";
 }
 
-Result<std::string> LoadSsbIntoDroid(HiveServer2* server, Session* session) {
+Result<std::string> LoadSsbIntoDroid(Connection& conn) {
+  HiveServer2* server = conn.server();
   // Evaluate the denormalized view once and ingest it into droid, then
   // register the external table as a materialized view over the same
   // definition (the paper's "materializations can be stored in other
@@ -128,7 +130,7 @@ Result<std::string> LoadSsbIntoDroid(HiveServer2* server, Session* session) {
   const std::string table = "ssb_denorm_droid";
   HIVE_ASSIGN_OR_RETURN(
       QueryResult rows,
-      server->Execute(session, SsbDenormalizedMvSql()));
+      conn.Execute(SsbDenormalizedMvSql()));
 
   std::string ddl = "CREATE EXTERNAL TABLE " + table + " (";
   for (size_t c = 0; c < rows.schema.num_fields(); ++c) {
@@ -136,7 +138,7 @@ Result<std::string> LoadSsbIntoDroid(HiveServer2* server, Session* session) {
     ddl += rows.schema.field(c).name + " " + rows.schema.field(c).type.ToString();
   }
   ddl += ") STORED BY 'droid' TBLPROPERTIES ('droid.datasource' = '" + table + "')";
-  HIVE_RETURN_IF_ERROR(server->Execute(session, ddl).status());
+  HIVE_RETURN_IF_ERROR(conn.Execute(ddl).status());
 
   // Ingest through the handler's output format.
   HIVE_ASSIGN_OR_RETURN(TableDesc desc, server->catalog()->GetTable("default", table));

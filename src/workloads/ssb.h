@@ -19,7 +19,7 @@ struct SsbOptions {
 };
 
 /// Creates and loads the SSB schema.
-Status LoadSsb(HiveServer2* server, Session* session, const SsbOptions& options);
+Status LoadSsb(Connection& conn, const SsbOptions& options);
 
 /// The 13 SSB queries (q1.1 .. q4.3).
 std::vector<BenchQuery> SsbQueries();
@@ -33,7 +33,7 @@ std::string SsbDenormalizedMvSql();
 /// ingests the denormalized rows (with lo_orderdate mapped to __time), then
 /// registers a materialized view ON that table by swapping the MV storage.
 /// Returns the droid table name.
-Result<std::string> LoadSsbIntoDroid(HiveServer2* server, Session* session);
+Result<std::string> LoadSsbIntoDroid(Connection& conn);
 
 }  // namespace hive
 

@@ -1,7 +1,6 @@
 #include "workloads/tpcds.h"
 
 #include "common/rng.h"
-#include "server/dml.h"
 
 namespace hive {
 
@@ -15,9 +14,6 @@ const char* kCountries[] = {"US", "DE", "FR", "JP", "IN", "BR"};
 Status WriteTable(HiveServer2* server, const std::string& table,
                   const std::vector<std::vector<Value>>& rows) {
   HIVE_ASSIGN_OR_RETURN(TableDesc desc, server->catalog()->GetTable("default", table));
-  Session scratch;
-  DmlDriver dml(server, &scratch);
-  (void)dml;  // schema-routing handled below via the ACID layer directly
   int64_t txn = server->txns()->OpenTxn();
   HIVE_ASSIGN_OR_RETURN(int64_t write_id,
                         server->txns()->AllocateWriteId(txn, desc.FullName()));
@@ -77,7 +73,8 @@ Status WriteTable(HiveServer2* server, const std::string& table,
 
 }  // namespace
 
-Status LoadTpcds(HiveServer2* server, Session* session, const TpcdsOptions& options) {
+Status LoadTpcds(Connection& conn, const TpcdsOptions& options) {
+  HiveServer2* server = conn.server();
   const char* ddl = R"sql(
 CREATE TABLE date_dim (
   d_date_sk INT, d_date DATE, d_year INT, d_qoy INT, d_moy INT, d_dom INT,
@@ -102,7 +99,7 @@ CREATE TABLE store_returns (
   sr_item_sk INT, sr_ticket_number INT, sr_customer_sk INT,
   sr_return_amt DECIMAL(7,2), sr_returned_date_sk INT);
 )sql";
-  HIVE_RETURN_IF_ERROR(server->ExecuteScript(session, ddl).status());
+  HIVE_RETURN_IF_ERROR(conn.ExecuteScript(ddl).status());
 
   Rng rng(0xda7a);
   // date_dim: `days` consecutive days starting 2018-01-01 (sk = day index).

@@ -24,7 +24,7 @@ struct TpcdsOptions {
 };
 
 /// Creates the schema and loads generated data through the ACID write path.
-Status LoadTpcds(HiveServer2* server, Session* session, const TpcdsOptions& options);
+Status LoadTpcds(Connection& conn, const TpcdsOptions& options);
 
 /// One benchmark query.
 struct BenchQuery {

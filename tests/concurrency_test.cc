@@ -18,24 +18,24 @@ class ConcurrencyTest : public ::testing::Test {
     Config config;
     config.container_startup_us = 0;
     server_ = std::make_unique<HiveServer2>(&fs_, config);
-    admin_ = server_->OpenSession();
+    admin_ = server_->Connect();
   }
 
   MemFileSystem fs_;
   std::unique_ptr<HiveServer2> server_;
-  Session* admin_;
+  Connection admin_;
 };
 
 TEST_F(ConcurrencyTest, ConcurrentWritersAllCommit) {
-  ASSERT_TRUE(server_->Execute(admin_, "CREATE TABLE t (w INT, v INT)").ok());
+  ASSERT_TRUE(admin_.Execute("CREATE TABLE t (w INT, v INT)").ok());
   constexpr int kWriters = 6, kRowsEach = 20;
   std::vector<std::thread> threads;
   std::atomic<int> failures{0};
   for (int w = 0; w < kWriters; ++w) {
     threads.emplace_back([&, w] {
-      Session* session = server_->OpenSession();
+      Connection session = server_->Connect();
       for (int i = 0; i < kRowsEach; ++i) {
-        auto r = server_->Execute(session, "INSERT INTO t VALUES (" +
+        auto r = session.Execute("INSERT INTO t VALUES (" +
                                                std::to_string(w) + ", " +
                                                std::to_string(i) + ")");
         if (!r.ok()) failures.fetch_add(1);
@@ -44,30 +44,30 @@ TEST_F(ConcurrencyTest, ConcurrentWritersAllCommit) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0) << "blind inserts never conflict";
-  auto count = server_->Execute(admin_, "SELECT COUNT(*) FROM t");
+  auto count = admin_.Execute("SELECT COUNT(*) FROM t");
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(count->rows[0][0].i64(), kWriters * kRowsEach);
 }
 
 TEST_F(ConcurrencyTest, ReadersSeeConsistentSnapshotsDuringWrites) {
-  ASSERT_TRUE(server_->Execute(admin_, "CREATE TABLE t (v INT)").ok());
+  ASSERT_TRUE(admin_.Execute("CREATE TABLE t (v INT)").ok());
   // Writer appends PAIRS of rows in one statement; any consistent snapshot
   // must therefore observe an even row count.
   std::atomic<bool> stop{false};
   std::atomic<int> anomalies{0};
   std::thread writer([&] {
-    Session* session = server_->OpenSession();
+    Connection session = server_->Connect();
     for (int i = 0; i < 60 && !stop.load(); ++i)
       // lint: allow-discard(background churn; readers assert the invariant)
-      (void)server_->Execute(session, "INSERT INTO t VALUES (1), (2)");
+      (void)session.Execute("INSERT INTO t VALUES (1), (2)");
   });
   std::vector<std::thread> readers;
   for (int r = 0; r < 3; ++r) {
     readers.emplace_back([&] {
-      Session* session = server_->OpenSession();
-      session->config.result_cache_enabled = false;
+      Connection session = server_->Connect();
+      session.config().result_cache_enabled = false;
       for (int i = 0; i < 60; ++i) {
-        auto result = server_->Execute(session, "SELECT COUNT(*) FROM t");
+        auto result = session.Execute("SELECT COUNT(*) FROM t");
         if (!result.ok()) {
           anomalies.fetch_add(1);
           continue;
@@ -84,16 +84,15 @@ TEST_F(ConcurrencyTest, ReadersSeeConsistentSnapshotsDuringWrites) {
 }
 
 TEST_F(ConcurrencyTest, ConflictingUpdatesFirstCommitWins) {
-  ASSERT_TRUE(server_->Execute(admin_, "CREATE TABLE t (id INT, v INT)").ok());
-  ASSERT_TRUE(server_->Execute(admin_, "INSERT INTO t VALUES (1, 0)").ok());
+  ASSERT_TRUE(admin_.Execute("CREATE TABLE t (id INT, v INT)").ok());
+  ASSERT_TRUE(admin_.Execute("INSERT INTO t VALUES (1, 0)").ok());
   constexpr int kUpdaters = 8;
   std::atomic<int> ok{0}, aborted{0};
   std::vector<std::thread> threads;
   for (int u = 0; u < kUpdaters; ++u) {
     threads.emplace_back([&, u] {
-      Session* session = server_->OpenSession();
-      auto r = server_->Execute(
-          session, "UPDATE t SET v = " + std::to_string(u + 1) + " WHERE id = 1");
+      Connection session = server_->Connect();
+      auto r = session.Execute("UPDATE t SET v = " + std::to_string(u + 1) + " WHERE id = 1");
       if (r.ok()) ok.fetch_add(1);
       else if (r.status().IsTxnAborted()) aborted.fetch_add(1);
     });
@@ -102,26 +101,26 @@ TEST_F(ConcurrencyTest, ConflictingUpdatesFirstCommitWins) {
   EXPECT_EQ(ok.load() + aborted.load(), kUpdaters);
   EXPECT_GE(ok.load(), 1);
   // Exactly one live row regardless of the interleaving.
-  auto rows = server_->Execute(admin_, "SELECT COUNT(*) FROM t");
+  auto rows = admin_.Execute("SELECT COUNT(*) FROM t");
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->rows[0][0].i64(), 1);
 }
 
 TEST_F(ConcurrencyTest, LlapCacheThreadSafeUnderParallelScans) {
-  ASSERT_TRUE(server_->Execute(admin_, "CREATE TABLE t (a INT, b STRING)").ok());
+  ASSERT_TRUE(admin_.Execute("CREATE TABLE t (a INT, b STRING)").ok());
   std::string values = "INSERT INTO t VALUES ";
   for (int i = 0; i < 2000; ++i)
     values += (i ? ", (" : "(") + std::to_string(i) + ", 'v" + std::to_string(i) + "')";
-  ASSERT_TRUE(server_->Execute(admin_, values).ok());
+  ASSERT_TRUE(admin_.Execute(values).ok());
 
   std::atomic<int> wrong{0};
   std::vector<std::thread> threads;
   for (int r = 0; r < 6; ++r) {
     threads.emplace_back([&] {
-      Session* session = server_->OpenSession();
-      session->config.result_cache_enabled = false;
+      Connection session = server_->Connect();
+      session.config().result_cache_enabled = false;
       for (int i = 0; i < 10; ++i) {
-        auto result = server_->Execute(session, "SELECT SUM(a) FROM t");
+        auto result = session.Execute("SELECT SUM(a) FROM t");
         if (!result.ok() || result->rows[0][0].i64() != 2000 * 1999 / 2)
           wrong.fetch_add(1);
       }
@@ -133,9 +132,8 @@ TEST_F(ConcurrencyTest, LlapCacheThreadSafeUnderParallelScans) {
 }
 
 TEST_F(ConcurrencyTest, WorkloadManagerAdmissionUnderContention) {
-  ASSERT_TRUE(server_
-                  ->ExecuteScript(admin_,
-                                  "CREATE RESOURCE PLAN p;"
+  ASSERT_TRUE(admin_
+                  .ExecuteScript("CREATE RESOURCE PLAN p;"
                                   "CREATE POOL p.a WITH alloc_fraction=0.5, "
                                   "query_parallelism=3;"
                                   "CREATE POOL p.b WITH alloc_fraction=0.5, "

@@ -46,15 +46,15 @@ class FaultInjectionTest : public ::testing::Test {
     config.num_executors = 4;
     server_ = new HiveServer2(faults_, config);
     faults_->set_clock(server_->clock());
-    Session* loader = server_->OpenSession();
+    Connection loader = server_->Connect();
     TpcdsOptions options;
     options.days = 4;  // keep the suite fast
-    ASSERT_TRUE(LoadTpcds(server_, loader, options).ok());
+    ASSERT_TRUE(LoadTpcds(loader, options).ok());
     // Fault-free reference results for every benchmark query.
     baseline_ = new std::vector<std::pair<std::string, std::vector<std::string>>>();
-    Session* session = NewSession();
+    Connection session = NewSession();
     for (const BenchQuery& q : TpcdsQueries()) {
-      auto result = server_->Execute(session, q.sql);
+      auto result = session.Execute(q.sql);
       ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
       baseline_->emplace_back(q.name, Rows(*result));
     }
@@ -73,9 +73,9 @@ class FaultInjectionTest : public ::testing::Test {
     if (server_->llap()) server_->llap()->cache()->Clear();
   }
 
-  static Session* NewSession() {
-    Session* session = server_->OpenSession();
-    session->config.result_cache_enabled = false;
+  static Connection NewSession() {
+    Connection session = server_->Connect();
+    session.config().result_cache_enabled = false;
     return session;
   }
 
@@ -93,10 +93,10 @@ class FaultInjectionTest : public ::testing::Test {
 
   /// Runs every baseline query under the current fault schedule and asserts
   /// byte-identical results, accumulating the footprint into `fp`.
-  void RunAllAndExpectBaseline(Session* session, Footprint* fp) {
+  void RunAllAndExpectBaseline(Connection& session, Footprint* fp) {
     size_t i = 0;
     for (const BenchQuery& q : TpcdsQueries()) {
-      auto result = server_->Execute(session, q.sql);
+      auto result = session.Execute(q.sql);
       ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
       EXPECT_EQ(Rows(*result), (*baseline_)[i].second)
           << q.name << " diverged under faults";
@@ -129,7 +129,8 @@ TEST_F(FaultInjectionTest, TransientReadErrorsRetriedByteIdentical) {
   DropCaches();
   uint64_t before = faults_->injected_read_errors();
   Footprint fp;
-  RunAllAndExpectBaseline(NewSession(), &fp);
+  Connection session = NewSession();
+  RunAllAndExpectBaseline(session, &fp);
   EXPECT_GT(faults_->injected_read_errors(), before)
       << "schedule injected nothing; the test exercised no fault path";
   EXPECT_GT(fp.task_retries, 0) << "injected errors should surface as retries";
@@ -144,7 +145,8 @@ TEST_F(FaultInjectionTest, SilentCorruptionCaughtByChecksumAndRetried) {
   DropCaches();
   uint64_t before = faults_->injected_corruptions();
   Footprint fp;
-  RunAllAndExpectBaseline(NewSession(), &fp);
+  Connection session = NewSession();
+  RunAllAndExpectBaseline(session, &fp);
   EXPECT_GT(faults_->injected_corruptions(), before);
   EXPECT_GT(fp.task_retries, 0)
       << "checksum mismatches must be retried, not silently decoded";
@@ -157,8 +159,8 @@ TEST_F(FaultInjectionTest, PermanentReadErrorFailsFast) {
   rule.permanent = true;
   faults_->AddRule(rule);
   DropCaches();
-  Session* session = NewSession();
-  auto result = server_->Execute(session, "SELECT COUNT(*) FROM store_sales");
+  Connection session = NewSession();
+  auto result = session.Execute("SELECT COUNT(*) FROM store_sales");
   ASSERT_FALSE(result.ok());
   EXPECT_FALSE(result.status().IsTransient())
       << "permanent faults must not look retryable: "
@@ -178,9 +180,9 @@ TEST_F(FaultInjectionTest, TransientErrorsExhaustTaskAttempts) {
   rule.max_read_errors_per_site = 1000;
   faults_->AddRule(rule);
   DropCaches();
-  Session* session = NewSession();
-  session->config.task_max_attempts = 2;
-  auto result = server_->Execute(session, "SELECT COUNT(*) FROM store_sales");
+  Connection session = NewSession();
+  session.config().task_max_attempts = 2;
+  auto result = session.Execute("SELECT COUNT(*) FROM store_sales");
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsTransient()) << result.status().ToString();
 }
@@ -188,13 +190,13 @@ TEST_F(FaultInjectionTest, TransientErrorsExhaustTaskAttempts) {
 TEST_F(FaultInjectionTest, CachePoisoningEvictsAndRecovers) {
   ASSERT_NE(server_->llap(), nullptr);
   LlapCacheProvider* cache = server_->llap()->cache();
-  Session* session = NewSession();
+  Connection session = NewSession();
   // Warm the cache, then corrupt cached chunks behind the engine's back.
-  auto warm = server_->Execute(session, TpcdsQueries()[0].sql);
+  auto warm = session.Execute(TpcdsQueries()[0].sql);
   ASSERT_TRUE(warm.ok()) << warm.status().ToString();
   ASSERT_GT(cache->PoisonChunks(2), 0u) << "nothing cached to poison";
   uint64_t detected = cache->poison_detected();
-  auto again = server_->Execute(session, TpcdsQueries()[0].sql);
+  auto again = session.Execute(TpcdsQueries()[0].sql);
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_EQ(Rows(*again), (*baseline_)[0].second)
       << "poisoned chunks leaked into a query result";
@@ -205,11 +207,11 @@ TEST_F(FaultInjectionTest, CachePoisoningEvictsAndRecovers) {
 TEST_F(FaultInjectionTest, RepeatedPoisoningDegradesFileToDirectReads) {
   ASSERT_NE(server_->llap(), nullptr);
   LlapCacheProvider* cache = server_->llap()->cache();
-  Session* session = NewSession();
+  Connection session = NewSession();
   // Default cache.poison.threshold is 3 consecutive corruptions per file.
   // Poison everything before each run until some file crosses it.
   for (int round = 0; round < 4; ++round) {
-    auto result = server_->Execute(session, TpcdsQueries()[0].sql);
+    auto result = session.Execute(TpcdsQueries()[0].sql);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     EXPECT_EQ(Rows(*result), (*baseline_)[0].second) << "round " << round;
     cache->PoisonChunks(static_cast<size_t>(-1));
@@ -217,7 +219,7 @@ TEST_F(FaultInjectionTest, RepeatedPoisoningDegradesFileToDirectReads) {
   EXPECT_GT(cache->degraded_files(), 0u)
       << "no file degraded after repeated poisoning";
   uint64_t direct = cache->degraded_reads();
-  auto final_run = server_->Execute(session, TpcdsQueries()[0].sql);
+  auto final_run = session.Execute(TpcdsQueries()[0].sql);
   ASSERT_TRUE(final_run.ok());
   EXPECT_EQ(Rows(*final_run), (*baseline_)[0].second);
   EXPECT_GT(cache->degraded_reads(), direct)
@@ -237,12 +239,12 @@ TEST(StragglerSpeculationTest, StragglerTriggersSpeculativeDuplicateThatWins) {
   config.num_executors = 4;
   HiveServer2 server(&faults, config);
   faults.set_clock(server.clock());
-  Session* session = server.OpenSession();
-  session->config.result_cache_enabled = false;
+  Connection session = server.Connect();
+  session.config().result_cache_enabled = false;
   // Twelve partitions, one delta file each -> twelve morsels (and no
   // compaction folding them back into one).
   ASSERT_TRUE(
-      server.Execute(session, "CREATE TABLE t (k INT, v INT) PARTITIONED BY (p INT)")
+      session.Execute("CREATE TABLE t (k INT, v INT) PARTITIONED BY (p INT)")
           .ok());
   for (int part = 0; part < 12; ++part) {
     std::string insert = "INSERT INTO t VALUES ";
@@ -251,11 +253,11 @@ TEST(StragglerSpeculationTest, StragglerTriggersSpeculativeDuplicateThatWins) {
       insert += (i ? ", (" : "(") + std::to_string(k) + ", " +
                 std::to_string(k % 23) + ", " + std::to_string(part) + ")";
     }
-    ASSERT_TRUE(server.Execute(session, insert).ok());
+    ASSERT_TRUE(session.Execute(insert).ok());
   }
   const std::string sql =
       "SELECT COUNT(*), SUM(v), MIN(k), MAX(k) FROM t";
-  auto baseline = server.Execute(session, sql);
+  auto baseline = session.Execute(sql);
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
 
   FaultRule rule;
@@ -267,7 +269,7 @@ TEST(StragglerSpeculationTest, StragglerTriggersSpeculativeDuplicateThatWins) {
   rule.max_latency_injections_per_site = 1;
   faults.AddRule(rule);
   server.llap()->cache()->Clear();
-  auto faulted = server.Execute(session, sql);
+  auto faulted = session.Execute(sql);
   ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
   EXPECT_EQ(Rows(*faulted), Rows(*baseline));
   EXPECT_GT(faulted->profile().counter(obs::qc::kSpeculativeTasks), 0)
@@ -286,11 +288,9 @@ TEST_F(FaultInjectionTest, QueryDeadlineKillsLongQueryMidSort) {
   rule.latency_us = 100000;
   faults_->AddRule(rule);
   DropCaches();
-  Session* session = NewSession();
-  session->config.query_timeout_ms = 50;
-  auto result = server_->Execute(
-      session,
-      "SELECT ss_item_sk, SUM(ss_quantity) FROM store_sales "
+  Connection session = NewSession();
+  session.config().query_timeout_ms = 50;
+  auto result = session.Execute("SELECT ss_item_sk, SUM(ss_quantity) FROM store_sales "
       "GROUP BY ss_item_sk ORDER BY ss_item_sk");
   ASSERT_FALSE(result.ok()) << "deadline never fired";
   EXPECT_NE(result.status().ToString().find("query.timeout.ms"),
@@ -306,8 +306,8 @@ TEST_F(FaultInjectionTest, DeadlineDisabledByDefault) {
   faults_->AddRule(rule);
   DropCaches();
   // query.timeout.ms = 0 (default): slow but successful.
-  auto result =
-      server_->Execute(NewSession(), "SELECT COUNT(*) FROM store_sales");
+  Connection session = NewSession();
+  auto result = session.Execute("SELECT COUNT(*) FROM store_sales");
   EXPECT_TRUE(result.ok()) << result.status().ToString();
 }
 
@@ -330,7 +330,8 @@ TEST_F(FaultInjectionTest, SeedMatrixIsByteIdentical) {
     faults_->AddRule(rule);
     DropCaches();
     Footprint fp;
-    RunAllAndExpectBaseline(NewSession(), &fp);
+    Connection session = NewSession();
+    RunAllAndExpectBaseline(session, &fp);
   }
 }
 
@@ -359,8 +360,8 @@ TEST_F(FaultInjectionTest, LowMemorySeedMatrixSpillsAndStaysByteIdentical) {
       faults_->AddRule(rule);
     }
     DropCaches();
-    Session* session = NewSession();
-    session->config.query_memory_limit_bytes = kLowBudget;
+    Connection session = NewSession();
+    session.config().query_memory_limit_bytes = kLowBudget;
     Footprint fp;
     RunAllAndExpectBaseline(session, &fp);
   }
@@ -377,9 +378,9 @@ TEST(WorkloadKillReasonTest, KillStatusNamesTrigger) {
   config.container_startup_us = 0;
   HiveServer2 server(&faults, config);
   faults.set_clock(server.clock());
-  Session* session = server.OpenSession("etl");
-  session->config.result_cache_enabled = false;
-  ASSERT_TRUE(server.Execute(session, "CREATE TABLE t (k INT, v INT)").ok());
+  Connection session = server.Connect("etl");
+  session.config().result_cache_enabled = false;
+  ASSERT_TRUE(session.Execute("CREATE TABLE t (k INT, v INT)").ok());
   for (int batch = 0; batch < 4; ++batch) {
     std::string insert = "INSERT INTO t VALUES ";
     for (int i = 0; i < 200; ++i) {
@@ -387,11 +388,10 @@ TEST(WorkloadKillReasonTest, KillStatusNamesTrigger) {
       insert += (i ? ", (" : "(") + std::to_string(k) + ", " +
                 std::to_string(k % 17) + ")";
     }
-    ASSERT_TRUE(server.Execute(session, insert).ok());
+    ASSERT_TRUE(session.Execute(insert).ok());
   }
-  ASSERT_TRUE(server
-                  .ExecuteScript(session,
-                                 "CREATE RESOURCE PLAN guard;"
+  ASSERT_TRUE(session
+                  .ExecuteScript("CREATE RESOURCE PLAN guard;"
                                  "CREATE POOL guard.all WITH alloc_fraction=1.0, "
                                  "query_parallelism=4;"
                                  "CREATE RULE slow_kill IN guard WHEN "
@@ -406,7 +406,7 @@ TEST(WorkloadKillReasonTest, KillStatusNamesTrigger) {
   rule.latency_us = 50000;
   faults.AddRule(rule);
   server.llap()->cache()->Clear();
-  auto result = server.Execute(session, "SELECT k, v FROM t ORDER BY k");
+  auto result = session.Execute("SELECT k, v FROM t ORDER BY k");
   ASSERT_FALSE(result.ok()) << "trigger never fired";
   EXPECT_NE(result.status().ToString().find("slow_kill"), std::string::npos)
       << "kill reason must name the trigger: " << result.status().ToString();

@@ -1,0 +1,29 @@
+// Fixture: direct Session construction in src/ must be flagged — sessions
+// exist only behind RAII Connection handles minted by the connection
+// manager, so teardown (cancel, drain, drop temps, sweep spill) always runs.
+#include <memory>
+
+namespace hive {
+
+class Session;
+class HiveServer2;
+
+void Bad(HiveServer2* server) {
+  Session* raw = new Session();                 // expect[session-construct]
+  auto owned = std::make_unique<Session>();     // expect[session-construct]
+  auto shared = std::make_shared<Session>();    // expect[session-construct]
+  auto q = std::make_shared<hive::Session>();   // expect[session-construct]
+  Session by_value;                             // expect[session-construct]
+  Session assigned = Session();                 // expect[session-construct]
+}
+
+// Non-owning uses must NOT fire: the engine passes sessions around by
+// pointer/reference all the time; only *creation* is the manager's job.
+void Fine(Session* session, Session& ref, const std::shared_ptr<Session>& sp);
+// A comment mentioning `new Session()` or a by-value Session decl is prose,
+// not code, and must not fire either.
+class SessionObserver {
+  Session* watched_ = nullptr;
+};
+
+}  // namespace hive

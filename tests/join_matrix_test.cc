@@ -29,10 +29,10 @@ class JoinMatrixTest : public ::testing::Test {
     config.num_executors = 8;  // pool size; sessions scale workers below it
     server_ = new HiveServer2(faults_, config);
     faults_->set_clock(server_->clock());
-    Session* loader = server_->OpenSession();
+    Connection loader = server_->Connect();
     TpcdsOptions options;
     options.days = 5;  // keep the suite fast
-    ASSERT_TRUE(LoadTpcds(server_, loader, options).ok());
+    ASSERT_TRUE(LoadTpcds(loader, options).ok());
   }
   static void TearDownTestSuite() {
     delete server_;
@@ -49,24 +49,24 @@ class JoinMatrixTest : public ::testing::Test {
 
   /// Reference session: serial engine, flat table but no parallel build,
   /// no perfect hash — the baseline all variants must match.
-  static Session* BaselineSession() {
-    Session* session = server_->OpenSession();
-    session->config.result_cache_enabled = false;
-    session->config.parallel_scan_enabled = false;
-    session->config.parallel_join_enabled = false;
-    session->config.perfect_hash_join_enabled = false;
+  static Connection BaselineSession() {
+    Connection session = server_->Connect();
+    session.config().result_cache_enabled = false;
+    session.config().parallel_scan_enabled = false;
+    session.config().parallel_join_enabled = false;
+    session.config().perfect_hash_join_enabled = false;
     return session;
   }
 
   /// Session configured for a given worker count (0 = serial engine).
-  static Session* SessionFor(int workers, bool perfect_hash = true) {
-    Session* session = server_->OpenSession();
-    session->config.result_cache_enabled = false;
-    session->config.perfect_hash_join_enabled = perfect_hash;
+  static Connection SessionFor(int workers, bool perfect_hash = true) {
+    Connection session = server_->Connect();
+    session.config().result_cache_enabled = false;
+    session.config().perfect_hash_join_enabled = perfect_hash;
     if (workers == 0) {
-      session->config.parallel_scan_enabled = false;
+      session.config().parallel_scan_enabled = false;
     } else {
-      session->config.num_executors = workers;
+      session.config().num_executors = workers;
     }
     return session;
   }
@@ -89,12 +89,14 @@ class JoinMatrixTest : public ::testing::Test {
   /// asserting byte-identical rows everywhere.
   void ExpectIdenticalEverywhere(const std::string& name,
                                  const std::string& sql) {
-    auto baseline = server_->Execute(BaselineSession(), sql);
+    Connection baseline_conn = BaselineSession();
+    auto baseline = baseline_conn.Execute(sql);
     ASSERT_TRUE(baseline.ok()) << name << ": " << baseline.status().ToString();
     const std::vector<std::string> expected = Rows(*baseline);
     for (int workers : {0, 1, 2, 4, 8}) {
       for (bool perfect : {false, true}) {
-        auto result = server_->Execute(SessionFor(workers, perfect), sql);
+        Connection conn = SessionFor(workers, perfect);
+        auto result = conn.Execute(sql);
         ASSERT_TRUE(result.ok()) << name << " @" << workers
                                  << (perfect ? "/ph" : "") << ": "
                                  << result.status().ToString();
@@ -184,11 +186,13 @@ TEST_F(JoinMatrixTest, PerfectHashEngagesOnDenseDimensionKey) {
   // duplicate-free integer domain: the perfect-hash table must engage (its
   // engagement counter moves) and still match the generic-table rows.
   const std::string sql = kMatrix[0].sql;
-  auto generic = server_->Execute(SessionFor(4, /*perfect_hash=*/false), sql);
+  Connection generic_conn = SessionFor(4, /*perfect_hash=*/false);
+  auto generic = generic_conn.Execute(sql);
   ASSERT_TRUE(generic.ok()) << generic.status().ToString();
 
   int64_t before = server_->metrics()->counter("exec.join.perfect_hash")->value();
-  auto perfect = server_->Execute(SessionFor(4, /*perfect_hash=*/true), sql);
+  Connection perfect_conn = SessionFor(4, /*perfect_hash=*/true);
+  auto perfect = perfect_conn.Execute(sql);
   ASSERT_TRUE(perfect.ok()) << perfect.status().ToString();
   int64_t after = server_->metrics()->counter("exec.join.perfect_hash")->value();
   EXPECT_GT(after, before) << "perfect hash never engaged on a dense int key";
@@ -202,7 +206,8 @@ TEST_F(JoinMatrixTest, GenericTableHandlesDuplicateKeys) {
       "SELECT sr_ticket_number, ss_sales_price FROM store_returns "
       "JOIN store_sales ON sr_item_sk = ss_item_sk WHERE sr_return_amt > 90";
   int64_t before = server_->metrics()->counter("exec.join.perfect_hash")->value();
-  auto result = server_->Execute(SessionFor(4, /*perfect_hash=*/true), sql);
+  Connection conn = SessionFor(4, /*perfect_hash=*/true);
+  auto result = conn.Execute(sql);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   int64_t after = server_->metrics()->counter("exec.join.perfect_hash")->value();
   EXPECT_EQ(after, before)
@@ -214,7 +219,8 @@ TEST_F(JoinMatrixTest, MatrixSurvivesFaultSeeds) {
   // change join results: retries and speculation absorb the faults.
   std::vector<std::vector<std::string>> expected;
   for (const MatrixQuery& q : kMatrix) {
-    auto r = server_->Execute(SessionFor(8), q.sql);
+    Connection conn = SessionFor(8);
+    auto r = conn.Execute(q.sql);
     ASSERT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
     expected.push_back(Rows(*r));
   }
@@ -231,7 +237,8 @@ TEST_F(JoinMatrixTest, MatrixSurvivesFaultSeeds) {
     if (server_->llap()) server_->llap()->cache()->Clear();
     size_t i = 0;
     for (const MatrixQuery& q : kMatrix) {
-      auto r = server_->Execute(SessionFor(8), q.sql);
+      Connection conn = SessionFor(8);
+    auto r = conn.Execute(q.sql);
       ASSERT_TRUE(r.ok()) << q.name << " seed " << seed << ": "
                           << r.status().ToString();
       EXPECT_EQ(Rows(*r), expected[i])

@@ -154,18 +154,19 @@ TEST(QueryProfileTest, ToJsonContainsCountersAndPlan) {
   EXPECT_NE(json.find("\"op\":\"Scan\""), std::string::npos) << json;
 }
 
-TEST(QueryProfileTest, DeprecatedQueryResultAccessorsMirrorProfile) {
+TEST(QueryProfileTest, QueryResultProfileCountersRoundTrip) {
   QueryResult result;
   result.profile().SetCounter(obs::qc::kFromResultCache, 1);
   result.profile().SetCounter(obs::qc::kReexecutions, 1);
   result.profile().SetCounter(obs::qc::kMvRewrites, 2);
   result.profile().SetCounter(obs::qc::kWallUs, 1234);
   result.profile().SetCounter(obs::qc::kTaskRetries, 3);
-  EXPECT_TRUE(result.from_result_cache());
-  EXPECT_EQ(result.reexecutions(), 1);
-  EXPECT_EQ(result.mv_rewrites_used(), 2);
-  EXPECT_EQ(result.exec_wall_us(), 1234);
-  EXPECT_EQ(result.task_retries(), 3);
+  const QueryResult& view = result;
+  EXPECT_EQ(view.profile().counter(obs::qc::kFromResultCache), 1);
+  EXPECT_EQ(view.profile().counter(obs::qc::kReexecutions), 1);
+  EXPECT_EQ(view.profile().counter(obs::qc::kMvRewrites), 2);
+  EXPECT_EQ(view.profile().counter(obs::qc::kWallUs), 1234);
+  EXPECT_EQ(view.profile().counter(obs::qc::kTaskRetries), 3);
 }
 
 // --- end-to-end: EXPLAIN ANALYZE + SHOW METRICS over TPC-DS ---
@@ -177,10 +178,10 @@ class ObsEndToEndTest : public ::testing::Test {
     Config config;
     config.container_startup_us = 0;
     server_ = new HiveServer2(fs_, config);
-    Session* loader = server_->OpenSession();
+    Connection loader = server_->Connect();
     TpcdsOptions options;
     options.days = 4;  // keep the suite fast
-    ASSERT_TRUE(LoadTpcds(server_, loader, options).ok());
+    ASSERT_TRUE(LoadTpcds(loader, options).ok());
   }
   static void TearDownTestSuite() {
     delete server_;
@@ -216,10 +217,10 @@ void ExpectNestedSpans(const obs::OperatorProfileNode& node) {
 }
 
 TEST_F(ObsEndToEndTest, ProfileTreeRowsAndTimesConsistent) {
-  Session* session = server_->OpenSession();
-  session->config.result_cache_enabled = false;
+  Connection session = server_->Connect();
+  session.config().result_cache_enabled = false;
   for (const BenchQuery& q : TpcdsQueries()) {
-    auto result = server_->Execute(session, q.sql);
+    auto result = session.Execute(q.sql);
     ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
     const obs::QueryProfile& profile = result->profile();
     ASSERT_NE(profile.root(), nullptr) << q.name;
@@ -246,13 +247,13 @@ TEST_F(ObsEndToEndTest, ProfileTreeRowsAndTimesConsistent) {
 }
 
 TEST_F(ObsEndToEndTest, ExplainAnalyzeAnnotatesPlanWithActualRowCounts) {
-  Session* session = server_->OpenSession();
-  session->config.result_cache_enabled = false;
+  Connection session = server_->Connect();
+  session.config().result_cache_enabled = false;
   const BenchQuery q = TpcdsQueries().front();
-  auto plain = server_->Execute(session, q.sql);
+  auto plain = session.Execute(q.sql);
   ASSERT_TRUE(plain.ok()) << plain.status().ToString();
 
-  auto analyzed = server_->Execute(session, "EXPLAIN ANALYZE " + q.sql);
+  auto analyzed = session.Execute("EXPLAIN ANALYZE " + q.sql);
   ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
   ASSERT_EQ(analyzed->schema.field(0).name, "plan");
   ASSERT_FALSE(analyzed->rows.empty());
@@ -274,11 +275,11 @@ TEST_F(ObsEndToEndTest, ExplainAnalyzeAnnotatesPlanWithActualRowCounts) {
 }
 
 TEST_F(ObsEndToEndTest, ExplainAnalyzeBypassesResultCache) {
-  Session* session = server_->OpenSession();
-  session->config.result_cache_enabled = true;
+  Connection session = server_->Connect();
+  session.config().result_cache_enabled = true;
   const BenchQuery q = TpcdsQueries().front();
-  ASSERT_TRUE(server_->Execute(session, q.sql).ok());  // fill the cache
-  auto analyzed = server_->Execute(session, "EXPLAIN ANALYZE " + q.sql);
+  ASSERT_TRUE(session.Execute(q.sql).ok());  // fill the cache
+  auto analyzed = session.Execute("EXPLAIN ANALYZE " + q.sql);
   ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
   std::string all;
   for (const auto& row : analyzed->rows) all += row[0].ToString() + "\n";
@@ -288,14 +289,14 @@ TEST_F(ObsEndToEndTest, ExplainAnalyzeBypassesResultCache) {
 }
 
 TEST_F(ObsEndToEndTest, ShowMetricsReflectsLlapCacheAcrossWarmRerun) {
-  Session* session = server_->OpenSession();
-  session->config.result_cache_enabled = false;
-  ASSERT_TRUE(session->config.llap_enabled);
+  Connection session = server_->Connect();
+  session.config().result_cache_enabled = false;
+  ASSERT_TRUE(session.config().llap_enabled);
   server_->llap()->cache()->Clear();
 
   const BenchQuery q = TpcdsQueries().front();
-  ASSERT_TRUE(server_->Execute(session, q.sql).ok());
-  auto cold = server_->Execute(session, "SHOW METRICS");
+  ASSERT_TRUE(session.Execute(q.sql).ok());
+  auto cold = session.Execute("SHOW METRICS");
   ASSERT_TRUE(cold.ok()) << cold.status().ToString();
   int64_t cold_hits = MetricRow(*cold, "llap.cache.hits");
   int64_t cold_misses = MetricRow(*cold, "llap.cache.misses");
@@ -303,9 +304,9 @@ TEST_F(ObsEndToEndTest, ShowMetricsReflectsLlapCacheAcrossWarmRerun) {
   EXPECT_GT(cold_misses, 0) << "cold run must miss the cleared cache";
 
   // Warm re-run: same chunks, so hits rise and misses stay put.
-  auto warm_run = server_->Execute(session, q.sql);
+  auto warm_run = session.Execute(q.sql);
   ASSERT_TRUE(warm_run.ok());
-  auto warm = server_->Execute(session, "SHOW METRICS");
+  auto warm = session.Execute("SHOW METRICS");
   ASSERT_TRUE(warm.ok()) << warm.status().ToString();
   EXPECT_GT(MetricRow(*warm, "llap.cache.hits"), cold_hits);
   EXPECT_EQ(MetricRow(*warm, "llap.cache.misses"), cold_misses);
@@ -319,21 +320,16 @@ TEST_F(ObsEndToEndTest, ShowMetricsReflectsLlapCacheAcrossWarmRerun) {
 }
 
 TEST_F(ObsEndToEndTest, ExecuteScriptReturnsEveryStatementsResult) {
-  Session* session = server_->OpenSession();
-  auto results = server_->ExecuteScript(
-      session, "SELECT 1; SELECT 2; SELECT 3");
+  Connection session = server_->Connect();
+  auto results = session.ExecuteScript("SELECT 1; SELECT 2; SELECT 3");
   ASSERT_TRUE(results.ok()) << results.status().ToString();
   ASSERT_EQ(results->size(), 3u);
   EXPECT_EQ((*results)[0].rows[0][0].ToString(), "1");
   EXPECT_EQ((*results)[2].rows[0][0].ToString(), "3");
 
-  auto last = server_->ExecuteScriptLast(session, "SELECT 1; SELECT 2");
-  ASSERT_TRUE(last.ok());
-  EXPECT_EQ(last->rows[0][0].ToString(), "2");
-
-  auto empty = server_->ExecuteScriptLast(session, "  ");
+  auto empty = session.ExecuteScript("  ");
   ASSERT_TRUE(empty.ok());
-  EXPECT_TRUE(empty->rows.empty());
+  EXPECT_TRUE(empty->empty()) << "blank script should yield no results";
 }
 
 }  // namespace

@@ -30,10 +30,10 @@ class ParallelExecTest : public ::testing::Test {
     config.container_startup_us = 0;
     config.num_executors = 8;  // pool size; sessions scale workers below it
     server_ = new HiveServer2(fs_, config);
-    Session* loader = server_->OpenSession();
+    Connection loader = server_->Connect();
     TpcdsOptions options;
     options.days = 6;  // keep the suite fast
-    ASSERT_TRUE(LoadTpcds(server_, loader, options).ok());
+    ASSERT_TRUE(LoadTpcds(loader, options).ok());
   }
   static void TearDownTestSuite() {
     delete server_;
@@ -41,13 +41,13 @@ class ParallelExecTest : public ::testing::Test {
   }
 
   /// Session configured for a given worker count (0 = serial engine).
-  Session* SessionFor(int workers) {
-    Session* session = server_->OpenSession();
-    session->config.result_cache_enabled = false;
+  Connection SessionFor(int workers) {
+    Connection session = server_->Connect();
+    session.config().result_cache_enabled = false;
     if (workers == 0) {
-      session->config.parallel_scan_enabled = false;
+      session.config().parallel_scan_enabled = false;
     } else {
-      session->config.num_executors = workers;
+      session.config().num_executors = workers;
     }
     return session;
   }
@@ -74,14 +74,14 @@ MemFileSystem* ParallelExecTest::fs_ = nullptr;
 HiveServer2* ParallelExecTest::server_ = nullptr;
 
 TEST_F(ParallelExecTest, TpcdsIdenticalAcrossExecutorCounts) {
-  Session* serial = SessionFor(0);
+  Connection serial = SessionFor(0);
   for (const BenchQuery& q : TpcdsQueries()) {
-    auto baseline = server_->Execute(serial, q.sql);
+    auto baseline = serial.Execute(q.sql);
     ASSERT_TRUE(baseline.ok()) << q.name << ": " << baseline.status().ToString();
     std::vector<std::string> expected = Rows(*baseline);
     for (int workers : {1, 2, 8}) {
-      Session* session = SessionFor(workers);
-      auto result = server_->Execute(session, q.sql);
+      Connection session = SessionFor(workers);
+      auto result = session.Execute(q.sql);
       ASSERT_TRUE(result.ok())
           << q.name << " @" << workers << ": " << result.status().ToString();
       EXPECT_EQ(Rows(*result), expected)
@@ -96,11 +96,13 @@ TEST_F(ParallelExecTest, UnorderedScanPreservesSerialRowOrder) {
   const std::string sql =
       "SELECT ss_item_sk, ss_quantity, ss_sales_price FROM store_sales "
       "WHERE ss_quantity > 10";
-  auto baseline = server_->Execute(SessionFor(0), sql);
+  Connection serial = SessionFor(0);
+  auto baseline = serial.Execute(sql);
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
   ASSERT_GT(baseline->rows.size(), 0u);
   for (int workers : {1, 2, 8}) {
-    auto result = server_->Execute(SessionFor(workers), sql);
+    Connection session = SessionFor(workers);
+    auto result = session.Execute(sql);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     EXPECT_EQ(Rows(*result), Rows(*baseline))
         << "row order diverged at " << workers << " executors";
@@ -111,11 +113,9 @@ TEST_F(ParallelExecTest, ScanPipelinesFanOutAcrossExecutors) {
   // A parallel aggregation over the partitioned fact table must actually
   // fan worker fragments out to the LLAP executor pool (the coordinator
   // fragment alone would leave the counter at +1).
-  Session* session = SessionFor(8);
+  Connection session = SessionFor(8);
   int64_t before = server_->llap()->fragments_submitted();
-  auto result = server_->Execute(
-      session,
-      "SELECT ss_store_sk, COUNT(*), SUM(ss_quantity) FROM store_sales "
+  auto result = session.Execute("SELECT ss_store_sk, COUNT(*), SUM(ss_quantity) FROM store_sales "
       "GROUP BY ss_store_sk");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_GT(server_->llap()->fragments_submitted(), before + 1)

@@ -14,22 +14,22 @@ class ServerTest : public ::testing::Test {
     Config config;
     config.container_startup_us = 0;  // keep unit tests latency-free
     server_ = std::make_unique<HiveServer2>(&fs_, config);
-    session_ = server_->OpenSession();
+    session_ = server_->Connect();
   }
 
   QueryResult Run(const std::string& sql) {
-    auto r = server_->Execute(session_, sql);
+    auto r = session_.Execute(sql);
     EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nSQL: " << sql;
     return r.ok() ? *r : QueryResult{};
   }
 
   Status RunScript(const std::string& sql) {
-    return server_->ExecuteScript(session_, sql).status();
+    return session_.ExecuteScript(sql).status();
   }
 
   MemFileSystem fs_;
   std::unique_ptr<HiveServer2> server_;
-  Session* session_;
+  Connection session_;
 };
 
 TEST_F(ServerTest, CreateInsertSelectRoundTrip) {
@@ -115,8 +115,8 @@ TEST_F(ServerTest, SnapshotIsolationAcrossSessions) {
   Run("INSERT INTO t VALUES (1)");
   // A second writer's data becomes visible only after it commits; since
   // statements auto-commit, verify the monotonic view.
-  Session* other = server_->OpenSession();
-  auto r = server_->Execute(other, "INSERT INTO t VALUES (2)");
+  Connection other = server_->Connect();
+  auto r = other.Execute("INSERT INTO t VALUES (2)");
   ASSERT_TRUE(r.ok());
   QueryResult rows = Run("SELECT COUNT(*) FROM t");
   EXPECT_EQ(rows.rows[0][0].i64(), 2);
@@ -174,7 +174,7 @@ TEST_F(ServerTest, MaterializedViewRewriteFullContainment) {
       "SELECT SUM(v) FROM f, d WHERE f.k = d.k AND year = 2018 GROUP BY year");
   EXPECT_EQ(rewritten.profile().counter(obs::qc::kMvRewrites), 1) << "expected MV rewrite";
   // Cross-check against the MV-free answer.
-  session_->config.materialized_view_rewriting_enabled = false;
+  session_.config().materialized_view_rewriting_enabled = false;
   QueryResult direct = Run(
       "SELECT SUM(v) FROM f, d WHERE f.k = d.k AND year = 2018 GROUP BY year");
   EXPECT_EQ(direct.profile().counter(obs::qc::kMvRewrites), 0);
@@ -194,7 +194,7 @@ TEST_F(ServerTest, MaterializedViewPartialContainmentUnion) {
   QueryResult rewritten =
       Run("SELECT year, SUM(v) FROM f, d WHERE f.k = d.k AND year > 2016 GROUP BY year");
   EXPECT_EQ(rewritten.profile().counter(obs::qc::kMvRewrites), 1);
-  session_->config.materialized_view_rewriting_enabled = false;
+  session_.config().materialized_view_rewriting_enabled = false;
   QueryResult direct =
       Run("SELECT year, SUM(v) FROM f, d WHERE f.k = d.k AND year > 2016 GROUP BY year");
   ASSERT_EQ(rewritten.rows.size(), direct.rows.size());
@@ -205,7 +205,7 @@ TEST_F(ServerTest, MaterializedViewPartialContainmentUnion) {
 }
 
 TEST_F(ServerTest, StaleMaterializedViewNotUsedUntilRebuilt) {
-  session_->config.result_cache_enabled = false;  // isolate MV behaviour
+  session_.config().result_cache_enabled = false;  // isolate MV behaviour
   Run("CREATE TABLE f (k INT, v INT)");
   Run("INSERT INTO f VALUES (1, 10)");
   Run("CREATE MATERIALIZED VIEW mv3 AS SELECT k, SUM(v) AS s FROM f GROUP BY k");
@@ -231,7 +231,7 @@ TEST_F(ServerTest, IncrementalMvRebuildForSpjViews) {
   QueryResult rebuild = Run("ALTER MATERIALIZED VIEW mv4 REBUILD");
   // Incremental: only the new row flows in.
   EXPECT_EQ(rebuild.rows_affected, 1);
-  session_->config.materialized_view_rewriting_enabled = false;
+  session_.config().materialized_view_rewriting_enabled = false;
   QueryResult rows = Run("SELECT COUNT(*) FROM mv4");
   EXPECT_EQ(rows.rows[0][0].i64(), 3);
 }
@@ -242,7 +242,7 @@ TEST_F(ServerTest, FullMvRebuildAfterUpdate) {
   Run("CREATE MATERIALIZED VIEW mv5 AS SELECT k, SUM(v) AS s FROM f GROUP BY k");
   Run("UPDATE f SET v = 100 WHERE k = 1");
   Run("ALTER MATERIALIZED VIEW mv5 REBUILD");
-  session_->config.materialized_view_rewriting_enabled = false;
+  session_.config().materialized_view_rewriting_enabled = false;
   QueryResult rows = Run("SELECT s FROM mv5 WHERE k = 1");
   ASSERT_EQ(rows.rows.size(), 1u);
   EXPECT_EQ(rows.rows[0][0].i64(), 100);
@@ -363,8 +363,8 @@ TEST_F(ServerTest, ReoptimizationRecoversFromBuildOverflow) {
   TableDesc corrupted = *desc;
   corrupted.stats.row_count = 1;
   ASSERT_TRUE(server_->catalog()->UpdateTable(corrupted).ok());
-  session_->config.join_build_row_limit = 100;
-  session_->config.reexecution_strategy = "reoptimize";
+  session_.config().join_build_row_limit = 100;
+  session_.config().reexecution_strategy = "reoptimize";
   QueryResult rows = Run(
       "SELECT COUNT(*) FROM small, big WHERE small.k = big.k");
   EXPECT_EQ(rows.rows[0][0].i64(), 2);
@@ -373,7 +373,7 @@ TEST_F(ServerTest, ReoptimizationRecoversFromBuildOverflow) {
 }
 
 TEST_F(ServerTest, CompactionTriggersAfterManyInserts) {
-  session_->config.result_cache_enabled = false;
+  session_.config().result_cache_enabled = false;
   Run("CREATE TABLE t (a INT)");
   for (int i = 0; i < 12; ++i) Run("INSERT INTO t VALUES (" + std::to_string(i) + ")");
   // The per-insert compaction check fires once the delta threshold (10) is
@@ -391,7 +391,7 @@ TEST_F(ServerTest, LlapCacheServesRepeatedScans) {
   for (int i = 0; i < 500; ++i)
     values += (i ? ", (" : "(") + std::to_string(i) + ", 'v" + std::to_string(i) + "')";
   Run(values);
-  session_->config.result_cache_enabled = false;  // isolate the data cache
+  session_.config().result_cache_enabled = false;  // isolate the data cache
   Run("SELECT SUM(a) FROM t");
   uint64_t misses_after_first = server_->llap()->cache()->data_misses();
   EXPECT_GT(misses_after_first, 0u);
@@ -410,7 +410,7 @@ TEST_F(ServerTest, ShowTablesAndDropTable) {
   Run("DROP TABLE t1");
   tables = Run("SHOW TABLES");
   EXPECT_EQ(tables.rows.size(), 1u);
-  auto missing = server_->Execute(session_, "SELECT * FROM t1");
+  auto missing = session_.Execute("SELECT * FROM t1");
   EXPECT_FALSE(missing.ok());
   Run("DROP TABLE IF EXISTS t1");  // no error
 }
@@ -435,8 +435,8 @@ TEST_F(ServerTest, ThunderingHerdPendingMode) {
   std::atomic<int> from_cache{0}, computed{0};
   for (int i = 0; i < kThreads; ++i) {
     threads.emplace_back([&] {
-      Session* s = server_->OpenSession();
-      auto r = server_->Execute(s, "SELECT SUM(a) FROM t");
+      Connection s = server_->Connect();
+      auto r = s.Execute("SELECT SUM(a) FROM t");
       ASSERT_TRUE(r.ok());
       EXPECT_EQ(r->rows[0][0].i64(), 6);
       (r->profile().counter(obs::qc::kFromResultCache) ? from_cache : computed)++;
@@ -460,10 +460,10 @@ TEST_F(ServerTest, InsertWithExplicitColumnList) {
 
 TEST_F(ServerTest, NotNullConstraintEnforcedOnInsert) {
   Run("CREATE TABLE t (a INT NOT NULL, b STRING)");
-  auto bad = server_->Execute(session_, "INSERT INTO t (b) VALUES ('x')");
+  auto bad = session_.Execute("INSERT INTO t (b) VALUES ('x')");
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_TRUE(server_->Execute(session_, "INSERT INTO t VALUES (1, 'x')").ok());
+  EXPECT_TRUE(session_.Execute("INSERT INTO t VALUES (1, 'x')").ok());
 }
 
 TEST_F(ServerTest, UpdateOnPartitionedTable) {
@@ -474,7 +474,7 @@ TEST_F(ServerTest, UpdateOnPartitionedTable) {
   QueryResult rows = Run("SELECT SUM(amt) FROM sales");
   EXPECT_EQ(rows.rows[0][0].i64(), 10 + 21 + 31);
   // Partition columns cannot be updated.
-  auto bad = server_->Execute(session_, "UPDATE sales SET day = 9");
+  auto bad = session_.Execute("UPDATE sales SET day = 9");
   EXPECT_FALSE(bad.ok());
 }
 
@@ -493,11 +493,11 @@ TEST_F(ServerTest, DropTableTakesExclusiveLockPath) {
   int64_t reader_txn = server_->txns()->OpenTxn();
   ASSERT_TRUE(
       server_->txns()->AcquireLock(reader_txn, "default.t", LockMode::kShared).ok());
-  auto blocked = server_->Execute(session_, "DROP TABLE t");
+  auto blocked = session_.Execute("DROP TABLE t");
   EXPECT_FALSE(blocked.ok());
   EXPECT_EQ(blocked.status().code(), StatusCode::kLockTimeout);
   ASSERT_TRUE(server_->txns()->CommitTxn(reader_txn).ok());
-  EXPECT_TRUE(server_->Execute(session_, "DROP TABLE t").ok());
+  EXPECT_TRUE(session_.Execute("DROP TABLE t").ok());
 }
 
 /// Handler whose metastore drop hook fails until told otherwise — models an
@@ -527,7 +527,7 @@ TEST_F(ServerTest, FailedHandlerDropReleasesExclusiveLock) {
   server_->RegisterStorageHandler(std::move(handler));
   Run("CREATE TABLE ext (a INT) STORED BY 'flaky'");
 
-  auto drop = server_->Execute(session_, "DROP TABLE ext");
+  auto drop = session_.Execute("DROP TABLE ext");
   EXPECT_FALSE(drop.ok());
   EXPECT_TRUE(server_->catalog()->GetTable("default", "ext").ok())
       << "failed drop must keep the table registered";
@@ -535,13 +535,13 @@ TEST_F(ServerTest, FailedHandlerDropReleasesExclusiveLock) {
   // The external system recovers: the retried drop must get the exclusive
   // lock (i.e. the failed attempt released it) and succeed.
   flaky->fail_drops = false;
-  auto retry = server_->Execute(session_, "DROP TABLE ext");
+  auto retry = session_.Execute("DROP TABLE ext");
   EXPECT_TRUE(retry.ok()) << retry.status().ToString();
   EXPECT_FALSE(server_->catalog()->GetTable("default", "ext").ok());
 }
 
 TEST_F(ServerTest, MvStalenessWindowAllowsRewriteOnStaleData) {
-  session_->config.result_cache_enabled = false;
+  session_.config().result_cache_enabled = false;
   Run("CREATE TABLE f (k INT, v INT)");
   Run("INSERT INTO f VALUES (1, 10)");
   // 1-hour staleness window: rewriting continues after new data arrives.
@@ -555,6 +555,254 @@ TEST_F(ServerTest, MvStalenessWindowAllowsRewriteOnStaleData) {
   // The (stale) answer comes from the view: 10, not 15.
   EXPECT_EQ(q.rows[0][1].i64(), 10);
 }
+
+// --- sessions & connections (connection manager) ---
+
+TEST_F(ServerTest, SessionConfigOverridesAreIsolated) {
+  Run("CREATE TABLE t (a INT)");
+  Run("INSERT INTO t VALUES (1), (2)");
+  Connection cached = server_->Connect();
+  Connection uncached = server_->Connect();
+  uncached.config().result_cache_enabled = false;
+  // Warm the cache from the first session...
+  ASSERT_TRUE(cached.Execute("SELECT SUM(a) FROM t").ok());
+  auto hit = cached.Execute("SELECT SUM(a) FROM t");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->profile().counter(obs::qc::kFromResultCache));
+  // ...while the overridden session keeps computing.
+  auto computed = uncached.Execute("SELECT SUM(a) FROM t");
+  ASSERT_TRUE(computed.ok());
+  EXPECT_FALSE(computed->profile().counter(obs::qc::kFromResultCache))
+      << "one session's override must not leak into another";
+}
+
+TEST_F(ServerTest, ConfigLayeringSessionOverridesLiveServerDefault) {
+  Run("CREATE TABLE t (a INT)");
+  Run("INSERT INTO t VALUES (1)");
+  Connection inherit = server_->Connect();
+  ASSERT_TRUE(inherit.Execute("SELECT SUM(a) FROM t").ok());
+  auto warm = inherit.Execute("SELECT SUM(a) FROM t");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->profile().counter(obs::qc::kFromResultCache))
+      << "server default result_cache_enabled=true should apply";
+  // Flip the server default: sessions that never touched the field track
+  // the live default...
+  Config flipped = server_->default_config();
+  flipped.result_cache_enabled = false;
+  server_->SetDefaultConfig(flipped);
+  auto after = inherit.Execute("SELECT SUM(a) FROM t");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->profile().counter(obs::qc::kFromResultCache))
+      << "an untouched session field must follow the new server default";
+  // ...while an explicit session override beats the server default.
+  Connection pinned = server_->Connect();
+  pinned.config().result_cache_enabled = true;
+  ASSERT_TRUE(pinned.Execute("SELECT SUM(a) FROM t").ok());
+  auto overridden = pinned.Execute("SELECT SUM(a) FROM t");
+  ASSERT_TRUE(overridden.ok());
+  EXPECT_TRUE(overridden->profile().counter(obs::qc::kFromResultCache))
+      << "session override > server default";
+}
+
+TEST_F(ServerTest, CurrentDatabaseIsPerSession) {
+  Run("CREATE DATABASE db2");
+  Connection other = server_->Connect();
+  other.set_database("db2");
+  ASSERT_TRUE(other.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(other.Execute("INSERT INTO t VALUES (100)").ok());
+  Run("CREATE TABLE t (a INT)");
+  Run("INSERT INTO t VALUES (1), (2)");
+  // Unqualified names resolve against each session's own database.
+  auto mine = session_.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(mine.ok());
+  EXPECT_EQ(mine->rows[0][0].i64(), 2);
+  auto theirs = other.Execute("SELECT SUM(a) FROM t");
+  ASSERT_TRUE(theirs.ok());
+  EXPECT_EQ(theirs->rows[0][0].i64(), 100);
+}
+
+TEST_F(ServerTest, TempTablesInvisibleAcrossSessionsAndShadowPermanent) {
+  Run("CREATE TABLE t (a INT)");
+  Run("INSERT INTO t VALUES (1)");
+  Connection scratch = server_->Connect();
+  ASSERT_TRUE(scratch.Execute("CREATE TEMPORARY TABLE t (a INT)").ok());
+  ASSERT_TRUE(scratch.Execute("INSERT INTO t VALUES (7), (8)").ok());
+  // The temp shadows the permanent table for its own session...
+  auto shadowed = scratch.Execute("SELECT SUM(a) FROM t");
+  ASSERT_TRUE(shadowed.ok());
+  EXPECT_EQ(shadowed->rows[0][0].i64(), 15);
+  // ...is invisible to every other session...
+  auto permanent = session_.Execute("SELECT SUM(a) FROM t");
+  ASSERT_TRUE(permanent.ok());
+  EXPECT_EQ(permanent->rows[0][0].i64(), 1);
+  // ...and never shows up in SHOW TABLES.
+  auto tables = scratch.Execute("SHOW TABLES");
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(tables->rows.size(), 1u) << "only the permanent table is listed";
+  // DROP removes the shadow first; the permanent table reappears.
+  ASSERT_TRUE(scratch.Execute("DROP TABLE t").ok());
+  auto unshadowed = scratch.Execute("SELECT SUM(a) FROM t");
+  ASSERT_TRUE(unshadowed.ok());
+  EXPECT_EQ(unshadowed->rows[0][0].i64(), 1);
+}
+
+TEST_F(ServerTest, CloseDropsTempTablesDeterministically) {
+  Connection scratch = server_->Connect();
+  ASSERT_TRUE(scratch.Execute("CREATE TEMPORARY TABLE tmp (a INT)").ok());
+  ASSERT_TRUE(scratch.Execute("INSERT INTO tmp VALUES (1)").ok());
+  std::string physical = Session::TempPhysicalName(scratch.id(), "tmp");
+  ASSERT_TRUE(server_->catalog()->GetTable(kTempDatabase, physical).ok());
+  ASSERT_TRUE(scratch.Close().ok());
+  EXPECT_FALSE(server_->catalog()->GetTable(kTempDatabase, physical).ok())
+      << "close must drop the session's temp tables";
+}
+
+TEST_F(ServerTest, DoubleCloseIsIdempotentAndExecuteAfterCloseFails) {
+  Connection conn = server_->Connect();
+  ASSERT_TRUE(conn.Execute("SELECT 1").ok());
+  EXPECT_TRUE(conn.Close().ok());
+  EXPECT_TRUE(conn.Close().ok()) << "second close must be a clean no-op";
+  auto dead = conn.Execute("SELECT 1");
+  ASSERT_FALSE(dead.ok());
+  EXPECT_NE(dead.status().ToString().find("connection is closed"),
+            std::string::npos)
+      << dead.status().ToString();
+}
+
+TEST_F(ServerTest, ConnectionMetricsTrackOpenAndClose) {
+  int64_t active_before = server_->connections()->active();
+  {
+    Connection a = server_->Connect();
+    Connection b = server_->Connect();
+    EXPECT_EQ(server_->connections()->active(), active_before + 2);
+  }
+  EXPECT_EQ(server_->connections()->active(), active_before)
+      << "destructor must close the session";
+}
+
+// --- prepared statements & plan cache ---
+
+TEST_F(ServerTest, PreparedExecuteByteIdenticalToAdHoc) {
+  Run("CREATE TABLE t (a INT, b STRING)");
+  Run("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')");
+  Run("PREPARE q AS SELECT a, b FROM t WHERE a >= ? ORDER BY a");
+  auto prepared = session_.Execute("EXECUTE q (2)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto adhoc = session_.Execute("SELECT a, b FROM t WHERE a >= 2 ORDER BY a");
+  ASSERT_TRUE(adhoc.ok());
+  ASSERT_EQ(prepared->rows.size(), adhoc->rows.size());
+  for (size_t i = 0; i < adhoc->rows.size(); ++i)
+    for (size_t c = 0; c < adhoc->rows[i].size(); ++c)
+      EXPECT_EQ(prepared->rows[i][c].ToString(), adhoc->rows[i][c].ToString())
+          << "row " << i << " col " << c;
+}
+
+TEST_F(ServerTest, PreparedExecuteSharesResultCacheWithAdHoc) {
+  Run("CREATE TABLE t (a INT)");
+  Run("INSERT INTO t VALUES (1), (2)");
+  Run("PREPARE q AS SELECT SUM(a) FROM t WHERE a > ?");
+  // Ad-hoc fills the result cache; the equivalent EXECUTE must hit it
+  // (their canonical cache keys are identical).
+  ASSERT_TRUE(session_.Execute("SELECT SUM(a) FROM t WHERE a > 0").ok());
+  auto exec = session_.Execute("EXECUTE q (0)");
+  ASSERT_TRUE(exec.ok());
+  EXPECT_TRUE(exec->profile().counter(obs::qc::kFromResultCache))
+      << "EXECUTE and the equivalent ad-hoc SELECT must share a cache key";
+}
+
+TEST_F(ServerTest, PlanCacheHitsOnRepeatedExecute) {
+  session_.config().result_cache_enabled = false;  // isolate the plan cache
+  Run("CREATE TABLE t (a INT)");
+  Run("INSERT INTO t VALUES (1), (2), (3)");
+  Run("PREPARE q AS SELECT SUM(a) FROM t WHERE a > ?");
+  int64_t misses_before = server_->plan_cache()->misses();
+  int64_t hits_before = server_->plan_cache()->hits();
+  ASSERT_TRUE(session_.Execute("EXECUTE q (0)").ok());
+  EXPECT_EQ(server_->plan_cache()->misses(), misses_before + 1);
+  auto second = session_.Execute("EXECUTE q (0)");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->rows[0][0].i64(), 6);
+  EXPECT_EQ(server_->plan_cache()->hits(), hits_before + 1)
+      << "the second EXECUTE must reuse the optimized plan";
+}
+
+TEST_F(ServerTest, PlanCacheInvalidatedByDdlStaysCorrect) {
+  session_.config().result_cache_enabled = false;
+  Run("CREATE TABLE t (a INT)");
+  Run("INSERT INTO t VALUES (1), (2)");
+  Run("PREPARE q AS SELECT SUM(a) FROM t");
+  auto first = session_.Execute("EXECUTE q");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->rows[0][0].i64(), 3);
+  // The insert bumps the catalog version (stats change): the cached plan is
+  // stale and must be invalidated, and the answer must reflect the write.
+  int64_t invalidations_before = server_->plan_cache()->invalidations();
+  Run("INSERT INTO t VALUES (10)");
+  auto second = session_.Execute("EXECUTE q");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->rows[0][0].i64(), 13)
+      << "a stale cached plan must never produce a stale answer";
+  EXPECT_GT(server_->plan_cache()->invalidations(), invalidations_before);
+}
+
+TEST_F(ServerTest, ExplainExecuteReportsPlanCacheState) {
+  session_.config().result_cache_enabled = false;
+  Run("CREATE TABLE t (a INT)");
+  Run("INSERT INTO t VALUES (1)");
+  Run("PREPARE q AS SELECT a FROM t WHERE a > ?");
+  auto cold = session_.Execute("EXPLAIN EXECUTE q (0)");
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_FALSE(cold->rows.empty());
+  EXPECT_NE(cold->rows[0][0].ToString().find("plan cache: miss"),
+            std::string::npos);
+  auto warm = session_.Execute("EXPLAIN EXECUTE q (0)");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NE(warm->rows[0][0].ToString().find("plan cache: hit"),
+            std::string::npos)
+      << "EXPLAIN EXECUTE must warm and then report the plan cache";
+}
+
+TEST_F(ServerTest, PreparedStatementLifecycleErrors) {
+  Run("CREATE TABLE t (a INT)");
+  Run("PREPARE q AS SELECT a FROM t WHERE a > ?");
+  // Duplicate name.
+  auto dup = session_.Execute("PREPARE q AS SELECT a FROM t");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  // Wrong arity.
+  auto missing = session_.Execute("EXECUTE q");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("expects 1 parameter"),
+            std::string::npos)
+      << missing.status().ToString();
+  // Non-literal arguments are rejected.
+  auto expr = session_.Execute("EXECUTE q (a + 1)");
+  EXPECT_FALSE(expr.ok());
+  // DEALLOCATE then EXECUTE: clean not-found.
+  ASSERT_TRUE(session_.Execute("DEALLOCATE q").ok());
+  auto gone = session_.Execute("EXECUTE q (1)");
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+  // Prepared statements are session-scoped.
+  Run("PREPARE mine AS SELECT a FROM t");
+  Connection other = server_->Connect();
+  auto foreign = other.Execute("EXECUTE mine");
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_EQ(foreign.status().code(), StatusCode::kNotFound);
+}
+
+// One-PR compatibility shim: the deprecated OpenSession path must keep
+// working for out-of-tree callers until the next release.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(ServerTest, DeprecatedOpenSessionStillExecutes) {
+  Session* legacy = server_->OpenSession("legacy_app");
+  ASSERT_NE(legacy, nullptr);
+  auto r = server_->Execute(legacy, "SELECT 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].ToString(), "1");
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace hive

@@ -223,18 +223,17 @@ struct Cluster {
     config.num_executors = executors;
     server = std::make_unique<HiveServer2>(&faults, config);
     faults.set_clock(server->clock());
-    Session* loader = server->OpenSession();
+    Connection loader = server->Connect();
     Load(loader);
   }
 
-  void Load(Session* session) {
-    ASSERT_TRUE(server
-                    ->Execute(session,
-                              "CREATE TABLE fact (fk INT, v INT, g INT, "
-                              "pad STRING)")
+  void Load(Connection& session) {
+    ASSERT_TRUE(session
+                    .Execute("CREATE TABLE fact (fk INT, v INT, g INT, "
+                             "pad STRING)")
                     .ok());
     ASSERT_TRUE(
-        server->Execute(session, "CREATE TABLE dim (dk INT, name STRING)").ok());
+        session.Execute("CREATE TABLE dim (dk INT, name STRING)").ok());
     for (int base = 0; base < kFactRows; base += 256) {
       std::string insert = "INSERT INTO fact VALUES ";
       for (int i = 0; i < 256; ++i) {
@@ -243,7 +242,7 @@ struct Cluster {
                   std::to_string(ValueOf(k)) + ", " + std::to_string(k % 97) +
                   ", 'pad-" + std::to_string(k) + "-abcdefghijklmnop')";
       }
-      ASSERT_TRUE(server->Execute(session, insert).ok());
+      ASSERT_TRUE(session.Execute(insert).ok());
     }
     for (int base = 0; base < kDimRows; base += 256) {
       std::string insert = "INSERT INTO dim VALUES ";
@@ -252,14 +251,14 @@ struct Cluster {
         insert += (i ? ", (" : "(") + std::to_string(k * 7) + ", 'name-" +
                   std::to_string(k) + "')";
       }
-      ASSERT_TRUE(server->Execute(session, insert).ok());
+      ASSERT_TRUE(session.Execute(insert).ok());
     }
   }
 
-  Session* NewSession(int64_t query_budget) {
-    Session* session = server->OpenSession();
-    session->config.result_cache_enabled = false;
-    session->config.query_memory_limit_bytes = query_budget;
+  Connection NewSession(int64_t query_budget) {
+    Connection session = server->Connect();
+    session.config().result_cache_enabled = false;
+    session.config().query_memory_limit_bytes = query_budget;
     return session;
   }
 
@@ -295,9 +294,9 @@ class SpillEndToEndTest : public ::testing::Test {
     exec1_ = new Cluster(1);
     exec8_ = new Cluster(8);
     baseline_ = new std::vector<std::vector<std::string>>();
-    Session* session = exec1_->NewSession(0);
+    Connection session = exec1_->NewSession(0);
     for (const auto& [name, sql] : MatrixQueries()) {
-      auto result = exec1_->server->Execute(session, sql);
+      auto result = session.Execute(sql);
       ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
       baseline_->push_back(Rows(*result));
     }
@@ -320,11 +319,11 @@ class SpillEndToEndTest : public ::testing::Test {
   /// Runs the matrix on `cluster` under `budget` and asserts byte-identity
   /// with the unlimited single-executor baseline.
   void RunMatrix(Cluster* cluster, int64_t budget) {
-    Session* session = cluster->NewSession(budget);
+    Connection session = cluster->NewSession(budget);
     size_t i = 0;
     for (const auto& [name, sql] : MatrixQueries()) {
       SCOPED_TRACE(name + " @budget=" + std::to_string(budget));
-      auto result = cluster->server->Execute(session, sql);
+      auto result = session.Execute(sql);
       ASSERT_TRUE(result.ok()) << result.status().ToString();
       EXPECT_EQ(Rows(*result), (*baseline_)[i]) << "diverged from baseline";
       ++i;
@@ -383,11 +382,11 @@ TEST_F(SpillEndToEndTest, SpillSurvivesInjectedFaultsByteIdentical) {
 }
 
 TEST_F(SpillEndToEndTest, SpillDisabledFailsCleanlyWithResourceExhausted) {
-  Session* session = exec1_->NewSession(16 * 1024);
-  session->config.spill_enabled = false;
+  Connection session = exec1_->NewSession(16 * 1024);
+  session.config().spill_enabled = false;
   for (const auto& [name, sql] : MatrixQueries()) {
     SCOPED_TRACE(name);
-    auto result = exec1_->server->Execute(session, sql);
+    auto result = session.Execute(sql);
     ASSERT_FALSE(result.ok()) << "a 16 KiB budget cannot fit this working set";
     EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
         << result.status().ToString();
@@ -408,11 +407,11 @@ TEST_F(SpillEndToEndTest, ProcessGovernorBoundsConcurrentStateAndRecovers) {
   Config config;
   config.exec_memory_limit_bytes = 48 * 1024;
   Cluster governed(4, config);
-  Session* session = governed.NewSession(0);
+  Connection session = governed.NewSession(0);
   size_t i = 0;
   for (const auto& [name, sql] : MatrixQueries()) {
     SCOPED_TRACE(name);
-    auto result = governed.server->Execute(session, sql);
+    auto result = session.Execute(sql);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     EXPECT_EQ(Rows(*result), (*baseline_)[i]);
     ++i;
@@ -425,11 +424,10 @@ TEST_F(SpillEndToEndTest, ProcessGovernorBoundsConcurrentStateAndRecovers) {
 TEST_F(SpillEndToEndTest, TopKSortNeverSpillsUnderTinyBudget) {
   // ORDER BY ... LIMIT keeps a bounded heap: a budget far too small for the
   // full sort must still pass without touching the spill path.
-  Session* session = exec1_->NewSession(16 * 1024);
+  Connection session = exec1_->NewSession(16 * 1024);
   int64_t spilled_before = exec1_->Metric("exec.spill.bytes");
   int64_t denied_before = exec1_->Metric("exec.spill.denied_reservations");
-  auto result = exec1_->server->Execute(
-      session, "SELECT v, fk FROM fact ORDER BY v, fk LIMIT 10");
+  auto result = session.Execute("SELECT v, fk FROM fact ORDER BY v, fk LIMIT 10");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_EQ(result->rows.size(), 10u);
   // Prefix of the full-sort baseline (query index 3 is the bare sort).
@@ -445,18 +443,16 @@ TEST_F(SpillEndToEndTest, TopKSortNeverSpillsUnderTinyBudget) {
 TEST_F(SpillEndToEndTest, SetOpReportsRealFootprintAndFailsCleanly) {
   // INTERSECT cannot spill; under a budget smaller than its digest sets it
   // must fail with the budget status, not a fabricated-estimate OOM pass.
-  Session* tiny = exec1_->NewSession(4 * 1024);
-  auto denied = exec1_->server->Execute(
-      tiny, "SELECT fk FROM fact INTERSECT SELECT dk FROM dim");
+  Connection tiny = exec1_->NewSession(4 * 1024);
+  auto denied = tiny.Execute("SELECT fk FROM fact INTERSECT SELECT dk FROM dim");
   ASSERT_FALSE(denied.ok());
   EXPECT_EQ(denied.status().code(), StatusCode::kResourceExhausted)
       << denied.status().ToString();
   EXPECT_NE(denied.status().ToString().find("set operation"), std::string::npos)
       << denied.status().ToString();
 
-  Session* roomy = exec1_->NewSession(0);
-  auto ok = exec1_->server->Execute(
-      roomy, "SELECT fk FROM fact INTERSECT SELECT dk FROM dim");
+  Connection roomy = exec1_->NewSession(0);
+  auto ok = roomy.Execute("SELECT fk FROM fact INTERSECT SELECT dk FROM dim");
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
   // dim keys are 7k for k in [0, 512), all below kFactRows: every dim key
   // appears on the fact side, so the intersection is the whole dim key set.
@@ -464,10 +460,8 @@ TEST_F(SpillEndToEndTest, SetOpReportsRealFootprintAndFailsCleanly) {
 }
 
 TEST_F(SpillEndToEndTest, ExplainAnalyzeAnnotatesSpillingOperators) {
-  Session* session = exec8_->NewSession(16 * 1024);
-  auto analyzed = exec8_->server->Execute(
-      session,
-      "EXPLAIN ANALYZE SELECT g, COUNT(*) AS c, SUM(v) AS s, MIN(name) AS m "
+  Connection session = exec8_->NewSession(16 * 1024);
+  auto analyzed = session.Execute("EXPLAIN ANALYZE SELECT g, COUNT(*) AS c, SUM(v) AS s, MIN(name) AS m "
       "FROM dim JOIN fact ON dk = fk GROUP BY g ORDER BY s DESC, g");
   ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
   std::string all;
@@ -477,8 +471,7 @@ TEST_F(SpillEndToEndTest, ExplainAnalyzeAnnotatesSpillingOperators) {
   EXPECT_NE(all.find("spill=agg"), std::string::npos)
       << "aggregate spill missing from the profile:\n" << all;
 
-  auto sorted = exec8_->server->Execute(
-      session, "EXPLAIN ANALYZE SELECT v, fk FROM fact ORDER BY v, fk");
+  auto sorted = session.Execute("EXPLAIN ANALYZE SELECT v, fk FROM fact ORDER BY v, fk");
   ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
   all.clear();
   for (const auto& row : sorted->rows) all += row[0].ToString() + "\n";
@@ -487,9 +480,8 @@ TEST_F(SpillEndToEndTest, ExplainAnalyzeAnnotatesSpillingOperators) {
 }
 
 TEST_F(SpillEndToEndTest, SpillDirectoryIsTornDownAfterQueries) {
-  Session* session = exec1_->NewSession(16 * 1024);
-  auto result = exec1_->server->Execute(
-      session, "SELECT v, fk FROM fact ORDER BY v, fk");
+  Connection session = exec1_->NewSession(16 * 1024);
+  auto result = session.Execute("SELECT v, fk FROM fact ORDER BY v, fk");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   auto leftovers = exec1_->mem.ListDir("/tmp/spill");
   if (leftovers.ok()) {

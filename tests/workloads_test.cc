@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <thread>
+
 #include "fs/mem_filesystem.h"
 #include "server/hive_server.h"
 #include "workloads/ssb.h"
@@ -19,10 +25,10 @@ class TpcdsWorkloadTest : public ::testing::Test {
     Config config;
     config.container_startup_us = 0;
     server_ = new HiveServer2(fs_, config);
-    Session* loader = server_->OpenSession();
+    Connection loader = server_->Connect();
     TpcdsOptions options;
     options.days = 6;  // keep the suite fast
-    ASSERT_TRUE(LoadTpcds(server_, loader, options).ok());
+    ASSERT_TRUE(LoadTpcds(loader, options).ok());
   }
   static void TearDownTestSuite() {
     delete server_;
@@ -37,19 +43,19 @@ MemFileSystem* TpcdsWorkloadTest::fs_ = nullptr;
 HiveServer2* TpcdsWorkloadTest::server_ = nullptr;
 
 TEST_F(TpcdsWorkloadTest, AllQueriesRunOnV31) {
-  Session* session = server_->OpenSession();
-  session->config.result_cache_enabled = false;
+  Connection session = server_->Connect();
+  session.config().result_cache_enabled = false;
   for (const BenchQuery& q : TpcdsQueries()) {
-    auto r = server_->Execute(session, q.sql);
+    auto r = session.Execute(q.sql);
     EXPECT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
   }
 }
 
 TEST_F(TpcdsWorkloadTest, LegacyModeRejectsExactlyTheFlaggedQueries) {
-  Session* session = server_->OpenSession();
-  session->config.SetLegacyV12Mode();
+  Connection session = server_->Connect();
+  session.config().SetLegacyV12Mode();
   for (const BenchQuery& q : TpcdsQueries()) {
-    auto r = server_->Execute(session, q.sql);
+    auto r = session.Execute(q.sql);
     if (q.requires_v3) {
       EXPECT_FALSE(r.ok()) << q.name << " should be unsupported on v1.2";
       if (!r.ok())
@@ -63,18 +69,18 @@ TEST_F(TpcdsWorkloadTest, LegacyModeRejectsExactlyTheFlaggedQueries) {
 TEST_F(TpcdsWorkloadTest, OptimizationsPreserveResults) {
   // The big safety property: CBO + semijoin + shared work + LLAP on/off
   // must not change any query's result.
-  Session* full = server_->OpenSession();
-  full->config.result_cache_enabled = false;
-  Session* bare = server_->OpenSession();
-  bare->config.result_cache_enabled = false;
-  bare->config.cbo_enabled = false;
-  bare->config.semijoin_reduction_enabled = false;
-  bare->config.dynamic_partition_pruning_enabled = false;
-  bare->config.shared_work_enabled = false;
-  bare->config.llap_enabled = false;
+  Connection full = server_->Connect();
+  full.config().result_cache_enabled = false;
+  Connection bare = server_->Connect();
+  bare.config().result_cache_enabled = false;
+  bare.config().cbo_enabled = false;
+  bare.config().semijoin_reduction_enabled = false;
+  bare.config().dynamic_partition_pruning_enabled = false;
+  bare.config().shared_work_enabled = false;
+  bare.config().llap_enabled = false;
   for (const BenchQuery& q : TpcdsQueries()) {
-    auto a = server_->Execute(full, q.sql);
-    auto b = server_->Execute(bare, q.sql);
+    auto a = full.Execute(q.sql);
+    auto b = bare.Execute(q.sql);
     ASSERT_TRUE(a.ok()) << q.name << ": " << a.status().ToString();
     ASSERT_TRUE(b.ok()) << q.name << ": " << b.status().ToString();
     ASSERT_EQ(a->rows.size(), b->rows.size()) << q.name;
@@ -93,18 +99,18 @@ TEST_F(TpcdsWorkloadTest, OptimizationsPreserveResults) {
 }
 
 TEST_F(TpcdsWorkloadTest, MrAndTezAgree) {
-  Session* mr = server_->OpenSession();
-  mr->config.result_cache_enabled = false;
-  mr->config.llap_enabled = false;
-  mr->config.execution_engine = "mr";
-  Session* tez = server_->OpenSession();
-  tez->config.result_cache_enabled = false;
-  tez->config.llap_enabled = false;
+  Connection mr = server_->Connect();
+  mr.config().result_cache_enabled = false;
+  mr.config().llap_enabled = false;
+  mr.config().execution_engine = "mr";
+  Connection tez = server_->Connect();
+  tez.config().result_cache_enabled = false;
+  tez.config().llap_enabled = false;
   const std::string sql =
       "SELECT i_category, COUNT(*) FROM store_sales, item "
       "WHERE ss_item_sk = i_item_sk GROUP BY i_category ORDER BY i_category";
-  auto a = server_->Execute(mr, sql);
-  auto b = server_->Execute(tez, sql);
+  auto a = mr.Execute(sql);
+  auto b = tez.Execute(sql);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(a->rows.size(), b->rows.size());
   for (size_t i = 0; i < a->rows.size(); ++i)
@@ -118,9 +124,9 @@ class SsbWorkloadTest : public ::testing::Test {
     Config config;
     config.container_startup_us = 0;
     server_ = new HiveServer2(fs_, config);
-    Session* loader = server_->OpenSession();
+    Connection loader = server_->Connect();
     SsbOptions options;
-    ASSERT_TRUE(LoadSsb(server_, loader, options).ok());
+    ASSERT_TRUE(LoadSsb(loader, options).ok());
   }
   static void TearDownTestSuite() {
     delete server_;
@@ -134,10 +140,10 @@ MemFileSystem* SsbWorkloadTest::fs_ = nullptr;
 HiveServer2* SsbWorkloadTest::server_ = nullptr;
 
 TEST_F(SsbWorkloadTest, All13QueriesRun) {
-  Session* session = server_->OpenSession();
-  session->config.result_cache_enabled = false;
+  Connection session = server_->Connect();
+  session.config().result_cache_enabled = false;
   for (const BenchQuery& q : SsbQueries()) {
-    auto r = server_->Execute(session, q.sql);
+    auto r = session.Execute(q.sql);
     EXPECT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
   }
 }
@@ -145,21 +151,20 @@ TEST_F(SsbWorkloadTest, All13QueriesRun) {
 TEST_F(SsbWorkloadTest, MaterializedViewRewritePreservesAllQueryResults) {
   // Run all 13 queries without any MV, then create the denormalized MV and
   // re-run: every query must be rewritten AND produce identical results.
-  Session* session = server_->OpenSession();
-  session->config.result_cache_enabled = false;
+  Connection session = server_->Connect();
+  session.config().result_cache_enabled = false;
   std::vector<QueryResult> baseline;
   for (const BenchQuery& q : SsbQueries()) {
-    auto r = server_->Execute(session, q.sql);
+    auto r = session.Execute(q.sql);
     ASSERT_TRUE(r.ok()) << q.name;
     baseline.push_back(std::move(*r));
   }
-  auto mv = server_->Execute(
-      session, "CREATE MATERIALIZED VIEW ssb_mv AS " + SsbDenormalizedMvSql());
+  auto mv = session.Execute("CREATE MATERIALIZED VIEW ssb_mv AS " + SsbDenormalizedMvSql());
   ASSERT_TRUE(mv.ok()) << mv.status().ToString();
 
   auto queries = SsbQueries();
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto r = server_->Execute(session, queries[i].sql);
+    auto r = session.Execute(queries[i].sql);
     ASSERT_TRUE(r.ok()) << queries[i].name;
     EXPECT_EQ(r->profile().counter(obs::qc::kMvRewrites), 1) << queries[i].name << " not rewritten";
     ASSERT_EQ(r->rows.size(), baseline[i].rows.size()) << queries[i].name;
@@ -168,25 +173,25 @@ TEST_F(SsbWorkloadTest, MaterializedViewRewritePreservesAllQueryResults) {
         EXPECT_EQ(r->rows[row][c].ToString(), baseline[i].rows[row][c].ToString())
             << queries[i].name << " row " << row << " col " << c;
   }
-  ASSERT_TRUE(server_->Execute(session, "DROP MATERIALIZED VIEW ssb_mv").ok());
+  ASSERT_TRUE(session.Execute("DROP MATERIALIZED VIEW ssb_mv").ok());
 }
 
 TEST_F(SsbWorkloadTest, DroidFederatedMvMatchesNativeResults) {
-  Session* session = server_->OpenSession();
-  session->config.result_cache_enabled = false;
+  Connection session = server_->Connect();
+  session.config().result_cache_enabled = false;
   std::vector<QueryResult> baseline;
   for (const BenchQuery& q : SsbQueries()) {
-    auto r = server_->Execute(session, q.sql);
+    auto r = session.Execute(q.sql);
     ASSERT_TRUE(r.ok()) << q.name;
     baseline.push_back(std::move(*r));
   }
-  auto droid = LoadSsbIntoDroid(server_, session);
+  auto droid = LoadSsbIntoDroid(session);
   ASSERT_TRUE(droid.ok()) << droid.status().ToString();
 
   auto queries = SsbQueries();
   int rewritten = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto r = server_->Execute(session, queries[i].sql);
+    auto r = session.Execute(queries[i].sql);
     ASSERT_TRUE(r.ok()) << queries[i].name;
     rewritten += r->profile().counter(obs::qc::kMvRewrites);
     ASSERT_EQ(r->rows.size(), baseline[i].rows.size()) << queries[i].name;
@@ -206,6 +211,183 @@ TEST_F(SsbWorkloadTest, DroidFederatedMvMatchesNativeResults) {
   }
   EXPECT_EQ(rewritten, static_cast<int>(queries.size()))
       << "every SSB query should hit the droid-backed MV";
+}
+
+// --- admission control: FIFO queue, deadlines, MOVE while queued ---
+
+class AdmissionControlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Config config;
+    config.container_startup_us = 0;
+    server_ = std::make_unique<HiveServer2>(&fs_, config);
+    admin_ = server_->Connect();
+  }
+
+  /// Activates a single-pool plan with `parallelism` slots.
+  void ActivateSinglePool(int parallelism) {
+    ASSERT_TRUE(admin_
+                    .ExecuteScript(
+                        "CREATE RESOURCE PLAN adm;"
+                        "CREATE POOL adm.only WITH alloc_fraction=1.0, "
+                        "query_parallelism=" + std::to_string(parallelism) + ";"
+                        "ALTER PLAN adm SET DEFAULT POOL = only;"
+                        "ALTER RESOURCE PLAN adm ENABLE ACTIVATE;")
+                    .ok());
+  }
+
+  /// Spins until `pred` holds or ~2s elapse; admission wait loops run on
+  /// real threads, so tests poll the introspection counters.
+  static bool WaitFor(const std::function<bool()>& pred) {
+    for (int i = 0; i < 2000; ++i) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+  }
+
+  MemFileSystem fs_;
+  std::unique_ptr<HiveServer2> server_;
+  Connection admin_;
+};
+
+TEST_F(AdmissionControlTest, QueueDrainsInFifoOrder) {
+  ActivateSinglePool(1);
+  WorkloadManager* wm = server_->workload_manager();
+  auto holder = wm->Admit("app");
+  ASSERT_TRUE(holder.ok());
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto waiter = [&](int id) {
+    auto h = wm->Admit("app", /*queue_timeout_ms=*/10000);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    {
+      std::lock_guard<std::mutex> g(order_mu);
+      order.push_back(id);
+    }
+    wm->Release(*h);
+  };
+  // Stagger arrivals so the FIFO sequence is deterministic.
+  std::thread first(waiter, 1);
+  ASSERT_TRUE(WaitFor([&] { return wm->QueuedInPool("only") == 1; }));
+  std::thread second(waiter, 2);
+  ASSERT_TRUE(WaitFor([&] { return wm->QueuedInPool("only") == 2; }));
+
+  wm->Release(*holder);  // frees one slot; each finisher admits the next
+  first.join();
+  second.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}))
+      << "the queue must drain oldest-arrival-first";
+  EXPECT_EQ(wm->ActiveInPool("only"), 0);
+  EXPECT_EQ(wm->QueueDepth(), 0);
+}
+
+TEST_F(AdmissionControlTest, QueueDeadlineExpiresNamingThePool) {
+  ActivateSinglePool(1);
+  WorkloadManager* wm = server_->workload_manager();
+  auto holder = wm->Admit("app");
+  ASSERT_TRUE(holder.ok());
+  int64_t timeouts_before = server_->metrics()->Value("wlm.queue.timeouts");
+
+  auto expired = wm->Admit("app", /*queue_timeout_ms=*/50);
+  ASSERT_FALSE(expired.ok()) << "no slot ever freed; the wait must expire";
+  EXPECT_EQ(expired.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(expired.status().ToString().find("pool 'only'"), std::string::npos)
+      << "the error must name the pool: " << expired.status().ToString();
+  EXPECT_NE(expired.status().ToString().find("wlm.queue.timeout.ms"),
+            std::string::npos)
+      << "the error must name the knob: " << expired.status().ToString();
+  EXPECT_EQ(wm->QueueDepth(), 0) << "an expired waiter must leave the queue";
+  EXPECT_EQ(server_->metrics()->Value("wlm.queue.timeouts"), timeouts_before + 1);
+  wm->Release(*holder);
+}
+
+TEST_F(AdmissionControlTest, ZeroTimeoutKeepsRejectOnFullSemantics) {
+  ActivateSinglePool(1);
+  WorkloadManager* wm = server_->workload_manager();
+  auto holder = wm->Admit("app");
+  ASSERT_TRUE(holder.ok());
+  auto rejected = wm->Admit("app", /*queue_timeout_ms=*/0);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(rejected.status().ToString().find("all pools at capacity"),
+            std::string::npos)
+      << rejected.status().ToString();
+  wm->Release(*holder);
+}
+
+TEST_F(AdmissionControlTest, MoveOfQueuedQueryCompetesForTargetPool) {
+  // Two single-slot pools, both full, one waiter queued for 'a'. Moving the
+  // *queued* query to 'b' must let it win b's next free slot while 'a'
+  // stays saturated.
+  ASSERT_TRUE(admin_
+                  .ExecuteScript(
+                      "CREATE RESOURCE PLAN adm;"
+                      "CREATE POOL adm.a WITH alloc_fraction=0.5, "
+                      "query_parallelism=1;"
+                      "CREATE POOL adm.b WITH alloc_fraction=0.5, "
+                      "query_parallelism=1;"
+                      "CREATE APPLICATION MAPPING app_b IN adm TO b;"
+                      "ALTER PLAN adm SET DEFAULT POOL = a;"
+                      "ALTER RESOURCE PLAN adm ENABLE ACTIVATE;")
+                  .ok());
+  WorkloadManager* wm = server_->workload_manager();
+  auto hold_a = wm->Admit("app");
+  ASSERT_TRUE(hold_a.ok());
+  auto hold_b = wm->Admit("app_b");
+  ASSERT_TRUE(hold_b.ok());
+
+  std::atomic<bool> admitted{false};
+  std::string admitted_pool;
+  std::thread waiter([&] {
+    auto h = wm->Admit("app", /*queue_timeout_ms=*/10000);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    admitted_pool = (*h)->pool;
+    admitted.store(true);
+    wm->Release(*h);
+  });
+  ASSERT_TRUE(WaitFor([&] { return wm->QueuedInPool("a") == 1; }));
+
+  auto queued = wm->QueuedQueries();
+  ASSERT_EQ(queued.size(), 1u);
+  ASSERT_TRUE(wm->Move(queued[0], "b").ok());
+  EXPECT_EQ(wm->QueuedInPool("b"), 1) << "the waiter now queues for b";
+  EXPECT_EQ(wm->QueuedInPool("a"), 0);
+  EXPECT_FALSE(admitted.load()) << "b is still full; the move alone admits nothing";
+
+  wm->Release(*hold_b);  // b frees: the moved waiter must take the slot
+  waiter.join();
+  EXPECT_EQ(admitted_pool, "b");
+  wm->Release(*hold_a);
+  EXPECT_EQ(wm->ActiveInPool("a"), 0);
+  EXPECT_EQ(wm->ActiveInPool("b"), 0);
+}
+
+TEST_F(AdmissionControlTest, SessionCloseAbortsQueuedQuery) {
+  // End-to-end: a query still waiting in the admission queue dies cleanly
+  // when its connection closes — no lost query, no stuck waiter.
+  ActivateSinglePool(1);
+  WorkloadManager* wm = server_->workload_manager();
+  ASSERT_TRUE(admin_.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(admin_.Execute("INSERT INTO t VALUES (1)").ok());
+  auto holder = wm->Admit("app");  // saturate the pool
+  ASSERT_TRUE(holder.ok());
+
+  Connection doomed = server_->Connect();
+  doomed.config().wlm_queue_timeout_ms = 10000;
+  doomed.config().result_cache_enabled = false;
+  Status seen;
+  std::thread runner([&] {
+    auto r = doomed.Execute("SELECT COUNT(*) FROM t");
+    seen = r.status();
+  });
+  ASSERT_TRUE(WaitFor([&] { return wm->QueueDepth() == 1; }));
+  ASSERT_TRUE(doomed.Close().ok());
+  runner.join();
+  EXPECT_FALSE(seen.ok()) << "the queued query must not silently succeed";
+  wm->Release(*holder);
+  EXPECT_EQ(wm->QueueDepth(), 0);
 }
 
 }  // namespace

@@ -26,6 +26,12 @@
 //                   hive::fs FileSystem so fault injection (transient
 //                   errors, corruption, torn renames) exercises every
 //                   execution-time byte that touches a disk.
+//   session-construct
+//                   direct Session construction (new/make_unique/by-value)
+//                   in src/ outside the connection manager. Sessions exist
+//                   only behind RAII Connection handles so close-time
+//                   teardown (cancel, drain, drop temps, sweep spill) can
+//                   never be skipped.
 //
 // Usage:
 //   hivelint [--root <dir>] <file-or-dir>...   lint (dirs walk *.h/*.cc/*.cpp)
@@ -104,6 +110,16 @@ const std::vector<Rule>& Rules() {
        "flow through hive::fs FileSystem (injectable, fault-tested)",
        {"src/exec/"},
        {}},
+      {"session-construct",
+       // new Session / make_unique<Session> / make_shared<Session> / a
+       // by-value `Session name...` declaration. Pointers and references
+       // (`Session*`, `Session&`) stay legal — they don't create sessions.
+       std::regex(R"(\bnew\s+(hive::)?Session\b|\bmake_(unique|shared)\s*<\s*(hive::)?Session\s*>|(^|[^\w:.~])(hive::)?Session\s+[A-Za-z_]\w*\s*[;{=(])"),
+       "direct Session construction; sessions are created only by the "
+       "connection manager — call HiveServer2::Connect() and hold the "
+       "RAII Connection",
+       {"src/"},
+       {"src/server/connection_manager.h", "src/server/connection_manager.cc"}},
   };
   return rules;
 }
