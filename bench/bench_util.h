@@ -8,8 +8,7 @@
 
 #include "fs/mem_filesystem.h"
 #include "server/hive_server.h"
-#include "workloads/ssb.h"
-#include "workloads/tpcds.h"
+#include "server/workload_loader.h"
 
 namespace hive::bench {
 

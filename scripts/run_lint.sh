@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Static analysis in isolation: build hivelint, prove its rules against the
+# marker fixtures, then hold src/ to all four passes. This is the cheapest
+# verification rung (sub-second after the tool builds) — run it before a
+# commit touching src/. `ctest --test-dir build -L lint` is the same thing
+# driven through ctest.
+#
+# Usage: scripts/run_lint.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build --target hivelint -j
+build/tools/hivelint --self-test tests/hivelint_fixtures
+build/tools/hivelint --root . src

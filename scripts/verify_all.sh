@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # The whole verification ladder in one command, cheapest rung first:
 #
-#   1. build + ctest        — unit/integration suites, the lock-order
-#                             detector (on by default), hivelint self-test,
-#                             and hivelint over src/
-#   2. TSan                 — data races on the concurrency-sensitive suites
-#   3. ASan + UBSan         — heap misuse, leaks, undefined behavior
-#   4. spill matrix         — budget ladder byte-identity + low-memory
+#   1. lint                 — hivelint self-test + all four passes over src/
+#                             (scripts/run_lint.sh; sub-second, fails fast
+#                             before the full build is even attempted)
+#   2. build + ctest        — unit/integration suites, the lock-order
+#                             detector (on by default), and the same lint
+#                             checks as labeled ctest targets (-L lint)
+#   3. TSan                 — data races on the concurrency-sensitive suites
+#   4. ASan + UBSan         — heap misuse, leaks, undefined behavior
+#   5. spill matrix         — budget ladder byte-identity + low-memory
 #                             fault sweep (scripts/run_spill_matrix.sh)
-#   5. join + spill benches — morsel-parallel join scaling (BENCH_join.json)
+#   6. join + spill benches — morsel-parallel join scaling (BENCH_join.json)
 #                             and spill degradation (BENCH_spill.json)
-#   6. concurrency bench    — many-session admission-control smoke; fails
+#   7. concurrency bench    — many-session admission-control smoke; fails
 #                             unless every submitted query is accounted for
 #                             (BENCH_concurrency.json must report "lost": 0)
 #
@@ -22,27 +25,30 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==== [1/6] build + ctest (includes hivelint) ===="
+echo "==== [1/7] lint (hivelint self-test + src/) ===="
+scripts/run_lint.sh
+
+echo "==== [2/7] build + ctest ===="
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==== [2/6] ThreadSanitizer ===="
+echo "==== [3/7] ThreadSanitizer ===="
 scripts/run_tsan.sh
 
-echo "==== [3/6] ASan + UBSan ===="
+echo "==== [4/7] ASan + UBSan ===="
 scripts/run_asan_ubsan.sh
 
-echo "==== [4/6] spill matrix ===="
+echo "==== [5/7] spill matrix ===="
 scripts/run_spill_matrix.sh
 
-echo "==== [5/6] join + spill benches ===="
+echo "==== [6/7] join + spill benches ===="
 build/bench/bench_join
 test -s BENCH_join.json
 build/bench/bench_spill
 test -s BENCH_spill.json
 
-echo "==== [6/6] concurrency bench (no lost queries) ===="
+echo "==== [7/7] concurrency bench (no lost queries) ===="
 build/bench/bench_concurrency --smoke
 test -s BENCH_concurrency.json
 grep -q '"lost": 0' BENCH_concurrency.json

@@ -1,4 +1,4 @@
-#include "sql/ast.h"
+#include "common/ast.h"
 
 namespace hive {
 

@@ -1,5 +1,5 @@
-#ifndef HIVE_SQL_AST_H_
-#define HIVE_SQL_AST_H_
+#ifndef HIVE_COMMON_AST_H_
+#define HIVE_COMMON_AST_H_
 
 #include <map>
 #include <memory>
@@ -420,4 +420,4 @@ struct ResourcePlanStatement : Statement {
 
 }  // namespace hive
 
-#endif  // HIVE_SQL_AST_H_
+#endif  // HIVE_COMMON_AST_H_

@@ -175,51 +175,56 @@ class Config {
   }
 };
 
-/// Every Config field, for code that must treat the knob set uniformly
-/// (the session/server layering merge below). A new knob only needs to be
-/// added here once to participate.
+/// Every Config field with its public dotted name, for code that must treat
+/// the knob set uniformly (the session/server layering merge below, SET
+/// handling, docs). A new knob only needs to be added here once to
+/// participate — and tools/hivelint's drift pass enforces that every Config
+/// member IS here ([knob-unregistered]), that every registered knob is read
+/// somewhere in src/ ([knob-dead]), and that every public name below has a
+/// row in README.md's configuration reference ([knob-undocumented]).
 #define HIVE_CONFIG_FIELDS(X)                                               \
-  X(execution_engine)                                                       \
-  X(llap_enabled)                                                           \
-  X(container_startup_us)                                                   \
-  X(mr_materialize_shuffle)                                                 \
-  X(num_executors)                                                          \
-  X(parallel_scan_enabled)                                                  \
-  X(scan_cpu_ns_per_row)                                                    \
-  X(parallel_join_enabled)                                                  \
-  X(perfect_hash_join_enabled)                                              \
-  X(join_cpu_ns_per_row)                                                    \
-  X(vector_batch_size)                                                      \
-  X(join_build_row_limit)                                                   \
-  X(exec_memory_limit_bytes)                                                \
-  X(query_memory_limit_bytes)                                               \
-  X(spill_enabled)                                                          \
-  X(spill_dir)                                                              \
-  X(spill_partitions)                                                       \
-  X(spill_max_recursion)                                                    \
-  X(task_max_attempts)                                                      \
-  X(task_retry_backoff_us)                                                  \
-  X(speculation_enabled)                                                    \
-  X(speculation_slowdown_factor)                                            \
-  X(cache_poison_threshold)                                                 \
-  X(query_timeout_ms)                                                       \
-  X(cbo_enabled)                                                            \
-  X(shared_work_enabled)                                                    \
-  X(semijoin_reduction_enabled)                                             \
-  X(dynamic_partition_pruning_enabled)                                      \
-  X(materialized_view_rewriting_enabled)                                    \
-  X(result_cache_enabled)                                                   \
-  X(reexecution_strategy)                                                   \
-  X(join_reorder_max_relations)                                             \
-  X(legacy_sql_only)                                                        \
-  X(llap_cache_capacity_bytes)                                              \
-  X(llap_lrfu_lambda)                                                       \
-  X(llap_io_threads)                                                        \
-  X(compaction_delta_threshold)                                             \
-  X(compaction_ratio_threshold)                                             \
-  X(wlm_queue_timeout_ms)                                                   \
-  X(plan_cache_enabled)                                                     \
-  X(plan_cache_capacity)
+  X(execution_engine, "execution.engine")                                   \
+  X(llap_enabled, "llap.enabled")                                           \
+  X(container_startup_us, "container.startup.us")                           \
+  X(mr_materialize_shuffle, "mr.materialize.shuffle")                       \
+  X(num_executors, "exec.num.executors")                                    \
+  X(parallel_scan_enabled, "exec.parallel.scan.enabled")                    \
+  X(scan_cpu_ns_per_row, "exec.scan.cpu.ns.per.row")                        \
+  X(parallel_join_enabled, "exec.parallel.join.enabled")                    \
+  X(perfect_hash_join_enabled, "exec.perfect.hash.join.enabled")            \
+  X(join_cpu_ns_per_row, "exec.join.cpu.ns.per.row")                        \
+  X(vector_batch_size, "exec.vector.batch.size")                            \
+  X(join_build_row_limit, "exec.join.build.row.limit")                      \
+  X(exec_memory_limit_bytes, "exec.memory.limit.bytes")                     \
+  X(query_memory_limit_bytes, "query.memory.limit.bytes")                   \
+  X(spill_enabled, "exec.spill.enabled")                                    \
+  X(spill_dir, "exec.spill.dir")                                            \
+  X(spill_partitions, "exec.spill.num.partitions")                          \
+  X(spill_max_recursion, "exec.spill.max.recursion")                        \
+  X(task_max_attempts, "task.max.attempts")                                 \
+  X(task_retry_backoff_us, "task.retry.backoff.us")                         \
+  X(speculation_enabled, "speculation.enabled")                             \
+  X(speculation_slowdown_factor, "speculation.slowdown.factor")             \
+  X(cache_poison_threshold, "cache.poison.threshold")                       \
+  X(query_timeout_ms, "query.timeout.ms")                                   \
+  X(cbo_enabled, "optimizer.cbo.enabled")                                   \
+  X(shared_work_enabled, "optimizer.shared.work.enabled")                   \
+  X(semijoin_reduction_enabled, "optimizer.semijoin.reduction.enabled")     \
+  X(dynamic_partition_pruning_enabled,                                      \
+    "optimizer.dynamic.partition.pruning.enabled")                          \
+  X(materialized_view_rewriting_enabled, "optimizer.mv.rewriting.enabled")  \
+  X(result_cache_enabled, "cache.result.enabled")                           \
+  X(reexecution_strategy, "query.reexecution.strategy")                     \
+  X(join_reorder_max_relations, "optimizer.join.reorder.max.relations")     \
+  X(legacy_sql_only, "sql.legacy.v12.only")                                 \
+  X(llap_cache_capacity_bytes, "llap.cache.capacity.bytes")                 \
+  X(llap_lrfu_lambda, "llap.cache.lrfu.lambda")                             \
+  X(llap_io_threads, "llap.io.threads")                                     \
+  X(compaction_delta_threshold, "compaction.delta.threshold")               \
+  X(compaction_ratio_threshold, "compaction.ratio.threshold")               \
+  X(wlm_queue_timeout_ms, "wlm.queue.timeout.ms")                           \
+  X(plan_cache_enabled, "server.plan.cache.enabled")                        \
+  X(plan_cache_capacity, "server.plan.cache.capacity")
 
 /// THE config layering rule, defined in exactly one place: a session's
 /// effective configuration starts from the server's *current* defaults and
@@ -231,7 +236,7 @@ class Config {
 inline Config LayerConfig(const Config& server_now, const Config& open_snapshot,
                           const Config& session) {
   Config effective = server_now;
-#define HIVE_CONFIG_LAYER_FIELD(f) \
+#define HIVE_CONFIG_LAYER_FIELD(f, pub) \
   if (!(session.f == open_snapshot.f)) effective.f = session.f;
   HIVE_CONFIG_FIELDS(HIVE_CONFIG_LAYER_FIELD)
 #undef HIVE_CONFIG_LAYER_FIELD

@@ -6,6 +6,7 @@
 #include "exec/vector_eval.h"
 #include "optimizer/expr_eval.h"
 #include "storage/cof.h"
+#include "obs/metric_names.h"
 
 namespace hive {
 
@@ -402,7 +403,7 @@ Status AggSpillSet::Flush(int worker, GroupedAggState* state) {
       w = std::make_unique<SpillChunkWriter>(
           ctx_, prefix_ + ".w" + std::to_string(worker) + ".p" +
                     std::to_string(p));
-      CountSpillMetric(ctx_, "exec.spill.partitions", 1);
+      CountSpillMetric(ctx_, obs::metric::kSpillPartitions, 1);
     }
     HIVE_RETURN_IF_ERROR(w->AppendRecord(state->SerializeGroup(i)));
   }
@@ -478,7 +479,7 @@ Status AggSpillSet::PrepareEmit(GroupedAggState* remainder, const Schema& schema
     c.reader = std::make_unique<SpillBatchReader>(ctx_, *run);
     HIVE_RETURN_IF_ERROR(RefillCursor(&c));
   }
-  if (!cursors_.empty()) CountSpillMetric(ctx_, "exec.spill.merge_passes", 1);
+  if (!cursors_.empty()) CountSpillMetric(ctx_, obs::metric::kSpillMergePasses, 1);
   return Status::OK();
 }
 
@@ -544,7 +545,7 @@ Status HashAggregateOperator::Consume() {
     HIVE_RETURN_IF_ERROR(state_.Consume(batch, seq));
     seq += batch.SelectedSize();
     if (!reservation_.GrowTo(static_cast<int64_t>(state_.approx_bytes()))) {
-      CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+      CountSpillMetric(ctx_, obs::metric::kSpillDeniedReservations, 1);
       // Scalar aggregates (no keys) hold a single group; spilling cannot
       // shrink them.
       if (!ctx_->CanSpill() || keys_.empty())

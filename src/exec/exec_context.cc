@@ -20,8 +20,10 @@ Status ExecContext::OnStageBoundary(uint64_t bytes) {
   if (mode == RuntimeMode::kMapReduce) {
     // Each MR stage launches fresh containers...
     if (clock && config) clock->Charge(config->container_startup_us);
-    // ...and materializes its shuffle output to the distributed FS.
-    if (fs) {
+    // ...and materializes its shuffle output to the distributed FS
+    // (mr.materialize.shuffle lets tests run the MR cost model without the
+    // filesystem round-trip).
+    if (fs && config && config->mr_materialize_shuffle) {
       std::string tmp = "/tmp/shuffle/stage_" + std::to_string(stage_counter) + "_" +
                         std::to_string(reinterpret_cast<uintptr_t>(this));
       std::string payload(static_cast<size_t>(std::min<uint64_t>(bytes, 8u << 20)), 's');

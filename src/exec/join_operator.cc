@@ -6,6 +6,7 @@
 #include "exec/operators.h"
 #include "exec/vector_eval.h"
 #include "optimizer/expr_eval.h"
+#include "obs/metric_names.h"
 
 namespace hive {
 
@@ -255,7 +256,7 @@ Status HashJoinCore::Build(Operator* build_child) {
     build_.set_num_rows(build_rows);
     accum_bytes += batch.ByteSize();
     if (!reservation_.GrowTo(static_cast<int64_t>(accum_bytes))) {
-      CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+      CountSpillMetric(ctx_, obs::metric::kSpillDeniedReservations, 1);
       // Cross and non-equi joins have no key to partition by; they fail
       // rather than spill.
       if (!ctx_->CanSpill() || right_keys_.empty())
@@ -272,7 +273,7 @@ Status HashJoinCore::Build(Operator* build_child) {
   if (!grace_ && build_rows > 0 && !right_keys_.empty() &&
       !reservation_.GrowTo(static_cast<int64_t>(accum_bytes) +
                            static_cast<int64_t>(build_rows) * 24)) {
-    CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+    CountSpillMetric(ctx_, obs::metric::kSpillDeniedReservations, 1);
     if (!ctx_->CanSpill())
       return BudgetExceededStatus("hash join build",
                                   static_cast<int64_t>(accum_bytes), ctx_);
@@ -282,9 +283,9 @@ Status HashJoinCore::Build(Operator* build_child) {
 
   obs::Counter* metric_perfect = nullptr;
   if (ctx_->metrics) {
-    metric_perfect = ctx_->metrics->counter("exec.join.perfect_hash");
-    metric_probe_hits_ = ctx_->metrics->counter("exec.join.probe.hits");
-    metric_probe_misses_ = ctx_->metrics->counter("exec.join.probe.misses");
+    metric_perfect = ctx_->metrics->counter(obs::metric::kJoinPerfectHash);
+    metric_probe_hits_ = ctx_->metrics->counter(obs::metric::kJoinProbeHits);
+    metric_probe_misses_ = ctx_->metrics->counter(obs::metric::kJoinProbeMisses);
   }
 
   if (grace_) {
@@ -298,7 +299,7 @@ Status HashJoinCore::Build(Operator* build_child) {
       g.bytes += w->bytes_written();
     }
     if (ctx_->metrics)
-      ctx_->metrics->counter("exec.join.build_rows")
+      ctx_->metrics->counter(obs::metric::kJoinBuildRows)
           ->Add(static_cast<int64_t>(g.build_seq));
     // The build side materialized to spill; that is this stage's output.
     return ctx_->OnStageBoundary(g.bytes);
@@ -313,7 +314,7 @@ Status HashJoinCore::Build(Operator* build_child) {
   for (size_t i = 0; i < n; ++i) matched_[i].store(0, std::memory_order_relaxed);
 
   if (ctx_->metrics)
-    ctx_->metrics->counter("exec.join.build_rows")->Add(static_cast<int64_t>(n));
+    ctx_->metrics->counter(obs::metric::kJoinBuildRows)->Add(static_cast<int64_t>(n));
 
   if (!right_keys_.empty()) {
     // Vectorized key evaluation + column-wise hashing over the dense build
@@ -432,7 +433,7 @@ Status HashJoinCore::GraceRouteBuildBatch(const RowBatch& batch) {
     if (!w) {
       w = std::make_unique<SpillBatchWriter>(
           ctx_, g.prefix + ".b" + std::to_string(p), g.build_schema, true);
-      CountSpillMetric(ctx_, "exec.spill.partitions", 1);
+      CountSpillMetric(ctx_, obs::metric::kSpillPartitions, 1);
       ++g.partitions_spawned;
     }
     HIVE_RETURN_IF_ERROR(w->AppendRow(batch, src, g.build_seq++));
@@ -458,7 +459,7 @@ Status HashJoinCore::GraceAddProbeBatch(const RowBatch& batch) {
     if (!w) {
       w = std::make_unique<SpillBatchWriter>(
           ctx_, g.prefix + ".p" + std::to_string(p), batch.schema(), true);
-      CountSpillMetric(ctx_, "exec.spill.partitions", 1);
+      CountSpillMetric(ctx_, obs::metric::kSpillPartitions, 1);
       ++g.partitions_spawned;
     }
     HIVE_RETURN_IF_ERROR(w->AppendRow(batch, src, g.probe_seq++));
@@ -542,7 +543,7 @@ Status HashJoinCore::JoinPartitionPair(int depth, SpillBatchWriter* build_run,
       if (!reservation_.GrowTo(
               static_cast<int64_t>(loaded_bytes) +
               static_cast<int64_t>(grace_build_seqs_.size()) * 24)) {
-        CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+        CountSpillMetric(ctx_, obs::metric::kSpillDeniedReservations, 1);
         // Past the recursion bound (duplicate-heavy keys cannot split
         // further), finish loading best-effort instead of failing.
         if (may_recurse) {
@@ -586,7 +587,7 @@ Status HashJoinCore::JoinPartitionPair(int depth, SpillBatchWriter* build_run,
                 ctx_,
                 g.prefix + ".s" + std::to_string(g.stream_counter++) + kind,
                 run->schema(), true);
-            CountSpillMetric(ctx_, "exec.spill.partitions", 1);
+            CountSpillMetric(ctx_, obs::metric::kSpillPartitions, 1);
             ++g.partitions_spawned;
           }
           HIVE_RETURN_IF_ERROR(w->AppendBatchRow(chunk, r, seqs[r]));
@@ -691,7 +692,7 @@ Result<RowBatch> HashJoinCore::GraceNextOutput(bool* done) {
       g.merge_armed = true;
       HIVE_RETURN_IF_ERROR(g.Arm(ctx_, g.output_runs));
       if (!g.cursors.empty())
-        CountSpillMetric(ctx_, "exec.spill.merge_passes", 1);
+        CountSpillMetric(ctx_, obs::metric::kSpillMergePasses, 1);
     }
     HIVE_ASSIGN_OR_RETURN(RowBatch out, g.MergeStep(*out_schema_, limit));
     if (out.num_rows() > 0) return out;
@@ -699,7 +700,7 @@ Result<RowBatch> HashJoinCore::GraceNextOutput(bool* done) {
       g.tail_phase = true;
       HIVE_RETURN_IF_ERROR(g.Arm(ctx_, g.tail_runs));
       if (!g.cursors.empty())
-        CountSpillMetric(ctx_, "exec.spill.merge_passes", 1);
+        CountSpillMetric(ctx_, obs::metric::kSpillMergePasses, 1);
       continue;
     }
     *done = true;

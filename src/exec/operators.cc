@@ -5,6 +5,7 @@
 #include "common/hash.h"
 #include "exec/spill.h"
 #include "exec/vector_eval.h"
+#include "obs/metric_names.h"
 
 namespace hive {
 
@@ -176,7 +177,7 @@ Result<RowBatch> SetOpOperator::Next(bool* done) {
         if (inserted) digest_footprint += digest_bytes(*it);
       }
       if (!reservation_.GrowTo(static_cast<int64_t>(digest_footprint))) {
-        CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+        CountSpillMetric(ctx_, obs::metric::kSpillDeniedReservations, 1);
         return BudgetExceededStatus("set operation",
                                     static_cast<int64_t>(digest_footprint), ctx_);
       }
@@ -203,7 +204,7 @@ Result<RowBatch> SetOpOperator::Next(bool* done) {
           result_.column(c)->AppendFrom(*batch.column(c), src);
       }
       if (!reservation_.GrowTo(static_cast<int64_t>(digest_footprint))) {
-        CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+        CountSpillMetric(ctx_, obs::metric::kSpillDeniedReservations, 1);
         return BudgetExceededStatus("set operation",
                                     static_cast<int64_t>(digest_footprint), ctx_);
       }

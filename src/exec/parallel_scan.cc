@@ -4,6 +4,7 @@
 #include <future>
 
 #include "exec/vector_eval.h"
+#include "obs/metric_names.h"
 
 namespace hive {
 
@@ -200,10 +201,10 @@ Status MorselDriver::Run(
   failed_.store(false);
   next_morsel_.store(0);
   if (ctx_->metrics && !morsels_claimed_) {
-    morsels_claimed_ = ctx_->metrics->counter("exec.morsels.claimed");
-    morsels_skipped_ = ctx_->metrics->counter("exec.morsels.skipped");
-    morsel_cost_us_ = ctx_->metrics->histogram("exec.morsel.cost_us");
-    morsel_queue_wait_us_ = ctx_->metrics->histogram("exec.morsel.queue_wait_us");
+    morsels_claimed_ = ctx_->metrics->counter(obs::metric::kMorselsClaimed);
+    morsels_skipped_ = ctx_->metrics->counter(obs::metric::kMorselsSkipped);
+    morsel_cost_us_ = ctx_->metrics->histogram(obs::metric::kMorselCostUs);
+    morsel_queue_wait_us_ = ctx_->metrics->histogram(obs::metric::kMorselQueueWaitUs);
   }
   run_start_wall_us_ = SimClock::WallMicros();
   worker_busy_ns_.assign(static_cast<size_t>(workers_), 0);
@@ -408,7 +409,7 @@ Status ParallelAggregateOperator::RunPipeline() {
         MemoryReservation* res =
             worker_reservations_[static_cast<size_t>(worker)].get();
         if (!res->GrowTo(static_cast<int64_t>(state->approx_bytes()))) {
-          CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+          CountSpillMetric(ctx_, obs::metric::kSpillDeniedReservations, 1);
           if (!can_spill)
             return BudgetExceededStatus(
                 "parallel hash aggregate",

@@ -6,6 +6,7 @@
 #include "exec/spill.h"
 #include "exec/vector_eval.h"
 #include "optimizer/expr_eval.h"
+#include "obs/metric_names.h"
 
 namespace hive {
 
@@ -66,7 +67,7 @@ Status SortOperator::ConsumeInput() {
     pending_bytes += batch.ByteSize();
     input_bytes_ += batch.ByteSize();
     if (!reservation_.GrowTo(static_cast<int64_t>(pending_bytes))) {
-      CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+      CountSpillMetric(ctx_, obs::metric::kSpillDeniedReservations, 1);
       if (!ctx_->CanSpill())
         return BudgetExceededStatus("sort",
                                     static_cast<int64_t>(pending_bytes), ctx_);
@@ -124,7 +125,7 @@ Status SortOperator::ConsumeInput() {
     HIVE_RETURN_IF_ERROR(RefillCursor(&c));
   }
   merge_armed_ = true;
-  CountSpillMetric(ctx_, "exec.spill.merge_passes", 1);
+  CountSpillMetric(ctx_, obs::metric::kSpillMergePasses, 1);
   return ctx_->OnStageBoundary(spill_bytes);
 }
 
@@ -152,7 +153,7 @@ Status SortOperator::SpillRun(RowBatch* pending) {
   for (int32_t row : order)
     HIVE_RETURN_IF_ERROR(run->AppendRow(*pending, row, 0));
   HIVE_RETURN_IF_ERROR(run->Finish());
-  CountSpillMetric(ctx_, "exec.spill.partitions", 1);
+  CountSpillMetric(ctx_, obs::metric::kSpillPartitions, 1);
   runs_.push_back(std::move(run));
   *pending = RowBatch(child_->schema());
   return Status::OK();
@@ -276,7 +277,7 @@ Status SortOperator::ConsumeTopK() {
       std::push_heap(heap.begin(), heap.end(), before);
     }
     if (!reservation_.GrowTo(static_cast<int64_t>(heap_bytes))) {
-      CountSpillMetric(ctx_, "exec.spill.denied_reservations", 1);
+      CountSpillMetric(ctx_, obs::metric::kSpillDeniedReservations, 1);
       // The heap is the minimal state answering this query; it cannot spill.
       return BudgetExceededStatus("top-k sort",
                                   static_cast<int64_t>(heap_bytes), ctx_);

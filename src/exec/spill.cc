@@ -7,6 +7,7 @@
 #include "common/serde.h"
 #include "exec/task_retry.h"
 #include "storage/cof.h"
+#include "obs/metric_names.h"
 
 namespace hive {
 
@@ -128,7 +129,7 @@ Status SpillChunkWriter::WriteChunk() {
       });
   HIVE_RETURN_IF_ERROR(renamed);
   bytes_written_ += file.size();
-  CountSpillMetric(ctx_, "exec.spill.bytes", static_cast<int64_t>(file.size()));
+  CountSpillMetric(ctx_, obs::metric::kSpillBytes, static_cast<int64_t>(file.size()));
   ++num_chunks_;
   buffer_.clear();
   return Status::OK();

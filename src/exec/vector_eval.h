@@ -2,7 +2,7 @@
 #define HIVE_EXEC_VECTOR_EVAL_H_
 
 #include "common/column_vector.h"
-#include "sql/ast.h"
+#include "common/ast.h"
 
 namespace hive {
 

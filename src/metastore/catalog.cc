@@ -64,16 +64,28 @@ std::string Catalog::TableLocation(const std::string& db, const std::string& nam
 }
 
 Status Catalog::CreateTable(TableDesc desc) {
-  MutexLock lock(&mu_);
   std::string db = ToLower(desc.db);
   std::string name = ToLower(desc.name);
-  auto dbit = dbs_.find(db);
-  if (dbit == dbs_.end()) return Status::NotFound("database " + desc.db);
-  if (dbit->second.count(name)) return Status::AlreadyExists("table " + desc.FullName());
+  {
+    MutexLock lock(&mu_);
+    auto dbit = dbs_.find(db);
+    if (dbit == dbs_.end()) return Status::NotFound("database " + desc.db);
+    if (dbit->second.count(name))
+      return Status::AlreadyExists("table " + desc.FullName());
+  }
   if (desc.location.empty()) desc.location = TableLocation(db, name);
   desc.db = db;
   desc.name = name;
+  // Create the directory with the catalog unlocked: filesystem calls can
+  // stall (fault injection charges latency) and must not freeze every other
+  // catalog operation. MakeDirs is idempotent, so if two CREATEs race the
+  // loser just fails the re-check below and leaves the shared dir behind.
   HIVE_RETURN_IF_ERROR(fs_->MakeDirs(desc.location));
+  MutexLock lock(&mu_);
+  auto dbit = dbs_.find(db);
+  if (dbit == dbs_.end()) return Status::NotFound("database " + desc.db);
+  if (dbit->second.count(name))
+    return Status::AlreadyExists("table " + desc.FullName());
   dbit->second.emplace(name, std::move(desc));
   BumpVersion();
   return Status::OK();
@@ -90,18 +102,30 @@ Result<TableDesc> Catalog::GetTable(const std::string& db, const std::string& na
 
 Status Catalog::DropTable(const std::string& db, const std::string& name,
                           bool delete_data) {
+  std::string location;
+  {
+    MutexLock lock(&mu_);
+    auto dbit = dbs_.find(ToLower(db));
+    if (dbit == dbs_.end()) return Status::NotFound("database " + db);
+    auto it = dbit->second.find(ToLower(name));
+    if (it == dbit->second.end())
+      return Status::NotFound("table " + db + "." + name);
+    location = it->second.location;
+  }
+  if (delete_data && !location.empty()) {
+    // Delete data with the catalog unlocked (the filesystem can stall), but
+    // *before* dropping metadata: if the delete fails the table stays
+    // registered and the drop can be retried, instead of silently leaking
+    // the directory with no catalog entry pointing at it.
+    Status del = fs_->DeleteRecursive(location);
+    if (!del.ok() && !del.IsNotFound()) return del;
+  }
   MutexLock lock(&mu_);
   auto dbit = dbs_.find(ToLower(db));
   if (dbit == dbs_.end()) return Status::NotFound("database " + db);
   auto it = dbit->second.find(ToLower(name));
-  if (it == dbit->second.end()) return Status::NotFound("table " + db + "." + name);
-  if (delete_data && !it->second.location.empty()) {
-    // Delete data *before* dropping metadata: if the delete fails the table
-    // stays registered and the drop can be retried, instead of silently
-    // leaking the directory with no catalog entry pointing at it.
-    Status del = fs_->DeleteRecursive(it->second.location);
-    if (!del.ok() && !del.IsNotFound()) return del;
-  }
+  if (it == dbit->second.end())
+    return Status::NotFound("table " + db + "." + name);
   partitions_.erase(it->second.FullName());
   dbit->second.erase(it);
   BumpVersion();
@@ -129,23 +153,39 @@ std::string Catalog::PartitionDirName(const std::vector<Field>& partition_cols,
 
 Status Catalog::AddPartition(const std::string& db, const std::string& table,
                              const std::vector<Value>& values) {
+  std::string dir;
+  std::string full_name;
+  PartitionInfo info;
+  {
+    MutexLock lock(&mu_);
+    auto dbit = dbs_.find(ToLower(db));
+    if (dbit == dbs_.end()) return Status::NotFound("database " + db);
+    auto it = dbit->second.find(ToLower(table));
+    if (it == dbit->second.end())
+      return Status::NotFound("table " + db + "." + table);
+    const TableDesc& desc = it->second;
+    if (values.size() != desc.partition_cols.size())
+      return Status::InvalidArgument("partition arity mismatch for " +
+                                     desc.FullName());
+    dir = PartitionDirName(desc.partition_cols, values);
+    full_name = desc.FullName();
+    if (partitions_[full_name].count(dir)) return Status::OK();  // idempotent
+    info.values = values;
+    info.location = JoinPath(desc.location, dir);
+  }
+  // Directory creation happens unlocked; MakeDirs is idempotent so a raced
+  // duplicate ADD PARTITION collapses onto the same entry below.
+  HIVE_RETURN_IF_ERROR(fs_->MakeDirs(info.location));
   MutexLock lock(&mu_);
   auto dbit = dbs_.find(ToLower(db));
   if (dbit == dbs_.end()) return Status::NotFound("database " + db);
-  auto it = dbit->second.find(ToLower(table));
-  if (it == dbit->second.end()) return Status::NotFound("table " + db + "." + table);
-  const TableDesc& desc = it->second;
-  if (values.size() != desc.partition_cols.size())
-    return Status::InvalidArgument("partition arity mismatch for " + desc.FullName());
-  std::string dir = PartitionDirName(desc.partition_cols, values);
-  auto& parts = partitions_[desc.FullName()];
-  if (parts.count(dir)) return Status::OK();  // idempotent
-  PartitionInfo info;
-  info.values = values;
-  info.location = JoinPath(desc.location, dir);
-  HIVE_RETURN_IF_ERROR(fs_->MakeDirs(info.location));
-  parts.emplace(dir, std::move(info));
-  BumpVersion();
+  if (!dbit->second.count(ToLower(table)))
+    return Status::NotFound("table " + db + "." + table);
+  auto& parts = partitions_[full_name];
+  if (!parts.count(dir)) {
+    parts.emplace(dir, std::move(info));
+    BumpVersion();
+  }
   return Status::OK();
 }
 
@@ -165,21 +205,33 @@ Result<std::vector<PartitionInfo>> Catalog::GetPartitions(
 
 Status Catalog::DropPartition(const std::string& db, const std::string& table,
                               const std::vector<Value>& values, bool delete_data) {
-  MutexLock lock(&mu_);
-  auto dbit = dbs_.find(ToLower(db));
-  if (dbit == dbs_.end()) return Status::NotFound("database " + db);
-  auto it = dbit->second.find(ToLower(table));
-  if (it == dbit->second.end()) return Status::NotFound("table " + db + "." + table);
-  std::string dir = PartitionDirName(it->second.partition_cols, values);
-  auto pit = partitions_.find(it->second.FullName());
-  if (pit == partitions_.end() || !pit->second.count(dir))
-    return Status::NotFound("partition " + dir);
+  std::string dir;
+  std::string full_name;
+  std::string location;
+  {
+    MutexLock lock(&mu_);
+    auto dbit = dbs_.find(ToLower(db));
+    if (dbit == dbs_.end()) return Status::NotFound("database " + db);
+    auto it = dbit->second.find(ToLower(table));
+    if (it == dbit->second.end())
+      return Status::NotFound("table " + db + "." + table);
+    dir = PartitionDirName(it->second.partition_cols, values);
+    full_name = it->second.FullName();
+    auto pit = partitions_.find(full_name);
+    if (pit == partitions_.end() || !pit->second.count(dir))
+      return Status::NotFound("partition " + dir);
+    location = pit->second[dir].location;
+  }
   if (delete_data) {
-    // Same ordering as DropTable: a failed data delete aborts the drop so
-    // the partition never becomes an orphaned directory.
-    Status del = fs_->DeleteRecursive(pit->second[dir].location);
+    // Same ordering as DropTable: delete unlocked, and a failed data delete
+    // aborts the drop so the partition never becomes an orphaned directory.
+    Status del = fs_->DeleteRecursive(location);
     if (!del.ok() && !del.IsNotFound()) return del;
   }
+  MutexLock lock(&mu_);
+  auto pit = partitions_.find(full_name);
+  if (pit == partitions_.end() || !pit->second.count(dir))
+    return Status::NotFound("partition " + dir);
   pit->second.erase(dir);
   BumpVersion();
   return Status::OK();

@@ -16,6 +16,8 @@
 
 namespace hive {
 
+struct SelectStmt;  // common/ast.h; held only by pointer here
+
 /// Per-column statistics stored in the metastore (Section 4.1). Designed to
 /// merge additively: inserts and per-partition stats combine without a
 /// recomputation pass. NDV uses a HyperLogLog sketch, which merges without
@@ -81,6 +83,11 @@ struct TableDesc {
   bool is_materialized_view = false;
   /// SQL text of the view definition.
   std::string view_sql;
+  /// Parsed view definition, set by whoever registers the view (the DDL
+  /// layer owns parsing). The optimizer's rewrite pass consumes this AST
+  /// directly, so it never needs the SQL front-end — keeping the layering
+  /// optimizer -> metastore -> common acyclic.
+  std::shared_ptr<const SelectStmt> view_ast;
   /// Snapshot of each source table's write-id high watermark at the last
   /// (re)build; drives staleness checks and incremental maintenance.
   std::map<std::string, int64_t> mv_source_snapshot;

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metric_names.h"
+
 namespace hive {
 namespace obs {
 
@@ -97,22 +99,9 @@ class QueryProfile {
   std::vector<OperatorProfileNodePtr> roots_;
 };
 
-/// Well-known per-query counter names (kept in one place so the server,
-/// the deprecated QueryResult accessors and tests agree).
-namespace qc {
-inline constexpr char kWallUs[] = "time.wall_us";
-inline constexpr char kVirtualUs[] = "time.virtual_us";
-inline constexpr char kRowsReturned[] = "exec.rows_returned";
-inline constexpr char kFromResultCache[] = "cache.result.hit";
-inline constexpr char kReexecutions[] = "query.reexecutions";
-inline constexpr char kMvRewrites[] = "query.mv_rewrites";
-inline constexpr char kTaskAttempts[] = "task.attempts";
-inline constexpr char kTaskRetries[] = "task.retries";
-inline constexpr char kSpeculativeTasks[] = "task.speculative";
-inline constexpr char kSpeculativeWins[] = "task.speculative_wins";
-inline constexpr char kLlapCacheHits[] = "llap.cache.hits";
-inline constexpr char kLlapCacheMisses[] = "llap.cache.misses";
-}  // namespace qc
+// The well-known per-query counter names live in obs/metric_names.h with
+// every other metric name; qc is an alias of that registry (kept for the
+// server, the deprecated QueryResult accessors and tests).
 
 }  // namespace obs
 }  // namespace hive

@@ -10,7 +10,7 @@
 #include "metastore/catalog.h"
 #include "optimizer/normalize.h"
 #include "optimizer/rel.h"
-#include "sql/ast.h"
+#include "common/ast.h"
 
 namespace hive {
 

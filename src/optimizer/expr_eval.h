@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "sql/ast.h"
+#include "common/ast.h"
 
 namespace hive {
 

@@ -4,9 +4,9 @@
 #include <map>
 #include <set>
 
+#include "common/ast.h"
 #include "optimizer/binder.h"
 #include "optimizer/rules.h"
-#include "sql/parser.h"
 
 namespace hive {
 
@@ -295,12 +295,12 @@ Result<RelNodePtr> RewriteWithMaterializedViews(
   std::vector<MvInfo> infos;
   for (TableDesc& view : views) {
     if (usable && !usable(view)) continue;
-    auto parsed = Parser::Parse(view.view_sql);
-    if (!parsed.ok()) continue;
-    auto* select = dynamic_cast<SelectStatement*>(parsed->get());
-    if (!select) continue;
+    // The registrar (DDL layer / workload loader) stores the parsed
+    // definition alongside the SQL text; a view without an AST predates the
+    // field and simply never rewrites.
+    if (!view.view_ast) continue;
     Binder binder(catalog, config, view.db);
-    auto bound = binder.BindSelect(select->select);
+    auto bound = binder.BindSelect(*view.view_ast);
     if (!bound.ok()) continue;
     RelNodePtr view_plan = FoldConstants(*bound);
     view_plan = PushDownFilters(view_plan);

@@ -20,7 +20,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
-#include "sql/ast.h"
+#include "common/ast.h"
 
 namespace hive {
 

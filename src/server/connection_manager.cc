@@ -6,6 +6,7 @@
 #include "server/hive_server.h"
 #include "server/result_cache.h"
 #include "server/workload_manager.h"
+#include "obs/metric_names.h"
 
 namespace hive {
 
@@ -161,9 +162,9 @@ ConnectionManager::ConnectionManager(HiveServer2* server, Catalog* catalog,
       fs_(fs),
       wm_(wm),
       metrics_(metrics) {
-  opened_counter_ = metrics_->counter("server.sessions.opened");
-  closed_counter_ = metrics_->counter("server.sessions.closed");
-  metrics_->RegisterCallback("server.sessions.active",
+  opened_counter_ = metrics_->counter(obs::metric::kSessionsOpened);
+  closed_counter_ = metrics_->counter(obs::metric::kSessionsClosed);
+  metrics_->RegisterCallback(obs::metric::kSessionsActive,
                              [this] { return active(); });
 }
 

@@ -686,6 +686,7 @@ Result<QueryResult> DmlDriver::CreateMaterializedView(
   desc.schema = rows.schema;
   desc.is_materialized_view = true;
   desc.view_sql = stmt.query->ToString();
+  desc.view_ast = stmt.query;
   desc.properties = stmt.properties;
   auto window = stmt.properties.find("rewriting.time.window");
   if (window != stmt.properties.end())
@@ -700,6 +701,7 @@ Result<QueryResult> DmlDriver::CreateMaterializedView(
   HIVE_ASSIGN_OR_RETURN(TableDesc created, server_->catalog_.GetTable(db, stmt.name));
   created.is_materialized_view = true;
   created.view_sql = desc.view_sql;
+  created.view_ast = desc.view_ast;
   created.mv_source_snapshot = desc.mv_source_snapshot;
   created.mv_source_upd_counts = desc.mv_source_upd_counts;
   created.mv_staleness_window_us = desc.mv_staleness_window_us;

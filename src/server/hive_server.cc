@@ -5,6 +5,7 @@
 #include "exec/task_retry.h"
 #include "federation/materialized_operator.h"
 #include "server/dml.h"
+#include "obs/metric_names.h"
 
 namespace hive {
 
@@ -35,67 +36,67 @@ void HiveServer2::RegisterEngineMetrics() {
   // polls them only when a snapshot is taken, so these add zero hot-path
   // cost. Names follow the <subsystem>.<object>.<event> scheme.
   LlapCacheProvider* cache = llap_->cache();
-  metrics_.RegisterCallback("llap.cache.hits",
+  metrics_.RegisterCallback(obs::metric::kLlapCacheHits,
                             [cache] { return static_cast<int64_t>(cache->data_hits()); });
-  metrics_.RegisterCallback("llap.cache.misses",
+  metrics_.RegisterCallback(obs::metric::kLlapCacheMisses,
                             [cache] { return static_cast<int64_t>(cache->data_misses()); });
-  metrics_.RegisterCallback("llap.cache.evictions",
+  metrics_.RegisterCallback(obs::metric::kLlapCacheEvictions,
                             [cache] { return static_cast<int64_t>(cache->data_evictions()); });
-  metrics_.RegisterCallback("llap.cache.used_bytes",
+  metrics_.RegisterCallback(obs::metric::kLlapCacheUsedBytes,
                             [cache] { return static_cast<int64_t>(cache->used_bytes()); });
-  metrics_.RegisterCallback("llap.cache.chunks",
+  metrics_.RegisterCallback(obs::metric::kLlapCacheChunks,
                             [cache] { return static_cast<int64_t>(cache->cached_chunks()); });
-  metrics_.RegisterCallback("llap.cache.decodes",
+  metrics_.RegisterCallback(obs::metric::kLlapCacheDecodes,
                             [cache] { return static_cast<int64_t>(cache->data_decodes()); });
-  metrics_.RegisterCallback("llap.cache.singleflight_waits", [cache] {
+  metrics_.RegisterCallback(obs::metric::kLlapCacheSingleflightWaits, [cache] {
     return static_cast<int64_t>(cache->singleflight_waits());
   });
-  metrics_.RegisterCallback("llap.cache.metadata_hits", [cache] {
+  metrics_.RegisterCallback(obs::metric::kLlapCacheMetadataHits, [cache] {
     return static_cast<int64_t>(cache->metadata_hits());
   });
-  metrics_.RegisterCallback("llap.cache.poison_detected", [cache] {
+  metrics_.RegisterCallback(obs::metric::kLlapCachePoisonDetected, [cache] {
     return static_cast<int64_t>(cache->poison_detected());
   });
-  metrics_.RegisterCallback("llap.cache.degraded_reads", [cache] {
+  metrics_.RegisterCallback(obs::metric::kLlapCacheDegradedReads, [cache] {
     return static_cast<int64_t>(cache->degraded_reads());
   });
-  metrics_.RegisterCallback("llap.cache.degraded_files", [cache] {
+  metrics_.RegisterCallback(obs::metric::kLlapCacheDegradedFiles, [cache] {
     return static_cast<int64_t>(cache->degraded_files());
   });
   LlapDaemon* llap = llap_.get();
-  metrics_.RegisterCallback("llap.fragments.submitted",
+  metrics_.RegisterCallback(obs::metric::kLlapFragmentsSubmitted,
                             [llap] { return llap->fragments_submitted(); });
-  metrics_.RegisterCallback("llap.fragments.completed",
+  metrics_.RegisterCallback(obs::metric::kLlapFragmentsCompleted,
                             [llap] { return llap->fragments_completed(); });
-  metrics_.RegisterCallback("llap.io.prefetches",
+  metrics_.RegisterCallback(obs::metric::kLlapIoPrefetches,
                             [llap] { return llap->prefetches_issued(); });
   QueryResultCache* results = &result_cache_;
-  metrics_.RegisterCallback("cache.result.hits", [results] { return results->hits(); });
-  metrics_.RegisterCallback("cache.result.misses",
+  metrics_.RegisterCallback(obs::metric::kResultCacheHits, [results] { return results->hits(); });
+  metrics_.RegisterCallback(obs::metric::kResultCacheMisses,
                             [results] { return results->misses(); });
-  metrics_.RegisterCallback("cache.result.entries", [results] {
+  metrics_.RegisterCallback(obs::metric::kResultCacheEntries, [results] {
     return static_cast<int64_t>(results->size());
   });
   TransactionManager* txns = &txns_;
-  metrics_.RegisterCallback("txn.aborted", [txns] {
+  metrics_.RegisterCallback(obs::metric::kTxnAborted, [txns] {
     return static_cast<int64_t>(txns->NumAborted());
   });
   CompactionManager* compaction = &compaction_;
-  metrics_.RegisterCallback("compaction.runs",
+  metrics_.RegisterCallback(obs::metric::kCompactionRuns,
                             [compaction] { return compaction->compactions_run(); });
-  metrics_.RegisterCallback("compaction.pending_cleans", [compaction] {
+  metrics_.RegisterCallback(obs::metric::kCompactionPendingCleans, [compaction] {
     return static_cast<int64_t>(compaction->pending_cleans());
   });
   SimClock* clock = &clock_;
-  metrics_.RegisterCallback("time.virtual_us", [clock] { return clock->virtual_us(); });
+  metrics_.RegisterCallback(obs::metric::kVirtualUs, [clock] { return clock->virtual_us(); });
   PlanCache* plans = &plan_cache_;
-  metrics_.RegisterCallback("server.plan_cache.hits",
+  metrics_.RegisterCallback(obs::metric::kPlanCacheHits,
                             [plans] { return plans->hits(); });
-  metrics_.RegisterCallback("server.plan_cache.misses",
+  metrics_.RegisterCallback(obs::metric::kPlanCacheMisses,
                             [plans] { return plans->misses(); });
-  metrics_.RegisterCallback("server.plan_cache.invalidations",
+  metrics_.RegisterCallback(obs::metric::kPlanCacheInvalidations,
                             [plans] { return plans->invalidations(); });
-  metrics_.RegisterCallback("server.plan_cache.entries", [plans] {
+  metrics_.RegisterCallback(obs::metric::kPlanCacheEntries, [plans] {
     return static_cast<int64_t>(plans->size());
   });
 }
@@ -156,7 +157,7 @@ std::string HiveServer2::ResultCacheKey(Session* session,
 }
 
 Result<QueryResult> HiveServer2::Dispatch(Session* session, const StatementPtr& stmt) {
-  metrics_.counter("server.statements")->Inc();
+  metrics_.counter(obs::metric::kServerStatements)->Inc();
   DmlDriver dml(this, session);
   switch (stmt->kind()) {
     case StatementKind::kSelect: {
@@ -484,7 +485,7 @@ Result<QueryResult> HiveServer2::ExecuteSelect(Session* session, const SelectStm
                                                bool bypass_cache,
                                                bool use_plan_cache) {
   Config config = EffectiveConfig(session);
-  metrics_.counter("server.queries")->Inc();
+  metrics_.counter(obs::metric::kServerQueries)->Inc();
 
   // Result cache probe (Section 4.3). The binder reports determinism and
   // the referenced tables; both gate caching.
@@ -524,7 +525,7 @@ Result<QueryResult> HiveServer2::ExecuteSelect(Session* session, const SelectStm
     if (!result.status().IsExecError()) break;
   }
   if (!result.ok()) {
-    metrics_.counter("server.query_errors")->Inc();
+    metrics_.counter(obs::metric::kServerQueryErrors)->Inc();
     if (filling) result_cache_.AbandonFill(cache_key);
     return result;
   }
@@ -542,7 +543,7 @@ Result<QueryResult> HiveServer2::ExecuteSelect(Session* session, const SelectStm
     metrics_.counter(qc::kReexecutions)->Add(profile.counter(qc::kReexecutions));
   if (profile.counter(qc::kMvRewrites))
     metrics_.counter(qc::kMvRewrites)->Add(profile.counter(qc::kMvRewrites));
-  metrics_.histogram("server.query.wall_us")->Record(profile.counter(qc::kWallUs));
+  metrics_.histogram(obs::metric::kServerQueryWallUs)->Record(profile.counter(qc::kWallUs));
 
   if (filling) {
     // Non-deterministic queries must not populate the cache.

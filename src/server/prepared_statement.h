@@ -10,7 +10,7 @@
 #include "common/config.h"
 #include "common/sync.h"
 #include "optimizer/rel.h"
-#include "sql/ast.h"
+#include "common/ast.h"
 
 namespace hive {
 

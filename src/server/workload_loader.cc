@@ -1,0 +1,148 @@
+#include "server/workload_loader.h"
+
+#include "sql/parser.h"
+
+namespace hive {
+
+namespace {
+
+Status WriteTable(HiveServer2* server, const std::string& table,
+                  const std::vector<std::vector<Value>>& rows) {
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server->catalog()->GetTable("default", table));
+  int64_t txn = server->txns()->OpenTxn();
+  HIVE_ASSIGN_OR_RETURN(int64_t write_id,
+                        server->txns()->AllocateWriteId(txn, desc.FullName()));
+  size_t data_width = desc.schema.num_fields();
+  std::map<std::string, std::unique_ptr<AcidWriter>> writers;
+  std::map<std::string, std::vector<Value>> new_partitions;
+  for (const auto& row : rows) {
+    std::string location = desc.location;
+    if (desc.IsPartitioned()) {
+      std::vector<Value> part(row.begin() + data_width, row.end());
+      std::string dir = Catalog::PartitionDirName(desc.partition_cols, part);
+      location = JoinPath(desc.location, dir);
+      new_partitions.emplace(dir, part);
+    }
+    auto& writer = writers[location];
+    if (!writer)
+      writer = std::make_unique<AcidWriter>(server->filesystem(), location,
+                                            desc.schema, write_id);
+    writer->Insert({row.begin(), row.begin() + data_width});
+  }
+  for (const auto& [dir, values] : new_partitions) {
+    HIVE_RETURN_IF_ERROR(server->catalog()->AddPartition("default", table, values));
+    // Per-partition row counts power partition-pruning estimates.
+    TableStatistics pstats;
+    for (const auto& row : rows) {
+      bool match = true;
+      for (size_t p = 0; p < values.size(); ++p)
+        if (Value::Compare(row[data_width + p], values[p]) != 0) match = false;
+      if (match) ++pstats.row_count;
+    }
+    HIVE_RETURN_IF_ERROR(
+        server->catalog()->MergeStats("default", table, pstats, values));
+  }
+  for (auto& [location, writer] : writers) HIVE_RETURN_IF_ERROR(writer->Commit());
+  HIVE_RETURN_IF_ERROR(server->txns()->CommitTxn(txn));
+
+  // Table-level statistics (additive).
+  TableStatistics stats;
+  stats.row_count = static_cast<int64_t>(rows.size());
+  Schema full = desc.FullSchema();
+  for (size_t c = 0; c < full.num_fields(); ++c) {
+    ColumnStatistics col;
+    for (const auto& row : rows) {
+      ++col.num_values;
+      if (row[c].is_null()) {
+        ++col.num_nulls;
+        continue;
+      }
+      if (col.min.is_null() || Value::Compare(row[c], col.min) < 0) col.min = row[c];
+      if (col.max.is_null() || Value::Compare(row[c], col.max) > 0) col.max = row[c];
+      col.ndv.Add(row[c]);
+    }
+    stats.columns[ToLower(full.field(c).name)] = std::move(col);
+  }
+  return server->catalog()->MergeStats("default", table, stats);
+}
+
+}  // namespace
+
+Status LoadTpcds(Connection& conn, const TpcdsOptions& options) {
+  HiveServer2* server = conn.server();
+  HIVE_RETURN_IF_ERROR(conn.ExecuteScript(TpcdsDdl()).status());
+  for (const GeneratedTable& table : GenerateTpcds(options))
+    HIVE_RETURN_IF_ERROR(WriteTable(server, table.name, table.rows));
+  return Status::OK();
+}
+
+Status LoadSsb(Connection& conn, const SsbOptions& options) {
+  HiveServer2* server = conn.server();
+  HIVE_RETURN_IF_ERROR(conn.ExecuteScript(SsbDdl()).status());
+  for (const std::string& insert : SsbDimensionInserts())
+    HIVE_RETURN_IF_ERROR(conn.Execute(insert).status());
+
+  // lineorder: write through the fast path (large).
+  std::vector<std::vector<Value>> rows = GenerateSsbLineorder(options);
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc,
+                        server->catalog()->GetTable("default", "lineorder"));
+  int64_t txn = server->txns()->OpenTxn();
+  HIVE_ASSIGN_OR_RETURN(int64_t write_id,
+                        server->txns()->AllocateWriteId(txn, desc.FullName()));
+  AcidWriter writer(server->filesystem(), desc.location, desc.schema, write_id);
+  TableStatistics stats;
+  stats.row_count = static_cast<int64_t>(rows.size());
+  for (const auto& row : rows) writer.Insert(row);
+  HIVE_RETURN_IF_ERROR(writer.Commit());
+  HIVE_RETURN_IF_ERROR(server->txns()->CommitTxn(txn));
+  HIVE_RETURN_IF_ERROR(server->catalog()->MergeStats("default", "lineorder", stats));
+  return Status::OK();
+}
+
+Result<std::string> LoadSsbIntoDroid(Connection& conn) {
+  HiveServer2* server = conn.server();
+  // Evaluate the denormalized view once and ingest it into droid, then
+  // register the external table as a materialized view over the same
+  // definition (the paper's "materializations can be stored in other
+  // supported systems").
+  const std::string table = "ssb_denorm_droid";
+  HIVE_ASSIGN_OR_RETURN(
+      QueryResult rows,
+      conn.Execute(SsbDenormalizedMvSql()));
+
+  std::string ddl = "CREATE EXTERNAL TABLE " + table + " (";
+  for (size_t c = 0; c < rows.schema.num_fields(); ++c) {
+    if (c) ddl += ", ";
+    ddl += rows.schema.field(c).name + " " + rows.schema.field(c).type.ToString();
+  }
+  ddl += ") STORED BY 'droid' TBLPROPERTIES ('droid.datasource' = '" + table + "')";
+  HIVE_RETURN_IF_ERROR(conn.Execute(ddl).status());
+
+  // Ingest through the handler's output format.
+  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server->catalog()->GetTable("default", table));
+  RowBatch batch(desc.schema);
+  for (const auto& row : rows.rows)
+    for (size_t c = 0; c < batch.num_columns(); ++c)
+      batch.column(c)->AppendValue(c < row.size() ? row[c] : Value::Null());
+  batch.set_num_rows(rows.rows.size());
+  HIVE_RETURN_IF_ERROR(server->droid()->Ingest(table, batch));
+
+  // Register as a materialized view with the current source snapshot.
+  Config config = server->default_config();
+  Binder binder(server->catalog(), &config, "default");
+  HIVE_ASSIGN_OR_RETURN(StatementPtr parsed, Parser::Parse(SsbDenormalizedMvSql()));
+  auto* select = dynamic_cast<SelectStatement*>(parsed.get());
+  HIVE_RETURN_IF_ERROR(binder.BindSelect(select->select).status());
+  desc.is_materialized_view = true;
+  desc.view_sql = select->select.ToString();
+  // Aliasing shared_ptr: shares ownership of the statement, points at the
+  // embedded SelectStmt the optimizer's rewrite pass binds.
+  desc.view_ast = std::shared_ptr<const SelectStmt>(parsed, &select->select);
+  for (const std::string& source : binder.referenced_tables())
+    desc.mv_source_snapshot[source] =
+        server->txns()->TableWriteIdHighWatermark(source);
+  HIVE_RETURN_IF_ERROR(server->catalog()->UpdateTable(desc));
+  return table;
+}
+
+}  // namespace hive

@@ -1,0 +1,33 @@
+#ifndef HIVE_SERVER_WORKLOAD_LOADER_H_
+#define HIVE_SERVER_WORKLOAD_LOADER_H_
+
+#include <string>
+
+#include "server/hive_server.h"
+#include "workloads/ssb.h"
+#include "workloads/tpcds.h"
+
+namespace hive {
+
+/// Loads the workload definitions from workloads/ into a live server:
+/// executes the DDL, writes the generated rows through the ACID path, and
+/// merges table statistics. This is the server-layer half of the workloads;
+/// workloads/ itself is pure data (schemas, rows, query text) and must not
+/// depend on the engine.
+
+/// Creates the TPC-DS-subset schema and loads generated data through the
+/// ACID write path.
+Status LoadTpcds(Connection& conn, const TpcdsOptions& options);
+
+/// Creates and loads the SSB schema.
+Status LoadSsb(Connection& conn, const SsbOptions& options);
+
+/// Sets up the droid-backed variant: creates an external droid table and
+/// ingests the denormalized rows (with lo_orderdate mapped to __time), then
+/// registers a materialized view ON that table by swapping the MV storage.
+/// Returns the droid table name.
+Result<std::string> LoadSsbIntoDroid(Connection& conn);
+
+}  // namespace hive
+
+#endif  // HIVE_SERVER_WORKLOAD_LOADER_H_

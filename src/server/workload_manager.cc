@@ -4,17 +4,18 @@
 
 #include "common/sim_clock.h"
 #include "obs/metrics.h"
+#include "obs/metric_names.h"
 
 namespace hive {
 
 void WorkloadManager::RegisterMetrics(obs::MetricsRegistry* registry) {
-  queued_counter_ = registry->counter("wlm.queue.queued");
-  admitted_counter_ = registry->counter("wlm.queue.admitted");
-  timeout_counter_ = registry->counter("wlm.queue.timeouts");
-  rejected_counter_ = registry->counter("wlm.queue.rejected");
-  wait_histogram_ = registry->histogram("wlm.queue.wait_us");
+  queued_counter_ = registry->counter(obs::metric::kWlmQueued);
+  admitted_counter_ = registry->counter(obs::metric::kWlmAdmitted);
+  timeout_counter_ = registry->counter(obs::metric::kWlmTimeouts);
+  rejected_counter_ = registry->counter(obs::metric::kWlmRejected);
+  wait_histogram_ = registry->histogram(obs::metric::kWlmWaitUs);
   registry->RegisterCallback(
-      "wlm.queue.depth",
+      obs::metric::kWlmQueueDepth,
       [this] { return queue_depth_.load(std::memory_order_relaxed); });
 }
 

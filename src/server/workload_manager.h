@@ -11,7 +11,7 @@
 #include "common/cancel.h"
 #include "common/sync.h"
 #include "common/status.h"
-#include "sql/ast.h"
+#include "common/ast.h"
 
 namespace hive {
 

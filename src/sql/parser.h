@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "sql/ast.h"
+#include "common/ast.h"
 #include "sql/lexer.h"
 
 namespace hive {

@@ -10,11 +10,20 @@ const char* kRegions[] = {"AMERICA", "ASIA", "EUROPE", "AFRICA", "MIDDLE EAST"};
 const char* kNations[] = {"UNITED STATES", "CHINA", "FRANCE", "BRAZIL", "INDIA",
                           "GERMANY", "JAPAN", "CANADA", "RUSSIA", "EGYPT"};
 
+// Dimension cardinalities; lineorder FKs draw from the same ranges.
+constexpr int kCustomers = 200, kSuppliers = 40, kParts = 120;
+
+std::string ValuesInsert(const std::string& table,
+                         const std::vector<std::string>& rows) {
+  std::string sql = "INSERT INTO " + table + " VALUES ";
+  for (size_t i = 0; i < rows.size(); ++i) sql += (i ? ", " : "") + rows[i];
+  return sql;
+}
+
 }  // namespace
 
-Status LoadSsb(Connection& conn, const SsbOptions& options) {
-  HiveServer2* server = conn.server();
-  const char* ddl = R"sql(
+std::string SsbDdl() {
+  return R"sql(
 CREATE TABLE dates (
   d_datekey INT, d_year INT, d_yearmonthnum INT, d_weeknuminyear INT,
   PRIMARY KEY (d_datekey));
@@ -33,77 +42,63 @@ CREATE TABLE lineorder (
   lo_discount INT, lo_revenue INT, lo_supplycost INT,
   FOREIGN KEY (lo_orderdate) REFERENCES dates (d_datekey));
 )sql";
-  HIVE_RETURN_IF_ERROR(conn.ExecuteScript(ddl).status());
+}
 
-  Rng rng(0x55b);
-  std::string insert;
+std::vector<std::string> SsbDimensionInserts() {
+  std::vector<std::string> inserts;
 
   // dates: 7 years x 12 months, datekey = yyyymm.
-  std::vector<std::string> date_rows;
+  std::vector<std::string> rows;
   for (int year = 1992; year <= 1998; ++year)
     for (int month = 1; month <= 12; ++month) {
       int key = year * 100 + month;
-      date_rows.push_back("(" + std::to_string(key) + ", " + std::to_string(year) +
-                          ", " + std::to_string(key) + ", " +
-                          std::to_string((month - 1) * 4 + 1) + ")");
+      rows.push_back("(" + std::to_string(key) + ", " + std::to_string(year) +
+                     ", " + std::to_string(key) + ", " +
+                     std::to_string((month - 1) * 4 + 1) + ")");
     }
-  insert = "INSERT INTO dates VALUES ";
-  for (size_t i = 0; i < date_rows.size(); ++i)
-    insert += (i ? ", " : "") + date_rows[i];
-  HIVE_RETURN_IF_ERROR(conn.Execute(insert).status());
+  inserts.push_back(ValuesInsert("dates", rows));
 
-  auto bulk_insert = [&](const std::string& table,
-                         const std::vector<std::string>& rows) -> Status {
-    std::string sql = "INSERT INTO " + table + " VALUES ";
-    for (size_t i = 0; i < rows.size(); ++i) sql += (i ? ", " : "") + rows[i];
-    return conn.Execute(sql).status();
-  };
-
-  std::vector<std::string> rows;
-  const int customers = 200, suppliers = 40, parts = 120;
-  for (int c = 0; c < customers; ++c)
+  rows.clear();
+  for (int c = 0; c < kCustomers; ++c)
     rows.push_back("(" + std::to_string(c) + ", 'City" + std::to_string(c % 25) +
                    "', '" + kNations[c % 10] + "', '" + kRegions[c % 5] + "')");
-  HIVE_RETURN_IF_ERROR(bulk_insert("customer_d", rows));
+  inserts.push_back(ValuesInsert("customer_d", rows));
+
   rows.clear();
-  for (int s = 0; s < suppliers; ++s)
+  for (int s = 0; s < kSuppliers; ++s)
     rows.push_back("(" + std::to_string(s) + ", 'City" + std::to_string(s % 25) +
                    "', '" + kNations[s % 10] + "', '" + kRegions[s % 5] + "')");
-  HIVE_RETURN_IF_ERROR(bulk_insert("supplier", rows));
+  inserts.push_back(ValuesInsert("supplier", rows));
+
   rows.clear();
-  for (int p = 0; p < parts; ++p)
+  for (int p = 0; p < kParts; ++p)
     rows.push_back("(" + std::to_string(p) + ", 'MFGR#" + std::to_string(p % 5 + 1) +
                    "', 'MFGR#" + std::to_string(p % 5 + 1) + std::to_string(p % 5 + 1) +
                    "', 'MFGR#" + std::to_string(p % 5 + 1) + std::to_string(p % 5 + 1) +
                    std::to_string(p % 40 + 10) + "')");
-  HIVE_RETURN_IF_ERROR(bulk_insert("part", rows));
+  inserts.push_back(ValuesInsert("part", rows));
 
-  // lineorder: write through the fast path (large).
-  HIVE_ASSIGN_OR_RETURN(TableDesc desc,
-                        server->catalog()->GetTable("default", "lineorder"));
-  int64_t txn = server->txns()->OpenTxn();
-  HIVE_ASSIGN_OR_RETURN(int64_t write_id,
-                        server->txns()->AllocateWriteId(txn, desc.FullName()));
-  AcidWriter writer(server->filesystem(), desc.location, desc.schema, write_id);
+  return inserts;
+}
+
+std::vector<std::vector<Value>> GenerateSsbLineorder(const SsbOptions& options) {
+  Rng rng(0x55b);
   int total = 20000 * options.scale;
-  TableStatistics stats;
-  stats.row_count = total;
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(total);
   for (int i = 0; i < total; ++i) {
     int year = 1992 + static_cast<int>(rng.Uniform(7));
     int month = 1 + static_cast<int>(rng.Uniform(12));
     int64_t price = rng.Range(100, 10000);
     int64_t discount = rng.Range(0, 10);
     int64_t revenue = price * (100 - discount) / 100;
-    writer.Insert({Value::Bigint(i), Value::Bigint(rng.Uniform(customers)),
-                   Value::Bigint(rng.Uniform(parts)), Value::Bigint(rng.Uniform(suppliers)),
-                   Value::Bigint(year * 100 + month), Value::Bigint(rng.Range(1, 50)),
-                   Value::Bigint(price), Value::Bigint(discount),
-                   Value::Bigint(revenue), Value::Bigint(price * 3 / 5)});
+    rows.push_back({Value::Bigint(i), Value::Bigint(rng.Uniform(kCustomers)),
+                    Value::Bigint(rng.Uniform(kParts)), Value::Bigint(rng.Uniform(kSuppliers)),
+                    Value::Bigint(year * 100 + month), Value::Bigint(rng.Range(1, 50)),
+                    Value::Bigint(price), Value::Bigint(discount),
+                    Value::Bigint(revenue), Value::Bigint(price * 3 / 5)});
   }
-  HIVE_RETURN_IF_ERROR(writer.Commit());
-  HIVE_RETURN_IF_ERROR(server->txns()->CommitTxn(txn));
-  HIVE_RETURN_IF_ERROR(server->catalog()->MergeStats("default", "lineorder", stats));
-  return Status::OK();
+  return rows;
 }
 
 std::string SsbDenormalizedMvSql() {
@@ -119,49 +114,6 @@ std::string SsbDenormalizedMvSql() {
          "FROM lineorder, dates, customer_d, supplier, part "
          "WHERE lo_orderdate = d_datekey AND lo_custkey = c_custkey "
          "AND lo_suppkey = s_suppkey AND lo_partkey = p_partkey";
-}
-
-Result<std::string> LoadSsbIntoDroid(Connection& conn) {
-  HiveServer2* server = conn.server();
-  // Evaluate the denormalized view once and ingest it into droid, then
-  // register the external table as a materialized view over the same
-  // definition (the paper's "materializations can be stored in other
-  // supported systems").
-  const std::string table = "ssb_denorm_droid";
-  HIVE_ASSIGN_OR_RETURN(
-      QueryResult rows,
-      conn.Execute(SsbDenormalizedMvSql()));
-
-  std::string ddl = "CREATE EXTERNAL TABLE " + table + " (";
-  for (size_t c = 0; c < rows.schema.num_fields(); ++c) {
-    if (c) ddl += ", ";
-    ddl += rows.schema.field(c).name + " " + rows.schema.field(c).type.ToString();
-  }
-  ddl += ") STORED BY 'droid' TBLPROPERTIES ('droid.datasource' = '" + table + "')";
-  HIVE_RETURN_IF_ERROR(conn.Execute(ddl).status());
-
-  // Ingest through the handler's output format.
-  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server->catalog()->GetTable("default", table));
-  RowBatch batch(desc.schema);
-  for (const auto& row : rows.rows)
-    for (size_t c = 0; c < batch.num_columns(); ++c)
-      batch.column(c)->AppendValue(c < row.size() ? row[c] : Value::Null());
-  batch.set_num_rows(rows.rows.size());
-  HIVE_RETURN_IF_ERROR(server->droid()->Ingest(table, batch));
-
-  // Register as a materialized view with the current source snapshot.
-  Config config = server->default_config();
-  Binder binder(server->catalog(), &config, "default");
-  HIVE_ASSIGN_OR_RETURN(StatementPtr parsed, Parser::Parse(SsbDenormalizedMvSql()));
-  auto* select = dynamic_cast<SelectStatement*>(parsed.get());
-  HIVE_RETURN_IF_ERROR(binder.BindSelect(select->select).status());
-  desc.is_materialized_view = true;
-  desc.view_sql = select->select.ToString();
-  for (const std::string& source : binder.referenced_tables())
-    desc.mv_source_snapshot[source] =
-        server->txns()->TableWriteIdHighWatermark(source);
-  HIVE_RETURN_IF_ERROR(server->catalog()->UpdateTable(desc));
-  return table;
 }
 
 std::vector<BenchQuery> SsbQueries() {

@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "server/hive_server.h"
+#include "common/types.h"
 #include "workloads/tpcds.h"
 
 namespace hive {
@@ -13,13 +13,21 @@ namespace hive {
 /// table and four dimensions (`dates`, `customer_d`, `supplier`, `part`),
 /// with the 13 SSB queries adapted to this engine's dialect. Matches the
 /// benchmark's structure: tight dimensional filters, star joins,
-/// aggregation.
+/// aggregation. Pure workload data, like tpcds.h — the loader lives in
+/// server/workload_loader.h.
 struct SsbOptions {
   int scale = 1;  // lineorder rows = 20000 * scale
 };
 
-/// Creates and loads the SSB schema.
-Status LoadSsb(Connection& conn, const SsbOptions& options);
+/// The CREATE TABLE script for the SSB schema.
+std::string SsbDdl();
+
+/// INSERT statements populating the four dimension tables (small enough to
+/// go through the SQL path).
+std::vector<std::string> SsbDimensionInserts();
+
+/// Deterministically generated `lineorder` rows (20000 * scale).
+std::vector<std::vector<Value>> GenerateSsbLineorder(const SsbOptions& options);
 
 /// The 13 SSB queries (q1.1 .. q4.3).
 std::vector<BenchQuery> SsbQueries();
@@ -28,12 +36,6 @@ std::vector<BenchQuery> SsbQueries();
 /// experiment builds (all dimensions joined into the fact table), plus the
 /// column list shared by the native and droid-backed variants.
 std::string SsbDenormalizedMvSql();
-
-/// Sets up the droid-backed variant: creates an external droid table and
-/// ingests the denormalized rows (with lo_orderdate mapped to __time), then
-/// registers a materialized view ON that table by swapping the MV storage.
-/// Returns the droid table name.
-Result<std::string> LoadSsbIntoDroid(Connection& conn);
 
 }  // namespace hive
 

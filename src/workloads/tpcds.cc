@@ -11,71 +11,10 @@ const char* kCategories[] = {"Sports", "Books", "Home", "Electronics", "Music",
 const char* kStates[] = {"CA", "NY", "TX", "WA", "OR", "IL"};
 const char* kCountries[] = {"US", "DE", "FR", "JP", "IN", "BR"};
 
-Status WriteTable(HiveServer2* server, const std::string& table,
-                  const std::vector<std::vector<Value>>& rows) {
-  HIVE_ASSIGN_OR_RETURN(TableDesc desc, server->catalog()->GetTable("default", table));
-  int64_t txn = server->txns()->OpenTxn();
-  HIVE_ASSIGN_OR_RETURN(int64_t write_id,
-                        server->txns()->AllocateWriteId(txn, desc.FullName()));
-  size_t data_width = desc.schema.num_fields();
-  std::map<std::string, std::unique_ptr<AcidWriter>> writers;
-  std::map<std::string, std::vector<Value>> new_partitions;
-  for (const auto& row : rows) {
-    std::string location = desc.location;
-    if (desc.IsPartitioned()) {
-      std::vector<Value> part(row.begin() + data_width, row.end());
-      std::string dir = Catalog::PartitionDirName(desc.partition_cols, part);
-      location = JoinPath(desc.location, dir);
-      new_partitions.emplace(dir, part);
-    }
-    auto& writer = writers[location];
-    if (!writer)
-      writer = std::make_unique<AcidWriter>(server->filesystem(), location,
-                                            desc.schema, write_id);
-    writer->Insert({row.begin(), row.begin() + data_width});
-  }
-  for (const auto& [dir, values] : new_partitions) {
-    HIVE_RETURN_IF_ERROR(server->catalog()->AddPartition("default", table, values));
-    // Per-partition row counts power partition-pruning estimates.
-    TableStatistics pstats;
-    for (const auto& row : rows) {
-      bool match = true;
-      for (size_t p = 0; p < values.size(); ++p)
-        if (Value::Compare(row[data_width + p], values[p]) != 0) match = false;
-      if (match) ++pstats.row_count;
-    }
-    HIVE_RETURN_IF_ERROR(
-        server->catalog()->MergeStats("default", table, pstats, values));
-  }
-  for (auto& [location, writer] : writers) HIVE_RETURN_IF_ERROR(writer->Commit());
-  HIVE_RETURN_IF_ERROR(server->txns()->CommitTxn(txn));
-
-  // Table-level statistics (additive).
-  TableStatistics stats;
-  stats.row_count = static_cast<int64_t>(rows.size());
-  Schema full = desc.FullSchema();
-  for (size_t c = 0; c < full.num_fields(); ++c) {
-    ColumnStatistics col;
-    for (const auto& row : rows) {
-      ++col.num_values;
-      if (row[c].is_null()) {
-        ++col.num_nulls;
-        continue;
-      }
-      if (col.min.is_null() || Value::Compare(row[c], col.min) < 0) col.min = row[c];
-      if (col.max.is_null() || Value::Compare(row[c], col.max) > 0) col.max = row[c];
-      col.ndv.Add(row[c]);
-    }
-    stats.columns[ToLower(full.field(c).name)] = std::move(col);
-  }
-  return server->catalog()->MergeStats("default", table, stats);
-}
-
 }  // namespace
 
-Status LoadTpcds(Connection& conn, const TpcdsOptions& options) {
-  HiveServer2* server = conn.server();
-  const char* ddl = R"sql(
+std::string TpcdsDdl() {
+  return R"sql(
 CREATE TABLE date_dim (
   d_date_sk INT, d_date DATE, d_year INT, d_qoy INT, d_moy INT, d_dom INT,
   PRIMARY KEY (d_date_sk));
@@ -99,9 +38,12 @@ CREATE TABLE store_returns (
   sr_item_sk INT, sr_ticket_number INT, sr_customer_sk INT,
   sr_return_amt DECIMAL(7,2), sr_returned_date_sk INT);
 )sql";
-  HIVE_RETURN_IF_ERROR(conn.ExecuteScript(ddl).status());
+}
 
+std::vector<GeneratedTable> GenerateTpcds(const TpcdsOptions& options) {
+  std::vector<GeneratedTable> tables;
   Rng rng(0xda7a);
+
   // date_dim: `days` consecutive days starting 2018-01-01 (sk = day index).
   std::vector<std::vector<Value>> dates;
   int64_t base_days = DaysFromCivil(2018, 1, 1);
@@ -113,7 +55,7 @@ CREATE TABLE store_returns (
                      Value::Bigint(y), Value::Bigint((m - 1) / 3 + 1),
                      Value::Bigint(m), Value::Bigint(dom)});
   }
-  HIVE_RETURN_IF_ERROR(WriteTable(server, "date_dim", dates));
+  tables.push_back({"date_dim", std::move(dates)});
 
   std::vector<std::vector<Value>> items;
   for (int i = 0; i < options.items; ++i) {
@@ -121,7 +63,7 @@ CREATE TABLE store_returns (
                      Value::String("Brand#" + std::to_string(i % 25)),
                      Value::Decimal(rng.Range(100, 9999), 2)});
   }
-  HIVE_RETURN_IF_ERROR(WriteTable(server, "item", items));
+  tables.push_back({"item", std::move(items)});
 
   std::vector<std::vector<Value>> customers;
   for (int c = 0; c < options.customers; ++c) {
@@ -129,14 +71,14 @@ CREATE TABLE store_returns (
                          Value::String("Customer#" + std::to_string(c)),
                          Value::String(kCountries[c % 6])});
   }
-  HIVE_RETURN_IF_ERROR(WriteTable(server, "customer", customers));
+  tables.push_back({"customer", std::move(customers)});
 
   std::vector<std::vector<Value>> stores;
   for (int s = 0; s < options.stores; ++s) {
     stores.push_back({Value::Bigint(s), Value::String(kStates[s % 6]),
                       Value::String("City#" + std::to_string(s))});
   }
-  HIVE_RETURN_IF_ERROR(WriteTable(server, "store", stores));
+  tables.push_back({"store", std::move(stores)});
 
   // Fact tables. Selectivity skews mirror TPC-DS: item/customer zipf-ish.
   std::vector<std::vector<Value>> sales;
@@ -164,9 +106,9 @@ CREATE TABLE store_returns (
       }
     }
   }
-  HIVE_RETURN_IF_ERROR(WriteTable(server, "store_sales", sales));
-  HIVE_RETURN_IF_ERROR(WriteTable(server, "store_returns", returns));
-  return Status::OK();
+  tables.push_back({"store_sales", std::move(sales)});
+  tables.push_back({"store_returns", std::move(returns)});
+  return tables;
 }
 
 std::string TpcdsQ88Style() {

@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "server/hive_server.h"
+#include "common/types.h"
 
 namespace hive {
 
@@ -15,6 +15,11 @@ namespace hive {
 /// PK/FK constraints. Data is generated deterministically; `scale` is a
 /// row multiplier (scale 1 ~ 30k fact rows), preserving the paper's
 /// selectivity structure rather than its absolute volume.
+///
+/// This module holds pure workload *data* — schemas, generated rows, query
+/// text. Loading it into a server (DDL execution, ACID writes, stats) lives
+/// in server/workload_loader.h; benchmarks and tests are defined entirely
+/// by what is below, independent of any engine.
 struct TpcdsOptions {
   int scale = 1;
   int days = 12;            // distinct sold_date partitions
@@ -23,8 +28,19 @@ struct TpcdsOptions {
   int stores = 10;
 };
 
-/// Creates the schema and loads generated data through the ACID write path.
-Status LoadTpcds(Connection& conn, const TpcdsOptions& options);
+/// The CREATE TABLE script for the TPC-DS subset.
+std::string TpcdsDdl();
+
+/// One table's worth of deterministically generated rows. Partitioned
+/// tables carry partition-column values after the data columns.
+struct GeneratedTable {
+  std::string name;
+  std::vector<std::vector<Value>> rows;
+};
+
+/// Generates all six tables, dimensions before facts (load order matters:
+/// FK targets must exist first).
+std::vector<GeneratedTable> GenerateTpcds(const TpcdsOptions& options);
 
 /// One benchmark query.
 struct BenchQuery {

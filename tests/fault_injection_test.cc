@@ -9,7 +9,7 @@
 #include "fs/mem_filesystem.h"
 #include "llap/daemon.h"
 #include "server/hive_server.h"
-#include "workloads/tpcds.h"
+#include "server/workload_loader.h"
 
 namespace hive {
 namespace {

@@ -1,0 +1,17 @@
+// hivelint-fixture-path: src/metastore/allow_blocking.cc
+// Suppression: `// lint: allow-blocking(<reason>)` on the offending line or
+// the line above silences lock-blocking for that one site. The reason is
+// mandatory by convention — it is what the reviewer signed off on.
+
+#include "fs/filesystem.h"
+
+namespace hive {
+
+Status ReviewedBlocking(FileSystem* fs, Mutex* mu) {
+  MutexLock lock(mu);
+  // lint: allow-blocking(in-memory fs on this path; bounded critical section)
+  HIVE_RETURN_IF_ERROR(fs->MakeDirs("/warehouse/a"));
+  return fs->DeleteFile("/tmp/a");  // lint: allow-blocking(same review)
+}
+
+}  // namespace hive

@@ -1,0 +1,27 @@
+// hivelint-fixture-path: src/metastore/bad_lock_io.cc
+// Lockflow: filesystem I/O while a MutexLock is live stalls every thread
+// that needs the lock; the same call with the lock already dead is fine.
+
+#include "fs/filesystem.h"
+
+namespace hive {
+
+Status CreateUnderLock(FileSystem* fs, Mutex* mu) {
+  MutexLock lock(mu);
+  return fs->MakeDirs("/warehouse/t");  // expect[lock-blocking]
+}
+
+Status CreateAfterLock(FileSystem* fs, Mutex* mu) {
+  {
+    MutexLock lock(mu);
+  }
+  return fs->MakeDirs("/warehouse/t");  // lock already dead: clean
+}
+
+Status CreateAfterUnlock(FileSystem* fs, Mutex* mu) {
+  MutexLock lock(mu);
+  lock.Unlock();
+  return fs->MakeDirs("/warehouse/t");  // explicitly released: clean
+}
+
+}  // namespace hive

@@ -1,0 +1,21 @@
+// hivelint-fixture-path: src/server/bad_wait_nested.cc
+// CondVar::Wait releases only the lock it is handed; with a second lock
+// live, that one stays held for the whole sleep. Wait under exactly one
+// lock is the normal pattern and stays clean.
+
+#include "common/sync.h"
+
+namespace hive {
+
+void WaitNested(Mutex* a, Mutex* b, CondVar* cv, const bool* done) {
+  MutexLock outer(a);
+  MutexLock inner(b);
+  while (!*done) cv->Wait(&inner);  // expect[lock-wait-nested]
+}
+
+void WaitSingle(Mutex* a, CondVar* cv, const bool* done) {
+  MutexLock lock(a);
+  while (!*done) cv->Wait(&lock);  // one lock: clean
+}
+
+}  // namespace hive

@@ -1,0 +1,27 @@
+#ifndef FIXTURE_COMMON_CONFIG_H_
+#define FIXTURE_COMMON_CONFIG_H_
+
+// Miniature config registry mirroring src/common/config.h's shape (linted,
+// never compiled — continuation backslashes are omitted where a marker
+// comment needs the line end).
+
+namespace hive {
+
+class Config {
+ public:
+  Config() = default;
+
+  bool knob_used = true;
+  bool knob_dead = true;
+  bool knob_undoc = false;
+  int knob_unregistered = 3;  // expect[knob-unregistered]
+};
+
+#define HIVE_CONFIG_FIELDS(X)       \
+  X(knob_used, "fixture.knob.used") \
+  X(knob_dead, "fixture.knob.dead")    // expect[knob-dead]
+  X(knob_undoc, "fixture.knob.undoc")  // expect[knob-undocumented]
+
+}  // namespace hive
+
+#endif  // FIXTURE_COMMON_CONFIG_H_

@@ -1,0 +1,16 @@
+#ifndef FIXTURE_OBS_METRIC_NAMES_H_
+#define FIXTURE_OBS_METRIC_NAMES_H_
+
+namespace hive {
+namespace obs {
+namespace metric {
+
+inline constexpr char kUsed[] = "fixture.metric.used";
+inline constexpr char kDead[] = "fixture.metric.dead";  // expect[metric-dead]
+inline constexpr char kDupe[] = "fixture.metric.used";  // expect[metric-duplicate]
+
+}  // namespace metric
+}  // namespace obs
+}  // namespace hive
+
+#endif  // FIXTURE_OBS_METRIC_NAMES_H_

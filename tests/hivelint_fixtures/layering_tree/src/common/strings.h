@@ -1,0 +1,9 @@
+#ifndef FIXTURE_COMMON_STRINGS_H_
+#define FIXTURE_COMMON_STRINGS_H_
+
+// common (layer 0) reaching up into the engine (layer 5) is the canonical
+// upward violation; a commented-out include must not count:
+// #include "exec/engine.h"
+#include "exec/engine.h"  // expect[layer-upward]
+
+#endif  // FIXTURE_COMMON_STRINGS_H_

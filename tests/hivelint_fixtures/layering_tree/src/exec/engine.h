@@ -1,0 +1,7 @@
+#ifndef FIXTURE_EXEC_ENGINE_H_
+#define FIXTURE_EXEC_ENGINE_H_
+
+// Angled and same-module includes never participate in the module graph.
+#include <string>
+
+#endif  // FIXTURE_EXEC_ENGINE_H_

@@ -1,0 +1,9 @@
+#ifndef FIXTURE_FS_FILE_H_
+#define FIXTURE_FS_FILE_H_
+
+// fs <-> obs are both layer 1, so neither edge is upward; the cycle is
+// caught by the SCC check and reported once, on the first edge of the
+// chain from the lexicographically smallest member (fs).
+#include "obs/metrics.h"  // expect[layer-cycle]
+
+#endif  // FIXTURE_FS_FILE_H_

@@ -1,0 +1,8 @@
+#ifndef FIXTURE_OBS_METRICS_H_
+#define FIXTURE_OBS_METRICS_H_
+
+// The back edge of the fs <-> obs cycle; the cycle is reported on the
+// other edge (once per strongly connected component).
+#include "fs/file.h"
+
+#endif  // FIXTURE_OBS_METRICS_H_

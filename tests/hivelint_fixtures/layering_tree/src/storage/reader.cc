@@ -1,0 +1,6 @@
+// A module directory that exists in the tree but that the declared layer
+// DAG does not name: depending on it is an error until it is layered.
+#include "widget/gadget.h"  // expect[layer-unknown]
+
+// A quoted include with no matching module directory is external noise.
+#include "thirdparty/lib.h"

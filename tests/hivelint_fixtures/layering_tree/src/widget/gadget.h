@@ -1,0 +1,7 @@
+#ifndef FIXTURE_WIDGET_GADGET_H_
+#define FIXTURE_WIDGET_GADGET_H_
+
+// This module is not in the layer DAG. Merely existing is fine — only
+// depending on it (see storage/reader.cc) is flagged.
+
+#endif  // FIXTURE_WIDGET_GADGET_H_

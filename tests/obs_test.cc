@@ -8,7 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
 #include "server/hive_server.h"
-#include "workloads/tpcds.h"
+#include "server/workload_loader.h"
 
 namespace hive {
 namespace {

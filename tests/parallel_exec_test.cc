@@ -13,7 +13,7 @@
 #include "exec/exec_context.h"
 #include "fs/mem_filesystem.h"
 #include "server/hive_server.h"
-#include "workloads/tpcds.h"
+#include "server/workload_loader.h"
 
 namespace hive {
 namespace {

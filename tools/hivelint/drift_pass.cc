@@ -1,0 +1,243 @@
+// Pass: drift — cross-references the registries that otherwise rot
+// silently, so a knob nobody reads or a typo'd metric name is a lint error
+// instead of a forever-zero counter.
+//
+// Knobs (src/common/config.h): every Config member must appear in the
+// HIVE_CONFIG_FIELDS X-macro (that list is what the session/server config
+// layering iterates — an unregistered member silently never layers), every
+// registered knob must be read somewhere in src/ outside config.h, and its
+// public dotted name must appear in README.md:
+//
+//   knob-unregistered  Config member missing from HIVE_CONFIG_FIELDS
+//   knob-dead          registered knob never read anywhere in src/
+//   knob-undocumented  registered knob's public name absent from README.md
+//
+// Metrics (src/obs/metric_names.h): every metric-name string lives there
+// exactly once, and call sites reference the constants:
+//
+//   metric-literal    a string literal handed to counter()/gauge()/
+//                     histogram()/RegisterCallback()/CountSpillMetric()/
+//                     AddCounter() in src/ outside metric_names.h
+//   metric-dead       a metric_names.h constant referenced nowhere in src/
+//   metric-duplicate  two constants naming the same metric string
+//
+// The registry files are parsed from raw text (the names live inside string
+// literals, which the stripped view blanks); both have a fixed, owned
+// format, so a line-based parse is reliable.
+
+#include <map>
+#include <set>
+
+#include "passes.h"
+
+namespace hivelint {
+namespace {
+
+const char kConfigPath[] = "src/common/config.h";
+const char kMetricNamesPath[] = "src/obs/metric_names.h";
+
+// Call sites whose string-literal argument is a metric name.
+const char* const kMetricCalls[] = {"counter",          "gauge",
+                                    "histogram",        "RegisterCallback",
+                                    "CountSpillMetric", "AddCounter"};
+
+std::string TruncateLineComment(const std::string& raw) {
+  size_t pos = raw.find("//");
+  return pos == std::string::npos ? raw : raw.substr(0, pos);
+}
+
+// Extracts the quoted string starting at or after `from`; "" if none.
+std::string QuotedString(const std::string& line, size_t from) {
+  size_t open = line.find('"', from);
+  if (open == std::string::npos) return "";
+  size_t close = line.find('"', open + 1);
+  if (close == std::string::npos) return "";
+  return line.substr(open + 1, close - open - 1);
+}
+
+struct RegistryEntry {
+  std::string ident;   // Config field / constant identifier
+  std::string pub;     // dotted public name / metric string
+  size_t line = 0;     // 1-based declaration line
+};
+
+const SourceFile* FindFile(const Project& project, const std::string& rel) {
+  for (const SourceFile& f : project.files)
+    if (f.rel == rel) return &f;
+  return nullptr;
+}
+
+// True when `ident` occurs as a token in any src/ file other than `except`.
+bool UsedInSrc(const Project& project, const std::string& ident,
+               const std::string& except) {
+  for (const SourceFile& f : project.files) {
+    if (!StartsWith(f.rel, "src/") || f.rel == except) continue;
+    for (const std::string& line : f.code)
+      if (FindToken(line, ident) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void CheckKnobs(const Project& project, std::vector<Finding>* findings) {
+  const SourceFile* config = FindFile(project, kConfigPath);
+  if (!config) return;  // project without a config registry (fixture trees)
+
+  // Config members: lines of the form `<type> <ident> = <default>;` at
+  // class-body depth inside `class Config`.
+  std::map<std::string, size_t> members;  // ident -> line index
+  {
+    bool in_class = false;
+    int depth = 0;       // brace depth at the start of the current line
+    int body_depth = 0;  // depth of the class body (class may sit in a namespace)
+    for (size_t i = 0; i < config->code.size(); ++i) {
+      const std::string& line = config->code[i];
+      if (!in_class && FindToken(line, "class") != std::string::npos &&
+          FindToken(line, "Config") != std::string::npos) {
+        in_class = true;
+        body_depth = depth + 1;
+      }
+      if (in_class && depth == body_depth) {
+        size_t eq = line.find('=');
+        size_t semi = line.rfind(';');
+        if (eq != std::string::npos && semi != std::string::npos && eq < semi) {
+          // Identifier immediately left of '='.
+          size_t e = eq;
+          while (e > 0 && (line[e - 1] == ' ' || line[e - 1] == '\t')) --e;
+          size_t s = e;
+          while (s > 0 && IsWordChar(line[s - 1])) --s;
+          // Needs a type in front (rules out `a = b;` statement bodies,
+          // which are deeper than depth 1 anyway).
+          if (e > s && s > 0 && SkipSpaces(line, 0) < s)
+            members.emplace(line.substr(s, e - s), i);
+        }
+      }
+      for (char c : line) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      if (in_class && depth < body_depth) break;
+    }
+  }
+
+  // HIVE_CONFIG_FIELDS entries: `X(ident, "public.name")` continuation lines.
+  std::vector<RegistryEntry> knobs;
+  for (size_t i = 0; i < config->raw.size(); ++i) {
+    std::string line = TruncateLineComment(config->raw[i]);
+    size_t p = SkipSpaces(line, 0);
+    if (line.compare(p, 2, "X(") != 0) continue;
+    size_t s = p + 2;
+    size_t e = s;
+    while (e < line.size() && IsWordChar(line[e])) ++e;
+    if (e == s) continue;
+    RegistryEntry entry;
+    entry.ident = line.substr(s, e - s);
+    entry.pub = QuotedString(line, e);
+    entry.line = i + 1;
+    knobs.push_back(entry);
+  }
+
+  std::set<std::string> registered;
+  for (const RegistryEntry& k : knobs) registered.insert(k.ident);
+  for (const auto& [ident, line_index] : members) {
+    if (!registered.count(ident))
+      findings->push_back(
+          {config->display, line_index + 1, "knob-unregistered",
+           "Config member '" + ident +
+               "' is missing from HIVE_CONFIG_FIELDS; unregistered knobs "
+               "silently skip session/server config layering"});
+  }
+
+  for (const RegistryEntry& k : knobs) {
+    if (!UsedInSrc(project, k.ident, kConfigPath))
+      findings->push_back(
+          {config->display, k.line, "knob-dead",
+           "config knob '" + k.ident +
+               "' is never read anywhere in src/; wire it up or delete it"});
+    if (!k.pub.empty() && project.has_readme &&
+        project.readme.find(k.pub) == std::string::npos)
+      findings->push_back(
+          {config->display, k.line, "knob-undocumented",
+           "config knob '" + k.ident + "' (public name \"" + k.pub +
+               "\") is not documented in README.md; every knob a user can "
+               "set gets a row in the configuration reference"});
+  }
+}
+
+void CheckMetrics(const Project& project, std::vector<Finding>* findings) {
+  const SourceFile* names = FindFile(project, kMetricNamesPath);
+
+  if (names) {
+    // `inline constexpr char kIdent[] = "dotted.name";`
+    std::vector<RegistryEntry> metrics;
+    for (size_t i = 0; i < names->raw.size(); ++i) {
+      std::string line = TruncateLineComment(names->raw[i]);
+      size_t p = FindToken(line, "constexpr");
+      if (p == std::string::npos) continue;
+      size_t c = FindToken(line, "char", p);
+      if (c == std::string::npos) continue;
+      size_t s = SkipSpaces(line, c + 4);
+      size_t e = s;
+      while (e < line.size() && IsWordChar(line[e])) ++e;
+      if (e == s) continue;
+      RegistryEntry entry;
+      entry.ident = line.substr(s, e - s);
+      entry.pub = QuotedString(line, e);
+      entry.line = i + 1;
+      if (!entry.pub.empty()) metrics.push_back(entry);
+    }
+
+    std::map<std::string, const RegistryEntry*> by_name;
+    for (const RegistryEntry& m : metrics) {
+      auto [it, inserted] = by_name.emplace(m.pub, &m);
+      if (!inserted)
+        findings->push_back(
+            {names->display, m.line, "metric-duplicate",
+             "metric name \"" + m.pub + "\" already registered as '" +
+                 it->second->ident + "' (line " +
+                 std::to_string(it->second->line) + "); one name, one constant"});
+      if (!UsedInSrc(project, m.ident, kMetricNamesPath))
+        findings->push_back(
+            {names->display, m.line, "metric-dead",
+             "metric constant '" + m.ident + "' (\"" + m.pub +
+                 "\") is referenced nowhere in src/; a never-incremented "
+                 "metric reads as a forever-zero counter — wire it or "
+                 "delete it"});
+    }
+  }
+
+  // Literal metric names at call sites anywhere in src/.
+  for (const SourceFile& f : project.files) {
+    if (!StartsWith(f.rel, "src/") || f.rel == kMetricNamesPath) continue;
+    for (size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      for (const char* call : kMetricCalls) {
+        size_t token_len = std::string(call).size();
+        for (size_t p = FindToken(line, call); p != std::string::npos;
+             p = FindToken(line, call, p + 1)) {
+          size_t paren = SkipSpaces(line, p + token_len);
+          if (paren >= line.size() || line[paren] != '(') continue;
+          // The stripped view blanks the literal (quote included), so skip
+          // spaces on the *raw* line — positions line up — and look for the
+          // opening quote there.
+          size_t arg = SkipSpaces(f.raw[i], paren + 1);
+          if (arg < f.raw[i].size() && f.raw[i][arg] == '"') {
+            findings->push_back(
+                {f.display, i + 1, "metric-literal",
+                 std::string("string-literal metric name passed to ") + call +
+                     "(); use a constant from obs/metric_names.h so typo'd "
+                     "names are compile errors, not zero counters"});
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void RunDriftPass(const Project& project, std::vector<Finding>* findings) {
+  CheckKnobs(project, findings);
+  CheckMetrics(project, findings);
+}
+
+}  // namespace hivelint

@@ -1,443 +1,331 @@
-// hivelint — textual hygiene checks the compiler cannot express.
-//
-// The build already enforces the strong properties (thread-safety
-// annotations under Clang, -Werror=unused-result everywhere); hivelint
-// closes the textual gaps that survive compilation:
-//
-//   raw-sync        std::mutex / lock_guard / unique_lock / scoped_lock /
-//                   condition_variable in src/ outside common/sync.{h,cc}.
-//                   Raw primitives bypass both the Clang annotations and the
-//                   runtime lock-order detector.
-//   wall-clock      rand()/srand()/time()/clock_gettime/gettimeofday,
-//                   std::random_device / mt19937, and chrono clock reads in
-//                   src/ outside common/sim_clock.h and common/rng.h. All
-//                   time flows through SimClock and all randomness through
-//                   Rng so runs are deterministic and virtual-clock latency
-//                   accounting stays honest.
-//   stray-output    std::cout / printf / puts in src/ library code. The
-//                   engine reports through Status and the metrics registry,
-//                   never by writing to stdout under the server's feet.
-//   silent-discard  `(void)call(...)` silencing [[nodiscard]] without an
-//                   adjacent `// lint: allow-discard(<reason>)` comment. The
-//                   cast compiles; the comment is what makes the discard a
-//                   reviewed decision instead of a reflex.
-//   raw-exec-io     <fstream>/<filesystem>/fopen/FILE* in src/exec/. Spill
-//                   and exchange I/O must flow through the injectable
-//                   hive::fs FileSystem so fault injection (transient
-//                   errors, corruption, torn renames) exercises every
-//                   execution-time byte that touches a disk.
-//   session-construct
-//                   direct Session construction (new/make_unique/by-value)
-//                   in src/ outside the connection manager. Sessions exist
-//                   only behind RAII Connection handles so close-time
-//                   teardown (cancel, drain, drop temps, sweep spill) can
-//                   never be skipped.
+// hivelint v2 — project-wide static analysis for the Hive reproduction.
 //
 // Usage:
-//   hivelint [--root <dir>] <file-or-dir>...   lint (dirs walk *.h/*.cc/*.cpp)
-//   hivelint --self-test <fixtures-dir>        verify against // expect[rule]
+//   hivelint [--root <dir>] [--pass token|layering|lockflow|drift|all] <path>...
+//   hivelint --self-test <fixtures-dir>
+//
+// Paths are files or directories, resolved relative to --root (default: the
+// current directory); `rel` paths used by rule scoping are root-relative.
+// Every file is loaded and comment/string-stripped exactly once into a
+// shared Project, then each selected pass scans that cache — adding a pass
+// costs its scan, not another disk walk. The rule catalog lives in passes.h
+// and DESIGN.md ("Static analysis").
+//
+// Self-test: every loose fixture file under <fixtures-dir> is linted as a
+// one-file project (token + lockflow passes — the per-file rules), and every
+// `*_tree` subdirectory is linted as a standalone project root with all four
+// passes (the project-wide rules need a config.h / README / module layout to
+// cross-reference). A fixture declares its violations with `// expect[rule]`
+// markers; each must fire exactly once on its line — a missed marker or an
+// extra finding fails the self-test, so both false negatives and false
+// positives break the build. A first-line `// hivelint-fixture-path: <path>`
+// directive lets a loose fixture impersonate a real path (exemptions and
+// src/-scoping key on it).
 //
 // Exit codes: 0 clean, 1 findings (or self-test mismatch), 2 usage/IO error.
-//
-// Scanning is line-based over comment- and string-stripped text, so a rule
-// token inside a comment or a log message never fires. The allow-discard
-// check is the one rule that reads the *raw* text (the comment is the
-// point); a marker counts on the offending line or the line above it.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <regex>
-#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "passes.h"
+
+namespace hivelint {
 namespace {
 
 namespace fs = std::filesystem;
 
-struct Finding {
-  std::string file;
-  size_t line = 0;  // 1-based
-  std::string rule;
-  std::string message;
-};
-
-struct Rule {
-  std::string name;
-  std::regex pattern;
-  std::string message;
-  // Path prefixes (relative, '/'-separated) the rule is confined to.
-  std::vector<std::string> only_under;
-  // Relative paths exempt from the rule.
-  std::vector<std::string> exempt;
-};
-
-const std::vector<Rule>& Rules() {
-  static const std::vector<Rule> rules = {
-      {"raw-sync",
-       std::regex(R"(std::(recursive_|timed_|shared_)?mutex\b|std::(lock_guard|unique_lock|scoped_lock|shared_lock)\b|std::condition_variable(_any)?\b|#\s*include\s*<(mutex|condition_variable|shared_mutex)>)"),
-       "raw std:: synchronization primitive; use hive::Mutex/MutexLock/CondVar "
-       "from common/sync.h (annotated + lock-order checked)",
-       {"src/"},
-       {"src/common/sync.h", "src/common/sync.cc"}},
-      {"wall-clock",
-       std::regex(R"(\b(rand|srand|gettimeofday|clock_gettime)\s*\(|(^|[^\w:.>])time\s*\(|std::time\s*\(|std::random_device\b|std::mt19937(_64)?\b|std::chrono::(system_clock|steady_clock|high_resolution_clock)\b)"),
-       "wall-clock or nondeterministic randomness; use SimClock "
-       "(common/sim_clock.h) / Rng (common/rng.h) so runs stay deterministic",
-       {"src/"},
-       {"src/common/sim_clock.h", "src/common/rng.h"}},
-      {"stray-output",
-       std::regex(R"(std::cout\b|(^|[^\w:])std::printf\s*\(|\bprintf\s*\(|\bputs\s*\()"),
-       "stdout output in library code; return a Status or record a metric "
-       "instead",
-       {"src/"},
-       {}},
-      {"silent-discard",
-       // `(void)` casting away an expression that contains a call. Plain
-       // `(void)identifier;` (unused-variable silencing) is fine.
-       std::regex(R"(\(\s*void\s*\)\s*[\w:.*&<>\[\]\- ]*\()"),
-       "(void) discard of a fallible call without an adjacent "
-       "`// lint: allow-discard(<reason>)` comment",
-       {},  // applies everywhere hivelint looks, tests included
-       {}},
-      {"raw-exec-io",
-       std::regex(R"(#\s*include\s*<(fstream|filesystem)>|std::(i|o)?fstream\b|std::filesystem\b|\bfopen\s*\(|\bFILE\s*\*)"),
-       "raw file I/O in the execution engine; spill and exchange bytes must "
-       "flow through hive::fs FileSystem (injectable, fault-tested)",
-       {"src/exec/"},
-       {}},
-      {"session-construct",
-       // new Session / make_unique<Session> / make_shared<Session> / a
-       // by-value `Session name...` declaration. Pointers and references
-       // (`Session*`, `Session&`) stay legal — they don't create sessions.
-       std::regex(R"(\bnew\s+(hive::)?Session\b|\bmake_(unique|shared)\s*<\s*(hive::)?Session\s*>|(^|[^\w:.~])(hive::)?Session\s+[A-Za-z_]\w*\s*[;{=(])"),
-       "direct Session construction; sessions are created only by the "
-       "connection manager — call HiveServer2::Connect() and hold the "
-       "RAII Connection",
-       {"src/"},
-       {"src/server/connection_manager.h", "src/server/connection_manager.cc"}},
-  };
-  return rules;
+bool HasSourceExtension(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".hpp" || ext == ".cpp";
 }
 
-// Replaces comments and string/char-literal contents with spaces, preserving
-// line structure, so token scans don't fire on prose or log text. Handles
-// //, /*...*/, "...", '...' and (crudely) R"(...)"; good enough for a linter.
-std::vector<std::string> StripCommentsAndStrings(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  St st = St::kCode;
-  std::string raw_delim;
-  for (size_t i = 0; i < text.size(); ++i) {
-    char c = text[i];
-    char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') {
-          st = St::kLineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = St::kBlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!isalnum(static_cast<unsigned char>(text[i - 1])) &&
-                               text[i - 1] != '_'))) {
-          size_t paren = text.find('(', i + 2);
-          if (paren != std::string::npos) {
-            raw_delim = ")" + text.substr(i + 2, paren - i - 2) + "\"";
-            st = St::kRawString;
-            for (size_t j = i; j <= paren; ++j) out += text[j] == '\n' ? '\n' : ' ';
-            i = paren;
-          } else {
-            out += c;
-          }
-        } else if (c == '"') {
-          st = St::kString;
-          out += ' ';
-        } else if (c == '\'') {
-          st = St::kChar;
-          out += ' ';
-        } else {
-          out += c;
-        }
-        break;
-      case St::kLineComment:
-        if (c == '\n') {
-          st = St::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case St::kBlockComment:
-        if (c == '*' && next == '/') {
-          st = St::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case St::kString:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-          if (next == '\n') out.back() = '\n';
-        } else if (c == '"') {
-          st = St::kCode;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if (c == '\'') {
-          st = St::kCode;
-          out += ' ';
-        } else {
-          out += ' ';
-        }
-        break;
-      case St::kRawString:
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (size_t j = 0; j < raw_delim.size(); ++j) out += ' ';
-          i += raw_delim.size() - 1;
-          st = St::kCode;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-    }
+std::string ReadFileText(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return "";
   }
-  std::vector<std::string> lines;
-  std::istringstream in(out);
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::istringstream in(text);
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
-
-bool StartsWith(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool RuleApplies(const Rule& rule, const std::string& rel_path) {
-  for (const std::string& ex : rule.exempt)
-    if (rel_path == ex) return false;
-  if (rule.only_under.empty()) return true;
-  return std::any_of(rule.only_under.begin(), rule.only_under.end(),
-                     [&](const std::string& p) { return StartsWith(rel_path, p); });
-}
-
-// Lints one file's content as if it lived at `rel_path` (relative to the
-// repo root, '/'-separated). Returns findings; display_path is what the
-// diagnostics name.
-std::vector<Finding> LintContent(const std::string& display_path,
-                                 const std::string& rel_path,
-                                 const std::string& text) {
-  std::vector<Finding> findings;
-  std::vector<std::string> raw = SplitLines(text);
-  std::vector<std::string> code = StripCommentsAndStrings(text);
-  code.resize(raw.size());
-  for (const Rule& rule : Rules()) {
-    if (!RuleApplies(rule, rel_path)) continue;
-    for (size_t i = 0; i < code.size(); ++i) {
-      if (!std::regex_search(code[i], rule.pattern)) continue;
-      if (rule.name == "silent-discard") {
-        bool allowed =
-            raw[i].find("lint: allow-discard(") != std::string::npos ||
-            (i > 0 && raw[i - 1].find("lint: allow-discard(") != std::string::npos);
-        if (allowed) continue;
-      }
-      findings.push_back({display_path, i + 1, rule.name, rule.message});
-    }
-  }
-  return findings;
-}
-
-bool ReadFile(const fs::path& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
   std::ostringstream ss;
   ss << in.rdbuf();
-  *out = ss.str();
-  return true;
+  *ok = true;
+  return ss.str();
 }
 
-bool IsSourceFile(const fs::path& p) {
-  std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
-}
-
-// Path of `p` relative to `root`, '/'-separated; empty if p is outside root.
-std::string RelativeTo(const fs::path& root, const fs::path& p) {
-  std::error_code ec;
-  fs::path rel = fs::relative(fs::absolute(p), fs::absolute(root), ec);
-  if (ec) return {};
-  std::string s = rel.generic_string();
-  if (StartsWith(s, "..")) return {};
+std::string Slashes(std::string s) {
+  std::replace(s.begin(), s.end(), '\\', '/');
   return s;
 }
 
-int RunLint(const fs::path& root, const std::vector<std::string>& inputs) {
+// Loads `paths` (files or directories, relative to `root`) into a Project;
+// rel paths are root-relative. Directory walks are sorted so finding order
+// is deterministic across filesystems.
+bool LoadProject(const fs::path& root, const std::vector<std::string>& paths,
+                 Project* project) {
   std::vector<fs::path> files;
-  for (const std::string& input : inputs) {
-    fs::path p = fs::path(input).is_absolute() ? fs::path(input) : root / input;
-    if (fs::is_directory(p)) {
-      for (const auto& entry : fs::recursive_directory_iterator(p))
-        if (entry.is_regular_file() && IsSourceFile(entry.path()))
+  for (const std::string& p : paths) {
+    fs::path full = root / p;
+    std::error_code ec;
+    if (fs::is_directory(full, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(full)) {
+        if (entry.is_regular_file() && HasSourceExtension(entry.path()))
           files.push_back(entry.path());
-    } else if (fs::is_regular_file(p)) {
-      files.push_back(p);
+      }
+    } else if (fs::is_regular_file(full, ec)) {
+      files.push_back(full);
     } else {
-      std::fprintf(stderr, "hivelint: no such file or directory: %s\n",
-                   input.c_str());
-      return 2;
+      std::fprintf(stderr, "hivelint: no such input: %s\n", full.c_str());
+      return false;
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  size_t total = 0;
-  for (const fs::path& file : files) {
-    std::string text;
-    if (!ReadFile(file, &text)) {
-      std::fprintf(stderr, "hivelint: cannot read %s\n", file.string().c_str());
-      return 2;
+  for (const fs::path& f : files) {
+    bool ok = false;
+    std::string text = ReadFileText(f, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "hivelint: cannot read %s\n", f.c_str());
+      return false;
     }
-    std::string rel = RelativeTo(root, file);
-    if (rel.empty()) rel = file.generic_string();
-    for (const Finding& f : LintContent(rel, rel, text)) {
-      std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
-                   f.rule.c_str(), f.message.c_str());
-      ++total;
-    }
+    std::string rel = Slashes(fs::relative(f, root).string());
+    project->files.push_back(MakeSourceFile(rel, rel, text));
   }
-  if (total) {
-    std::fprintf(stderr, "hivelint: %zu finding(s) in %zu file(s) scanned\n",
-                 total, files.size());
+
+  fs::path readme = root / "README.md";
+  std::error_code ec;
+  if (fs::is_regular_file(readme, ec)) {
+    bool ok = false;
+    project->readme = ReadFileText(readme, &ok);
+    project->has_readme = ok;
+  }
+  return true;
+}
+
+struct PassEntry {
+  const char* name;
+  void (*run)(const Project&, std::vector<Finding>*);
+};
+
+const PassEntry kPasses[] = {
+    {"token", RunTokenPass},
+    {"layering", RunLayeringPass},
+    {"lockflow", RunLockflowPass},
+    {"drift", RunDriftPass},
+};
+
+// Accumulated per-pass wall time, reported on success so the <1s budget over
+// the full tree is measured, not assumed.
+std::map<std::string, double> g_pass_ms;
+
+// `which` is "all" or a '+'-separated subset of pass names.
+bool PassSelected(const std::string& which, const std::string& name) {
+  if (which == "all") return true;
+  for (size_t p = 0; p < which.size();) {
+    size_t e = which.find('+', p);
+    if (e == std::string::npos) e = which.size();
+    if (which.compare(p, e - p, name) == 0) return true;
+    p = e + 1;
+  }
+  return false;
+}
+
+void RunPasses(const Project& project, const std::string& which,
+               std::vector<Finding>* findings) {
+  for (const PassEntry& pass : kPasses) {
+    if (!PassSelected(which, pass.name)) continue;
+    auto t0 = std::chrono::steady_clock::now();
+    pass.run(project, findings);
+    auto t1 = std::chrono::steady_clock::now();
+    g_pass_ms[pass.name] +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+}
+
+std::string TimingSummary(const std::string& which) {
+  std::string out;
+  char buf[64];
+  for (const PassEntry& pass : kPasses) {
+    if (!PassSelected(which, pass.name)) continue;
+    std::snprintf(buf, sizeof buf, "%s%s %.1fms", out.empty() ? "" : ", ",
+                  pass.name, g_pass_ms[pass.name]);
+    out += buf;
+  }
+  return out;
+}
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+int RunLint(const fs::path& root, const std::vector<std::string>& paths,
+            const std::string& which) {
+  Project project;
+  if (!LoadProject(root, paths, &project)) return 2;
+  std::vector<Finding> findings;
+  RunPasses(project, which, &findings);
+  SortFindings(&findings);
+  for (const Finding& f : findings)
+    std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  if (!findings.empty()) {
+    std::printf("hivelint: %zu finding(s) in %zu file(s)\n", findings.size(),
+                project.files.size());
     return 1;
   }
-  std::fprintf(stderr, "hivelint: clean (%zu files)\n", files.size());
+  std::printf("hivelint: clean (%zu files; %s)\n", project.files.size(),
+              TimingSummary(which).c_str());
   return 0;
 }
 
-// --self-test: each fixture file carries `// expect[rule]` markers on the
-// lines that must fire. A fixture is linted as if it lived under src/
-// (so the src/-scoped rules apply); a leading
-// `// hivelint-fixture-path: <rel-path>` directive overrides that, which is
-// how the sync.h/sim_clock.h exemptions get coverage.
-int RunSelfTest(const fs::path& fixtures_dir) {
-  if (!fs::is_directory(fixtures_dir)) {
-    std::fprintf(stderr, "hivelint: fixtures dir not found: %s\n",
-                 fixtures_dir.string().c_str());
-    return 2;
+// --- self-test -------------------------------------------------------------
+
+// (file, 1-based line, rule) — compared as multisets so every marker fires
+// exactly once: a missed marker and a double-fire both fail.
+using Expectation = std::pair<std::pair<std::string, size_t>, std::string>;
+
+void CollectExpectations(const SourceFile& f, std::vector<Expectation>* out) {
+  for (size_t i = 0; i < f.raw.size(); ++i) {
+    const std::string& line = f.raw[i];
+    for (size_t p = line.find("expect["); p != std::string::npos;
+         p = line.find("expect[", p + 1)) {
+      size_t close = line.find(']', p + 7);
+      if (close == std::string::npos) continue;
+      out->push_back({{f.display, i + 1}, line.substr(p + 7, close - p - 7)});
+    }
   }
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::directory_iterator(fixtures_dir))
-    if (entry.is_regular_file() && IsSourceFile(entry.path()))
-      files.push_back(entry.path());
-  std::sort(files.begin(), files.end());
-  if (files.empty()) {
-    std::fprintf(stderr, "hivelint: no fixtures in %s\n",
-                 fixtures_dir.string().c_str());
+}
+
+bool CheckFixture(const std::string& label, const Project& project,
+                  const std::string& which) {
+  std::vector<Expectation> expected;
+  for (const SourceFile& f : project.files) CollectExpectations(f, &expected);
+
+  std::vector<Finding> findings;
+  RunPasses(project, which, &findings);
+  std::vector<Expectation> actual;
+  for (const Finding& f : findings) actual.push_back({{f.file, f.line}, f.rule});
+
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  if (expected == actual) return true;
+
+  std::printf("FAIL %s\n", label.c_str());
+  for (const Expectation& e : expected)
+    if (std::count(actual.begin(), actual.end(), e) <
+        std::count(expected.begin(), expected.end(), e))
+      std::printf("  missing: %s:%zu [%s]\n", e.first.first.c_str(),
+                  e.first.second, e.second.c_str());
+  for (const Expectation& a : actual)
+    if (std::count(expected.begin(), expected.end(), a) <
+        std::count(actual.begin(), actual.end(), a))
+      std::printf("  unexpected: %s:%zu [%s]\n", a.first.first.c_str(),
+                  a.first.second, a.second.c_str());
+  return false;
+}
+
+int RunSelfTest(const fs::path& fixtures_dir) {
+  std::error_code ec;
+  if (!fs::is_directory(fixtures_dir, ec)) {
+    std::fprintf(stderr, "hivelint: fixtures dir not found: %s\n",
+                 fixtures_dir.c_str());
     return 2;
   }
 
-  static const std::regex expect_re(R"(//\s*expect\[([a-z-]+)\])");
-  size_t failures = 0;
-  for (const fs::path& file : files) {
-    std::string text;
-    if (!ReadFile(file, &text)) {
-      std::fprintf(stderr, "hivelint: cannot read %s\n", file.string().c_str());
+  size_t passed = 0, failed = 0;
+  std::vector<fs::path> entries;
+  for (const auto& entry : fs::directory_iterator(fixtures_dir))
+    entries.push_back(entry.path());
+  std::sort(entries.begin(), entries.end());
+
+  for (const fs::path& entry : entries) {
+    std::string name = entry.filename().string();
+    if (fs::is_directory(entry)) {
+      if (name.size() < 5 || name.substr(name.size() - 5) != "_tree") continue;
+      // A *_tree fixture is a miniature project root: all four passes run,
+      // so the project-wide rules (layering, drift) are exercised against a
+      // real — tiny — tree with its own config.h / README / modules.
+      Project project;
+      if (!LoadProject(entry, {"."}, &project)) return 2;
+      (CheckFixture(name, project, "all") ? passed : failed)++;
+      continue;
+    }
+    if (!fs::is_regular_file(entry) || !HasSourceExtension(entry)) continue;
+    bool ok = false;
+    std::string text = ReadFileText(entry, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "hivelint: cannot read %s\n", entry.c_str());
       return 2;
     }
-    std::vector<std::string> raw = SplitLines(text);
-    std::string rel = "src/fixture/" + file.filename().string();
-    // (line, rule) pairs the fixture declares.
-    std::set<std::pair<size_t, std::string>> expected;
-    for (size_t i = 0; i < raw.size(); ++i) {
-      if (i == 0 && StartsWith(raw[i], "// hivelint-fixture-path:")) {
-        rel = raw[i].substr(raw[i].find(':') + 1);
-        rel.erase(0, rel.find_first_not_of(" \t"));
-        continue;
-      }
-      auto begin = std::sregex_iterator(raw[i].begin(), raw[i].end(), expect_re);
-      for (auto it = begin; it != std::sregex_iterator(); ++it)
-        expected.insert({i + 1, (*it)[1].str()});
+    // Loose fixtures impersonate a src/ path (via the first-line directive)
+    // and run the per-file passes.
+    std::string rel = "src/fixture/" + name;
+    std::vector<std::string> lines = SplitLines(text);
+    const std::string kDirective = "// hivelint-fixture-path:";
+    if (!lines.empty() && StartsWith(lines[0], kDirective)) {
+      size_t s = SkipSpaces(lines[0], kDirective.size());
+      rel = lines[0].substr(s);
+      while (!rel.empty() && (rel.back() == ' ' || rel.back() == '\r'))
+        rel.pop_back();
     }
-    std::set<std::pair<size_t, std::string>> actual;
-    for (const Finding& f : LintContent(file.filename().string(), rel, text))
-      actual.insert({f.line, f.rule});
+    Project project;
+    project.files.push_back(MakeSourceFile(rel, rel, text));
+    (CheckFixture(name, project, "token+lockflow") ? passed : failed)++;
+  }
 
-    for (const auto& [line, rule] : expected)
-      if (!actual.count({line, rule})) {
-        std::fprintf(stderr, "self-test FAIL %s:%zu: expected [%s], not reported\n",
-                     file.filename().string().c_str(), line, rule.c_str());
-        ++failures;
+  std::printf("hivelint self-test: %zu fixture(s) passed, %zu failed (%s)\n",
+              passed, failed, TimingSummary("all").c_str());
+  return failed == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string which = "all";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--self-test" && i + 1 < argc) {
+      return RunSelfTest(argv[++i]);
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--pass" && i + 1 < argc) {
+      which = argv[++i];
+      bool known = which == "all";
+      for (const PassEntry& pass : kPasses)
+        if (which == pass.name) known = true;
+      if (!known) {
+        std::fprintf(stderr, "hivelint: unknown pass '%s'\n", which.c_str());
+        return 2;
       }
-    for (const auto& [line, rule] : actual)
-      if (!expected.count({line, rule})) {
-        std::fprintf(stderr, "self-test FAIL %s:%zu: unexpected [%s]\n",
-                     file.filename().string().c_str(), line, rule.c_str());
-        ++failures;
-      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: hivelint [--root <dir>] [--pass <name>|all] "
+                   "<path>...\n       hivelint --self-test <fixtures-dir>\n");
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
   }
-  if (failures) {
-    std::fprintf(stderr, "hivelint --self-test: %zu mismatch(es)\n", failures);
-    return 1;
+  if (paths.empty()) {
+    std::fprintf(stderr, "hivelint: no inputs (try --root <repo> src)\n");
+    return 2;
   }
-  std::fprintf(stderr, "hivelint --self-test: OK (%zu fixtures)\n", files.size());
-  return 0;
+  return RunLint(root, paths, which);
 }
 
 }  // namespace
+}  // namespace hivelint
 
-int main(int argc, char** argv) {
-  fs::path root = fs::current_path();
-  std::vector<std::string> inputs;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg == "--self-test") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "hivelint: --self-test needs a fixtures dir\n");
-        return 2;
-      }
-      return RunSelfTest(argv[i + 1]);
-    } else if (arg == "--root") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "hivelint: --root needs a directory\n");
-        return 2;
-      }
-      root = argv[++i];
-    } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr,
-                   "usage: hivelint [--root <dir>] <file-or-dir>...\n"
-                   "       hivelint --self-test <fixtures-dir>\n");
-      return 0;
-    } else {
-      inputs.push_back(arg);
-    }
-  }
-  if (inputs.empty()) {
-    std::fprintf(stderr, "hivelint: nothing to lint (see --help)\n");
-    return 2;
-  }
-  return RunLint(root, inputs);
-}
+int main(int argc, char** argv) { return hivelint::Main(argc, argv); }

@@ -1,0 +1,200 @@
+// Pass: layering — builds the project-wide `#include` graph over src/ and
+// enforces the declared module-layer DAG. Rules:
+//
+//   layer-upward   a quoted include whose target module sits on a *higher*
+//                  layer than the including file's module (lower layers
+//                  must not know about higher ones).
+//   layer-cycle    a cycle between modules of the same layer (the only kind
+//                  the layer check can't catch); reported once per strongly
+//                  connected component with an example include chain.
+//   layer-unknown  an include of a module directory under src/ that the
+//                  declared DAG doesn't name — new modules must be placed
+//                  in the layering before code can depend on them.
+//
+// Only files under src/ participate; tools, tests and benches may include
+// anything. Includes inside one module are always legal.
+
+#include <map>
+#include <set>
+
+#include "passes.h"
+
+namespace hivelint {
+
+int LayerOf(const std::string& module) {
+  static const std::map<std::string, int> kLayers = {
+      {"common", 0},    {"fs", 1},         {"obs", 1},
+      {"storage", 2},   {"metastore", 2},  {"llap", 3},
+      {"optimizer", 4}, {"exec", 5},       {"workloads", 6},
+      {"federation", 6}, {"sql", 7},       {"server", 8},
+  };
+  auto it = kLayers.find(module);
+  return it == kLayers.end() ? -1 : it->second;
+}
+
+namespace {
+
+// Module of a path like "src/exec/operator.h" -> "exec"; "" if not a
+// two-level src/ path.
+std::string ModuleOf(const std::string& rel) {
+  if (!StartsWith(rel, "src/")) return "";
+  size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return rel.substr(4, slash - 4);
+}
+
+struct Edge {
+  std::string file;   // display path of an example include site
+  size_t line = 0;    // 1-based
+  std::string target; // include target text
+};
+
+}  // namespace
+
+void RunLayeringPass(const Project& project, std::vector<Finding>* findings) {
+  // Module directories that exist in this project (so an include of
+  // "gtest/gtest.h" is nobody's business, but "util/helper.h" with a real
+  // src/util/ directory must be declared in the DAG).
+  std::set<std::string> module_dirs;
+  for (const SourceFile& f : project.files) {
+    std::string m = ModuleOf(f.rel);
+    if (!m.empty()) module_dirs.insert(m);
+  }
+
+  // Cross-module edges, first example kept per (from, to) pair.
+  std::map<std::pair<std::string, std::string>, Edge> edges;
+
+  for (const SourceFile& f : project.files) {
+    std::string from = ModuleOf(f.rel);
+    if (from.empty()) continue;
+    for (size_t i = 0; i < f.raw.size(); ++i) {
+      bool angled = true;
+      // Quoted include targets live inside string literals, which the
+      // stripped view blanks — parse the raw line, but only where the
+      // stripped view still shows a '#' directive (a commented-out include
+      // must not count).
+      if (SkipSpaces(f.code[i], 0) >= f.code[i].size() ||
+          f.code[i][SkipSpaces(f.code[i], 0)] != '#')
+        continue;
+      std::string target = IncludeTarget(f.raw[i], &angled);
+      if (target.empty() || angled) continue;
+      std::string clean = StartsWith(target, "src/") ? target.substr(4) : target;
+      size_t slash = clean.find('/');
+      if (slash == std::string::npos) continue;  // same-directory include
+      std::string to = clean.substr(0, slash);
+      if (to == from) continue;
+      if (!module_dirs.count(to) && LayerOf(to) < 0)
+        continue;  // not a project module (external quoted include)
+
+      int from_layer = LayerOf(from);
+      int to_layer = LayerOf(to);
+      if (from_layer < 0) {
+        findings->push_back(
+            {f.display, i + 1, "layer-unknown",
+             "file lives in module '" + from +
+                 "', which the declared layer DAG does not name; add the "
+                 "module to the layering in tools/hivelint (LayerOf) and "
+                 "DESIGN.md before depending on it"});
+        continue;
+      }
+      if (to_layer < 0) {
+        findings->push_back(
+            {f.display, i + 1, "layer-unknown",
+             "include of \"" + target + "\" reaches module '" + to +
+                 "', which the declared layer DAG does not name; add the "
+                 "module to the layering in tools/hivelint (LayerOf) and "
+                 "DESIGN.md before depending on it"});
+        continue;
+      }
+      if (to_layer > from_layer) {
+        findings->push_back(
+            {f.display, i + 1, "layer-upward",
+             "include of \"" + target + "\" from module '" + from + "' (layer " +
+                 std::to_string(from_layer) + ") reaches up to '" + to +
+                 "' (layer " + std::to_string(to_layer) +
+                 "); move the shared declaration down (usually into common/) "
+                 "or invert the dependency"});
+      }
+      edges.emplace(std::make_pair(from, to), Edge{f.display, i + 1, target});
+    }
+  }
+
+  // Cycle detection over the module graph. With upward edges already
+  // reported, a cycle can only involve same-layer modules, but the check is
+  // general: find strongly connected components and report each once, with
+  // a deterministic example chain (BFS shortest cycle through the
+  // lexicographically smallest member).
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [pair, edge] : edges) adj[pair.first].insert(pair.second);
+
+  // Iterative SCC by repeated reachability (module count is tiny).
+  std::set<std::string> nodes;
+  for (const auto& [pair, edge] : edges) {
+    nodes.insert(pair.first);
+    nodes.insert(pair.second);
+  }
+  auto reachable = [&](const std::string& from) {
+    std::set<std::string> seen;
+    std::vector<std::string> stack = {from};
+    while (!stack.empty()) {
+      std::string n = stack.back();
+      stack.pop_back();
+      for (const std::string& next : adj[n])
+        if (seen.insert(next).second) stack.push_back(next);
+    }
+    return seen;
+  };
+  std::set<std::string> reported;
+  for (const std::string& start : nodes) {  // std::set: smallest member first
+    if (reported.count(start)) continue;
+    std::set<std::string> fwd = reachable(start);
+    if (!fwd.count(start)) continue;  // not on any cycle through itself
+    // SCC of `start`: nodes reachable from start that can reach start.
+    std::set<std::string> scc = {start};
+    for (const std::string& n : fwd)
+      if (reachable(n).count(start)) scc.insert(n);
+    for (const std::string& n : scc) reported.insert(n);
+
+    // Shortest cycle start -> ... -> start inside the SCC (BFS, neighbors
+    // visited in sorted order, so the chain is deterministic).
+    std::map<std::string, std::string> parent;
+    std::vector<std::string> queue = {start};
+    std::string closer;
+    for (size_t qi = 0; qi < queue.size() && closer.empty(); ++qi) {
+      for (const std::string& next : adj[queue[qi]]) {
+        if (!scc.count(next)) continue;
+        if (next == start) {
+          closer = queue[qi];
+          break;
+        }
+        if (!parent.count(next)) {
+          parent[next] = queue[qi];
+          queue.push_back(next);
+        }
+      }
+    }
+    std::vector<std::string> chain = {start};
+    if (!closer.empty() && closer != start) {
+      std::vector<std::string> back;
+      for (std::string n = closer; n != start; n = parent[n]) back.push_back(n);
+      chain.insert(chain.end(), back.rbegin(), back.rend());
+    }
+    chain.push_back(start);
+
+    std::string desc;
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      const Edge& e = edges.at({chain[i], chain[i + 1]});
+      desc += chain[i] + " -> " + chain[i + 1] + " (" + e.file + ":" +
+              std::to_string(e.line) + ")";
+      if (i + 2 < chain.size()) desc += ", ";
+    }
+    const Edge& first = edges.at({chain[0], chain[1]});
+    findings->push_back(
+        {first.file, first.line, "layer-cycle",
+         "module dependency cycle: " + desc +
+             "; break it by moving the shared declarations into a lower "
+             "layer"});
+  }
+}
+
+}  // namespace hivelint

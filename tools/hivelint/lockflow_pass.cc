@@ -1,0 +1,197 @@
+// Pass: lockflow — function-scope, brace-tracking flow analysis of what
+// happens while a hive::MutexLock is live. The runtime lock-order detector
+// catches A-then-B vs B-then-A inversions, and Clang's thread-safety
+// annotations catch unguarded field access — neither sees the *stall*
+// class: holding a lock across a blocking operation, so every other thread
+// needing that lock waits out a disk read. Rules:
+//
+//   lock-blocking     a blocking call — hive::fs I/O (ReadFile, WriteFile,
+//                     ReadRange, Stat, ListDir, MakeDirs, DeleteFile,
+//                     DeleteRecursive, Rename, Exists as member calls),
+//                     spill stream ops (AppendRecord, AppendRow,
+//                     AppendBatchRow, ReadChunk), or RunTaskAttempts —
+//                     while at least one MutexLock is live in scope.
+//   lock-wait-nested  CondVar::Wait/WaitFor with two or more MutexLocks
+//                     live: Wait releases only the lock it is handed, so
+//                     the outer lock is held for the whole sleep.
+//
+// A reviewed site is suppressed with `// lint: allow-blocking(<reason>)` on
+// the offending line or the line above — the reason is the point, same as
+// allow-discard.
+//
+// Scope model: a `MutexLock name(...)` declaration is live until the brace
+// depth drops below its declaration depth or `name.Unlock()` runs; a
+// `MutexLock&` function parameter is live for the function body. The
+// analysis is textual and per-file: it does not follow calls, so a helper
+// that takes no lock but is only ever called under one needs its blocking
+// call annotated at the call site inside the locked region (which is where
+// the reader needs the warning anyway).
+
+#include "passes.h"
+
+namespace hivelint {
+namespace {
+
+const char* const kBlockingMemberCalls[] = {
+    // hive::fs FileSystem surface
+    "ReadFile", "WriteFile", "ReadRange", "Stat", "ListDir", "MakeDirs",
+    "DeleteFile", "DeleteRecursive", "Rename", "Exists",
+    // spill stream ops (exec/spill.h)
+    "AppendRecord", "AppendRow", "AppendBatchRow", "ReadChunk"};
+
+const char* const kWaitCalls[] = {"Wait", "WaitFor"};
+
+struct LiveLock {
+  std::string name;
+  int depth = 0;  // dies when brace depth drops below this
+};
+
+// Finds a `MutexLock` declaration on the (stripped) line at/after `from`.
+// Returns npos or the token position; `*name` receives the declared
+// variable name ("" for a reference parameter) and `*is_ref` whether this
+// is a `MutexLock&` binding.
+size_t FindLockDecl(const std::string& line, size_t from, std::string* name,
+                    bool* is_ref) {
+  for (size_t p = FindToken(line, "MutexLock", from); p != std::string::npos;
+       p = FindToken(line, "MutexLock", p + 1)) {
+    // Qualified hive::MutexLock is the same type; OtherNs::MutexLock is not.
+    if (p >= 2 && line[p - 1] == ':' &&
+        !(p >= 6 && line.compare(p - 6, 6, "hive::") == 0))
+      continue;
+    size_t q = SkipSpaces(line, p + 9);
+    if (q < line.size() && line[q] == '&') {
+      // `MutexLock& lock` — a caller's live lock handed in by reference.
+      *name = "";
+      size_t r = SkipSpaces(line, q + 1);
+      size_t start = r;
+      while (r < line.size() && IsWordChar(line[r])) ++r;
+      if (r > start) *name = line.substr(start, r - start);
+      *is_ref = true;
+      return p;
+    }
+    if (q >= line.size() ||
+        !(isalpha(static_cast<unsigned char>(line[q])) || line[q] == '_'))
+      continue;  // MutexLock* / MutexLock( / MutexLock> — not a declaration
+    size_t start = q;
+    while (q < line.size() && IsWordChar(line[q])) ++q;
+    size_t after = SkipSpaces(line, q);
+    if (after < line.size() && (line[after] == '(' || line[after] == '{')) {
+      *name = line.substr(start, q - start);
+      *is_ref = false;
+      return p;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+void RunLockflowPass(const Project& project, std::vector<Finding>* findings) {
+  for (const SourceFile& f : project.files) {
+    if (!StartsWith(f.rel, "src/")) continue;
+    // The sync layer itself implements MutexLock/CondVar on raw primitives.
+    if (f.rel == "src/common/sync.h" || f.rel == "src/common/sync.cc") continue;
+
+    std::vector<LiveLock> live;
+    int depth = 0;
+    for (size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+
+      // Per-character depth prefix so a lock declared inside `if (x) { ... }`
+      // on one line gets the depth at its position, not the line edge.
+      auto depth_at = [&](size_t pos) {
+        int d = depth;
+        for (size_t j = 0; j < pos && j < line.size(); ++j) {
+          if (line[j] == '{') ++d;
+          if (line[j] == '}') --d;
+        }
+        return d;
+      };
+
+      // New locks. A reference parameter guards the *body* that follows, so
+      // it is registered one level deeper than the signature and dies when
+      // the body's closing brace returns to signature depth.
+      std::string name;
+      bool is_ref = false;
+      for (size_t p = FindLockDecl(line, 0, &name, &is_ref);
+           p != std::string::npos;
+           p = FindLockDecl(line, p + 9, &name, &is_ref)) {
+        live.push_back({name, depth_at(p) + (is_ref ? 1 : 0)});
+      }
+
+      bool annotated =
+          f.raw[i].find("lint: allow-blocking(") != std::string::npos ||
+          (i > 0 && f.raw[i - 1].find("lint: allow-blocking(") != std::string::npos);
+
+      // Early release: `name.Unlock()` kills that lock for the rest of its
+      // scope (a textual approximation: one Unlock per name per scope).
+      for (auto it = live.begin(); it != live.end();) {
+        size_t p = it->name.empty() ? std::string::npos
+                                    : FindToken(line, it->name + ".Unlock");
+        if (p != std::string::npos) {
+          it = live.erase(it);
+        } else {
+          ++it;
+        }
+      }
+
+      if (!live.empty()) {
+        for (const char* tok : kBlockingMemberCalls) {
+          size_t p = FindToken(line, tok);
+          if (p == std::string::npos) continue;
+          if (!IsMemberCall(line, p) || !IsCall(line, p, std::string(tok).size()))
+            continue;
+          if (annotated) continue;
+          findings->push_back(
+              {f.display, i + 1, "lock-blocking",
+               std::string("blocking call ") + tok + "() while MutexLock '" +
+                   live.back().name +
+                   "' is live in scope; release the lock first, move the I/O "
+                   "out of the critical section, or annotate a reviewed site "
+                   "with `// lint: allow-blocking(<reason>)`"});
+        }
+        size_t p = FindToken(line, "RunTaskAttempts");
+        if (p != std::string::npos && IsCall(line, p, 15) && !annotated) {
+          findings->push_back(
+              {f.display, i + 1, "lock-blocking",
+               "RunTaskAttempts (retry loop with virtual-clock backoff) while "
+               "MutexLock '" +
+                   live.back().name +
+                   "' is live in scope; retries can sleep for many backoff "
+                   "rounds with the lock held"});
+        }
+        if (live.size() >= 2) {
+          for (const char* tok : kWaitCalls) {
+            size_t w = FindToken(line, tok);
+            if (w == std::string::npos) continue;
+            if (!IsMemberCall(line, w) || !IsCall(line, w, std::string(tok).size()))
+              continue;
+            if (annotated) continue;
+            findings->push_back(
+                {f.display, i + 1, "lock-wait-nested",
+                 std::string("CondVar::") + tok + " with " +
+                     std::to_string(live.size()) +
+                     " MutexLocks live; Wait releases only the lock it is "
+                     "handed — the outer lock '" +
+                     live.front().name + "' stays held for the whole sleep"});
+          }
+        }
+      }
+
+      // Close scopes.
+      for (char c : line) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      for (auto it = live.begin(); it != live.end();) {
+        if (depth < it->depth) {
+          it = live.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hivelint

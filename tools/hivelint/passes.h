@@ -1,0 +1,63 @@
+// hivelint passes. Each pass reads the shared Project (stripped sources
+// loaded once) and appends Findings; none of them mutates the sources, so
+// passes are independent and their per-pass wall time is honest.
+//
+//   token     v1's per-line hygiene rules, hand-rolled (no std::regex):
+//             raw-sync, wall-clock, stray-output, silent-discard,
+//             raw-exec-io, session-construct.
+//   layering  builds the #include graph over src/ and enforces the declared
+//             module-layer DAG; rules layer-upward, layer-cycle,
+//             layer-unknown.
+//   lockflow  function-scope, brace-tracking flow analysis: blocking calls
+//             (hive::fs I/O, spill stream ops, RunTaskAttempts) while a
+//             MutexLock is live in scope, and CondVar waits under a second
+//             lock; rules lock-blocking, lock-wait-nested. Suppressed by an
+//             adjacent `// lint: allow-blocking(<reason>)`.
+//   drift     cross-references the knob and metric registries: config.h's
+//             HIVE_CONFIG_FIELDS list vs. Config members vs. src/ uses vs.
+//             README docs, and obs/metric_names.h constants vs. uses; rules
+//             knob-dead, knob-undocumented, knob-unregistered, metric-dead,
+//             metric-duplicate, metric-literal.
+
+#ifndef HIVELINT_PASSES_H_
+#define HIVELINT_PASSES_H_
+
+#include <string>
+#include <vector>
+
+#include "source.h"
+
+namespace hivelint {
+
+struct Finding {
+  std::string file;  // display path
+  size_t line = 0;   // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// The unit every pass operates on: a set of loaded files belonging to one
+// project root, plus the root's README text (for the drift pass's
+// documentation check).
+struct Project {
+  std::vector<SourceFile> files;
+  std::string readme;
+  bool has_readme = false;
+};
+
+// The declared module-layer DAG over src/ (DESIGN.md "Static analysis"):
+//   common(0) -> fs,obs(1) -> storage,metastore(2) -> llap(3) ->
+//   optimizer(4) -> exec(5) -> workloads,federation(6) -> sql(7) -> server(8)
+// An include may only reach modules at the same or a lower layer; cycles
+// between same-layer modules are caught separately. Returns -1 for a module
+// not in the DAG.
+int LayerOf(const std::string& module);
+
+void RunTokenPass(const Project& project, std::vector<Finding>* findings);
+void RunLayeringPass(const Project& project, std::vector<Finding>* findings);
+void RunLockflowPass(const Project& project, std::vector<Finding>* findings);
+void RunDriftPass(const Project& project, std::vector<Finding>* findings);
+
+}  // namespace hivelint
+
+#endif  // HIVELINT_PASSES_H_

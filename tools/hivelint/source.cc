@@ -1,0 +1,180 @@
+#include "source.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace hivelint {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::vector<std::string> StripCommentsAndStrings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  St st = St::kCode;
+  std::string raw_delim;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!isalnum(static_cast<unsigned char>(text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          size_t paren = text.find('(', i + 2);
+          if (paren != std::string::npos) {
+            raw_delim = ")" + text.substr(i + 2, paren - i - 2) + "\"";
+            st = St::kRawString;
+            for (size_t j = i; j <= paren; ++j) out += text[j] == '\n' ? '\n' : ' ';
+            i = paren;
+          } else {
+            out += c;
+          }
+        } else if (c == '"') {
+          st = St::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          st = St::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n') {
+          st = St::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (next == '\n') out.back() = '\n';
+        } else if (c == '"') {
+          st = St::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          out += ' ';
+        } else {
+          out += ' ';
+        }
+        break;
+      case St::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t j = 0; j < raw_delim.size(); ++j) out += ' ';
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return SplitLines(out);
+}
+
+SourceFile MakeSourceFile(std::string rel, std::string display,
+                          const std::string& text) {
+  SourceFile f;
+  f.rel = std::move(rel);
+  f.display = std::move(display);
+  f.raw = SplitLines(text);
+  f.code = StripCommentsAndStrings(text);
+  f.code.resize(f.raw.size());
+  return f;
+}
+
+bool IsWordChar(char c) {
+  return isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+size_t FindToken(const std::string& line, const std::string& token, size_t from,
+                 const char* extra_prev_reject) {
+  for (size_t i = line.find(token, from); i != std::string::npos;
+       i = line.find(token, i + 1)) {
+    if (i > 0) {
+      char prev = line[i - 1];
+      if (IsWordChar(prev)) continue;
+      bool rejected = false;
+      for (const char* p = extra_prev_reject; *p; ++p)
+        if (prev == *p) rejected = true;
+      if (rejected) continue;
+    }
+    size_t end = i + token.size();
+    if (end < line.size() && IsWordChar(line[end])) continue;
+    return i;
+  }
+  return std::string::npos;
+}
+
+size_t SkipSpaces(const std::string& line, size_t pos) {
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  return pos;
+}
+
+bool IsCall(const std::string& line, size_t pos, size_t token_len) {
+  size_t after = SkipSpaces(line, pos + token_len);
+  return after < line.size() && line[after] == '(';
+}
+
+bool IsMemberCall(const std::string& line, size_t pos) {
+  if (pos >= 1 && line[pos - 1] == '.') return true;
+  return pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>';
+}
+
+std::string IncludeTarget(const std::string& raw_line, bool* angled) {
+  size_t i = SkipSpaces(raw_line, 0);
+  if (i >= raw_line.size() || raw_line[i] != '#') return "";
+  i = SkipSpaces(raw_line, i + 1);
+  if (raw_line.compare(i, 7, "include") != 0) return "";
+  i = SkipSpaces(raw_line, i + 7);
+  if (i >= raw_line.size()) return "";
+  char open = raw_line[i];
+  char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+  if (!close) return "";
+  size_t end = raw_line.find(close, i + 1);
+  if (end == std::string::npos) return "";
+  if (angled) *angled = open == '<';
+  return raw_line.substr(i + 1, end - i - 1);
+}
+
+}  // namespace hivelint

@@ -1,0 +1,68 @@
+// hivelint source layer: file loading, comment/string stripping, and the
+// hand-rolled token scanning primitives every pass builds on.
+//
+// hivelint v1 matched rules with std::regex; profiling showed regex
+// compilation + per-line searching dominated the run. v2 loads and strips
+// each file exactly once into a SourceFile (raw lines for annotation/marker
+// checks, stripped lines for code scans) shared by all passes, and matches
+// tokens with boundary-checked substring scans — no regex anywhere.
+
+#ifndef HIVELINT_SOURCE_H_
+#define HIVELINT_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+namespace hivelint {
+
+// One loaded source file. `raw` is the file verbatim, split into lines;
+// `code` is the same line structure with comments and string/char-literal
+// contents blanked to spaces, so token scans never fire on prose. Both are
+// computed once at load time and shared (read-only) by every pass.
+struct SourceFile {
+  std::string rel;      // '/'-separated path relative to the project root;
+                        // the scoping rules (src/-only, exemptions) key on it
+  std::string display;  // the path diagnostics print
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+std::vector<std::string> SplitLines(const std::string& text);
+
+// Replaces comments and string/char-literal contents with spaces, preserving
+// line structure. Handles //, /*...*/, "...", '...' and R"delim(...)delim".
+std::vector<std::string> StripCommentsAndStrings(const std::string& text);
+
+// Builds a SourceFile from raw text (strips once, caches both views).
+SourceFile MakeSourceFile(std::string rel, std::string display,
+                          const std::string& text);
+
+bool IsWordChar(char c);
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+// Index of the first character of `token` at an identifier boundary in
+// `line` at or after `from`, or npos. Boundary: the character before the
+// match (if any) is neither a word character nor listed in
+// `extra_prev_reject`, and the character after is not a word character.
+size_t FindToken(const std::string& line, const std::string& token,
+                 size_t from = 0, const char* extra_prev_reject = "");
+
+// First non-space/tab position at or after `pos` (may be line.size()).
+size_t SkipSpaces(const std::string& line, size_t pos);
+
+// True when the token at [pos, pos+len) is invoked as a call: the next
+// non-space character is '('.
+bool IsCall(const std::string& line, size_t pos, size_t token_len);
+
+// True when the token at `pos` is a member access: preceded by '.' or '->'.
+bool IsMemberCall(const std::string& line, size_t pos);
+
+// If the (stripped) line is `#include <target>` or `#include "target"`,
+// returns target and sets *angled accordingly; else returns "". For quoted
+// includes the target must be read from the *raw* line (stripping blanks
+// string contents), so pass the raw line here.
+std::string IncludeTarget(const std::string& raw_line, bool* angled);
+
+}  // namespace hivelint
+
+#endif  // HIVELINT_SOURCE_H_

@@ -1,0 +1,277 @@
+// Pass: token — hivelint v1's textual hygiene rules, reimplemented as
+// boundary-checked substring scans over the stripped source cache.
+//
+//   raw-sync        std::mutex / lock_guard / unique_lock / scoped_lock /
+//                   condition_variable in src/ outside common/sync.{h,cc}.
+//   wall-clock      rand()/srand()/time()/clock_gettime/gettimeofday,
+//                   std::random_device / mt19937, chrono clock reads in src/
+//                   outside common/sim_clock.h and common/rng.h.
+//   stray-output    std::cout / printf / puts in src/ library code.
+//   silent-discard  `(void)call(...)` without an adjacent
+//                   `// lint: allow-discard(<reason>)` comment (everywhere).
+//   raw-exec-io     <fstream>/<filesystem>/fopen/FILE* in src/exec/.
+//   session-construct
+//                   direct Session construction in src/ outside the
+//                   connection manager.
+
+#include <algorithm>
+
+#include "passes.h"
+
+namespace hivelint {
+namespace {
+
+bool PathIsOneOf(const std::string& rel, std::initializer_list<const char*> paths) {
+  return std::any_of(paths.begin(), paths.end(),
+                     [&](const char* p) { return rel == p; });
+}
+
+void Report(const SourceFile& f, size_t line_index, const char* rule,
+            const char* message, std::vector<Finding>* findings) {
+  findings->push_back({f.display, line_index + 1, rule, message});
+}
+
+// --- raw-sync -------------------------------------------------------------
+
+const char* const kRawSyncTokens[] = {
+    "std::mutex",          "std::recursive_mutex",
+    "std::timed_mutex",    "std::shared_mutex",
+    "std::lock_guard",     "std::unique_lock",
+    "std::scoped_lock",    "std::shared_lock",
+    "std::condition_variable", "std::condition_variable_any",
+};
+const char* const kRawSyncIncludes[] = {"mutex", "condition_variable",
+                                        "shared_mutex"};
+
+void CheckRawSync(const SourceFile& f, std::vector<Finding>* findings) {
+  if (!StartsWith(f.rel, "src/")) return;
+  if (PathIsOneOf(f.rel, {"src/common/sync.h", "src/common/sync.cc"})) return;
+  const char* msg =
+      "raw std:: synchronization primitive; use hive::Mutex/MutexLock/CondVar "
+      "from common/sync.h (annotated + lock-order checked)";
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    bool hit = false;
+    for (const char* tok : kRawSyncTokens)
+      if (FindToken(line, tok) != std::string::npos) hit = true;
+    bool angled = false;
+    std::string inc = IncludeTarget(line, &angled);
+    if (angled)
+      for (const char* t : kRawSyncIncludes)
+        if (inc == t) hit = true;
+    if (hit) Report(f, i, "raw-sync", msg, findings);
+  }
+}
+
+// --- wall-clock -----------------------------------------------------------
+
+void CheckWallClock(const SourceFile& f, std::vector<Finding>* findings) {
+  if (!StartsWith(f.rel, "src/")) return;
+  if (PathIsOneOf(f.rel, {"src/common/sim_clock.h", "src/common/rng.h"})) return;
+  const char* msg =
+      "wall-clock or nondeterministic randomness; use SimClock "
+      "(common/sim_clock.h) / Rng (common/rng.h) so runs stay deterministic";
+  static const char* const kCallTokens[] = {"rand", "srand", "gettimeofday",
+                                            "clock_gettime", "std::time"};
+  static const char* const kBareTokens[] = {
+      "std::random_device", "std::mt19937", "std::mt19937_64",
+      "std::chrono::system_clock", "std::chrono::steady_clock",
+      "std::chrono::high_resolution_clock"};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    bool hit = false;
+    for (const char* tok : kCallTokens) {
+      size_t p = FindToken(line, tok);
+      if (p != std::string::npos && IsCall(line, p, std::string(tok).size()))
+        hit = true;
+    }
+    // Plain `time(` — but not `->time(`, `.time(`, `:time(` (members and
+    // qualified names of other types).
+    for (size_t p = FindToken(line, "time", 0, ":.>"); p != std::string::npos;
+         p = FindToken(line, "time", p + 1, ":.>")) {
+      if (IsCall(line, p, 4)) hit = true;
+    }
+    for (const char* tok : kBareTokens)
+      if (FindToken(line, tok) != std::string::npos) hit = true;
+    if (hit) Report(f, i, "wall-clock", msg, findings);
+  }
+}
+
+// --- stray-output ---------------------------------------------------------
+
+void CheckStrayOutput(const SourceFile& f, std::vector<Finding>* findings) {
+  if (!StartsWith(f.rel, "src/")) return;
+  const char* msg =
+      "stdout output in library code; return a Status or record a metric "
+      "instead";
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    bool hit = FindToken(line, "std::cout") != std::string::npos;
+    size_t p = FindToken(line, "printf");  // fprintf/snprintf blocked by boundary
+    if (p != std::string::npos && IsCall(line, p, 6)) hit = true;
+    p = FindToken(line, "puts");
+    if (p != std::string::npos && IsCall(line, p, 4)) hit = true;
+    if (hit) Report(f, i, "stray-output", msg, findings);
+  }
+}
+
+// --- silent-discard -------------------------------------------------------
+
+// `(void)` casting away an expression that contains a call. Plain
+// `(void)identifier;` (unused-variable silencing) stays legal.
+bool LineHasVoidDiscardOfCall(const std::string& line) {
+  for (size_t i = line.find('('); i != std::string::npos;
+       i = line.find('(', i + 1)) {
+    size_t p = SkipSpaces(line, i + 1);
+    if (line.compare(p, 4, "void") != 0) continue;
+    p = SkipSpaces(line, p + 4);
+    if (p >= line.size() || line[p] != ')') continue;
+    // Skip the (qualified, possibly dereferenced) expression prefix; a '('
+    // before the statement ends means a call is being discarded.
+    p = p + 1;
+    static const std::string kExprChars =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+        "_:.*&<>[]- \t";
+    while (p < line.size() && kExprChars.find(line[p]) != std::string::npos) ++p;
+    if (p < line.size() && line[p] == '(') return true;
+  }
+  return false;
+}
+
+void CheckSilentDiscard(const SourceFile& f, std::vector<Finding>* findings) {
+  const char* msg =
+      "(void) discard of a fallible call without an adjacent "
+      "`// lint: allow-discard(<reason>)` comment";
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    if (!LineHasVoidDiscardOfCall(f.code[i])) continue;
+    bool allowed =
+        f.raw[i].find("lint: allow-discard(") != std::string::npos ||
+        (i > 0 && f.raw[i - 1].find("lint: allow-discard(") != std::string::npos);
+    if (!allowed) Report(f, i, "silent-discard", msg, findings);
+  }
+}
+
+// --- raw-exec-io ----------------------------------------------------------
+
+void CheckRawExecIo(const SourceFile& f, std::vector<Finding>* findings) {
+  if (!StartsWith(f.rel, "src/exec/")) return;
+  const char* msg =
+      "raw file I/O in the execution engine; spill and exchange bytes must "
+      "flow through hive::fs FileSystem (injectable, fault-tested)";
+  static const char* const kBareTokens[] = {"std::ifstream", "std::ofstream",
+                                            "std::fstream", "std::filesystem"};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    bool hit = false;
+    for (const char* tok : kBareTokens)
+      if (FindToken(line, tok) != std::string::npos) hit = true;
+    size_t p = FindToken(line, "fopen");
+    if (p != std::string::npos && IsCall(line, p, 5)) hit = true;
+    p = FindToken(line, "FILE");
+    if (p != std::string::npos) {
+      size_t after = SkipSpaces(line, p + 4);
+      if (after < line.size() && line[after] == '*') hit = true;
+    }
+    bool angled = false;
+    std::string inc = IncludeTarget(line, &angled);
+    if (angled && (inc == "fstream" || inc == "filesystem")) hit = true;
+    if (hit) Report(f, i, "raw-exec-io", msg, findings);
+  }
+}
+
+// --- session-construct ----------------------------------------------------
+
+// Matches `Session` as a type-name token, tolerating a `hive::` qualifier.
+// Returns the position *after* the token, or npos. `start` receives the
+// position of the first character of the (possibly qualified) name.
+size_t MatchSessionType(const std::string& line, size_t from, size_t* start) {
+  size_t p = FindToken(line, "Session", from, ".~");
+  while (p != std::string::npos) {
+    size_t s = p;
+    if (p >= 6 && line.compare(p - 6, 6, "hive::") == 0) {
+      s = p - 6;
+      // The qualifier itself must stand alone (`xhive::Session` is not ours).
+      if (s > 0 && (IsWordChar(line[s - 1]) || line[s - 1] == ':' ||
+                    line[s - 1] == '.' || line[s - 1] == '~'))
+        s = std::string::npos;
+    } else if (p > 0 && line[p - 1] == ':') {
+      s = std::string::npos;  // OtherNs::Session — not ours to police
+    }
+    if (s != std::string::npos) {
+      *start = s;
+      return p + 7;
+    }
+    p = FindToken(line, "Session", p + 1, ".~");
+  }
+  return std::string::npos;
+}
+
+void CheckSessionConstruct(const SourceFile& f, std::vector<Finding>* findings) {
+  if (!StartsWith(f.rel, "src/")) return;
+  if (PathIsOneOf(f.rel, {"src/server/connection_manager.h",
+                          "src/server/connection_manager.cc"}))
+    return;
+  const char* msg =
+      "direct Session construction; sessions are created only by the "
+      "connection manager — call HiveServer2::Connect() and hold the "
+      "RAII Connection";
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    bool hit = false;
+    // new Session / new hive::Session
+    for (size_t p = FindToken(line, "new"); p != std::string::npos;
+         p = FindToken(line, "new", p + 1)) {
+      size_t s = SkipSpaces(line, p + 3);
+      size_t start = 0;
+      if (s < line.size() && MatchSessionType(line, s, &start) != std::string::npos &&
+          start == s)
+        hit = true;
+    }
+    // make_unique<Session> / make_shared<hive::Session>
+    for (const char* maker : {"make_unique", "make_shared"}) {
+      for (size_t p = FindToken(line, maker); p != std::string::npos;
+           p = FindToken(line, maker, p + 1)) {
+        size_t s = SkipSpaces(line, p + std::string(maker).size());
+        if (s >= line.size() || line[s] != '<') continue;
+        s = SkipSpaces(line, s + 1);
+        size_t start = 0;
+        size_t end = MatchSessionType(line, s, &start);
+        if (end == std::string::npos || start != s) continue;
+        end = SkipSpaces(line, end);
+        if (end < line.size() && line[end] == '>') hit = true;
+      }
+    }
+    // By-value declaration: `Session name;` / `Session name = ...` /
+    // `Session name(...)` / `Session name{...}`. Pointers and references
+    // (`Session*`, `Session&`) stay legal — they don't create sessions.
+    for (size_t start = 0, end = MatchSessionType(line, 0, &start);
+         end != std::string::npos;
+         end = MatchSessionType(line, end, &start)) {
+      size_t p = SkipSpaces(line, end);
+      if (p >= line.size() || !(isalpha(static_cast<unsigned char>(line[p])) ||
+                                line[p] == '_'))
+        continue;
+      while (p < line.size() && IsWordChar(line[p])) ++p;
+      p = SkipSpaces(line, p);
+      if (p < line.size() && (line[p] == ';' || line[p] == '{' ||
+                              line[p] == '=' || line[p] == '('))
+        hit = true;
+    }
+    if (hit) Report(f, i, "session-construct", msg, findings);
+  }
+}
+
+}  // namespace
+
+void RunTokenPass(const Project& project, std::vector<Finding>* findings) {
+  for (const SourceFile& f : project.files) {
+    CheckRawSync(f, findings);
+    CheckWallClock(f, findings);
+    CheckStrayOutput(f, findings);
+    CheckSilentDiscard(f, findings);
+    CheckRawExecIo(f, findings);
+    CheckSessionConstruct(f, findings);
+  }
+}
+
+}  // namespace hivelint
